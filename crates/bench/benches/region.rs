@@ -1,0 +1,68 @@
+//! Union-of-boxes region-algebra micro-benchmarks: intersection scaling
+//! with box count (the safe-region inner loop) and the grid-sweep area
+//! computation behind Fig. 14.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wnrs_geometry::{Point, Rect, Region};
+
+/// A staircase-shaped region of `m` overlapping origin-anchored boxes —
+/// the shape anti-dominance regions actually take.
+fn staircase_region(m: usize, offset: f64) -> Region {
+    Region::from_boxes(
+        (0..m)
+            .map(|i| {
+                let f = i as f64 / m as f64;
+                Rect::new(
+                    Point::xy(0.0, 0.0),
+                    Point::xy(offset + f * 100.0, offset + (1.0 - f) * 100.0),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_intersection");
+    for m in [4usize, 16, 64] {
+        let a = staircase_region(m, 1.0);
+        let b = staircase_region(m, 3.0);
+        group.bench_with_input(BenchmarkId::new("staircase_pair", m), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(a.intersect(b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_intersection(c: &mut Criterion) {
+    // The safe-region pattern: fold-intersect k regions of ~m boxes.
+    let mut group = c.benchmark_group("region_chain_intersection");
+    group.sample_size(20);
+    for k in [2usize, 5, 10, 15] {
+        let regions: Vec<Region> =
+            (0..k).map(|i| staircase_region(12, 1.0 + i as f64 * 0.7)).collect();
+        group.bench_with_input(BenchmarkId::new("fold", k), &regions, |bench, regions| {
+            bench.iter(|| {
+                let mut acc = regions[0].clone();
+                for r in &regions[1..] {
+                    acc = acc.intersect(r);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_area(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_area");
+    for m in [4usize, 16, 64] {
+        let r = staircase_region(m, 2.0);
+        group.bench_with_input(BenchmarkId::new("grid_sweep", m), &r, |bench, r| {
+            bench.iter(|| black_box(r.area()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersection, bench_chain_intersection, bench_area);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Reverse-skyline micro-benchmarks: naive per-point membership testing
+//! vs BBRS (global-skyline candidates + verification), plus the
+//! parallel bichromatic evaluator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wnrs_bench::{make_dataset, DatasetKind};
+use wnrs_geometry::Point;
+use wnrs_reverse_skyline::{
+    bbrs_reverse_skyline, global_skyline, rsl_bichromatic, rsl_bichromatic_indexed,
+    rsl_bichromatic_parallel, rsl_monochromatic_naive,
+};
+use wnrs_rtree::bulk::bulk_load;
+use wnrs_rtree::RTreeConfig;
+
+fn bench_monochromatic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reverse_skyline_mono");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        let pts = make_dataset(DatasetKind::CarDb, n, 11);
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        let q = Point::xy(9_000.0, 60_000.0);
+        group.bench_with_input(BenchmarkId::new("naive", n), &tree, |b, tree| {
+            b.iter(|| black_box(rsl_monochromatic_naive(tree, black_box(&q))))
+        });
+        group.bench_with_input(BenchmarkId::new("bbrs", n), &tree, |b, tree| {
+            b.iter(|| black_box(bbrs_reverse_skyline(tree, black_box(&q))))
+        });
+        group.bench_with_input(BenchmarkId::new("global_skyline_only", n), &tree, |b, tree| {
+            b.iter(|| black_box(global_skyline(tree, black_box(&q))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bichromatic_parallel(c: &mut Criterion) {
+    let products = make_dataset(DatasetKind::Uniform, 20_000, 13);
+    let customers = make_dataset(DatasetKind::Uniform, 2_000, 14);
+    let tree = bulk_load(&products, RTreeConfig::paper_default(2));
+    let q = Point::xy(0.5, 0.5);
+    let mut group = c.benchmark_group("reverse_skyline_bichromatic");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(rsl_bichromatic(&tree, &customers, black_box(&q))))
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(rsl_bichromatic_parallel(&tree, &customers, black_box(&q), threads))
+                })
+            },
+        );
+    }
+    // Index-accelerated variant: clustered customers where subtree
+    // pruning pays off.
+    let clustered = make_dataset(DatasetKind::Correlated, 2_000, 15);
+    let ctree = bulk_load(&clustered, RTreeConfig::paper_default(2));
+    group.bench_function("indexed_clustered", |b| {
+        b.iter(|| black_box(rsl_bichromatic_indexed(&tree, &ctree, black_box(&q))))
+    });
+    group.bench_function("naive_clustered", |b| {
+        b.iter(|| black_box(rsl_bichromatic(&tree, &clustered, black_box(&q))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monochromatic, bench_bichromatic_parallel);
+criterion_main!(benches);

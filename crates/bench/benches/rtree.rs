@@ -1,0 +1,72 @@
+//! R\*-tree micro-benchmarks: window query vs linear scan, bulk load vs
+//! one-by-one insertion, and a fan-out ablation (the paper fixes the
+//! page size at 1536 bytes; this shows what that choice costs/buys).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wnrs_bench::{make_dataset, DatasetKind};
+use wnrs_geometry::{Point, Rect};
+use wnrs_rtree::bulk::bulk_load;
+use wnrs_rtree::{ItemId, RTree, RTreeConfig};
+
+fn dataset(n: usize) -> Vec<Point> {
+    make_dataset(DatasetKind::Uniform, n, 7)
+}
+
+fn bench_window_query(c: &mut Criterion) {
+    let pts = dataset(50_000);
+    let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+    let window = Rect::new(Point::xy(0.4, 0.4), Point::xy(0.45, 0.45));
+
+    let mut group = c.benchmark_group("window_query");
+    group.bench_function("rtree_50k", |b| {
+        b.iter(|| black_box(tree.window(black_box(&window))))
+    });
+    group.bench_function("scan_50k", |b| {
+        b.iter(|| {
+            let hits: Vec<_> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| window.contains_point(p))
+                .collect();
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_loading(c: &mut Criterion) {
+    let pts = dataset(10_000);
+    let mut group = c.benchmark_group("tree_loading");
+    group.sample_size(10);
+    group.bench_function("bulk_load_10k", |b| {
+        b.iter(|| black_box(bulk_load(&pts, RTreeConfig::paper_default(2))))
+    });
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut tree = RTree::with_paper_pages(2);
+            for (i, p) in pts.iter().enumerate() {
+                tree.insert(ItemId(i as u32), p.clone());
+            }
+            black_box(tree)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fanout_ablation(c: &mut Criterion) {
+    let pts = dataset(50_000);
+    let window = Rect::new(Point::xy(0.2, 0.2), Point::xy(0.35, 0.35));
+    let mut group = c.benchmark_group("fanout_ablation");
+    for max_entries in [8usize, 38, 128] {
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(max_entries));
+        group.bench_with_input(
+            BenchmarkId::new("window", max_entries),
+            &tree,
+            |b, tree| b.iter(|| black_box(tree.window(black_box(&window)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_query, bench_loading, bench_fanout_ablation);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Skyline-algorithm micro-benchmarks: BNL vs SFS vs BBS (static), and
+//! scan vs index-based BBS for dynamic skylines — across the three
+//! synthetic distributions, whose skyline sizes differ by orders of
+//! magnitude.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wnrs_bench::{make_dataset, DatasetKind};
+use wnrs_geometry::Point;
+use wnrs_rtree::bulk::bulk_load;
+use wnrs_rtree::RTreeConfig;
+use wnrs_skyline::{bbs_dynamic_skyline, bbs_skyline, bnl_skyline, dynamic_skyline_scan, sfs_skyline};
+
+fn bench_static_skyline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_skyline_20k");
+    group.sample_size(20);
+    for kind in [DatasetKind::Uniform, DatasetKind::Correlated, DatasetKind::Anticorrelated] {
+        let pts = make_dataset(kind, 20_000, 3);
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        group.bench_with_input(BenchmarkId::new("bnl", kind.name()), &pts, |b, pts| {
+            b.iter(|| black_box(bnl_skyline(pts)))
+        });
+        group.bench_with_input(BenchmarkId::new("sfs", kind.name()), &pts, |b, pts| {
+            b.iter(|| black_box(sfs_skyline(pts)))
+        });
+        group.bench_with_input(BenchmarkId::new("bbs", kind.name()), &tree, |b, tree| {
+            b.iter(|| black_box(bbs_skyline(tree)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynamic_skyline(c: &mut Criterion) {
+    let pts = make_dataset(DatasetKind::Uniform, 20_000, 5);
+    let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+    let q = Point::xy(0.47, 0.53);
+    let mut group = c.benchmark_group("dynamic_skyline_20k");
+    group.bench_function("scan_bnl", |b| {
+        b.iter(|| black_box(dynamic_skyline_scan(&pts, black_box(&q))))
+    });
+    group.bench_function("bbs", |b| {
+        b.iter(|| black_box(bbs_dynamic_skyline(&tree, black_box(&q))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_skyline, bench_dynamic_skyline);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Why-not answering micro-benchmarks: MWP, MQP, exact vs approximate
+//! safe-region construction (with a k ablation), and MWQ end-to-end.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wnrs_bench::{make_dataset, DatasetKind};
+use wnrs_core::WhyNotEngine;
+use wnrs_data::workload::QueryWorkload;
+use wnrs_data::select_why_not;
+
+fn setup() -> (WhyNotEngine, wnrs_geometry::Point, wnrs_rtree::ItemId, Vec<(wnrs_rtree::ItemId, wnrs_geometry::Point)>) {
+    let pts = make_dataset(DatasetKind::CarDb, 20_000, 21);
+    let engine = WhyNotEngine::new(pts);
+    let mut rng = StdRng::seed_from_u64(99);
+    let workload = QueryWorkload::build(engine.tree(), engine.points(), &[6], &mut rng, 5000);
+    let wq = workload.queries.first().expect("a |RSL| = 6 query exists").clone();
+    let id = select_why_not(engine.points(), &wq.rsl, &mut rng).expect("non-member");
+    (engine, wq.q, id, wq.rsl)
+}
+
+fn bench_point_modification(c: &mut Criterion) {
+    let (engine, q, id, _) = setup();
+    let mut group = c.benchmark_group("point_modification");
+    group.bench_function("mwp", |b| b.iter(|| black_box(engine.mwp(id, black_box(&q)))));
+    group.bench_function("mqp", |b| b.iter(|| black_box(engine.mqp(id, black_box(&q)))));
+    group.bench_function("explain", |b| b.iter(|| black_box(engine.explain(id, black_box(&q)))));
+    group.finish();
+}
+
+fn bench_safe_region(c: &mut Criterion) {
+    let (engine, q, _, rsl) = setup();
+    let mut group = c.benchmark_group("safe_region");
+    group.sample_size(20);
+    group.bench_function("exact", |b| {
+        b.iter(|| black_box(engine.safe_region_for(black_box(&q), &rsl)))
+    });
+    for k in [5usize, 10, 20] {
+        let store = engine.build_approx_store(k);
+        group.bench_with_input(BenchmarkId::new("approx", k), &store, |b, store| {
+            b.iter(|| black_box(engine.approx_safe_region_for(black_box(&q), &rsl, store)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mwq(c: &mut Criterion) {
+    let (engine, q, id, rsl) = setup();
+    let sr = engine.safe_region_for(&q, &rsl);
+    let store = engine.build_approx_store(10);
+    let sr_approx = engine.approx_safe_region_for(&q, &rsl, &store);
+    let mut group = c.benchmark_group("mwq");
+    group.sample_size(20);
+    group.bench_function("algorithm4_given_sr", |b| {
+        b.iter(|| black_box(engine.mwq(id, black_box(&q), &sr)))
+    });
+    group.bench_function("algorithm4_given_approx_sr", |b| {
+        b.iter(|| black_box(engine.mwq(id, black_box(&q), &sr_approx)))
+    });
+    group.bench_function("end_to_end_exact", |b| {
+        b.iter(|| black_box(engine.mwq_full(id, black_box(&q))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_modification, bench_safe_region, bench_mwq);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **k-sweep** — how the approximate-DSL sample size `k`
+//!    (Section VI-B.1) trades safe-region quality (area retained vs the
+//!    exact region) against query-time speed and offline cost. The
+//!    paper picks k "empirically"; this table is the data one would pick
+//!    it from.
+//! 2. **Page-size sweep** — how the R\*-tree page size (the paper fixes
+//!    1536 bytes) affects fan-out, node count and BBRS latency.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wnrs_bench::{make_dataset, seed, write_report, DatasetKind};
+use wnrs_core::WhyNotEngine;
+use wnrs_data::workload::QueryWorkload;
+use wnrs_geometry::Point;
+use wnrs_rtree::bulk::bulk_load;
+use wnrs_rtree::RTreeConfig;
+
+fn k_sweep(n: usize) {
+    println!("\n== ablation 1: approximate-DSL sample size k (CarDB, {n} points) ==");
+    let points = make_dataset(DatasetKind::CarDb, n, seed());
+    let engine = WhyNotEngine::new(points);
+    let mut rng = StdRng::seed_from_u64(seed() ^ 0xAB1);
+    let workload =
+        QueryWorkload::build(engine.tree(), engine.points(), &[1, 2, 3], &mut rng, 6000);
+    println!(
+        "{:>6} {:>14} {:>18} {:>14} {:>14}",
+        "k", "offline (s)", "area vs exact", "SR exact ms", "SR approx ms"
+    );
+    let mut lines = Vec::new();
+    for k in [2usize, 5, 10, 20, 50] {
+        let t = Instant::now();
+        let store = engine.build_approx_store(k);
+        let offline = t.elapsed().as_secs_f64();
+        let mut ratio_sum = 0.0;
+        let mut ratio_n = 0;
+        let mut exact_ms = 0.0;
+        let mut approx_ms = 0.0;
+        for wq in &workload.queries {
+            let t = Instant::now();
+            let exact = engine.safe_region_for(&wq.q, &wq.rsl);
+            exact_ms += t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            let approx = engine.approx_safe_region_for(&wq.q, &wq.rsl, &store);
+            approx_ms += t.elapsed().as_secs_f64() * 1e3;
+            let ea = exact.area();
+            if ea > 0.0 {
+                ratio_sum += approx.area() / ea;
+                ratio_n += 1;
+            }
+        }
+        let ratio = if ratio_n > 0 { ratio_sum / ratio_n as f64 } else { f64::NAN };
+        let nq = workload.queries.len().max(1) as f64;
+        println!(
+            "{:>6} {:>14.2} {:>18.4} {:>14.3} {:>14.3}",
+            k,
+            offline,
+            ratio,
+            exact_ms / nq,
+            approx_ms / nq
+        );
+        lines.push(format!("{k},{offline},{ratio},{},{}", exact_ms / nq, approx_ms / nq));
+    }
+    write_report("ablation_k_sweep.csv", "k,offline_s,area_ratio,sr_exact_ms,sr_approx_ms", &lines);
+}
+
+fn page_size_sweep(n: usize) {
+    println!("\n== ablation 2: R*-tree page size (CarDB, {n} points) ==");
+    let points = make_dataset(DatasetKind::CarDb, n, seed());
+    let q = Point::xy(9_000.0, 60_000.0);
+    println!(
+        "{:>10} {:>8} {:>10} {:>10} {:>14} {:>12}",
+        "page (B)", "fanout", "nodes", "height", "BBRS (ms)", "node visits"
+    );
+    let mut lines = Vec::new();
+    for page in [512usize, 1024, 1536, 4096, 16_384] {
+        let config = RTreeConfig::for_page_size(page, 2);
+        let fanout = config.max_entries;
+        let tree = bulk_load(&points, config);
+        // Warm + measure.
+        let _ = wnrs_reverse_skyline::bbrs_reverse_skyline(&tree, &q);
+        tree.reset_visits();
+        let t = Instant::now();
+        let rsl = wnrs_reverse_skyline::bbrs_reverse_skyline(&tree, &q);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:>10} {:>8} {:>10} {:>10} {:>14.3} {:>12}",
+            page,
+            fanout,
+            tree.node_count(),
+            tree.height(),
+            ms,
+            tree.node_visits()
+        );
+        lines.push(format!(
+            "{page},{fanout},{},{},{ms},{},{}",
+            tree.node_count(),
+            tree.height(),
+            tree.node_visits(),
+            rsl.len()
+        ));
+    }
+    write_report(
+        "ablation_page_size.csv",
+        "page_bytes,fanout,nodes,height,bbrs_ms,node_visits,rsl_size",
+        &lines,
+    );
+}
+
+fn main() {
+    println!("Ablations (scale factor {}, seed {})", wnrs_bench::scale(), seed());
+    let n = (40_000.0 * wnrs_bench::scale() / 0.2) as usize;
+    let n = n.max(2_000);
+    k_sweep(n);
+    page_size_sweep(n);
+}

@@ -1,0 +1,95 @@
+//! Extension experiment (not in the paper): bichromatic reverse-skyline
+//! evaluation strategies — naive per-customer window queries, the
+//! `crossbeam`-parallel variant, and the customer-tree pruning of
+//! `rsl_bichromatic_indexed` — across customer distributions.
+//!
+//! The paper defines the bichromatic setting (Definition 3) but
+//! evaluates monochromatically; this table quantifies what an indexed
+//! customer set buys.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wnrs_bench::{make_dataset, seed, write_report, DatasetKind};
+use wnrs_geometry::Point;
+use wnrs_reverse_skyline::{rsl_bichromatic, rsl_bichromatic_indexed, rsl_bichromatic_parallel};
+use wnrs_rtree::bulk::bulk_load;
+use wnrs_rtree::RTreeConfig;
+
+fn main() {
+    println!("Bichromatic reverse-skyline strategies (extension experiment)");
+    println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
+    let n_products = (100_000.0 * wnrs_bench::scale()) as usize;
+    let n_customers = n_products / 2;
+    let products = make_dataset(DatasetKind::CarDb, n_products.max(2000), seed());
+    let tree = bulk_load(&products, RTreeConfig::paper_default(2));
+    let q = Point::xy(9_000.0, 60_000.0);
+
+    println!(
+        "\n{:<22} {:>8} {:>12} {:>14} {:>14} {:>14}",
+        "customers", "|RSL|", "naive ms", "parallel4 ms", "indexed ms", "cust visits"
+    );
+    let mut lines = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed() ^ 0xB1C);
+    let cases: Vec<(&str, Vec<Point>)> = vec![
+        ("uniform", {
+            let pts = wnrs_data::uniform(&mut rng, n_customers.max(1000), 2);
+            scale_to_cardb(&pts)
+        }),
+        ("clustered", {
+            let pts = wnrs_data::clustered(&mut rng, n_customers.max(1000), 2, 12, 0.01);
+            scale_to_cardb(&pts)
+        }),
+        ("cardb-like", make_dataset(DatasetKind::CarDb, n_customers.max(1000), seed() ^ 7)),
+    ];
+    for (name, customers) in cases {
+        let ctree = bulk_load(&customers, RTreeConfig::paper_default(2));
+
+        let t = Instant::now();
+        let naive = rsl_bichromatic(&tree, &customers, &q);
+        let naive_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let par = rsl_bichromatic_parallel(&tree, &customers, &q, 4);
+        let par_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        ctree.reset_visits();
+        let t = Instant::now();
+        let idx = rsl_bichromatic_indexed(&tree, &ctree, &q);
+        let idx_ms = t.elapsed().as_secs_f64() * 1e3;
+        let visits = ctree.node_visits();
+
+        assert_eq!(naive.len(), par.len());
+        assert_eq!(naive.len(), idx.len());
+        println!(
+            "{:<22} {:>8} {:>12.2} {:>14.2} {:>14.2} {:>10}/{}",
+            name,
+            naive.len(),
+            naive_ms,
+            par_ms,
+            idx_ms,
+            visits,
+            ctree.node_count()
+        );
+        lines.push(format!(
+            "{name},{},{naive_ms},{par_ms},{idx_ms},{visits},{}",
+            naive.len(),
+            ctree.node_count()
+        ));
+    }
+    write_report(
+        "bichromatic_strategies.csv",
+        "customers,rsl_size,naive_ms,parallel4_ms,indexed_ms,cust_node_visits,cust_nodes",
+        &lines,
+    );
+}
+
+/// Maps unit-square synthetic customers onto CarDB's coordinate ranges
+/// so the product and customer spaces align.
+fn scale_to_cardb(pts: &[Point]) -> Vec<Point> {
+    let (plo, phi) = wnrs_data::cardb::PRICE_RANGE;
+    let (mlo, mhi) = wnrs_data::cardb::MILEAGE_RANGE;
+    pts.iter()
+        .map(|p| Point::xy(plo + p[0] * (phi - plo), mlo + p[1] * (mhi - mlo)))
+        .collect()
+}

@@ -1,0 +1,90 @@
+//! Extension experiment: behaviour across dimensionality. The paper
+//! evaluates d = 2 (Price, Mileage); the library is d-dimensional, and
+//! this table shows how the pieces scale as dimensions are added to a
+//! uniform dataset — skyline sizes explode, windows crowd up, and the
+//! general-d anti-dominance decomposition produces more boxes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wnrs_bench::{seed, write_report};
+use wnrs_core::WhyNotEngine;
+use wnrs_data::select_why_not;
+use wnrs_data::workload::WorkloadQuery;
+use wnrs_geometry::{Point, Rect};
+use wnrs_rtree::RTreeConfig;
+use rand::Rng;
+
+/// Probes perturbed data points until a query with a non-trivial reverse
+/// skyline (1 ≤ |RSL| ≤ 50) turns up. Exact-size matching (the 2-d
+/// workload builder) is too strict in higher dimensions, where reverse
+/// skylines are naturally larger.
+fn probe_query(engine: &WhyNotEngine, rng: &mut StdRng) -> Option<WorkloadQuery> {
+    let d = engine.dim();
+    let bounds = Rect::bounding(engine.points());
+    for _ in 0..4000 {
+        let base = &engine.points()[rng.gen_range(0..engine.len())];
+        let q = Point::new(
+            (0..d)
+                .map(|i| base[i] + (rng.gen::<f64>() - 0.5) * bounds.extent(i) * 0.05)
+                .collect::<Vec<_>>(),
+        );
+        let rsl = engine.reverse_skyline(&q);
+        if (1..=50).contains(&rsl.len()) {
+            return Some(WorkloadQuery { q, rsl });
+        }
+    }
+    None
+}
+
+fn main() {
+    println!("Dimensionality sweep (extension experiment)");
+    println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
+    let n = ((50_000.0 * wnrs_bench::scale()) as usize).max(2_000);
+    println!(
+        "\n{:>4} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "d", "|SKY|", "|RSL|", "RSL ms", "SR boxes", "SR ms", "MWP ms"
+    );
+    let mut lines = Vec::new();
+    for d in 2..=4usize {
+        let mut rng = StdRng::seed_from_u64(seed() ^ d as u64);
+        let points = wnrs_data::uniform(&mut rng, n, d);
+        let sky = wnrs_skyline::sfs_skyline(&points).len();
+        let engine = WhyNotEngine::with_config(points, RTreeConfig::paper_default(d));
+        let Some(wq) = probe_query(&engine, &mut rng) else {
+            println!("{d:>4}  (no query with a non-trivial reverse skyline found)");
+            continue;
+        };
+        let wq = &wq;
+        let t = Instant::now();
+        let rsl = engine.reverse_skyline(&wq.q);
+        let rsl_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let sr = engine.safe_region_for(&wq.q, &rsl);
+        let sr_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let id = select_why_not(engine.points(), &rsl, &mut rng).expect("non-member");
+        let t = Instant::now();
+        let mwp = engine.mwp(id, &wq.q);
+        let mwp_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(mwp.best_cost().is_finite());
+
+        println!(
+            "{:>4} {:>10} {:>10} {:>12.2} {:>12} {:>12.2} {:>12.2}",
+            d,
+            sky,
+            rsl.len(),
+            rsl_ms,
+            sr.len(),
+            sr_ms,
+            mwp_ms
+        );
+        lines.push(format!("{d},{sky},{},{rsl_ms},{},{sr_ms},{mwp_ms}", rsl.len(), sr.len()));
+    }
+    write_report(
+        "dimensionality_sweep.csv",
+        "d,skyline_size,rsl_size,rsl_ms,sr_boxes,sr_ms,mwp_ms",
+        &lines,
+    );
+}

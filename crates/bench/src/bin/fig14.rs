@@ -1,0 +1,32 @@
+//! Fig. 14 — reverse-skyline size vs safe-region area on the CarDB
+//! surrogate (100K and 200K). The paper's key observation: the safe
+//! region shrinks as `|RSL(q)|` grows, which is why MWQ degenerates to
+//! MWP for popular products.
+
+use wnrs_bench::{seed, write_report, DatasetKind, ExperimentSetup};
+
+fn main() {
+    println!("Fig. 14: RSL size vs safe-region area (CarDB)");
+    println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
+    let targets: Vec<usize> = (1..=15).collect();
+    for n in [100_000, 200_000] {
+        let setup = ExperimentSetup::prepare(DatasetKind::CarDb, n, &targets, 6000);
+        let engine = &setup.engine;
+        println!("\n== {} ==", setup.label);
+        println!("{:>10} {:>22} {:>22}", "|RSL(q)|", "SR area", "SR area (fraction)");
+        let mut lines = Vec::new();
+        for wq in &setup.workload.queries {
+            let universe = engine.universe_for(&wq.q);
+            let sr = engine.safe_region_for(&wq.q, &wq.rsl);
+            let area = sr.area();
+            let frac = area / universe.area();
+            println!("{:>10} {:>22.6} {:>22.9}", wq.rsl_size(), area, frac);
+            lines.push(format!("{},{},{}", wq.rsl_size(), area, frac));
+        }
+        write_report(
+            &format!("fig14_{}.csv", setup.label),
+            "rsl_size,sr_area,sr_area_fraction",
+            &lines,
+        );
+    }
+}

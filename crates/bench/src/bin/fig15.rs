@@ -1,0 +1,46 @@
+//! Fig. 15 — execution time of MWP, MQP, safe-region construction (SR)
+//! and MWQ across all datasets. The paper's shape: MWP ≈ MQP ≪ MWQ,
+//! with SR construction dominating MWQ and growing with `|RSL(q)|`.
+
+use wnrs_bench::{seed, timing_rows, write_report, DatasetKind, ExperimentSetup};
+
+fn main() {
+    println!("Fig. 15: execution time of MWP, MQP, SR and MWQ");
+    println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
+    let cases = [
+        (DatasetKind::CarDb, 50_000),
+        (DatasetKind::CarDb, 100_000),
+        (DatasetKind::CarDb, 200_000),
+        (DatasetKind::Uniform, 100_000),
+        (DatasetKind::Correlated, 100_000),
+        (DatasetKind::Anticorrelated, 100_000),
+        (DatasetKind::Uniform, 200_000),
+        (DatasetKind::Correlated, 200_000),
+        (DatasetKind::Anticorrelated, 200_000),
+    ];
+    let targets: Vec<usize> = (1..=15).collect();
+    for (kind, n) in cases {
+        let setup = ExperimentSetup::prepare(kind, n, &targets, 6000);
+        let rows = timing_rows(&setup, None, true, seed() ^ 15);
+        println!("\n== {} ==", setup.label);
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>12}",
+            "|RSL(q)|", "MWP (ms)", "MQP (ms)", "SR (ms)", "MWQ (ms)"
+        );
+        let mut lines = Vec::new();
+        for r in &rows {
+            let sr = r.sr_ms.expect("exact timings requested");
+            let mwq = r.mwq_ms.expect("exact timings requested");
+            println!(
+                "{:>10} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+                r.rsl_size, r.mwp_ms, r.mqp_ms, sr, mwq
+            );
+            lines.push(format!("{},{},{},{},{}", r.rsl_size, r.mwp_ms, r.mqp_ms, sr, mwq));
+        }
+        write_report(
+            &format!("fig15_{}.csv", setup.label),
+            "rsl_size,mwp_ms,mqp_ms,sr_ms,mwq_ms",
+            &lines,
+        );
+    }
+}

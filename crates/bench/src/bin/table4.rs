@@ -1,0 +1,31 @@
+//! Table IV — quality of MWP vs MQP vs MWQ on the synthetic UN/CO/AC
+//! datasets at 100K and 200K (scaled by `WNRS_SCALE`). The synthetic
+//! distributions are dense, so — as in the paper — only small
+//! reverse-skyline sizes occur and are tested (1–4).
+
+use wnrs_bench::quality::print_rows;
+use wnrs_bench::{quality_rows, seed, write_report, DatasetKind, ExperimentSetup};
+
+fn main() {
+    println!("Table IV: quality of results in synthetic datasets");
+    println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
+    let targets = [1usize, 2, 3, 4];
+    let cases = [
+        ("a", DatasetKind::Uniform, 100_000),
+        ("b", DatasetKind::Correlated, 100_000),
+        ("c", DatasetKind::Anticorrelated, 100_000),
+        ("d", DatasetKind::Uniform, 200_000),
+        ("e", DatasetKind::Correlated, 200_000),
+        ("f", DatasetKind::Anticorrelated, 200_000),
+    ];
+    for (part, kind, n) in cases {
+        let setup = ExperimentSetup::prepare(kind, n, &targets, 6000);
+        let rows = quality_rows(&setup, None, seed() ^ 4);
+        let lines = print_rows(&format!("Table IV({part}): {}", setup.label), &rows, false, 0);
+        write_report(
+            &format!("table4{part}_{}.csv", setup.label),
+            "rsl_size,mwp,mqp,mwq",
+            &lines,
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Shared experiment plumbing: dataset construction, scaling knobs, and
+//! report output.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use wnrs_core::WhyNotEngine;
+use wnrs_data::workload::QueryWorkload;
+use wnrs_geometry::Point;
+
+/// The datasets of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// The CarDB surrogate (sparse, real-data stand-in).
+    CarDb,
+    /// Uniform synthetic (UN).
+    Uniform,
+    /// Correlated synthetic (CO).
+    Correlated,
+    /// Anti-correlated synthetic (AC).
+    Anticorrelated,
+}
+
+impl DatasetKind {
+    /// Paper-style short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::CarDb => "CarDB",
+            DatasetKind::Uniform => "UN",
+            DatasetKind::Correlated => "CO",
+            DatasetKind::Anticorrelated => "AC",
+        }
+    }
+}
+
+/// Generates a dataset of `n` points with a deterministic seed.
+pub fn make_dataset(kind: DatasetKind, n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match kind {
+        DatasetKind::CarDb => wnrs_data::cardb(&mut rng, n),
+        DatasetKind::Uniform => wnrs_data::uniform(&mut rng, n, 2),
+        DatasetKind::Correlated => wnrs_data::correlated(&mut rng, n, 2),
+        DatasetKind::Anticorrelated => wnrs_data::anticorrelated(&mut rng, n, 2),
+    }
+}
+
+/// Global scale factor (`WNRS_SCALE`, default 0.1): the fraction of the
+/// paper's dataset sizes the experiments run at. `1.0` reproduces the
+/// paper's 50K/100K/200K exactly.
+pub fn scale() -> f64 {
+    std::env::var("WNRS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(0.1)
+}
+
+/// Global seed (`WNRS_SEED`, default 20130408 — the ICDE'13 conference
+/// week).
+pub fn seed() -> u64 {
+    std::env::var("WNRS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(20_130_408)
+}
+
+/// Scales a paper dataset size by [`scale`] (at least 1 000 points so
+/// reverse skylines stay non-trivial).
+pub fn scaled(n_paper: usize) -> usize {
+    ((n_paper as f64 * scale()) as usize).max(1000)
+}
+
+/// A prepared experiment: engine + workload with the requested
+/// reverse-skyline sizes.
+pub struct ExperimentSetup {
+    /// Dataset label (e.g. `CarDB-50K`).
+    pub label: String,
+    /// The engine over the generated data.
+    pub engine: WhyNotEngine,
+    /// Queries with the requested reverse-skyline sizes.
+    pub workload: QueryWorkload,
+}
+
+impl ExperimentSetup {
+    /// Generates the dataset, builds the engine and probes for queries
+    /// whose `|RSL|` covers `targets`.
+    pub fn prepare(kind: DatasetKind, n_paper: usize, targets: &[usize], probes: usize) -> Self {
+        let n = scaled(n_paper);
+        let label = format!("{}-{}K", kind.name(), n_paper / 1000);
+        let points = make_dataset(kind, n, seed());
+        let engine = WhyNotEngine::new(points);
+        let mut rng = StdRng::seed_from_u64(seed() ^ 0x9E37_79B9);
+        let workload =
+            QueryWorkload::build(engine.tree(), engine.points(), targets, &mut rng, probes);
+        Self { label, engine, workload }
+    }
+}
+
+/// The output directory `target/experiments/` (created on demand).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Writes a CSV report and echoes its location.
+pub fn write_report(name: &str, header: &str, lines: &[String]) {
+    let path = out_dir().join(name);
+    let mut text = String::from(header);
+    text.push('\n');
+    for l in lines {
+        text.push_str(l);
+        text.push('\n');
+    }
+    std::fs::write(&path, text).expect("write report");
+    println!("  [saved {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_generate() {
+        for kind in [
+            DatasetKind::CarDb,
+            DatasetKind::Uniform,
+            DatasetKind::Correlated,
+            DatasetKind::Anticorrelated,
+        ] {
+            let pts = make_dataset(kind, 500, 1);
+            assert_eq!(pts.len(), 500, "{}", kind.name());
+            assert_eq!(pts[0].dim(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_datasets() {
+        let a = make_dataset(DatasetKind::CarDb, 100, 7);
+        let b = make_dataset(DatasetKind::CarDb, 100, 7);
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x.same_location(y)));
+    }
+
+    #[test]
+    fn setup_produces_workload() {
+        let setup = ExperimentSetup::prepare(DatasetKind::Uniform, 10_000, &[1, 2, 3], 2000);
+        assert!(!setup.workload.is_empty());
+        assert!(setup.label.starts_with("UN-"));
+    }
+}

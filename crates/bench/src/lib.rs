@@ -1,0 +1,32 @@
+//! # wnrs-bench
+//!
+//! Experiment harness regenerating every table and figure of the
+//! paper's evaluation (Section VI). One binary per exhibit:
+//!
+//! | binary   | reproduces                                          |
+//! |----------|-----------------------------------------------------|
+//! | `table3` | Table III — MWP/MQP/MWQ quality, CarDB 50/100/200K  |
+//! | `table4` | Table IV — quality on UN/CO/AC 100K & 200K          |
+//! | `table5` | Table V — adds Approx-MWQ (k=10/20), CarDB          |
+//! | `table6` | Table VI — adds Approx-MWQ (k=10), UN/CO/AC         |
+//! | `fig14`  | Fig. 14 — |RSL| vs safe-region area                 |
+//! | `fig15`  | Fig. 15 — execution time of MWP/MQP/SR/MWQ          |
+//! | `fig17`  | Fig. 17 — execution time with Approx-MWQ            |
+//! | `ablation` | k-sweep + page-size sweep (design-knob data)      |
+//! | `bichromatic` | naive vs parallel vs indexed bichromatic RSL   |
+//! | `dimensionality` | behaviour across d ∈ {2, 3, 4} (extension)  |
+//!
+//! Every binary prints the paper-style rows and writes CSV under
+//! `target/experiments/`. Scale with `WNRS_SCALE` (fraction of the
+//! paper's dataset sizes, default `0.1`) and `WNRS_SEED`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod quality;
+pub mod timing;
+
+pub use harness::{make_dataset, out_dir, scale, seed, write_report, DatasetKind, ExperimentSetup};
+pub use quality::{quality_rows, QualityRow};
+pub use timing::{timing_rows, TimingRow};

@@ -1,0 +1,99 @@
+//! Quality (solution-cost) measurement shared by Tables III–VI.
+
+use crate::harness::ExperimentSetup;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wnrs_core::eval::{score_all, score_mwq};
+use wnrs_core::safe_region::ApproxDslStore;
+use wnrs_data::select_why_not;
+
+/// One table row: the best-answer cost of each method for one query and
+/// its randomly selected why-not point.
+#[derive(Debug, Clone)]
+pub struct QualityRow {
+    /// `|RSL(q)|`.
+    pub rsl_size: usize,
+    /// Modify-why-not-point cost.
+    pub mwp: f64,
+    /// Modify-query-point cost (with lost-customer penalty).
+    pub mqp: f64,
+    /// Modify-both cost (Eqn 11).
+    pub mwq: f64,
+    /// Approx-MWQ cost, when a store was supplied.
+    pub approx_mwq: Option<f64>,
+}
+
+/// Runs the Section VI-A protocol over a prepared experiment: for every
+/// workload query, pick a why-not point (deterministically seeded),
+/// compute the safe region once, and score MWP, MQP and MWQ — plus
+/// Approx-MWQ when `approx_k` is given.
+pub fn quality_rows(setup: &ExperimentSetup, approx_k: Option<usize>, seed: u64) -> Vec<QualityRow> {
+    let engine = &setup.engine;
+    let store: Option<ApproxDslStore> = approx_k.map(|k| engine.build_approx_store(k));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for wq in &setup.workload.queries {
+        let Some(id) = select_why_not(engine.points(), &wq.rsl, &mut rng) else {
+            continue;
+        };
+        let sr = engine.safe_region_for(&wq.q, &wq.rsl);
+        let scores = score_all(engine, id, &wq.q, &wq.rsl, &sr);
+        let approx_mwq = store.as_ref().map(|s| {
+            let sr_a = engine.approx_safe_region_for(&wq.q, &wq.rsl, s);
+            score_mwq(engine, id, &wq.q, &sr_a)
+        });
+        rows.push(QualityRow {
+            rsl_size: wq.rsl_size(),
+            mwp: scores.mwp,
+            mqp: scores.mqp,
+            mwq: scores.mwq,
+            approx_mwq,
+        });
+    }
+    rows
+}
+
+/// Prints rows in the paper's table layout and returns the CSV lines.
+pub fn print_rows(label: &str, rows: &[QualityRow], with_approx: bool, k: usize) -> Vec<String> {
+    println!("\n== {label} ==");
+    if with_approx {
+        println!("{:<22} {:>12} {:>12} {:>12} {:>16}", "Query", "MWP", "MQP", "MWQ", format!("Approx-MWQ k={k}"));
+    } else {
+        println!("{:<22} {:>12} {:>12} {:>12}", "Query", "MWP", "MQP", "MWQ");
+    }
+    let mut lines = Vec::new();
+    for (i, r) in rows.iter().enumerate() {
+        let name = format!("q{}, |RSL(q{})| = {}", i + 1, i + 1, r.rsl_size);
+        match r.approx_mwq {
+            Some(a) if with_approx => {
+                println!("{:<22} {:>12.9} {:>12.9} {:>12.9} {:>16.9}", name, r.mwp, r.mqp, r.mwq, a);
+                lines.push(format!("{},{},{},{},{}", r.rsl_size, r.mwp, r.mqp, r.mwq, a));
+            }
+            _ => {
+                println!("{:<22} {:>12.9} {:>12.9} {:>12.9}", name, r.mwp, r.mqp, r.mwq);
+                lines.push(format!("{},{},{},{}", r.rsl_size, r.mwp, r.mqp, r.mwq));
+            }
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::DatasetKind;
+
+    #[test]
+    fn quality_protocol_runs_and_orders() {
+        let setup = ExperimentSetup::prepare(DatasetKind::Uniform, 10_000, &[1, 2, 3], 2000);
+        let rows = quality_rows(&setup, Some(5), 42);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.mwp >= 0.0 && r.mqp >= 0.0 && r.mwq >= 0.0);
+            // The paper's headline orderings.
+            assert!(r.mwq <= r.mwp + 1e-9, "MWQ {} > MWP {}", r.mwq, r.mwp);
+            let a = r.approx_mwq.expect("approx requested");
+            assert!(a <= r.mwp + 1e-9, "Approx-MWQ {} > MWP {}", a, r.mwp);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Wall-clock measurement shared by Figs. 15 and 17.
+
+use crate::harness::ExperimentSetup;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wnrs_core::safe_region::ApproxDslStore;
+use wnrs_data::select_why_not;
+
+/// Per-query execution times (milliseconds).
+#[derive(Debug, Clone)]
+pub struct TimingRow {
+    /// `|RSL(q)|`.
+    pub rsl_size: usize,
+    /// Algorithm 1 time.
+    pub mwp_ms: f64,
+    /// Algorithm 2 time.
+    pub mqp_ms: f64,
+    /// Exact safe-region construction time (`None` when skipped).
+    pub sr_ms: Option<f64>,
+    /// Full MWQ time — includes the safe-region construction it depends
+    /// on, as in the paper's Fig. 15.
+    pub mwq_ms: Option<f64>,
+    /// Approx-MWQ time (approximate safe region from the precomputed
+    /// store + Algorithm 4); store construction is offline and excluded,
+    /// as in Fig. 17.
+    pub approx_mwq_ms: Option<f64>,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Measures MWP / MQP / safe region / MWQ (and optionally Approx-MWQ)
+/// per workload query. `with_exact_mwq` can be disabled to reproduce
+/// Fig. 17, which drops the expensive exact variant.
+pub fn timing_rows(
+    setup: &ExperimentSetup,
+    store: Option<&ApproxDslStore>,
+    with_exact_mwq: bool,
+    seed: u64,
+) -> Vec<TimingRow> {
+    let engine = &setup.engine;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for wq in &setup.workload.queries {
+        let Some(id) = select_why_not(engine.points(), &wq.rsl, &mut rng) else {
+            continue;
+        };
+
+        let t = Instant::now();
+        let _ = engine.mwp(id, &wq.q);
+        let mwp_ms = ms(t);
+
+        let t = Instant::now();
+        let _ = engine.mqp(id, &wq.q);
+        let mqp_ms = ms(t);
+
+        let (sr_ms, mwq_ms) = if with_exact_mwq {
+            let t = Instant::now();
+            let sr = engine.safe_region_for(&wq.q, &wq.rsl);
+            let sr_ms = ms(t);
+            let t = Instant::now();
+            let _ = engine.mwq(id, &wq.q, &sr);
+            (Some(sr_ms), Some(sr_ms + ms(t)))
+        } else {
+            (None, None)
+        };
+
+        let approx_mwq_ms = store.map(|s| {
+            let t = Instant::now();
+            let sr = engine.approx_safe_region_for(&wq.q, &wq.rsl, s);
+            let _ = engine.mwq(id, &wq.q, &sr);
+            ms(t)
+        });
+
+        rows.push(TimingRow { rsl_size: wq.rsl_size(), mwp_ms, mqp_ms, sr_ms, mwq_ms, approx_mwq_ms });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::DatasetKind;
+
+    #[test]
+    fn timing_protocol_runs() {
+        let setup = ExperimentSetup::prepare(DatasetKind::Uniform, 10_000, &[1, 2], 2000);
+        let store = setup.engine.build_approx_store(5);
+        let rows = timing_rows(&setup, Some(&store), true, 9);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.mwp_ms >= 0.0 && r.mqp_ms >= 0.0);
+            let sr = r.sr_ms.expect("exact requested");
+            let mwq = r.mwq_ms.expect("exact requested");
+            assert!(mwq >= sr, "MWQ time includes SR time");
+            assert!(r.approx_mwq_ms.expect("store given") >= 0.0);
+        }
+    }
+}

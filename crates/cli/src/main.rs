@@ -1,0 +1,293 @@
+//! `wnrs` — command-line front-end for why-not reverse skyline queries.
+//!
+//! ```text
+//! wnrs generate --kind cardb|un|co|ac --n 10000 [--seed 42] --out data.csv
+//! wnrs rsl      --data data.csv --query 8500,55000
+//! wnrs explain  --data data.csv --query 8500,55000 --whynot 17
+//! wnrs mwp      --data data.csv --query 8500,55000 --whynot 17
+//! wnrs mqp      --data data.csv --query 8500,55000 --whynot 17
+//! wnrs mwq      --data data.csv --query 8500,55000 --whynot 17 [--approx-k 10]
+//! wnrs safe-region --data data.csv --query 8500,55000
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+use wnrs_core::WhyNotEngine;
+use wnrs_geometry::Point;
+use wnrs_rtree::ItemId;
+use wnrs_storage::Pager as _;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  wnrs generate --kind cardb|un|co|ac --n <count> [--seed <u64>] --out <file.csv>
+  wnrs index --data <file.csv> --out <file.idx>      (persist the R*-tree, 1536-byte pages)
+  wnrs stats --data <file.csv> | --index <file.idx>
+  wnrs rsl --data <file.csv> --query <x,y,...>
+  wnrs explain|mwp|mqp --data <file.csv> --query <x,y,...> --whynot <index>
+  wnrs mwq --data <file.csv> --query <x,y,...> --whynot <index> [--approx-k <k>]
+  wnrs safe-region --data <file.csv> --query <x,y,...>
+
+every command that accepts --data also accepts --index to load a
+persisted tree instead of rebuilding it.";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let opts = parse_opts(rest)?;
+    match cmd.as_str() {
+        "generate" => generate(&opts),
+        "index" => index(&opts),
+        "stats" => stats(&opts),
+        "rsl" => rsl(&opts),
+        "explain" => explain(&opts),
+        "mwp" => mwp(&opts),
+        "mqp" => mqp(&opts),
+        "mwq" => mwq(&opts),
+        "safe-region" => safe_region(&opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{flag}`"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        opts.insert(key.to_string(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn require<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn parse_point(s: &str) -> Result<Point, String> {
+    let coords: Result<Vec<f64>, _> = s.split(',').map(|f| f.trim().parse::<f64>()).collect();
+    let coords = coords.map_err(|e| format!("bad --query: {e}"))?;
+    if coords.is_empty() {
+        return Err("empty --query".into());
+    }
+    Ok(Point::new(coords))
+}
+
+fn load_engine(opts: &HashMap<String, String>) -> Result<WhyNotEngine, String> {
+    if let Some(path) = opts.get("index") {
+        let tree = load_index(path)?;
+        return Ok(WhyNotEngine::from_tree(tree));
+    }
+    let path = require(opts, "data")?;
+    let points =
+        wnrs_data::csv::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    if points.is_empty() {
+        return Err(format!("{path} holds no points"));
+    }
+    Ok(WhyNotEngine::new(points))
+}
+
+fn load_index(path: &str) -> Result<wnrs_rtree::RTree, String> {
+    let pager = wnrs_storage::FilePager::open(Path::new(path))
+        .map_err(|e| format!("opening {path}: {e}"))?;
+    wnrs_rtree::persist::load(&pager, wnrs_storage::PageId(0))
+        .map_err(|e| format!("loading index {path}: {e}"))
+}
+
+fn index(opts: &HashMap<String, String>) -> Result<(), String> {
+    let engine = load_engine(opts)?;
+    let out = require(opts, "out")?;
+    let pager = wnrs_storage::FilePager::create(Path::new(out), wnrs_storage::PAPER_PAGE_SIZE)
+        .map_err(|e| format!("creating {out}: {e}"))?;
+    let meta = wnrs_rtree::persist::save(engine.tree(), &pager)
+        .map_err(|e| format!("saving index: {e}"))?;
+    if meta != wnrs_storage::PageId(0) {
+        return Err("internal error: meta page must be page 0".into());
+    }
+    println!(
+        "indexed {} points into {out}: {} pages of {} bytes",
+        engine.len(),
+        pager.page_count(),
+        pager.page_size()
+    );
+    Ok(())
+}
+
+fn stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let engine = load_engine(opts)?;
+    let tree = engine.tree();
+    let bounds = wnrs_geometry::Rect::bounding(engine.points());
+    println!("points:      {}", engine.len());
+    println!("dimensions:  {}", engine.dim());
+    println!("bounds:      {} -> {}", bounds.lo(), bounds.hi());
+    println!("tree height: {}", tree.height());
+    println!("tree nodes:  {}", tree.node_count());
+    println!(
+        "node fanout: {} max / {} min (1536-byte page geometry)",
+        tree.config().max_entries,
+        tree.config().min_entries
+    );
+    Ok(())
+}
+
+fn whynot_id(opts: &HashMap<String, String>, engine: &WhyNotEngine) -> Result<ItemId, String> {
+    let idx: usize = require(opts, "whynot")?
+        .parse()
+        .map_err(|e| format!("bad --whynot: {e}"))?;
+    if idx >= engine.len() {
+        return Err(format!("--whynot {idx} out of range (dataset has {} points)", engine.len()));
+    }
+    Ok(ItemId(idx as u32))
+}
+
+fn generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let kind = require(opts, "kind")?;
+    let n: usize = require(opts, "n")?.parse().map_err(|e| format!("bad --n: {e}"))?;
+    let seed: u64 = opts.get("seed").map(|s| s.parse()).transpose().map_err(|e| format!("bad --seed: {e}"))?.unwrap_or(42);
+    let out = require(opts, "out")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = match kind {
+        "cardb" => wnrs_data::cardb(&mut rng, n),
+        "un" => wnrs_data::uniform(&mut rng, n, 2),
+        "co" => wnrs_data::correlated(&mut rng, n, 2),
+        "ac" => wnrs_data::anticorrelated(&mut rng, n, 2),
+        other => return Err(format!("unknown --kind `{other}` (cardb|un|co|ac)")),
+    };
+    wnrs_data::csv::save(&points, Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {n} {kind} points to {out}");
+    Ok(())
+}
+
+fn rsl(opts: &HashMap<String, String>) -> Result<(), String> {
+    let engine = load_engine(opts)?;
+    let q = parse_point(require(opts, "query")?)?;
+    let rsl = engine.reverse_skyline(&q);
+    println!("RSL({q}) has {} members:", rsl.len());
+    for (id, p) in &rsl {
+        println!("  #{:<6} {p}", id.0);
+    }
+    Ok(())
+}
+
+fn explain(opts: &HashMap<String, String>) -> Result<(), String> {
+    let engine = load_engine(opts)?;
+    let q = parse_point(require(opts, "query")?)?;
+    let id = whynot_id(opts, &engine)?;
+    let ex = engine.explain(id, &q);
+    if ex.is_member() {
+        println!("customer #{} is already in RSL({q})", id.0);
+    } else {
+        println!(
+            "customer #{} at {} is not in RSL({q}); it prefers {} product(s):",
+            id.0,
+            engine.point(id),
+            ex.culprits.len()
+        );
+        for (pid, p) in &ex.culprits {
+            println!("  #{:<6} {p}", pid.0);
+        }
+    }
+    Ok(())
+}
+
+fn mwp(opts: &HashMap<String, String>) -> Result<(), String> {
+    let engine = load_engine(opts)?;
+    let q = parse_point(require(opts, "query")?)?;
+    let id = whynot_id(opts, &engine)?;
+    let ans = engine.mwp(id, &q);
+    println!("MWP: move customer #{} from {} to one of:", id.0, engine.point(id));
+    for c in &ans.candidates {
+        println!("  {:<28} cost {:.9}{}", c.point.to_string(), c.cost, verified_tag(c.verified));
+    }
+    Ok(())
+}
+
+fn mqp(opts: &HashMap<String, String>) -> Result<(), String> {
+    let engine = load_engine(opts)?;
+    let q = parse_point(require(opts, "query")?)?;
+    let id = whynot_id(opts, &engine)?;
+    let ans = engine.mqp(id, &q);
+    println!("MQP: move the query point {q} to one of:");
+    for c in &ans.candidates {
+        println!("  {:<28} cost {:.9}{}", c.point.to_string(), c.cost, verified_tag(c.verified));
+    }
+    println!("(note: MQP may lose existing reverse-skyline customers; use mwq to keep them)");
+    Ok(())
+}
+
+fn mwq(opts: &HashMap<String, String>) -> Result<(), String> {
+    let engine = load_engine(opts)?;
+    let q = parse_point(require(opts, "query")?)?;
+    let id = whynot_id(opts, &engine)?;
+    let rsl = engine.reverse_skyline(&q);
+    let sr = match opts.get("approx-k") {
+        Some(k) => {
+            let k: usize = k.parse().map_err(|e| format!("bad --approx-k: {e}"))?;
+            let store = engine.build_approx_store(k);
+            engine.approx_safe_region_for(&q, &rsl, &store)
+        }
+        None => engine.safe_region_for(&q, &rsl),
+    };
+    let ans = engine.mwq(id, &q, &sr);
+    println!("MWQ for customer #{} ({} existing members kept):", id.0, rsl.len());
+    match ans.case {
+        wnrs_core::MwqCase::Overlap => {
+            println!("  case C1: move the query point to {} (cost 0)", ans.q_star);
+        }
+        wnrs_core::MwqCase::Disjoint => {
+            let c = ans.c_star.expect("case C2 repairs the customer");
+            println!("  case C2: move the query point to {}", ans.q_star);
+            println!(
+                "           and the customer to {} (cost {:.9}{})",
+                c.point,
+                c.cost,
+                verified_tag(c.verified)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn safe_region(opts: &HashMap<String, String>) -> Result<(), String> {
+    let engine = load_engine(opts)?;
+    let q = parse_point(require(opts, "query")?)?;
+    let rsl = engine.reverse_skyline(&q);
+    let sr = engine.safe_region_for(&q, &rsl);
+    println!(
+        "SR({q}) over {} reverse-skyline member(s): {} rectangle(s), area {:.6}",
+        rsl.len(),
+        sr.len(),
+        sr.area()
+    );
+    for b in sr.boxes() {
+        println!("  {} -> {}", b.lo(), b.hi());
+    }
+    Ok(())
+}
+
+fn verified_tag(v: bool) -> &'static str {
+    if v {
+        ""
+    } else {
+        "  [unverified]"
+    }
+}

@@ -1,0 +1,58 @@
+//! Shared candidate-answer types.
+
+use wnrs_geometry::Point;
+
+/// One candidate modification, with its cost under the engine's cost
+/// model and whether it passed limit-point verification (see
+/// [`crate::verify`]).
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The proposed new location of the modified point.
+    pub point: Point,
+    /// Weighted (normalised) L1 cost of the modification.
+    pub cost: f64,
+    /// Whether an ε-nudged copy of the candidate was confirmed to satisfy
+    /// the post-condition against the product index.
+    pub verified: bool,
+}
+
+/// Sorts candidates by ascending cost (verified first on ties) and drops
+/// exact-location duplicates.
+pub(crate) fn finish_candidates(mut cands: Vec<Candidate>) -> Vec<Candidate> {
+    cands.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .expect("finite costs")
+            .then_with(|| b.verified.cmp(&a.verified))
+    });
+    let mut out: Vec<Candidate> = Vec::with_capacity(cands.len());
+    for c in cands {
+        if !out.iter().any(|o| o.point.same_location(&c.point)) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_sorts_and_dedupes() {
+        let cands = vec![
+            Candidate { point: Point::xy(1.0, 1.0), cost: 2.0, verified: true },
+            Candidate { point: Point::xy(0.0, 0.0), cost: 1.0, verified: true },
+            Candidate { point: Point::xy(1.0, 1.0), cost: 2.0, verified: false },
+            Candidate { point: Point::xy(2.0, 2.0), cost: 1.0, verified: false },
+        ];
+        let out = finish_candidates(cands);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].point.same_location(&Point::xy(0.0, 0.0)));
+        // Tie at cost 1.0: verified candidate first.
+        assert!(out[0].verified);
+        assert!(out[1].point.same_location(&Point::xy(2.0, 2.0)));
+        assert!(out[2].point.same_location(&Point::xy(1.0, 1.0)));
+        assert!(out[2].verified, "verified duplicate kept over unverified");
+    }
+}

@@ -1,0 +1,227 @@
+//! Persistence for the approximate-DSL store.
+//!
+//! Section VI-B.1: "we pre-compute an approximated DSL for each
+//! data-point in C and *store it (off-line)*". This module writes the
+//! store through the paged-storage substrate so a deployment computes it
+//! once and reloads it at startup.
+//!
+//! Layout: a contiguous byte stream chunked into pages —
+//! `magic, k, n, d`, then per item `count` followed by `count · d`
+//! coordinates.
+
+use crate::safe_region::ApproxDslStore;
+use wnrs_geometry::Point;
+use wnrs_storage::{Page, PageId, Pager};
+
+const MAGIC: u64 = 0x574E_5253_4453_4C31; // "WNRSDSL1"
+
+/// Store persistence failure.
+#[derive(Debug)]
+pub enum StorePersistError {
+    /// The page store failed.
+    Pager(wnrs_storage::pager::PagerError),
+    /// The stream was malformed.
+    Format(String),
+}
+
+impl std::fmt::Display for StorePersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorePersistError::Pager(e) => write!(f, "pager error: {e}"),
+            StorePersistError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorePersistError {}
+
+impl From<wnrs_storage::pager::PagerError> for StorePersistError {
+    fn from(e: wnrs_storage::pager::PagerError) -> Self {
+        StorePersistError::Pager(e)
+    }
+}
+
+/// Writes the store to `pager` as a chunked byte stream, returning the
+/// first page id (pages are contiguous from there).
+pub fn save_store<P: Pager>(store: &ApproxDslStore, pager: &P) -> Result<PageId, StorePersistError> {
+    let dim = store
+        .samples_iter()
+        .flat_map(|s| s.first())
+        .map(|p| p.dim())
+        .next()
+        .unwrap_or(0);
+    let mut bytes: Vec<u8> = Vec::new();
+    bytes.extend_from_slice(&MAGIC.to_le_bytes());
+    bytes.extend_from_slice(&(store.k() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(store.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(dim as u64).to_le_bytes());
+    for sample in store.samples_iter() {
+        bytes.extend_from_slice(&(sample.len() as u32).to_le_bytes());
+        for p in sample {
+            if dim != 0 && p.dim() != dim {
+                return Err(StorePersistError::Format("mixed sample dimensionality".into()));
+            }
+            for i in 0..p.dim() {
+                bytes.extend_from_slice(&p[i].to_le_bytes());
+            }
+        }
+    }
+    // Chunk into pages.
+    let page_size = pager.page_size();
+    let first = pager.allocate();
+    let mut id = first;
+    for (n, chunk) in bytes.chunks(page_size).enumerate() {
+        if n > 0 {
+            id = pager.allocate();
+        }
+        let mut page = Page::zeroed(page_size);
+        page.bytes_mut()[..chunk.len()].copy_from_slice(chunk);
+        pager.write_page(id, &page)?;
+    }
+    Ok(first)
+}
+
+/// Reads a store previously written by [`save_store`]. `first` is the
+/// returned first page id; pages are read contiguously as needed.
+pub fn load_store<P: Pager>(pager: &P, first: PageId) -> Result<ApproxDslStore, StorePersistError> {
+    let mut reader = PageStream { pager, next: first, buf: Vec::new(), pos: 0 };
+    let magic = reader.u64()?;
+    if magic != MAGIC {
+        return Err(StorePersistError::Format("bad magic".into()));
+    }
+    let k = reader.u64()? as usize;
+    let n = reader.u64()? as usize;
+    let dim = reader.u64()? as usize;
+    if k == 0 {
+        return Err(StorePersistError::Format("zero k".into()));
+    }
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let count = reader.u32()? as usize;
+        if count > 0 && dim == 0 {
+            return Err(StorePersistError::Format("samples with zero dimensionality".into()));
+        }
+        let mut sample = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut coords = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                let v = reader.f64()?;
+                if !v.is_finite() {
+                    return Err(StorePersistError::Format("non-finite coordinate".into()));
+                }
+                coords.push(v);
+            }
+            sample.push(Point::new(coords));
+        }
+        samples.push(sample);
+    }
+    Ok(ApproxDslStore::from_parts(k, samples))
+}
+
+/// Sequential reader over contiguous pages.
+struct PageStream<'a, P: Pager> {
+    pager: &'a P,
+    next: PageId,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl<'a, P: Pager> PageStream<'a, P> {
+    fn take(&mut self, n: usize) -> Result<Vec<u8>, StorePersistError> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            if self.pos >= self.buf.len() {
+                let page = self.pager.read_page(self.next)?;
+                self.buf = page.bytes().to_vec();
+                self.pos = 0;
+                self.next = PageId(self.next.0 + 1);
+            }
+            let want = n - out.len();
+            let have = self.buf.len() - self.pos;
+            let take = want.min(have);
+            out.extend_from_slice(&self.buf[self.pos..self.pos + take]);
+            self.pos += take;
+        }
+        Ok(out)
+    }
+
+    fn u64(&mut self) -> Result<u64, StorePersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, StorePersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, StorePersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WhyNotEngine;
+    use wnrs_geometry::Rect;
+    use wnrs_rtree::{ItemId, RTreeConfig};
+    use wnrs_storage::MemPager;
+
+    fn engine() -> WhyNotEngine {
+        WhyNotEngine::with_config(
+            vec![
+                Point::xy(5.0, 30.0),
+                Point::xy(7.5, 42.0),
+                Point::xy(2.5, 70.0),
+                Point::xy(7.5, 90.0),
+                Point::xy(24.0, 20.0),
+                Point::xy(20.0, 50.0),
+                Point::xy(26.0, 70.0),
+                Point::xy(16.0, 80.0),
+            ],
+            RTreeConfig::with_max_entries(4),
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_samples_and_regions() {
+        let e = engine();
+        let store = e.build_approx_store(3);
+        let pager = MemPager::paper_default();
+        let first = save_store(&store, &pager).expect("save");
+        let loaded = load_store(&pager, first).expect("load");
+        assert_eq!(loaded.k(), store.k());
+        assert_eq!(loaded.len(), store.len());
+        let universe = Rect::new(Point::xy(0.0, 0.0), Point::xy(30.0, 120.0));
+        for i in 0..store.len() as u32 {
+            let a = store.sample(ItemId(i));
+            let b = loaded.sample(ItemId(i));
+            assert_eq!(a.len(), b.len(), "item {i}");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!(x.same_location(y));
+            }
+            let c = e.point(ItemId(i));
+            let ra = store.anti_ddr(ItemId(i), c, &universe);
+            let rb = loaded.anti_ddr(ItemId(i), c, &universe);
+            assert!((ra.area() - rb.area()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multi_page_stream() {
+        // Force the stream across many small pages.
+        let e = engine();
+        let store = e.build_approx_store(5);
+        let pager = MemPager::new(32);
+        let first = save_store(&store, &pager).expect("save");
+        assert!(pager.page_count() > 3, "stream should span pages");
+        let loaded = load_store(&pager, first).expect("load");
+        assert_eq!(loaded.len(), store.len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let pager = MemPager::paper_default();
+        let id = pager.allocate();
+        assert!(matches!(load_store(&pager, id), Err(StorePersistError::Format(_))));
+    }
+}

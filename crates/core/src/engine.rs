@@ -1,0 +1,359 @@
+//! The [`WhyNotEngine`] façade: dataset + index + cost model + all four
+//! why-not answering techniques behind one API.
+
+use crate::answer::Candidate;
+use crate::explain::{explain, Explanation};
+use crate::mqp::{modify_query_point, MqpAnswer};
+use crate::mwp::{modify_why_not_point, MwpAnswer};
+use crate::mwq::{modify_both, MwqAnswer};
+use crate::safe_region::{approx_safe_region, exact_safe_region, ApproxDslStore};
+use wnrs_geometry::{CostModel, Point, Rect, Region};
+use wnrs_reverse_skyline::{bbrs_reverse_skyline, is_reverse_skyline_member};
+use wnrs_rtree::bulk::bulk_load;
+use wnrs_rtree::{ItemId, RTree, RTreeConfig};
+
+/// Default verification nudge (see [`crate::verify`]).
+pub const DEFAULT_EPS: f64 = 1e-9;
+
+/// A complete why-not reverse-skyline query engine over a monochromatic
+/// dataset (every point serves as product and customer, as in the
+/// paper's experiments). Bichromatic use is available through the
+/// `*_external` methods, which take customers outside the dataset.
+///
+/// # Examples
+///
+/// ```
+/// use wnrs_core::WhyNotEngine;
+/// use wnrs_geometry::Point;
+/// use wnrs_rtree::ItemId;
+///
+/// // The paper's running example (Fig. 1).
+/// let engine = WhyNotEngine::new(vec![
+///     Point::xy(5.0, 30.0),  Point::xy(7.5, 42.0), Point::xy(2.5, 70.0),
+///     Point::xy(7.5, 90.0),  Point::xy(24.0, 20.0), Point::xy(20.0, 50.0),
+///     Point::xy(26.0, 70.0), Point::xy(16.0, 80.0),
+/// ]);
+/// let q = Point::xy(8.5, 55.0);
+/// let rsl = engine.reverse_skyline(&q);
+/// assert_eq!(rsl.len(), 5);
+/// // Why is customer pt1 missing? It prefers p2.
+/// let why = engine.explain(ItemId(0), &q);
+/// assert_eq!(why.culprits.len(), 1);
+/// // Fix it by modifying the customer minimally.
+/// let mwp = engine.mwp(ItemId(0), &q);
+/// assert!(mwp.best_cost() > 0.0);
+/// ```
+pub struct WhyNotEngine {
+    points: Vec<Point>,
+    tree: RTree,
+    universe: Rect,
+    cost: CostModel,
+    eps: f64,
+}
+
+impl WhyNotEngine {
+    /// Builds an engine with the paper's defaults: R\*-tree with
+    /// 1536-byte page geometry (bulk-loaded), min–max-normalised equal
+    /// weights, verification nudge [`DEFAULT_EPS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or of mixed dimensionality.
+    pub fn new(points: Vec<Point>) -> Self {
+        assert!(!points.is_empty(), "engine needs at least one data point");
+        let dim = points[0].dim();
+        Self::with_config(points, RTreeConfig::paper_default(dim))
+    }
+
+    /// As [`WhyNotEngine::new`] with an explicit index configuration.
+    pub fn with_config(points: Vec<Point>, config: RTreeConfig) -> Self {
+        assert!(!points.is_empty(), "engine needs at least one data point");
+        let tree = bulk_load(&points, config);
+        let universe = Rect::bounding(&points);
+        let cost = CostModel::paper_default(&points);
+        Self { points, tree, universe, cost, eps: DEFAULT_EPS }
+    }
+
+    /// Builds an engine around an existing tree (e.g. one reloaded from
+    /// disk via [`wnrs_rtree::persist::load`]). Item ids must be dense
+    /// `0..len`, as produced by the bulk loader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is empty or its item ids are not dense.
+    pub fn from_tree(tree: RTree) -> Self {
+        let mut items = tree.items();
+        assert!(!items.is_empty(), "engine needs at least one data point");
+        items.sort_by_key(|(id, _)| *id);
+        assert!(
+            items.iter().enumerate().all(|(i, (id, _))| id.0 as usize == i),
+            "engine requires dense item ids"
+        );
+        let points: Vec<Point> = items.into_iter().map(|(_, p)| p).collect();
+        let universe = Rect::bounding(&points);
+        let cost = CostModel::paper_default(&points);
+        Self { points, tree, universe, cost, eps: DEFAULT_EPS }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        assert_eq!(cost.dim(), self.dim(), "cost model dimensionality mismatch");
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the verification nudge.
+    pub fn with_eps(mut self, eps: f64) -> Self {
+        assert!(eps >= 0.0, "eps must be non-negative");
+        self.eps = eps;
+        self
+    }
+
+    /// Dimensionality of the data.
+    pub fn dim(&self) -> usize {
+        self.points[0].dim()
+    }
+
+    /// The dataset.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of data points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the dataset is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The underlying R\*-tree.
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// The data universe (bounding box), expanded to cover `q` when a
+    /// query falls outside it.
+    pub fn universe_for(&self, q: &Point) -> Rect {
+        self.universe.union_mbr(&Rect::degenerate(q.clone()))
+    }
+
+    /// The engine's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The point of a dataset customer.
+    pub fn point(&self, id: ItemId) -> &Point {
+        &self.points[id.0 as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// The reverse skyline of `q` (BBRS), sorted by item id.
+    pub fn reverse_skyline(&self, q: &Point) -> Vec<(ItemId, Point)> {
+        bbrs_reverse_skyline(&self.tree, q)
+    }
+
+    /// Whether dataset customer `id` is in `RSL(q)`.
+    pub fn is_member(&self, id: ItemId, q: &Point) -> bool {
+        is_reverse_skyline_member(&self.tree, self.point(id), q, Some(id))
+    }
+
+    /// Aspect 1: why is customer `id` missing from `RSL(q)`?
+    pub fn explain(&self, id: ItemId, q: &Point) -> Explanation {
+        explain(&self.tree, self.point(id), q, Some(id))
+    }
+
+    /// Algorithm 1 (MWP) for dataset customer `id`.
+    pub fn mwp(&self, id: ItemId, q: &Point) -> MwpAnswer {
+        modify_why_not_point(&self.tree, self.point(id), q, Some(id), &self.cost, self.eps)
+    }
+
+    /// Algorithm 1 (MWP) for an external (bichromatic) customer.
+    pub fn mwp_external(&self, c_t: &Point, q: &Point) -> MwpAnswer {
+        modify_why_not_point(&self.tree, c_t, q, None, &self.cost, self.eps)
+    }
+
+    /// Algorithm 2 (MQP) for dataset customer `id`.
+    pub fn mqp(&self, id: ItemId, q: &Point) -> MqpAnswer {
+        modify_query_point(&self.tree, self.point(id), q, Some(id), &self.cost, self.eps)
+    }
+
+    /// Algorithm 2 (MQP) for an external customer.
+    pub fn mqp_external(&self, c_t: &Point, q: &Point) -> MqpAnswer {
+        modify_query_point(&self.tree, c_t, q, None, &self.cost, self.eps)
+    }
+
+    /// Algorithm 3: the exact safe region of `q`. Computes `RSL(q)`
+    /// first; reuse [`WhyNotEngine::safe_region_for`] when the reverse
+    /// skyline is already at hand (the paper stresses that one safe
+    /// region serves many why-not questions).
+    pub fn safe_region(&self, q: &Point) -> Region {
+        let rsl = self.reverse_skyline(q);
+        self.safe_region_for(q, &rsl)
+    }
+
+    /// Algorithm 3 against a precomputed reverse skyline.
+    pub fn safe_region_for(&self, q: &Point, rsl: &[(ItemId, Point)]) -> Region {
+        exact_safe_region(&self.tree, rsl, &self.universe_for(q), true)
+    }
+
+    /// Builds the offline approximate-DSL store (Section VI-B.1).
+    pub fn build_approx_store(&self, k: usize) -> ApproxDslStore {
+        ApproxDslStore::build(&self.tree, k)
+    }
+
+    /// The approximate safe region from a precomputed store.
+    pub fn approx_safe_region_for(
+        &self,
+        q: &Point,
+        rsl: &[(ItemId, Point)],
+        store: &ApproxDslStore,
+    ) -> Region {
+        approx_safe_region(store, rsl, &self.universe_for(q))
+    }
+
+    /// Algorithm 4 (MWQ) for dataset customer `id`, against a
+    /// precomputed safe region (exact or approximate).
+    pub fn mwq(&self, id: ItemId, q: &Point, sr: &Region) -> MwqAnswer {
+        modify_both(
+            &self.tree,
+            sr,
+            self.point(id),
+            q,
+            Some(id),
+            &self.cost,
+            &self.universe_for(q),
+            self.eps,
+        )
+    }
+
+    /// Algorithm 4 (MWQ) for an external customer.
+    pub fn mwq_external(&self, c_t: &Point, q: &Point, sr: &Region) -> MwqAnswer {
+        modify_both(&self.tree, sr, c_t, q, None, &self.cost, &self.universe_for(q), self.eps)
+    }
+
+    /// End-to-end convenience: compute the safe region and run MWQ.
+    pub fn mwq_full(&self, id: ItemId, q: &Point) -> (Region, MwqAnswer) {
+        let sr = self.safe_region(q);
+        let ans = self.mwq(id, q, &sr);
+        (sr, ans)
+    }
+
+    /// The cheapest MWP candidate for `id` (helper for evaluations).
+    pub fn mwp_best(&self, id: ItemId, q: &Point) -> Candidate {
+        self.mwp(id, q).best().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> WhyNotEngine {
+        WhyNotEngine::with_config(
+            vec![
+                Point::xy(5.0, 30.0),
+                Point::xy(7.5, 42.0),
+                Point::xy(2.5, 70.0),
+                Point::xy(7.5, 90.0),
+                Point::xy(24.0, 20.0),
+                Point::xy(20.0, 50.0),
+                Point::xy(26.0, 70.0),
+                Point::xy(16.0, 80.0),
+            ],
+            RTreeConfig::with_max_entries(4),
+        )
+    }
+
+    #[test]
+    fn end_to_end_paper_flow() {
+        let e = engine();
+        let q = Point::xy(8.5, 55.0);
+        let rsl = e.reverse_skyline(&q);
+        assert_eq!(rsl.len(), 5);
+        assert!(!e.is_member(ItemId(0), &q));
+        assert!(e.is_member(ItemId(1), &q));
+
+        let (sr, ans) = e.mwq_full(ItemId(0), &q);
+        assert!(sr.contains(&q));
+        assert!(ans.cost > 0.0, "c1 is case C2");
+
+        let c7 = e.mwq(ItemId(6), &q, &sr);
+        assert_eq!(c7.cost, 0.0, "c7 is case C1");
+    }
+
+    #[test]
+    fn costs_are_normalised() {
+        // With min–max normalisation, all costs land in a comparable
+        // [0, 1]-ish range regardless of raw units.
+        let e = engine();
+        let q = Point::xy(8.5, 55.0);
+        let mwp = e.mwp(ItemId(0), &q);
+        assert!(mwp.best_cost() > 0.0 && mwp.best_cost() < 1.0);
+    }
+
+    #[test]
+    fn approx_store_round_trip() {
+        let e = engine();
+        let q = Point::xy(8.5, 55.0);
+        let rsl = e.reverse_skyline(&q);
+        let store = e.build_approx_store(2);
+        let sr_exact = e.safe_region_for(&q, &rsl);
+        let sr_approx = e.approx_safe_region_for(&q, &rsl, &store);
+        assert!(sr_approx.area() <= sr_exact.area() + 1e-9);
+        // MWQ against the approximate region still answers, and both
+        // variants respect the MWQ ≤ MWP guarantee (q stays a candidate).
+        let ans = e.mwq(ItemId(0), &q, &sr_approx);
+        let exact_ans = e.mwq(ItemId(0), &q, &sr_exact);
+        let mwp = e.mwp(ItemId(0), &q).best_cost();
+        assert!(ans.cost >= 0.0 && ans.cost <= mwp + 1e-9);
+        assert!(exact_ans.cost >= 0.0 && exact_ans.cost <= mwp + 1e-9);
+    }
+
+    #[test]
+    fn external_customer_flow() {
+        let e = engine();
+        let q = Point::xy(8.5, 55.0);
+        let c_ext = Point::xy(4.0, 28.0);
+        let mwp = e.mwp_external(&c_ext, &q);
+        assert!(mwp.best_cost() > 0.0);
+        let mqp = e.mqp_external(&c_ext, &q);
+        assert!(mqp.best_cost() > 0.0);
+    }
+
+    #[test]
+    fn from_tree_matches_fresh_engine() {
+        let pts = vec![
+            Point::xy(5.0, 30.0),
+            Point::xy(7.5, 42.0),
+            Point::xy(2.5, 70.0),
+            Point::xy(7.5, 90.0),
+        ];
+        let fresh = WhyNotEngine::with_config(pts.clone(), RTreeConfig::with_max_entries(4));
+        let tree = wnrs_rtree::bulk::bulk_load(&pts, RTreeConfig::with_max_entries(4));
+        let rebuilt = WhyNotEngine::from_tree(tree);
+        let q = Point::xy(6.0, 50.0);
+        let a: Vec<u32> = fresh.reverse_skyline(&q).iter().map(|(id, _)| id.0).collect();
+        let b: Vec<u32> = rebuilt.reverse_skyline(&q).iter().map(|(id, _)| id.0).collect();
+        assert_eq!(a, b);
+        assert_eq!(fresh.len(), rebuilt.len());
+        for i in 0..pts.len() as u32 {
+            assert!(fresh.point(ItemId(i)).same_location(rebuilt.point(ItemId(i))));
+        }
+    }
+
+    #[test]
+    fn query_outside_universe_is_handled() {
+        let e = engine();
+        let q = Point::xy(100.0, 200.0); // far outside the data
+        let rsl = e.reverse_skyline(&q);
+        let sr = e.safe_region_for(&q, &rsl);
+        assert!(sr.contains(&q), "q is always inside its own safe region");
+    }
+}

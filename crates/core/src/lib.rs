@@ -1,0 +1,55 @@
+//! # wnrs-core
+//!
+//! The paper's contribution: answering **why-not questions on reverse
+//! skyline queries** (Islam, Zhou, Liu — ICDE 2013).
+//!
+//! Given products `P`, a query product `q` and a why-not customer `c_t ∉
+//! RSL(q)`, the library answers three ways:
+//!
+//! * [`explain`] — *why* is `c_t` missing: the culprit products
+//!   `Λ = window_query(c_t, q)` the customer prefers over `q`;
+//! * [`mwp`] — **Algorithm 1**: minimally modify the why-not point,
+//!   `c_t → c_t*`, so `q ∈ DSL(c_t*)`;
+//! * [`mqp`] — **Algorithm 2**: minimally modify the query point,
+//!   `q → q*`, so `q* ∈ DSL(c_t)` (ignoring existing customers);
+//! * [`safe_region`] — **Algorithm 3**: the region `SR(q) = ∩ anti-DDR(c_l)`
+//!   where `q` may move without losing any existing reverse-skyline
+//!   point, exact and approximated (precomputed k-sampled DSLs);
+//! * [`mwq`] — **Algorithm 4**: move `q` inside `SR(q)` and, when the
+//!   safe region misses `anti-DDR(c_t)`, additionally repair `c_t` with
+//!   Algorithm 1 against the best safe corner, minimising Eqn (11).
+//!
+//! [`engine::WhyNotEngine`] packages the dataset, index, cost model and
+//! all of the above behind one façade.
+//!
+//! ## Boundary convention
+//!
+//! Like the paper's own worked examples, all candidate answers are
+//! *limit points*: they may tie a dominating product on the boundary and
+//! become strictly valid after an arbitrarily small further move.
+//! Verification helpers therefore nudge candidates by a caller-supplied
+//! `ε` before testing membership (see [`verify::limit_verified`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod answer;
+pub mod approx_store_persist;
+pub mod engine;
+pub mod eval;
+pub mod explain;
+pub mod flexible;
+pub mod mqp;
+pub mod mwp;
+pub mod mwq;
+pub mod safe_region;
+pub mod verify;
+
+pub use answer::Candidate;
+pub use engine::WhyNotEngine;
+pub use explain::{explain, Explanation};
+pub use flexible::{expand_safe_region, mwq_batch, truncate_safe_region, ExpandedSafeRegion};
+pub use mqp::{modify_query_point, MqpAnswer};
+pub use mwp::{modify_why_not_point, MwpAnswer};
+pub use mwq::{modify_both, MwqAnswer, MwqCase};
+pub use safe_region::{approx_safe_region, exact_safe_region, ApproxDslStore};

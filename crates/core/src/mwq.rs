@@ -1,0 +1,300 @@
+//! Algorithm 4 — **M**odify both the **W**hy-not point and the **Q**uery
+//! point, preserving the existing reverse skyline.
+//!
+//! The query point may move freely (at zero cost, Eqn (10)) inside its
+//! safe region. Two cases (Table I):
+//!
+//! * **C1** — `SR(q) ∩ anti-DDR(c_t) ≠ ∅`: move only `q`, to the nearest
+//!   point of the overlap; the why-not point is admitted for free.
+//! * **C2** — disjoint: move `q` to the best corner of `SR(q)` (maximal
+//!   progress towards `c_t`, found by pruning corners dominated w.r.t.
+//!   `c_t`) and repair `c_t` with Algorithm 1 against that corner,
+//!   minimising the Eqn (11) cost `Σ β_i |c_t^i − c_t*^i|`.
+
+use crate::answer::Candidate;
+use crate::mwp::modify_why_not_point;
+use crate::safe_region::anti_ddr_of;
+use wnrs_geometry::{dominates_dyn, CostModel, Point, Rect, Region};
+use wnrs_rtree::{ItemId, RTree};
+
+/// Which case of Table I applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MwqCase {
+    /// C1: the safe region overlaps `anti-DDR(c_t)`; only `q` moves.
+    Overlap,
+    /// C2: disjoint; both `q` and `c_t` move.
+    Disjoint,
+}
+
+/// The result of Algorithm 4.
+#[derive(Debug, Clone)]
+pub struct MwqAnswer {
+    /// Which case applied.
+    pub case: MwqCase,
+    /// The refined query point; always inside the safe region.
+    pub q_star: Point,
+    /// The repaired why-not point (case C2 only).
+    pub c_star: Option<Candidate>,
+    /// The Eqn-(11) cost: `β`-weighted movement of the why-not point
+    /// (zero in case C1 — movement inside the safe region is free).
+    pub cost: f64,
+}
+
+/// Runs Algorithm 4 against a precomputed safe region.
+///
+/// `exclude` removes the why-not customer's own tuple from the product
+/// set; `universe` bounds the anti-dominance decomposition; `eps` is the
+/// verification nudge passed through to Algorithm 1.
+#[allow(clippy::too_many_arguments)]
+pub fn modify_both(
+    products: &RTree,
+    sr: &Region,
+    c_t: &Point,
+    q: &Point,
+    exclude: Option<ItemId>,
+    cost: &CostModel,
+    universe: &Rect,
+    eps: f64,
+) -> MwqAnswer {
+    // The exact safe region always contains q; an *approximate* safe
+    // region can miss it entirely (Fig. 16) — fall back to "q stays
+    // put", which is trivially safe.
+    let fallback;
+    let sr = if sr.is_empty() {
+        fallback = Region::from_rect(Rect::degenerate(q.clone()));
+        &fallback
+    } else {
+        sr
+    };
+    // Both the anti-dominance region and the safe region are *closed*
+    // representations whose outer boundaries contain tie points: a query
+    // point placed exactly there can still be weakly dominated (losing
+    // c_t's admission) or can lose an existing member. Shrinking both by
+    // the verification ε restricts the search to their strictly-valid
+    // interiors, so every returned q* is strictly safe — not merely a
+    // limit point.
+    let addr = anti_ddr_of(products, c_t, exclude, universe, eps);
+    let sr_strict = sr.shrink(eps);
+    let overlap = sr_strict.intersect(&addr);
+
+    if !overlap.is_empty() {
+        // Case C1 (steps 1–6): q moves to the nearest point of the
+        // overlap region; cost is zero because q stays inside SR(q).
+        let q_star = overlap
+            .boxes()
+            .iter()
+            .map(|rec| rec.nearest_point(q))
+            .min_by(|a, b| {
+                cost.query_cost(q, a)
+                    .partial_cmp(&cost.query_cost(q, b))
+                    .expect("finite costs")
+            })
+            .expect("non-empty overlap");
+        return MwqAnswer { case: MwqCase::Overlap, q_star, c_star: None, cost: 0.0 };
+    }
+
+    // Case C2 (steps 7–20): candidate q* positions are the safe-region
+    // corners closest to c_t (non-dominated in the transformed space of
+    // c_t); each is handed to Algorithm 1 to repair c_t.
+    let mut corners: Vec<Point> = Vec::new();
+    for rec in sr_strict.boxes() {
+        for p in rec.corner_points() {
+            if !corners.iter().any(|c| c.same_location(&p)) {
+                corners.push(p);
+            }
+        }
+    }
+    // Steps 12–13: prune corners dominated w.r.t. c_t.
+    let mut keep = vec![true; corners.len()];
+    for i in 0..corners.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..corners.len() {
+            if i != j && keep[j] && dominates_dyn(&corners[i], &corners[j], c_t) {
+                keep[j] = false;
+            }
+        }
+    }
+    let mut it = keep.iter();
+    corners.retain(|_| *it.next().expect("mask length"));
+
+    // Always keep the "q stays put" option: dominance-closer corners do
+    // not imply cheaper repairs (a corner can land tie-aligned with a
+    // blocker and kill the cheap escape dimension). Leaving q unmoved is
+    // trivially safe — even when an *approximate* safe region fails to
+    // contain q — and guarantees cost(MWQ) ≤ cost(MWP), the property the
+    // paper observes throughout Tables III–VI.
+    if !corners.iter().any(|c| c.same_location(q)) {
+        corners.push(q.clone());
+    }
+
+    let mut best: Option<(Point, Candidate)> = None;
+    for corner in corners {
+        let ans = modify_why_not_point(products, c_t, &corner, exclude, cost, eps);
+        let cand = ans.best().clone();
+        let better = match &best {
+            None => true,
+            Some((_, b)) => cand.cost < b.cost,
+        };
+        if better {
+            best = Some((corner, cand));
+        }
+    }
+    let (q_star, c_star) = best.expect("safe region has at least one corner");
+    let cost_value = c_star.cost;
+    MwqAnswer { case: MwqCase::Disjoint, q_star, c_star: Some(c_star), cost: cost_value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safe_region::exact_safe_region;
+    use wnrs_geometry::Weights;
+    use wnrs_reverse_skyline::{bbrs_reverse_skyline, is_reverse_skyline_member};
+    use wnrs_rtree::bulk::bulk_load;
+    use wnrs_rtree::RTreeConfig;
+
+    fn paper_points() -> Vec<Point> {
+        vec![
+            Point::xy(5.0, 30.0),  // pt1
+            Point::xy(7.5, 42.0),  // pt2
+            Point::xy(2.5, 70.0),  // pt3
+            Point::xy(7.5, 90.0),  // pt4
+            Point::xy(24.0, 20.0), // pt5
+            Point::xy(20.0, 50.0), // pt6
+            Point::xy(26.0, 70.0), // pt7
+            Point::xy(16.0, 80.0), // pt8
+        ]
+    }
+
+    fn setup() -> (RTree, Region, Rect, Point) {
+        let pts = paper_points();
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(4));
+        let universe = Rect::new(Point::xy(0.0, 0.0), Point::xy(30.0, 120.0));
+        let q = Point::xy(8.5, 55.0);
+        let rsl = bbrs_reverse_skyline(&tree, &q);
+        let sr = exact_safe_region(&tree, &rsl, &universe, true);
+        (tree, sr, universe, q)
+    }
+
+    fn unit_cost() -> CostModel {
+        CostModel::new(Weights::equal(2), Weights::equal(2))
+    }
+
+    #[test]
+    fn paper_case_c1_customer_c7() {
+        // Section V-B example: anti-DDR(c7) overlaps SR(q); the overlap
+        // is {(7.5, 60), (10, 70)} and q* = (8.5, 60).
+        let (tree, sr, universe, q) = setup();
+        let c7 = Point::xy(26.0, 70.0);
+        let ans = modify_both(&tree, &sr, &c7, &q, Some(ItemId(6)), &unit_cost(), &universe, 1e-9);
+        assert_eq!(ans.case, MwqCase::Overlap);
+        assert_eq!(ans.cost, 0.0);
+        assert!(ans.c_star.is_none());
+        // Tolerance covers the ε-shrink of anti-DDR(c7) used for the
+        // strict C1 decision.
+        assert!(
+            ans.q_star.approx_eq(&Point::xy(8.5, 60.0), 1e-6),
+            "q* = {:?}, want (8.5, 60)",
+            ans.q_star
+        );
+        // Moving q there admits c7 (limit-valid) and keeps the RSL.
+        let old_rsl = bbrs_reverse_skyline(&tree, &q);
+        let new_rsl = bbrs_reverse_skyline(&tree, &ans.q_star);
+        for (id, _) in &old_rsl {
+            assert!(new_rsl.iter().any(|(nid, _)| nid == id), "lost {id:?}");
+        }
+    }
+
+    #[test]
+    fn paper_case_c2_customer_c1() {
+        // Section V-B example: anti-DDR(c1) misses SR(q); the best safe
+        // corner is q* = (7.5, 50), and c1 must then move.
+        let (tree, sr, universe, q) = setup();
+        let c1 = Point::xy(5.0, 30.0);
+        let cost = unit_cost();
+        let ans = modify_both(&tree, &sr, &c1, &q, Some(ItemId(0)), &cost, &universe, 1e-9);
+        assert_eq!(ans.case, MwqCase::Disjoint);
+        assert!(ans.cost > 0.0);
+        let c_star = ans.c_star.clone().expect("case C2 repairs the customer");
+        assert!(c_star.verified);
+        // The paper's heuristic picks the dominance-nearest safe corner
+        // q* = (7.5, 50) and repairs c1 to (5, 46) at |Δ| = 16 (its
+        // printed "(50K, 46)" is a typo for (5K, 46K)). Our candidate
+        // set additionally keeps q itself, whose repair (8, 30) costs
+        // only |Δ| = 3 — so the answer must be at least as cheap as the
+        // paper's.
+        let paper_repair = modify_why_not_point(
+            &tree,
+            &c1,
+            &Point::xy(7.5, 50.0),
+            Some(ItemId(0)),
+            &cost,
+            1e-9,
+        );
+        assert!(
+            paper_repair
+                .candidates
+                .iter()
+                .any(|c| c.point.approx_eq(&Point::xy(5.0, 46.0), 1e-9)),
+            "the paper's c1* = (5, 46) is reproduced for its q* choice"
+        );
+        assert!(ans.cost <= paper_repair.best_cost() + 1e-12);
+        // And also at least as cheap as plain MWP (q remains a
+        // candidate). Here the ε-interior corner near (7.5, 50) actually
+        // *beats* MWP: just inside the tie boundary, the cheap
+        // price-dimension escape is available again.
+        let mwp = modify_why_not_point(&tree, &c1, &q, Some(ItemId(0)), &cost, 1e-9);
+        assert!(ans.cost <= mwp.best_cost() + 1e-12);
+        // The chosen q* stays within the safe region.
+        assert!(sr.contains(&ans.q_star) || ans.q_star.same_location(&q));
+        // The repaired customer is (limit-)admitted by q*.
+        assert!(is_reverse_skyline_member(
+            &tree,
+            &crate::verify::nudge(&c1, &c_star.point, 1e-9),
+            &ans.q_star,
+            Some(ItemId(0))
+        ));
+    }
+
+    #[test]
+    fn mwq_cost_never_exceeds_mwp_cost() {
+        // MWQ moves q closer first, so the customer repair can only get
+        // cheaper (or equal, when the safe region collapses to q).
+        let (tree, sr, universe, q) = setup();
+        let cost = unit_cost();
+        for (i, c_t) in paper_points().iter().enumerate() {
+            let exclude = Some(ItemId(i as u32));
+            if is_reverse_skyline_member(&tree, c_t, &q, exclude) {
+                continue;
+            }
+            let mwq = modify_both(&tree, &sr, c_t, &q, exclude, &cost, &universe, 1e-9);
+            let mwp = modify_why_not_point(&tree, c_t, &q, exclude, &cost, 1e-9);
+            assert!(
+                mwq.cost <= mwp.best_cost() + 1e-9,
+                "customer {i}: MWQ {} > MWP {}",
+                mwq.cost,
+                mwp.best_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_safe_region_reduces_to_mwp() {
+        // SR = {q}: the only corner is q itself, so MWQ(C2) must equal
+        // MWP.
+        let pts = paper_points();
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(4));
+        let universe = Rect::new(Point::xy(0.0, 0.0), Point::xy(30.0, 120.0));
+        let q = Point::xy(8.5, 55.0);
+        let sr = Region::from_rect(Rect::degenerate(q.clone()));
+        let c1 = Point::xy(5.0, 30.0);
+        let cost = unit_cost();
+        let mwq = modify_both(&tree, &sr, &c1, &q, Some(ItemId(0)), &cost, &universe, 1e-9);
+        let mwp = modify_why_not_point(&tree, &c1, &q, Some(ItemId(0)), &cost, 1e-9);
+        assert_eq!(mwq.case, MwqCase::Disjoint);
+        assert!((mwq.cost - mwp.best_cost()).abs() < 1e-12);
+        assert!(mwq.q_star.same_location(&q));
+    }
+}

@@ -1,0 +1,151 @@
+//! A synthetic surrogate for the paper's Yahoo! Autos **CarDB**.
+//!
+//! The paper evaluates on a real used-car dataset (Price, Mileage) whose
+//! distribution it describes only as *sparse* (footnote 2). This
+//! generator reproduces the market structure that drives that sparsity:
+//!
+//! * four segments — nearly-new, mainstream used, economy/high-mileage,
+//!   and luxury — with different price levels and mileage profiles;
+//! * heavy-tailed (log-normal) prices inside each segment;
+//! * negative price–mileage correlation inside each segment (cars lose
+//!   value as they accumulate miles);
+//! * a small fraction of outliers (classic cars: old *and* expensive),
+//!   which is what makes the point cloud sparse away from the main
+//!   depreciation ridge.
+//!
+//! Prices are in dollars (≈ 500 – 120 000), mileages in miles
+//! (≈ 0 – 300 000), matching the magnitudes of the paper's examples
+//! (8.5K price, 55K mileage).
+
+use crate::rng::{lognormal, truncated_normal};
+use rand::Rng;
+use wnrs_geometry::Point;
+
+/// Price bounds of the generated market.
+pub const PRICE_RANGE: (f64, f64) = (500.0, 120_000.0);
+/// Mileage bounds of the generated market.
+pub const MILEAGE_RANGE: (f64, f64) = (0.0, 300_000.0);
+
+struct Segment {
+    weight: f64,
+    /// Underlying normal parameters of the log-normal price.
+    price_mu: f64,
+    price_sigma: f64,
+    /// Mileage level the segment depreciates from.
+    mileage_mu: f64,
+    mileage_sigma: f64,
+    /// Strength of the intra-segment price–mileage anti-correlation.
+    coupling: f64,
+}
+
+const SEGMENTS: &[Segment] = &[
+    // Nearly new: expensive, low mileage.
+    Segment { weight: 0.20, price_mu: 10.1, price_sigma: 0.35, mileage_mu: 25_000.0, mileage_sigma: 15_000.0, coupling: 0.5 },
+    // Mainstream used: the bulk of the market.
+    Segment { weight: 0.45, price_mu: 9.2, price_sigma: 0.45, mileage_mu: 90_000.0, mileage_sigma: 35_000.0, coupling: 0.8 },
+    // Economy / high mileage: cheap, worn.
+    Segment { weight: 0.25, price_mu: 8.1, price_sigma: 0.5, mileage_mu: 160_000.0, mileage_sigma: 45_000.0, coupling: 0.6 },
+    // Luxury & classic: expensive at any mileage (the sparse outliers).
+    Segment { weight: 0.10, price_mu: 10.8, price_sigma: 0.5, mileage_mu: 80_000.0, mileage_sigma: 60_000.0, coupling: 0.2 },
+];
+
+/// Generates `n` cars as (price, mileage) points.
+pub fn cardb<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<Point> {
+    let total_weight: f64 = SEGMENTS.iter().map(|s| s.weight).sum();
+    (0..n)
+        .map(|_| {
+            let mut pick = rng.gen::<f64>() * total_weight;
+            let seg = SEGMENTS
+                .iter()
+                .find(|s| {
+                    pick -= s.weight;
+                    pick <= 0.0
+                })
+                .unwrap_or(&SEGMENTS[SEGMENTS.len() - 1]);
+            let price_raw = lognormal(rng, seg.price_mu, seg.price_sigma);
+            let price = price_raw.clamp(PRICE_RANGE.0, PRICE_RANGE.1);
+            // Higher price within the segment ⇒ fewer miles: shift the
+            // mileage level down proportionally to the price z-score.
+            let z = (price_raw.ln() - seg.price_mu) / seg.price_sigma;
+            let mileage_center = seg.mileage_mu - seg.coupling * z * seg.mileage_sigma;
+            let mileage = truncated_normal(
+                rng,
+                mileage_center,
+                seg.mileage_sigma * 0.6,
+                MILEAGE_RANGE.0,
+                MILEAGE_RANGE.1,
+            );
+            Point::xy(price, mileage)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_and_shape() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cars = cardb(&mut rng, 5000);
+        assert_eq!(cars.len(), 5000);
+        for c in &cars {
+            assert!((PRICE_RANGE.0..=PRICE_RANGE.1).contains(&c[0]), "{c:?}");
+            assert!((MILEAGE_RANGE.0..=MILEAGE_RANGE.1).contains(&c[1]), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn price_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let cars = cardb(&mut rng, 10_000);
+        let mut prices: Vec<f64> = cars.iter().map(|c| c[0]).collect();
+        prices.sort_by(|a, b| a.total_cmp(b));
+        let median = prices[prices.len() / 2];
+        let mean = prices.iter().sum::<f64>() / prices.len() as f64;
+        assert!(mean > 1.1 * median, "mean {mean} vs median {median}: no right skew");
+    }
+
+    #[test]
+    fn overall_negative_price_mileage_correlation() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let cars = cardb(&mut rng, 10_000);
+        let n = cars.len() as f64;
+        let mp = cars.iter().map(|c| c[0]).sum::<f64>() / n;
+        let mm = cars.iter().map(|c| c[1]).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut vp = 0.0;
+        let mut vm = 0.0;
+        for c in &cars {
+            cov += (c[0] - mp) * (c[1] - mm);
+            vp += (c[0] - mp) * (c[0] - mp);
+            vm += (c[1] - mm) * (c[1] - mm);
+        }
+        let r = cov / (vp.sqrt() * vm.sqrt());
+        assert!(r < -0.2, "expected depreciation ridge, got r = {r}");
+    }
+
+    #[test]
+    fn market_is_sparse_away_from_the_ridge() {
+        // Luxury/classic outliers exist: expensive cars with high
+        // mileage.
+        let mut rng = StdRng::seed_from_u64(14);
+        let cars = cardb(&mut rng, 10_000);
+        let outliers = cars
+            .iter()
+            .filter(|c| c[0] > 40_000.0 && c[1] > 100_000.0)
+            .count();
+        assert!(outliers > 10, "no sparse outliers generated");
+        // …but they are rare.
+        assert!(outliers < 600, "outliers dominate: {outliers}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = cardb(&mut StdRng::seed_from_u64(15), 20);
+        let b = cardb(&mut StdRng::seed_from_u64(15), 20);
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x.same_location(y)));
+    }
+}

@@ -1,0 +1,31 @@
+//! # wnrs-data
+//!
+//! Dataset substrate for the experiments:
+//!
+//! * [`synthetic`] — the three standard skyline benchmark distributions
+//!   of Börzsönyi et al. (uniform **UN**, correlated **CO**,
+//!   anti-correlated **AC**), d-dimensional;
+//! * [`cardb`] — a synthetic surrogate for the paper's Yahoo! Autos
+//!   CarDB (Price, Mileage): a sparse mixture of used-car market
+//!   segments with heavy-tailed prices and negative price–mileage
+//!   correlation inside each segment (see DESIGN.md §4 for the
+//!   substitution rationale);
+//! * [`rng`] — Box–Muller normal / log-normal sampling on top of `rand`
+//!   (keeping the dependency surface to the approved crates);
+//! * [`csv`] — minimal load/save of point sets;
+//! * [`workload`] — the paper's query workload: queries following the
+//!   data distribution, selected so their reverse-skyline sizes cover
+//!   1–15, plus random why-not points.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cardb;
+pub mod csv;
+pub mod rng;
+pub mod synthetic;
+pub mod workload;
+
+pub use cardb::cardb;
+pub use synthetic::{anticorrelated, clustered, correlated, uniform};
+pub use workload::{select_why_not, QueryWorkload, WorkloadQuery};

@@ -1,0 +1,92 @@
+//! Normal and log-normal sampling via Box–Muller on top of `rand`.
+
+use rand::Rng;
+
+/// A standard-normal sample (Box–Muller, one branch).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Open interval avoids ln(0).
+    let u1: f64 = loop {
+        let v = rng.gen::<f64>();
+        if v > 0.0 {
+            break v;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A `N(mu, sigma²)` sample.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    mu + sigma * standard_normal(rng)
+}
+
+/// A log-normal sample with the given *underlying* normal parameters.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// A normal sample rejected-resampled into `[lo, hi]`.
+pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo < hi, "empty truncation interval");
+    for _ in 0..1000 {
+        let v = normal(rng, mu, sigma);
+        if (lo..=hi).contains(&v) {
+            return v;
+        }
+    }
+    // Pathological parameters: fall back to clamping.
+    normal(rng, mu, sigma).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..10_000).map(|_| lognormal(&mut rng, 0.0, 1.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "log-normal is right-skewed");
+    }
+
+    #[test]
+    fn truncation_respected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = truncated_normal(&mut rng, 0.5, 0.3, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..5).map(|_| standard_normal(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..5).map(|_| standard_normal(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

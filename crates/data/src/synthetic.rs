@@ -1,0 +1,183 @@
+//! The standard skyline benchmark distributions (Börzsönyi et al.,
+//! ICDE'01): uniform, correlated and anti-correlated, on `[0, 1]^d`.
+
+use crate::rng::{normal, truncated_normal};
+use rand::Rng;
+use wnrs_geometry::Point;
+
+/// `n` points uniformly distributed over `[0, 1]^d` (the paper's **UN**).
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Vec<Point> {
+    assert!(d > 0, "dimensionality must be positive");
+    (0..n)
+        .map(|_| Point::new((0..d).map(|_| rng.gen::<f64>()).collect::<Vec<_>>()))
+        .collect()
+}
+
+/// `n` correlated points (**CO**): coordinates cluster around a common
+/// per-point level on the main diagonal, so points good in one dimension
+/// tend to be good in all — small skylines.
+pub fn correlated<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Vec<Point> {
+    assert!(d > 0, "dimensionality must be positive");
+    (0..n)
+        .map(|_| {
+            let level = truncated_normal(rng, 0.5, 0.2, 0.0, 1.0);
+            Point::new(
+                (0..d)
+                    .map(|_| truncated_normal(rng, level, 0.05, 0.0, 1.0))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+/// `n` anti-correlated points (**AC**): coordinate sums concentrate
+/// around `d/2`, so being good in one dimension implies being bad in
+/// another — large skylines.
+pub fn anticorrelated<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Vec<Point> {
+    assert!(d > 0, "dimensionality must be positive");
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Target sum near d/2, spread along the hyperplane by sampling
+        // coordinates uniformly and rescaling to the target sum.
+        let target = normal(rng, 0.5 * d as f64, 0.04 * d as f64);
+        let raw: Vec<f64> = (0..d).map(|_| rng.gen::<f64>().max(1e-9)).collect();
+        let s: f64 = raw.iter().sum();
+        let scaled: Vec<f64> = raw.iter().map(|x| x * target / s).collect();
+        if scaled.iter().all(|&x| (0.0..=1.0).contains(&x)) {
+            out.push(Point::new(scaled));
+        }
+    }
+    out
+}
+
+/// `n` points in `c` Gaussian clusters over `[0, 1]^d` (the "clustered"
+/// distribution common in skyline robustness studies): cluster centres
+/// are uniform, members deviate by `spread` per dimension.
+///
+/// # Panics
+///
+/// Panics if `c == 0` or `spread` is negative.
+pub fn clustered<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    d: usize,
+    c: usize,
+    spread: f64,
+) -> Vec<Point> {
+    assert!(d > 0, "dimensionality must be positive");
+    assert!(c > 0, "need at least one cluster");
+    assert!(spread >= 0.0, "spread must be non-negative");
+    let centers: Vec<Vec<f64>> =
+        (0..c).map(|_| (0..d).map(|_| rng.gen::<f64>()).collect()).collect();
+    (0..n)
+        .map(|_| {
+            let center = &centers[rng.gen_range(0..c)];
+            Point::new(
+                (0..d)
+                    .map(|i| truncated_normal(rng, center[i], spread, 0.0, 1.0))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wnrs_skyline::bnl_skyline;
+
+    fn corr_coeff(pts: &[Point]) -> f64 {
+        let n = pts.len() as f64;
+        let (mx, my) = (
+            pts.iter().map(|p| p[0]).sum::<f64>() / n,
+            pts.iter().map(|p| p[1]).sum::<f64>() / n,
+        );
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for p in pts {
+            cov += (p[0] - mx) * (p[1] - my);
+            vx += (p[0] - mx) * (p[0] - mx);
+            vy += (p[1] - my) * (p[1] - my);
+        }
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+
+    #[test]
+    fn shapes_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for gen in [uniform, correlated, anticorrelated] as [fn(&mut StdRng, usize, usize) -> Vec<Point>; 3] {
+            let pts = gen(&mut rng, 500, 3);
+            assert_eq!(pts.len(), 500);
+            for p in &pts {
+                assert_eq!(p.dim(), 3);
+                for i in 0..3 {
+                    assert!((0.0..=1.0).contains(&p[i]), "{p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let co = corr_coeff(&correlated(&mut rng, 3000, 2));
+        let ac = corr_coeff(&anticorrelated(&mut rng, 3000, 2));
+        let un = corr_coeff(&uniform(&mut rng, 3000, 2));
+        assert!(co > 0.8, "correlated: r = {co}");
+        assert!(ac < -0.5, "anti-correlated: r = {ac}");
+        assert!(un.abs() < 0.1, "uniform: r = {un}");
+    }
+
+    #[test]
+    fn skyline_size_ordering() {
+        // The classic property motivating the three distributions:
+        // |SKY(CO)| < |SKY(UN)| < |SKY(AC)|.
+        let mut rng = StdRng::seed_from_u64(3);
+        let co = bnl_skyline(&correlated(&mut rng, 2000, 2)).len();
+        let un = bnl_skyline(&uniform(&mut rng, 2000, 2)).len();
+        let ac = bnl_skyline(&anticorrelated(&mut rng, 2000, 2)).len();
+        assert!(co < un, "CO {co} !< UN {un}");
+        assert!(un < ac, "UN {un} !< AC {ac}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = uniform(&mut StdRng::seed_from_u64(5), 10, 2);
+        let b = uniform(&mut StdRng::seed_from_u64(5), 10, 2);
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x.same_location(y)));
+    }
+
+    #[test]
+    fn clustered_points_concentrate() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pts = clustered(&mut rng, 2000, 2, 4, 0.02);
+        assert_eq!(pts.len(), 2000);
+        for p in &pts {
+            assert!((0.0..=1.0).contains(&p[0]) && (0.0..=1.0).contains(&p[1]));
+        }
+        // Tight clusters: the average nearest-neighbour distance is far
+        // below the uniform expectation (~1/√n ≈ 0.022 for 2000 points
+        // uniform; clustered should be several times tighter).
+        let sample: Vec<&Point> = pts.iter().step_by(40).collect();
+        let mean_nn: f64 = sample
+            .iter()
+            .map(|p| {
+                pts.iter()
+                    .filter(|o| !o.same_location(p))
+                    .map(|o| o.dist(p))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / sample.len() as f64;
+        assert!(mean_nn < 0.01, "mean NN distance {mean_nn} too large for clusters");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn clustered_zero_clusters_rejected() {
+        let _ = clustered(&mut StdRng::seed_from_u64(1), 10, 2, 0, 0.1);
+    }
+}

@@ -1,0 +1,164 @@
+//! The paper's experimental workload (Section VI): query points follow
+//! the tested dataset's distribution, and for each experiment queries
+//! are chosen whose reverse-skyline sizes span 1–15; the why-not point
+//! is a randomly selected data point outside the reverse skyline.
+
+use rand::Rng;
+use wnrs_geometry::Point;
+use wnrs_reverse_skyline::bbrs_reverse_skyline;
+use wnrs_rtree::{ItemId, RTree};
+
+/// One workload query: the query point and its precomputed reverse
+/// skyline.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// The query product.
+    pub q: Point,
+    /// `RSL(q)` over the dataset (monochromatic, BBRS).
+    pub rsl: Vec<(ItemId, Point)>,
+}
+
+impl WorkloadQuery {
+    /// `|RSL(q)|`.
+    pub fn rsl_size(&self) -> usize {
+        self.rsl.len()
+    }
+}
+
+/// A set of workload queries covering a range of reverse-skyline sizes.
+#[derive(Debug, Clone, Default)]
+pub struct QueryWorkload {
+    /// The selected queries, ascending in `|RSL|`.
+    pub queries: Vec<WorkloadQuery>,
+}
+
+impl QueryWorkload {
+    /// Builds a workload over the indexed dataset: perturbed copies of
+    /// random data points are probed until, for each target size in
+    /// `targets`, a query with exactly that reverse-skyline size is
+    /// found (or `max_probes` is exhausted — targets without a hit are
+    /// skipped, mirroring the paper's tables, which also skip sizes the
+    /// dataset does not produce).
+    pub fn build<R: Rng + ?Sized>(
+        tree: &RTree,
+        points: &[Point],
+        targets: &[usize],
+        rng: &mut R,
+        max_probes: usize,
+    ) -> Self {
+        assert!(!points.is_empty(), "workload needs data");
+        let d = points[0].dim();
+        let mut remaining: Vec<usize> = targets.to_vec();
+        remaining.sort_unstable();
+        remaining.dedup();
+        let mut found: Vec<WorkloadQuery> = Vec::new();
+        // Perturbation scale: a small fraction of the data extent.
+        let bounds = wnrs_geometry::Rect::bounding(points);
+        let scale: Vec<f64> = (0..d).map(|i| bounds.extent(i) * 0.05).collect();
+        for _ in 0..max_probes {
+            if remaining.is_empty() {
+                break;
+            }
+            let base = &points[rng.gen_range(0..points.len())];
+            let q = Point::new(
+                (0..d)
+                    .map(|i| base[i] + (rng.gen::<f64>() - 0.5) * scale[i])
+                    .collect::<Vec<_>>(),
+            );
+            let rsl = bbrs_reverse_skyline(tree, &q);
+            if let Ok(pos) = remaining.binary_search(&rsl.len()) {
+                remaining.remove(pos);
+                found.push(WorkloadQuery { q, rsl });
+            }
+        }
+        found.sort_by_key(|w| w.rsl_size());
+        Self { queries: found }
+    }
+
+    /// Number of queries found.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether no queries were found.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// Picks a random why-not point for `q`: a data point that is *not* in
+/// the reverse skyline (the paper's selection). Returns `None` if every
+/// point is a member (degenerate tiny datasets).
+pub fn select_why_not<R: Rng + ?Sized>(
+    points: &[Point],
+    rsl: &[(ItemId, Point)],
+    rng: &mut R,
+) -> Option<ItemId> {
+    use std::collections::HashSet;
+    let members: HashSet<u32> = rsl.iter().map(|(id, _)| id.0).collect();
+    if members.len() >= points.len() {
+        return None;
+    }
+    loop {
+        let i = rng.gen_range(0..points.len()) as u32;
+        if !members.contains(&i) {
+            return Some(ItemId(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wnrs_rtree::bulk::bulk_load;
+    use wnrs_rtree::RTreeConfig;
+
+    fn dataset() -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(100);
+        crate::synthetic::uniform(&mut rng, 2000, 2)
+    }
+
+    #[test]
+    fn workload_hits_requested_sizes() {
+        let pts = dataset();
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = QueryWorkload::build(&tree, &pts, &[1, 2, 3, 4], &mut rng, 3000);
+        assert!(!w.is_empty(), "no queries found");
+        for q in &w.queries {
+            assert!([1, 2, 3, 4].contains(&q.rsl_size()));
+            // The stored RSL is consistent.
+            let check = bbrs_reverse_skyline(&tree, &q.q);
+            assert_eq!(check.len(), q.rsl_size());
+        }
+        // Sizes are distinct and ascending.
+        for pair in w.queries.windows(2) {
+            assert!(pair[0].rsl_size() < pair[1].rsl_size());
+        }
+    }
+
+    #[test]
+    fn why_not_point_is_not_a_member() {
+        let pts = dataset();
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = QueryWorkload::build(&tree, &pts, &[3], &mut rng, 3000);
+        let query = &w.queries[0];
+        for _ in 0..20 {
+            let id = select_why_not(&pts, &query.rsl, &mut rng).expect("non-member exists");
+            assert!(!query.rsl.iter().any(|(m, _)| *m == id));
+        }
+    }
+
+    #[test]
+    fn impossible_targets_are_skipped() {
+        let pts = dataset();
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        let mut rng = StdRng::seed_from_u64(3);
+        // A reverse skyline of 1999 members will never occur.
+        let w = QueryWorkload::build(&tree, &pts, &[1999], &mut rng, 200);
+        assert!(w.is_empty());
+    }
+}

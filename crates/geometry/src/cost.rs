@@ -1,0 +1,192 @@
+//! The weighted L1 cost model of Eqns (8)–(11).
+//!
+//! `cost(q*, c_t*) = Σ_i α_i·|q^i − q*^i| + Σ_i β_i·|c_t^i − c_t*^i|`,
+//! where the weight vectors express how willing the user is to modify the
+//! query point (α) and the why-not point (β) along each dimension. The
+//! paper's evaluation uses equal weights summing to one, on
+//! min–max-normalised coordinates.
+
+use crate::normalize::MinMaxNormalizer;
+use crate::point::Point;
+
+/// A per-dimension weight vector with entries in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weights(Vec<f64>);
+
+impl Weights {
+    /// Creates a weight vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or if any weight lies outside `[0, 1]`.
+    pub fn new(w: Vec<f64>) -> Self {
+        assert!(!w.is_empty(), "weights must cover at least one dimension");
+        assert!(
+            w.iter().all(|x| (0.0..=1.0).contains(x)),
+            "weights must lie in [0, 1], got {w:?}"
+        );
+        Self(w)
+    }
+
+    /// Equal weights summing to one (`1/d` each) — the paper's evaluation
+    /// setting (`Σ β_i = 1`).
+    pub fn equal(d: usize) -> Self {
+        assert!(d > 0);
+        Self(vec![1.0 / d as f64; d])
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The weight of dimension `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    /// Weighted L1 distance `Σ_i w_i · |a^i − b^i|`.
+    pub fn weighted_l1(&self, a: &Point, b: &Point) -> f64 {
+        assert_eq!(a.dim(), self.dim(), "dimensionality mismatch");
+        assert_eq!(b.dim(), self.dim(), "dimensionality mismatch");
+        (0..self.dim())
+            .map(|i| self.0[i] * (a[i] - b[i]).abs())
+            .sum()
+    }
+}
+
+/// The complete cost model: α/β weights plus the normalisation the costs
+/// are computed under.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Weights for modifying the query point.
+    pub alpha: Weights,
+    /// Weights for modifying the why-not point.
+    pub beta: Weights,
+    normalizer: Option<MinMaxNormalizer>,
+}
+
+impl CostModel {
+    /// A cost model with explicit weights and no normalisation.
+    pub fn new(alpha: Weights, beta: Weights) -> Self {
+        assert_eq!(alpha.dim(), beta.dim(), "α/β dimensionality mismatch");
+        Self { alpha, beta, normalizer: None }
+    }
+
+    /// The paper's evaluation model: equal weights (`α = β`, `Σ = 1`) and
+    /// min–max normalisation fitted to `dataset`.
+    pub fn paper_default(dataset: &[Point]) -> Self {
+        let norm = MinMaxNormalizer::fit(dataset);
+        let d = norm.dim();
+        Self {
+            alpha: Weights::equal(d),
+            beta: Weights::equal(d),
+            normalizer: Some(norm),
+        }
+    }
+
+    /// Attaches a normaliser; costs are then computed in normalised space.
+    pub fn with_normalizer(mut self, n: MinMaxNormalizer) -> Self {
+        assert_eq!(n.dim(), self.alpha.dim(), "normaliser dimensionality mismatch");
+        self.normalizer = Some(n);
+        self
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.alpha.dim()
+    }
+
+    /// `cost(q, q*) = Σ α_i |q^i − q*^i|` (normalised if configured).
+    pub fn query_cost(&self, q: &Point, q_star: &Point) -> f64 {
+        match &self.normalizer {
+            Some(n) => self.alpha.weighted_l1(&n.normalize(q), &n.normalize(q_star)),
+            None => self.alpha.weighted_l1(q, q_star),
+        }
+    }
+
+    /// `cost(c_t, c_t*) = Σ β_i |c_t^i − c_t*^i|` (normalised if
+    /// configured) — Eqn (11).
+    pub fn whynot_cost(&self, c: &Point, c_star: &Point) -> f64 {
+        match &self.normalizer {
+            Some(n) => self.beta.weighted_l1(&n.normalize(c), &n.normalize(c_star)),
+            None => self.beta.weighted_l1(c, c_star),
+        }
+    }
+
+    /// The combined cost of Eqn (9).
+    pub fn total_cost(&self, q: &Point, q_star: &Point, c: &Point, c_star: &Point) -> f64 {
+        self.query_cost(q, q_star) + self.whynot_cost(c, c_star)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_sum_to_one() {
+        let w = Weights::equal(4);
+        let s: f64 = (0..4).map(|i| w.get(i)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn out_of_range_weight_rejected() {
+        let _ = Weights::new(vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn weighted_l1() {
+        let w = Weights::new(vec![1.0, 0.5]);
+        let d = w.weighted_l1(&Point::xy(0.0, 0.0), &Point::xy(2.0, 4.0));
+        assert_eq!(d, 2.0 + 2.0);
+    }
+
+    #[test]
+    fn unnormalized_costs() {
+        let m = CostModel::new(Weights::equal(2), Weights::equal(2));
+        let q = Point::xy(0.0, 0.0);
+        let qs = Point::xy(1.0, 1.0);
+        assert!((m.query_cost(&q, &qs) - 1.0).abs() < 1e-12);
+        assert_eq!(m.query_cost(&q, &q), 0.0);
+    }
+
+    #[test]
+    fn paper_default_normalises() {
+        let data = vec![Point::xy(0.0, 0.0), Point::xy(10.0, 100.0)];
+        let m = CostModel::paper_default(&data);
+        // Moving half the span in each dimension costs 0.5·0.5 + 0.5·0.5.
+        let c = m.whynot_cost(&Point::xy(0.0, 0.0), &Point::xy(5.0, 50.0));
+        assert!((c - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn normalizer_dim_mismatch_rejected() {
+        let m = CostModel::new(Weights::equal(2), Weights::equal(2));
+        let n = crate::normalize::MinMaxNormalizer::fit(&[
+            Point::new(vec![0.0, 0.0, 0.0]),
+            Point::new(vec![1.0, 1.0, 1.0]),
+        ]);
+        let _ = m.with_normalizer(n);
+    }
+
+    #[test]
+    #[should_panic(expected = "α/β dimensionality mismatch")]
+    fn alpha_beta_dim_mismatch_rejected() {
+        let _ = CostModel::new(Weights::equal(2), Weights::equal(3));
+    }
+
+    #[test]
+    fn total_cost_is_sum() {
+        let m = CostModel::new(Weights::equal(2), Weights::equal(2));
+        let q = Point::xy(0.0, 0.0);
+        let qs = Point::xy(2.0, 0.0);
+        let c = Point::xy(5.0, 5.0);
+        let cs = Point::xy(5.0, 9.0);
+        let t = m.total_cost(&q, &qs, &c, &cs);
+        assert!((t - (m.query_cost(&q, &qs) + m.whynot_cost(&c, &cs))).abs() < 1e-12);
+    }
+}

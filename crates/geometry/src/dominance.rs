@@ -1,0 +1,287 @@
+//! Dominance relations.
+//!
+//! Three flavours of dominance drive the paper's algorithms:
+//!
+//! * **Static dominance** (Definition 1): `p1 ≻ p2` iff `p1` is no worse in
+//!   every dimension and strictly better in at least one (smaller is
+//!   better).
+//! * **Dynamic dominance** (Definition 2): `p1 ≻_q p2` iff `p1` is at least
+//!   as close to the query point `q` in every dimension and strictly closer
+//!   in at least one. Equivalent to static dominance after the
+//!   absolute-distance transform centred at `q`.
+//! * **Global dominance** (Dellis & Seeger, VLDB'07): dynamic dominance
+//!   restricted to points lying in the same orthant of `q`. Only globally
+//!   non-dominated points can belong to the reverse skyline, which is what
+//!   makes BBRS prune.
+
+use crate::point::Point;
+
+/// Outcome of a pairwise dominance comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominance {
+    /// The left point dominates the right one.
+    Left,
+    /// The right point dominates the left one.
+    Right,
+    /// Neither dominates (incomparable or coincident).
+    Neither,
+}
+
+/// Static dominance `a ≻ b` (smaller preferred in every dimension).
+///
+/// # Examples
+///
+/// ```
+/// use wnrs_geometry::{dominates, Point};
+/// assert!(dominates(&Point::xy(1.0, 2.0), &Point::xy(1.0, 3.0)));
+/// assert!(!dominates(&Point::xy(1.0, 2.0), &Point::xy(1.0, 2.0)));
+/// assert!(!dominates(&Point::xy(1.0, 4.0), &Point::xy(2.0, 3.0)));
+/// ```
+pub fn dominates(a: &Point, b: &Point) -> bool {
+    debug_assert_eq!(a.dim(), b.dim());
+    let mut strict = false;
+    for i in 0..a.dim() {
+        if a[i] > b[i] {
+            return false;
+        }
+        if a[i] < b[i] {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Compares `a` and `b` under static dominance in a single pass.
+pub fn compare(a: &Point, b: &Point) -> Dominance {
+    debug_assert_eq!(a.dim(), b.dim());
+    let (mut a_better, mut b_better) = (false, false);
+    for i in 0..a.dim() {
+        if a[i] < b[i] {
+            a_better = true;
+        } else if b[i] < a[i] {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return Dominance::Neither;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => Dominance::Left,
+        (false, true) => Dominance::Right,
+        _ => Dominance::Neither,
+    }
+}
+
+/// Dynamic dominance `a ≻_q b` (Definition 2): `a` is at least as close to
+/// `q` as `b` in every dimension and strictly closer in one.
+///
+/// # Examples
+///
+/// ```
+/// use wnrs_geometry::{dominates_dyn, Point};
+/// // Paper, Fig. 2(a): p2 (7.5,42) dynamically dominates p1 (5,30) w.r.t.
+/// // q (8.5,55).
+/// let q = Point::xy(8.5, 55.0);
+/// assert!(dominates_dyn(&Point::xy(7.5, 42.0), &Point::xy(5.0, 30.0), &q));
+/// ```
+pub fn dominates_dyn(a: &Point, b: &Point, q: &Point) -> bool {
+    debug_assert_eq!(a.dim(), b.dim());
+    debug_assert_eq!(a.dim(), q.dim());
+    let mut strict = false;
+    for i in 0..a.dim() {
+        let da = (q[i] - a[i]).abs();
+        let db = (q[i] - b[i]).abs();
+        if da > db {
+            return false;
+        }
+        if da < db {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Compares `a` and `b` under dynamic dominance w.r.t. `q` in one pass.
+pub fn compare_dyn(a: &Point, b: &Point, q: &Point) -> Dominance {
+    debug_assert_eq!(a.dim(), b.dim());
+    debug_assert_eq!(a.dim(), q.dim());
+    let (mut a_better, mut b_better) = (false, false);
+    for i in 0..a.dim() {
+        let da = (q[i] - a[i]).abs();
+        let db = (q[i] - b[i]).abs();
+        if da < db {
+            a_better = true;
+        } else if db < da {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return Dominance::Neither;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => Dominance::Left,
+        (false, true) => Dominance::Right,
+        _ => Dominance::Neither,
+    }
+}
+
+/// Global dominance (Dellis & Seeger): dynamic dominance where `a` and `b`
+/// additionally lie on the same side of `q` in every dimension.
+///
+/// Points for which some product globally dominates them can never be
+/// reverse-skyline points, so the global skyline is a superset of the
+/// reverse skyline — the candidate set BBRS verifies with window queries.
+pub fn dominates_global(a: &Point, b: &Point, q: &Point) -> bool {
+    debug_assert_eq!(a.dim(), b.dim());
+    debug_assert_eq!(a.dim(), q.dim());
+    let mut strict = false;
+    for i in 0..a.dim() {
+        let sa = a[i] - q[i];
+        let sb = b[i] - q[i];
+        // Opposite (strict) sides of q in dimension i ⇒ incomparable.
+        if sa * sb < 0.0 {
+            return false;
+        }
+        let (da, db) = (sa.abs(), sb.abs());
+        if da > db {
+            return false;
+        }
+        if da < db {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Removes every point of `points` that is dominated (per `dominated_by`)
+/// by another member, in place. Quadratic; intended for the small candidate
+/// sets (`Λ`, `F`, `M`) the paper's algorithms manipulate.
+pub fn prune_dominated(points: &mut Vec<Point>, dominated_by: impl Fn(&Point, &Point) -> bool) {
+    let mut keep = vec![true; points.len()];
+    for i in 0..points.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..points.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            if dominated_by(&points[j], &points[i]) {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    let mut it = keep.iter();
+    points.retain(|_| *it.next().expect("keep mask matches points length"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::xy(x, y)
+    }
+
+    #[test]
+    fn static_dominance_paper_example() {
+        // Fig. 1(b): skyline of all 8 car points is {p1, p3, p5};
+        // p4 is dominated by p1 and p3.
+        let p1 = p(5.0, 30.0);
+        let p3 = p(2.5, 70.0);
+        let p4 = p(7.5, 90.0);
+        assert!(dominates(&p1, &p4));
+        assert!(dominates(&p3, &p4));
+        assert!(!dominates(&p4, &p1));
+        assert!(!dominates(&p1, &p3));
+        assert!(!dominates(&p3, &p1));
+    }
+
+    #[test]
+    fn dominance_is_irreflexive() {
+        let a = p(1.0, 1.0);
+        assert!(!dominates(&a, &a));
+    }
+
+    #[test]
+    fn compare_matches_dominates() {
+        let a = p(1.0, 2.0);
+        let b = p(2.0, 3.0);
+        assert_eq!(compare(&a, &b), Dominance::Left);
+        assert_eq!(compare(&b, &a), Dominance::Right);
+        assert_eq!(compare(&a, &a), Dominance::Neither);
+        assert_eq!(compare(&p(1.0, 4.0), &p(2.0, 3.0)), Dominance::Neither);
+    }
+
+    #[test]
+    fn dynamic_dominance_fig2() {
+        // Fig. 2(a): DSL(q) = {p2, p6} for q(8.5, 55); p1 is dominated by
+        // p2 w.r.t. q.
+        let q = p(8.5, 55.0);
+        let p1 = p(5.0, 30.0);
+        let p2 = p(7.5, 42.0);
+        let p6 = p(20.0, 50.0);
+        assert!(dominates_dyn(&p2, &p1, &q));
+        assert!(!dominates_dyn(&p1, &p2, &q));
+        assert!(!dominates_dyn(&p2, &p6, &q));
+        assert!(!dominates_dyn(&p6, &p2, &q));
+    }
+
+    #[test]
+    fn dynamic_equals_static_after_transform() {
+        let q = p(3.0, 7.0);
+        let a = p(1.0, 9.0);
+        let b = p(6.0, 2.0);
+        assert_eq!(
+            dominates_dyn(&a, &b, &q),
+            dominates(&a.abs_diff(&q), &b.abs_diff(&q))
+        );
+        assert_eq!(
+            dominates_dyn(&b, &a, &q),
+            dominates(&b.abs_diff(&q), &a.abs_diff(&q))
+        );
+    }
+
+    #[test]
+    fn global_requires_same_orthant() {
+        let q = p(0.0, 0.0);
+        // a and b equidistant pattern but opposite sides in x.
+        let a = p(1.0, 1.0);
+        let b = p(-2.0, 2.0);
+        assert!(dominates_dyn(&a, &b, &q));
+        assert!(!dominates_global(&a, &b, &q));
+        // Same orthant: global follows dynamic.
+        let c = p(2.0, 2.0);
+        assert!(dominates_global(&a, &c, &q));
+    }
+
+    #[test]
+    fn global_boundary_point_on_axis() {
+        // A point sitting exactly on the query axis belongs to both sides:
+        // sa * sb == 0 must not count as "opposite sides".
+        let q = p(0.0, 0.0);
+        let on_axis = p(0.0, 1.0);
+        let inside = p(1.0, 2.0);
+        assert!(dominates_global(&on_axis, &inside, &q));
+    }
+
+    #[test]
+    fn prune_keeps_skyline_only() {
+        let mut pts = vec![p(1.0, 5.0), p(2.0, 2.0), p(5.0, 1.0), p(3.0, 3.0), p(6.0, 6.0)];
+        prune_dominated(&mut pts, dominates);
+        assert_eq!(pts.len(), 3);
+        assert!(pts.iter().any(|x| x.same_location(&p(1.0, 5.0))));
+        assert!(pts.iter().any(|x| x.same_location(&p(2.0, 2.0))));
+        assert!(pts.iter().any(|x| x.same_location(&p(5.0, 1.0))));
+    }
+
+    #[test]
+    fn prune_with_duplicates_keeps_one_of_each() {
+        // Duplicates do not dominate each other, so both survive — matching
+        // the skyline definition.
+        let mut pts = vec![p(1.0, 1.0), p(1.0, 1.0), p(2.0, 2.0)];
+        prune_dominated(&mut pts, dominates);
+        assert_eq!(pts.len(), 2);
+    }
+}

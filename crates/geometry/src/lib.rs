@@ -1,0 +1,39 @@
+//! # wnrs-geometry
+//!
+//! Geometric kernel for the why-not reverse-skyline library.
+//!
+//! Provides the d-dimensional primitives every other crate builds on:
+//!
+//! * [`Point`] — an immutable d-dimensional point with value semantics.
+//! * [`Rect`] — an axis-aligned (hyper-)rectangle.
+//! * [`dominance`] — static, dynamic and global dominance tests used by
+//!   skyline, dynamic-skyline and reverse-skyline computations.
+//! * [`transform`] — the coordinate-wise absolute-distance transform that
+//!   maps a dataset into the space centred at a query/customer point, and
+//!   the orthant bookkeeping needed to map regions back.
+//! * [`Region`] — a union-of-boxes region with intersection, area,
+//!   membership and nearest-point queries; the representation used for
+//!   anti-dominance regions and safe regions.
+//! * [`normalize`] — min–max normalisation (the paper's evaluation metric
+//!   space).
+//! * [`cost`] — weighted L1 edit-distance cost model (Eqns 8–11 of the
+//!   paper).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod dominance;
+pub mod normalize;
+pub mod point;
+pub mod rect;
+pub mod region;
+pub mod transform;
+
+pub use cost::{CostModel, Weights};
+pub use dominance::{dominates, dominates_dyn, dominates_global, Dominance};
+pub use normalize::MinMaxNormalizer;
+pub use point::Point;
+pub use rect::Rect;
+pub use region::Region;
+pub use transform::{orthant_of, reflect_rect, to_distance_space, Orthant};

@@ -1,0 +1,125 @@
+//! Min–max normalisation.
+//!
+//! The paper's evaluation (Section VI-A) computes all solution costs on
+//! min–max-normalised coordinates so that scores are comparable across
+//! dimensions with different units (price in dollars vs mileage in miles).
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A per-dimension affine map onto `[0, 1]` fitted to a dataset.
+///
+/// Dimensions with zero spread map to `0.0` (any constant would do; zero
+/// keeps costs of unchanged coordinates at zero).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxNormalizer {
+    lo: Vec<f64>,
+    span: Vec<f64>,
+}
+
+impl MinMaxNormalizer {
+    /// Fits the normaliser to a non-empty dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn fit(points: &[Point]) -> Self {
+        assert!(!points.is_empty(), "cannot fit a normaliser to no data");
+        let bounds = Rect::bounding(points);
+        Self::from_bounds(&bounds)
+    }
+
+    /// Builds the normaliser from explicit data bounds.
+    pub fn from_bounds(bounds: &Rect) -> Self {
+        let d = bounds.dim();
+        let lo = bounds.lo().coords().to_vec();
+        let span = (0..d).map(|i| bounds.extent(i)).collect();
+        Self { lo, span }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Maps a point into normalised space. Points outside the fitted
+    /// bounds map outside `[0, 1]` — the map is affine, not clamping, so
+    /// that distances stay proportional.
+    pub fn normalize(&self, p: &Point) -> Point {
+        assert_eq!(p.dim(), self.dim(), "dimensionality mismatch");
+        Point::new(
+            (0..self.dim())
+                .map(|i| {
+                    if self.span[i] > 0.0 {
+                        (p[i] - self.lo[i]) / self.span[i]
+                    } else {
+                        0.0
+                    }
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Inverse map from normalised space back to data space.
+    pub fn denormalize(&self, p: &Point) -> Point {
+        assert_eq!(p.dim(), self.dim(), "dimensionality mismatch");
+        Point::new(
+            (0..self.dim())
+                .map(|i| self.lo[i] + p[i] * self.span[i])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Normalised L1 distance between two data-space points: the building
+    /// block of the paper's cost scores.
+    pub fn l1(&self, a: &Point, b: &Point) -> f64 {
+        self.normalize(a).l1(&self.normalize(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_and_normalize() {
+        let pts = vec![Point::xy(0.0, 10.0), Point::xy(10.0, 20.0), Point::xy(5.0, 15.0)];
+        let n = MinMaxNormalizer::fit(&pts);
+        assert!(n.normalize(&Point::xy(0.0, 10.0)).same_location(&Point::xy(0.0, 0.0)));
+        assert!(n.normalize(&Point::xy(10.0, 20.0)).same_location(&Point::xy(1.0, 1.0)));
+        assert!(n.normalize(&Point::xy(5.0, 15.0)).same_location(&Point::xy(0.5, 0.5)));
+    }
+
+    #[test]
+    fn round_trip() {
+        let pts = vec![Point::xy(-3.0, 100.0), Point::xy(7.0, 400.0)];
+        let n = MinMaxNormalizer::fit(&pts);
+        let p = Point::xy(2.0, 250.0);
+        assert!(n.denormalize(&n.normalize(&p)).approx_eq(&p, 1e-9));
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_zero() {
+        let pts = vec![Point::xy(5.0, 1.0), Point::xy(5.0, 2.0)];
+        let n = MinMaxNormalizer::fit(&pts);
+        assert_eq!(n.normalize(&Point::xy(5.0, 1.5))[0], 0.0);
+        // Distances along the constant dimension are zero.
+        assert_eq!(n.l1(&Point::xy(5.0, 1.0), &Point::xy(5.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_points_extrapolate() {
+        let pts = vec![Point::xy(0.0, 0.0), Point::xy(10.0, 10.0)];
+        let n = MinMaxNormalizer::fit(&pts);
+        assert_eq!(n.normalize(&Point::xy(20.0, -10.0))[0], 2.0);
+        assert_eq!(n.normalize(&Point::xy(20.0, -10.0))[1], -1.0);
+    }
+
+    #[test]
+    fn normalized_l1() {
+        let pts = vec![Point::xy(0.0, 0.0), Point::xy(10.0, 100.0)];
+        let n = MinMaxNormalizer::fit(&pts);
+        let d = n.l1(&Point::xy(0.0, 0.0), &Point::xy(5.0, 50.0));
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,417 @@
+//! Union-of-boxes regions.
+//!
+//! The paper represents both the anti-dominance region `anti-DDR(c)` and
+//! the safe region `SR(q)` as collections of (possibly overlapping)
+//! axis-aligned rectangles, and computes `SR(q)` as the pairwise
+//! intersection product `r11·r21 + r11·r22 + …` (Section V-B). [`Region`]
+//! is that representation with the operations the algorithms need:
+//! intersection, membership, union area, and nearest-point queries.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use std::fmt;
+
+/// A (possibly empty) region of `R^d` represented as a union of
+/// axis-aligned boxes. Boxes may overlap; containment-redundant boxes are
+/// pruned eagerly so the representation stays small under repeated
+/// intersection.
+#[derive(Clone, PartialEq, Default)]
+pub struct Region {
+    boxes: Vec<Rect>,
+}
+
+impl Region {
+    /// The empty region.
+    pub fn empty() -> Self {
+        Self { boxes: Vec::new() }
+    }
+
+    /// A region consisting of a single box.
+    pub fn from_rect(r: Rect) -> Self {
+        Self { boxes: vec![r] }
+    }
+
+    /// A region from a collection of boxes; containment-redundant members
+    /// are pruned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boxes disagree in dimensionality.
+    pub fn from_boxes(boxes: Vec<Rect>) -> Self {
+        if let Some(first) = boxes.first() {
+            let d = first.dim();
+            assert!(
+                boxes.iter().all(|b| b.dim() == d),
+                "all boxes of a region must share dimensionality"
+            );
+        }
+        let mut region = Self { boxes };
+        region.prune();
+        region
+    }
+
+    /// The boxes making up the region.
+    pub fn boxes(&self) -> &[Rect] {
+        &self.boxes
+    }
+
+    /// Whether the region contains no box.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Number of boxes in the representation.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Dimensionality, or `None` for the empty region.
+    pub fn dim(&self) -> Option<usize> {
+        self.boxes.first().map(|b| b.dim())
+    }
+
+    /// Whether `p` lies in the region (boundary inclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        self.boxes.iter().any(|b| b.contains_point(p))
+    }
+
+    /// Intersects with a single box.
+    pub fn intersect_rect(&self, r: &Rect) -> Region {
+        Region::from_boxes(
+            self.boxes
+                .iter()
+                .filter_map(|b| b.intersection(r))
+                .collect(),
+        )
+    }
+
+    /// Intersects two regions: the pairwise product of their boxes with
+    /// containment pruning (`(r11 + r12) · (r21 + r22) = r11·r21 + …`).
+    pub fn intersect(&self, other: &Region) -> Region {
+        let mut out = Vec::new();
+        for a in &self.boxes {
+            for b in &other.boxes {
+                if let Some(i) = a.intersection(b) {
+                    out.push(i);
+                }
+            }
+        }
+        Region::from_boxes(out)
+    }
+
+    /// Unions two regions (concatenation + containment pruning).
+    pub fn union(&self, other: &Region) -> Region {
+        let mut boxes = self.boxes.clone();
+        boxes.extend(other.boxes.iter().cloned());
+        Region::from_boxes(boxes)
+    }
+
+    /// Adds a box to the region.
+    pub fn push(&mut self, r: Rect) {
+        if let Some(d) = self.dim() {
+            assert_eq!(d, r.dim(), "box dimensionality mismatch");
+        }
+        self.boxes.push(r);
+        self.prune();
+    }
+
+    /// Exact d-dimensional volume of the union, by coordinate compression:
+    /// the box bounds induce a grid; a grid cell is covered iff its centre
+    /// is covered. Runs in `O((2m)^d · m)` for `m` boxes — fine for the
+    /// small unions that survive safe-region pruning. Degenerate boxes
+    /// contribute zero volume.
+    pub fn area(&self) -> f64 {
+        let Some(d) = self.dim() else { return 0.0 };
+        // Collect and sort the distinct coordinates per dimension.
+        let mut cuts: Vec<Vec<f64>> = vec![Vec::new(); d];
+        for b in &self.boxes {
+            for (i, cut) in cuts.iter_mut().enumerate() {
+                cut.push(b.lo()[i]);
+                cut.push(b.hi()[i]);
+            }
+        }
+        for c in &mut cuts {
+            c.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+            c.dedup();
+        }
+        // Walk the grid cells in mixed-radix order.
+        let radix: Vec<usize> = cuts.iter().map(|c| c.len().saturating_sub(1)).collect();
+        if radix.contains(&0) {
+            return 0.0;
+        }
+        let total: usize = radix.iter().product();
+        let mut sum = 0.0;
+        let mut idx = vec![0usize; d];
+        for _ in 0..total {
+            let mut vol = 1.0;
+            let mut center = Vec::with_capacity(d);
+            for i in 0..d {
+                let (lo, hi) = (cuts[i][idx[i]], cuts[i][idx[i] + 1]);
+                vol *= hi - lo;
+                center.push(0.5 * (lo + hi));
+            }
+            if vol > 0.0 {
+                let c = Point::new(center);
+                if self.boxes.iter().any(|b| b.contains_point(&c)) {
+                    sum += vol;
+                }
+            }
+            // Increment mixed-radix counter.
+            for i in 0..d {
+                idx[i] += 1;
+                if idx[i] < radix[i] {
+                    break;
+                }
+                idx[i] = 0;
+            }
+        }
+        sum
+    }
+
+    /// The point of the region nearest to `p` under L1 distance, or `None`
+    /// for the empty region. Ties broken by box order.
+    pub fn nearest_point_l1(&self, p: &Point) -> Option<Point> {
+        self.boxes
+            .iter()
+            .map(|b| b.nearest_point(p))
+            .min_by(|a, b| {
+                a.l1(p)
+                    .partial_cmp(&b.l1(p))
+                    .expect("finite distances")
+            })
+    }
+
+    /// The point of the region nearest to `p` under L2 distance.
+    pub fn nearest_point_l2(&self, p: &Point) -> Option<Point> {
+        self.boxes
+            .iter()
+            .map(|b| b.nearest_point(p))
+            .min_by(|a, b| {
+                a.dist2(p)
+                    .partial_cmp(&b.dist2(p))
+                    .expect("finite distances")
+            })
+    }
+
+    /// Minimum L1 distance from `p` to the region (zero if inside,
+    /// `None` if empty).
+    pub fn min_l1(&self, p: &Point) -> Option<f64> {
+        self.boxes
+            .iter()
+            .map(|b| b.min_l1(p))
+            .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+    }
+
+    /// Shrinks every box by `eps` on each side (per dimension), dropping
+    /// boxes that collapse below zero extent. The result is a closed
+    /// region contained in the *interior* of the original — useful when
+    /// a strictly-interior point is needed (every point of a closed
+    /// anti-dominance/safe region is only a limit of strictly valid
+    /// points; see the boundary discussion in `wnrs-skyline::ddr`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative.
+    pub fn shrink(&self, eps: f64) -> Region {
+        assert!(eps >= 0.0, "eps must be non-negative");
+        if eps == 0.0 {
+            return self.clone();
+        }
+        Region::from_boxes(
+            self.boxes
+                .iter()
+                .filter_map(|b| {
+                    let d = b.dim();
+                    let mut lo = Vec::with_capacity(d);
+                    let mut hi = Vec::with_capacity(d);
+                    for i in 0..d {
+                        let l = b.lo()[i] + eps;
+                        let h = b.hi()[i] - eps;
+                        if l > h {
+                            return None;
+                        }
+                        lo.push(l);
+                        hi.push(h);
+                    }
+                    Some(Rect::new(Point::new(lo), Point::new(hi)))
+                })
+                .collect(),
+        )
+    }
+
+    /// Bounding box of the region, or `None` if empty.
+    pub fn bounding(&self) -> Option<Rect> {
+        let mut it = self.boxes.iter();
+        let first = it.next()?.clone();
+        Some(it.fold(first, |acc, b| acc.union_mbr(b)))
+    }
+
+    /// Removes boxes contained in another box of the region (duplicates
+    /// collapse to one).
+    fn prune(&mut self) {
+        let n = self.boxes.len();
+        if n <= 1 {
+            return;
+        }
+        let mut keep = vec![true; n];
+        for i in 0..n {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..n {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if self.boxes[j].contains_rect(&self.boxes[i])
+                    && (self.boxes[j] != self.boxes[i] || j < i)
+                {
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
+        let mut it = keep.iter();
+        self.boxes.retain(|_| *it.next().expect("mask length"));
+    }
+}
+
+impl fmt::Debug for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.boxes.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect {
+        Rect::new(Point::xy(lx, ly), Point::xy(hx, hy))
+    }
+
+    #[test]
+    fn empty_region() {
+        let e = Region::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert!(!e.contains(&Point::xy(0.0, 0.0)));
+        assert!(e.nearest_point_l1(&Point::xy(0.0, 0.0)).is_none());
+        assert!(e.bounding().is_none());
+    }
+
+    #[test]
+    fn prune_contained_and_duplicate_boxes() {
+        let region = Region::from_boxes(vec![
+            r(0.0, 0.0, 4.0, 4.0),
+            r(1.0, 1.0, 2.0, 2.0), // contained
+            r(0.0, 0.0, 4.0, 4.0), // duplicate
+            r(3.0, 3.0, 6.0, 6.0), // partial overlap — kept
+        ]);
+        assert_eq!(region.len(), 2);
+    }
+
+    #[test]
+    fn membership() {
+        let region = Region::from_boxes(vec![r(0.0, 0.0, 1.0, 1.0), r(2.0, 2.0, 3.0, 3.0)]);
+        assert!(region.contains(&Point::xy(0.5, 0.5)));
+        assert!(region.contains(&Point::xy(1.0, 1.0)), "boundary inclusive");
+        assert!(!region.contains(&Point::xy(1.5, 1.5)));
+        assert!(region.contains(&Point::xy(2.5, 3.0)));
+    }
+
+    #[test]
+    fn intersection_of_unions() {
+        // (r11 + r12) · (r21 + r22) from the paper's Section V-B.
+        let a = Region::from_boxes(vec![r(0.0, 0.0, 2.0, 4.0), r(0.0, 0.0, 4.0, 2.0)]);
+        let b = Region::from_boxes(vec![r(1.0, 1.0, 5.0, 5.0)]);
+        let i = a.intersect(&b);
+        assert_eq!(i.len(), 2);
+        assert!(i.contains(&Point::xy(1.5, 3.0)));
+        assert!(i.contains(&Point::xy(3.0, 1.5)));
+        assert!(!i.contains(&Point::xy(3.0, 3.0)));
+    }
+
+    #[test]
+    fn intersection_disjoint_is_empty() {
+        let a = Region::from_rect(r(0.0, 0.0, 1.0, 1.0));
+        let b = Region::from_rect(r(2.0, 2.0, 3.0, 3.0));
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn union_area_accounts_for_overlap() {
+        // Two 2×2 boxes overlapping in a 1×1 square: area 4 + 4 − 1 = 7.
+        let region = Region::from_boxes(vec![r(0.0, 0.0, 2.0, 2.0), r(1.0, 1.0, 3.0, 3.0)]);
+        assert!((region.area() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_area_disjoint_adds() {
+        let region = Region::from_boxes(vec![r(0.0, 0.0, 1.0, 1.0), r(5.0, 5.0, 7.0, 6.0)]);
+        assert!((region.area() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_3d() {
+        let unit = Rect::new(Point::new(vec![0.0; 3]), Point::new(vec![1.0; 3]));
+        let shifted = Rect::new(
+            Point::new(vec![0.5, 0.0, 0.0]),
+            Point::new(vec![1.5, 1.0, 1.0]),
+        );
+        let region = Region::from_boxes(vec![unit, shifted]);
+        assert!((region.area() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_boxes_have_zero_area_but_count_for_membership() {
+        let region = Region::from_rect(Rect::degenerate(Point::xy(1.0, 1.0)));
+        assert_eq!(region.area(), 0.0);
+        assert!(region.contains(&Point::xy(1.0, 1.0)));
+    }
+
+    #[test]
+    fn nearest_point_picks_closest_box() {
+        let region = Region::from_boxes(vec![r(0.0, 0.0, 1.0, 1.0), r(10.0, 0.0, 11.0, 1.0)]);
+        let p = Point::xy(9.0, 0.5);
+        let n = region.nearest_point_l1(&p).expect("non-empty");
+        assert!(n.same_location(&Point::xy(10.0, 0.5)));
+        assert_eq!(region.min_l1(&p), Some(1.0));
+        // Inside point maps to itself.
+        let inside = Point::xy(0.5, 0.5);
+        assert!(region
+            .nearest_point_l2(&inside)
+            .expect("non-empty")
+            .same_location(&inside));
+        assert_eq!(region.min_l1(&inside), Some(0.0));
+    }
+
+    #[test]
+    fn bounding_box() {
+        let region = Region::from_boxes(vec![r(0.0, 0.0, 1.0, 1.0), r(5.0, -2.0, 6.0, 0.5)]);
+        assert_eq!(region.bounding(), Some(r(0.0, -2.0, 6.0, 1.0)));
+    }
+
+    #[test]
+    fn shrink_contracts_and_drops_degenerate() {
+        let region = Region::from_boxes(vec![
+            r(0.0, 0.0, 10.0, 10.0),
+            r(20.0, 20.0, 20.5, 30.0), // collapses in x at eps = 1
+        ]);
+        let s = region.shrink(1.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.boxes()[0], r(1.0, 1.0, 9.0, 9.0));
+        // eps = 0 is the identity.
+        assert_eq!(region.shrink(0.0), region);
+        // Full collapse yields the empty region.
+        assert!(region.shrink(100.0).is_empty());
+    }
+
+    #[test]
+    fn push_maintains_pruning() {
+        let mut region = Region::from_rect(r(0.0, 0.0, 4.0, 4.0));
+        region.push(r(1.0, 1.0, 2.0, 2.0));
+        assert_eq!(region.len(), 1);
+        region.push(r(3.0, 3.0, 5.0, 5.0));
+        assert_eq!(region.len(), 2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests of the geometric kernel's algebraic laws.
+
+use proptest::prelude::*;
+use wnrs_geometry::{
+    dominance::{compare, compare_dyn, prune_dominated},
+    dominates, dominates_dyn, dominates_global, orthant_of, reflect_rect, Dominance,
+    MinMaxNormalizer, Point, Rect, Region, Weights,
+};
+
+fn arb_point(dim: usize) -> impl Strategy<Value = Point> {
+    prop::collection::vec(-1000.0f64..1000.0, dim).prop_map(Point::new)
+}
+
+fn arb_rect(dim: usize) -> impl Strategy<Value = Rect> {
+    (arb_point(dim), prop::collection::vec(0.0f64..500.0, dim)).prop_map(|(lo, ext)| {
+        let hi = Point::new(
+            (0..lo.dim()).map(|i| lo[i] + ext[i]).collect::<Vec<_>>(),
+        );
+        Rect::new(lo, hi)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---------------- dominance laws ----------------
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(a in arb_point(3), b in arb_point(3)) {
+        prop_assert!(!dominates(&a, &a));
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+    }
+
+    #[test]
+    fn dominance_is_transitive(a in arb_point(3), b in arb_point(3), c in arb_point(3)) {
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c));
+        }
+    }
+
+    #[test]
+    fn compare_is_consistent_with_dominates(a in arb_point(3), b in arb_point(3)) {
+        let expected = match (dominates(&a, &b), dominates(&b, &a)) {
+            (true, false) => Dominance::Left,
+            (false, true) => Dominance::Right,
+            _ => Dominance::Neither,
+        };
+        prop_assert_eq!(compare(&a, &b), expected);
+    }
+
+    #[test]
+    fn dynamic_dominance_is_static_after_transform(
+        a in arb_point(2), b in arb_point(2), q in arb_point(2)
+    ) {
+        prop_assert_eq!(
+            dominates_dyn(&a, &b, &q),
+            dominates(&a.abs_diff(&q), &b.abs_diff(&q))
+        );
+        let expected = match (dominates_dyn(&a, &b, &q), dominates_dyn(&b, &a, &q)) {
+            (true, false) => Dominance::Left,
+            (false, true) => Dominance::Right,
+            _ => Dominance::Neither,
+        };
+        prop_assert_eq!(compare_dyn(&a, &b, &q), expected);
+    }
+
+    #[test]
+    fn global_dominance_implies_dynamic(a in arb_point(3), b in arb_point(3), q in arb_point(3)) {
+        if dominates_global(&a, &b, &q) {
+            prop_assert!(dominates_dyn(&a, &b, &q));
+        }
+    }
+
+    #[test]
+    fn prune_leaves_an_antichain(pts in prop::collection::vec(arb_point(2), 0..40)) {
+        let mut sky = pts.clone();
+        prune_dominated(&mut sky, dominates);
+        for a in &sky {
+            for b in &sky {
+                if !a.same_location(b) {
+                    prop_assert!(!dominates(a, b));
+                }
+            }
+        }
+        // Every removed point is dominated by a survivor.
+        for p in &pts {
+            if !sky.iter().any(|s| s.same_location(p)) {
+                prop_assert!(sky.iter().any(|s| dominates(s, p)));
+            }
+        }
+    }
+
+    // ---------------- rectangles ----------------
+
+    #[test]
+    fn intersection_is_commutative_and_contained(a in arb_rect(2), b in arb_rect(2)) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(&ab, &ba);
+        if let Some(i) = ab {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() <= a.area().min(b.area()) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn union_mbr_covers_both(a in arb_rect(3), b in arb_rect(3)) {
+        let u = a.union_mbr(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn nearest_point_minimises_distance(r in arb_rect(2), p in arb_point(2)) {
+        let n = r.nearest_point(&p);
+        prop_assert!(r.contains_point(&n));
+        prop_assert!((n.dist2(&p) - r.min_dist2(&p)).abs() < 1e-6);
+        // No corner is closer.
+        for c in r.corner_points() {
+            prop_assert!(n.dist2(&p) <= c.dist2(&p) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn window_rect_contains_q_and_is_symmetric(c in arb_point(2), q in arb_point(2)) {
+        let w = Rect::window(&c, &q);
+        prop_assert!(w.contains_point(&q));
+        prop_assert!(w.contains_point(&c));
+        prop_assert!(w.center().approx_eq(&c, 1e-6));
+    }
+
+    // ---------------- transforms ----------------
+
+    #[test]
+    fn reflect_rect_round_trips_the_query(c in arb_point(2), q in arb_point(2)) {
+        let u = q.abs_diff(&c);
+        let r = reflect_rect(&c, &u);
+        prop_assert!(r.contains_point(&q));
+        prop_assert!(r.contains_point(&c));
+        let _ = orthant_of(&q, &c); // never panics for finite inputs
+    }
+
+    // ---------------- normaliser & weights ----------------
+
+    #[test]
+    fn normalizer_round_trips(pts in prop::collection::vec(arb_point(2), 2..20), p in arb_point(2)) {
+        let n = MinMaxNormalizer::fit(&pts);
+        let back = n.denormalize(&n.normalize(&p));
+        // Constant dimensions lose information; only check when spread exists.
+        let bounds = Rect::bounding(&pts);
+        for i in 0..2 {
+            if bounds.extent(i) > 0.0 {
+                prop_assert!((back[i] - p[i]).abs() < 1e-6 * (1.0 + p[i].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_l1_is_a_metric_scaled(a in arb_point(2), b in arb_point(2), c in arb_point(2)) {
+        let w = Weights::new(vec![0.7, 0.3]);
+        let d = |x: &Point, y: &Point| w.weighted_l1(x, y);
+        prop_assert!((d(&a, &b) - d(&b, &a)).abs() < 1e-9);
+        prop_assert!(d(&a, &c) <= d(&a, &b) + d(&b, &c) + 1e-9);
+        prop_assert_eq!(d(&a, &a), 0.0);
+    }
+
+    // ---------------- regions ----------------
+
+    #[test]
+    fn region_area_is_subadditive(rects in prop::collection::vec(arb_rect(2), 1..8)) {
+        let region = Region::from_boxes(rects.clone());
+        let sum: f64 = rects.iter().map(|r| r.area()).sum();
+        prop_assert!(region.area() <= sum + 1e-6);
+        let max: f64 = rects.iter().map(|r| r.area()).fold(0.0, f64::max);
+        prop_assert!(region.area() + 1e-6 >= max);
+    }
+
+    #[test]
+    fn region_shrink_is_contained(rects in prop::collection::vec(arb_rect(2), 1..6), eps in 0.0f64..10.0) {
+        let region = Region::from_boxes(rects);
+        let shrunk = region.shrink(eps);
+        prop_assert!(shrunk.area() <= region.area() + 1e-9);
+        for b in shrunk.boxes() {
+            prop_assert!(region.contains(&b.center()));
+        }
+    }
+
+    #[test]
+    fn region_nearest_point_is_inside_and_minimal(
+        rects in prop::collection::vec(arb_rect(2), 1..6),
+        p in arb_point(2),
+    ) {
+        let region = Region::from_boxes(rects);
+        let n = region.nearest_point_l1(&p).expect("non-empty");
+        prop_assert!(region.contains(&n));
+        let d = region.min_l1(&p).expect("non-empty");
+        prop_assert!((n.l1(&p) - d).abs() < 1e-9);
+        if region.contains(&p) {
+            prop_assert_eq!(d, 0.0);
+        }
+    }
+}

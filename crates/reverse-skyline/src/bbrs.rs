@@ -1,0 +1,199 @@
+//! BBRS — branch-and-bound reverse skyline (Dellis & Seeger, VLDB'07).
+//!
+//! For the monochromatic setting (every data point is both product and
+//! customer) the reverse skyline of `q` is a subset of the **global
+//! skyline** of `q`: the points not *globally* dominated by any other
+//! point, where global dominance is dynamic dominance restricted to a
+//! single orthant of `q`. BBRS therefore:
+//!
+//! 1. computes the global skyline with a best-first R-tree traversal,
+//!    pruning subtrees wholly globally dominated by a found candidate;
+//! 2. verifies each candidate `c` with a window query (excluding `c`'s
+//!    own tuple), exactly as the naive algorithm would — but over a far
+//!    smaller candidate set.
+
+use crate::window::is_reverse_skyline_member;
+use wnrs_geometry::{dominates_global, Point, Rect};
+use wnrs_rtree::{BestFirst, ItemId, RTree, Traversal};
+
+/// Whether `s` globally dominates *every* point of `rect` w.r.t. `q`:
+/// per dimension the rectangle must lie weakly on `s`'s side of `q` and
+/// no closer to `q` than `s`, strictly farther in at least one dimension.
+fn globally_dominates_rect(s: &Point, rect: &Rect, q: &Point) -> bool {
+    let d = q.dim();
+    let mut strict = false;
+    for i in 0..d {
+        if s[i] >= q[i] {
+            // Rect must lie at or above q_i, at or beyond s_i.
+            if rect.lo()[i] < s[i] {
+                return false;
+            }
+            if rect.lo()[i] > s[i] {
+                strict = true;
+            }
+        } else {
+            // Rect must lie at or below q_i, at or beyond s_i.
+            if rect.hi()[i] > s[i] {
+                return false;
+            }
+            if rect.hi()[i] < s[i] {
+                strict = true;
+            }
+        }
+    }
+    strict
+}
+
+/// The global skyline of `q` over the indexed points: all points not
+/// globally dominated by another point. A superset of the reverse
+/// skyline.
+pub fn global_skyline(data: &RTree, q: &Point) -> Vec<(ItemId, Point)> {
+    assert_eq!(q.dim(), data.dim(), "query dimensionality mismatch");
+    let q_key = q.clone();
+    let mut found: Vec<Point> = Vec::new();
+    let mut out: Vec<(ItemId, Point)> = Vec::new();
+    let mut bf = BestFirst::new(data, move |r: &Rect| {
+        wnrs_skyline::transformed_lo(r, &q_key).coords().iter().sum()
+    });
+    while let Some(t) = bf.pop() {
+        match t {
+            Traversal::Node { id, rect, .. } => {
+                if !found.iter().any(|s| globally_dominates_rect(s, &rect, q)) {
+                    bf.expand(id);
+                }
+            }
+            Traversal::Item { id, point, .. } => {
+                if !found.iter().any(|s| dominates_global(s, &point, q)) {
+                    found.push(point.clone());
+                    out.push((id, point));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The monochromatic reverse skyline of `q` via BBRS, sorted by item id.
+/// Produces exactly the same set as
+/// [`crate::naive::rsl_monochromatic_naive`].
+pub fn bbrs_reverse_skyline(data: &RTree, q: &Point) -> Vec<(ItemId, Point)> {
+    let mut out: Vec<(ItemId, Point)> = global_skyline(data, q)
+        .into_iter()
+        .filter(|(id, c)| is_reverse_skyline_member(data, c, q, Some(*id)))
+        .collect();
+    out.sort_by_key(|(id, _)| *id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::rsl_monochromatic_naive;
+    use wnrs_rtree::bulk::bulk_load;
+    use wnrs_rtree::RTreeConfig;
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        (0..n).map(|_| Point::xy(next() * 100.0, next() * 100.0)).collect()
+    }
+
+    #[test]
+    fn paper_example() {
+        let pts = vec![
+            Point::xy(5.0, 30.0),
+            Point::xy(7.5, 42.0),
+            Point::xy(2.5, 70.0),
+            Point::xy(7.5, 90.0),
+            Point::xy(24.0, 20.0),
+            Point::xy(20.0, 50.0),
+            Point::xy(26.0, 70.0),
+            Point::xy(16.0, 80.0),
+        ];
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(4));
+        let q = Point::xy(8.5, 55.0);
+        let got: Vec<u32> = bbrs_reverse_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
+        assert_eq!(got, vec![1, 2, 3, 5, 7]);
+    }
+
+    #[test]
+    fn bbrs_matches_naive_on_random_data() {
+        for seed in [1, 7, 13, 29] {
+            let pts = pseudo_points(400, seed);
+            let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+            let q = Point::xy(47.0, 53.0);
+            let a: Vec<u32> =
+                bbrs_reverse_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
+            let b: Vec<u32> =
+                rsl_monochromatic_naive(&tree, &q).iter().map(|(id, _)| id.0).collect();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn global_skyline_is_superset_of_rsl() {
+        let pts = pseudo_points(500, 5);
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        let q = Point::xy(30.0, 70.0);
+        let globals: Vec<u32> = global_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
+        let rsl: Vec<u32> =
+            bbrs_reverse_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
+        for id in &rsl {
+            assert!(globals.contains(id), "RSL member {id} missing from global skyline");
+        }
+        assert!(globals.len() < pts.len(), "global skyline should prune");
+    }
+
+    #[test]
+    fn global_skyline_matches_bruteforce() {
+        let pts = pseudo_points(300, 99);
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(8));
+        let q = Point::xy(50.0, 50.0);
+        let mut got: Vec<u32> = global_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
+        got.sort_unstable();
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                !pts.iter()
+                    .enumerate()
+                    .any(|(j, p)| j != *i && dominates_global(p, c, &q))
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bbrs_visits_fewer_nodes_than_naive() {
+        let pts = pseudo_points(5000, 77);
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        let q = Point::xy(50.0, 50.0);
+        tree.reset_visits();
+        let _ = bbrs_reverse_skyline(&tree, &q);
+        let bbrs_visits = tree.node_visits();
+        tree.reset_visits();
+        let _ = rsl_monochromatic_naive(&tree, &q);
+        let naive_visits = tree.node_visits();
+        assert!(
+            bbrs_visits < naive_visits,
+            "BBRS {bbrs_visits} visits vs naive {naive_visits}"
+        );
+    }
+
+    #[test]
+    fn query_far_outside_data() {
+        // A query far outside the dataset: every point lies in one
+        // orthant; the global skyline collapses towards the near corner.
+        let pts = pseudo_points(200, 3);
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(8));
+        let q = Point::xy(-500.0, -500.0);
+        let a: Vec<u32> = bbrs_reverse_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
+        let b: Vec<u32> =
+            rsl_monochromatic_naive(&tree, &q).iter().map(|(id, _)| id.0).collect();
+        assert_eq!(a, b);
+    }
+}

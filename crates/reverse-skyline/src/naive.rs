@@ -1,0 +1,155 @@
+//! Naive reverse-skyline evaluation: one window query per customer.
+
+use crate::window::is_reverse_skyline_member;
+use wnrs_geometry::Point;
+use wnrs_rtree::{ItemId, RTree};
+
+/// Bichromatic reverse skyline: indices of the customers in `customers`
+/// whose dynamic skyline contains `q`, given the product index.
+pub fn rsl_bichromatic(products: &RTree, customers: &[Point], q: &Point) -> Vec<usize> {
+    customers
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| is_reverse_skyline_member(products, c, q, None))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Parallel bichromatic reverse skyline over `threads` worker threads
+/// (the index is shared read-only). Output order matches the sequential
+/// version.
+pub fn rsl_bichromatic_parallel(
+    products: &RTree,
+    customers: &[Point],
+    q: &Point,
+    threads: usize,
+) -> Vec<usize> {
+    let threads = threads.max(1);
+    if threads == 1 || customers.len() < 2 * threads {
+        return rsl_bichromatic(products, customers, q);
+    }
+    let chunk = customers.len().div_ceil(threads);
+    let mut results: Vec<Vec<usize>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = customers
+            .chunks(chunk)
+            .enumerate()
+            .map(|(t, chunk_pts)| {
+                scope.spawn(move |_| {
+                    let base = t * chunk;
+                    chunk_pts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| is_reverse_skyline_member(products, c, q, None))
+                        .map(|(i, _)| base + i)
+                        .collect::<Vec<usize>>()
+                })
+            })
+            .collect();
+        results = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+    })
+    .expect("scope panicked");
+    results.into_iter().flatten().collect()
+}
+
+/// Monochromatic reverse skyline by exhaustive membership testing: every
+/// data point is a customer, products are all *other* points. The
+/// reference result BBRS is verified against.
+pub fn rsl_monochromatic_naive(data: &RTree, q: &Point) -> Vec<(ItemId, Point)> {
+    let mut items = data.items();
+    items.sort_by_key(|(id, _)| *id);
+    items
+        .into_iter()
+        .filter(|(id, c)| is_reverse_skyline_member(data, c, q, Some(*id)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnrs_rtree::bulk::bulk_load;
+    use wnrs_rtree::RTreeConfig;
+
+    fn paper_points() -> Vec<Point> {
+        vec![
+            Point::xy(5.0, 30.0),  // 0: pt1
+            Point::xy(7.5, 42.0),  // 1: pt2
+            Point::xy(2.5, 70.0),  // 2: pt3
+            Point::xy(7.5, 90.0),  // 3: pt4
+            Point::xy(24.0, 20.0), // 4: pt5
+            Point::xy(20.0, 50.0), // 5: pt6
+            Point::xy(26.0, 70.0), // 6: pt7
+            Point::xy(16.0, 80.0), // 7: pt8
+        ]
+    }
+
+    #[test]
+    fn monochromatic_rsl_matches_paper_example() {
+        // Section V-B worked example: RSL(q) = {c2, c3, c4, c6, c8} when
+        // all data points serve as products and customers.
+        let pts = paper_points();
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(4));
+        let q = Point::xy(8.5, 55.0);
+        let got: Vec<u32> =
+            rsl_monochromatic_naive(&tree, &q).iter().map(|(id, _)| id.0).collect();
+        assert_eq!(got, vec![1, 2, 3, 5, 7]); // pt2, pt3, pt4, pt6, pt8
+    }
+
+    #[test]
+    fn bichromatic_rsl_paper_example() {
+        // Products p2..p8, customers {c1 = pt1, c2 = pt2}: only c2 is in
+        // RSL(q).
+        let pts = paper_points();
+        let products: Vec<Point> = pts[1..].to_vec();
+        let tree = bulk_load(&products, RTreeConfig::with_max_entries(4));
+        let q = Point::xy(8.5, 55.0);
+        // Note: for c2 the product set should exclude c2's own tuple;
+        // build a tree without p2 for the bichromatic reading of Fig. 4.
+        let products_no_p2: Vec<Point> =
+            pts.iter().enumerate().filter(|(i, _)| *i != 1).map(|(_, p)| p.clone()).collect();
+        let tree_no_p2 = bulk_load(&products_no_p2, RTreeConfig::with_max_entries(4));
+        assert_eq!(rsl_bichromatic(&tree, &[pts[0].clone()], &q), Vec::<usize>::new());
+        assert_eq!(rsl_bichromatic(&tree_no_p2, &[pts[1].clone()], &q), vec![0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pts: Vec<Point> = (0..500)
+            .map(|i| {
+                let f = i as f64;
+                Point::xy((f * 13.1) % 100.0, (f * 41.3) % 100.0)
+            })
+            .collect();
+        let customers: Vec<Point> = (0..300)
+            .map(|i| {
+                let f = i as f64 + 0.5;
+                Point::xy((f * 23.7) % 100.0, (f * 7.9) % 100.0)
+            })
+            .collect();
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        let q = Point::xy(50.0, 50.0);
+        let seq = rsl_bichromatic(&tree, &customers, &q);
+        for t in [2, 4, 7] {
+            assert_eq!(rsl_bichromatic_parallel(&tree, &customers, &q, t), seq, "threads {t}");
+        }
+    }
+
+    #[test]
+    fn parallel_small_input_falls_back() {
+        let pts = paper_points();
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(4));
+        let q = Point::xy(8.5, 55.0);
+        let customers = vec![Point::xy(7.5, 42.0)];
+        assert_eq!(
+            rsl_bichromatic_parallel(&tree, &customers, &q, 8),
+            rsl_bichromatic(&tree, &customers, &q)
+        );
+    }
+
+    #[test]
+    fn empty_customers() {
+        let pts = paper_points();
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(4));
+        assert!(rsl_bichromatic(&tree, &[], &Point::xy(0.0, 0.0)).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! STR (sort-tile-recursive) bulk loading.
+//!
+//! Packs a dataset into a tree level by level: points are sorted and
+//! tiled into contiguous runs along successive dimensions so that each
+//! node receives an evenly sized, spatially coherent chunk. Even chunking
+//! (rather than greedy capacity-filling) guarantees the `min_entries`
+//! invariant for every node, including the last one.
+
+use crate::config::RTreeConfig;
+use crate::node::{Entry, ItemId, Node, NodeId};
+use crate::tree::RTree;
+use wnrs_geometry::Point;
+
+/// Bulk loads `points` into a fresh tree.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or of mixed dimensionality.
+pub fn bulk_load(points: &[Point], config: RTreeConfig) -> RTree {
+    assert!(!points.is_empty(), "bulk_load requires at least one point");
+    let dim = points[0].dim();
+    let entries: Vec<Entry> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            assert_eq!(p.dim(), dim, "mixed dimensionality at point {i}");
+            Entry::item(ItemId(i as u32), p.clone())
+        })
+        .collect();
+    bulk_load_entries(dim, entries, config)
+}
+
+/// Bulk loads explicit `(id, point)` pairs (ids need not be dense).
+pub fn bulk_load_items(dim: usize, items: Vec<(ItemId, Point)>, config: RTreeConfig) -> RTree {
+    assert!(!items.is_empty(), "bulk_load requires at least one item");
+    let entries: Vec<Entry> = items
+        .into_iter()
+        .map(|(id, p)| {
+            assert_eq!(p.dim(), dim, "point dimensionality mismatch");
+            Entry::item(id, p)
+        })
+        .collect();
+    bulk_load_entries(dim, entries, config)
+}
+
+fn bulk_load_entries(dim: usize, entries: Vec<Entry>, config: RTreeConfig) -> RTree {
+    assert!(config.is_valid(), "invalid R*-tree configuration");
+    let len = entries.len();
+    let mut tree = RTree::new(dim, config.clone());
+    // Build leaves, then stack levels until a single node remains.
+    let mut level = 0u32;
+    let mut current = entries;
+    loop {
+        if current.len() <= config.max_entries {
+            let root = push_node(&mut tree, Node::with_entries(level, current));
+            finish(&mut tree, root, level + 1, len);
+            return tree;
+        }
+        let groups = tile(current, 0, dim, &config);
+        current = groups
+            .into_iter()
+            .map(|g| {
+                let node = Node::with_entries(level, g);
+                let mbr = node.mbr();
+                let id = push_node(&mut tree, node);
+                Entry::node(mbr, id)
+            })
+            .collect();
+        level += 1;
+    }
+}
+
+/// Installs `node` into the tree arena, reusing the pre-allocated empty
+/// root slot for the first node pushed.
+fn push_node(tree: &mut RTree, node: Node) -> NodeId {
+    // RTree::new seeds the arena with one empty leaf at index 0; replace
+    // it first, then append.
+    if tree.nodes.len() == 1 && tree.nodes[0].is_empty() && tree.is_empty() {
+        tree.nodes[0] = node;
+        NodeId(0)
+    } else {
+        tree.nodes.push(node);
+        NodeId(tree.nodes.len() as u32 - 1)
+    }
+}
+
+fn finish(tree: &mut RTree, root: NodeId, height: u32, len: usize) {
+    tree.set_bulk_state(root, height, len);
+}
+
+/// Splits `entries` into groups of at most `max_entries`, tiling along
+/// `axis…d-1`. Returns the leaf groups in tile order.
+fn tile(entries: Vec<Entry>, axis: usize, dim: usize, config: &RTreeConfig) -> Vec<Vec<Entry>> {
+    let n = entries.len();
+    let k = n.div_ceil(config.max_entries);
+    if k <= 1 {
+        return vec![entries];
+    }
+    tile_rec(entries, axis, dim, k)
+}
+
+fn tile_rec(mut entries: Vec<Entry>, axis: usize, dim: usize, k: usize) -> Vec<Vec<Entry>> {
+    if k <= 1 || axis == dim - 1 {
+        return chunk_even(entries, k);
+    }
+    let dims_left = dim - axis;
+    // Number of slabs along this axis: k^(1/dims_left), rounded up.
+    let s = (k as f64).powf(1.0 / dims_left as f64).ceil() as usize;
+    let s = s.clamp(1, k);
+    entries.sort_by(|a, b| {
+        a.rect().center()[axis]
+            .partial_cmp(&b.rect().center()[axis])
+            .expect("finite coordinates")
+    });
+    // Distribute the k target nodes over the s slabs, then cut the entry
+    // list proportionally.
+    let mut out = Vec::with_capacity(k);
+    let n = entries.len();
+    let mut consumed_nodes = 0usize;
+    let mut consumed_entries = 0usize;
+    let mut rest = entries;
+    for slab in 0..s {
+        let nodes_here = (k * (slab + 1)) / s - consumed_nodes;
+        if nodes_here == 0 {
+            continue;
+        }
+        let target_end = (n * (consumed_nodes + nodes_here)) / k;
+        let take = target_end - consumed_entries;
+        let tail = rest.split_off(take.min(rest.len()));
+        let slab_entries = std::mem::replace(&mut rest, tail);
+        consumed_nodes += nodes_here;
+        consumed_entries += slab_entries.len();
+        out.extend(tile_rec(slab_entries, axis + 1, dim, nodes_here));
+    }
+    debug_assert!(rest.is_empty());
+    out
+}
+
+/// Splits `entries` into exactly `k` contiguous chunks of near-equal size
+/// after sorting by the last axis.
+fn chunk_even(mut entries: Vec<Entry>, k: usize) -> Vec<Vec<Entry>> {
+    if k <= 1 {
+        return vec![entries];
+    }
+    let axis = entries[0].rect().dim() - 1;
+    entries.sort_by(|a, b| {
+        a.rect().center()[axis]
+            .partial_cmp(&b.rect().center()[axis])
+            .expect("finite coordinates")
+    });
+    let n = entries.len();
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for i in 0..k {
+        let end = (n * (i + 1)) / k;
+        let tail = entries.split_off(end - start);
+        out.push(std::mem::replace(&mut entries, tail));
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_structure;
+    use wnrs_geometry::Rect;
+
+    fn pts(n: usize) -> Vec<Point> {
+        let mut state: u64 = 99;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        (0..n).map(|_| Point::xy(next() * 1000.0, next() * 1000.0)).collect()
+    }
+
+    #[test]
+    fn bulk_load_small() {
+        let points = pts(5);
+        let tree = bulk_load(&points, RTreeConfig::with_max_entries(8));
+        assert_eq!(tree.len(), 5);
+        assert_eq!(tree.height(), 1);
+        check_structure(&tree).expect("valid");
+    }
+
+    #[test]
+    fn bulk_load_various_sizes_valid() {
+        for n in [1, 8, 9, 39, 64, 65, 500, 1537, 10_000] {
+            let points = pts(n);
+            let tree = bulk_load(&points, RTreeConfig::with_max_entries(8));
+            assert_eq!(tree.len(), n, "n = {n}");
+            check_structure(&tree).unwrap_or_else(|e| panic!("n = {n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_linear_scan() {
+        let points = pts(2000);
+        let tree = bulk_load(&points, RTreeConfig::paper_default(2));
+        let w = Rect::new(Point::xy(100.0, 100.0), Point::xy(400.0, 700.0));
+        let mut got: Vec<u32> = tree.window(&w).iter().map(|(id, _)| id.0).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| w.contains_point(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_load_items_with_sparse_ids() {
+        let items = vec![
+            (ItemId(100), Point::xy(0.0, 0.0)),
+            (ItemId(7), Point::xy(1.0, 1.0)),
+            (ItemId(55), Point::xy(2.0, 2.0)),
+        ];
+        let tree = bulk_load_items(2, items, RTreeConfig::with_max_entries(8));
+        assert_eq!(tree.len(), 3);
+        assert!(tree.contains(ItemId(100), &Point::xy(0.0, 0.0)));
+        assert!(tree.contains(ItemId(7), &Point::xy(1.0, 1.0)));
+    }
+
+    #[test]
+    fn bulk_load_3d() {
+        let points: Vec<Point> = (0..1000)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(vec![(f * 3.7) % 97.0, (f * 5.3) % 89.0, (f * 7.1) % 83.0])
+            })
+            .collect();
+        let tree = bulk_load(&points, RTreeConfig::with_max_entries(10));
+        assert_eq!(tree.len(), 1000);
+        check_structure(&tree).expect("valid 3-d bulk load");
+    }
+
+    #[test]
+    fn bulk_loaded_tree_accepts_further_inserts() {
+        let points = pts(300);
+        let mut tree = bulk_load(&points, RTreeConfig::with_max_entries(8));
+        for i in 0..100 {
+            tree.insert(ItemId(1000 + i), Point::xy(i as f64, i as f64));
+        }
+        assert_eq!(tree.len(), 400);
+        check_structure(&tree).expect("valid after mixed load");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_bulk_load_rejected() {
+        let _ = bulk_load(&[], RTreeConfig::with_max_entries(8));
+    }
+}

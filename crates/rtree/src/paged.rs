@@ -1,0 +1,243 @@
+//! A page-resident, read-only R\*-tree view.
+//!
+//! [`crate::persist`] materialises a persisted tree back into an arena;
+//! [`PagedRTree`] instead answers window queries *directly against the
+//! pages*, pulling nodes through an LRU [`BufferPool`] and decoding them
+//! on the fly. This is how the paper's testbed actually executes —
+//! index traffic goes through the buffer manager — and it makes the
+//! logical/physical I/O split measurable: `pool().stats()` reports
+//! hits/misses while queries run with bounded memory.
+
+use crate::config::RTreeConfig;
+use crate::node::ItemId;
+use crate::persist::PersistError;
+use wnrs_geometry::{Point, Rect};
+use wnrs_storage::{BufferPool, Decoder, PageId, Pager};
+
+const MAGIC: u64 = 0x524E_5753_5254_5245; // shared with crate::persist
+const ITEM_TAG: u64 = 1 << 63;
+
+/// One decoded page-resident node.
+struct DecodedNode {
+    level: u32,
+    /// `(tagged child id, lo, hi)` triples.
+    entries: Vec<(u64, Rect)>,
+}
+
+/// A read-only R\*-tree whose nodes live in pages behind a buffer pool.
+pub struct PagedRTree<P: Pager> {
+    pool: BufferPool<P>,
+    root_page: PageId,
+    dim: usize,
+    height: u32,
+    len: usize,
+    config: RTreeConfig,
+}
+
+impl<P: Pager> PagedRTree<P> {
+    /// Opens a tree previously written by [`crate::persist::save`],
+    /// reading only the meta page eagerly.
+    pub fn open(pool: BufferPool<P>, meta_page: PageId) -> Result<Self, PersistError> {
+        let meta = pool.read(meta_page)?;
+        let mut dec = Decoder::new(meta.bytes());
+        if dec.get_u64()? != MAGIC {
+            return Err(PersistError::Format("bad magic".into()));
+        }
+        let dim = dec.get_u32()? as usize;
+        let height = dec.get_u32()?;
+        let len = dec.get_u64()? as usize;
+        let root_page = PageId(dec.get_u64()?);
+        let config = RTreeConfig {
+            max_entries: dec.get_u32()? as usize,
+            min_entries: dec.get_u32()? as usize,
+            reinsert_count: dec.get_u32()? as usize,
+        };
+        if dim == 0 || !config.is_valid() {
+            return Err(PersistError::Format("corrupt meta page".into()));
+        }
+        Ok(Self { pool, root_page, dim, height, len, config })
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The structural configuration recorded at save time.
+    pub fn config(&self) -> &RTreeConfig {
+        &self.config
+    }
+
+    /// The buffer pool (its stats expose logical/physical I/O).
+    pub fn pool(&self) -> &BufferPool<P> {
+        &self.pool
+    }
+
+    fn read_node(&self, page: PageId) -> Result<DecodedNode, PersistError> {
+        let p = self.pool.read(page)?;
+        let mut dec = Decoder::new(p.bytes());
+        let level = dec.get_u32()?;
+        let count = dec.get_u32()? as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let child = dec.get_u64()?;
+            let mut lo = Vec::with_capacity(self.dim);
+            let mut hi = Vec::with_capacity(self.dim);
+            for _ in 0..self.dim {
+                lo.push(dec.get_f64()?);
+            }
+            for _ in 0..self.dim {
+                hi.push(dec.get_f64()?);
+            }
+            entries.push((child, Rect::new(Point::new(lo), Point::new(hi))));
+        }
+        Ok(DecodedNode { level, entries })
+    }
+
+    /// All items inside `window` (boundary inclusive), streamed through
+    /// the buffer pool.
+    pub fn window(&self, window: &Rect) -> Result<Vec<(ItemId, Point)>, PersistError> {
+        assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
+        let mut out = Vec::new();
+        if self.is_empty() {
+            return Ok(out);
+        }
+        let mut stack = vec![self.root_page];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            for (child, rect) in &node.entries {
+                if node.level == 0 {
+                    debug_assert!(child & ITEM_TAG != 0, "leaf entry must be an item");
+                    if window.contains_point(rect.lo()) {
+                        out.push((ItemId((child & !ITEM_TAG) as u32), rect.lo().clone()));
+                    }
+                } else if window.intersects(rect) {
+                    stack.push(PageId(*child));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether any item lies inside `window`.
+    pub fn window_any(&self, window: &Rect) -> Result<bool, PersistError> {
+        assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
+        if self.is_empty() {
+            return Ok(false);
+        }
+        let mut stack = vec![self.root_page];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            for (child, rect) in &node.entries {
+                if node.level == 0 {
+                    if window.contains_point(rect.lo()) {
+                        return Ok(true);
+                    }
+                } else if window.intersects(rect) {
+                    stack.push(PageId(*child));
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk::bulk_load;
+    use crate::persist::save;
+    use std::sync::Arc;
+    use wnrs_storage::MemPager;
+
+    fn pts(n: usize) -> Vec<Point> {
+        let mut state: u64 = 77;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        (0..n).map(|_| Point::xy(next() * 100.0, next() * 100.0)).collect()
+    }
+
+    fn setup(n: usize, pool_pages: usize) -> (Vec<Point>, PagedRTree<MemPager>) {
+        let points = pts(n);
+        let tree = bulk_load(&points, RTreeConfig::paper_default(2));
+        let pager = Arc::new(MemPager::paper_default());
+        let meta = save(&tree, pager.as_ref()).expect("save");
+        let pool = BufferPool::new(pager, pool_pages);
+        let paged = PagedRTree::open(pool, meta).expect("open");
+        (points, paged)
+    }
+
+    #[test]
+    fn window_matches_scan_through_pages() {
+        let (points, paged) = setup(2000, 64);
+        assert_eq!(paged.len(), 2000);
+        let windows = [
+            Rect::new(Point::xy(10.0, 10.0), Point::xy(35.0, 70.0)),
+            Rect::new(Point::xy(0.0, 0.0), Point::xy(100.0, 100.0)),
+            Rect::degenerate(points[11].clone()),
+        ];
+        for w in &windows {
+            let mut got: Vec<u32> =
+                paged.window(w).expect("query").iter().map(|(id, _)| id.0).collect();
+            got.sort_unstable();
+            let mut want: Vec<u32> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| w.contains_point(p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+            assert_eq!(paged.window_any(w).expect("query"), !want.is_empty());
+        }
+    }
+
+    #[test]
+    fn buffer_pool_caches_hot_paths() {
+        let (_, paged) = setup(5000, 256);
+        let w = Rect::new(Point::xy(40.0, 40.0), Point::xy(45.0, 45.0));
+        let _ = paged.window(&w).expect("cold");
+        let cold_miss = paged.pool().stats().physical_reads();
+        for _ in 0..10 {
+            let _ = paged.window(&w).expect("warm");
+        }
+        let warm_miss = paged.pool().stats().physical_reads();
+        assert_eq!(cold_miss, warm_miss, "repeated identical query must be all hits");
+        assert!(paged.pool().stats().hit_rate().expect("reads") > 0.8);
+    }
+
+    #[test]
+    fn bounded_memory_under_tiny_pool() {
+        // A 4-page pool forces eviction yet answers stay exact.
+        let (points, paged) = setup(3000, 4);
+        let w = Rect::new(Point::xy(0.0, 0.0), Point::xy(100.0, 100.0));
+        let got = paged.window(&w).expect("full scan");
+        assert_eq!(got.len(), points.len());
+        assert!(paged.pool().resident() <= 4);
+    }
+
+    #[test]
+    fn bad_meta_rejected() {
+        let pager = Arc::new(MemPager::paper_default());
+        let id = pager.allocate();
+        let pool = BufferPool::new(pager, 8);
+        assert!(PagedRTree::open(pool, id).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Best-first traversal and nearest-neighbour search.
+//!
+//! [`BestFirst`] is the priority-queue traversal skeleton shared by k-NN
+//! search and the BBS/BBRS skyline algorithms: entries are popped in
+//! increasing order of a caller-supplied key on their bounding
+//! rectangles, and the caller decides whether to expand each popped node
+//! (which is what lets BBS prune dominated subtrees).
+
+use crate::node::{Child, ItemId, NodeId};
+use crate::tree::RTree;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use wnrs_geometry::{Point, Rect};
+
+/// One element popped from a [`BestFirst`] traversal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Traversal {
+    /// An inner or leaf node, not yet expanded.
+    Node {
+        /// The node's id (pass to [`BestFirst::expand`] to descend).
+        id: NodeId,
+        /// The node's level (0 = leaf).
+        level: u32,
+        /// The key of the node's bounding rectangle.
+        key: f64,
+        /// The node's bounding rectangle.
+        rect: Rect,
+    },
+    /// A data point.
+    Item {
+        /// The item's id.
+        id: ItemId,
+        /// The point.
+        point: Point,
+        /// The key of the point's (degenerate) rectangle.
+        key: f64,
+    },
+}
+
+impl Traversal {
+    /// The priority key of the element.
+    pub fn key(&self) -> f64 {
+        match self {
+            Traversal::Node { key, .. } | Traversal::Item { key, .. } => *key,
+        }
+    }
+}
+
+struct HeapElem {
+    key: f64,
+    seq: u64,
+    payload: Payload,
+}
+
+enum Payload {
+    Node(NodeId),
+    Item(ItemId, Point),
+}
+
+impl PartialEq for HeapElem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for HeapElem {}
+impl PartialOrd for HeapElem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapElem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the smallest key pops first;
+        // break ties by insertion order for determinism.
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A best-first traversal of an [`RTree`] driven by a key function on
+/// bounding rectangles.
+///
+/// # Examples
+///
+/// Nearest-first enumeration of all points:
+///
+/// ```
+/// use wnrs_geometry::{Point, Rect};
+/// use wnrs_rtree::{bulk::bulk_load, BestFirst, RTreeConfig, Traversal};
+///
+/// let pts = vec![Point::xy(0.0, 0.0), Point::xy(5.0, 5.0), Point::xy(1.0, 1.0)];
+/// let tree = bulk_load(&pts, RTreeConfig::with_max_entries(8));
+/// let q = Point::xy(0.0, 0.0);
+/// let mut bf = BestFirst::new(&tree, move |r: &Rect| r.min_dist2(&q));
+/// let mut order = Vec::new();
+/// while let Some(t) = bf.pop() {
+///     match t {
+///         Traversal::Node { id, .. } => bf.expand(id),
+///         Traversal::Item { id, .. } => order.push(id.0),
+///     }
+/// }
+/// assert_eq!(order, vec![0, 2, 1]);
+/// ```
+pub struct BestFirst<'a, K> {
+    tree: &'a RTree,
+    key: K,
+    heap: BinaryHeap<HeapElem>,
+    seq: u64,
+}
+
+impl<'a, K: FnMut(&Rect) -> f64> BestFirst<'a, K> {
+    /// Starts a traversal at the root.
+    pub fn new(tree: &'a RTree, key: K) -> Self {
+        let mut this = Self { tree, key, heap: BinaryHeap::new(), seq: 0 };
+        if !tree.is_empty() {
+            let root = tree.root();
+            let rect = tree.node(root).mbr();
+            let k = (this.key)(&rect);
+            this.push(k, Payload::Node(root));
+        }
+        this
+    }
+
+    fn push(&mut self, key: f64, payload: Payload) {
+        self.seq += 1;
+        self.heap.push(HeapElem { key, seq: self.seq, payload });
+    }
+
+    /// Pops the smallest-key element, or `None` when exhausted.
+    pub fn pop(&mut self) -> Option<Traversal> {
+        let elem = self.heap.pop()?;
+        Some(match elem.payload {
+            Payload::Node(id) => {
+                let node = self.tree.node(id);
+                Traversal::Node { id, level: node.level(), key: elem.key, rect: node.mbr() }
+            }
+            Payload::Item(id, point) => Traversal::Item { id, point, key: elem.key },
+        })
+    }
+
+    /// Pushes the children of `node` onto the frontier (counts one node
+    /// visit). Call after popping a `Traversal::Node` you decide not to
+    /// prune.
+    pub fn expand(&mut self, node: NodeId) {
+        self.tree.record_visit();
+        let n = self.tree.node(node);
+        // Collect first: `self.key` and `self.push` both borrow self.
+        let mut staged: Vec<(f64, Payload)> = Vec::with_capacity(n.len());
+        for e in n.entries() {
+            let k = (self.key)(e.rect());
+            let payload = match e.child() {
+                Child::Node(id) => Payload::Node(id),
+                Child::Item(id) => Payload::Item(id, e.point().clone()),
+            };
+            staged.push((k, payload));
+        }
+        for (k, p) in staged {
+            self.push(k, p);
+        }
+    }
+
+    /// Number of elements currently on the frontier.
+    pub fn frontier_len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// The `k` nearest neighbours of `q` by Euclidean distance, nearest
+/// first. Ties broken by traversal order.
+pub fn knn(tree: &RTree, q: &Point, k: usize) -> Vec<(ItemId, Point)> {
+    assert_eq!(q.dim(), tree.dim(), "query dimensionality mismatch");
+    let q = q.clone();
+    let mut bf = BestFirst::new(tree, move |r: &Rect| r.min_dist2(&q));
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        match bf.pop() {
+            Some(Traversal::Node { id, .. }) => bf.expand(id),
+            Some(Traversal::Item { id, point, .. }) => out.push((id, point)),
+            None => break,
+        }
+    }
+    out
+}
+
+/// The single nearest neighbour of `q`, or `None` for an empty tree.
+pub fn nearest(tree: &RTree, q: &Point) -> Option<(ItemId, Point)> {
+    knn(tree, q, 1).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk::bulk_load;
+    use crate::config::RTreeConfig;
+
+    fn pts(n: usize) -> Vec<Point> {
+        let mut state: u64 = 7;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        (0..n).map(|_| Point::xy(next() * 100.0, next() * 100.0)).collect()
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let points = pts(500);
+        let tree = bulk_load(&points, RTreeConfig::with_max_entries(8));
+        let q = Point::xy(33.0, 66.0);
+        for k in [1, 5, 20, 100] {
+            let got: Vec<u32> = knn(&tree, &q, k).iter().map(|(id, _)| id.0).collect();
+            let mut want: Vec<(f64, u32)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.dist2(&q), i as u32))
+                .collect();
+            want.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let want: Vec<u32> = want.into_iter().take(k).map(|(_, i)| i).collect();
+            assert_eq!(got, want, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_tree() {
+        let points = pts(10);
+        let tree = bulk_load(&points, RTreeConfig::with_max_entries(8));
+        let got = knn(&tree, &Point::xy(0.0, 0.0), 100);
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn nearest_on_empty_tree() {
+        let tree = RTree::new(2, RTreeConfig::with_max_entries(8));
+        assert!(nearest(&tree, &Point::xy(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn best_first_yields_nondecreasing_keys() {
+        let points = pts(300);
+        let tree = bulk_load(&points, RTreeConfig::with_max_entries(8));
+        let q = Point::xy(50.0, 50.0);
+        let mut bf = BestFirst::new(&tree, move |r: &Rect| r.min_dist2(&q));
+        let mut last_item_key = f64::NEG_INFINITY;
+        let mut items = 0;
+        while let Some(t) = bf.pop() {
+            match t {
+                Traversal::Node { id, key, .. } => {
+                    // A node's key lower-bounds everything below it.
+                    assert!(key >= 0.0);
+                    bf.expand(id);
+                }
+                Traversal::Item { key, .. } => {
+                    assert!(
+                        key >= last_item_key - 1e-12,
+                        "items must come out in non-decreasing key order"
+                    );
+                    last_item_key = key;
+                    items += 1;
+                }
+            }
+        }
+        assert_eq!(items, 300);
+    }
+
+    #[test]
+    fn pruning_skips_subtrees() {
+        let points = pts(300);
+        let tree = bulk_load(&points, RTreeConfig::with_max_entries(8));
+        let q = Point::xy(0.0, 0.0);
+        // Expand nothing beyond keys ≤ 1000: traversal must terminate
+        // early and visit fewer nodes than a full walk.
+        tree.reset_visits();
+        let mut bf = BestFirst::new(&tree, move |r: &Rect| r.min_dist2(&q));
+        let mut seen = 0usize;
+        while let Some(t) = bf.pop() {
+            if let Traversal::Node { id, key, .. } = t {
+                if key <= 1000.0 {
+                    bf.expand(id);
+                }
+            } else {
+                seen += 1;
+            }
+        }
+        assert!(seen < 300);
+        assert!((tree.node_visits() as usize) < tree.node_count());
+    }
+}

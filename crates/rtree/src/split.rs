@@ -1,0 +1,204 @@
+//! The R\* topological split.
+//!
+//! On node overflow (when forced reinsertion is exhausted or disabled)
+//! the R\*-tree splits the `M + 1` entries in two steps:
+//!
+//! 1. **Choose split axis** — for every dimension, sort the entries by
+//!    lower and by upper rectangle bound and sum the margins of all legal
+//!    `(m…M+1−m)` distributions; pick the axis with the minimum sum.
+//! 2. **Choose split index** — along that axis, pick the distribution
+//!    with minimum overlap between the two groups, breaking ties by
+//!    minimum combined area.
+
+use crate::config::RTreeConfig;
+use crate::node::Entry;
+use wnrs_geometry::Rect;
+
+/// Result of splitting an overflowing entry list in two.
+pub(crate) struct Split {
+    pub left: Vec<Entry>,
+    pub right: Vec<Entry>,
+}
+
+/// MBR of a slice of entries.
+fn mbr_of(entries: &[Entry]) -> Rect {
+    let mut it = entries.iter();
+    let first = it.next().expect("mbr of empty entry list").rect().clone();
+    it.fold(first, |acc, e| acc.union_mbr(e.rect()))
+}
+
+/// Sorts `entries` in place along `axis`, by lower bound if `by_lower`,
+/// else by upper bound (ties by the other bound for determinism).
+fn sort_along(entries: &mut [Entry], axis: usize, by_lower: bool) {
+    entries.sort_by(|a, b| {
+        let (ka, kb) = if by_lower {
+            (a.rect().lo()[axis], b.rect().lo()[axis])
+        } else {
+            (a.rect().hi()[axis], b.rect().hi()[axis])
+        };
+        let (ta, tb) = if by_lower {
+            (a.rect().hi()[axis], b.rect().hi()[axis])
+        } else {
+            (a.rect().lo()[axis], b.rect().lo()[axis])
+        };
+        (ka, ta).partial_cmp(&(kb, tb)).expect("finite coordinates")
+    });
+}
+
+/// Margin sum over all legal distributions of the (sorted) entries.
+fn margin_sum(entries: &[Entry], min_entries: usize) -> f64 {
+    let n = entries.len();
+    let mut sum = 0.0;
+    for k in min_entries..=(n - min_entries) {
+        sum += mbr_of(&entries[..k]).margin() + mbr_of(&entries[k..]).margin();
+    }
+    sum
+}
+
+/// Splits `entries` (length `M + 1`) into two groups per the R\*
+/// heuristics.
+///
+/// # Panics
+///
+/// Panics if `entries.len() < 2 · min_entries` (no legal distribution).
+pub(crate) fn rstar_split(mut entries: Vec<Entry>, config: &RTreeConfig) -> Split {
+    let m = config.min_entries;
+    let n = entries.len();
+    assert!(n >= 2 * m, "cannot split {n} entries with min_entries {m}");
+    let dim = entries[0].rect().dim();
+
+    // Step 1: choose the split axis (and whether to sort by lower or
+    // upper bounds) by minimum margin sum.
+    let mut best_axis = 0;
+    let mut best_by_lower = true;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..dim {
+        for by_lower in [true, false] {
+            sort_along(&mut entries, axis, by_lower);
+            let s = margin_sum(&entries, m);
+            if s < best_margin {
+                best_margin = s;
+                best_axis = axis;
+                best_by_lower = by_lower;
+            }
+        }
+    }
+
+    // Step 2: along the chosen axis, pick the distribution minimising
+    // overlap, then area.
+    sort_along(&mut entries, best_axis, best_by_lower);
+    let mut best_k = m;
+    let mut best_overlap = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for k in m..=(n - m) {
+        let left = mbr_of(&entries[..k]);
+        let right = mbr_of(&entries[k..]);
+        let overlap = left.overlap(&right);
+        let area = left.area() + right.area();
+        if overlap < best_overlap || (overlap == best_overlap && area < best_area) {
+            best_overlap = overlap;
+            best_area = area;
+            best_k = k;
+        }
+    }
+
+    let right = entries.split_off(best_k);
+    Split { left: entries, right }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ItemId;
+    use wnrs_geometry::Point;
+
+    fn items(pts: &[(f64, f64)]) -> Vec<Entry> {
+        pts.iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Entry::item(ItemId(i as u32), Point::xy(x, y)))
+            .collect()
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two clearly separated clusters along x should split cleanly.
+        let entries = items(&[
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (0.5, 0.5),
+            (0.2, 0.9),
+            (100.0, 0.0),
+            (101.0, 1.0),
+            (100.5, 0.5),
+            (100.2, 0.9),
+        ]);
+        let config = RTreeConfig::with_max_entries(7); // m = 3
+        let split = rstar_split(entries, &config);
+        let left_mbr = mbr_of(&split.left);
+        let right_mbr = mbr_of(&split.right);
+        assert_eq!(left_mbr.overlap(&right_mbr), 0.0, "clusters must not overlap");
+        let sizes = [split.left.len(), split.right.len()];
+        assert_eq!(sizes.iter().sum::<usize>(), 8);
+        assert!(sizes.iter().all(|&s| s >= 3), "min fill respected: {sizes:?}");
+    }
+
+    #[test]
+    fn split_respects_min_entries() {
+        let entries = items(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (3.0, 0.0),
+            (4.0, 0.0),
+            (5.0, 0.0),
+            (6.0, 0.0),
+            (7.0, 0.0),
+            (8.0, 0.0),
+        ]);
+        let config = RTreeConfig::with_max_entries(8); // m = 4
+        let split = rstar_split(entries, &config);
+        assert!(split.left.len() >= 4);
+        assert!(split.right.len() >= 4);
+        assert_eq!(split.left.len() + split.right.len(), 9);
+    }
+
+    #[test]
+    fn split_preserves_every_entry() {
+        let entries = items(&[
+            (3.0, 1.0),
+            (1.0, 4.0),
+            (4.0, 1.0),
+            (5.0, 9.0),
+            (2.0, 6.0),
+            (5.0, 3.0),
+            (5.0, 8.0),
+            (9.0, 7.0),
+        ]);
+        let config = RTreeConfig::with_max_entries(7);
+        let split = rstar_split(entries, &config);
+        let mut ids: Vec<u32> = split
+            .left
+            .iter()
+            .chain(split.right.iter())
+            .map(|e| e.item_id().0)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn underfull_split_panics() {
+        let entries = items(&[(0.0, 0.0), (1.0, 1.0)]);
+        let config = RTreeConfig::with_max_entries(8); // m = 4 > 2/2
+        let _ = rstar_split(entries, &config);
+    }
+
+    #[test]
+    fn duplicate_points_split_legally() {
+        let entries = items(&[(1.0, 1.0); 10]);
+        let config = RTreeConfig::with_max_entries(9); // m = 4
+        let split = rstar_split(entries, &config);
+        assert!(split.left.len() >= 4 && split.right.len() >= 4);
+    }
+}

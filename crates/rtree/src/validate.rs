@@ -1,0 +1,133 @@
+//! Structural invariant checking (used by tests and property tests).
+
+use crate::node::{Child, NodeId};
+use crate::tree::RTree;
+
+/// A violated structural invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureError(pub String);
+
+impl std::fmt::Display for StructureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "R*-tree structure violation: {}", self.0)
+    }
+}
+
+impl std::error::Error for StructureError {}
+
+/// Verifies the R\*-tree invariants:
+///
+/// 1. the root is at level `height − 1` and every path to a leaf has the
+///    same length (all leaves at level 0);
+/// 2. every non-root node holds between `m` and `M` entries, the root
+///    between 1 and `M` (or 0 when the tree is empty);
+/// 3. every inner entry's rectangle equals the MBR of its child;
+/// 4. inner entries point at nodes exactly one level down; leaf entries
+///    hold items;
+/// 5. the number of reachable items equals `len()`.
+pub fn check_structure(tree: &RTree) -> Result<(), StructureError> {
+    let root = tree.root();
+    let root_node = tree.node(root);
+    if root_node.level() != tree.height() - 1 {
+        return Err(StructureError(format!(
+            "root level {} but height {}",
+            root_node.level(),
+            tree.height()
+        )));
+    }
+    if tree.is_empty() {
+        if !root_node.is_empty() || !root_node.is_leaf() {
+            return Err(StructureError("empty tree must be a single empty leaf".into()));
+        }
+        return Ok(());
+    }
+    let mut items = 0usize;
+    check_node(tree, root, true, &mut items)?;
+    if items != tree.len() {
+        return Err(StructureError(format!(
+            "reachable items {} != len {}",
+            items,
+            tree.len()
+        )));
+    }
+    Ok(())
+}
+
+fn check_node(
+    tree: &RTree,
+    id: NodeId,
+    is_root: bool,
+    items: &mut usize,
+) -> Result<(), StructureError> {
+    let node = tree.node(id);
+    let (min, max) = (tree.config().min_entries, tree.config().max_entries);
+    if node.len() > max {
+        return Err(StructureError(format!("{id:?} overfull: {} > {max}", node.len())));
+    }
+    if is_root {
+        if node.is_empty() {
+            return Err(StructureError(format!("{id:?}: non-empty tree with empty root")));
+        }
+    } else if node.len() < min {
+        return Err(StructureError(format!("{id:?} underfull: {} < {min}", node.len())));
+    }
+    for e in node.entries() {
+        match e.child() {
+            Child::Item(_) => {
+                if !node.is_leaf() {
+                    return Err(StructureError(format!("{id:?}: item entry in inner node")));
+                }
+                if e.rect().area() != 0.0 {
+                    return Err(StructureError(format!("{id:?}: item entry with extent")));
+                }
+                *items += 1;
+            }
+            Child::Node(child) => {
+                if node.is_leaf() {
+                    return Err(StructureError(format!("{id:?}: node entry in leaf")));
+                }
+                let child_node = tree.node(child);
+                if child_node.level() + 1 != node.level() {
+                    return Err(StructureError(format!(
+                        "{id:?} (level {}) links {child:?} (level {})",
+                        node.level(),
+                        child_node.level()
+                    )));
+                }
+                if child_node.is_empty() {
+                    return Err(StructureError(format!("{id:?}: links empty child {child:?}")));
+                }
+                let mbr = child_node.mbr();
+                if &mbr != e.rect() {
+                    return Err(StructureError(format!(
+                        "{id:?}: stale MBR for {child:?}: stored {:?}, actual {mbr:?}",
+                        e.rect()
+                    )));
+                }
+                check_node(tree, child, false, items)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+    use crate::node::ItemId;
+    use wnrs_geometry::Point;
+
+    #[test]
+    fn fresh_tree_is_valid() {
+        let tree = RTree::new(2, RTreeConfig::with_max_entries(8));
+        check_structure(&tree).expect("empty tree valid");
+    }
+
+    #[test]
+    fn single_item_tree_is_valid() {
+        let mut tree = RTree::new(2, RTreeConfig::with_max_entries(8));
+        tree.insert(ItemId(0), Point::xy(1.0, 1.0));
+        check_structure(&tree).expect("singleton tree valid");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the R\*-tree: structural invariants and
+//! query equivalence under every construction path.
+
+use proptest::prelude::*;
+use wnrs_rtree::bulk::{bulk_load, bulk_load_items};
+use wnrs_rtree::query::{knn, nearest};
+use wnrs_rtree::validate::check_structure;
+use wnrs_rtree::{ItemId, RTree, RTreeConfig};
+use wnrs_geometry::{Point, Rect};
+
+fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        prop::collection::vec(-1000.0f64..1000.0, dim).prop_map(Point::new),
+        1..max_n,
+    )
+}
+
+fn insert_all(pts: &[Point], max_entries: usize) -> RTree {
+    let mut tree = RTree::new(pts[0].dim(), RTreeConfig::with_max_entries(max_entries));
+    for (i, p) in pts.iter().enumerate() {
+        tree.insert(ItemId(i as u32), p.clone());
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bulk_and_incremental_answer_identically(
+        pts in arb_points(200, 2),
+        window in (prop::collection::vec(-1000.0f64..1000.0, 2), prop::collection::vec(0.0f64..800.0, 2)),
+    ) {
+        let bulk = bulk_load(&pts, RTreeConfig::with_max_entries(6));
+        let incr = insert_all(&pts, 6);
+        check_structure(&bulk).expect("bulk structure");
+        check_structure(&incr).expect("incremental structure");
+        let lo = Point::new(window.0.clone());
+        let hi = Point::new(vec![lo[0] + window.1[0], lo[1] + window.1[1]]);
+        let w = Rect::new(lo, hi);
+        let mut a: Vec<u32> = bulk.window(&w).iter().map(|(id, _)| id.0).collect();
+        let mut b: Vec<u32> = incr.window(&w).iter().map(|(id, _)| id.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn knn_matches_linear_scan(pts in arb_points(150, 2), q in prop::collection::vec(-1000.0f64..1000.0, 2), k in 1usize..20) {
+        let q = Point::new(q);
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(5));
+        let got: Vec<u32> = knn(&tree, &q, k).iter().map(|(id, _)| id.0).collect();
+        let mut want: Vec<(f64, u32)> = pts.iter().enumerate()
+            .map(|(i, p)| (p.dist2(&q), i as u32)).collect();
+        want.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let want: Vec<u32> = want.into_iter().take(k).map(|(_, i)| i).collect();
+        // Distances must agree (ties may permute ids).
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            let dg = pts[*g as usize].dist2(&q);
+            let dw = pts[*w as usize].dist2(&q);
+            prop_assert!((dg - dw).abs() < 1e-9, "distance mismatch: {dg} vs {dw}");
+        }
+        if !pts.is_empty() {
+            let n = nearest(&tree, &q).expect("non-empty");
+            prop_assert!((n.1.dist2(&q) - pts.iter().map(|p| p.dist2(&q)).fold(f64::INFINITY, f64::min)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn structure_holds_across_fanouts(pts in arb_points(120, 3), fanout in 4usize..20) {
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(fanout));
+        check_structure(&tree).expect("valid bulk");
+        let incr = insert_all(&pts, fanout);
+        check_structure(&incr).expect("valid incremental");
+        prop_assert_eq!(tree.len(), pts.len());
+        prop_assert_eq!(incr.len(), pts.len());
+    }
+
+    #[test]
+    fn delete_then_queries_match_survivors(
+        pts in arb_points(120, 2),
+        delete_mask in prop::collection::vec(any::<bool>(), 120),
+    ) {
+        let mut tree = insert_all(&pts, 5);
+        let mut survivors = Vec::new();
+        for (i, p) in pts.iter().enumerate() {
+            if *delete_mask.get(i).unwrap_or(&false) {
+                prop_assert!(tree.delete(ItemId(i as u32), p));
+            } else {
+                survivors.push(i as u32);
+            }
+        }
+        check_structure(&tree).expect("valid after deletes");
+        let mut items: Vec<u32> = tree.items().iter().map(|(id, _)| id.0).collect();
+        items.sort_unstable();
+        prop_assert_eq!(items, survivors);
+    }
+
+    #[test]
+    fn persistence_round_trip(pts in arb_points(150, 2)) {
+        use wnrs_rtree::persist::{load, save};
+        use wnrs_storage::MemPager;
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        let pager = MemPager::paper_default();
+        let meta = save(&tree, &pager).expect("save");
+        let loaded = load(&pager, meta).expect("load");
+        check_structure(&loaded).expect("loaded structure");
+        prop_assert_eq!(loaded.len(), tree.len());
+        let w = Rect::new(Point::xy(-500.0, -500.0), Point::xy(500.0, 500.0));
+        let mut a: Vec<u32> = tree.window(&w).iter().map(|(id, _)| id.0).collect();
+        let mut b: Vec<u32> = loaded.window(&w).iter().map(|(id, _)| id.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_item_ids_survive_bulk_load(ids in prop::collection::hash_set(0u32..10_000, 1..50)) {
+        let items: Vec<(ItemId, Point)> = ids.iter()
+            .map(|&id| (ItemId(id), Point::xy(id as f64, (id % 97) as f64)))
+            .collect();
+        let tree = bulk_load_items(2, items.clone(), RTreeConfig::with_max_entries(5));
+        check_structure(&tree).expect("valid");
+        for (id, p) in &items {
+            prop_assert!(tree.contains(*id, p));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Approximate dynamic skylines and anti-dominance regions
+//! (Section VI-B.1 of the paper).
+//!
+//! To make safe-region computation cheap, the paper precomputes for each
+//! customer an approximation of its DSL: the DSL is sorted along one
+//! dimension and every `(|DSL|/k)`-th point is kept, **always including
+//! the first and the last point** so the approximate region keeps the
+//! staircase's full extent.
+//!
+//! The approximate anti-DDR is then built *without* the Eqn-(5) pair
+//! merging: each sampled point contributes the box `[0, s]` directly
+//! (plus the two extended end boxes). Because `[0, s]` for a skyline
+//! point `s` is always inside the true anti-dominance region, the
+//! approximation is a **conservative under-approximation** — the shaded
+//! region of the paper's Fig. 16 is what it misses. A safe region built
+//! from it can only be smaller than the exact one, never unsafe.
+
+use wnrs_geometry::{dominance::prune_dominated, dominates, Point, Rect, Region};
+
+/// Samples a transformed-space DSL down to roughly `k` points: the first
+/// and last point of the sequence sorted by dimension 0 are always kept,
+/// plus every `⌈|DSL|/k⌉`-th point in between.
+///
+/// Returns the full (pruned, sorted) skyline when `|DSL| ≤ k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn sample_dsl(dsl_t: &[Point], k: usize) -> Vec<Point> {
+    assert!(k > 0, "sample size k must be positive");
+    let mut sky: Vec<Point> = dsl_t.to_vec();
+    prune_dominated(&mut sky, dominates);
+    dedup(&mut sky);
+    sky.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite"));
+    let m = sky.len();
+    if m <= k.max(2) {
+        return sky;
+    }
+    let step = m.div_ceil(k);
+    let mut out: Vec<Point> = Vec::with_capacity(k + 2);
+    out.push(sky[0].clone());
+    let mut i = step;
+    while i < m - 1 {
+        out.push(sky[i].clone());
+        i += step;
+    }
+    out.push(sky[m - 1].clone());
+    out
+}
+
+/// The approximate anti-dominance region from a (sampled) transformed
+/// skyline: one box `[0, s]` per sample plus the two end boxes extended
+/// to `maxd` (no pair merging), mirroring the paper's approximate
+/// construction. A subset of [`crate::anti_ddr`] of the full skyline.
+pub fn approx_anti_ddr(sample_t: &[Point], maxd: &Point) -> Region {
+    let d = maxd.dim();
+    let origin = Point::new(vec![0.0; d]);
+    let mut sample: Vec<Point> = sample_t.to_vec();
+    prune_dominated(&mut sample, dominates);
+    dedup(&mut sample);
+    if sample.is_empty() {
+        return Region::from_rect(Rect::new(origin, maxd.clone()));
+    }
+    sample.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite"));
+    let cap = |p: &Point| {
+        Point::new(
+            (0..d)
+                .map(|i| p[i].min(maxd[i]))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let mut boxes = Vec::with_capacity(sample.len() + 2);
+    // Left extension: everything with dim-0 below the first sample.
+    let first = &sample[0];
+    let mut left = maxd.clone();
+    left = left.with_coord(0, first[0].min(maxd[0]));
+    boxes.push(Rect::new(origin.clone(), left));
+    // One box per sampled skyline point.
+    for s in &sample {
+        boxes.push(Rect::new(origin.clone(), cap(s)));
+    }
+    // Right extension: the last sample's dim-0 pushed to the maximum,
+    // other dimensions kept (for 2-d this is the "below the staircase"
+    // slab).
+    let last = &sample[sample.len() - 1];
+    let mut right = cap(last);
+    right = right.with_coord(0, maxd[0]);
+    boxes.push(Rect::new(origin, right));
+    Region::from_boxes(boxes)
+}
+
+fn dedup(pts: &mut Vec<Point>) {
+    let mut i = 0;
+    while i < pts.len() {
+        let mut j = i + 1;
+        while j < pts.len() {
+            if pts[i].same_location(&pts[j]) {
+                pts.swap_remove(j);
+            } else {
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddr::anti_ddr;
+
+    fn staircase(m: usize) -> Vec<Point> {
+        (0..m)
+            .map(|i| Point::xy(5.0 + i as f64 * 90.0 / m as f64, 95.0 - i as f64 * 90.0 / m as f64))
+            .collect()
+    }
+
+    #[test]
+    fn sample_keeps_endpoints() {
+        let sky = staircase(50);
+        for k in [1, 3, 10, 25] {
+            let s = sample_dsl(&sky, k);
+            assert!(s.first().expect("non-empty").same_location(&sky[0]), "k = {k}");
+            assert!(
+                s.last().expect("non-empty").same_location(&sky[49]),
+                "k = {k}"
+            );
+            assert!(s.len() <= k + 2, "k = {k}: got {}", s.len());
+        }
+    }
+
+    #[test]
+    fn small_dsl_returned_whole() {
+        let sky = staircase(3);
+        let s = sample_dsl(&sky, 10);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn approx_region_is_subset_of_exact() {
+        let sky = staircase(40);
+        let maxd = Point::xy(100.0, 100.0);
+        let exact = anti_ddr(&sky, &maxd);
+        for k in [2, 5, 10] {
+            let sample = sample_dsl(&sky, k);
+            let approx = approx_anti_ddr(&sample, &maxd);
+            assert!(approx.area() <= exact.area() + 1e-9, "k = {k}");
+            // Membership subset on a grid (off-boundary samples).
+            for xi in 0..40 {
+                for yi in 0..40 {
+                    let t = Point::xy(xi as f64 * 2.5 + 0.1, yi as f64 * 2.5 + 0.1);
+                    if approx.contains(&t) {
+                        assert!(exact.contains(&t), "k = {k}: {t:?} unsafe");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_area_grows_with_k() {
+        let sky = staircase(60);
+        let maxd = Point::xy(100.0, 100.0);
+        let a2 = approx_anti_ddr(&sample_dsl(&sky, 2), &maxd).area();
+        let a10 = approx_anti_ddr(&sample_dsl(&sky, 10), &maxd).area();
+        let a60 = approx_anti_ddr(&sample_dsl(&sky, 60), &maxd).area();
+        assert!(a2 <= a10 + 1e-9);
+        assert!(a10 <= a60 + 1e-9);
+    }
+
+    #[test]
+    fn full_sample_still_underapproximates_without_merging() {
+        // Even with every skyline point kept, skipping the Eqn-(5) pair
+        // merge loses the stair-corner triangles (Fig. 16).
+        let sky = staircase(10);
+        let maxd = Point::xy(100.0, 100.0);
+        let exact = anti_ddr(&sky, &maxd);
+        let approx = approx_anti_ddr(&sample_dsl(&sky, 10), &maxd);
+        assert!(approx.area() < exact.area());
+    }
+
+    #[test]
+    fn empty_dsl_gives_universe() {
+        let maxd = Point::xy(10.0, 10.0);
+        let r = approx_anti_ddr(&[], &maxd);
+        assert!((r.area() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_rejected() {
+        let _ = sample_dsl(&staircase(5), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Branch-and-bound skyline over the R\*-tree (Papadias et al.,
+//! SIGMOD'03), in the static space and in the absolute-distance space
+//! centred at a query point (dynamic skyline).
+//!
+//! BBS pops R-tree entries from a min-heap keyed by `MINDIST` (the
+//! coordinate sum of the rectangle's lower corner); an entry whose lower
+//! corner is dominated by an already-found skyline point can be pruned
+//! wholesale, which makes BBS I/O-optimal for skylines.
+
+use wnrs_geometry::{dominates, Point, Rect};
+use wnrs_rtree::{BestFirst, ItemId, RTree, Traversal};
+
+/// The lower corner of `rect`'s image under the absolute-distance
+/// transform centred at `q`: per dimension, the minimum of `|x − q_i|`
+/// over `x ∈ [lo_i, hi_i]` (zero when `q_i` falls inside the range).
+///
+/// Every point inside `rect` transforms to a point dominating-or-equal to
+/// this corner, which is what lets BBS prune subtrees in the transformed
+/// space.
+pub fn transformed_lo(rect: &Rect, q: &Point) -> Point {
+    debug_assert_eq!(rect.dim(), q.dim());
+    Point::new(
+        (0..rect.dim())
+            .map(|i| {
+                if q[i] < rect.lo()[i] {
+                    rect.lo()[i] - q[i]
+                } else if q[i] > rect.hi()[i] {
+                    q[i] - rect.hi()[i]
+                } else {
+                    0.0
+                }
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// The static skyline of the indexed points via BBS, as `(id, point)`
+/// pairs in discovery (MINDIST) order.
+pub fn bbs_skyline(tree: &RTree) -> Vec<(ItemId, Point)> {
+    let mut skyline: Vec<Point> = Vec::new();
+    let mut out: Vec<(ItemId, Point)> = Vec::new();
+    let mut bf = BestFirst::new(tree, |r: &Rect| r.lo().coords().iter().sum());
+    while let Some(t) = bf.pop() {
+        match t {
+            Traversal::Node { id, rect, .. } => {
+                if !skyline.iter().any(|s| dominates(s, rect.lo())) {
+                    bf.expand(id);
+                }
+            }
+            Traversal::Item { id, point, .. } => {
+                if !skyline.iter().any(|s| dominates(s, &point)) {
+                    skyline.push(point.clone());
+                    out.push((id, point));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The dynamic skyline w.r.t. `q` (Definition 2) via BBS in the
+/// transformed space, as `(id, point)` pairs in original coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use wnrs_geometry::Point;
+/// use wnrs_rtree::{bulk::bulk_load, RTreeConfig};
+/// use wnrs_skyline::bbs_dynamic_skyline;
+///
+/// // Paper, Fig. 2(a): DSL(q) = {p2, p6} for q(8.5, 55).
+/// let pts = vec![
+///     Point::xy(5.0, 30.0),  // p1
+///     Point::xy(7.5, 42.0),  // p2
+///     Point::xy(2.5, 70.0),  // p3
+///     Point::xy(7.5, 90.0),  // p4
+///     Point::xy(24.0, 20.0), // p5
+///     Point::xy(20.0, 50.0), // p6
+///     Point::xy(26.0, 70.0), // p7
+///     Point::xy(16.0, 80.0), // p8
+/// ];
+/// let tree = bulk_load(&pts, RTreeConfig::with_max_entries(4));
+/// let mut ids: Vec<u32> = bbs_dynamic_skyline(&tree, &Point::xy(8.5, 55.0))
+///     .iter().map(|(id, _)| id.0).collect();
+/// ids.sort();
+/// assert_eq!(ids, vec![1, 5]);
+/// ```
+pub fn bbs_dynamic_skyline(tree: &RTree, q: &Point) -> Vec<(ItemId, Point)> {
+    bbs_dynamic_skyline_excluding(tree, q, None)
+}
+
+/// As [`bbs_dynamic_skyline`], but ignoring the item with id `exclude` —
+/// needed in the monochromatic setting, where a customer's own tuple
+/// must not appear among its products (it would transform to the origin
+/// and dominate everything).
+pub fn bbs_dynamic_skyline_excluding(
+    tree: &RTree,
+    q: &Point,
+    exclude: Option<ItemId>,
+) -> Vec<(ItemId, Point)> {
+    assert_eq!(q.dim(), tree.dim(), "query dimensionality mismatch");
+    let q_key = q.clone();
+    let q_dom = q.clone();
+    let mut skyline_t: Vec<Point> = Vec::new(); // transformed-space skyline
+    let mut out: Vec<(ItemId, Point)> = Vec::new();
+    let mut bf = BestFirst::new(tree, move |r: &Rect| {
+        transformed_lo(r, &q_key).coords().iter().sum()
+    });
+    while let Some(t) = bf.pop() {
+        match t {
+            Traversal::Node { id, rect, .. } => {
+                let lo = transformed_lo(&rect, &q_dom);
+                if !skyline_t.iter().any(|s| dominates(s, &lo)) {
+                    bf.expand(id);
+                }
+            }
+            Traversal::Item { id, point, .. } => {
+                if Some(id) == exclude {
+                    continue;
+                }
+                let tp = point.abs_diff(&q_dom);
+                if !skyline_t.iter().any(|s| dominates(s, &tp)) {
+                    skyline_t.push(tp);
+                    out.push((id, point));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::bnl_skyline;
+    use wnrs_rtree::bulk::bulk_load;
+    use wnrs_rtree::RTreeConfig;
+
+    fn pseudo_points(n: usize, seed: u64, dim: usize) -> Vec<Point> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        (0..n)
+            .map(|_| Point::new((0..dim).map(|_| next() * 100.0).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    #[test]
+    fn static_bbs_matches_bnl() {
+        for seed in [11, 22, 33] {
+            let pts = pseudo_points(500, seed, 2);
+            let tree = bulk_load(&pts, RTreeConfig::with_max_entries(8));
+            let mut got: Vec<u32> = bbs_skyline(&tree).iter().map(|(id, _)| id.0).collect();
+            got.sort_unstable();
+            let want: Vec<u32> = bnl_skyline(&pts).iter().map(|&i| i as u32).collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn static_bbs_3d() {
+        let pts = pseudo_points(400, 5, 3);
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(10));
+        let mut got: Vec<u32> = bbs_skyline(&tree).iter().map(|(id, _)| id.0).collect();
+        got.sort_unstable();
+        let want: Vec<u32> = bnl_skyline(&pts).iter().map(|&i| i as u32).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dynamic_bbs_matches_scan() {
+        for seed in [7, 8, 9] {
+            let pts = pseudo_points(500, seed, 2);
+            let tree = bulk_load(&pts, RTreeConfig::with_max_entries(8));
+            let q = Point::xy(41.0, 67.0);
+            let mut got: Vec<u32> =
+                bbs_dynamic_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
+            got.sort_unstable();
+            let want: Vec<u32> = crate::dynamic::dynamic_skyline_scan(&pts, &q)
+                .iter()
+                .map(|&i| i as u32)
+                .collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dynamic_bbs_prunes_nodes() {
+        let pts = pseudo_points(5000, 42, 2);
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        tree.reset_visits();
+        let _ = bbs_dynamic_skyline(&tree, &Point::xy(50.0, 50.0));
+        assert!(
+            (tree.node_visits() as usize) < tree.node_count(),
+            "BBS should prune: visited {} of {} nodes",
+            tree.node_visits(),
+            tree.node_count()
+        );
+    }
+
+    #[test]
+    fn transformed_lo_cases() {
+        let r = Rect::new(Point::xy(2.0, 2.0), Point::xy(4.0, 4.0));
+        // q inside in x, below in y.
+        let lo = transformed_lo(&r, &Point::xy(3.0, 0.0));
+        assert!(lo.same_location(&Point::xy(0.0, 2.0)));
+        // q beyond the upper corner.
+        let lo = transformed_lo(&r, &Point::xy(10.0, 10.0));
+        assert!(lo.same_location(&Point::xy(6.0, 6.0)));
+        // q inside the rect entirely.
+        let lo = transformed_lo(&r, &Point::xy(3.0, 3.0));
+        assert!(lo.same_location(&Point::xy(0.0, 0.0)));
+    }
+
+    #[test]
+    fn query_point_coincides_with_data_point() {
+        // A product exactly at q transforms to the origin and dominates
+        // every other point: DSL = that point (plus exact duplicates).
+        let mut pts = pseudo_points(100, 3, 2);
+        pts.push(Point::xy(50.0, 50.0));
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(8));
+        let got = bbs_dynamic_skyline(&tree, &Point::xy(50.0, 50.0));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0 .0 as usize, pts.len() - 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Block-nested-loop skyline.
+
+use wnrs_geometry::{dominance::compare, Dominance, Point};
+
+/// Indices of the skyline of `points` under static dominance (smaller
+/// preferred, Definition 1), in input order.
+///
+/// The classic BNL loop: maintain a window of incomparable candidates;
+/// each incoming point either is dominated (dropped), dominates window
+/// members (they are dropped), or joins the window. Duplicates of a
+/// skyline point are all kept (they dominate nothing and are dominated by
+/// nothing).
+///
+/// # Examples
+///
+/// ```
+/// use wnrs_geometry::Point;
+/// use wnrs_skyline::bnl_skyline;
+///
+/// // Paper, Fig. 1(b): the skyline of the 8 cars is {p1, p3, p5}.
+/// let cars = vec![
+///     Point::xy(5.0, 30.0),  // p1
+///     Point::xy(7.5, 42.0),  // p2
+///     Point::xy(2.5, 70.0),  // p3
+///     Point::xy(7.5, 90.0),  // p4
+///     Point::xy(24.0, 20.0), // p5
+///     Point::xy(20.0, 50.0), // p6
+///     Point::xy(26.0, 70.0), // p7
+///     Point::xy(16.0, 80.0), // p8
+/// ];
+/// assert_eq!(bnl_skyline(&cars), vec![0, 2, 4]);
+/// ```
+pub fn bnl_skyline(points: &[Point]) -> Vec<usize> {
+    let mut window: Vec<usize> = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        let mut j = 0;
+        while j < window.len() {
+            match compare(&points[window[j]], p) {
+                Dominance::Left => continue 'outer, // p dominated
+                Dominance::Right => {
+                    window.swap_remove(j); // window member dominated
+                }
+                Dominance::Neither => j += 1,
+            }
+        }
+        window.push(i);
+    }
+    window.sort_unstable();
+    window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnrs_geometry::dominates;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::xy(x, y)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(bnl_skyline(&[]).is_empty());
+        assert_eq!(bnl_skyline(&[p(1.0, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn all_points_on_skyline() {
+        let pts = vec![p(1.0, 4.0), p(2.0, 3.0), p(3.0, 2.0), p(4.0, 1.0)];
+        assert_eq!(bnl_skyline(&pts), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chain_has_single_winner() {
+        let pts = vec![p(4.0, 4.0), p(3.0, 3.0), p(2.0, 2.0), p(1.0, 1.0)];
+        assert_eq!(bnl_skyline(&pts), vec![3]);
+    }
+
+    #[test]
+    fn duplicates_all_kept() {
+        let pts = vec![p(1.0, 1.0), p(1.0, 1.0), p(2.0, 2.0)];
+        assert_eq!(bnl_skyline(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn skyline_members_are_mutually_incomparable() {
+        let pts: Vec<Point> = (0..200)
+            .map(|i| {
+                let f = i as f64;
+                p((f * 37.0) % 101.0, (f * 53.0) % 97.0)
+            })
+            .collect();
+        let sky = bnl_skyline(&pts);
+        for &i in &sky {
+            for &j in &sky {
+                if i != j {
+                    assert!(!dominates(&pts[i], &pts[j]));
+                }
+            }
+        }
+        // Every non-member is dominated by some member.
+        for i in 0..pts.len() {
+            if !sky.contains(&i) {
+                assert!(
+                    sky.iter().any(|&s| dominates(&pts[s], &pts[i])),
+                    "point {i} excluded but not dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn three_dimensional() {
+        let pts = vec![
+            Point::new(vec![1.0, 2.0, 3.0]),
+            Point::new(vec![2.0, 1.0, 3.0]),
+            Point::new(vec![3.0, 3.0, 3.0]), // dominated by both
+            Point::new(vec![1.0, 2.0, 2.0]), // dominates index 0
+        ];
+        assert_eq!(bnl_skyline(&pts), vec![1, 3]);
+    }
+}

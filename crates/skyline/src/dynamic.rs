@@ -1,0 +1,105 @@
+//! Dynamic skylines (Definition 2 of the paper).
+
+use crate::bnl::bnl_skyline;
+use wnrs_geometry::{dominates_dyn, transform::to_distance_space, Point};
+
+/// Indices of the dynamic skyline of `points` w.r.t. `q` by transforming
+/// into the distance space and running BNL (the reference algorithm the
+/// index-based BBS variant is checked against).
+///
+/// # Examples
+///
+/// ```
+/// use wnrs_geometry::Point;
+/// use wnrs_skyline::dynamic_skyline_scan;
+///
+/// // Paper, Fig. 2(b): DSL(c2) over {p1, p3..p8, q} is {p1, p4, p6, q}.
+/// let pts = vec![
+///     Point::xy(5.0, 30.0),  // 0: p1
+///     Point::xy(2.5, 70.0),  // 1: p3
+///     Point::xy(7.5, 90.0),  // 2: p4
+///     Point::xy(24.0, 20.0), // 3: p5
+///     Point::xy(20.0, 50.0), // 4: p6
+///     Point::xy(26.0, 70.0), // 5: p7
+///     Point::xy(16.0, 80.0), // 6: p8
+///     Point::xy(8.5, 55.0),  // 7: q
+/// ];
+/// let c2 = Point::xy(7.5, 42.0);
+/// assert_eq!(dynamic_skyline_scan(&pts, &c2), vec![0, 2, 4, 7]);
+/// ```
+pub fn dynamic_skyline_scan(points: &[Point], q: &Point) -> Vec<usize> {
+    let transformed = to_distance_space(points, q);
+    bnl_skyline(&transformed)
+}
+
+/// Whether `candidate` belongs to the dynamic skyline of `points` w.r.t.
+/// `q`, where `candidate` need not be a member of `points`. Points of
+/// `points` at the exact location of `candidate` do not dominate it.
+pub fn is_in_dynamic_skyline(points: &[Point], q: &Point, candidate: &Point) -> bool {
+    !points.iter().any(|p| dominates_dyn(p, candidate, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_products_without_p1() -> Vec<Point> {
+        vec![
+            Point::xy(7.5, 42.0),  // p2
+            Point::xy(2.5, 70.0),  // p3
+            Point::xy(7.5, 90.0),  // p4
+            Point::xy(24.0, 20.0), // p5
+            Point::xy(20.0, 50.0), // p6
+            Point::xy(26.0, 70.0), // p7
+            Point::xy(16.0, 80.0), // p8
+        ]
+    }
+
+    #[test]
+    fn dsl_of_q_paper_fig2a() {
+        // DSL(q) over p1..p8 (q as customer preference) = {p2, p6}.
+        let mut pts = vec![Point::xy(5.0, 30.0)];
+        pts.extend(paper_products_without_p1());
+        let q = Point::xy(8.5, 55.0);
+        let dsl = dynamic_skyline_scan(&pts, &q);
+        assert_eq!(dsl, vec![1, 5]); // p2, p6
+    }
+
+    #[test]
+    fn membership_test_q_in_dsl_of_c2() {
+        // Fig. 2(b): q is in DSL(c2).
+        let mut pts = vec![Point::xy(5.0, 30.0)]; // p1
+        pts.extend(paper_products_without_p1().into_iter().skip(1)); // p3..p8
+        let c2 = Point::xy(7.5, 42.0);
+        let q = Point::xy(8.5, 55.0);
+        assert!(is_in_dynamic_skyline(&pts, &c2, &q));
+    }
+
+    #[test]
+    fn membership_test_q_not_in_dsl_of_c1() {
+        // Section II: q ∉ DSL(c1) because p2 dynamically dominates q.
+        let pts = paper_products_without_p1(); // p2..p8
+        let c1 = Point::xy(5.0, 30.0);
+        let q = Point::xy(8.5, 55.0);
+        assert!(!is_in_dynamic_skyline(&pts, &c1, &q));
+    }
+
+    #[test]
+    fn candidate_at_data_point_location() {
+        let pts = vec![Point::xy(1.0, 1.0)];
+        let q = Point::xy(0.0, 0.0);
+        // A candidate coincident with a data point is not dominated by it.
+        assert!(is_in_dynamic_skyline(&pts, &q, &Point::xy(1.0, 1.0)));
+        // The reflected location (-1, -1) transforms identically: also
+        // not dominated.
+        assert!(is_in_dynamic_skyline(&pts, &q, &Point::xy(-1.0, -1.0)));
+        // A strictly farther candidate is dominated.
+        assert!(!is_in_dynamic_skyline(&pts, &q, &Point::xy(2.0, 1.0)));
+    }
+
+    #[test]
+    fn empty_product_set_makes_everything_skyline() {
+        assert!(is_in_dynamic_skyline(&[], &Point::xy(0.0, 0.0), &Point::xy(9.0, 9.0)));
+        assert!(dynamic_skyline_scan(&[], &Point::xy(0.0, 0.0)).is_empty());
+    }
+}

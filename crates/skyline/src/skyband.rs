@@ -1,0 +1,135 @@
+//! k-skybands: the points dominated by fewer than `k` others.
+//!
+//! The 1-skyband is the skyline. Skybands matter for why-not analysis
+//! because a why-not point's "distance from relevance" is captured by
+//! how many products dominate the query from its perspective — the
+//! number of culprits `|Λ|` is exactly the dynamic dominance count the
+//! skyband generalises.
+
+use wnrs_geometry::{dominates, dominates_dyn, Point};
+
+/// Indices of the k-skyband of `points` under static dominance: every
+/// point dominated by fewer than `k` others. `k = 1` is the skyline.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn k_skyband(points: &[Point], k: usize) -> Vec<usize> {
+    assert!(k > 0, "k must be positive (k = 1 is the skyline)");
+    band(points, k, dominates)
+}
+
+/// The dynamic k-skyband w.r.t. `q`: points dynamically dominated (per
+/// Definition 2) by fewer than `k` others.
+pub fn dynamic_k_skyband(points: &[Point], q: &Point, k: usize) -> Vec<usize> {
+    assert!(k > 0, "k must be positive");
+    band(points, k, |a, b| dominates_dyn(a, b, q))
+}
+
+fn band(points: &[Point], k: usize, dominated_by: impl Fn(&Point, &Point) -> bool) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            let mut count = 0;
+            for j in 0..points.len() {
+                if j != i && dominated_by(&points[j], &points[i]) {
+                    count += 1;
+                    if count >= k {
+                        return false;
+                    }
+                }
+            }
+            true
+        })
+        .collect()
+}
+
+/// How many points of `points` dominate `target` (statically). The
+/// "depth" of a point below the skyline.
+pub fn dominance_count(points: &[Point], target: &Point) -> usize {
+    points.iter().filter(|p| dominates(p, target)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::bnl_skyline;
+
+    fn pts() -> Vec<Point> {
+        vec![
+            Point::xy(1.0, 5.0),
+            Point::xy(2.0, 2.0),
+            Point::xy(5.0, 1.0),
+            Point::xy(3.0, 3.0), // dominated by (2,2) only
+            Point::xy(4.0, 4.0), // dominated by (2,2) and (3,3)
+            Point::xy(6.0, 6.0), // dominated by 4 points
+        ]
+    }
+
+    #[test]
+    fn one_skyband_is_skyline() {
+        let p = pts();
+        assert_eq!(k_skyband(&p, 1), bnl_skyline(&p));
+    }
+
+    #[test]
+    fn bands_nest() {
+        let p = pts();
+        let b1 = k_skyband(&p, 1);
+        let b2 = k_skyband(&p, 2);
+        let b3 = k_skyband(&p, 3);
+        for i in &b1 {
+            assert!(b2.contains(i));
+        }
+        for i in &b2 {
+            assert!(b3.contains(i));
+        }
+        assert_eq!(b2, vec![0, 1, 2, 3]);
+        assert_eq!(b3, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn huge_k_returns_everything() {
+        let p = pts();
+        assert_eq!(k_skyband(&p, 100).len(), p.len());
+    }
+
+    #[test]
+    fn dominance_counts() {
+        let p = pts();
+        assert_eq!(dominance_count(&p, &Point::xy(6.0, 6.0)), 5);
+        assert_eq!(dominance_count(&p, &Point::xy(0.5, 0.5)), 0);
+        // Only (2,2) dominates (3,3): the coincident point is equal, not
+        // dominating.
+        assert_eq!(dominance_count(&p, &Point::xy(3.0, 3.0)), 1);
+    }
+
+    #[test]
+    fn dynamic_band_matches_culprit_count() {
+        // The number of dynamic dominators of q w.r.t. c equals |Λ|.
+        let products = vec![
+            Point::xy(7.5, 42.0),
+            Point::xy(2.5, 70.0),
+            Point::xy(20.0, 50.0),
+        ];
+        let c1 = Point::xy(5.0, 30.0);
+        let q = Point::xy(8.5, 55.0);
+        let dominators = products
+            .iter()
+            .filter(|p| wnrs_geometry::dominates_dyn(p, &q, &c1))
+            .count();
+        assert_eq!(dominators, 1); // just p2
+        // q joins the dynamic 2-skyband of c1 but not the 1-skyband.
+        let mut with_q = products.clone();
+        with_q.push(q.clone());
+        let band1 = dynamic_k_skyband(&with_q, &c1, 1);
+        let band2 = dynamic_k_skyband(&with_q, &c1, 2);
+        assert!(!band1.contains(&3));
+        assert!(band2.contains(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_rejected() {
+        let _ = k_skyband(&pts(), 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! An LRU buffer pool over a [`Pager`].
+//!
+//! Caches whole pages, tracks logical vs physical traffic, and writes
+//! dirty pages back on eviction and on [`BufferPool::flush`]. Reads and
+//! writes clone page contents in and out of the pool — simple value
+//! semantics that keep the pool trivially thread-safe behind one mutex.
+
+use crate::page::{Page, PageId};
+use crate::pager::{Pager, PagerError};
+use crate::stats::IoStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One resident page.
+struct Frame {
+    page: Page,
+    dirty: bool,
+    /// Logical timestamp of the last touch; larger = more recent.
+    last_used: u64,
+}
+
+struct PoolState {
+    frames: HashMap<PageId, Frame>,
+    clock: u64,
+}
+
+/// A fixed-capacity LRU buffer pool.
+pub struct BufferPool<P: Pager> {
+    pager: Arc<P>,
+    capacity: usize,
+    state: Mutex<PoolState>,
+    stats: IoStats,
+}
+
+impl<P: Pager> BufferPool<P> {
+    /// A pool caching up to `capacity` pages of `pager`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(pager: Arc<P>, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool capacity must be positive");
+        Self {
+            pager,
+            capacity,
+            state: Mutex::new(PoolState { frames: HashMap::new(), clock: 0 }),
+            stats: IoStats::new(),
+        }
+    }
+
+    /// The underlying pager.
+    pub fn pager(&self) -> &Arc<P> {
+        &self.pager
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident(&self) -> usize {
+        self.state.lock().frames.len()
+    }
+
+    /// Logical/physical counters for this pool.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Allocates a fresh page on the underlying pager (not yet resident).
+    pub fn allocate(&self) -> PageId {
+        self.pager.allocate()
+    }
+
+    /// Reads a page through the pool.
+    pub fn read(&self, id: PageId) -> Result<Page, PagerError> {
+        self.stats.record_logical_read();
+        let mut st = self.state.lock();
+        st.clock += 1;
+        let clock = st.clock;
+        if let Some(frame) = st.frames.get_mut(&id) {
+            frame.last_used = clock;
+            return Ok(frame.page.clone());
+        }
+        drop(st);
+        // Miss: fetch outside the map borrow, then install.
+        self.stats.record_physical_read();
+        let page = self.pager.read_page(id)?;
+        let mut st = self.state.lock();
+        let clock = st.clock;
+        Self::evict_if_full(&mut st, self.capacity, &*self.pager, &self.stats)?;
+        st.frames.insert(id, Frame { page: page.clone(), dirty: false, last_used: clock });
+        Ok(page)
+    }
+
+    /// Writes a page through the pool (write-back: the pager is updated on
+    /// eviction or flush).
+    pub fn write(&self, id: PageId, page: Page) -> Result<(), PagerError> {
+        if page.size() != self.pager.page_size() {
+            return Err(PagerError::SizeMismatch {
+                expected: self.pager.page_size(),
+                got: page.size(),
+            });
+        }
+        self.stats.record_logical_write();
+        let mut st = self.state.lock();
+        st.clock += 1;
+        let clock = st.clock;
+        if let Some(frame) = st.frames.get_mut(&id) {
+            frame.page = page;
+            frame.dirty = true;
+            frame.last_used = clock;
+            return Ok(());
+        }
+        Self::evict_if_full(&mut st, self.capacity, &*self.pager, &self.stats)?;
+        st.frames.insert(id, Frame { page, dirty: true, last_used: clock });
+        Ok(())
+    }
+
+    /// Writes every dirty page back to the pager.
+    pub fn flush(&self) -> Result<(), PagerError> {
+        let mut st = self.state.lock();
+        for (id, frame) in st.frames.iter_mut() {
+            if frame.dirty {
+                self.stats.record_physical_write();
+                self.pager.write_page(*id, &frame.page)?;
+                frame.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes and drops every resident page.
+    pub fn clear(&self) -> Result<(), PagerError> {
+        self.flush()?;
+        self.state.lock().frames.clear();
+        Ok(())
+    }
+
+    fn evict_if_full(
+        st: &mut PoolState,
+        capacity: usize,
+        pager: &P,
+        stats: &IoStats,
+    ) -> Result<(), PagerError> {
+        while st.frames.len() >= capacity {
+            let victim = st
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(id, _)| *id)
+                .expect("non-empty frames when at capacity");
+            let frame = st.frames.remove(&victim).expect("victim present");
+            if frame.dirty {
+                stats.record_physical_write();
+                pager.write_page(victim, &frame.page)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn pool(cap: usize) -> BufferPool<MemPager> {
+        BufferPool::new(Arc::new(MemPager::new(64)), cap)
+    }
+
+    fn page_with(byte: u8) -> Page {
+        let mut p = Page::zeroed(64);
+        p.bytes_mut()[0] = byte;
+        p
+    }
+
+    #[test]
+    fn read_through_caches() {
+        let pool = pool(4);
+        let id = pool.allocate();
+        pool.pager().write_page(id, &page_with(9)).unwrap();
+        let before = pool.pager().stats().physical_reads();
+        assert_eq!(pool.read(id).unwrap().bytes()[0], 9);
+        assert_eq!(pool.read(id).unwrap().bytes()[0], 9);
+        assert_eq!(pool.read(id).unwrap().bytes()[0], 9);
+        // Only the first read reached the pager.
+        assert_eq!(pool.pager().stats().physical_reads() - before, 1);
+        assert_eq!(pool.stats().logical_reads(), 3);
+        assert_eq!(pool.stats().physical_reads(), 1);
+        let hit_rate = pool.stats().hit_rate().expect("reads happened");
+        assert!((hit_rate - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_back_on_flush() {
+        let pool = pool(4);
+        let id = pool.allocate();
+        pool.write(id, page_with(7)).unwrap();
+        // Not yet on the pager.
+        assert_eq!(pool.pager().read_page(id).unwrap().bytes()[0], 0);
+        pool.flush().unwrap();
+        assert_eq!(pool.pager().read_page(id).unwrap().bytes()[0], 7);
+        // Second flush writes nothing (page now clean).
+        let w = pool.stats().physical_writes();
+        pool.flush().unwrap();
+        assert_eq!(pool.stats().physical_writes(), w);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let pool = pool(2);
+        let a = pool.allocate();
+        let b = pool.allocate();
+        let c = pool.allocate();
+        pool.write(a, page_with(1)).unwrap();
+        pool.write(b, page_with(2)).unwrap();
+        pool.read(a).unwrap(); // a now more recent than b
+        pool.write(c, page_with(3)).unwrap(); // evicts b (dirty → written back)
+        assert_eq!(pool.pager().read_page(b).unwrap().bytes()[0], 2);
+        assert_eq!(pool.resident(), 2);
+        // a still resident: reading it is a hit.
+        let misses = pool.stats().physical_reads();
+        pool.read(a).unwrap();
+        assert_eq!(pool.stats().physical_reads(), misses);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let pool = pool(3);
+        for i in 0..20 {
+            let id = pool.allocate();
+            pool.write(id, page_with(i as u8)).unwrap();
+            assert!(pool.resident() <= 3);
+        }
+    }
+
+    #[test]
+    fn eviction_round_trip_preserves_data() {
+        let pool = pool(2);
+        let ids: Vec<_> = (0..10).map(|_| pool.allocate()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            pool.write(id, page_with(i as u8)).unwrap();
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(pool.read(id).unwrap().bytes()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn clear_flushes_and_empties() {
+        let pool = pool(4);
+        let id = pool.allocate();
+        pool.write(id, page_with(5)).unwrap();
+        pool.clear().unwrap();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.pager().read_page(id).unwrap().bytes()[0], 5);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        use std::sync::Arc;
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new(64)), 8));
+        let ids: Vec<_> = (0..32).map(|_| pool.allocate()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            pool.write(id, page_with(i as u8)).unwrap();
+        }
+        pool.flush().unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                let ids = ids.clone();
+                std::thread::spawn(move || {
+                    for round in 0..200 {
+                        let i = (t * 7 + round * 13) % ids.len();
+                        let p = pool.read(ids[i]).expect("read");
+                        assert_eq!(p.bytes()[0], i as u8, "thread {t} round {round}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("reader thread");
+        }
+        assert!(pool.resident() <= 8);
+    }
+
+    #[test]
+    fn wrong_size_write_rejected() {
+        let pool = pool(4);
+        let id = pool.allocate();
+        let err = pool.write(id, Page::zeroed(32)).unwrap_err();
+        assert!(matches!(err, PagerError::SizeMismatch { expected: 64, got: 32 }));
+    }
+}

@@ -1,0 +1,195 @@
+//! Minimal little-endian binary encoding over page buffers.
+//!
+//! The R-tree serialises one node per page with these helpers. Encoding is
+//! bounds-checked; overruns are reported as [`CodecError`] so a node that
+//! does not fit its page is a detectable configuration error, not silent
+//! corruption.
+
+use std::fmt;
+
+/// Encoding/decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The value would not fit in the remaining buffer space.
+    Overflow {
+        /// Bytes needed by the write/read.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Overflow { needed, remaining } => {
+                write!(f, "buffer overflow: needed {needed} bytes, {remaining} remaining")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A cursor writing little-endian values into a byte buffer.
+pub struct Encoder<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> Encoder<'a> {
+    /// Starts encoding at the beginning of `buf`.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes written so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        if bytes.len() > self.remaining() {
+            return Err(CodecError::Overflow { needed: bytes.len(), remaining: self.remaining() });
+        }
+        self.buf[self.pos..self.pos + bytes.len()].copy_from_slice(bytes);
+        self.pos += bytes.len();
+        Ok(())
+    }
+
+    /// Writes a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> Result<(), CodecError> {
+        self.put(&[v])
+    }
+
+    /// Writes a `u32`.
+    pub fn put_u32(&mut self, v: u32) -> Result<(), CodecError> {
+        self.put(&v.to_le_bytes())
+    }
+
+    /// Writes a `u64`.
+    pub fn put_u64(&mut self, v: u64) -> Result<(), CodecError> {
+        self.put(&v.to_le_bytes())
+    }
+
+    /// Writes an `f64`.
+    pub fn put_f64(&mut self, v: f64) -> Result<(), CodecError> {
+        self.put(&v.to_le_bytes())
+    }
+}
+
+/// A cursor reading little-endian values from a byte buffer.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts decoding at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if n > self.remaining() {
+            return Err(CodecError::Overflow { needed: n, remaining: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut buf = [0u8; 32];
+        let mut e = Encoder::new(&mut buf);
+        e.put_u8(7).unwrap();
+        e.put_u32(0xDEADBEEF).unwrap();
+        e.put_u64(u64::MAX - 1).unwrap();
+        e.put_f64(-13.75).unwrap();
+        let written = e.position();
+        assert_eq!(written, 1 + 4 + 8 + 8);
+
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.get_f64().unwrap(), -13.75);
+        assert_eq!(d.position(), written);
+    }
+
+    #[test]
+    fn encoder_overflow_detected() {
+        let mut buf = [0u8; 3];
+        let mut e = Encoder::new(&mut buf);
+        assert_eq!(
+            e.put_u32(1),
+            Err(CodecError::Overflow { needed: 4, remaining: 3 })
+        );
+        // Position unchanged after a failed write.
+        assert_eq!(e.position(), 0);
+        assert!(e.put_u8(9).is_ok());
+    }
+
+    #[test]
+    fn decoder_overflow_detected() {
+        let buf = [1u8, 2];
+        let mut d = Decoder::new(&buf);
+        assert!(d.get_u8().is_ok());
+        assert!(matches!(d.get_u64(), Err(CodecError::Overflow { .. })));
+        assert_eq!(d.remaining(), 1);
+    }
+
+    #[test]
+    fn f64_special_values_round_trip() {
+        let mut buf = [0u8; 24];
+        let mut e = Encoder::new(&mut buf);
+        e.put_f64(f64::MAX).unwrap();
+        e.put_f64(f64::MIN_POSITIVE).unwrap();
+        e.put_f64(-0.0).unwrap();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_f64().unwrap(), f64::MAX);
+        assert_eq!(d.get_f64().unwrap(), f64::MIN_POSITIVE);
+        assert_eq!(d.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+    }
+}

@@ -1,0 +1,246 @@
+//! An on-disk pager: fixed-size pages in a regular file.
+//!
+//! The file starts with a 16-byte superblock (magic + page size) so that
+//! reopening validates the geometry. Pages follow contiguously; page `i`
+//! lives at byte offset `16 + i · page_size`.
+
+use crate::page::{Page, PageId};
+use crate::pager::{Pager, PagerError};
+use crate::stats::IoStats;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const MAGIC: u64 = 0x574E_5253_5047_5231; // "WNRSPGR1"
+const SUPERBLOCK_BYTES: u64 = 16;
+
+/// Errors specific to opening a page file.
+#[derive(Debug)]
+pub enum FilePagerError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a page file or has a different page size.
+    Format(String),
+}
+
+impl std::fmt::Display for FilePagerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FilePagerError::Io(e) => write!(f, "i/o error: {e}"),
+            FilePagerError::Format(m) => write!(f, "bad page file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FilePagerError {}
+
+impl From<std::io::Error> for FilePagerError {
+    fn from(e: std::io::Error) -> Self {
+        FilePagerError::Io(e)
+    }
+}
+
+/// A [`Pager`] backed by a file on disk.
+pub struct FilePager {
+    file: Mutex<File>,
+    page_size: usize,
+    pages: AtomicU64,
+    stats: IoStats,
+}
+
+impl FilePager {
+    /// Creates (truncating) a new page file.
+    pub fn create(path: &Path, page_size: usize) -> Result<Self, FilePagerError> {
+        assert!(page_size > 0, "page size must be positive");
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let mut superblock = [0u8; SUPERBLOCK_BYTES as usize];
+        superblock[..8].copy_from_slice(&MAGIC.to_le_bytes());
+        superblock[8..16].copy_from_slice(&(page_size as u64).to_le_bytes());
+        file.write_all(&superblock)?;
+        file.flush()?;
+        Ok(Self {
+            file: Mutex::new(file),
+            page_size,
+            pages: AtomicU64::new(0),
+            stats: IoStats::new(),
+        })
+    }
+
+    /// Opens an existing page file, validating the superblock.
+    pub fn open(path: &Path) -> Result<Self, FilePagerError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut superblock = [0u8; SUPERBLOCK_BYTES as usize];
+        file.read_exact(&mut superblock)
+            .map_err(|_| FilePagerError::Format("file shorter than a superblock".into()))?;
+        let magic = u64::from_le_bytes(superblock[..8].try_into().expect("8 bytes"));
+        if magic != MAGIC {
+            return Err(FilePagerError::Format("magic mismatch".into()));
+        }
+        let page_size = u64::from_le_bytes(superblock[8..16].try_into().expect("8 bytes")) as usize;
+        if page_size == 0 {
+            return Err(FilePagerError::Format("zero page size".into()));
+        }
+        let len = file.metadata()?.len();
+        let body = len.saturating_sub(SUPERBLOCK_BYTES);
+        if body % page_size as u64 != 0 {
+            return Err(FilePagerError::Format(format!(
+                "file body of {body} bytes is not a multiple of the {page_size}-byte page size"
+            )));
+        }
+        Ok(Self {
+            file: Mutex::new(file),
+            page_size,
+            pages: AtomicU64::new(body / page_size as u64),
+            stats: IoStats::new(),
+        })
+    }
+
+    fn offset(&self, id: PageId) -> u64 {
+        SUPERBLOCK_BYTES + id.0 * self.page_size as u64
+    }
+}
+
+impl Pager for FilePager {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.load(Ordering::SeqCst)
+    }
+
+    fn allocate(&self) -> PageId {
+        let mut file = self.file.lock();
+        let id = PageId(self.pages.fetch_add(1, Ordering::SeqCst));
+        // Extend the file eagerly so reads of fresh pages see zeroes.
+        let zero = vec![0u8; self.page_size];
+        let _ = file.seek(SeekFrom::Start(self.offset(id)));
+        let _ = file.write_all(&zero);
+        id
+    }
+
+    fn read_page(&self, id: PageId) -> Result<Page, PagerError> {
+        if id.0 >= self.page_count() {
+            return Err(PagerError::UnknownPage(id));
+        }
+        let mut file = self.file.lock();
+        let mut buf = vec![0u8; self.page_size];
+        file.seek(SeekFrom::Start(self.offset(id)))
+            .and_then(|_| file.read_exact(&mut buf))
+            .map_err(|_| PagerError::UnknownPage(id))?;
+        self.stats.record_physical_read();
+        Ok(Page::from_bytes(buf))
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> Result<(), PagerError> {
+        if page.size() != self.page_size {
+            return Err(PagerError::SizeMismatch { expected: self.page_size, got: page.size() });
+        }
+        if id.0 >= self.page_count() {
+            return Err(PagerError::UnknownPage(id));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(self.offset(id)))
+            .and_then(|_| file.write_all(page.bytes()))
+            .map_err(|_| PagerError::UnknownPage(id))?;
+        self.stats.record_physical_write();
+        Ok(())
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("wnrs_file_pager");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn create_write_read() {
+        let path = tmp("basic.pg");
+        let pager = FilePager::create(&path, 128).expect("create");
+        let a = pager.allocate();
+        let b = pager.allocate();
+        let mut p = Page::zeroed(128);
+        p.bytes_mut()[0] = 42;
+        pager.write_page(b, &p).expect("write");
+        assert_eq!(pager.read_page(b).expect("read").bytes()[0], 42);
+        assert_eq!(pager.read_page(a).expect("read").bytes()[0], 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_preserves_pages() {
+        let path = tmp("reopen.pg");
+        {
+            let pager = FilePager::create(&path, 64).expect("create");
+            for i in 0..5u8 {
+                let id = pager.allocate();
+                let mut p = Page::zeroed(64);
+                p.bytes_mut()[0] = i;
+                pager.write_page(id, &p).expect("write");
+            }
+        }
+        let pager = FilePager::open(&path).expect("open");
+        assert_eq!(pager.page_size(), 64);
+        assert_eq!(pager.page_count(), 5);
+        for i in 0..5u8 {
+            assert_eq!(pager.read_page(PageId(i as u64)).expect("read").bytes()[0], i);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_files_rejected() {
+        let path = tmp("garbage.pg");
+        std::fs::write(&path, b"not a page file at all").expect("write");
+        assert!(matches!(FilePager::open(&path), Err(FilePagerError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_page_and_size_mismatch() {
+        let path = tmp("errors.pg");
+        let pager = FilePager::create(&path, 64).expect("create");
+        assert!(matches!(pager.read_page(PageId(0)), Err(PagerError::UnknownPage(_))));
+        let id = pager.allocate();
+        let wrong = Page::zeroed(32);
+        assert!(matches!(
+            pager.write_page(id, &wrong),
+            Err(PagerError::SizeMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rtree_persists_through_file_pager() {
+        // Cross-module: the R-tree save/load path works on disk too. The
+        // rtree crate depends on this one, so exercise it from here via
+        // generic pager behaviour only: raw page round-trip of realistic
+        // volume.
+        let path = tmp("volume.pg");
+        let pager = FilePager::create(&path, 1536).expect("create");
+        for i in 0..200u64 {
+            let id = pager.allocate();
+            let mut p = Page::zeroed(1536);
+            p.bytes_mut()[..8].copy_from_slice(&i.to_le_bytes());
+            pager.write_page(id, &p).expect("write");
+        }
+        for i in (0..200u64).rev() {
+            let p = pager.read_page(PageId(i)).expect("read");
+            assert_eq!(u64::from_le_bytes(p.bytes()[..8].try_into().expect("8")), i);
+        }
+        assert!(pager.stats().physical_reads() >= 200);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,26 @@
+//! # wnrs-storage
+//!
+//! A small paged-storage substrate standing in for the XXL storage layer
+//! the paper's experiments run on: an in-memory "disk" of fixed-size pages
+//! (the paper uses **1536-byte pages** for its R-tree), an LRU buffer pool
+//! with hit/miss accounting, and cheap binary encoding helpers.
+//!
+//! The R-tree crate persists its nodes through this layer one node per
+//! page, which is what ties index fan-out to the paper's page size.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod buffer;
+pub mod codec;
+pub mod file;
+pub mod page;
+pub mod pager;
+pub mod stats;
+
+pub use buffer::BufferPool;
+pub use file::FilePager;
+pub use codec::{Decoder, Encoder};
+pub use page::{Page, PageId, PAPER_PAGE_SIZE};
+pub use pager::{MemPager, Pager};
+pub use stats::IoStats;

@@ -1,0 +1,201 @@
+//! Pagers: flat page-addressed storage.
+
+use crate::page::{Page, PageId};
+use crate::stats::IoStats;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised by pager operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PagerError {
+    /// The requested page has never been allocated.
+    UnknownPage(PageId),
+    /// A page of the wrong size was handed to `write_page`.
+    SizeMismatch {
+        /// The pager's configured page size.
+        expected: usize,
+        /// The size of the page supplied by the caller.
+        got: usize,
+    },
+}
+
+impl fmt::Display for PagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PagerError::UnknownPage(id) => write!(f, "unknown {id}"),
+            PagerError::SizeMismatch { expected, got } => {
+                write!(f, "page size mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PagerError {}
+
+/// Flat page-addressed storage: the "disk".
+pub trait Pager: Send + Sync {
+    /// Configured page size in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Number of allocated pages.
+    fn page_count(&self) -> u64;
+
+    /// Allocates a fresh zeroed page and returns its id.
+    fn allocate(&self) -> PageId;
+
+    /// Reads a page by id.
+    fn read_page(&self, id: PageId) -> Result<Page, PagerError>;
+
+    /// Writes a page by id.
+    fn write_page(&self, id: PageId, page: &Page) -> Result<(), PagerError>;
+
+    /// Physical I/O counters.
+    fn stats(&self) -> &IoStats;
+}
+
+/// An in-memory pager simulating a disk file: pages are dense and never
+/// shrink. Thread-safe; suitable for persisting index nodes in tests and
+/// experiments.
+pub struct MemPager {
+    page_size: usize,
+    pages: RwLock<Vec<Page>>,
+    stats: IoStats,
+}
+
+impl MemPager {
+    /// A pager with the given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Self { page_size, pages: RwLock::new(Vec::new()), stats: IoStats::new() }
+    }
+
+    /// A pager with the paper's 1536-byte pages.
+    pub fn paper_default() -> Self {
+        Self::new(crate::page::PAPER_PAGE_SIZE)
+    }
+
+    /// Shares the pager behind an `Arc`.
+    pub fn shared(page_size: usize) -> Arc<Self> {
+        Arc::new(Self::new(page_size))
+    }
+}
+
+impl Pager for MemPager {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.read().len() as u64
+    }
+
+    fn allocate(&self) -> PageId {
+        let mut pages = self.pages.write();
+        pages.push(Page::zeroed(self.page_size));
+        PageId(pages.len() as u64 - 1)
+    }
+
+    fn read_page(&self, id: PageId) -> Result<Page, PagerError> {
+        let pages = self.pages.read();
+        let page = pages.get(id.index()).ok_or(PagerError::UnknownPage(id))?.clone();
+        self.stats.record_physical_read();
+        Ok(page)
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> Result<(), PagerError> {
+        if page.size() != self.page_size {
+            return Err(PagerError::SizeMismatch { expected: self.page_size, got: page.size() });
+        }
+        let mut pages = self.pages.write();
+        let slot = pages.get_mut(id.index()).ok_or(PagerError::UnknownPage(id))?;
+        *slot = page.clone();
+        self.stats.record_physical_write();
+        Ok(())
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_write() {
+        let pager = MemPager::new(64);
+        let a = pager.allocate();
+        let b = pager.allocate();
+        assert_eq!(a, PageId(0));
+        assert_eq!(b, PageId(1));
+        assert_eq!(pager.page_count(), 2);
+
+        let mut p = Page::zeroed(64);
+        p.bytes_mut()[0] = 42;
+        pager.write_page(b, &p).unwrap();
+        assert_eq!(pager.read_page(b).unwrap().bytes()[0], 42);
+        assert_eq!(pager.read_page(a).unwrap().bytes()[0], 0);
+    }
+
+    #[test]
+    fn unknown_page_is_error() {
+        let pager = MemPager::new(64);
+        assert_eq!(pager.read_page(PageId(9)), Err(PagerError::UnknownPage(PageId(9))));
+        let p = Page::zeroed(64);
+        assert_eq!(pager.write_page(PageId(0), &p), Err(PagerError::UnknownPage(PageId(0))));
+    }
+
+    #[test]
+    fn size_mismatch_is_error() {
+        let pager = MemPager::new(64);
+        let id = pager.allocate();
+        let wrong = Page::zeroed(32);
+        assert_eq!(
+            pager.write_page(id, &wrong),
+            Err(PagerError::SizeMismatch { expected: 64, got: 32 })
+        );
+    }
+
+    #[test]
+    fn physical_io_counted() {
+        let pager = MemPager::new(64);
+        let id = pager.allocate();
+        let p = Page::zeroed(64);
+        pager.write_page(id, &p).unwrap();
+        pager.read_page(id).unwrap();
+        pager.read_page(id).unwrap();
+        assert_eq!(pager.stats().physical_writes(), 1);
+        assert_eq!(pager.stats().physical_reads(), 2);
+    }
+
+    #[test]
+    fn paper_default_page_size() {
+        let pager = MemPager::paper_default();
+        assert_eq!(pager.page_size(), 1536);
+    }
+
+    #[test]
+    fn concurrent_allocation_yields_distinct_ids() {
+        use std::collections::HashSet;
+        let pager = Arc::new(MemPager::new(64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let p = Arc::clone(&pager);
+                std::thread::spawn(move || (0..100).map(|_| p.allocate()).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all = HashSet::new();
+        for h in handles {
+            for id in h.join().expect("thread") {
+                assert!(all.insert(id), "duplicate page id {id}");
+            }
+        }
+        assert_eq!(all.len(), 800);
+    }
+}

@@ -1,0 +1,145 @@
+//! I/O accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters for logical and physical page traffic.
+///
+/// *Logical* operations are requests made against the buffer pool;
+/// *physical* operations are the subset that missed the pool and reached
+/// the underlying pager. Node-visit counters let index structures report
+/// the logical-I/O metric customary in the access-methods literature.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    logical_reads: AtomicU64,
+    logical_writes: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a logical read.
+    #[inline]
+    pub fn record_logical_read(&self) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a logical write.
+    #[inline]
+    pub fn record_logical_write(&self) {
+        self.logical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a physical read (buffer-pool miss).
+    #[inline]
+    pub fn record_physical_read(&self) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a physical write (eviction or flush).
+    #[inline]
+    pub fn record_physical_write(&self) {
+        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Logical reads so far.
+    pub fn logical_reads(&self) -> u64 {
+        self.logical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Logical writes so far.
+    pub fn logical_writes(&self) -> u64 {
+        self.logical_writes.load(Ordering::Relaxed)
+    }
+
+    /// Physical reads so far.
+    pub fn physical_reads(&self) -> u64 {
+        self.physical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Physical writes so far.
+    pub fn physical_writes(&self) -> u64 {
+        self.physical_writes.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-pool hit rate over reads, or `None` before any read.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let logical = self.logical_reads();
+        if logical == 0 {
+            return None;
+        }
+        let physical = self.physical_reads();
+        Some(1.0 - physical as f64 / logical as f64)
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.logical_writes.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_logical_read();
+        s.record_logical_read();
+        s.record_physical_read();
+        s.record_logical_write();
+        s.record_physical_write();
+        assert_eq!(s.logical_reads(), 2);
+        assert_eq!(s.physical_reads(), 1);
+        assert_eq!(s.logical_writes(), 1);
+        assert_eq!(s.physical_writes(), 1);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let s = IoStats::new();
+        assert_eq!(s.hit_rate(), None);
+        for _ in 0..4 {
+            s.record_logical_read();
+        }
+        s.record_physical_read();
+        assert_eq!(s.hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = IoStats::new();
+        s.record_logical_read();
+        s.reset();
+        assert_eq!(s.logical_reads(), 0);
+        assert_eq!(s.hit_rate(), None);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let s = Arc::new(IoStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_logical_read();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thread");
+        }
+        assert_eq!(s.logical_reads(), 4000);
+    }
+}

@@ -1,0 +1,286 @@
+//! # wnrs-viz
+//!
+//! Dependency-free SVG rendering for 2-d scenes: data points, query
+//! points, rectangles, union-of-box regions (anti-dominance regions,
+//! safe regions) and movement arrows — enough to regenerate the paper's
+//! illustrative figures (Figs. 1–13) from live data structures.
+//!
+//! The [`Scene`] builder maps data coordinates into a fixed viewport
+//! (y-axis flipped, as usual for charts) and emits standalone SVG text.
+//!
+//! ```
+//! use wnrs_geometry::{Point, Rect};
+//! use wnrs_viz::Scene;
+//!
+//! let mut scene = Scene::new(Rect::new(Point::xy(0.0, 0.0), Point::xy(30.0, 100.0)));
+//! scene.point(&Point::xy(8.5, 55.0), "q", Scene::RED);
+//! scene.rect(&Rect::new(Point::xy(7.5, 50.0), Point::xy(10.0, 70.0)), Scene::GREEN_FILL);
+//! let svg = scene.render();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("circle"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use wnrs_geometry::{Point, Rect, Region};
+
+/// Pixel size of the rendered viewport (content area, excluding margin).
+const VIEW: f64 = 640.0;
+/// Margin around the content area for labels and axes.
+const MARGIN: f64 = 48.0;
+
+/// A 2-d SVG scene over a fixed data-space viewport.
+pub struct Scene {
+    bounds: Rect,
+    body: String,
+    title: Option<String>,
+}
+
+impl Scene {
+    /// Style: solid blue data point.
+    pub const BLUE: &'static str = "fill:#2563eb;stroke:none";
+    /// Style: solid red highlight point.
+    pub const RED: &'static str = "fill:#dc2626;stroke:none";
+    /// Style: solid neutral grey point.
+    pub const GREY: &'static str = "fill:#6b7280;stroke:none";
+    /// Style: translucent green region fill.
+    pub const GREEN_FILL: &'static str = "fill:#16a34a;fill-opacity:0.25;stroke:#16a34a;stroke-width:1";
+    /// Style: translucent orange region fill.
+    pub const ORANGE_FILL: &'static str =
+        "fill:#ea580c;fill-opacity:0.18;stroke:#ea580c;stroke-width:1";
+    /// Style: dashed outline, no fill (window rectangles).
+    pub const DASHED: &'static str =
+        "fill:none;stroke:#111827;stroke-width:1.2;stroke-dasharray:6 4";
+
+    /// A scene covering `bounds` in data space.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bounds` is 2-d with positive extent in both
+    /// dimensions.
+    pub fn new(bounds: Rect) -> Self {
+        assert_eq!(bounds.dim(), 2, "SVG scenes are 2-d");
+        assert!(
+            bounds.extent(0) > 0.0 && bounds.extent(1) > 0.0,
+            "viewport must have positive extent"
+        );
+        Self { bounds, body: String::new(), title: None }
+    }
+
+    /// Sets the figure title.
+    pub fn title(&mut self, text: &str) -> &mut Self {
+        self.title = Some(text.to_string());
+        self
+    }
+
+    fn x(&self, v: f64) -> f64 {
+        MARGIN + (v - self.bounds.lo()[0]) / self.bounds.extent(0) * VIEW
+    }
+
+    fn y(&self, v: f64) -> f64 {
+        // Flip: data-space up is screen-space up.
+        MARGIN + (1.0 - (v - self.bounds.lo()[1]) / self.bounds.extent(1)) * VIEW
+    }
+
+    /// Draws a labelled point.
+    pub fn point(&mut self, p: &Point, label: &str, style: &str) -> &mut Self {
+        assert_eq!(p.dim(), 2, "2-d points only");
+        let (cx, cy) = (self.x(p[0]), self.y(p[1]));
+        writeln!(self.body, r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="4" style="{style}"/>"#)
+            .expect("write to String");
+        if !label.is_empty() {
+            writeln!(
+                self.body,
+                r#"<text x="{:.2}" y="{:.2}" font-size="12" font-family="sans-serif">{}</text>"#,
+                cx + 6.0,
+                cy - 6.0,
+                escape(label)
+            )
+            .expect("write to String");
+        }
+        self
+    }
+
+    /// Draws every point of a slice with a common style (unlabelled).
+    pub fn points(&mut self, pts: &[Point], style: &str) -> &mut Self {
+        for p in pts {
+            self.point(p, "", style);
+        }
+        self
+    }
+
+    /// Draws a rectangle.
+    pub fn rect(&mut self, r: &Rect, style: &str) -> &mut Self {
+        assert_eq!(r.dim(), 2, "2-d rects only");
+        let x = self.x(r.lo()[0]);
+        let y = self.y(r.hi()[1]);
+        let w = (r.extent(0) / self.bounds.extent(0) * VIEW).max(1.0);
+        let h = (r.extent(1) / self.bounds.extent(1) * VIEW).max(1.0);
+        writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" style="{style}"/>"#
+        )
+        .expect("write to String");
+        self
+    }
+
+    /// Draws every box of a region.
+    pub fn region(&mut self, region: &Region, style: &str) -> &mut Self {
+        for b in region.boxes() {
+            self.rect(b, style);
+        }
+        self
+    }
+
+    /// Draws a movement arrow from `from` to `to`.
+    pub fn arrow(&mut self, from: &Point, to: &Point, label: &str) -> &mut Self {
+        let (x1, y1) = (self.x(from[0]), self.y(from[1]));
+        let (x2, y2) = (self.x(to[0]), self.y(to[1]));
+        writeln!(
+            self.body,
+            r##"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="#7c3aed" stroke-width="1.6" marker-end="url(#arrowhead)"/>"##
+        )
+        .expect("write to String");
+        if !label.is_empty() {
+            writeln!(
+                self.body,
+                r##"<text x="{:.2}" y="{:.2}" font-size="11" fill="#7c3aed" font-family="sans-serif">{}</text>"##,
+                (x1 + x2) / 2.0 + 4.0,
+                (y1 + y2) / 2.0 - 4.0,
+                escape(label)
+            )
+            .expect("write to String");
+        }
+        self
+    }
+
+    /// Renders the standalone SVG document.
+    pub fn render(&self) -> String {
+        let total = VIEW + 2.0 * MARGIN;
+        let mut out = String::new();
+        writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{total}" height="{total}" viewBox="0 0 {total} {total}">"#
+        )
+        .expect("write");
+        out.push_str(concat!(
+            r#"<defs><marker id="arrowhead" markerWidth="8" markerHeight="6" refX="7" refY="3" orient="auto">"#,
+            r##"<polygon points="0 0, 8 3, 0 6" fill="#7c3aed"/></marker></defs>"##,
+            "\n"
+        ));
+        // Background and frame.
+        writeln!(out, r##"<rect width="{total}" height="{total}" fill="#ffffff"/>"##)
+            .expect("write");
+        writeln!(
+            out,
+            r##"<rect x="{MARGIN}" y="{MARGIN}" width="{VIEW}" height="{VIEW}" fill="none" stroke="#9ca3af"/>"##
+        )
+        .expect("write");
+        // Axis extents.
+        writeln!(
+            out,
+            r##"<text x="{MARGIN}" y="{:.1}" font-size="11" fill="#6b7280" font-family="sans-serif">{} .. {}</text>"##,
+            MARGIN + VIEW + 16.0,
+            fmt_num(self.bounds.lo()[0]),
+            fmt_num(self.bounds.hi()[0]),
+        )
+        .expect("write");
+        writeln!(
+            out,
+            r##"<text x="4" y="{MARGIN}" font-size="11" fill="#6b7280" font-family="sans-serif">{} .. {}</text>"##,
+            fmt_num(self.bounds.lo()[1]),
+            fmt_num(self.bounds.hi()[1]),
+        )
+        .expect("write");
+        if let Some(t) = &self.title {
+            writeln!(
+                out,
+                r#"<text x="{:.1}" y="24" font-size="15" font-family="sans-serif" text-anchor="middle">{}</text>"#,
+                total / 2.0,
+                escape(t)
+            )
+            .expect("write");
+        }
+        out.push_str(&self.body);
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> Rect {
+        Rect::new(Point::xy(0.0, 0.0), Point::xy(30.0, 100.0))
+    }
+
+    #[test]
+    fn renders_valid_skeleton() {
+        let mut s = Scene::new(bounds());
+        s.title("test & <figure>");
+        let svg = s.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("test &amp; &lt;figure&gt;"), "title escaped");
+    }
+
+    #[test]
+    fn coordinates_map_and_flip() {
+        let s = Scene::new(bounds());
+        // Data lower-left corner → screen bottom-left.
+        assert!((s.x(0.0) - MARGIN).abs() < 1e-9);
+        assert!((s.y(0.0) - (MARGIN + VIEW)).abs() < 1e-9);
+        // Data upper-right corner → screen top-right.
+        assert!((s.x(30.0) - (MARGIN + VIEW)).abs() < 1e-9);
+        assert!((s.y(100.0) - MARGIN).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elements_appear_in_output() {
+        let mut s = Scene::new(bounds());
+        s.point(&Point::xy(8.5, 55.0), "q", Scene::RED);
+        s.rect(&Rect::new(Point::xy(5.0, 10.0), Point::xy(10.0, 20.0)), Scene::DASHED);
+        s.arrow(&Point::xy(1.0, 1.0), &Point::xy(2.0, 2.0), "move");
+        let region = Region::from_boxes(vec![
+            Rect::new(Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)),
+            Rect::new(Point::xy(2.0, 2.0), Point::xy(3.0, 3.0)),
+        ]);
+        s.region(&region, Scene::GREEN_FILL);
+        let svg = s.render();
+        assert_eq!(svg.matches("<circle").count(), 1);
+        assert_eq!(svg.matches("<rect").count(), 2 + 3, "frame + bg + drawn rects");
+        assert!(svg.contains("marker-end"));
+        assert!(svg.contains(">q</text>"));
+        assert!(svg.contains(">move</text>"));
+    }
+
+    #[test]
+    fn degenerate_rect_still_visible() {
+        let mut s = Scene::new(bounds());
+        s.rect(&Rect::degenerate(Point::xy(15.0, 50.0)), Scene::ORANGE_FILL);
+        let svg = s.render();
+        // Clamped to at least 1 px.
+        assert!(svg.contains(r#"width="1.00" height="1.00""#));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive extent")]
+    fn zero_extent_viewport_rejected() {
+        let _ = Scene::new(Rect::new(Point::xy(0.0, 0.0), Point::xy(0.0, 10.0)));
+    }
+}

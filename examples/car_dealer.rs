@@ -1,0 +1,83 @@
+//! Car-dealer scenario on the CarDB surrogate: list a car, inspect the
+//! interested customers, pick a why-not customer, and compare the three
+//! negotiation strategies — including how the answer changes when the
+//! dealer must keep every existing customer.
+//!
+//! ```sh
+//! cargo run --release --example car_dealer
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wnrs::data::select_why_not;
+use wnrs::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2013);
+    let market = wnrs::data::cardb(&mut rng, 20_000);
+    println!("market: {} used cars (price $, mileage mi)", market.len());
+    let engine = WhyNotEngine::new(market);
+
+    // The dealer's listing.
+    let q = Point::xy(9_000.0, 60_000.0);
+    let rsl = engine.reverse_skyline(&q);
+    println!("\nlisting q = {q}");
+    println!("{} customers have q on their dynamic skyline:", rsl.len());
+    for (id, p) in rsl.iter().take(5) {
+        println!("  customer #{:<6} preference {p}", id.0);
+    }
+    if rsl.len() > 5 {
+        println!("  … and {} more", rsl.len() - 5);
+    }
+
+    // A prospect the dealer wants but does not have.
+    let prospect = select_why_not(engine.points(), &rsl, &mut rng).expect("prospects exist");
+    let c_t = engine.point(prospect).clone();
+    println!("\nprospect: customer #{} with preference {c_t}", prospect.0);
+
+    let why = engine.explain(prospect, &q);
+    println!("they currently prefer {} other car(s); closest competitors:", why.culprits.len());
+    for (id, p) in why.culprits.iter().take(3) {
+        println!("  car #{:<6} {p}", id.0);
+    }
+
+    // Strategy A: persuade the customer (MWP).
+    let mwp = engine.mwp(prospect, &q);
+    let best = mwp.best();
+    println!("\n[A] persuade the customer: shift their preference to {}", best.point);
+    println!("    normalised effort: {:.6}", best.cost);
+
+    // Strategy B: reprice/rework the car, ignoring existing customers (MQP).
+    let mqp = engine.mqp(prospect, &q);
+    let best_q = mqp.best();
+    let new_rsl = engine.reverse_skyline(&best_q.point);
+    let lost = rsl.iter().filter(|(id, _)| !new_rsl.iter().any(|(n, _)| n == id)).count();
+    println!("\n[B] modify the listing to {} (effort {:.6})", best_q.point, best_q.cost);
+    println!("    …but that loses {lost} of {} existing customers", rsl.len());
+
+    // Strategy C: modify the listing only inside its safe region, then
+    // negotiate with the prospect if still needed (MWQ).
+    let (sr, mwq) = engine.mwq_full(prospect, &q);
+    println!("\n[C] safe region has {} rectangles (area fraction {:.6})", sr.len(), {
+        let u = engine.universe_for(&q);
+        sr.area() / u.area()
+    });
+    match mwq.case {
+        MwqCase::Overlap => println!(
+            "    move the listing to {} — prospect joins at zero negotiation cost, nobody lost",
+            mwq.q_star
+        ),
+        MwqCase::Disjoint => {
+            let c = mwq.c_star.expect("case C2");
+            println!("    move the listing to {} (free, inside the safe region)", mwq.q_star);
+            println!(
+                "    and negotiate the prospect to {} (effort {:.6}) — nobody lost",
+                c.point, c.cost
+            );
+        }
+    }
+    println!(
+        "\nsummary: MWP effort {:.6} | MQP effort {:.6} (+{lost} lost) | MWQ effort {:.6}",
+        best.cost, best_q.cost, mwq.cost
+    );
+}

@@ -1,0 +1,170 @@
+//! Regenerates the paper's illustrative figures as SVG files under
+//! `target/figures/`, computed from the live data structures (not
+//! hand-drawn): the dataset and skyline of Fig. 1, the dynamic skylines
+//! of Fig. 2, the window queries of Fig. 4, the anti-dominance region of
+//! Fig. 3/10, and the safe region with MWQ movements of Figs. 12–13.
+//!
+//! ```sh
+//! cargo run --release --example figures
+//! ```
+
+use wnrs::prelude::*;
+use wnrs::skyline::anti_ddr_original_space;
+use wnrs_viz::Scene;
+
+fn paper_points() -> Vec<Point> {
+    vec![
+        Point::xy(5.0, 30.0),  // pt1
+        Point::xy(7.5, 42.0),  // pt2
+        Point::xy(2.5, 70.0),  // pt3
+        Point::xy(7.5, 90.0),  // pt4
+        Point::xy(24.0, 20.0), // pt5
+        Point::xy(20.0, 50.0), // pt6
+        Point::xy(26.0, 70.0), // pt7
+        Point::xy(16.0, 80.0), // pt8
+    ]
+}
+
+fn bounds() -> Rect {
+    Rect::new(Point::xy(0.0, 0.0), Point::xy(30.0, 100.0))
+}
+
+fn save(name: &str, svg: &str) {
+    let dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(dir).expect("create target/figures");
+    let path = dir.join(name);
+    std::fs::write(&path, svg).expect("write figure");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let pts = paper_points();
+    let q = Point::xy(8.5, 55.0);
+    let engine = WhyNotEngine::with_config(pts.clone(), RTreeConfig::with_max_entries(4));
+
+    // Fig. 1(b): the dataset and its static skyline.
+    {
+        let mut s = Scene::new(bounds());
+        s.title("Fig. 1(b) — data points and skyline {p1, p3, p5}");
+        for (i, p) in pts.iter().enumerate() {
+            s.point(p, &format!("pt{}", i + 1), Scene::BLUE);
+        }
+        for &i in &bnl_skyline(&pts) {
+            s.point(&pts[i], "", Scene::RED);
+        }
+        save("fig1b_skyline.svg", &s.render());
+    }
+
+    // Fig. 2(a): the dynamic skyline of q.
+    {
+        let mut s = Scene::new(bounds());
+        s.title("Fig. 2(a) — DSL(q) = {p2, p6} for q(8.5, 55)");
+        s.points(&pts, Scene::GREY);
+        s.point(&q, "q", Scene::RED);
+        for &i in &dynamic_skyline_scan(&pts, &q) {
+            s.point(&pts[i], &format!("p{}", i + 1), Scene::BLUE);
+        }
+        save("fig2a_dynamic_skyline.svg", &s.render());
+    }
+
+    // Fig. 4: the window queries of c2 (empty ⇒ member) and c1 (p2
+    // inside ⇒ not a member).
+    {
+        let mut s = Scene::new(bounds());
+        s.title("Fig. 4 — window queries of c2 (member) and c1 (blocked by p2)");
+        s.points(&pts, Scene::GREY);
+        s.point(&q, "q", Scene::RED);
+        let c2 = &pts[1];
+        let c1 = &pts[0];
+        s.point(c2, "c2", Scene::BLUE);
+        s.point(c1, "c1", Scene::BLUE);
+        s.rect(&Rect::window(c2, &q), Scene::DASHED);
+        s.rect(&Rect::window(c1, &q), Scene::DASHED);
+        save("fig4_window_queries.svg", &s.render());
+    }
+
+    // Fig. 3/10: the anti-dominance region of c2 as rectangles.
+    {
+        let c2 = &pts[1];
+        let products: Vec<Point> =
+            pts.iter().enumerate().filter(|(i, _)| *i != 1).map(|(_, p)| p.clone()).collect();
+        let dsl_idx = dynamic_skyline_scan(&products, c2);
+        let dsl: Vec<Point> = dsl_idx.iter().map(|&i| products[i].clone()).collect();
+        let region = anti_ddr_original_space(c2, &dsl, &bounds());
+        let mut s = Scene::new(bounds());
+        s.title("Fig. 3/10 — anti-DDR(c2) as overlapping rectangles");
+        s.region(&region, Scene::ORANGE_FILL);
+        s.points(&pts, Scene::GREY);
+        s.point(c2, "c2", Scene::BLUE);
+        s.point(&q, "q", Scene::RED);
+        save("fig3_anti_ddr.svg", &s.render());
+    }
+
+    // Figs. 12–13: the safe region of q and the MWQ answers for c7
+    // (case C1, q moves free) and c1 (case C2, both move).
+    {
+        let rsl = engine.reverse_skyline(&q);
+        let sr = engine.safe_region_for(&q, &rsl);
+        let mut s = Scene::new(bounds());
+        s.title("Figs. 12–13 — SR(q) and the MWQ movements for c7 and c1");
+        s.region(&sr, Scene::GREEN_FILL);
+        s.points(&pts, Scene::GREY);
+        s.point(&q, "q", Scene::RED);
+
+        let c7 = ItemId(6);
+        let ans7 = engine.mwq(c7, &q, &sr);
+        s.point(engine.point(c7), "c7", Scene::BLUE);
+        s.arrow(&q, &ans7.q_star, "q* (C1, free)");
+
+        let c1 = ItemId(0);
+        let ans1 = engine.mwq(c1, &q, &sr);
+        s.point(engine.point(c1), "c1", Scene::BLUE);
+        if let Some(cand) = &ans1.c_star {
+            s.arrow(engine.point(c1), &cand.point, "c1* (C2)");
+        }
+        if !ans1.q_star.same_location(&q) {
+            s.arrow(&q, &ans1.q_star, "q* (C2)");
+        }
+        save("fig12_safe_region_mwq.svg", &s.render());
+    }
+
+    // Fig. 16: the approximate anti-DDR (k-sampled, no merge) misses the
+    // shaded stair-corner triangles of the exact region.
+    {
+        let c2 = &pts[1];
+        let products: Vec<Point> =
+            pts.iter().enumerate().filter(|(i, _)| *i != 1).map(|(_, p)| p.clone()).collect();
+        let dsl_idx = dynamic_skyline_scan(&products, c2);
+        let dsl: Vec<Point> = dsl_idx.iter().map(|&i| products[i].clone()).collect();
+        let exact = anti_ddr_original_space(c2, &dsl, &bounds());
+        // Approximate from a k = 2 sample of the transformed DSL.
+        let dsl_t: Vec<Point> = dsl.iter().map(|p| p.abs_diff(c2)).collect();
+        let sample = wnrs::skyline::sample_dsl(&dsl_t, 2);
+        let maxd = wnrs::skyline::ddr::max_dist(c2, &bounds());
+        let approx_t = wnrs::skyline::approx_anti_ddr(&sample, &maxd);
+        let approx = Region::from_boxes(
+            approx_t
+                .boxes()
+                .iter()
+                .filter_map(|b| {
+                    wnrs::geometry::reflect_rect(c2, b.hi()).intersection(&bounds())
+                })
+                .collect(),
+        );
+        let mut s = Scene::new(bounds());
+        s.title("Fig. 16 — exact anti-DDR(c2) (orange) vs k=2 approximation (green)");
+        s.region(&exact, Scene::ORANGE_FILL);
+        s.region(&approx, Scene::GREEN_FILL);
+        s.points(&pts, Scene::GREY);
+        s.point(c2, "c2", Scene::BLUE);
+        s.point(&q, "q", Scene::RED);
+        save("fig16_approx_anti_ddr.svg", &s.render());
+        println!(
+            "  (exact area {:.1} vs approximate {:.1} — the shaded loss of Fig. 16)",
+            exact.area(),
+            approx.area()
+        );
+    }
+
+    println!("\nopen target/figures/*.svg in a browser to compare with the paper");
+}

@@ -1,0 +1,52 @@
+//! Market-analysis scenario: how product popularity (|RSL|) constrains a
+//! vendor's freedom to move, across the three synthetic market shapes —
+//! and what the approximate safe region trades for its speed.
+//!
+//! ```sh
+//! cargo run --release --example market_analysis
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wnrs::data::workload::QueryWorkload;
+use wnrs::prelude::*;
+
+fn analyse(name: &str, points: Vec<Point>) {
+    println!("\n=== {name} market ({} products) ===", points.len());
+    let engine = WhyNotEngine::new(points);
+    let mut rng = StdRng::seed_from_u64(77);
+    let workload =
+        QueryWorkload::build(engine.tree(), engine.points(), &[1, 3, 6, 10], &mut rng, 5000);
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "|RSL|", "SR area frac", "approx frac", "SR ms", "approx ms"
+    );
+    let store = engine.build_approx_store(10);
+    for wq in &workload.queries {
+        let u = engine.universe_for(&wq.q);
+        let t = Instant::now();
+        let sr = engine.safe_region_for(&wq.q, &wq.rsl);
+        let sr_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let sr_a = engine.approx_safe_region_for(&wq.q, &wq.rsl, &store);
+        let approx_ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:>8} {:>14.6} {:>14.6} {:>12.2} {:>12.2}",
+            wq.rsl_size(),
+            sr.area() / u.area(),
+            sr_a.area() / u.area(),
+            sr_ms,
+            approx_ms
+        );
+    }
+    println!("(the safe region shrinks as the product gets popular — Fig. 14's lesson)");
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2013);
+    analyse("uniform", wnrs::data::uniform(&mut rng, 20_000, 2));
+    analyse("correlated", wnrs::data::correlated(&mut rng, 20_000, 2));
+    analyse("anti-correlated", wnrs::data::anticorrelated(&mut rng, 20_000, 2));
+}

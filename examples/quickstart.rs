@@ -1,0 +1,74 @@
+//! Quickstart: the paper's running example (Fig. 1), end to end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use wnrs::prelude::*;
+
+fn main() {
+    // The eight tuples of the paper's Fig. 1(a): (price $K, mileage K-miles).
+    let data = vec![
+        Point::xy(5.0, 30.0),  // pt1
+        Point::xy(7.5, 42.0),  // pt2
+        Point::xy(2.5, 70.0),  // pt3
+        Point::xy(7.5, 90.0),  // pt4
+        Point::xy(24.0, 20.0), // pt5
+        Point::xy(20.0, 50.0), // pt6
+        Point::xy(26.0, 70.0), // pt7
+        Point::xy(16.0, 80.0), // pt8
+    ];
+    let engine = WhyNotEngine::new(data);
+
+    // A dealer wants to sell q (price 8.5K, mileage 55K).
+    let q = Point::xy(8.5, 55.0);
+
+    // Who is interested? (reverse skyline, BBRS)
+    let rsl = engine.reverse_skyline(&q);
+    println!("RSL(q) — customers interested in q:");
+    for (id, p) in &rsl {
+        println!("  pt{} at {p}", id.0 + 1);
+    }
+
+    // Why is pt1 (customer c1) not interested?
+    let c1 = ItemId(0);
+    let why = engine.explain(c1, &q);
+    println!("\nWhy is c1 missing? It prefers:");
+    for (id, p) in &why.culprits {
+        println!("  pt{} at {p}", id.0 + 1);
+    }
+
+    // Option 1 — change the customer's preferences minimally (MWP).
+    let mwp = engine.mwp(c1, &q);
+    println!("\nMWP candidates (move the customer):");
+    for c in &mwp.candidates {
+        println!("  {}   (cost {:.4})", c.point, c.cost);
+    }
+
+    // Option 2 — change the product minimally (MQP; may lose customers).
+    let mqp = engine.mqp(c1, &q);
+    println!("\nMQP candidates (move the product, customers at risk):");
+    for c in &mqp.candidates {
+        println!("  {}   (cost {:.4})", c.point, c.cost);
+    }
+
+    // Option 3 — the paper's headline: move both, keeping every existing
+    // customer (MWQ with the safe region).
+    let (sr, mwq) = engine.mwq_full(c1, &q);
+    println!("\nSafe region of q ({} rectangles, area {:.2}):", sr.len(), sr.area());
+    for b in sr.boxes() {
+        println!("  {} -> {}", b.lo(), b.hi());
+    }
+    match mwq.case {
+        MwqCase::Overlap => {
+            println!("MWQ: move q to {} — c1 joins for free, nobody is lost.", mwq.q_star)
+        }
+        MwqCase::Disjoint => {
+            let c = mwq.c_star.expect("case C2");
+            println!(
+                "MWQ: move q to {} and negotiate c1 to {} (cost {:.4}) — nobody is lost.",
+                mwq.q_star, c.point, c.cost
+            );
+        }
+    }
+}

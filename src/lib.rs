@@ -1,0 +1,48 @@
+//! # wnrs — Why-Not Reverse Skyline queries
+//!
+//! A complete Rust implementation of *"On Answering Why-not Questions in
+//! Reverse Skyline Queries"* (Islam, Zhou, Liu — ICDE 2013), including
+//! every substrate the paper builds on: an R\*-tree over paged storage,
+//! skyline and dynamic-skyline algorithms (BNL/SFS/BBS), the BBRS
+//! reverse-skyline algorithm, anti-dominance-region decomposition, and
+//! the paper's four why-not answering techniques (explanations, MWP,
+//! MQP, safe regions and MWQ, exact and approximated).
+//!
+//! This facade crate re-exports the workspace members; most users only
+//! need [`prelude`]:
+//!
+//! ```
+//! use wnrs::prelude::*;
+//!
+//! let engine = WhyNotEngine::new(vec![
+//!     Point::xy(5.0, 30.0),  Point::xy(7.5, 42.0), Point::xy(2.5, 70.0),
+//!     Point::xy(7.5, 90.0),  Point::xy(24.0, 20.0), Point::xy(20.0, 50.0),
+//!     Point::xy(26.0, 70.0), Point::xy(16.0, 80.0),
+//! ]);
+//! let q = Point::xy(8.5, 55.0);
+//! assert_eq!(engine.reverse_skyline(&q).len(), 5);
+//! let fix = engine.mwp(ItemId(0), &q); // why-not customer pt1
+//! assert!(fix.best_cost() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use wnrs_core as core;
+pub use wnrs_data as data;
+pub use wnrs_geometry as geometry;
+pub use wnrs_reverse_skyline as reverse_skyline;
+pub use wnrs_rtree as rtree;
+pub use wnrs_skyline as skyline;
+pub use wnrs_storage as storage;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use wnrs_core::{
+        explain::Explanation, Candidate, MqpAnswer, MwpAnswer, MwqAnswer, MwqCase, WhyNotEngine,
+    };
+    pub use wnrs_geometry::{CostModel, Point, Rect, Region, Weights};
+    pub use wnrs_reverse_skyline::{bbrs_reverse_skyline, is_reverse_skyline_member, window_query};
+    pub use wnrs_rtree::{bulk::bulk_load, ItemId, RTree, RTreeConfig};
+    pub use wnrs_skyline::{bbs_dynamic_skyline, bnl_skyline, dynamic_skyline_scan};
+}

@@ -1,0 +1,130 @@
+//! End-to-end pipeline tests on generated datasets, spanning every
+//! crate: data generation → indexing → reverse skylines → why-not
+//! answers → evaluation scores.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wnrs::core::eval::score_all;
+use wnrs::data::workload::QueryWorkload;
+use wnrs::data::select_why_not;
+use wnrs::prelude::*;
+
+fn pipeline(points: Vec<Point>, label: &str) {
+    let engine = WhyNotEngine::new(points);
+    let mut rng = StdRng::seed_from_u64(4242);
+    let workload =
+        QueryWorkload::build(engine.tree(), engine.points(), &[1, 2, 4, 7], &mut rng, 5000);
+    assert!(!workload.is_empty(), "{label}: no workload queries found");
+
+    for wq in &workload.queries {
+        let id = select_why_not(engine.points(), &wq.rsl, &mut rng).expect("non-member");
+        let sr = engine.safe_region_for(&wq.q, &wq.rsl);
+        assert!(sr.contains(&wq.q), "{label}: q outside its own safe region");
+
+        let scores = score_all(&engine, id, &wq.q, &wq.rsl, &sr);
+        assert!(scores.mwp.is_finite() && scores.mqp.is_finite() && scores.mwq.is_finite());
+        assert!(scores.mwp >= 0.0 && scores.mqp >= 0.0 && scores.mwq >= 0.0);
+        assert!(
+            scores.mwq <= scores.mwp + 1e-9,
+            "{label}: MWQ {} > MWP {} at |RSL| {}",
+            scores.mwq,
+            scores.mwp,
+            wq.rsl_size()
+        );
+
+        // Applying the MWQ answer really keeps the reverse skyline.
+        let ans = engine.mwq(id, &wq.q, &sr);
+        let new_rsl = engine.reverse_skyline(&ans.q_star);
+        for (m, _) in &wq.rsl {
+            assert!(
+                new_rsl.iter().any(|(n, _)| n == m),
+                "{label}: MWQ lost member {m:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cardb_pipeline() {
+    let mut rng = StdRng::seed_from_u64(1);
+    pipeline(wnrs::data::cardb(&mut rng, 5_000), "CarDB");
+}
+
+#[test]
+fn uniform_pipeline() {
+    let mut rng = StdRng::seed_from_u64(2);
+    pipeline(wnrs::data::uniform(&mut rng, 5_000, 2), "UN");
+}
+
+#[test]
+fn correlated_pipeline() {
+    let mut rng = StdRng::seed_from_u64(3);
+    pipeline(wnrs::data::correlated(&mut rng, 5_000, 2), "CO");
+}
+
+#[test]
+fn anticorrelated_pipeline() {
+    let mut rng = StdRng::seed_from_u64(4);
+    pipeline(wnrs::data::anticorrelated(&mut rng, 5_000, 2), "AC");
+}
+
+#[test]
+fn approximate_pipeline_is_safe() {
+    // Approx safe regions are subsets of exact ones, and Approx-MWQ
+    // answers never beat the MWP bound.
+    let mut rng = StdRng::seed_from_u64(5);
+    let engine = WhyNotEngine::new(wnrs::data::cardb(&mut rng, 3_000));
+    let workload =
+        QueryWorkload::build(engine.tree(), engine.points(), &[2, 5], &mut rng, 5000);
+    let store = engine.build_approx_store(10);
+    for wq in &workload.queries {
+        let id = select_why_not(engine.points(), &wq.rsl, &mut rng).expect("non-member");
+        let exact = engine.safe_region_for(&wq.q, &wq.rsl);
+        let approx = engine.approx_safe_region_for(&wq.q, &wq.rsl, &store);
+        assert!(approx.area() <= exact.area() + 1e-9);
+        let mwp = engine.mwp(id, &wq.q).best_cost();
+        let a = engine.mwq(id, &wq.q, &approx);
+        assert!(a.cost <= mwp + 1e-9, "Approx-MWQ {} > MWP {mwp}", a.cost);
+        // And applying it keeps the reverse skyline too.
+        let new_rsl = engine.reverse_skyline(&a.q_star);
+        for (m, _) in &wq.rsl {
+            assert!(new_rsl.iter().any(|(n, _)| n == m));
+        }
+    }
+}
+
+#[test]
+fn three_dimensional_pipeline() {
+    // The paper evaluates d = 2 only; the library is d-dimensional.
+    let mut rng = StdRng::seed_from_u64(6);
+    let points = wnrs::data::uniform(&mut rng, 2_000, 3);
+    let engine = WhyNotEngine::new(points);
+    let q = Point::new(vec![0.5, 0.5, 0.5]);
+    let rsl = engine.reverse_skyline(&q);
+    let sr = engine.safe_region_for(&q, &rsl);
+    assert!(sr.contains(&q));
+    // Pick a why-not point and repair it.
+    let mut rng2 = StdRng::seed_from_u64(7);
+    if let Some(id) = select_why_not(engine.points(), &rsl, &mut rng2) {
+        let ans = engine.mwp(id, &q);
+        assert!(ans.best_cost().is_finite());
+        let mwq = engine.mwq(id, &q, &sr);
+        assert!(mwq.cost <= ans.best_cost() + 1e-9);
+    }
+}
+
+#[test]
+fn csv_round_trip_through_engine() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let points = wnrs::data::cardb(&mut rng, 500);
+    let dir = std::env::temp_dir().join("wnrs_e2e");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("cars.csv");
+    wnrs::data::csv::save(&points, &path).expect("save");
+    let loaded = wnrs::data::csv::load(&path).expect("load");
+    let a = WhyNotEngine::new(points);
+    let b = WhyNotEngine::new(loaded);
+    let q = Point::xy(9_000.0, 60_000.0);
+    assert_eq!(a.reverse_skyline(&q).len(), b.reverse_skyline(&q).len());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,157 @@
+//! Every worked example of the paper, end to end through the public
+//! facade — the repository's golden tests.
+
+use wnrs::prelude::*;
+
+/// The tuples of Fig. 1(a): (price $K, mileage K-miles).
+fn paper_data() -> Vec<Point> {
+    vec![
+        Point::xy(5.0, 30.0),  // pt1
+        Point::xy(7.5, 42.0),  // pt2
+        Point::xy(2.5, 70.0),  // pt3
+        Point::xy(7.5, 90.0),  // pt4
+        Point::xy(24.0, 20.0), // pt5
+        Point::xy(20.0, 50.0), // pt6
+        Point::xy(26.0, 70.0), // pt7
+        Point::xy(16.0, 80.0), // pt8
+    ]
+}
+
+fn engine() -> WhyNotEngine {
+    WhyNotEngine::with_config(paper_data(), RTreeConfig::with_max_entries(4))
+}
+
+fn q() -> Point {
+    Point::xy(8.5, 55.0)
+}
+
+#[test]
+fn fig1b_static_skyline() {
+    // SK = {p1, p3, p5}; p4 dominated by p1 and p3.
+    let sky = bnl_skyline(&paper_data());
+    assert_eq!(sky, vec![0, 2, 4]);
+}
+
+#[test]
+fn fig2a_dynamic_skyline_of_q() {
+    // DSL(q) = {p2, p6}.
+    let dsl = dynamic_skyline_scan(&paper_data(), &q());
+    assert_eq!(dsl, vec![1, 5]);
+}
+
+#[test]
+fn fig2b_dynamic_skyline_of_c2_includes_q() {
+    // DSL(c2) over {p1, p3..p8, q} = {p1, p4, p6, q}.
+    let mut pts: Vec<Point> =
+        paper_data().into_iter().enumerate().filter(|(i, _)| *i != 1).map(|(_, p)| p).collect();
+    pts.push(q());
+    let c2 = Point::xy(7.5, 42.0);
+    let dsl = dynamic_skyline_scan(&pts, &c2);
+    // indices in pts: p1=0, p4=2, p6=4, q=7
+    assert_eq!(dsl, vec![0, 2, 4, 7]);
+}
+
+#[test]
+fn intro_example_rsl_members() {
+    // Section V-B: RSL(q) = {c2, c3, c4, c6, c8}.
+    let e = engine();
+    let ids: Vec<u32> = e.reverse_skyline(&q()).iter().map(|(id, _)| id.0).collect();
+    assert_eq!(ids, vec![1, 2, 3, 5, 7]);
+}
+
+#[test]
+fn fig4b_window_query_of_c1() {
+    // window_query(c1, q) over p2..p8 = {p2}.
+    let e = engine();
+    let why = e.explain(ItemId(0), &q());
+    assert_eq!(why.culprits.len(), 1);
+    assert!(why.culprits[0].1.same_location(&Point::xy(7.5, 42.0)));
+}
+
+#[test]
+fn algorithm1_example_candidates() {
+    // Section IV: c1* ∈ {(5, 48.5), (8, 30)}.
+    let e = engine();
+    let ans = e.mwp(ItemId(0), &q());
+    let pts: Vec<&Point> = ans.candidates.iter().map(|c| &c.point).collect();
+    assert!(pts.iter().any(|p| p.approx_eq(&Point::xy(5.0, 48.5), 1e-9)), "{pts:?}");
+    assert!(pts.iter().any(|p| p.approx_eq(&Point::xy(8.0, 30.0), 1e-9)), "{pts:?}");
+}
+
+#[test]
+fn algorithm2_example_candidates() {
+    // Section V-A: q* ∈ {(8.5, 42), (7.5, 55)}.
+    let e = engine();
+    let ans = e.mqp(ItemId(0), &q());
+    let pts: Vec<&Point> = ans.candidates.iter().map(|c| &c.point).collect();
+    assert!(pts.iter().any(|p| p.approx_eq(&Point::xy(8.5, 42.0), 1e-9)), "{pts:?}");
+    assert!(pts.iter().any(|p| p.approx_eq(&Point::xy(7.5, 55.0), 1e-9)), "{pts:?}");
+}
+
+#[test]
+fn section5b_safe_region_covers_paper_rectangles() {
+    // SR(q) per the paper: {(7.5,50),(10,58)} and {(7.5,50),(12.5,54)}.
+    // Our exact region is a superset (see crates/core docs); the paper's
+    // rectangles must be covered.
+    let e = engine();
+    let sr = e.safe_region(&q());
+    assert!(sr.contains(&q()));
+    for (lo, hi) in [((7.5, 50.0), (10.0, 58.0)), ((7.5, 50.0), (12.5, 54.0))] {
+        let r = Rect::new(Point::xy(lo.0, lo.1), Point::xy(hi.0, hi.1));
+        assert!(sr.boxes().iter().any(|b| b.contains_rect(&r)), "{r:?} not covered by {sr:?}");
+    }
+}
+
+#[test]
+fn section5b_mwq_case_c1_for_c7() {
+    // anti-DDR(c7) overlaps SR(q): q* = (8.5, 60), zero cost.
+    let e = engine();
+    let (_, ans) = e.mwq_full(ItemId(6), &q());
+    assert_eq!(ans.case, MwqCase::Overlap);
+    assert_eq!(ans.cost, 0.0);
+    assert!(ans.q_star.approx_eq(&Point::xy(8.5, 60.0), 1e-6), "{:?}", ans.q_star);
+}
+
+#[test]
+fn section5b_mwq_case_c2_for_c1() {
+    // anti-DDR(c1) misses SR(q): both points move; the chosen answer is
+    // at least as cheap as the paper's (q* = (7.5, 50), c1* = (5, 46)).
+    let e = engine();
+    let (sr, ans) = e.mwq_full(ItemId(0), &q());
+    assert_eq!(ans.case, MwqCase::Disjoint);
+    assert!(ans.cost > 0.0);
+    // The paper's own q* choice is a corner of the safe region.
+    assert!(sr.boxes().iter().any(|b| b.lo().approx_eq(&Point::xy(7.5, 50.0), 1e-9)));
+    // And its repair cost bounds ours from above.
+    let paper_cost = e.cost_model().whynot_cost(&Point::xy(5.0, 30.0), &Point::xy(5.0, 46.0));
+    assert!(ans.cost <= paper_cost + 1e-9);
+}
+
+#[test]
+fn mwq_preserves_every_existing_member() {
+    // The defining property of the safe region, applied through MWQ for
+    // every non-member customer.
+    let e = engine();
+    let rsl = e.reverse_skyline(&q());
+    let members: Vec<u32> = rsl.iter().map(|(id, _)| id.0).collect();
+    let sr = e.safe_region_for(&q(), &rsl);
+    for id in [0u32, 4, 6] {
+        let ans = e.mwq(ItemId(id), &q(), &sr);
+        let new_rsl: Vec<u32> =
+            e.reverse_skyline(&ans.q_star).iter().map(|(id, _)| id.0).collect();
+        for m in &members {
+            assert!(new_rsl.contains(m), "customer {id}: moving q to {:?} lost {m}", ans.q_star);
+        }
+    }
+}
+
+#[test]
+fn window_query_rect_of_fig4a() {
+    let c2 = Point::xy(7.5, 42.0);
+    let w = Rect::window(&c2, &q());
+    // Bounds are ulp-widened against f64 round-trip loss; compare with
+    // tolerance and check the boundary point q is inside.
+    assert!(w.lo().approx_eq(&Point::xy(6.5, 29.0), 1e-9));
+    assert!(w.hi().approx_eq(&Point::xy(8.5, 55.0), 1e-9));
+    assert!(w.contains_point(&q()));
+}

@@ -26,9 +26,11 @@ fn bench_intersection(c: &mut Criterion) {
     for m in [4usize, 16, 64] {
         let a = staircase_region(m, 1.0);
         let b = staircase_region(m, 3.0);
-        group.bench_with_input(BenchmarkId::new("staircase_pair", m), &(a, b), |bench, (a, b)| {
-            bench.iter(|| black_box(a.intersect(b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("staircase_pair", m),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| black_box(a.intersect(b))),
+        );
     }
     group.finish();
 }
@@ -38,8 +40,9 @@ fn bench_chain_intersection(c: &mut Criterion) {
     let mut group = c.benchmark_group("region_chain_intersection");
     group.sample_size(20);
     for k in [2usize, 5, 10, 15] {
-        let regions: Vec<Region> =
-            (0..k).map(|i| staircase_region(12, 1.0 + i as f64 * 0.7)).collect();
+        let regions: Vec<Region> = (0..k)
+            .map(|i| staircase_region(12, 1.0 + i as f64 * 0.7))
+            .collect();
         group.bench_with_input(BenchmarkId::new("fold", k), &regions, |bench, regions| {
             bench.iter(|| {
                 let mut acc = regions[0].clone();
@@ -64,5 +67,10 @@ fn bench_area(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_intersection, bench_chain_intersection, bench_area);
+criterion_group!(
+    benches,
+    bench_intersection,
+    bench_chain_intersection,
+    bench_area
+);
 criterion_main!(benches);

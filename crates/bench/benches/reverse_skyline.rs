@@ -25,9 +25,11 @@ fn bench_monochromatic(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("bbrs", n), &tree, |b, tree| {
             b.iter(|| black_box(bbrs_reverse_skyline(tree, black_box(&q))))
         });
-        group.bench_with_input(BenchmarkId::new("global_skyline_only", n), &tree, |b, tree| {
-            b.iter(|| black_box(global_skyline(tree, black_box(&q))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("global_skyline_only", n),
+            &tree,
+            |b, tree| b.iter(|| black_box(global_skyline(tree, black_box(&q)))),
+        );
     }
     group.finish();
 }
@@ -48,7 +50,12 @@ fn bench_bichromatic_parallel(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    black_box(rsl_bichromatic_parallel(&tree, &customers, black_box(&q), threads))
+                    black_box(rsl_bichromatic_parallel(
+                        &tree,
+                        &customers,
+                        black_box(&q),
+                        threads,
+                    ))
                 })
             },
         );

@@ -59,14 +59,17 @@ fn bench_fanout_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fanout_ablation");
     for max_entries in [8usize, 38, 128] {
         let tree = bulk_load(&pts, RTreeConfig::with_max_entries(max_entries));
-        group.bench_with_input(
-            BenchmarkId::new("window", max_entries),
-            &tree,
-            |b, tree| b.iter(|| black_box(tree.window(black_box(&window)))),
-        );
+        group.bench_with_input(BenchmarkId::new("window", max_entries), &tree, |b, tree| {
+            b.iter(|| black_box(tree.window(black_box(&window))))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_window_query, bench_loading, bench_fanout_ablation);
+criterion_group!(
+    benches,
+    bench_window_query,
+    bench_loading,
+    bench_fanout_ablation
+);
 criterion_main!(benches);

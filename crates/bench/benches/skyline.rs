@@ -8,12 +8,18 @@ use wnrs_bench::{make_dataset, DatasetKind};
 use wnrs_geometry::Point;
 use wnrs_rtree::bulk::bulk_load;
 use wnrs_rtree::RTreeConfig;
-use wnrs_skyline::{bbs_dynamic_skyline, bbs_skyline, bnl_skyline, dynamic_skyline_scan, sfs_skyline};
+use wnrs_skyline::{
+    bbs_dynamic_skyline, bbs_skyline, bnl_skyline, dynamic_skyline_scan, sfs_skyline,
+};
 
 fn bench_static_skyline(c: &mut Criterion) {
     let mut group = c.benchmark_group("static_skyline_20k");
     group.sample_size(20);
-    for kind in [DatasetKind::Uniform, DatasetKind::Correlated, DatasetKind::Anticorrelated] {
+    for kind in [
+        DatasetKind::Uniform,
+        DatasetKind::Correlated,
+        DatasetKind::Anticorrelated,
+    ] {
         let pts = make_dataset(kind, 20_000, 3);
         let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
         group.bench_with_input(BenchmarkId::new("bnl", kind.name()), &pts, |b, pts| {

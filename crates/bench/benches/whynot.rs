@@ -6,15 +6,24 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wnrs_bench::{make_dataset, DatasetKind};
 use wnrs_core::WhyNotEngine;
-use wnrs_data::workload::QueryWorkload;
 use wnrs_data::select_why_not;
+use wnrs_data::workload::QueryWorkload;
 
-fn setup() -> (WhyNotEngine, wnrs_geometry::Point, wnrs_rtree::ItemId, Vec<(wnrs_rtree::ItemId, wnrs_geometry::Point)>) {
+fn setup() -> (
+    WhyNotEngine,
+    wnrs_geometry::Point,
+    wnrs_rtree::ItemId,
+    Vec<(wnrs_rtree::ItemId, wnrs_geometry::Point)>,
+) {
     let pts = make_dataset(DatasetKind::CarDb, 20_000, 21);
     let engine = WhyNotEngine::new(pts);
     let mut rng = StdRng::seed_from_u64(99);
     let workload = QueryWorkload::build(engine.tree(), engine.points(), &[6], &mut rng, 5000);
-    let wq = workload.queries.first().expect("a |RSL| = 6 query exists").clone();
+    let wq = workload
+        .queries
+        .first()
+        .expect("a |RSL| = 6 query exists")
+        .clone();
     let id = select_why_not(engine.points(), &wq.rsl, &mut rng).expect("non-member");
     (engine, wq.q, id, wq.rsl)
 }
@@ -22,9 +31,15 @@ fn setup() -> (WhyNotEngine, wnrs_geometry::Point, wnrs_rtree::ItemId, Vec<(wnrs
 fn bench_point_modification(c: &mut Criterion) {
     let (engine, q, id, _) = setup();
     let mut group = c.benchmark_group("point_modification");
-    group.bench_function("mwp", |b| b.iter(|| black_box(engine.mwp(id, black_box(&q)))));
-    group.bench_function("mqp", |b| b.iter(|| black_box(engine.mqp(id, black_box(&q)))));
-    group.bench_function("explain", |b| b.iter(|| black_box(engine.explain(id, black_box(&q)))));
+    group.bench_function("mwp", |b| {
+        b.iter(|| black_box(engine.mwp(id, black_box(&q))))
+    });
+    group.bench_function("mqp", |b| {
+        b.iter(|| black_box(engine.mqp(id, black_box(&q))))
+    });
+    group.bench_function("explain", |b| {
+        b.iter(|| black_box(engine.explain(id, black_box(&q))))
+    });
     group.finish();
 }
 
@@ -63,5 +78,10 @@ fn bench_mwq(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_point_modification, bench_safe_region, bench_mwq);
+criterion_group!(
+    benches,
+    bench_point_modification,
+    bench_safe_region,
+    bench_mwq
+);
 criterion_main!(benches);

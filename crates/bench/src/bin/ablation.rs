@@ -23,8 +23,7 @@ fn k_sweep(n: usize) {
     let points = make_dataset(DatasetKind::CarDb, n, seed());
     let engine = WhyNotEngine::new(points);
     let mut rng = StdRng::seed_from_u64(seed() ^ 0xAB1);
-    let workload =
-        QueryWorkload::build(engine.tree(), engine.points(), &[1, 2, 3], &mut rng, 6000);
+    let workload = QueryWorkload::build(engine.tree(), engine.points(), &[1, 2, 3], &mut rng, 6000);
     println!(
         "{:>6} {:>14} {:>18} {:>14} {:>14}",
         "k", "offline (s)", "area vs exact", "SR exact ms", "SR approx ms"
@@ -51,7 +50,11 @@ fn k_sweep(n: usize) {
                 ratio_n += 1;
             }
         }
-        let ratio = if ratio_n > 0 { ratio_sum / ratio_n as f64 } else { f64::NAN };
+        let ratio = if ratio_n > 0 {
+            ratio_sum / ratio_n as f64
+        } else {
+            f64::NAN
+        };
         let nq = workload.queries.len().max(1) as f64;
         println!(
             "{:>6} {:>14.2} {:>18.4} {:>14.3} {:>14.3}",
@@ -61,9 +64,17 @@ fn k_sweep(n: usize) {
             exact_ms / nq,
             approx_ms / nq
         );
-        lines.push(format!("{k},{offline},{ratio},{},{}", exact_ms / nq, approx_ms / nq));
+        lines.push(format!(
+            "{k},{offline},{ratio},{},{}",
+            exact_ms / nq,
+            approx_ms / nq
+        ));
     }
-    write_report("ablation_k_sweep.csv", "k,offline_s,area_ratio,sr_exact_ms,sr_approx_ms", &lines);
+    write_report(
+        "ablation_k_sweep.csv",
+        "k,offline_s,area_ratio,sr_exact_ms,sr_approx_ms",
+        &lines,
+    );
 }
 
 fn page_size_sweep(n: usize) {
@@ -110,7 +121,11 @@ fn page_size_sweep(n: usize) {
 }
 
 fn main() {
-    println!("Ablations (scale factor {}, seed {})", wnrs_bench::scale(), seed());
+    println!(
+        "Ablations (scale factor {}, seed {})",
+        wnrs_bench::scale(),
+        seed()
+    );
     let n = (40_000.0 * wnrs_bench::scale() / 0.2) as usize;
     let n = n.max(2_000);
     k_sweep(n);

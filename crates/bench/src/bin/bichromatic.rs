@@ -40,7 +40,10 @@ fn main() {
             let pts = wnrs_data::clustered(&mut rng, n_customers.max(1000), 2, 12, 0.01);
             scale_to_cardb(&pts)
         }),
-        ("cardb-like", make_dataset(DatasetKind::CarDb, n_customers.max(1000), seed() ^ 7)),
+        (
+            "cardb-like",
+            make_dataset(DatasetKind::CarDb, n_customers.max(1000), seed() ^ 7),
+        ),
     ];
     for (name, customers) in cases {
         let ctree = bulk_load(&customers, RTreeConfig::paper_default(2));

@@ -5,6 +5,7 @@
 //! general-d anti-dominance decomposition produces more boxes.
 
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 use std::time::Instant;
 use wnrs_bench::{seed, write_report};
@@ -13,7 +14,6 @@ use wnrs_data::select_why_not;
 use wnrs_data::workload::WorkloadQuery;
 use wnrs_geometry::{Point, Rect};
 use wnrs_rtree::RTreeConfig;
-use rand::Rng;
 
 /// Probes perturbed data points until a query with a non-trivial reverse
 /// skyline (1 ≤ |RSL| ≤ 50) turns up. Exact-size matching (the 2-d
@@ -80,7 +80,11 @@ fn main() {
             sr_ms,
             mwp_ms
         );
-        lines.push(format!("{d},{sky},{},{rsl_ms},{},{sr_ms},{mwp_ms}", rsl.len(), sr.len()));
+        lines.push(format!(
+            "{d},{sky},{},{rsl_ms},{},{sr_ms},{mwp_ms}",
+            rsl.len(),
+            sr.len()
+        ));
     }
     write_report(
         "dimensionality_sweep.csv",

@@ -13,7 +13,10 @@ fn main() {
         let setup = ExperimentSetup::prepare(DatasetKind::CarDb, n, &targets, 6000);
         let engine = &setup.engine;
         println!("\n== {} ==", setup.label);
-        println!("{:>10} {:>22} {:>22}", "|RSL(q)|", "SR area", "SR area (fraction)");
+        println!(
+            "{:>10} {:>22} {:>22}",
+            "|RSL(q)|", "SR area", "SR area (fraction)"
+        );
         let mut lines = Vec::new();
         for wq in &setup.workload.queries {
             let universe = engine.universe_for(&wq.q);

@@ -2,11 +2,16 @@
 //! and MWQ across all datasets. The paper's shape: MWP ≈ MQP ≪ MWQ,
 //! with SR construction dominating MWQ and growing with `|RSL(q)|`.
 
-use wnrs_bench::{seed, timing_rows, write_report, DatasetKind, ExperimentSetup};
+use wnrs_bench::{seed, threads_flag, timing_rows, write_report, DatasetKind, ExperimentSetup};
 
 fn main() {
     println!("Fig. 15: execution time of MWP, MQP, SR and MWQ");
-    println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
+    let threads = threads_flag();
+    println!(
+        "(scale factor {}, seed {}, threads {threads})",
+        wnrs_bench::scale(),
+        seed()
+    );
     let cases = [
         (DatasetKind::CarDb, 50_000),
         (DatasetKind::CarDb, 100_000),
@@ -20,7 +25,7 @@ fn main() {
     ];
     let targets: Vec<usize> = (1..=15).collect();
     for (kind, n) in cases {
-        let setup = ExperimentSetup::prepare(kind, n, &targets, 6000);
+        let setup = ExperimentSetup::prepare(kind, n, &targets, 6000).with_threads(threads);
         let rows = timing_rows(&setup, None, true, seed() ^ 15);
         println!("\n== {} ==", setup.label);
         println!(
@@ -35,7 +40,10 @@ fn main() {
                 "{:>10} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
                 r.rsl_size, r.mwp_ms, r.mqp_ms, sr, mwq
             );
-            lines.push(format!("{},{},{},{},{}", r.rsl_size, r.mwp_ms, r.mqp_ms, sr, mwq));
+            lines.push(format!(
+                "{},{},{},{},{}",
+                r.rsl_size, r.mwp_ms, r.mqp_ms, sr, mwq
+            ));
         }
         write_report(
             &format!("fig15_{}.csv", setup.label),

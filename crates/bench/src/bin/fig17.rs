@@ -3,11 +3,16 @@
 //! MWQ's time collapses from the Fig. 15 scale down to the same order
 //! as MWP/MQP.
 
-use wnrs_bench::{seed, timing_rows, write_report, DatasetKind, ExperimentSetup};
+use wnrs_bench::{seed, threads_flag, timing_rows, write_report, DatasetKind, ExperimentSetup};
 
 fn main() {
     println!("Fig. 17: execution time of MWP, MQP and Approx-MWQ (k = 10)");
-    println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
+    let threads = threads_flag();
+    println!(
+        "(scale factor {}, seed {}, threads {threads})",
+        wnrs_bench::scale(),
+        seed()
+    );
     let cases = [
         (DatasetKind::CarDb, 50_000),
         (DatasetKind::CarDb, 100_000),
@@ -21,14 +26,17 @@ fn main() {
     ];
     let targets: Vec<usize> = (1..=15).collect();
     for (kind, n) in cases {
-        let setup = ExperimentSetup::prepare(kind, n, &targets, 6000);
+        let setup = ExperimentSetup::prepare(kind, n, &targets, 6000).with_threads(threads);
         // Offline precomputation, excluded from query timings (Fig. 17's
         // protocol); we still report how long it took for context.
         let t = std::time::Instant::now();
         let store = setup.engine.build_approx_store(10);
         let offline_s = t.elapsed().as_secs_f64();
         let rows = timing_rows(&setup, Some(&store), false, seed() ^ 17);
-        println!("\n== {} (offline approx-DSL store: {:.2} s) ==", setup.label, offline_s);
+        println!(
+            "\n== {} (offline approx-DSL store: {:.2} s) ==",
+            setup.label, offline_s
+        );
         println!(
             "{:>10} {:>12} {:>12} {:>16}",
             "|RSL(q)|", "MWP (ms)", "MQP (ms)", "Approx-MWQ (ms)"
@@ -36,7 +44,10 @@ fn main() {
         let mut lines = Vec::new();
         for r in &rows {
             let a = r.approx_mwq_ms.expect("store supplied");
-            println!("{:>10} {:>12.3} {:>12.3} {:>16.3}", r.rsl_size, r.mwp_ms, r.mqp_ms, a);
+            println!(
+                "{:>10} {:>12.3} {:>12.3} {:>16.3}",
+                r.rsl_size, r.mwp_ms, r.mqp_ms, a
+            );
             lines.push(format!("{},{},{},{}", r.rsl_size, r.mwp_ms, r.mqp_ms, a));
         }
         write_report(

@@ -2,16 +2,27 @@
 //! the paper's three sizes (50K, 100K, 200K; scaled by `WNRS_SCALE`).
 
 use wnrs_bench::quality::print_rows;
-use wnrs_bench::{quality_rows, seed, write_report, DatasetKind, ExperimentSetup};
+use wnrs_bench::{quality_rows, seed, threads_flag, write_report, DatasetKind, ExperimentSetup};
 
 fn main() {
     println!("Table III: quality of results in CarDB datasets");
-    println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
+    let threads = threads_flag();
+    println!(
+        "(scale factor {}, seed {}, threads {threads})",
+        wnrs_bench::scale(),
+        seed()
+    );
     let targets: Vec<usize> = (1..=15).collect();
     for (part, n) in [("a", 50_000), ("b", 100_000), ("c", 200_000)] {
-        let setup = ExperimentSetup::prepare(DatasetKind::CarDb, n, &targets, 6000);
+        let setup =
+            ExperimentSetup::prepare(DatasetKind::CarDb, n, &targets, 6000).with_threads(threads);
         let rows = quality_rows(&setup, None, seed() ^ 3);
-        let lines = print_rows(&format!("Table III({part}): {}", setup.label), &rows, false, 0);
+        let lines = print_rows(
+            &format!("Table III({part}): {}", setup.label),
+            &rows,
+            false,
+            0,
+        );
         write_report(
             &format!("table3{part}_{}.csv", setup.label),
             "rsl_size,mwp,mqp,mwq",

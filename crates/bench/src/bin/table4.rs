@@ -4,11 +4,16 @@
 //! reverse-skyline sizes occur and are tested (1–4).
 
 use wnrs_bench::quality::print_rows;
-use wnrs_bench::{quality_rows, seed, write_report, DatasetKind, ExperimentSetup};
+use wnrs_bench::{quality_rows, seed, threads_flag, write_report, DatasetKind, ExperimentSetup};
 
 fn main() {
     println!("Table IV: quality of results in synthetic datasets");
-    println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
+    let threads = threads_flag();
+    println!(
+        "(scale factor {}, seed {}, threads {threads})",
+        wnrs_bench::scale(),
+        seed()
+    );
     let targets = [1usize, 2, 3, 4];
     let cases = [
         ("a", DatasetKind::Uniform, 100_000),
@@ -19,9 +24,14 @@ fn main() {
         ("f", DatasetKind::Anticorrelated, 200_000),
     ];
     for (part, kind, n) in cases {
-        let setup = ExperimentSetup::prepare(kind, n, &targets, 6000);
+        let setup = ExperimentSetup::prepare(kind, n, &targets, 6000).with_threads(threads);
         let rows = quality_rows(&setup, None, seed() ^ 4);
-        let lines = print_rows(&format!("Table IV({part}): {}", setup.label), &rows, false, 0);
+        let lines = print_rows(
+            &format!("Table IV({part}): {}", setup.label),
+            &rows,
+            false,
+            0,
+        );
         write_report(
             &format!("table4{part}_{}.csv", setup.label),
             "rsl_size,mwp,mqp,mwq",

@@ -2,17 +2,27 @@
 //! k = 10 at 100K tuples, k = 20 at 200K tuples (as in the paper).
 
 use wnrs_bench::quality::print_rows;
-use wnrs_bench::{quality_rows, seed, write_report, DatasetKind, ExperimentSetup};
+use wnrs_bench::{quality_rows, seed, threads_flag, write_report, DatasetKind, ExperimentSetup};
 
 fn main() {
     println!("Table V: quality with Approx-MWQ in CarDB datasets");
-    println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
+    let threads = threads_flag();
+    println!(
+        "(scale factor {}, seed {}, threads {threads})",
+        wnrs_bench::scale(),
+        seed()
+    );
     let targets: Vec<usize> = (1..=15).collect();
     for (part, n, k) in [("a", 100_000, 10usize), ("b", 200_000, 20)] {
-        let setup = ExperimentSetup::prepare(DatasetKind::CarDb, n, &targets, 6000);
+        let setup =
+            ExperimentSetup::prepare(DatasetKind::CarDb, n, &targets, 6000).with_threads(threads);
         let rows = quality_rows(&setup, Some(k), seed() ^ 5);
-        let lines =
-            print_rows(&format!("Table V({part}): {} (k = {k})", setup.label), &rows, true, k);
+        let lines = print_rows(
+            &format!("Table V({part}): {} (k = {k})", setup.label),
+            &rows,
+            true,
+            k,
+        );
         write_report(
             &format!("table5{part}_{}.csv", setup.label),
             "rsl_size,mwp,mqp,mwq,approx_mwq",

@@ -2,11 +2,16 @@
 //! UN/CO/AC datasets at 100K and 200K.
 
 use wnrs_bench::quality::print_rows;
-use wnrs_bench::{quality_rows, seed, write_report, DatasetKind, ExperimentSetup};
+use wnrs_bench::{quality_rows, seed, threads_flag, write_report, DatasetKind, ExperimentSetup};
 
 fn main() {
     println!("Table VI: quality with Approx-MWQ in synthetic datasets");
-    println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
+    let threads = threads_flag();
+    println!(
+        "(scale factor {}, seed {}, threads {threads})",
+        wnrs_bench::scale(),
+        seed()
+    );
     let targets = [1usize, 2, 3, 4];
     let k = 10usize;
     let cases = [
@@ -18,10 +23,14 @@ fn main() {
         ("f", DatasetKind::Anticorrelated, 200_000),
     ];
     for (part, kind, n) in cases {
-        let setup = ExperimentSetup::prepare(kind, n, &targets, 6000);
+        let setup = ExperimentSetup::prepare(kind, n, &targets, 6000).with_threads(threads);
         let rows = quality_rows(&setup, Some(k), seed() ^ 6);
-        let lines =
-            print_rows(&format!("Table VI({part}): {} (k = {k})", setup.label), &rows, true, k);
+        let lines = print_rows(
+            &format!("Table VI({part}): {} (k = {k})", setup.label),
+            &rows,
+            true,
+            k,
+        );
         write_report(
             &format!("table6{part}_{}.csv", setup.label),
             "rsl_size,mwp,mqp,mwq,approx_mwq",

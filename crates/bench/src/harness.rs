@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use std::path::PathBuf;
 use wnrs_core::WhyNotEngine;
 use wnrs_data::workload::QueryWorkload;
-use wnrs_geometry::Point;
+use wnrs_geometry::{Parallelism, Point};
 
 /// The datasets of Table II.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,13 +58,42 @@ pub fn scale() -> f64 {
 /// Global seed (`WNRS_SEED`, default 20130408 — the ICDE'13 conference
 /// week).
 pub fn seed() -> u64 {
-    std::env::var("WNRS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(20_130_408)
+    std::env::var("WNRS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_130_408)
 }
 
 /// Scales a paper dataset size by [`scale`] (at least 1 000 points so
 /// reverse skylines stay non-trivial).
 pub fn scaled(n_paper: usize) -> usize {
     ((n_paper as f64 * scale()) as usize).max(1000)
+}
+
+/// Worker-thread count for the experiment binaries: the value of a
+/// `--threads N` pair anywhere on the command line, falling back to the
+/// `WNRS_THREADS` environment variable, else `1` (sequential — the
+/// paper's single-threaded setting).
+pub fn threads_flag() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let from_cli = args
+        .windows(2)
+        .find(|w| w[0] == "--threads")
+        .and_then(|w| w[1].parse::<usize>().ok());
+    from_cli
+        .or_else(|| {
+            std::env::var("WNRS_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// The [`Parallelism`] policy the experiment binaries run under — built
+/// from [`threads_flag`].
+pub fn parallelism_flag() -> Parallelism {
+    Parallelism::new(threads_flag())
 }
 
 /// A prepared experiment: engine + workload with the requested
@@ -89,14 +118,26 @@ impl ExperimentSetup {
         let mut rng = StdRng::seed_from_u64(seed() ^ 0x9E37_79B9);
         let workload =
             QueryWorkload::build(engine.tree(), engine.points(), targets, &mut rng, probes);
-        Self { label, engine, workload }
+        Self {
+            label,
+            engine,
+            workload,
+        }
+    }
+
+    /// Rebuilds the setup's engine with a concurrency policy (chainable
+    /// after [`ExperimentSetup::prepare`]). Parallelism never changes
+    /// results, only wall-clock time.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.engine = self.engine.with_parallelism(Parallelism::new(threads));
+        self
     }
 }
 
 /// The output directory `target/experiments/` (created on demand).
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("create target/experiments");
     dir
 }

@@ -18,7 +18,11 @@
 //!
 //! Every binary prints the paper-style rows and writes CSV under
 //! `target/experiments/`. Scale with `WNRS_SCALE` (fraction of the
-//! paper's dataset sizes, default `0.1`) and `WNRS_SEED`.
+//! paper's dataset sizes, default `0.1`) and `WNRS_SEED`. The quality
+//! and timing binaries (`table3`–`table6`, `fig15`, `fig17`) accept
+//! `--threads N` (or `WNRS_THREADS`) to run safe-region construction,
+//! the approximate-DSL store build and batch answering in parallel —
+//! results are identical at any thread count.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +31,9 @@ pub mod harness;
 pub mod quality;
 pub mod timing;
 
-pub use harness::{make_dataset, out_dir, scale, seed, write_report, DatasetKind, ExperimentSetup};
+pub use harness::{
+    make_dataset, out_dir, parallelism_flag, scale, seed, threads_flag, write_report, DatasetKind,
+    ExperimentSetup,
+};
 pub use quality::{quality_rows, QualityRow};
 pub use timing::{timing_rows, TimingRow};

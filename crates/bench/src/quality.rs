@@ -27,7 +27,11 @@ pub struct QualityRow {
 /// workload query, pick a why-not point (deterministically seeded),
 /// compute the safe region once, and score MWP, MQP and MWQ — plus
 /// Approx-MWQ when `approx_k` is given.
-pub fn quality_rows(setup: &ExperimentSetup, approx_k: Option<usize>, seed: u64) -> Vec<QualityRow> {
+pub fn quality_rows(
+    setup: &ExperimentSetup,
+    approx_k: Option<usize>,
+    seed: u64,
+) -> Vec<QualityRow> {
     let engine = &setup.engine;
     let store: Option<ApproxDslStore> = approx_k.map(|k| engine.build_approx_store(k));
     let mut rng = StdRng::seed_from_u64(seed);
@@ -57,7 +61,14 @@ pub fn quality_rows(setup: &ExperimentSetup, approx_k: Option<usize>, seed: u64)
 pub fn print_rows(label: &str, rows: &[QualityRow], with_approx: bool, k: usize) -> Vec<String> {
     println!("\n== {label} ==");
     if with_approx {
-        println!("{:<22} {:>12} {:>12} {:>12} {:>16}", "Query", "MWP", "MQP", "MWQ", format!("Approx-MWQ k={k}"));
+        println!(
+            "{:<22} {:>12} {:>12} {:>12} {:>16}",
+            "Query",
+            "MWP",
+            "MQP",
+            "MWQ",
+            format!("Approx-MWQ k={k}")
+        );
     } else {
         println!("{:<22} {:>12} {:>12} {:>12}", "Query", "MWP", "MQP", "MWQ");
     }
@@ -66,11 +77,20 @@ pub fn print_rows(label: &str, rows: &[QualityRow], with_approx: bool, k: usize)
         let name = format!("q{}, |RSL(q{})| = {}", i + 1, i + 1, r.rsl_size);
         match r.approx_mwq {
             Some(a) if with_approx => {
-                println!("{:<22} {:>12.9} {:>12.9} {:>12.9} {:>16.9}", name, r.mwp, r.mqp, r.mwq, a);
-                lines.push(format!("{},{},{},{},{}", r.rsl_size, r.mwp, r.mqp, r.mwq, a));
+                println!(
+                    "{:<22} {:>12.9} {:>12.9} {:>12.9} {:>16.9}",
+                    name, r.mwp, r.mqp, r.mwq, a
+                );
+                lines.push(format!(
+                    "{},{},{},{},{}",
+                    r.rsl_size, r.mwp, r.mqp, r.mwq, a
+                ));
             }
             _ => {
-                println!("{:<22} {:>12.9} {:>12.9} {:>12.9}", name, r.mwp, r.mqp, r.mwq);
+                println!(
+                    "{:<22} {:>12.9} {:>12.9} {:>12.9}",
+                    name, r.mwp, r.mqp, r.mwq
+                );
                 lines.push(format!("{},{},{},{}", r.rsl_size, r.mwp, r.mqp, r.mwq));
             }
         }

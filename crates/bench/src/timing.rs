@@ -74,7 +74,14 @@ pub fn timing_rows(
             ms(t)
         });
 
-        rows.push(TimingRow { rsl_size: wq.rsl_size(), mwp_ms, mqp_ms, sr_ms, mwq_ms, approx_mwq_ms });
+        rows.push(TimingRow {
+            rsl_size: wq.rsl_size(),
+            mwp_ms,
+            mqp_ms,
+            sr_ms,
+            mwq_ms,
+            approx_mwq_ms,
+        });
     }
     rows
 }

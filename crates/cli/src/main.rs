@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
 use wnrs_core::WhyNotEngine;
-use wnrs_geometry::Point;
+use wnrs_geometry::{Parallelism, Point};
 use wnrs_rtree::ItemId;
 use wnrs_storage::Pager as _;
 
@@ -45,7 +45,9 @@ const USAGE: &str = "usage:
   wnrs safe-region --data <file.csv> --query <x,y,...>
 
 every command that accepts --data also accepts --index to load a
-persisted tree instead of rebuilding it.";
+persisted tree instead of rebuilding it. query commands also accept
+--threads <n> to parallelise safe-region construction and the
+approximate-DSL store build (results are identical at any count).";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
@@ -80,7 +82,9 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn require<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    opts.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing --{key}"))
+    opts.get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing --{key}"))
 }
 
 fn parse_point(s: &str) -> Result<Point, String> {
@@ -93,17 +97,32 @@ fn parse_point(s: &str) -> Result<Point, String> {
 }
 
 fn load_engine(opts: &HashMap<String, String>) -> Result<WhyNotEngine, String> {
-    if let Some(path) = opts.get("index") {
+    let engine = if let Some(path) = opts.get("index") {
         let tree = load_index(path)?;
-        return Ok(WhyNotEngine::from_tree(tree));
+        WhyNotEngine::from_tree(tree)
+    } else {
+        let path = require(opts, "data")?;
+        let points =
+            wnrs_data::csv::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+        if points.is_empty() {
+            return Err(format!("{path} holds no points"));
+        }
+        WhyNotEngine::new(points)
+    };
+    Ok(engine.with_parallelism(parallelism_opt(opts)?))
+}
+
+fn parallelism_opt(opts: &HashMap<String, String>) -> Result<Parallelism, String> {
+    match opts.get("threads") {
+        Some(t) => {
+            let threads: usize = t.parse().map_err(|e| format!("bad --threads: {e}"))?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            Ok(Parallelism::new(threads))
+        }
+        None => Ok(Parallelism::sequential()),
     }
-    let path = require(opts, "data")?;
-    let points =
-        wnrs_data::csv::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
-    if points.is_empty() {
-        return Err(format!("{path} holds no points"));
-    }
-    Ok(WhyNotEngine::new(points))
 }
 
 fn load_index(path: &str) -> Result<wnrs_rtree::RTree, String> {
@@ -154,15 +173,25 @@ fn whynot_id(opts: &HashMap<String, String>, engine: &WhyNotEngine) -> Result<It
         .parse()
         .map_err(|e| format!("bad --whynot: {e}"))?;
     if idx >= engine.len() {
-        return Err(format!("--whynot {idx} out of range (dataset has {} points)", engine.len()));
+        return Err(format!(
+            "--whynot {idx} out of range (dataset has {} points)",
+            engine.len()
+        ));
     }
     Ok(ItemId(idx as u32))
 }
 
 fn generate(opts: &HashMap<String, String>) -> Result<(), String> {
     let kind = require(opts, "kind")?;
-    let n: usize = require(opts, "n")?.parse().map_err(|e| format!("bad --n: {e}"))?;
-    let seed: u64 = opts.get("seed").map(|s| s.parse()).transpose().map_err(|e| format!("bad --seed: {e}"))?.unwrap_or(42);
+    let n: usize = require(opts, "n")?
+        .parse()
+        .map_err(|e| format!("bad --n: {e}"))?;
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --seed: {e}"))?
+        .unwrap_or(42);
     let out = require(opts, "out")?;
     let mut rng = StdRng::seed_from_u64(seed);
     let points = match kind {
@@ -214,9 +243,18 @@ fn mwp(opts: &HashMap<String, String>) -> Result<(), String> {
     let q = parse_point(require(opts, "query")?)?;
     let id = whynot_id(opts, &engine)?;
     let ans = engine.mwp(id, &q);
-    println!("MWP: move customer #{} from {} to one of:", id.0, engine.point(id));
+    println!(
+        "MWP: move customer #{} from {} to one of:",
+        id.0,
+        engine.point(id)
+    );
     for c in &ans.candidates {
-        println!("  {:<28} cost {:.9}{}", c.point.to_string(), c.cost, verified_tag(c.verified));
+        println!(
+            "  {:<28} cost {:.9}{}",
+            c.point.to_string(),
+            c.cost,
+            verified_tag(c.verified)
+        );
     }
     Ok(())
 }
@@ -228,7 +266,12 @@ fn mqp(opts: &HashMap<String, String>) -> Result<(), String> {
     let ans = engine.mqp(id, &q);
     println!("MQP: move the query point {q} to one of:");
     for c in &ans.candidates {
-        println!("  {:<28} cost {:.9}{}", c.point.to_string(), c.cost, verified_tag(c.verified));
+        println!(
+            "  {:<28} cost {:.9}{}",
+            c.point.to_string(),
+            c.cost,
+            verified_tag(c.verified)
+        );
     }
     println!("(note: MQP may lose existing reverse-skyline customers; use mwq to keep them)");
     Ok(())
@@ -248,7 +291,11 @@ fn mwq(opts: &HashMap<String, String>) -> Result<(), String> {
         None => engine.safe_region_for(&q, &rsl),
     };
     let ans = engine.mwq(id, &q, &sr);
-    println!("MWQ for customer #{} ({} existing members kept):", id.0, rsl.len());
+    println!(
+        "MWQ for customer #{} ({} existing members kept):",
+        id.0,
+        rsl.len()
+    );
     match ans.case {
         wnrs_core::MwqCase::Overlap => {
             println!("  case C1: move the query point to {} (cost 0)", ans.q_star);

@@ -41,10 +41,26 @@ mod tests {
     #[test]
     fn finish_sorts_and_dedupes() {
         let cands = vec![
-            Candidate { point: Point::xy(1.0, 1.0), cost: 2.0, verified: true },
-            Candidate { point: Point::xy(0.0, 0.0), cost: 1.0, verified: true },
-            Candidate { point: Point::xy(1.0, 1.0), cost: 2.0, verified: false },
-            Candidate { point: Point::xy(2.0, 2.0), cost: 1.0, verified: false },
+            Candidate {
+                point: Point::xy(1.0, 1.0),
+                cost: 2.0,
+                verified: true,
+            },
+            Candidate {
+                point: Point::xy(0.0, 0.0),
+                cost: 1.0,
+                verified: true,
+            },
+            Candidate {
+                point: Point::xy(1.0, 1.0),
+                cost: 2.0,
+                verified: false,
+            },
+            Candidate {
+                point: Point::xy(2.0, 2.0),
+                cost: 1.0,
+                verified: false,
+            },
         ];
         let out = finish_candidates(cands);
         assert_eq!(out.len(), 3);

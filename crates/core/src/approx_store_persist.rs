@@ -43,7 +43,10 @@ impl From<wnrs_storage::pager::PagerError> for StorePersistError {
 
 /// Writes the store to `pager` as a chunked byte stream, returning the
 /// first page id (pages are contiguous from there).
-pub fn save_store<P: Pager>(store: &ApproxDslStore, pager: &P) -> Result<PageId, StorePersistError> {
+pub fn save_store<P: Pager>(
+    store: &ApproxDslStore,
+    pager: &P,
+) -> Result<PageId, StorePersistError> {
     let dim = store
         .samples_iter()
         .flat_map(|s| s.first())
@@ -59,7 +62,9 @@ pub fn save_store<P: Pager>(store: &ApproxDslStore, pager: &P) -> Result<PageId,
         bytes.extend_from_slice(&(sample.len() as u32).to_le_bytes());
         for p in sample {
             if dim != 0 && p.dim() != dim {
-                return Err(StorePersistError::Format("mixed sample dimensionality".into()));
+                return Err(StorePersistError::Format(
+                    "mixed sample dimensionality".into(),
+                ));
             }
             for i in 0..p.dim() {
                 bytes.extend_from_slice(&p[i].to_le_bytes());
@@ -84,7 +89,12 @@ pub fn save_store<P: Pager>(store: &ApproxDslStore, pager: &P) -> Result<PageId,
 /// Reads a store previously written by [`save_store`]. `first` is the
 /// returned first page id; pages are read contiguously as needed.
 pub fn load_store<P: Pager>(pager: &P, first: PageId) -> Result<ApproxDslStore, StorePersistError> {
-    let mut reader = PageStream { pager, next: first, buf: Vec::new(), pos: 0 };
+    let mut reader = PageStream {
+        pager,
+        next: first,
+        buf: Vec::new(),
+        pos: 0,
+    };
     let magic = reader.u64()?;
     if magic != MAGIC {
         return Err(StorePersistError::Format("bad magic".into()));
@@ -99,7 +109,9 @@ pub fn load_store<P: Pager>(pager: &P, first: PageId) -> Result<ApproxDslStore, 
     for _ in 0..n {
         let count = reader.u32()? as usize;
         if count > 0 && dim == 0 {
-            return Err(StorePersistError::Format("samples with zero dimensionality".into()));
+            return Err(StorePersistError::Format(
+                "samples with zero dimensionality".into(),
+            ));
         }
         let mut sample = Vec::with_capacity(count);
         for _ in 0..count {
@@ -146,15 +158,21 @@ impl<'a, P: Pager> PageStream<'a, P> {
     }
 
     fn u64(&mut self) -> Result<u64, StorePersistError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32, StorePersistError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn f64(&mut self) -> Result<f64, StorePersistError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -222,6 +240,9 @@ mod tests {
     fn bad_magic_rejected() {
         let pager = MemPager::paper_default();
         let id = pager.allocate();
-        assert!(matches!(load_store(&pager, id), Err(StorePersistError::Format(_))));
+        assert!(matches!(
+            load_store(&pager, id),
+            Err(StorePersistError::Format(_))
+        ));
     }
 }

@@ -6,8 +6,8 @@ use crate::explain::{explain, Explanation};
 use crate::mqp::{modify_query_point, MqpAnswer};
 use crate::mwp::{modify_why_not_point, MwpAnswer};
 use crate::mwq::{modify_both, MwqAnswer};
-use crate::safe_region::{approx_safe_region, exact_safe_region, ApproxDslStore};
-use wnrs_geometry::{CostModel, Point, Rect, Region};
+use crate::safe_region::{approx_safe_region_with, exact_safe_region_with, ApproxDslStore};
+use wnrs_geometry::{CostModel, Parallelism, Point, Rect, Region};
 use wnrs_reverse_skyline::{bbrs_reverse_skyline, is_reverse_skyline_member};
 use wnrs_rtree::bulk::bulk_load;
 use wnrs_rtree::{ItemId, RTree, RTreeConfig};
@@ -49,6 +49,7 @@ pub struct WhyNotEngine {
     universe: Rect,
     cost: CostModel,
     eps: f64,
+    parallelism: Parallelism,
 }
 
 impl WhyNotEngine {
@@ -71,7 +72,14 @@ impl WhyNotEngine {
         let tree = bulk_load(&points, config);
         let universe = Rect::bounding(&points);
         let cost = CostModel::paper_default(&points);
-        Self { points, tree, universe, cost, eps: DEFAULT_EPS }
+        Self {
+            points,
+            tree,
+            universe,
+            cost,
+            eps: DEFAULT_EPS,
+            parallelism: Parallelism::sequential(),
+        }
     }
 
     /// Builds an engine around an existing tree (e.g. one reloaded from
@@ -86,16 +94,27 @@ impl WhyNotEngine {
         assert!(!items.is_empty(), "engine needs at least one data point");
         items.sort_by_key(|(id, _)| *id);
         assert!(
-            items.iter().enumerate().all(|(i, (id, _))| id.0 as usize == i),
+            items
+                .iter()
+                .enumerate()
+                .all(|(i, (id, _))| id.0 as usize == i),
             "engine requires dense item ids"
         );
         let points: Vec<Point> = items.into_iter().map(|(_, p)| p).collect();
         let universe = Rect::bounding(&points);
         let cost = CostModel::paper_default(&points);
-        Self { points, tree, universe, cost, eps: DEFAULT_EPS }
+        Self {
+            points,
+            tree,
+            universe,
+            cost,
+            eps: DEFAULT_EPS,
+            parallelism: Parallelism::sequential(),
+        }
     }
 
     /// Replaces the cost model.
+    #[must_use]
     pub fn with_cost_model(mut self, cost: CostModel) -> Self {
         assert_eq!(cost.dim(), self.dim(), "cost model dimensionality mismatch");
         self.cost = cost;
@@ -103,10 +122,26 @@ impl WhyNotEngine {
     }
 
     /// Replaces the verification nudge.
+    #[must_use]
     pub fn with_eps(mut self, eps: f64) -> Self {
         assert!(eps >= 0.0, "eps must be non-negative");
         self.eps = eps;
         self
+    }
+
+    /// Replaces the concurrency policy used by safe-region construction,
+    /// the offline store build and the batch answering helpers. The
+    /// default is [`Parallelism::sequential`]; results are identical
+    /// whatever the policy (box ordering of regions aside).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The engine's concurrency policy.
+    pub fn parallelism(&self) -> &Parallelism {
+        &self.parallelism
     }
 
     /// Dimensionality of the data.
@@ -171,7 +206,14 @@ impl WhyNotEngine {
 
     /// Algorithm 1 (MWP) for dataset customer `id`.
     pub fn mwp(&self, id: ItemId, q: &Point) -> MwpAnswer {
-        modify_why_not_point(&self.tree, self.point(id), q, Some(id), &self.cost, self.eps)
+        modify_why_not_point(
+            &self.tree,
+            self.point(id),
+            q,
+            Some(id),
+            &self.cost,
+            self.eps,
+        )
     }
 
     /// Algorithm 1 (MWP) for an external (bichromatic) customer.
@@ -181,7 +223,14 @@ impl WhyNotEngine {
 
     /// Algorithm 2 (MQP) for dataset customer `id`.
     pub fn mqp(&self, id: ItemId, q: &Point) -> MqpAnswer {
-        modify_query_point(&self.tree, self.point(id), q, Some(id), &self.cost, self.eps)
+        modify_query_point(
+            &self.tree,
+            self.point(id),
+            q,
+            Some(id),
+            &self.cost,
+            self.eps,
+        )
     }
 
     /// Algorithm 2 (MQP) for an external customer.
@@ -200,12 +249,18 @@ impl WhyNotEngine {
 
     /// Algorithm 3 against a precomputed reverse skyline.
     pub fn safe_region_for(&self, q: &Point, rsl: &[(ItemId, Point)]) -> Region {
-        exact_safe_region(&self.tree, rsl, &self.universe_for(q), true)
+        exact_safe_region_with(
+            &self.tree,
+            rsl,
+            &self.universe_for(q),
+            true,
+            &self.parallelism,
+        )
     }
 
     /// Builds the offline approximate-DSL store (Section VI-B.1).
     pub fn build_approx_store(&self, k: usize) -> ApproxDslStore {
-        ApproxDslStore::build(&self.tree, k)
+        ApproxDslStore::build_with(&self.tree, k, &self.parallelism)
     }
 
     /// The approximate safe region from a precomputed store.
@@ -215,7 +270,7 @@ impl WhyNotEngine {
         rsl: &[(ItemId, Point)],
         store: &ApproxDslStore,
     ) -> Region {
-        approx_safe_region(store, rsl, &self.universe_for(q))
+        approx_safe_region_with(store, rsl, &self.universe_for(q), &self.parallelism)
     }
 
     /// Algorithm 4 (MWQ) for dataset customer `id`, against a
@@ -235,7 +290,16 @@ impl WhyNotEngine {
 
     /// Algorithm 4 (MWQ) for an external customer.
     pub fn mwq_external(&self, c_t: &Point, q: &Point, sr: &Region) -> MwqAnswer {
-        modify_both(&self.tree, sr, c_t, q, None, &self.cost, &self.universe_for(q), self.eps)
+        modify_both(
+            &self.tree,
+            sr,
+            c_t,
+            q,
+            None,
+            &self.cost,
+            &self.universe_for(q),
+            self.eps,
+        )
     }
 
     /// End-to-end convenience: compute the safe region and run MWQ.
@@ -339,12 +403,22 @@ mod tests {
         let tree = wnrs_rtree::bulk::bulk_load(&pts, RTreeConfig::with_max_entries(4));
         let rebuilt = WhyNotEngine::from_tree(tree);
         let q = Point::xy(6.0, 50.0);
-        let a: Vec<u32> = fresh.reverse_skyline(&q).iter().map(|(id, _)| id.0).collect();
-        let b: Vec<u32> = rebuilt.reverse_skyline(&q).iter().map(|(id, _)| id.0).collect();
+        let a: Vec<u32> = fresh
+            .reverse_skyline(&q)
+            .iter()
+            .map(|(id, _)| id.0)
+            .collect();
+        let b: Vec<u32> = rebuilt
+            .reverse_skyline(&q)
+            .iter()
+            .map(|(id, _)| id.0)
+            .collect();
         assert_eq!(a, b);
         assert_eq!(fresh.len(), rebuilt.len());
         for i in 0..pts.len() as u32 {
-            assert!(fresh.point(ItemId(i)).same_location(rebuilt.point(ItemId(i))));
+            assert!(fresh
+                .point(ItemId(i))
+                .same_location(rebuilt.point(ItemId(i))));
         }
     }
 

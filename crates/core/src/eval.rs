@@ -14,6 +14,7 @@
 
 use crate::engine::WhyNotEngine;
 use crate::mwp::modify_why_not_point;
+use wnrs_geometry::parallel::map_slice;
 use wnrs_geometry::{Point, Region};
 use wnrs_reverse_skyline::is_reverse_skyline_member;
 use wnrs_rtree::ItemId;
@@ -104,6 +105,23 @@ pub fn score_all(
     }
 }
 
+/// Scores a batch of why-not questions against one shared reverse
+/// skyline and safe region, fanning questions out across the engine's
+/// [`WhyNotEngine::parallelism`] policy. Score order matches `ids`;
+/// each entry equals the corresponding [`score_all`] call exactly
+/// (per-question work is independent and read-only).
+pub fn score_all_batch(
+    engine: &WhyNotEngine,
+    ids: &[ItemId],
+    q: &Point,
+    rsl: &[(ItemId, Point)],
+    sr: &Region,
+) -> Vec<(ItemId, MethodScores)> {
+    map_slice(ids, engine.parallelism(), |&id| {
+        (id, score_all(engine, id, q, rsl, sr))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +193,21 @@ mod tests {
         let out_of_sr = e.cost_model().query_cost(&q_prime, &q_star);
         assert!(out_of_sr <= raw + 1e-12);
         assert!(scored + 1e-12 >= out_of_sr);
+    }
+
+    #[test]
+    fn batch_scores_match_individual_scores() {
+        let e = engine().with_parallelism(wnrs_geometry::Parallelism::new(2));
+        let q = Point::xy(8.5, 55.0);
+        let rsl = e.reverse_skyline(&q);
+        let sr = e.safe_region_for(&q, &rsl);
+        let ids = [ItemId(0), ItemId(4), ItemId(6)];
+        let batch = score_all_batch(&e, &ids, &q, &rsl, &sr);
+        assert_eq!(batch.len(), ids.len());
+        for (i, (id, scores)) in batch.iter().enumerate() {
+            assert_eq!(*id, ids[i], "order preserved");
+            assert_eq!(*scores, score_all(&e, *id, &q, &rsl, &sr));
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::engine::WhyNotEngine;
 use crate::mwq::MwqAnswer;
 use crate::safe_region::anti_ddr_of;
+use wnrs_geometry::parallel::map_slice;
 use wnrs_geometry::{Point, Rect, Region};
 use wnrs_rtree::ItemId;
 
@@ -50,10 +51,12 @@ pub fn expand_safe_region(
     max_loss: usize,
 ) -> ExpandedSafeRegion {
     let universe = engine.universe_for(q);
-    let regions: Vec<(ItemId, Region)> = rsl
-        .iter()
-        .map(|(id, c)| (*id, anti_ddr_of(engine.tree(), c, Some(*id), &universe, 0.0)))
-        .collect();
+    let regions: Vec<(ItemId, Region)> = map_slice(rsl, engine.parallelism(), |(id, c)| {
+        (
+            *id,
+            anti_ddr_of(engine.tree(), c, Some(*id), &universe, 0.0),
+        )
+    });
 
     let intersect_all = |skip: &[ItemId]| -> Region {
         let mut acc: Option<Region> = None;
@@ -82,9 +85,7 @@ pub fn expand_safe_region(
             trial_skip.push(*id);
             let trial = intersect_all(&trial_skip);
             let area = trial.area();
-            if area > current_area + 1e-12
-                && best.as_ref().is_none_or(|(_, _, a)| area > *a)
-            {
+            if area > current_area + 1e-12 && best.as_ref().is_none_or(|(_, _, a)| area > *a) {
                 best = Some((*id, trial, area));
             }
         }
@@ -97,19 +98,24 @@ pub fn expand_safe_region(
             None => break, // no drop enlarges the region further
         }
     }
-    ExpandedSafeRegion { region: current, dropped }
+    ExpandedSafeRegion {
+        region: current,
+        dropped,
+    }
 }
 
 /// Answers a batch of why-not questions against one shared safe region —
 /// the reuse pattern Section VI-B advocates (the safe region is the
 /// expensive part; each additional question costs only Algorithm 4).
+/// Questions fan out across the engine's [`WhyNotEngine::parallelism`]
+/// policy; answer order always matches `ids`.
 pub fn mwq_batch(
     engine: &WhyNotEngine,
     ids: &[ItemId],
     q: &Point,
     sr: &Region,
 ) -> Vec<(ItemId, MwqAnswer)> {
-    ids.iter().map(|&id| (id, engine.mwq(id, q, sr))).collect()
+    map_slice(ids, engine.parallelism(), |&id| (id, engine.mwq(id, q, sr)))
 }
 
 #[cfg(test)]
@@ -182,7 +188,10 @@ mod tests {
         let mut last = 0.0f64;
         for budget in 0..=3 {
             let ex = expand_safe_region(&e, &q, &rsl, budget);
-            assert!(ex.region.area() + 1e-9 >= last, "budget {budget} shrank the region");
+            assert!(
+                ex.region.area() + 1e-9 >= last,
+                "budget {budget} shrank the region"
+            );
             last = ex.region.area();
         }
     }
@@ -198,9 +207,15 @@ mod tests {
         let answers = mwq_batch(&e, &ids, &q, &sr);
         assert_eq!(answers.len(), 3);
         // c7 overlaps the safe region (case C1, free); c1 does not.
-        let c7 = answers.iter().find(|(id, _)| *id == ItemId(6)).expect("c7 answered");
+        let c7 = answers
+            .iter()
+            .find(|(id, _)| *id == ItemId(6))
+            .expect("c7 answered");
         assert_eq!(c7.1.case, MwqCase::Overlap);
-        let c1 = answers.iter().find(|(id, _)| *id == ItemId(0)).expect("c1 answered");
+        let c1 = answers
+            .iter()
+            .find(|(id, _)| *id == ItemId(0))
+            .expect("c1 answered");
         assert_eq!(c1.1.case, MwqCase::Disjoint);
         // Batch answers equal individual answers.
         for (id, ans) in &answers {

@@ -47,9 +47,14 @@ pub mod verify;
 
 pub use answer::Candidate;
 pub use engine::WhyNotEngine;
+pub use eval::score_all_batch;
 pub use explain::{explain, Explanation};
 pub use flexible::{expand_safe_region, mwq_batch, truncate_safe_region, ExpandedSafeRegion};
 pub use mqp::{modify_query_point, MqpAnswer};
 pub use mwp::{modify_why_not_point, MwpAnswer};
 pub use mwq::{modify_both, MwqAnswer, MwqCase};
-pub use safe_region::{approx_safe_region, exact_safe_region, ApproxDslStore};
+pub use safe_region::{
+    approx_safe_region, approx_safe_region_with, exact_safe_region, exact_safe_region_with,
+    ApproxDslStore,
+};
+pub use wnrs_geometry::parallel::Parallelism;

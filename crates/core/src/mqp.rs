@@ -15,9 +15,9 @@
 use crate::answer::{finish_candidates, Candidate};
 use crate::verify::limit_verified_query;
 use wnrs_geometry::{CostModel, Point};
-use wnrs_skyline::sfs_skyline;
 use wnrs_reverse_skyline::window_query;
 use wnrs_rtree::{ItemId, RTree};
+use wnrs_skyline::sfs_skyline;
 
 /// The result of Algorithm 2.
 #[derive(Debug, Clone)]
@@ -68,7 +68,11 @@ pub fn modify_query_point(
     let lambda = window_query(products, c_t, q, exclude);
     if lambda.is_empty() {
         return MqpAnswer {
-            candidates: vec![Candidate { point: q.clone(), cost: 0.0, verified: true }],
+            candidates: vec![Candidate {
+                point: q.clone(),
+                cost: 0.0,
+                verified: true,
+            }],
         };
     }
 
@@ -77,8 +81,10 @@ pub fn modify_query_point(
     // O(|Λ|²) pairwise pruning — Λ can contain thousands of points when
     // the why-not customer sits deep in a dense region.
     let lambda_t: Vec<Point> = lambda.iter().map(|(_, e)| e.abs_diff(c_t)).collect();
-    let f_t: Vec<Point> =
-        sfs_skyline(&lambda_t).into_iter().map(|i| lambda_t[i].clone()).collect();
+    let f_t: Vec<Point> = sfs_skyline(&lambda_t)
+        .into_iter()
+        .map(|i| lambda_t[i].clone())
+        .collect();
     let t_q = q.abs_diff(c_t);
 
     let mut raw_t: Vec<Point> = Vec::new();
@@ -86,10 +92,7 @@ pub fn modify_query_point(
     // Axis candidates (Eqn (6)): lower a single transformed coordinate
     // of q to the staircase's minimum in that dimension.
     for i in 0..d {
-        let min_i = f_t
-            .iter()
-            .map(|e| e[i])
-            .fold(f64::INFINITY, f64::min);
+        let min_i = f_t.iter().map(|e| e[i]).fold(f64::INFINITY, f64::min);
         raw_t.push(t_q.with_coord(i, min_i.min(t_q[i])));
     }
 
@@ -97,7 +100,9 @@ pub fn modify_query_point(
     if d == 2 {
         let mut pts: Vec<(f64, f64)> = f_t.iter().map(|e| (e[0], e[1])).collect();
         pts.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0).expect("finite").then(b.1.partial_cmp(&a.1).expect("finite"))
+            a.0.partial_cmp(&b.0)
+                .expect("finite")
+                .then(b.1.partial_cmp(&a.1).expect("finite"))
         });
         for l in 0..pts.len().saturating_sub(1) {
             // max-merge of the successive pair: the outer stair corner.
@@ -119,13 +124,21 @@ pub fn modify_query_point(
         .map(|p| {
             let verified = limit_verified_query(products, c_t, q, &p, exclude, eps);
             let c = cost.query_cost(q, &p);
-            Candidate { point: p, cost: c, verified }
+            Candidate {
+                point: p,
+                cost: c,
+                verified,
+            }
         })
         .filter(|c| c.verified)
         .collect::<Vec<_>>();
 
     let candidates = if candidates.is_empty() {
-        vec![Candidate { point: c_t.clone(), cost: cost.query_cost(q, c_t), verified: false }]
+        vec![Candidate {
+            point: c_t.clone(),
+            cost: cost.query_cost(q, c_t),
+            verified: false,
+        }]
     } else {
         finish_candidates(candidates)
     };
@@ -188,8 +201,14 @@ mod tests {
         let q = Point::xy(8.5, 55.0);
         // c2 (7.5, 42) has an empty window w.r.t. a product set without
         // p2; use the monochromatic exclusion instead.
-        let ans =
-            modify_query_point(&tree, &Point::xy(7.5, 42.0), &q, Some(ItemId(0)), &unit_cost(), 1e-9);
+        let ans = modify_query_point(
+            &tree,
+            &Point::xy(7.5, 42.0),
+            &q,
+            Some(ItemId(0)),
+            &unit_cost(),
+            1e-9,
+        );
         assert_eq!(ans.best_cost(), 0.0);
         assert!(ans.best().point.same_location(&q));
     }
@@ -230,10 +249,7 @@ mod tests {
         let q = Point::xy(14.1, 13.2);
         let ans = modify_query_point(&tree, &c_t, &q, None, &unit_cost(), 1e-9);
         assert!(!ans.candidates.is_empty());
-        assert!(ans
-            .candidates
-            .iter()
-            .any(|c| c.point.approx_eq(&c_t, 1e-6)));
+        assert!(ans.candidates.iter().any(|c| c.point.approx_eq(&c_t, 1e-6)));
     }
 
     #[test]
@@ -248,8 +264,15 @@ mod tests {
         // Blocker transformed: (10, 15); q transformed: (25, 30).
         // Axis candidates: (c_t.x − 10 = 20, 10) and (5, 40 − 15 = 25).
         let pts: Vec<&Point> = ans.candidates.iter().map(|c| &c.point).collect();
-        assert!(pts.iter().any(|p| p.approx_eq(&Point::xy(20.0, 10.0), 1e-9)), "{pts:?}");
-        assert!(pts.iter().any(|p| p.approx_eq(&Point::xy(5.0, 25.0), 1e-9)), "{pts:?}");
+        assert!(
+            pts.iter()
+                .any(|p| p.approx_eq(&Point::xy(20.0, 10.0), 1e-9)),
+            "{pts:?}"
+        );
+        assert!(
+            pts.iter().any(|p| p.approx_eq(&Point::xy(5.0, 25.0), 1e-9)),
+            "{pts:?}"
+        );
     }
 
     #[test]
@@ -258,8 +281,14 @@ mod tests {
         let tree = bulk_load(&products, RTreeConfig::with_max_entries(4));
         let c_t = Point::new(vec![30.0, 30.0, 30.0]);
         let q = Point::new(vec![55.0, 55.0, 55.0]);
-        let ans = modify_query_point(&tree, &c_t, &q, None,
-            &CostModel::new(Weights::equal(3), Weights::equal(3)), 1e-9);
+        let ans = modify_query_point(
+            &tree,
+            &c_t,
+            &q,
+            None,
+            &CostModel::new(Weights::equal(3), Weights::equal(3)),
+            1e-9,
+        );
         assert!(ans.candidates.iter().all(|c| c.verified));
         // Lower one transformed coordinate from 25 to 10: q* like
         // (40, 55, 55).

@@ -86,7 +86,11 @@ pub fn modify_why_not_point(
     let lambda = window_query(products, c_t, q, exclude);
     if lambda.is_empty() {
         return MwpAnswer {
-            candidates: vec![Candidate { point: c_t.clone(), cost: 0.0, verified: true }],
+            candidates: vec![Candidate {
+                point: c_t.clone(),
+                cost: 0.0,
+                verified: true,
+            }],
         };
     }
 
@@ -97,7 +101,10 @@ pub fn modify_why_not_point(
         .map(|i| if q[i] >= c_t[i] { 1.0 } else { -1.0 })
         .collect();
 
-    let thr: Vec<Thresholds> = lambda.iter().map(|(_, e)| thresholds(e, q, &sign)).collect();
+    let thr: Vec<Thresholds> = lambda
+        .iter()
+        .map(|(_, e)| thresholds(e, q, &sign))
+        .collect();
 
     let mut raw: Vec<Point> = Vec::new();
 
@@ -165,7 +172,10 @@ pub fn modify_why_not_point(
                 // Escape blockers ≤ l via dim 0, the rest via dim 1; the
                 // frontier is ascending in dim 0 and descending in dim 1,
                 // so the suffix maximum in dim 1 is the next element's.
-                raw.push(Point::xy(sign[0] * frontier[l].0, sign[1] * frontier[l + 1].1));
+                raw.push(Point::xy(
+                    sign[0] * frontier[l].0,
+                    sign[1] * frontier[l + 1].1,
+                ));
             }
         }
     }
@@ -179,7 +189,11 @@ pub fn modify_why_not_point(
         .map(|p| {
             let verified = limit_verified_whynot(products, c_t, &p, q, exclude, eps);
             let c = cost.whynot_cost(c_t, &p);
-            Candidate { point: p, cost: c, verified }
+            Candidate {
+                point: p,
+                cost: c,
+                verified,
+            }
         })
         .filter(|c| c.verified)
         .collect::<Vec<_>>();
@@ -187,7 +201,11 @@ pub fn modify_why_not_point(
     let candidates = if candidates.is_empty() {
         // Keep the guaranteed fallback even if ε-verification was too
         // strict (degenerate clustered data).
-        vec![Candidate { point: q.clone(), cost: cost.whynot_cost(c_t, q), verified: false }]
+        vec![Candidate {
+            point: q.clone(),
+            cost: cost.whynot_cost(c_t, q),
+            verified: false,
+        }]
     } else {
         finish_candidates(candidates)
     };
@@ -273,7 +291,11 @@ mod tests {
         for c_t in pts.iter().step_by(17) {
             let ans = modify_why_not_point(&tree, c_t, &q, None, &cost, 1e-9);
             for cand in &ans.candidates {
-                assert!(cand.verified, "candidate {:?} for c_t {c_t:?} unverified", cand.point);
+                assert!(
+                    cand.verified,
+                    "candidate {:?} for c_t {c_t:?} unverified",
+                    cand.point
+                );
                 assert!(cand.cost.is_finite());
                 tested += 1;
             }
@@ -314,8 +336,16 @@ mod tests {
         // The midpoint thresholds: m = ((30+40)/2, (30+45)/2) = (35, 37.5);
         // axis candidates (35, 70) and (60, 37.5) must be present.
         let pts: Vec<&Point> = ans.candidates.iter().map(|c| &c.point).collect();
-        assert!(pts.iter().any(|p| p.approx_eq(&Point::xy(35.0, 70.0), 1e-9)), "{pts:?}");
-        assert!(pts.iter().any(|p| p.approx_eq(&Point::xy(60.0, 37.5), 1e-9)), "{pts:?}");
+        assert!(
+            pts.iter()
+                .any(|p| p.approx_eq(&Point::xy(35.0, 70.0), 1e-9)),
+            "{pts:?}"
+        );
+        assert!(
+            pts.iter()
+                .any(|p| p.approx_eq(&Point::xy(60.0, 37.5), 1e-9)),
+            "{pts:?}"
+        );
     }
 
     #[test]
@@ -348,8 +378,14 @@ mod tests {
         let tree = bulk_load(&products, RTreeConfig::with_max_entries(4));
         let c_t = Point::new(vec![30.0, 30.0, 30.0]);
         let q = Point::new(vec![50.0, 50.0, 50.0]);
-        let ans = modify_why_not_point(&tree, &c_t, &q, None,
-            &CostModel::new(Weights::equal(3), Weights::equal(3)), 1e-9);
+        let ans = modify_why_not_point(
+            &tree,
+            &c_t,
+            &q,
+            None,
+            &CostModel::new(Weights::equal(3), Weights::equal(3)),
+            1e-9,
+        );
         assert!(ans.candidates.iter().all(|c| c.verified));
         // Escaping via any one axis at the midpoint 45.
         assert!(ans

@@ -90,7 +90,12 @@ pub fn modify_both(
                     .expect("finite costs")
             })
             .expect("non-empty overlap");
-        return MwqAnswer { case: MwqCase::Overlap, q_star, c_star: None, cost: 0.0 };
+        return MwqAnswer {
+            case: MwqCase::Overlap,
+            q_star,
+            c_star: None,
+            cost: 0.0,
+        };
     }
 
     // Case C2 (steps 7–20): candidate q* positions are the safe-region
@@ -143,7 +148,12 @@ pub fn modify_both(
     }
     let (q_star, c_star) = best.expect("safe region has at least one corner");
     let cost_value = c_star.cost;
-    MwqAnswer { case: MwqCase::Disjoint, q_star, c_star: Some(c_star), cost: cost_value }
+    MwqAnswer {
+        case: MwqCase::Disjoint,
+        q_star,
+        c_star: Some(c_star),
+        cost: cost_value,
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +198,16 @@ mod tests {
         // is {(7.5, 60), (10, 70)} and q* = (8.5, 60).
         let (tree, sr, universe, q) = setup();
         let c7 = Point::xy(26.0, 70.0);
-        let ans = modify_both(&tree, &sr, &c7, &q, Some(ItemId(6)), &unit_cost(), &universe, 1e-9);
+        let ans = modify_both(
+            &tree,
+            &sr,
+            &c7,
+            &q,
+            Some(ItemId(6)),
+            &unit_cost(),
+            &universe,
+            1e-9,
+        );
         assert_eq!(ans.case, MwqCase::Overlap);
         assert_eq!(ans.cost, 0.0);
         assert!(ans.c_star.is_none());

@@ -12,11 +12,12 @@
 //! safe — just possibly smaller, which can only make MWQ's answers more
 //! conservative (Tables V–VI).
 
+use wnrs_geometry::parallel::{intersect_all, map_slice, Parallelism};
 use wnrs_geometry::{Point, Rect, Region};
 use wnrs_rtree::{ItemId, RTree};
 use wnrs_skyline::{
-    approx::approx_anti_ddr, approx::sample_dsl, bbs_dynamic_skyline_excluding,
-    ddr::anti_ddr, ddr::max_dist,
+    approx::approx_anti_ddr, approx::sample_dsl, bbs_dynamic_skyline_excluding, ddr::anti_ddr,
+    ddr::max_dist,
 };
 
 /// Computes the exact anti-dominance region of customer `c` in the
@@ -85,6 +86,28 @@ pub fn exact_safe_region(
     sr.unwrap_or_else(|| Region::from_rect(universe.clone()))
 }
 
+/// [`exact_safe_region`] under an explicit concurrency policy: the
+/// per-member `anti-DDR(c_l)` constructions fan out across `par`'s
+/// workers, and the intersection is a balanced tree reduction over the
+/// member regions (pre-sorted by ascending box count) instead of a left
+/// fold. Since containment-pruned region intersection is canonical, the
+/// result equals [`exact_safe_region`] up to box ordering — and the
+/// parallel and `workers == 1` paths of this function perform identical
+/// pairings, so they agree bit for bit.
+pub fn exact_safe_region_with(
+    products: &RTree,
+    rsl: &[(ItemId, Point)],
+    universe: &Rect,
+    exclude_self: bool,
+    par: &Parallelism,
+) -> Region {
+    let regions = map_slice(rsl, par, |(id, c)| {
+        let exclude = if exclude_self { Some(*id) } else { None };
+        anti_ddr_of(products, c, exclude, universe, 0.0)
+    });
+    intersect_all(regions, par).unwrap_or_else(|| Region::from_rect(universe.clone()))
+}
+
 /// Precomputed k-sampled dynamic skylines for every indexed point
 /// (Section VI-B.1). Built offline once per dataset; a safe region can
 /// then be assembled without any skyline computation at query time.
@@ -104,21 +127,34 @@ impl ApproxDslStore {
     ///
     /// Panics if `k == 0` or the ids are not dense.
     pub fn build(products: &RTree, k: usize) -> Self {
+        Self::build_with(products, k, &Parallelism::sequential())
+    }
+
+    /// [`Self::build`] under an explicit concurrency policy: the dense
+    /// item-id range is chunked across `par`'s workers, each computing
+    /// its items' DSL samples independently. Per-item work only reads
+    /// the shared tree, so the resulting store is identical to the
+    /// sequential build whatever the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the ids are not dense.
+    pub fn build_with(products: &RTree, k: usize, par: &Parallelism) -> Self {
         assert!(k > 0, "sample size k must be positive");
         let mut items = products.items();
         items.sort_by_key(|(id, _)| *id);
         assert!(
-            items.iter().enumerate().all(|(i, (id, _))| id.0 as usize == i),
+            items
+                .iter()
+                .enumerate()
+                .all(|(i, (id, _))| id.0 as usize == i),
             "ApproxDslStore requires dense item ids"
         );
-        let samples = items
-            .iter()
-            .map(|(id, c)| {
-                let dsl = bbs_dynamic_skyline_excluding(products, c, Some(*id));
-                let dsl_t: Vec<Point> = dsl.iter().map(|(_, p)| p.abs_diff(c)).collect();
-                sample_dsl(&dsl_t, k)
-            })
-            .collect();
+        let samples = map_slice(&items, par, |(id, c)| {
+            let dsl = bbs_dynamic_skyline_excluding(products, c, Some(*id));
+            let dsl_t: Vec<Point> = dsl.iter().map(|(_, p)| p.abs_diff(c)).collect();
+            sample_dsl(&dsl_t, k)
+        });
         Self { k, samples }
     }
 
@@ -143,8 +179,8 @@ impl ApproxDslStore {
     }
 
     /// Iterates over every stored sample in item-id order.
-    pub fn samples_iter(&self) -> impl Iterator<Item = &Vec<Point>> {
-        self.samples.iter()
+    pub fn samples_iter(&self) -> impl Iterator<Item = &[Point]> {
+        self.samples.iter().map(Vec::as_slice)
     }
 
     /// Reassembles a store from its raw parts (persistence path).
@@ -181,6 +217,20 @@ pub fn approx_safe_region(
         });
     }
     sr.unwrap_or_else(|| Region::from_rect(universe.clone()))
+}
+
+/// [`approx_safe_region`] under an explicit concurrency policy —
+/// parallel per-member anti-DDR lookup plus tree-reduced intersection,
+/// mirroring [`exact_safe_region_with`]. Equal to the sequential
+/// variant up to box ordering.
+pub fn approx_safe_region_with(
+    store: &ApproxDslStore,
+    rsl: &[(ItemId, Point)],
+    universe: &Rect,
+    par: &Parallelism,
+) -> Region {
+    let regions = map_slice(rsl, par, |(id, c)| store.anti_ddr(*id, c, universe));
+    intersect_all(regions, par).unwrap_or_else(|| Region::from_rect(universe.clone()))
 }
 
 /// Reflects a transformed-space region of origin-anchored boxes around

@@ -113,7 +113,14 @@ mod tests {
             assert!(!limit_verified_whynot(&tree, &c1, &cand, &q, None, 0.0));
         }
         // A clearly insufficient move is not valid even nudged.
-        assert!(!limit_verified_whynot(&tree, &c1, &Point::xy(5.0, 40.0), &q, None, 1e-9));
+        assert!(!limit_verified_whynot(
+            &tree,
+            &c1,
+            &Point::xy(5.0, 40.0),
+            &q,
+            None,
+            1e-9
+        ));
     }
 
     #[test]
@@ -136,6 +143,13 @@ mod tests {
                 "{q_star:?} should be limit-valid"
             );
         }
-        assert!(!limit_verified_query(&tree, &c1, &q, &Point::xy(8.5, 50.0), None, 1e-9));
+        assert!(!limit_verified_query(
+            &tree,
+            &c1,
+            &q,
+            &Point::xy(8.5, 50.0),
+            None,
+            1e-9
+        ));
     }
 }

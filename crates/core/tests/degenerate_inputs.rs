@@ -97,7 +97,10 @@ fn extreme_magnitudes() {
     let q = Point::xy(1e5, 1e5);
     let rsl = e.reverse_skyline(&q);
     let sr = e.safe_region_for(&q, &rsl);
-    assert!(sr.contains(&q), "q inside its own safe region despite extreme spans");
+    assert!(
+        sr.contains(&q),
+        "q inside its own safe region despite extreme spans"
+    );
     for id in 0..5u32 {
         if !e.is_member(ItemId(id), &q) {
             let ans = e.mwp(ItemId(id), &q);
@@ -108,7 +111,11 @@ fn extreme_magnitudes() {
 
 #[test]
 fn why_not_point_coincides_with_query() {
-    let pts = vec![Point::xy(5.0, 5.0), Point::xy(9.0, 9.0), Point::xy(1.0, 9.0)];
+    let pts = vec![
+        Point::xy(5.0, 5.0),
+        Point::xy(9.0, 9.0),
+        Point::xy(1.0, 9.0),
+    ];
     let e = engine(pts);
     // q exactly at a customer's location: that customer is trivially a
     // member (the window degenerates to its own point).

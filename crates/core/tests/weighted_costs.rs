@@ -103,12 +103,15 @@ fn engine_wide_weighted_model() {
         Point::xy(16.0, 80.0),
     ];
     let model = CostModel::new(Weights::equal(2), Weights::new(vec![1.0, 0.01]));
-    let engine = WhyNotEngine::with_config(points, RTreeConfig::with_max_entries(4))
-        .with_cost_model(model);
+    let engine =
+        WhyNotEngine::with_config(points, RTreeConfig::with_max_entries(4)).with_cost_model(model);
     let q = Point::xy(8.5, 55.0);
     let (_, mwq) = engine.mwq_full(ItemId(0), &q);
     let mwp = engine.mwp(ItemId(0), &q);
-    assert!(mwq.cost <= mwp.best_cost() + 1e-12, "the guarantee holds under any weights");
+    assert!(
+        mwq.cost <= mwp.best_cost() + 1e-12,
+        "the guarantee holds under any weights"
+    );
     // Price-rigid: the chosen repair should be mileage-dominated.
     let c_star = mwq.c_star.expect("case C2 in the paper example");
     let c1 = Point::xy(5.0, 30.0);

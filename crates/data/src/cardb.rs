@@ -40,13 +40,41 @@ struct Segment {
 
 const SEGMENTS: &[Segment] = &[
     // Nearly new: expensive, low mileage.
-    Segment { weight: 0.20, price_mu: 10.1, price_sigma: 0.35, mileage_mu: 25_000.0, mileage_sigma: 15_000.0, coupling: 0.5 },
+    Segment {
+        weight: 0.20,
+        price_mu: 10.1,
+        price_sigma: 0.35,
+        mileage_mu: 25_000.0,
+        mileage_sigma: 15_000.0,
+        coupling: 0.5,
+    },
     // Mainstream used: the bulk of the market.
-    Segment { weight: 0.45, price_mu: 9.2, price_sigma: 0.45, mileage_mu: 90_000.0, mileage_sigma: 35_000.0, coupling: 0.8 },
+    Segment {
+        weight: 0.45,
+        price_mu: 9.2,
+        price_sigma: 0.45,
+        mileage_mu: 90_000.0,
+        mileage_sigma: 35_000.0,
+        coupling: 0.8,
+    },
     // Economy / high mileage: cheap, worn.
-    Segment { weight: 0.25, price_mu: 8.1, price_sigma: 0.5, mileage_mu: 160_000.0, mileage_sigma: 45_000.0, coupling: 0.6 },
+    Segment {
+        weight: 0.25,
+        price_mu: 8.1,
+        price_sigma: 0.5,
+        mileage_mu: 160_000.0,
+        mileage_sigma: 45_000.0,
+        coupling: 0.6,
+    },
     // Luxury & classic: expensive at any mileage (the sparse outliers).
-    Segment { weight: 0.10, price_mu: 10.8, price_sigma: 0.5, mileage_mu: 80_000.0, mileage_sigma: 60_000.0, coupling: 0.2 },
+    Segment {
+        weight: 0.10,
+        price_mu: 10.8,
+        price_sigma: 0.5,
+        mileage_mu: 80_000.0,
+        mileage_sigma: 60_000.0,
+        coupling: 0.2,
+    },
 ];
 
 /// Generates `n` cars as (price, mileage) points.
@@ -105,7 +133,10 @@ mod tests {
         prices.sort_by(|a, b| a.total_cmp(b));
         let median = prices[prices.len() / 2];
         let mean = prices.iter().sum::<f64>() / prices.len() as f64;
-        assert!(mean > 1.1 * median, "mean {mean} vs median {median}: no right skew");
+        assert!(
+            mean > 1.1 * median,
+            "mean {mean} vs median {median}: no right skew"
+        );
     }
 
     #[test]

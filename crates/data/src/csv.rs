@@ -36,7 +36,8 @@ pub fn from_csv(text: &str) -> Result<Vec<Point>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let coords: Result<Vec<f64>, _> = line.split(',').map(|f| f.trim().parse::<f64>()).collect();
+        let coords: Result<Vec<f64>, _> =
+            line.split(',').map(|f| f.trim().parse::<f64>()).collect();
         let coords = coords.map_err(|e| format!("line {}: {e}", lineno + 1))?;
         match dim {
             None => dim = Some(coords.len()),

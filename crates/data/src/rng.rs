@@ -27,7 +27,13 @@ pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 }
 
 /// A normal sample rejected-resampled into `[lo, hi]`.
-pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
     assert!(lo < hi, "empty truncation interval");
     for _ in 0..1000 {
         let v = normal(rng, mu, sigma);

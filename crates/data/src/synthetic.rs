@@ -67,8 +67,9 @@ pub fn clustered<R: Rng + ?Sized>(
     assert!(d > 0, "dimensionality must be positive");
     assert!(c > 0, "need at least one cluster");
     assert!(spread >= 0.0, "spread must be non-negative");
-    let centers: Vec<Vec<f64>> =
-        (0..c).map(|_| (0..d).map(|_| rng.gen::<f64>()).collect()).collect();
+    let centers: Vec<Vec<f64>> = (0..c)
+        .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+        .collect();
     (0..n)
         .map(|_| {
             let center = &centers[rng.gen_range(0..c)];
@@ -108,7 +109,9 @@ mod tests {
     #[test]
     fn shapes_and_bounds() {
         let mut rng = StdRng::seed_from_u64(1);
-        for gen in [uniform, correlated, anticorrelated] as [fn(&mut StdRng, usize, usize) -> Vec<Point>; 3] {
+        for gen in [uniform, correlated, anticorrelated]
+            as [fn(&mut StdRng, usize, usize) -> Vec<Point>; 3]
+        {
             let pts = gen(&mut rng, 500, 3);
             assert_eq!(pts.len(), 500);
             for p in &pts {
@@ -172,7 +175,10 @@ mod tests {
             })
             .sum::<f64>()
             / sample.len() as f64;
-        assert!(mean_nn < 0.01, "mean NN distance {mean_nn} too large for clusters");
+        assert!(
+            mean_nn < 0.01,
+            "mean NN distance {mean_nn} too large for clusters"
+        );
     }
 
     #[test]

@@ -70,7 +70,11 @@ impl CostModel {
     /// A cost model with explicit weights and no normalisation.
     pub fn new(alpha: Weights, beta: Weights) -> Self {
         assert_eq!(alpha.dim(), beta.dim(), "α/β dimensionality mismatch");
-        Self { alpha, beta, normalizer: None }
+        Self {
+            alpha,
+            beta,
+            normalizer: None,
+        }
     }
 
     /// The paper's evaluation model: equal weights (`α = β`, `Σ = 1`) and
@@ -87,7 +91,11 @@ impl CostModel {
 
     /// Attaches a normaliser; costs are then computed in normalised space.
     pub fn with_normalizer(mut self, n: MinMaxNormalizer) -> Self {
-        assert_eq!(n.dim(), self.alpha.dim(), "normaliser dimensionality mismatch");
+        assert_eq!(
+            n.dim(),
+            self.alpha.dim(),
+            "normaliser dimensionality mismatch"
+        );
         self.normalizer = Some(n);
         self
     }
@@ -100,7 +108,9 @@ impl CostModel {
     /// `cost(q, q*) = Σ α_i |q^i − q*^i|` (normalised if configured).
     pub fn query_cost(&self, q: &Point, q_star: &Point) -> f64 {
         match &self.normalizer {
-            Some(n) => self.alpha.weighted_l1(&n.normalize(q), &n.normalize(q_star)),
+            Some(n) => self
+                .alpha
+                .weighted_l1(&n.normalize(q), &n.normalize(q_star)),
             None => self.alpha.weighted_l1(q, q_star),
         }
     }

@@ -268,7 +268,13 @@ mod tests {
 
     #[test]
     fn prune_keeps_skyline_only() {
-        let mut pts = vec![p(1.0, 5.0), p(2.0, 2.0), p(5.0, 1.0), p(3.0, 3.0), p(6.0, 6.0)];
+        let mut pts = vec![
+            p(1.0, 5.0),
+            p(2.0, 2.0),
+            p(5.0, 1.0),
+            p(3.0, 3.0),
+            p(6.0, 6.0),
+        ];
         prune_dominated(&mut pts, dominates);
         assert_eq!(pts.len(), 3);
         assert!(pts.iter().any(|x| x.same_location(&p(1.0, 5.0))));

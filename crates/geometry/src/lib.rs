@@ -16,6 +16,9 @@
 //!   anti-dominance regions and safe regions.
 //! * [`normalize`] — min–max normalisation (the paper's evaluation metric
 //!   space).
+//! * [`parallel`] — the [`Parallelism`] policy plus order-preserving
+//!   parallel map and tree-reduced region intersection, shared by every
+//!   multi-threaded code path in the workspace.
 //! * [`cost`] — weighted L1 edit-distance cost model (Eqns 8–11 of the
 //!   paper).
 
@@ -25,6 +28,7 @@
 pub mod cost;
 pub mod dominance;
 pub mod normalize;
+pub mod parallel;
 pub mod point;
 pub mod rect;
 pub mod region;
@@ -33,6 +37,7 @@ pub mod transform;
 pub use cost::{CostModel, Weights};
 pub use dominance::{dominates, dominates_dyn, dominates_global, Dominance};
 pub use normalize::MinMaxNormalizer;
+pub use parallel::Parallelism;
 pub use point::Point;
 pub use rect::Rect;
 pub use region::Region;

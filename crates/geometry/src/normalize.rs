@@ -83,11 +83,21 @@ mod tests {
 
     #[test]
     fn fit_and_normalize() {
-        let pts = vec![Point::xy(0.0, 10.0), Point::xy(10.0, 20.0), Point::xy(5.0, 15.0)];
+        let pts = vec![
+            Point::xy(0.0, 10.0),
+            Point::xy(10.0, 20.0),
+            Point::xy(5.0, 15.0),
+        ];
         let n = MinMaxNormalizer::fit(&pts);
-        assert!(n.normalize(&Point::xy(0.0, 10.0)).same_location(&Point::xy(0.0, 0.0)));
-        assert!(n.normalize(&Point::xy(10.0, 20.0)).same_location(&Point::xy(1.0, 1.0)));
-        assert!(n.normalize(&Point::xy(5.0, 15.0)).same_location(&Point::xy(0.5, 0.5)));
+        assert!(n
+            .normalize(&Point::xy(0.0, 10.0))
+            .same_location(&Point::xy(0.0, 0.0)));
+        assert!(n
+            .normalize(&Point::xy(10.0, 20.0))
+            .same_location(&Point::xy(1.0, 1.0)));
+        assert!(n
+            .normalize(&Point::xy(5.0, 15.0))
+            .same_location(&Point::xy(0.5, 0.5)));
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl Rect {
 
     /// A rectangle containing exactly one point.
     pub fn degenerate(p: Point) -> Self {
-        Self { lo: p.clone(), hi: p }
+        Self {
+            lo: p.clone(),
+            hi: p,
+        }
     }
 
     /// The minimum bounding rectangle of a non-empty point set.
@@ -233,7 +236,13 @@ impl Rect {
             .map(|mask| {
                 Point::new(
                     (0..d)
-                        .map(|i| if mask & (1 << i) != 0 { self.hi[i] } else { self.lo[i] })
+                        .map(|i| {
+                            if mask & (1 << i) != 0 {
+                                self.hi[i]
+                            } else {
+                                self.lo[i]
+                            }
+                        })
                         .collect::<Vec<_>>(),
                 )
             })
@@ -310,7 +319,10 @@ mod tests {
         assert!(outer.contains_rect(&inner));
         assert!(!inner.contains_rect(&outer));
         assert!(outer.contains_rect(&outer), "containment is reflexive");
-        assert!(outer.contains_point(&Point::xy(0.0, 10.0)), "boundary inclusive");
+        assert!(
+            outer.contains_point(&Point::xy(0.0, 10.0)),
+            "boundary inclusive"
+        );
         assert!(!outer.contains_point_strict(&Point::xy(0.0, 10.0)));
     }
 
@@ -341,7 +353,11 @@ mod tests {
 
     #[test]
     fn bounding_of_points() {
-        let pts = vec![Point::xy(1.0, 5.0), Point::xy(3.0, 2.0), Point::xy(2.0, 9.0)];
+        let pts = vec![
+            Point::xy(1.0, 5.0),
+            Point::xy(3.0, 2.0),
+            Point::xy(2.0, 9.0),
+        ];
         let b = Rect::bounding(&pts);
         assert_eq!(b, r(1.0, 2.0, 3.0, 9.0));
     }

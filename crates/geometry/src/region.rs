@@ -87,16 +87,27 @@ impl Region {
 
     /// Intersects two regions: the pairwise product of their boxes with
     /// containment pruning (`(r11 + r12) · (r21 + r22) = r11·r21 + …`).
+    ///
+    /// Pruning is applied *while* the product is built: a product box
+    /// contained in one already kept is dropped immediately, and kept
+    /// boxes swallowed by a new product are evicted. The working set
+    /// stays an antichain under containment, so the quadratic product
+    /// never materialises when most of it is redundant (deeply nested
+    /// anti-DDR boxes are the common case in safe-region construction).
     pub fn intersect(&self, other: &Region) -> Region {
-        let mut out = Vec::new();
+        let mut out: Vec<Rect> = Vec::new();
         for a in &self.boxes {
             for b in &other.boxes {
-                if let Some(i) = a.intersection(b) {
-                    out.push(i);
+                let Some(i) = a.intersection(b) else { continue };
+                if out.iter().any(|kept| kept.contains_rect(&i)) {
+                    continue;
                 }
+                out.retain(|kept| !i.contains_rect(kept));
+                out.push(i);
             }
         }
-        Region::from_boxes(out)
+        // `out` is already containment-pruned; no second pass needed.
+        Region { boxes: out }
     }
 
     /// Unions two regions (concatenation + containment pruning).
@@ -174,11 +185,7 @@ impl Region {
         self.boxes
             .iter()
             .map(|b| b.nearest_point(p))
-            .min_by(|a, b| {
-                a.l1(p)
-                    .partial_cmp(&b.l1(p))
-                    .expect("finite distances")
-            })
+            .min_by(|a, b| a.l1(p).partial_cmp(&b.l1(p)).expect("finite distances"))
     }
 
     /// The point of the region nearest to `p` under L2 distance.
@@ -329,6 +336,36 @@ mod tests {
         assert!(i.contains(&Point::xy(1.5, 3.0)));
         assert!(i.contains(&Point::xy(3.0, 1.5)));
         assert!(!i.contains(&Point::xy(3.0, 3.0)));
+    }
+
+    #[test]
+    fn intersection_prunes_nested_product_boxes() {
+        // Each operand is a telescope of nested boxes. Every product box
+        // is contained in big·big, so the naive 4×4 = 16-element product
+        // must collapse to that single maximal box.
+        let nest = |k: f64| -> Vec<Rect> {
+            (0..4)
+                .map(|i| {
+                    let inset = k * i as f64;
+                    r(inset, inset, 10.0 - inset, 10.0 - inset)
+                })
+                .collect()
+        };
+        let a = Region { boxes: nest(0.5) }; // bypass from_boxes pruning
+        let b = Region { boxes: nest(0.25) };
+        let i = a.intersect(&b);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.boxes()[0], r(0.0, 0.0, 10.0, 10.0));
+        // And the incremental prune agrees with the post-hoc one.
+        let mut product = Vec::new();
+        for x in a.boxes() {
+            for y in b.boxes() {
+                if let Some(p) = x.intersection(y) {
+                    product.push(p);
+                }
+            }
+        }
+        assert_eq!(i, Region::from_boxes(product));
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub fn to_distance_space(points: &[Point], origin: &Point) -> Vec<Point> {
 pub fn reflect_rect(c: &Point, u: &Point) -> Rect {
     assert_eq!(c.dim(), u.dim());
     for i in 0..u.dim() {
-        assert!(u[i] >= 0.0, "distance-space corner must be non-negative, got {u:?}");
+        assert!(
+            u[i] >= 0.0,
+            "distance-space corner must be non-negative, got {u:?}"
+        );
     }
     let d = c.dim();
     // Widen slightly: the regions these boxes represent are closed and

@@ -13,9 +13,7 @@ fn arb_point(dim: usize) -> impl Strategy<Value = Point> {
 
 fn arb_rect(dim: usize) -> impl Strategy<Value = Rect> {
     (arb_point(dim), prop::collection::vec(0.0f64..500.0, dim)).prop_map(|(lo, ext)| {
-        let hi = Point::new(
-            (0..lo.dim()).map(|i| lo[i] + ext[i]).collect::<Vec<_>>(),
-        );
+        let hi = Point::new((0..lo.dim()).map(|i| lo[i] + ext[i]).collect::<Vec<_>>());
         Rect::new(lo, hi)
     })
 }

@@ -53,7 +53,10 @@ pub fn global_skyline(data: &RTree, q: &Point) -> Vec<(ItemId, Point)> {
     let mut found: Vec<Point> = Vec::new();
     let mut out: Vec<(ItemId, Point)> = Vec::new();
     let mut bf = BestFirst::new(data, move |r: &Rect| {
-        wnrs_skyline::transformed_lo(r, &q_key).coords().iter().sum()
+        wnrs_skyline::transformed_lo(r, &q_key)
+            .coords()
+            .iter()
+            .sum()
     });
     while let Some(t) = bf.pop() {
         match t {
@@ -95,10 +98,14 @@ mod tests {
     fn pseudo_points(n: usize, seed: u64) -> Vec<Point> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
-        (0..n).map(|_| Point::xy(next() * 100.0, next() * 100.0)).collect()
+        (0..n)
+            .map(|_| Point::xy(next() * 100.0, next() * 100.0))
+            .collect()
     }
 
     #[test]
@@ -115,7 +122,10 @@ mod tests {
         ];
         let tree = bulk_load(&pts, RTreeConfig::with_max_entries(4));
         let q = Point::xy(8.5, 55.0);
-        let got: Vec<u32> = bbrs_reverse_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
+        let got: Vec<u32> = bbrs_reverse_skyline(&tree, &q)
+            .iter()
+            .map(|(id, _)| id.0)
+            .collect();
         assert_eq!(got, vec![1, 2, 3, 5, 7]);
     }
 
@@ -125,10 +135,14 @@ mod tests {
             let pts = pseudo_points(400, seed);
             let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
             let q = Point::xy(47.0, 53.0);
-            let a: Vec<u32> =
-                bbrs_reverse_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
-            let b: Vec<u32> =
-                rsl_monochromatic_naive(&tree, &q).iter().map(|(id, _)| id.0).collect();
+            let a: Vec<u32> = bbrs_reverse_skyline(&tree, &q)
+                .iter()
+                .map(|(id, _)| id.0)
+                .collect();
+            let b: Vec<u32> = rsl_monochromatic_naive(&tree, &q)
+                .iter()
+                .map(|(id, _)| id.0)
+                .collect();
             assert_eq!(a, b, "seed {seed}");
         }
     }
@@ -138,11 +152,19 @@ mod tests {
         let pts = pseudo_points(500, 5);
         let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
         let q = Point::xy(30.0, 70.0);
-        let globals: Vec<u32> = global_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
-        let rsl: Vec<u32> =
-            bbrs_reverse_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
+        let globals: Vec<u32> = global_skyline(&tree, &q)
+            .iter()
+            .map(|(id, _)| id.0)
+            .collect();
+        let rsl: Vec<u32> = bbrs_reverse_skyline(&tree, &q)
+            .iter()
+            .map(|(id, _)| id.0)
+            .collect();
         for id in &rsl {
-            assert!(globals.contains(id), "RSL member {id} missing from global skyline");
+            assert!(
+                globals.contains(id),
+                "RSL member {id} missing from global skyline"
+            );
         }
         assert!(globals.len() < pts.len(), "global skyline should prune");
     }
@@ -152,7 +174,10 @@ mod tests {
         let pts = pseudo_points(300, 99);
         let tree = bulk_load(&pts, RTreeConfig::with_max_entries(8));
         let q = Point::xy(50.0, 50.0);
-        let mut got: Vec<u32> = global_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
+        let mut got: Vec<u32> = global_skyline(&tree, &q)
+            .iter()
+            .map(|(id, _)| id.0)
+            .collect();
         got.sort_unstable();
         let want: Vec<u32> = pts
             .iter()
@@ -191,9 +216,14 @@ mod tests {
         let pts = pseudo_points(200, 3);
         let tree = bulk_load(&pts, RTreeConfig::with_max_entries(8));
         let q = Point::xy(-500.0, -500.0);
-        let a: Vec<u32> = bbrs_reverse_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
-        let b: Vec<u32> =
-            rsl_monochromatic_naive(&tree, &q).iter().map(|(id, _)| id.0).collect();
+        let a: Vec<u32> = bbrs_reverse_skyline(&tree, &q)
+            .iter()
+            .map(|(id, _)| id.0)
+            .collect();
+        let b: Vec<u32> = rsl_monochromatic_naive(&tree, &q)
+            .iter()
+            .map(|(id, _)| id.0)
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -67,8 +67,7 @@ fn union_window(b: &Rect, q: &Point) -> Rect {
         // Same rounding pad as `Rect::window` so every member window is
         // covered despite f64 round-trip loss (all-in pruning must stay
         // conservative).
-        let pad =
-            16.0 * f64::EPSILON * (b.lo()[i].abs().max(b.hi()[i].abs()) + q[i].abs());
+        let pad = 16.0 * f64::EPSILON * (b.lo()[i].abs().max(b.hi()[i].abs()) + q[i].abs());
         lo.push((2.0 * b.lo()[i] - q[i]).min(q[i]) - pad);
         hi.push((2.0 * b.hi()[i] - q[i]).max(q[i]) + pad);
     }
@@ -120,13 +119,7 @@ fn collect_subtree(customers: &RTree, node: NodeId, out: &mut Vec<ItemId>) {
     }
 }
 
-fn classify(
-    products: &RTree,
-    customers: &RTree,
-    node: NodeId,
-    q: &Point,
-    out: &mut Vec<ItemId>,
-) {
+fn classify(products: &RTree, customers: &RTree, node: NodeId, q: &Point, out: &mut Vec<ItemId>) {
     customers.record_visit();
     let n = customers.node(node);
     for e in n.entries() {
@@ -163,10 +156,14 @@ mod tests {
     fn pseudo_points(n: usize, seed: u64) -> Vec<Point> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
-        (0..n).map(|_| Point::xy(next() * 100.0, next() * 100.0)).collect()
+        (0..n)
+            .map(|_| Point::xy(next() * 100.0, next() * 100.0))
+            .collect()
     }
 
     #[test]
@@ -177,10 +174,14 @@ mod tests {
             let pt = bulk_load(&products, RTreeConfig::with_max_entries(8));
             let ct = bulk_load(&customers, RTreeConfig::with_max_entries(8));
             let q = Point::xy(47.0, 61.0);
-            let got: Vec<u32> =
-                rsl_bichromatic_indexed(&pt, &ct, &q).iter().map(|id| id.0).collect();
-            let want: Vec<u32> =
-                rsl_bichromatic(&pt, &customers, &q).iter().map(|&i| i as u32).collect();
+            let got: Vec<u32> = rsl_bichromatic_indexed(&pt, &ct, &q)
+                .iter()
+                .map(|id| id.0)
+                .collect();
+            let want: Vec<u32> = rsl_bichromatic(&pt, &customers, &q)
+                .iter()
+                .map(|&i| i as u32)
+                .collect();
             assert_eq!(got, want, "seed {seed}");
         }
     }
@@ -199,9 +200,14 @@ mod tests {
         let pt = bulk_load(&products, RTreeConfig::with_max_entries(8));
         let ct = bulk_load(&customers, RTreeConfig::with_max_entries(8));
         let q = Point::xy(50.0, 50.0);
-        let got: Vec<u32> = rsl_bichromatic_indexed(&pt, &ct, &q).iter().map(|id| id.0).collect();
-        let want: Vec<u32> =
-            rsl_bichromatic(&pt, &customers, &q).iter().map(|&i| i as u32).collect();
+        let got: Vec<u32> = rsl_bichromatic_indexed(&pt, &ct, &q)
+            .iter()
+            .map(|id| id.0)
+            .collect();
+        let want: Vec<u32> = rsl_bichromatic(&pt, &customers, &q)
+            .iter()
+            .map(|&i| i as u32)
+            .collect();
         assert_eq!(got, want);
     }
 
@@ -233,14 +239,30 @@ mod tests {
         let q = Point::xy(10.0, 10.0);
         let p = Point::xy(0.0, 0.0);
         // Midpoints are (5, 5): boxes strictly below-left are blocked.
-        assert!(blocks_whole_box(&p, &q, &Rect::new(Point::xy(0.0, 0.0), Point::xy(4.0, 4.0))));
+        assert!(blocks_whole_box(
+            &p,
+            &q,
+            &Rect::new(Point::xy(0.0, 0.0), Point::xy(4.0, 4.0))
+        ));
         // Touching the midpoint in one dim is still blocked (weak) if
         // strict in the other.
-        assert!(blocks_whole_box(&p, &q, &Rect::new(Point::xy(0.0, 0.0), Point::xy(5.0, 4.0))));
+        assert!(blocks_whole_box(
+            &p,
+            &q,
+            &Rect::new(Point::xy(0.0, 0.0), Point::xy(5.0, 4.0))
+        ));
         // Tie everywhere: not a strict dominator.
-        assert!(!blocks_whole_box(&p, &q, &Rect::new(Point::xy(0.0, 0.0), Point::xy(5.0, 5.0))));
+        assert!(!blocks_whole_box(
+            &p,
+            &q,
+            &Rect::new(Point::xy(0.0, 0.0), Point::xy(5.0, 5.0))
+        ));
         // Crossing the midpoint: some customers prefer q.
-        assert!(!blocks_whole_box(&p, &q, &Rect::new(Point::xy(0.0, 0.0), Point::xy(6.0, 4.0))));
+        assert!(!blocks_whole_box(
+            &p,
+            &q,
+            &Rect::new(Point::xy(0.0, 0.0), Point::xy(6.0, 4.0))
+        ));
     }
 
     #[test]
@@ -250,7 +272,10 @@ mod tests {
         let u = union_window(&b, &q);
         for &(cx, cy) in &[(0.0, 0.0), (4.0, 4.0), (2.0, 3.0), (0.0, 4.0)] {
             let w = Rect::window(&Point::xy(cx, cy), &q);
-            assert!(u.contains_rect(&w), "window of ({cx},{cy}) escapes the union");
+            assert!(
+                u.contains_rect(&w),
+                "window of ({cx},{cy}) escapes the union"
+            );
         }
     }
 

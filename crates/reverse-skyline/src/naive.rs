@@ -1,6 +1,7 @@
 //! Naive reverse-skyline evaluation: one window query per customer.
 
 use crate::window::is_reverse_skyline_member;
+use wnrs_geometry::parallel::{map_range, Parallelism};
 use wnrs_geometry::Point;
 use wnrs_rtree::{ItemId, RTree};
 
@@ -16,40 +17,24 @@ pub fn rsl_bichromatic(products: &RTree, customers: &[Point], q: &Point) -> Vec<
 }
 
 /// Parallel bichromatic reverse skyline over `threads` worker threads
-/// (the index is shared read-only). Output order matches the sequential
-/// version.
+/// (the index is shared read-only), built on the workspace-wide
+/// [`wnrs_geometry::parallel`] helpers. Output order matches the
+/// sequential version.
 pub fn rsl_bichromatic_parallel(
     products: &RTree,
     customers: &[Point],
     q: &Point,
     threads: usize,
 ) -> Vec<usize> {
-    let threads = threads.max(1);
-    if threads == 1 || customers.len() < 2 * threads {
-        return rsl_bichromatic(products, customers, q);
-    }
-    let chunk = customers.len().div_ceil(threads);
-    let mut results: Vec<Vec<usize>> = Vec::new();
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = customers
-            .chunks(chunk)
-            .enumerate()
-            .map(|(t, chunk_pts)| {
-                scope.spawn(move |_| {
-                    let base = t * chunk;
-                    chunk_pts
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, c)| is_reverse_skyline_member(products, c, q, None))
-                        .map(|(i, _)| base + i)
-                        .collect::<Vec<usize>>()
-                })
-            })
-            .collect();
-        results = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
-    })
-    .expect("scope panicked");
-    results.into_iter().flatten().collect()
+    let par = Parallelism::new(threads).with_sequential_cutoff(2 * threads.max(1));
+    let mask = map_range(customers.len(), &par, |i| {
+        is_reverse_skyline_member(products, &customers[i], q, None)
+    });
+    mask.into_iter()
+        .enumerate()
+        .filter(|(_, m)| *m)
+        .map(|(i, _)| i)
+        .collect()
 }
 
 /// Monochromatic reverse skyline by exhaustive membership testing: every
@@ -90,8 +75,10 @@ mod tests {
         let pts = paper_points();
         let tree = bulk_load(&pts, RTreeConfig::with_max_entries(4));
         let q = Point::xy(8.5, 55.0);
-        let got: Vec<u32> =
-            rsl_monochromatic_naive(&tree, &q).iter().map(|(id, _)| id.0).collect();
+        let got: Vec<u32> = rsl_monochromatic_naive(&tree, &q)
+            .iter()
+            .map(|(id, _)| id.0)
+            .collect();
         assert_eq!(got, vec![1, 2, 3, 5, 7]); // pt2, pt3, pt4, pt6, pt8
     }
 
@@ -105,10 +92,17 @@ mod tests {
         let q = Point::xy(8.5, 55.0);
         // Note: for c2 the product set should exclude c2's own tuple;
         // build a tree without p2 for the bichromatic reading of Fig. 4.
-        let products_no_p2: Vec<Point> =
-            pts.iter().enumerate().filter(|(i, _)| *i != 1).map(|(_, p)| p.clone()).collect();
+        let products_no_p2: Vec<Point> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, p)| p.clone())
+            .collect();
         let tree_no_p2 = bulk_load(&products_no_p2, RTreeConfig::with_max_entries(4));
-        assert_eq!(rsl_bichromatic(&tree, &[pts[0].clone()], &q), Vec::<usize>::new());
+        assert_eq!(
+            rsl_bichromatic(&tree, &[pts[0].clone()], &q),
+            Vec::<usize>::new()
+        );
         assert_eq!(rsl_bichromatic(&tree_no_p2, &[pts[1].clone()], &q), vec![0]);
     }
 
@@ -130,7 +124,11 @@ mod tests {
         let q = Point::xy(50.0, 50.0);
         let seq = rsl_bichromatic(&tree, &customers, &q);
         for t in [2, 4, 7] {
-            assert_eq!(rsl_bichromatic_parallel(&tree, &customers, &q, t), seq, "threads {t}");
+            assert_eq!(
+                rsl_bichromatic_parallel(&tree, &customers, &q, t),
+                seq,
+                "threads {t}"
+            );
         }
     }
 

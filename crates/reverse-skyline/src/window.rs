@@ -59,7 +59,9 @@ pub fn is_reverse_skyline_member(
     exclude: Option<ItemId>,
 ) -> bool {
     let rect = Rect::window(c, q);
-    !products.window_any(&rect, |id, p| Some(id) == exclude || !dominates_dyn(p, q, c))
+    !products.window_any(&rect, |id, p| {
+        Some(id) == exclude || !dominates_dyn(p, q, c)
+    })
 }
 
 #[cfg(test)]
@@ -175,8 +177,10 @@ mod tests {
         let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
         let c = Point::xy(40.0, 60.0);
         let q = Point::xy(55.0, 30.0);
-        let mut got: Vec<u32> =
-            window_query(&tree, &c, &q, None).iter().map(|(id, _)| id.0).collect();
+        let mut got: Vec<u32> = window_query(&tree, &c, &q, None)
+            .iter()
+            .map(|(id, _)| id.0)
+            .collect();
         got.sort_unstable();
         let mut want: Vec<u32> = pts
             .iter()

@@ -169,10 +169,14 @@ mod tests {
     fn pts(n: usize) -> Vec<Point> {
         let mut state: u64 = 99;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
-        (0..n).map(|_| Point::xy(next() * 1000.0, next() * 1000.0)).collect()
+        (0..n)
+            .map(|_| Point::xy(next() * 1000.0, next() * 1000.0))
+            .collect()
     }
 
     #[test]

@@ -30,10 +30,17 @@ impl RTreeConfig {
     /// Panics if `max_entries < 4` (splits need at least two entries per
     /// side, and forced reinsertion needs slack).
     pub fn with_max_entries(max_entries: usize) -> Self {
-        assert!(max_entries >= 4, "R*-tree needs max_entries ≥ 4, got {max_entries}");
+        assert!(
+            max_entries >= 4,
+            "R*-tree needs max_entries ≥ 4, got {max_entries}"
+        );
         let min_entries = ((max_entries as f64 * 0.4).ceil() as usize).max(2);
         let reinsert_count = ((max_entries as f64 * 0.3).floor() as usize).min(max_entries - 2);
-        Self { max_entries, min_entries, reinsert_count }
+        Self {
+            max_entries,
+            min_entries,
+            reinsert_count,
+        }
     }
 
     /// The configuration induced by storing one node per `page_size`-byte

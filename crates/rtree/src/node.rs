@@ -39,12 +39,18 @@ pub struct Entry {
 impl Entry {
     /// An inner entry bounding `child`'s subtree.
     pub fn node(rect: Rect, child: NodeId) -> Self {
-        Self { rect, child: Child::Node(child) }
+        Self {
+            rect,
+            child: Child::Node(child),
+        }
     }
 
     /// A leaf entry for data point `p` with id `id`.
     pub fn item(id: ItemId, p: Point) -> Self {
-        Self { rect: Rect::degenerate(p), child: Child::Item(id) }
+        Self {
+            rect: Rect::degenerate(p),
+            child: Child::Item(id),
+        }
     }
 
     /// The entry's bounding rectangle.
@@ -99,7 +105,10 @@ pub struct Node {
 impl Node {
     /// An empty node at the given level.
     pub fn new(level: u32) -> Self {
-        Self { level, entries: Vec::new() }
+        Self {
+            level,
+            entries: Vec::new(),
+        }
     }
 
     /// A node with the given entries.

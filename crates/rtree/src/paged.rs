@@ -55,7 +55,14 @@ impl<P: Pager> PagedRTree<P> {
         if dim == 0 || !config.is_valid() {
             return Err(PersistError::Format("corrupt meta page".into()));
         }
-        Ok(Self { pool, root_page, dim, height, len, config })
+        Ok(Self {
+            pool,
+            root_page,
+            dim,
+            height,
+            len,
+            config,
+        })
     }
 
     /// Number of indexed points.
@@ -168,10 +175,14 @@ mod tests {
     fn pts(n: usize) -> Vec<Point> {
         let mut state: u64 = 77;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
-        (0..n).map(|_| Point::xy(next() * 100.0, next() * 100.0)).collect()
+        (0..n)
+            .map(|_| Point::xy(next() * 100.0, next() * 100.0))
+            .collect()
     }
 
     fn setup(n: usize, pool_pages: usize) -> (Vec<Point>, PagedRTree<MemPager>) {
@@ -194,8 +205,12 @@ mod tests {
             Rect::degenerate(points[11].clone()),
         ];
         for w in &windows {
-            let mut got: Vec<u32> =
-                paged.window(w).expect("query").iter().map(|(id, _)| id.0).collect();
+            let mut got: Vec<u32> = paged
+                .window(w)
+                .expect("query")
+                .iter()
+                .map(|(id, _)| id.0)
+                .collect();
             got.sort_unstable();
             let mut want: Vec<u32> = points
                 .iter()
@@ -219,7 +234,10 @@ mod tests {
             let _ = paged.window(&w).expect("warm");
         }
         let warm_miss = paged.pool().stats().physical_reads();
-        assert_eq!(cold_miss, warm_miss, "repeated identical query must be all hits");
+        assert_eq!(
+            cold_miss, warm_miss,
+            "repeated identical query must be all hits"
+        );
         assert!(paged.pool().stats().hit_rate().expect("reads") > 0.8);
     }
 

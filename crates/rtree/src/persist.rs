@@ -150,7 +150,9 @@ pub fn load<P: Pager>(pager: &P, meta_page: PageId) -> Result<RTree, PersistErro
     let root = load_node(pager, root_page, dim, &mut tree, &mut node_of)?;
     tree.set_bulk_state(root, height, len);
     if tree.node(root).level() + 1 != height {
-        return Err(PersistError::Format("height does not match root level".into()));
+        return Err(PersistError::Format(
+            "height does not match root level".into(),
+        ));
     }
     Ok(tree)
 }
@@ -198,7 +200,10 @@ fn load_node<P: Pager>(
                 Some(&n) => n,
                 None => load_node(pager, child_page, dim, tree, node_of)?,
             };
-            entries.push(Entry::node(Rect::new(Point::new(lo), Point::new(hi)), child_node));
+            entries.push(Entry::node(
+                Rect::new(Point::new(lo), Point::new(hi)),
+                child_node,
+            ));
         }
     }
     tree.nodes.push(Node::with_entries(level, entries));
@@ -217,10 +222,14 @@ mod tests {
     fn pts(n: usize) -> Vec<Point> {
         let mut state: u64 = 3;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
-        (0..n).map(|_| Point::xy(next() * 100.0, next() * 100.0)).collect()
+        (0..n)
+            .map(|_| Point::xy(next() * 100.0, next() * 100.0))
+            .collect()
     }
 
     #[test]
@@ -248,7 +257,11 @@ mod tests {
         let tree = bulk_load(&points, RTreeConfig::paper_default(2));
         let pager = MemPager::paper_default();
         let _ = save(&tree, &pager).expect("save");
-        assert_eq!(pager.page_count() as usize, tree.node_count() + 1, "nodes + meta");
+        assert_eq!(
+            pager.page_count() as usize,
+            tree.node_count() + 1,
+            "nodes + meta"
+        );
     }
 
     #[test]

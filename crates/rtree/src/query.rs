@@ -113,7 +113,12 @@ pub struct BestFirst<'a, K> {
 impl<'a, K: FnMut(&Rect) -> f64> BestFirst<'a, K> {
     /// Starts a traversal at the root.
     pub fn new(tree: &'a RTree, key: K) -> Self {
-        let mut this = Self { tree, key, heap: BinaryHeap::new(), seq: 0 };
+        let mut this = Self {
+            tree,
+            key,
+            heap: BinaryHeap::new(),
+            seq: 0,
+        };
         if !tree.is_empty() {
             let root = tree.root();
             let rect = tree.node(root).mbr();
@@ -125,7 +130,11 @@ impl<'a, K: FnMut(&Rect) -> f64> BestFirst<'a, K> {
 
     fn push(&mut self, key: f64, payload: Payload) {
         self.seq += 1;
-        self.heap.push(HeapElem { key, seq: self.seq, payload });
+        self.heap.push(HeapElem {
+            key,
+            seq: self.seq,
+            payload,
+        });
     }
 
     /// Pops the smallest-key element, or `None` when exhausted.
@@ -134,9 +143,18 @@ impl<'a, K: FnMut(&Rect) -> f64> BestFirst<'a, K> {
         Some(match elem.payload {
             Payload::Node(id) => {
                 let node = self.tree.node(id);
-                Traversal::Node { id, level: node.level(), key: elem.key, rect: node.mbr() }
+                Traversal::Node {
+                    id,
+                    level: node.level(),
+                    key: elem.key,
+                    rect: node.mbr(),
+                }
             }
-            Payload::Item(id, point) => Traversal::Item { id, point, key: elem.key },
+            Payload::Item(id, point) => Traversal::Item {
+                id,
+                point,
+                key: elem.key,
+            },
         })
     }
 
@@ -198,10 +216,14 @@ mod tests {
     fn pts(n: usize) -> Vec<Point> {
         let mut state: u64 = 7;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
-        (0..n).map(|_| Point::xy(next() * 100.0, next() * 100.0)).collect()
+        (0..n)
+            .map(|_| Point::xy(next() * 100.0, next() * 100.0))
+            .collect()
     }
 
     #[test]

@@ -103,7 +103,10 @@ pub(crate) fn rstar_split(mut entries: Vec<Entry>, config: &RTreeConfig) -> Spli
     }
 
     let right = entries.split_off(best_k);
-    Split { left: entries, right }
+    Split {
+        left: entries,
+        right,
+    }
 }
 
 #[cfg(test)]
@@ -136,10 +139,17 @@ mod tests {
         let split = rstar_split(entries, &config);
         let left_mbr = mbr_of(&split.left);
         let right_mbr = mbr_of(&split.right);
-        assert_eq!(left_mbr.overlap(&right_mbr), 0.0, "clusters must not overlap");
+        assert_eq!(
+            left_mbr.overlap(&right_mbr),
+            0.0,
+            "clusters must not overlap"
+        );
         let sizes = [split.left.len(), split.right.len()];
         assert_eq!(sizes.iter().sum::<usize>(), 8);
-        assert!(sizes.iter().all(|&s| s >= 3), "min fill respected: {sizes:?}");
+        assert!(
+            sizes.iter().all(|&s| s >= 3),
+            "min fill respected: {sizes:?}"
+        );
     }
 
     #[test]

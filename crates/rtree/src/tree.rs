@@ -45,7 +45,10 @@ impl RTree {
     /// Panics if `dim == 0` or the configuration is inconsistent.
     pub fn new(dim: usize, config: RTreeConfig) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        assert!(config.is_valid(), "invalid R*-tree configuration: {config:?}");
+        assert!(
+            config.is_valid(),
+            "invalid R*-tree configuration: {config:?}"
+        );
         Self {
             dim,
             config,
@@ -244,9 +247,8 @@ impl RTree {
             if over {
                 let level = self.node(node_id).level();
                 let is_root = node_id == self.root;
-                let may_reinsert = !is_root
-                    && self.config.reinsert_count > 0
-                    && !reinserted[level as usize];
+                let may_reinsert =
+                    !is_root && self.config.reinsert_count > 0 && !reinserted[level as usize];
                 if may_reinsert {
                     reinserted[level as usize] = true;
                     let orphans = self.remove_farthest(node_id);
@@ -297,7 +299,10 @@ impl RTree {
             let node_rect = self.node(node_id).mbr();
             let new_root = self.alloc(Node::with_entries(
                 level + 1,
-                vec![Entry::node(node_rect, node_id), Entry::node(sibling_rect, sibling)],
+                vec![
+                    Entry::node(node_rect, node_id),
+                    Entry::node(sibling_rect, sibling),
+                ],
             ));
             self.root = new_root;
             self.height += 1;
@@ -344,7 +349,9 @@ impl RTree {
         let entries = self.nodes[leaf.index()].entries_mut();
         let pos = entries
             .iter()
-            .position(|e| matches!(e.child(), Child::Item(i) if i == id) && e.point().same_location(p))
+            .position(|e| {
+                matches!(e.child(), Child::Item(i) if i == id) && e.point().same_location(p)
+            })
             .expect("find_leaf guarantees a match");
         entries.remove(pos);
         self.len -= 1;
@@ -371,7 +378,9 @@ impl RTree {
         } else {
             for e in node.entries() {
                 if e.rect().contains_point(p) {
-                    let Child::Node(child) = e.child() else { unreachable!() };
+                    let Child::Node(child) = e.child() else {
+                        unreachable!()
+                    };
                     if let Some(found) = self.find_leaf(child, id, p, path) {
                         return Some(found);
                     }
@@ -457,9 +466,7 @@ impl RTree {
                     .iter()
                     .enumerate()
                     .filter_map(|(i, e)| match e.child() {
-                        Child::Node(c) if !self.node(c).is_empty() => {
-                            Some((i, self.node(c).mbr()))
-                        }
+                        Child::Node(c) if !self.node(c).is_empty() => Some((i, self.node(c).mbr())),
                         _ => None,
                     })
                     .collect();
@@ -503,7 +510,9 @@ impl RTree {
             } else {
                 for e in node.entries() {
                     if window.intersects(e.rect()) {
-                        let Child::Node(child) = e.child() else { unreachable!() };
+                        let Child::Node(child) = e.child() else {
+                            unreachable!()
+                        };
                         stack.push(child);
                     }
                 }
@@ -532,7 +541,9 @@ impl RTree {
             } else {
                 for e in node.entries() {
                     if window.intersects(e.rect()) {
-                        let Child::Node(child) = e.child() else { unreachable!() };
+                        let Child::Node(child) = e.child() else {
+                            unreachable!()
+                        };
                         stack.push(child);
                     }
                 }
@@ -555,14 +566,20 @@ impl RTree {
             self.record_visit();
             let node = self.node(node_id);
             if node.is_leaf() {
-                count += node.entries().iter().filter(|e| window.contains_point(e.point())).count();
+                count += node
+                    .entries()
+                    .iter()
+                    .filter(|e| window.contains_point(e.point()))
+                    .count();
             } else {
                 for e in node.entries() {
                     if window.contains_rect(e.rect()) && !node.is_leaf() {
                         // Fully covered subtree: count it wholesale.
                         count += self.subtree_len(e.child());
                     } else if window.intersects(e.rect()) {
-                        let Child::Node(child) = e.child() else { unreachable!() };
+                        let Child::Node(child) = e.child() else {
+                            unreachable!()
+                        };
                         stack.push(child);
                     }
                 }
@@ -579,7 +596,10 @@ impl RTree {
                 if node.is_leaf() {
                     node.len()
                 } else {
-                    node.entries().iter().map(|e| self.subtree_len(e.child())).sum()
+                    node.entries()
+                        .iter()
+                        .map(|e| self.subtree_len(e.child()))
+                        .sum()
                 }
             }
         }
@@ -600,7 +620,9 @@ impl RTree {
                 }
             } else {
                 for e in node.entries() {
-                    let Child::Node(child) = e.child() else { unreachable!() };
+                    let Child::Node(child) = e.child() else {
+                        unreachable!()
+                    };
                     stack.push(child);
                 }
             }
@@ -625,7 +647,9 @@ mod tests {
         let mut pts = Vec::new();
         let mut state: u64 = 0x2545F4914F6CDD1D;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for i in 0..n {
@@ -776,10 +800,16 @@ mod tests {
         let w = Rect::new(Point::xy(0.0, 0.0), Point::xy(100.0, 100.0));
         let _ = tree.window(&w);
         let full = tree.node_visits();
-        assert!(full as usize >= tree.node_count(), "full scan visits all nodes");
+        assert!(
+            full as usize >= tree.node_count(),
+            "full scan visits all nodes"
+        );
         tree.reset_visits();
         let _ = tree.window(&Rect::new(Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)));
-        assert!(tree.node_visits() < full, "selective window visits fewer nodes");
+        assert!(
+            tree.node_visits() < full,
+            "selective window visits fewer nodes"
+        );
     }
 
     #[test]
@@ -788,7 +818,11 @@ mod tests {
         let pts: Vec<Point> = (0..200)
             .map(|i| {
                 let f = i as f64;
-                Point::new(vec![f.sin() * 50.0 + 50.0, f.cos() * 50.0 + 50.0, (f * 0.37) % 100.0])
+                Point::new(vec![
+                    f.sin() * 50.0 + 50.0,
+                    f.cos() * 50.0 + 50.0,
+                    (f * 0.37) % 100.0,
+                ])
             })
             .collect();
         for (i, p) in pts.iter().enumerate() {
@@ -804,7 +838,10 @@ mod tests {
         let mut tree = RTree::with_paper_pages(2);
         for i in 0..2000 {
             let f = i as f64;
-            tree.insert(ItemId(i as u32), Point::xy((f * 13.7) % 100.0, (f * 7.3) % 100.0));
+            tree.insert(
+                ItemId(i as u32),
+                Point::xy((f * 13.7) % 100.0, (f * 7.3) % 100.0),
+            );
         }
         assert_eq!(tree.len(), 2000);
         check_structure(&tree).expect("valid paper-config tree");

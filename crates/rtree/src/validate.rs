@@ -37,7 +37,9 @@ pub fn check_structure(tree: &RTree) -> Result<(), StructureError> {
     }
     if tree.is_empty() {
         if !root_node.is_empty() || !root_node.is_leaf() {
-            return Err(StructureError("empty tree must be a single empty leaf".into()));
+            return Err(StructureError(
+                "empty tree must be a single empty leaf".into(),
+            ));
         }
         return Ok(());
     }
@@ -62,14 +64,22 @@ fn check_node(
     let node = tree.node(id);
     let (min, max) = (tree.config().min_entries, tree.config().max_entries);
     if node.len() > max {
-        return Err(StructureError(format!("{id:?} overfull: {} > {max}", node.len())));
+        return Err(StructureError(format!(
+            "{id:?} overfull: {} > {max}",
+            node.len()
+        )));
     }
     if is_root {
         if node.is_empty() {
-            return Err(StructureError(format!("{id:?}: non-empty tree with empty root")));
+            return Err(StructureError(format!(
+                "{id:?}: non-empty tree with empty root"
+            )));
         }
     } else if node.len() < min {
-        return Err(StructureError(format!("{id:?} underfull: {} < {min}", node.len())));
+        return Err(StructureError(format!(
+            "{id:?} underfull: {} < {min}",
+            node.len()
+        )));
     }
     for e in node.entries() {
         match e.child() {
@@ -95,7 +105,9 @@ fn check_node(
                     )));
                 }
                 if child_node.is_empty() {
-                    return Err(StructureError(format!("{id:?}: links empty child {child:?}")));
+                    return Err(StructureError(format!(
+                        "{id:?}: links empty child {child:?}"
+                    )));
                 }
                 let mbr = child_node.mbr();
                 if &mbr != e.rect() {

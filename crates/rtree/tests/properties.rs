@@ -2,11 +2,11 @@
 //! query equivalence under every construction path.
 
 use proptest::prelude::*;
+use wnrs_geometry::{Point, Rect};
 use wnrs_rtree::bulk::{bulk_load, bulk_load_items};
 use wnrs_rtree::query::{knn, nearest};
 use wnrs_rtree::validate::check_structure;
 use wnrs_rtree::{ItemId, RTree, RTreeConfig};
-use wnrs_geometry::{Point, Rect};
 
 fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Point>> {
     prop::collection::vec(

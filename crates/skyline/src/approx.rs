@@ -62,13 +62,7 @@ pub fn approx_anti_ddr(sample_t: &[Point], maxd: &Point) -> Region {
         return Region::from_rect(Rect::new(origin, maxd.clone()));
     }
     sample.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite"));
-    let cap = |p: &Point| {
-        Point::new(
-            (0..d)
-                .map(|i| p[i].min(maxd[i]))
-                .collect::<Vec<_>>(),
-        )
-    };
+    let cap = |p: &Point| Point::new((0..d).map(|i| p[i].min(maxd[i])).collect::<Vec<_>>());
     let mut boxes = Vec::with_capacity(sample.len() + 2);
     // Left extension: everything with dim-0 below the first sample.
     let first = &sample[0];
@@ -111,7 +105,12 @@ mod tests {
 
     fn staircase(m: usize) -> Vec<Point> {
         (0..m)
-            .map(|i| Point::xy(5.0 + i as f64 * 90.0 / m as f64, 95.0 - i as f64 * 90.0 / m as f64))
+            .map(|i| {
+                Point::xy(
+                    5.0 + i as f64 * 90.0 / m as f64,
+                    95.0 - i as f64 * 90.0 / m as f64,
+                )
+            })
             .collect()
     }
 
@@ -120,7 +119,10 @@ mod tests {
         let sky = staircase(50);
         for k in [1, 3, 10, 25] {
             let s = sample_dsl(&sky, k);
-            assert!(s.first().expect("non-empty").same_location(&sky[0]), "k = {k}");
+            assert!(
+                s.first().expect("non-empty").same_location(&sky[0]),
+                "k = {k}"
+            );
             assert!(
                 s.last().expect("non-empty").same_location(&sky[49]),
                 "k = {k}"

@@ -139,7 +139,9 @@ mod tests {
     fn pseudo_points(n: usize, seed: u64, dim: usize) -> Vec<Point> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         (0..n)
@@ -175,8 +177,10 @@ mod tests {
             let pts = pseudo_points(500, seed, 2);
             let tree = bulk_load(&pts, RTreeConfig::with_max_entries(8));
             let q = Point::xy(41.0, 67.0);
-            let mut got: Vec<u32> =
-                bbs_dynamic_skyline(&tree, &q).iter().map(|(id, _)| id.0).collect();
+            let mut got: Vec<u32> = bbs_dynamic_skyline(&tree, &q)
+                .iter()
+                .map(|(id, _)| id.0)
+                .collect();
             got.sort_unstable();
             let want: Vec<u32> = crate::dynamic::dynamic_skyline_scan(&pts, &q)
                 .iter()

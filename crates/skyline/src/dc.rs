@@ -98,7 +98,11 @@ fn merge(points: &[Point], left: Vec<usize>, right: Vec<usize>) -> Vec<usize> {
     }
     // Dim-0 ties can let a right point dominate a left point; clean up.
     let snapshot = out.clone();
-    out.retain(|&i| !snapshot.iter().any(|&j| j != i && dominates(&points[j], &points[i])));
+    out.retain(|&i| {
+        !snapshot
+            .iter()
+            .any(|&j| j != i && dominates(&points[j], &points[i]))
+    });
     out
 }
 
@@ -110,7 +114,9 @@ mod tests {
     fn pseudo_points(n: usize, seed: u64, dim: usize) -> Vec<Point> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         (0..n)

@@ -35,7 +35,9 @@ pub fn max_dist(c: &Point, universe: &Rect) -> Point {
     Point::new(
         (0..c.dim())
             .map(|i| {
-                let raw = (c[i] - universe.lo()[i]).abs().max((universe.hi()[i] - c[i]).abs());
+                let raw = (c[i] - universe.lo()[i])
+                    .abs()
+                    .max((universe.hi()[i] - c[i]).abs());
                 raw * (1.0 + 1e-9) + f64::MIN_POSITIVE
             })
             .collect::<Vec<_>>(),
@@ -49,11 +51,7 @@ fn origin(d: usize) -> Point {
 /// Caps `p` coordinate-wise at `cap` (skyline points can lie outside the
 /// declared universe in degenerate configurations; boxes must not).
 fn min_point(p: &Point, cap: &Point) -> Point {
-    Point::new(
-        (0..p.dim())
-            .map(|i| p[i].min(cap[i]))
-            .collect::<Vec<_>>(),
-    )
+    Point::new((0..p.dim()).map(|i| p[i].min(cap[i])).collect::<Vec<_>>())
 }
 
 /// The anti-dominance region of a *transformed-space* skyline `dsl_t`
@@ -86,7 +84,10 @@ fn anti_ddr_2d(dsl_t: &[Point], maxd: &Point) -> Region {
     let m = sky.len();
     let mut boxes = Vec::with_capacity(m + 1);
     // Left of the staircase: x ≤ s_0.x, any y.
-    boxes.push(Rect::new(origin(2), min_point(&Point::xy(sky[0][0], maxd[1]), maxd)));
+    boxes.push(Rect::new(
+        origin(2),
+        min_point(&Point::xy(sky[0][0], maxd[1]), maxd),
+    ));
     // Stair corners between successive skyline points.
     for l in 0..m - 1 {
         boxes.push(Rect::new(
@@ -95,7 +96,10 @@ fn anti_ddr_2d(dsl_t: &[Point], maxd: &Point) -> Region {
         ));
     }
     // Below the staircase: y ≤ s_m.y, any x.
-    boxes.push(Rect::new(origin(2), min_point(&Point::xy(maxd[0], sky[m - 1][1]), maxd)));
+    boxes.push(Rect::new(
+        origin(2),
+        min_point(&Point::xy(maxd[0], sky[m - 1][1]), maxd),
+    ));
     Region::from_boxes(boxes)
 }
 
@@ -142,9 +146,7 @@ pub fn anti_ddr_original_space(c: &Point, dsl: &[Point], universe: &Rect) -> Reg
     let boxes = region_t
         .boxes()
         .iter()
-        .filter_map(|b| {
-            wnrs_geometry::reflect_rect(c, b.hi()).intersection(universe)
-        })
+        .filter_map(|b| wnrs_geometry::reflect_rect(c, b.hi()).intersection(universe))
         .collect();
     Region::from_boxes(boxes)
 }
@@ -190,7 +192,7 @@ mod tests {
         let s = Point::xy(10.0, 20.0);
         let r = anti_ddr(std::slice::from_ref(&s), &maxd2());
         assert_eq!(r.len(), 2); // |DSL| + 1
-        // Interior samples agree with ground truth.
+                                // Interior samples agree with ground truth.
         assert!(r.contains(&Point::xy(5.0, 99.0)));
         assert!(r.contains(&Point::xy(99.0, 5.0)));
         assert!(!r.contains(&Point::xy(10.5, 20.5)));
@@ -262,11 +264,17 @@ mod tests {
         let r = anti_ddr_general(&sky, &maxd);
         let mut state: u64 = 17;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for _ in 0..2000 {
-            let t = Point::new(vec![next() * 99.0 + 0.3, next() * 99.0 + 0.3, next() * 99.0 + 0.3]);
+            let t = Point::new(vec![
+                next() * 99.0 + 0.3,
+                next() * 99.0 + 0.3,
+                next() * 99.0 + 0.3,
+            ]);
             assert_eq!(r.contains(&t), undominated(&t, &sky), "at {t:?}");
         }
     }

@@ -99,7 +99,11 @@ mod tests {
 
     #[test]
     fn empty_product_set_makes_everything_skyline() {
-        assert!(is_in_dynamic_skyline(&[], &Point::xy(0.0, 0.0), &Point::xy(9.0, 9.0)));
+        assert!(is_in_dynamic_skyline(
+            &[],
+            &Point::xy(0.0, 0.0),
+            &Point::xy(9.0, 9.0)
+        ));
         assert!(dynamic_skyline_scan(&[], &Point::xy(0.0, 0.0)).is_empty());
     }
 }

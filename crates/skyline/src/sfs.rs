@@ -15,7 +15,9 @@ pub fn sfs_skyline(points: &[Point]) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         let sa: f64 = points[a].coords().iter().sum();
         let sb: f64 = points[b].coords().iter().sum();
-        sa.partial_cmp(&sb).expect("finite coordinates").then(a.cmp(&b))
+        sa.partial_cmp(&sb)
+            .expect("finite coordinates")
+            .then(a.cmp(&b))
     });
     let mut skyline: Vec<usize> = Vec::new();
     'outer: for &i in &order {
@@ -38,7 +40,9 @@ mod tests {
     fn pseudo_points(n: usize, seed: u64, dim: usize) -> Vec<Point> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         (0..n)

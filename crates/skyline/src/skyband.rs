@@ -118,7 +118,7 @@ mod tests {
             .filter(|p| wnrs_geometry::dominates_dyn(p, &q, &c1))
             .count();
         assert_eq!(dominators, 1); // just p2
-        // q joins the dynamic 2-skyband of c1 but not the 1-skyband.
+                                   // q joins the dynamic 2-skyband of c1 but not the 1-skyband.
         let mut with_q = products.clone();
         with_q.push(q.clone());
         let band1 = dynamic_k_skyband(&with_q, &c1, 1);

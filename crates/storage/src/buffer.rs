@@ -44,7 +44,10 @@ impl<P: Pager> BufferPool<P> {
         Self {
             pager,
             capacity,
-            state: Mutex::new(PoolState { frames: HashMap::new(), clock: 0 }),
+            state: Mutex::new(PoolState {
+                frames: HashMap::new(),
+                clock: 0,
+            }),
             stats: IoStats::new(),
         }
     }
@@ -91,7 +94,14 @@ impl<P: Pager> BufferPool<P> {
         let mut st = self.state.lock();
         let clock = st.clock;
         Self::evict_if_full(&mut st, self.capacity, &*self.pager, &self.stats)?;
-        st.frames.insert(id, Frame { page: page.clone(), dirty: false, last_used: clock });
+        st.frames.insert(
+            id,
+            Frame {
+                page: page.clone(),
+                dirty: false,
+                last_used: clock,
+            },
+        );
         Ok(page)
     }
 
@@ -115,7 +125,14 @@ impl<P: Pager> BufferPool<P> {
             return Ok(());
         }
         Self::evict_if_full(&mut st, self.capacity, &*self.pager, &self.stats)?;
-        st.frames.insert(id, Frame { page, dirty: true, last_used: clock });
+        st.frames.insert(
+            id,
+            Frame {
+                page,
+                dirty: true,
+                last_used: clock,
+            },
+        );
         Ok(())
     }
 
@@ -292,6 +309,12 @@ mod tests {
         let pool = pool(4);
         let id = pool.allocate();
         let err = pool.write(id, Page::zeroed(32)).unwrap_err();
-        assert!(matches!(err, PagerError::SizeMismatch { expected: 64, got: 32 }));
+        assert!(matches!(
+            err,
+            PagerError::SizeMismatch {
+                expected: 64,
+                got: 32
+            }
+        ));
     }
 }

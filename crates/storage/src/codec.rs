@@ -23,7 +23,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::Overflow { needed, remaining } => {
-                write!(f, "buffer overflow: needed {needed} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "buffer overflow: needed {needed} bytes, {remaining} remaining"
+                )
             }
         }
     }
@@ -55,7 +58,10 @@ impl<'a> Encoder<'a> {
 
     fn put(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
         if bytes.len() > self.remaining() {
-            return Err(CodecError::Overflow { needed: bytes.len(), remaining: self.remaining() });
+            return Err(CodecError::Overflow {
+                needed: bytes.len(),
+                remaining: self.remaining(),
+            });
         }
         self.buf[self.pos..self.pos + bytes.len()].copy_from_slice(bytes);
         self.pos += bytes.len();
@@ -107,7 +113,10 @@ impl<'a> Decoder<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if n > self.remaining() {
-            return Err(CodecError::Overflow { needed: n, remaining: self.remaining() });
+            return Err(CodecError::Overflow {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -121,17 +130,23 @@ impl<'a> Decoder<'a> {
 
     /// Reads a `u32`.
     pub fn get_u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a `u64`.
     pub fn get_u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads an `f64`.
     pub fn get_f64(&mut self) -> Result<f64, CodecError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -164,7 +179,10 @@ mod tests {
         let mut e = Encoder::new(&mut buf);
         assert_eq!(
             e.put_u32(1),
-            Err(CodecError::Overflow { needed: 4, remaining: 3 })
+            Err(CodecError::Overflow {
+                needed: 4,
+                remaining: 3
+            })
         );
         // Position unchanged after a failed write.
         assert_eq!(e.position(), 0);

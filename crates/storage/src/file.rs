@@ -54,8 +54,12 @@ impl FilePager {
     /// Creates (truncating) a new page file.
     pub fn create(path: &Path, page_size: usize) -> Result<Self, FilePagerError> {
         assert!(page_size > 0, "page size must be positive");
-        let mut file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
         let mut superblock = [0u8; SUPERBLOCK_BYTES as usize];
         superblock[..8].copy_from_slice(&MAGIC.to_le_bytes());
         superblock[8..16].copy_from_slice(&(page_size as u64).to_le_bytes());
@@ -137,7 +141,10 @@ impl Pager for FilePager {
 
     fn write_page(&self, id: PageId, page: &Page) -> Result<(), PagerError> {
         if page.size() != self.page_size {
-            return Err(PagerError::SizeMismatch { expected: self.page_size, got: page.size() });
+            return Err(PagerError::SizeMismatch {
+                expected: self.page_size,
+                got: page.size(),
+            });
         }
         if id.0 >= self.page_count() {
             return Err(PagerError::UnknownPage(id));
@@ -195,7 +202,10 @@ mod tests {
         assert_eq!(pager.page_size(), 64);
         assert_eq!(pager.page_count(), 5);
         for i in 0..5u8 {
-            assert_eq!(pager.read_page(PageId(i as u64)).expect("read").bytes()[0], i);
+            assert_eq!(
+                pager.read_page(PageId(i as u64)).expect("read").bytes()[0],
+                i
+            );
         }
         std::fs::remove_file(&path).ok();
     }
@@ -204,7 +214,10 @@ mod tests {
     fn bad_files_rejected() {
         let path = tmp("garbage.pg");
         std::fs::write(&path, b"not a page file at all").expect("write");
-        assert!(matches!(FilePager::open(&path), Err(FilePagerError::Format(_))));
+        assert!(matches!(
+            FilePager::open(&path),
+            Err(FilePagerError::Format(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -212,7 +225,10 @@ mod tests {
     fn unknown_page_and_size_mismatch() {
         let path = tmp("errors.pg");
         let pager = FilePager::create(&path, 64).expect("create");
-        assert!(matches!(pager.read_page(PageId(0)), Err(PagerError::UnknownPage(_))));
+        assert!(matches!(
+            pager.read_page(PageId(0)),
+            Err(PagerError::UnknownPage(_))
+        ));
         let id = pager.allocate();
         let wrong = Page::zeroed(32);
         assert!(matches!(

@@ -19,8 +19,8 @@ pub mod pager;
 pub mod stats;
 
 pub use buffer::BufferPool;
-pub use file::FilePager;
 pub use codec::{Decoder, Encoder};
+pub use file::FilePager;
 pub use page::{Page, PageId, PAPER_PAGE_SIZE};
 pub use pager::{MemPager, Pager};
 pub use stats::IoStats;

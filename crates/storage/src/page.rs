@@ -37,13 +37,17 @@ impl Page {
     /// Panics if `size` is zero.
     pub fn zeroed(size: usize) -> Self {
         assert!(size > 0, "page size must be positive");
-        Self { data: vec![0u8; size].into_boxed_slice() }
+        Self {
+            data: vec![0u8; size].into_boxed_slice(),
+        }
     }
 
     /// Builds a page from raw bytes.
     pub fn from_bytes(data: Vec<u8>) -> Self {
         assert!(!data.is_empty(), "page size must be positive");
-        Self { data: data.into_boxed_slice() }
+        Self {
+            data: data.into_boxed_slice(),
+        }
     }
 
     /// The page size in bytes.

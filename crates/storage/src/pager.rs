@@ -71,7 +71,11 @@ impl MemPager {
     /// Panics if `page_size` is zero.
     pub fn new(page_size: usize) -> Self {
         assert!(page_size > 0, "page size must be positive");
-        Self { page_size, pages: RwLock::new(Vec::new()), stats: IoStats::new() }
+        Self {
+            page_size,
+            pages: RwLock::new(Vec::new()),
+            stats: IoStats::new(),
+        }
     }
 
     /// A pager with the paper's 1536-byte pages.
@@ -102,17 +106,25 @@ impl Pager for MemPager {
 
     fn read_page(&self, id: PageId) -> Result<Page, PagerError> {
         let pages = self.pages.read();
-        let page = pages.get(id.index()).ok_or(PagerError::UnknownPage(id))?.clone();
+        let page = pages
+            .get(id.index())
+            .ok_or(PagerError::UnknownPage(id))?
+            .clone();
         self.stats.record_physical_read();
         Ok(page)
     }
 
     fn write_page(&self, id: PageId, page: &Page) -> Result<(), PagerError> {
         if page.size() != self.page_size {
-            return Err(PagerError::SizeMismatch { expected: self.page_size, got: page.size() });
+            return Err(PagerError::SizeMismatch {
+                expected: self.page_size,
+                got: page.size(),
+            });
         }
         let mut pages = self.pages.write();
-        let slot = pages.get_mut(id.index()).ok_or(PagerError::UnknownPage(id))?;
+        let slot = pages
+            .get_mut(id.index())
+            .ok_or(PagerError::UnknownPage(id))?;
         *slot = page.clone();
         self.stats.record_physical_write();
         Ok(())
@@ -146,9 +158,15 @@ mod tests {
     #[test]
     fn unknown_page_is_error() {
         let pager = MemPager::new(64);
-        assert_eq!(pager.read_page(PageId(9)), Err(PagerError::UnknownPage(PageId(9))));
+        assert_eq!(
+            pager.read_page(PageId(9)),
+            Err(PagerError::UnknownPage(PageId(9)))
+        );
         let p = Page::zeroed(64);
-        assert_eq!(pager.write_page(PageId(0), &p), Err(PagerError::UnknownPage(PageId(0))));
+        assert_eq!(
+            pager.write_page(PageId(0), &p),
+            Err(PagerError::UnknownPage(PageId(0)))
+        );
     }
 
     #[test]
@@ -158,7 +176,10 @@ mod tests {
         let wrong = Page::zeroed(32);
         assert_eq!(
             pager.write_page(id, &wrong),
-            Err(PagerError::SizeMismatch { expected: 64, got: 32 })
+            Err(PagerError::SizeMismatch {
+                expected: 64,
+                got: 32
+            })
         );
     }
 

@@ -46,7 +46,8 @@ impl Scene {
     /// Style: solid neutral grey point.
     pub const GREY: &'static str = "fill:#6b7280;stroke:none";
     /// Style: translucent green region fill.
-    pub const GREEN_FILL: &'static str = "fill:#16a34a;fill-opacity:0.25;stroke:#16a34a;stroke-width:1";
+    pub const GREEN_FILL: &'static str =
+        "fill:#16a34a;fill-opacity:0.25;stroke:#16a34a;stroke-width:1";
     /// Style: translucent orange region fill.
     pub const ORANGE_FILL: &'static str =
         "fill:#ea580c;fill-opacity:0.18;stroke:#ea580c;stroke-width:1";
@@ -66,7 +67,11 @@ impl Scene {
             bounds.extent(0) > 0.0 && bounds.extent(1) > 0.0,
             "viewport must have positive extent"
         );
-        Self { bounds, body: String::new(), title: None }
+        Self {
+            bounds,
+            body: String::new(),
+            title: None,
+        }
     }
 
     /// Sets the figure title.
@@ -88,8 +93,11 @@ impl Scene {
     pub fn point(&mut self, p: &Point, label: &str, style: &str) -> &mut Self {
         assert_eq!(p.dim(), 2, "2-d points only");
         let (cx, cy) = (self.x(p[0]), self.y(p[1]));
-        writeln!(self.body, r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="4" style="{style}"/>"#)
-            .expect("write to String");
+        writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="4" style="{style}"/>"#
+        )
+        .expect("write to String");
         if !label.is_empty() {
             writeln!(
                 self.body,
@@ -171,8 +179,11 @@ impl Scene {
             "\n"
         ));
         // Background and frame.
-        writeln!(out, r##"<rect width="{total}" height="{total}" fill="#ffffff"/>"##)
-            .expect("write");
+        writeln!(
+            out,
+            r##"<rect width="{total}" height="{total}" fill="#ffffff"/>"##
+        )
+        .expect("write");
         writeln!(
             out,
             r##"<rect x="{MARGIN}" y="{MARGIN}" width="{VIEW}" height="{VIEW}" fill="none" stroke="#9ca3af"/>"##
@@ -210,7 +221,9 @@ impl Scene {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn fmt_num(v: f64) -> String {
@@ -254,7 +267,10 @@ mod tests {
     fn elements_appear_in_output() {
         let mut s = Scene::new(bounds());
         s.point(&Point::xy(8.5, 55.0), "q", Scene::RED);
-        s.rect(&Rect::new(Point::xy(5.0, 10.0), Point::xy(10.0, 20.0)), Scene::DASHED);
+        s.rect(
+            &Rect::new(Point::xy(5.0, 10.0), Point::xy(10.0, 20.0)),
+            Scene::DASHED,
+        );
         s.arrow(&Point::xy(1.0, 1.0), &Point::xy(2.0, 2.0), "move");
         let region = Region::from_boxes(vec![
             Rect::new(Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)),
@@ -263,7 +279,11 @@ mod tests {
         s.region(&region, Scene::GREEN_FILL);
         let svg = s.render();
         assert_eq!(svg.matches("<circle").count(), 1);
-        assert_eq!(svg.matches("<rect").count(), 2 + 3, "frame + bg + drawn rects");
+        assert_eq!(
+            svg.matches("<rect").count(),
+            2 + 3,
+            "frame + bg + drawn rects"
+        );
         assert!(svg.contains("marker-end"));
         assert!(svg.contains(">q</text>"));
         assert!(svg.contains(">move</text>"));

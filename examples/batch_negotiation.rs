@@ -22,7 +22,11 @@ fn main() {
 
     // One safe region, many why-not questions (the paper's reuse point).
     let sr = engine.safe_region_for(&q, &rsl);
-    println!("safe region: {} rectangles, area {:.3}", sr.len(), sr.area());
+    println!(
+        "safe region: {} rectangles, area {:.3}",
+        sr.len(),
+        sr.area()
+    );
 
     // Ten random prospects outside the reverse skyline.
     let mut prospects = Vec::new();
@@ -71,8 +75,10 @@ fn main() {
         expanded.region.area()
     );
     let answers_after = mwq_batch(&engine, &prospects, &q, &expanded.region);
-    let free_after =
-        answers_after.iter().filter(|(_, a)| matches!(a.case, MwqCase::Overlap)).count();
+    let free_after = answers_after
+        .iter()
+        .filter(|(_, a)| matches!(a.case, MwqCase::Overlap))
+        .count();
     println!(
         "with the expanded region, {free_after}/{} prospects join for free (was {free})",
         answers_after.len()

@@ -24,7 +24,12 @@ fn main() {
     let (mlo, mhi) = wnrs::data::cardb::MILEAGE_RANGE;
     let preferences: Vec<Point> = unit
         .iter()
-        .map(|p| Point::xy(plo + p[0] * (phi - plo) * 0.4, mlo + p[1] * (mhi - mlo) * 0.5))
+        .map(|p| {
+            Point::xy(
+                plo + p[0] * (phi - plo) * 0.4,
+                mlo + p[1] * (mhi - mlo) * 0.5,
+            )
+        })
         .collect();
 
     let products = bulk_load(&catalogue, RTreeConfig::paper_default(2));
@@ -65,7 +70,10 @@ fn main() {
         .find(|c| !is_reverse_skyline_member(&products, c, &listing, None))
         .expect("some profile is not interested");
     println!("\nprofile {missed} is not interested; closest competitors:");
-    for (id, p) in window_query(&products, missed, &listing, None).iter().take(3) {
+    for (id, p) in window_query(&products, missed, &listing, None)
+        .iter()
+        .take(3)
+    {
         println!("  car #{:<6} {p}", id.0);
     }
     let fix = engine.mwp_external(missed, &listing);

@@ -36,7 +36,10 @@ fn main() {
     println!("\nprospect: customer #{} with preference {c_t}", prospect.0);
 
     let why = engine.explain(prospect, &q);
-    println!("they currently prefer {} other car(s); closest competitors:", why.culprits.len());
+    println!(
+        "they currently prefer {} other car(s); closest competitors:",
+        why.culprits.len()
+    );
     for (id, p) in why.culprits.iter().take(3) {
         println!("  car #{:<6} {p}", id.0);
     }
@@ -44,24 +47,40 @@ fn main() {
     // Strategy A: persuade the customer (MWP).
     let mwp = engine.mwp(prospect, &q);
     let best = mwp.best();
-    println!("\n[A] persuade the customer: shift their preference to {}", best.point);
+    println!(
+        "\n[A] persuade the customer: shift their preference to {}",
+        best.point
+    );
     println!("    normalised effort: {:.6}", best.cost);
 
     // Strategy B: reprice/rework the car, ignoring existing customers (MQP).
     let mqp = engine.mqp(prospect, &q);
     let best_q = mqp.best();
     let new_rsl = engine.reverse_skyline(&best_q.point);
-    let lost = rsl.iter().filter(|(id, _)| !new_rsl.iter().any(|(n, _)| n == id)).count();
-    println!("\n[B] modify the listing to {} (effort {:.6})", best_q.point, best_q.cost);
-    println!("    …but that loses {lost} of {} existing customers", rsl.len());
+    let lost = rsl
+        .iter()
+        .filter(|(id, _)| !new_rsl.iter().any(|(n, _)| n == id))
+        .count();
+    println!(
+        "\n[B] modify the listing to {} (effort {:.6})",
+        best_q.point, best_q.cost
+    );
+    println!(
+        "    …but that loses {lost} of {} existing customers",
+        rsl.len()
+    );
 
     // Strategy C: modify the listing only inside its safe region, then
     // negotiate with the prospect if still needed (MWQ).
     let (sr, mwq) = engine.mwq_full(prospect, &q);
-    println!("\n[C] safe region has {} rectangles (area fraction {:.6})", sr.len(), {
-        let u = engine.universe_for(&q);
-        sr.area() / u.area()
-    });
+    println!(
+        "\n[C] safe region has {} rectangles (area fraction {:.6})",
+        sr.len(),
+        {
+            let u = engine.universe_for(&q);
+            sr.area() / u.area()
+        }
+    );
     match mwq.case {
         MwqCase::Overlap => println!(
             "    move the listing to {} — prospect joins at zero negotiation cost, nobody lost",
@@ -69,7 +88,10 @@ fn main() {
         ),
         MwqCase::Disjoint => {
             let c = mwq.c_star.expect("case C2");
-            println!("    move the listing to {} (free, inside the safe region)", mwq.q_star);
+            println!(
+                "    move the listing to {} (free, inside the safe region)",
+                mwq.q_star
+            );
             println!(
                 "    and negotiate the prospect to {} (effort {:.6}) — nobody lost",
                 c.point, c.cost

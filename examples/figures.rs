@@ -86,8 +86,12 @@ fn main() {
     // Fig. 3/10: the anti-dominance region of c2 as rectangles.
     {
         let c2 = &pts[1];
-        let products: Vec<Point> =
-            pts.iter().enumerate().filter(|(i, _)| *i != 1).map(|(_, p)| p.clone()).collect();
+        let products: Vec<Point> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, p)| p.clone())
+            .collect();
         let dsl_idx = dynamic_skyline_scan(&products, c2);
         let dsl: Vec<Point> = dsl_idx.iter().map(|&i| products[i].clone()).collect();
         let region = anti_ddr_original_space(c2, &dsl, &bounds());
@@ -132,8 +136,12 @@ fn main() {
     // shaded stair-corner triangles of the exact region.
     {
         let c2 = &pts[1];
-        let products: Vec<Point> =
-            pts.iter().enumerate().filter(|(i, _)| *i != 1).map(|(_, p)| p.clone()).collect();
+        let products: Vec<Point> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, p)| p.clone())
+            .collect();
         let dsl_idx = dynamic_skyline_scan(&products, c2);
         let dsl: Vec<Point> = dsl_idx.iter().map(|&i| products[i].clone()).collect();
         let exact = anti_ddr_original_space(c2, &dsl, &bounds());
@@ -146,9 +154,7 @@ fn main() {
             approx_t
                 .boxes()
                 .iter()
-                .filter_map(|b| {
-                    wnrs::geometry::reflect_rect(c2, b.hi()).intersection(&bounds())
-                })
+                .filter_map(|b| wnrs::geometry::reflect_rect(c2, b.hi()).intersection(&bounds()))
                 .collect(),
         );
         let mut s = Scene::new(bounds());

@@ -16,8 +16,13 @@ fn analyse(name: &str, points: Vec<Point>) {
     println!("\n=== {name} market ({} products) ===", points.len());
     let engine = WhyNotEngine::new(points);
     let mut rng = StdRng::seed_from_u64(77);
-    let workload =
-        QueryWorkload::build(engine.tree(), engine.points(), &[1, 3, 6, 10], &mut rng, 5000);
+    let workload = QueryWorkload::build(
+        engine.tree(),
+        engine.points(),
+        &[1, 3, 6, 10],
+        &mut rng,
+        5000,
+    );
 
     println!(
         "{:>8} {:>14} {:>14} {:>12} {:>12}",
@@ -48,5 +53,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2013);
     analyse("uniform", wnrs::data::uniform(&mut rng, 20_000, 2));
     analyse("correlated", wnrs::data::correlated(&mut rng, 20_000, 2));
-    analyse("anti-correlated", wnrs::data::anticorrelated(&mut rng, 20_000, 2));
+    analyse(
+        "anti-correlated",
+        wnrs::data::anticorrelated(&mut rng, 20_000, 2),
+    );
 }

@@ -55,13 +55,20 @@ fn main() {
     // Option 3 — the paper's headline: move both, keeping every existing
     // customer (MWQ with the safe region).
     let (sr, mwq) = engine.mwq_full(c1, &q);
-    println!("\nSafe region of q ({} rectangles, area {:.2}):", sr.len(), sr.area());
+    println!(
+        "\nSafe region of q ({} rectangles, area {:.2}):",
+        sr.len(),
+        sr.area()
+    );
     for b in sr.boxes() {
         println!("  {} -> {}", b.lo(), b.hi());
     }
     match mwq.case {
         MwqCase::Overlap => {
-            println!("MWQ: move q to {} — c1 joins for free, nobody is lost.", mwq.q_star)
+            println!(
+                "MWQ: move q to {} — c1 joins for free, nobody is lost.",
+                mwq.q_star
+            )
         }
         MwqCase::Disjoint => {
             let c = mwq.c_star.expect("case C2");

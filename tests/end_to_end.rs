@@ -5,15 +5,20 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wnrs::core::eval::score_all;
-use wnrs::data::workload::QueryWorkload;
 use wnrs::data::select_why_not;
+use wnrs::data::workload::QueryWorkload;
 use wnrs::prelude::*;
 
 fn pipeline(points: Vec<Point>, label: &str) {
     let engine = WhyNotEngine::new(points);
     let mut rng = StdRng::seed_from_u64(4242);
-    let workload =
-        QueryWorkload::build(engine.tree(), engine.points(), &[1, 2, 4, 7], &mut rng, 5000);
+    let workload = QueryWorkload::build(
+        engine.tree(),
+        engine.points(),
+        &[1, 2, 4, 7],
+        &mut rng,
+        5000,
+    );
     assert!(!workload.is_empty(), "{label}: no workload queries found");
 
     for wq in &workload.queries {
@@ -74,8 +79,7 @@ fn approximate_pipeline_is_safe() {
     // answers never beat the MWP bound.
     let mut rng = StdRng::seed_from_u64(5);
     let engine = WhyNotEngine::new(wnrs::data::cardb(&mut rng, 3_000));
-    let workload =
-        QueryWorkload::build(engine.tree(), engine.points(), &[2, 5], &mut rng, 5000);
+    let workload = QueryWorkload::build(engine.tree(), engine.points(), &[2, 5], &mut rng, 5000);
     let store = engine.build_approx_store(10);
     for wq in &workload.queries {
         let id = select_why_not(engine.points(), &wq.rsl, &mut rng).expect("non-member");

@@ -42,8 +42,12 @@ fn fig2a_dynamic_skyline_of_q() {
 #[test]
 fn fig2b_dynamic_skyline_of_c2_includes_q() {
     // DSL(c2) over {p1, p3..p8, q} = {p1, p4, p6, q}.
-    let mut pts: Vec<Point> =
-        paper_data().into_iter().enumerate().filter(|(i, _)| *i != 1).map(|(_, p)| p).collect();
+    let mut pts: Vec<Point> = paper_data()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 1)
+        .map(|(_, p)| p)
+        .collect();
     pts.push(q());
     let c2 = Point::xy(7.5, 42.0);
     let dsl = dynamic_skyline_scan(&pts, &c2);
@@ -74,8 +78,14 @@ fn algorithm1_example_candidates() {
     let e = engine();
     let ans = e.mwp(ItemId(0), &q());
     let pts: Vec<&Point> = ans.candidates.iter().map(|c| &c.point).collect();
-    assert!(pts.iter().any(|p| p.approx_eq(&Point::xy(5.0, 48.5), 1e-9)), "{pts:?}");
-    assert!(pts.iter().any(|p| p.approx_eq(&Point::xy(8.0, 30.0), 1e-9)), "{pts:?}");
+    assert!(
+        pts.iter().any(|p| p.approx_eq(&Point::xy(5.0, 48.5), 1e-9)),
+        "{pts:?}"
+    );
+    assert!(
+        pts.iter().any(|p| p.approx_eq(&Point::xy(8.0, 30.0), 1e-9)),
+        "{pts:?}"
+    );
 }
 
 #[test]
@@ -84,8 +94,14 @@ fn algorithm2_example_candidates() {
     let e = engine();
     let ans = e.mqp(ItemId(0), &q());
     let pts: Vec<&Point> = ans.candidates.iter().map(|c| &c.point).collect();
-    assert!(pts.iter().any(|p| p.approx_eq(&Point::xy(8.5, 42.0), 1e-9)), "{pts:?}");
-    assert!(pts.iter().any(|p| p.approx_eq(&Point::xy(7.5, 55.0), 1e-9)), "{pts:?}");
+    assert!(
+        pts.iter().any(|p| p.approx_eq(&Point::xy(8.5, 42.0), 1e-9)),
+        "{pts:?}"
+    );
+    assert!(
+        pts.iter().any(|p| p.approx_eq(&Point::xy(7.5, 55.0), 1e-9)),
+        "{pts:?}"
+    );
 }
 
 #[test]
@@ -98,7 +114,10 @@ fn section5b_safe_region_covers_paper_rectangles() {
     assert!(sr.contains(&q()));
     for (lo, hi) in [((7.5, 50.0), (10.0, 58.0)), ((7.5, 50.0), (12.5, 54.0))] {
         let r = Rect::new(Point::xy(lo.0, lo.1), Point::xy(hi.0, hi.1));
-        assert!(sr.boxes().iter().any(|b| b.contains_rect(&r)), "{r:?} not covered by {sr:?}");
+        assert!(
+            sr.boxes().iter().any(|b| b.contains_rect(&r)),
+            "{r:?} not covered by {sr:?}"
+        );
     }
 }
 
@@ -109,7 +128,11 @@ fn section5b_mwq_case_c1_for_c7() {
     let (_, ans) = e.mwq_full(ItemId(6), &q());
     assert_eq!(ans.case, MwqCase::Overlap);
     assert_eq!(ans.cost, 0.0);
-    assert!(ans.q_star.approx_eq(&Point::xy(8.5, 60.0), 1e-6), "{:?}", ans.q_star);
+    assert!(
+        ans.q_star.approx_eq(&Point::xy(8.5, 60.0), 1e-6),
+        "{:?}",
+        ans.q_star
+    );
 }
 
 #[test]
@@ -121,9 +144,14 @@ fn section5b_mwq_case_c2_for_c1() {
     assert_eq!(ans.case, MwqCase::Disjoint);
     assert!(ans.cost > 0.0);
     // The paper's own q* choice is a corner of the safe region.
-    assert!(sr.boxes().iter().any(|b| b.lo().approx_eq(&Point::xy(7.5, 50.0), 1e-9)));
+    assert!(sr
+        .boxes()
+        .iter()
+        .any(|b| b.lo().approx_eq(&Point::xy(7.5, 50.0), 1e-9)));
     // And its repair cost bounds ours from above.
-    let paper_cost = e.cost_model().whynot_cost(&Point::xy(5.0, 30.0), &Point::xy(5.0, 46.0));
+    let paper_cost = e
+        .cost_model()
+        .whynot_cost(&Point::xy(5.0, 30.0), &Point::xy(5.0, 46.0));
     assert!(ans.cost <= paper_cost + 1e-9);
 }
 
@@ -137,10 +165,17 @@ fn mwq_preserves_every_existing_member() {
     let sr = e.safe_region_for(&q(), &rsl);
     for id in [0u32, 4, 6] {
         let ans = e.mwq(ItemId(id), &q(), &sr);
-        let new_rsl: Vec<u32> =
-            e.reverse_skyline(&ans.q_star).iter().map(|(id, _)| id.0).collect();
+        let new_rsl: Vec<u32> = e
+            .reverse_skyline(&ans.q_star)
+            .iter()
+            .map(|(id, _)| id.0)
+            .collect();
         for m in &members {
-            assert!(new_rsl.contains(m), "customer {id}: moving q to {:?} lost {m}", ans.q_star);
+            assert!(
+                new_rsl.contains(m),
+                "customer {id}: moving q to {:?} lost {m}",
+                ans.q_star
+            );
         }
     }
 }

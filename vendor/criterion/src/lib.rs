@@ -1,0 +1,236 @@
+//! Offline stand-in for `criterion`, implementing the subset this
+//! workspace's benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `Bencher::iter`, `BenchmarkId`, `black_box`,
+//! `criterion_group!`, `criterion_main!`.
+//!
+//! Measurement is a plain adaptive timing loop (short calibration run,
+//! then `sample_size` samples of a batch sized to ≥ ~2 ms each) printing
+//! mean/min per benchmark. No statistics, plots or baselines — enough to
+//! compare variants by eye and to drive the JSON summaries the repo's
+//! bench binaries write.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(2);
+/// Calibration budget per benchmark.
+const CALIBRATION_TARGET: Duration = Duration::from_millis(20);
+
+/// Identifies one benchmark within a group (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by `bench_function`: plain strings or [`BenchmarkId`]s.
+pub trait IntoBenchmarkLabel {
+    /// The display label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Runs the routine under measurement.
+pub struct Bencher {
+    samples: usize,
+    /// Mean duration of one routine call per sample, filled by `iter`.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, first calibrating a batch size then taking the
+    /// configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many calls fit in SAMPLE_TARGET?
+        let calib_start = Instant::now();
+        let mut calls = 0u64;
+        while calib_start.elapsed() < CALIBRATION_TARGET && calls < 1_000_000 {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = calib_start.elapsed() / calls.max(1) as u32;
+        let batch =
+            (SAMPLE_TARGET.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.results.push(t.elapsed() / batch as u32);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.results.is_empty() {
+            println!("{label:<60} (no measurement)");
+            return;
+        }
+        let mean: Duration = self.results.iter().sum::<Duration>() / self.results.len() as u32;
+        let min = self.results.iter().min().copied().unwrap_or_default();
+        println!("{label:<60} mean {mean:>12.3?}   min {min:>12.3?}");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&label);
+        self
+    }
+
+    /// Ends the group (printing nothing further).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(10);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups (ignores harness CLI args).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(black_box(b)))
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| sum_to(100)));
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| sum_to(n))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,85 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, built on
+//! `std::thread::scope` (stable since Rust 1.63). Implements the subset
+//! this workspace uses: `crossbeam::scope`, `Scope::spawn`,
+//! `ScopedJoinHandle::join`.
+//!
+//! Differences from real `crossbeam`:
+//!
+//! * the closure passed to [`Scope::spawn`] receives `&()` instead of a
+//!   nested `&Scope` (no worker-side re-spawning — no workspace call
+//!   site uses it; they all write `|_|`);
+//! * a panic in an unjoined worker propagates out of [`scope`] as a
+//!   panic rather than an `Err` (every workspace call site joins all
+//!   handles and `.expect`s the result, so behaviour is identical).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use thread::{scope, Scope, ScopedJoinHandle};
+
+/// Scoped-thread API (mirrors `crossbeam::thread`).
+pub mod thread {
+    /// A scope in which borrowed-data threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure's argument is a
+        /// placeholder `&()` (call sites write `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&())),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// caller's stack. All spawned threads are joined before this
+    /// returns. Always `Ok` (see the module docs on panic behaviour).
+    #[allow(clippy::unnecessary_wraps)]
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut results: Vec<u64> = Vec::new();
+        super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| scope.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect();
+        })
+        .expect("scope");
+        assert_eq!(results, vec![3, 7]);
+    }
+}

@@ -64,7 +64,10 @@ fn main() {
         let sr = engine.safe_region_for(&wq.q, &rsl);
         let sr_ms = t.elapsed().as_secs_f64() * 1e3;
 
-        let id = select_why_not(engine.points(), &rsl, &mut rng).expect("non-member");
+        let Some(id) = select_why_not(engine.points(), &rsl, &mut rng) else {
+            println!("{d:>4}  (every product is already a reverse-skyline member)");
+            continue;
+        };
         let t = Instant::now();
         let mwp = engine.mwp(id, &wq.q);
         let mwp_ms = t.elapsed().as_secs_f64() * 1e3;

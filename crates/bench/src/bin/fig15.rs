@@ -34,8 +34,9 @@ fn main() {
         );
         let mut lines = Vec::new();
         for r in &rows {
-            let sr = r.sr_ms.expect("exact timings requested");
-            let mwq = r.mwq_ms.expect("exact timings requested");
+            let (Some(sr), Some(mwq)) = (r.sr_ms, r.mwq_ms) else {
+                continue;
+            };
             println!(
                 "{:>10} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
                 r.rsl_size, r.mwp_ms, r.mqp_ms, sr, mwq

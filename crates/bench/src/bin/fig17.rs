@@ -43,7 +43,9 @@ fn main() {
         );
         let mut lines = Vec::new();
         for r in &rows {
-            let a = r.approx_mwq_ms.expect("store supplied");
+            let Some(a) = r.approx_mwq_ms else {
+                continue;
+            };
             println!(
                 "{:>10} {:>12.3} {:>12.3} {:>16.3}",
                 r.rsl_size, r.mwp_ms, r.mqp_ms, a

@@ -56,7 +56,10 @@ fn main() {
         let universe = Rect::bounding(&points);
         let mut rng = StdRng::seed_from_u64(SEED ^ 0x1234);
         let workload = QueryWorkload::build(&tree, &points, &[8, 10, 12], &mut rng, 6000);
-        let query = workload.queries.last().expect("no |RSL| >= 8 query found");
+        let Some(query) = workload.queries.last() else {
+            eprintln!("== n = {n}: no query with |RSL(q)| >= 8 found, skipping ==");
+            continue;
+        };
         println!("== n = {n}, |RSL(q)| = {} ==", query.rsl_size());
 
         for &t in &threads {
@@ -127,6 +130,8 @@ fn main() {
 
     let path =
         std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_safe_region.json");
-    std::fs::write(&path, json).expect("write BENCH_safe_region.json");
-    println!("[saved {}]", path.display());
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[could not save {}: {e}]", path.display()),
+    }
 }

@@ -110,6 +110,7 @@ pub struct ExperimentSetup {
 impl ExperimentSetup {
     /// Generates the dataset, builds the engine and probes for queries
     /// whose `|RSL|` covers `targets`.
+    #[must_use]
     pub fn prepare(kind: DatasetKind, n_paper: usize, targets: &[usize], probes: usize) -> Self {
         let n = scaled(n_paper);
         let label = format!("{}-{}K", kind.name(), n_paper / 1000);
@@ -138,7 +139,9 @@ impl ExperimentSetup {
 /// The output directory `target/experiments/` (created on demand).
 pub fn out_dir() -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
-    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+    }
     dir
 }
 
@@ -151,8 +154,10 @@ pub fn write_report(name: &str, header: &str, lines: &[String]) {
         text.push_str(l);
         text.push('\n');
     }
-    std::fs::write(&path, text).expect("write report");
-    println!("  [saved {}]", path.display());
+    match std::fs::write(&path, text) {
+        Ok(()) => println!("  [saved {}]", path.display()),
+        Err(e) => eprintln!("  [could not save {}: {e}]", path.display()),
+    }
 }
 
 #[cfg(test)]

@@ -12,12 +12,15 @@
 //!
 //! Argument parsing is deliberately dependency-free.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
-use wnrs_core::WhyNotEngine;
+use wnrs_core::{WhyNotEngine, WnrsError};
 use wnrs_geometry::{Parallelism, Point};
 use wnrs_rtree::ItemId;
 use wnrs_storage::Pager as _;
@@ -49,9 +52,9 @@ persisted tree instead of rebuilding it. query commands also accept
 --threads <n> to parallelise safe-region construction and the
 approximate-DSL store build (results are identical at any count).";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), WnrsError> {
     let Some((cmd, rest)) = args.split_first() else {
-        return Err("no command given".into());
+        return Err(WnrsError::usage("no command given"));
     };
     let opts = parse_opts(rest)?;
     match cmd.as_str() {
@@ -64,60 +67,62 @@ fn run(args: &[String]) -> Result<(), String> {
         "mqp" => mqp(&opts),
         "mwq" => mwq(&opts),
         "safe-region" => safe_region(&opts),
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(WnrsError::usage(format!("unknown command `{other}`"))),
     }
 }
 
-fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, WnrsError> {
     let mut opts = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let Some(key) = flag.strip_prefix("--") else {
-            return Err(format!("expected a --flag, got `{flag}`"));
+            return Err(WnrsError::usage(format!("expected a --flag, got `{flag}`")));
         };
-        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| WnrsError::usage(format!("--{key} needs a value")))?;
         opts.insert(key.to_string(), value.clone());
     }
     Ok(opts)
 }
 
-fn require<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+fn require<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, WnrsError> {
     opts.get(key)
         .map(|s| s.as_str())
-        .ok_or_else(|| format!("missing --{key}"))
+        .ok_or_else(|| WnrsError::usage(format!("missing --{key}")))
 }
 
-fn parse_point(s: &str) -> Result<Point, String> {
+fn parse_point(s: &str) -> Result<Point, WnrsError> {
     let coords: Result<Vec<f64>, _> = s.split(',').map(|f| f.trim().parse::<f64>()).collect();
     let coords = coords.map_err(|e| format!("bad --query: {e}"))?;
     if coords.is_empty() {
-        return Err("empty --query".into());
+        return Err(WnrsError::usage("empty --query"));
     }
     Ok(Point::new(coords))
 }
 
-fn load_engine(opts: &HashMap<String, String>) -> Result<WhyNotEngine, String> {
+fn load_engine(opts: &HashMap<String, String>) -> Result<WhyNotEngine, WnrsError> {
     let engine = if let Some(path) = opts.get("index") {
         let tree = load_index(path)?;
-        WhyNotEngine::from_tree(tree)
+        WhyNotEngine::try_from_tree(tree)?
     } else {
         let path = require(opts, "data")?;
         let points =
             wnrs_data::csv::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
         if points.is_empty() {
-            return Err(format!("{path} holds no points"));
+            return Err(WnrsError::usage(format!("{path} holds no points")));
         }
-        WhyNotEngine::new(points)
+        WhyNotEngine::try_new(points)?
     };
     Ok(engine.with_parallelism(parallelism_opt(opts)?))
 }
 
-fn parallelism_opt(opts: &HashMap<String, String>) -> Result<Parallelism, String> {
+fn parallelism_opt(opts: &HashMap<String, String>) -> Result<Parallelism, WnrsError> {
     match opts.get("threads") {
         Some(t) => {
             let threads: usize = t.parse().map_err(|e| format!("bad --threads: {e}"))?;
             if threads == 0 {
-                return Err("--threads must be at least 1".into());
+                return Err(WnrsError::usage("--threads must be at least 1"));
             }
             Ok(Parallelism::new(threads))
         }
@@ -125,14 +130,14 @@ fn parallelism_opt(opts: &HashMap<String, String>) -> Result<Parallelism, String
     }
 }
 
-fn load_index(path: &str) -> Result<wnrs_rtree::RTree, String> {
+fn load_index(path: &str) -> Result<wnrs_rtree::RTree, WnrsError> {
     let pager = wnrs_storage::FilePager::open(Path::new(path))
         .map_err(|e| format!("opening {path}: {e}"))?;
-    wnrs_rtree::persist::load(&pager, wnrs_storage::PageId(0))
-        .map_err(|e| format!("loading index {path}: {e}"))
+    Ok(wnrs_rtree::persist::load(&pager, wnrs_storage::PageId(0))
+        .map_err(|e| format!("loading index {path}: {e}"))?)
 }
 
-fn index(opts: &HashMap<String, String>) -> Result<(), String> {
+fn index(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     let engine = load_engine(opts)?;
     let out = require(opts, "out")?;
     let pager = wnrs_storage::FilePager::create(Path::new(out), wnrs_storage::PAPER_PAGE_SIZE)
@@ -140,7 +145,7 @@ fn index(opts: &HashMap<String, String>) -> Result<(), String> {
     let meta = wnrs_rtree::persist::save(engine.tree(), &pager)
         .map_err(|e| format!("saving index: {e}"))?;
     if meta != wnrs_storage::PageId(0) {
-        return Err("internal error: meta page must be page 0".into());
+        return Err(WnrsError::usage("internal error: meta page must be page 0"));
     }
     println!(
         "indexed {} points into {out}: {} pages of {} bytes",
@@ -151,7 +156,7 @@ fn index(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn stats(opts: &HashMap<String, String>) -> Result<(), String> {
+fn stats(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     let engine = load_engine(opts)?;
     let tree = engine.tree();
     let bounds = wnrs_geometry::Rect::bounding(engine.points());
@@ -168,20 +173,20 @@ fn stats(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn whynot_id(opts: &HashMap<String, String>, engine: &WhyNotEngine) -> Result<ItemId, String> {
+fn whynot_id(opts: &HashMap<String, String>, engine: &WhyNotEngine) -> Result<ItemId, WnrsError> {
     let idx: usize = require(opts, "whynot")?
         .parse()
         .map_err(|e| format!("bad --whynot: {e}"))?;
     if idx >= engine.len() {
-        return Err(format!(
+        return Err(WnrsError::usage(format!(
             "--whynot {idx} out of range (dataset has {} points)",
             engine.len()
-        ));
+        )));
     }
     Ok(ItemId(idx as u32))
 }
 
-fn generate(opts: &HashMap<String, String>) -> Result<(), String> {
+fn generate(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     let kind = require(opts, "kind")?;
     let n: usize = require(opts, "n")?
         .parse()
@@ -199,14 +204,18 @@ fn generate(opts: &HashMap<String, String>) -> Result<(), String> {
         "un" => wnrs_data::uniform(&mut rng, n, 2),
         "co" => wnrs_data::correlated(&mut rng, n, 2),
         "ac" => wnrs_data::anticorrelated(&mut rng, n, 2),
-        other => return Err(format!("unknown --kind `{other}` (cardb|un|co|ac)")),
+        other => {
+            return Err(WnrsError::usage(format!(
+                "unknown --kind `{other}` (cardb|un|co|ac)"
+            )))
+        }
     };
     wnrs_data::csv::save(&points, Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {n} {kind} points to {out}");
     Ok(())
 }
 
-fn rsl(opts: &HashMap<String, String>) -> Result<(), String> {
+fn rsl(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     let engine = load_engine(opts)?;
     let q = parse_point(require(opts, "query")?)?;
     let rsl = engine.reverse_skyline(&q);
@@ -217,7 +226,7 @@ fn rsl(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn explain(opts: &HashMap<String, String>) -> Result<(), String> {
+fn explain(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     let engine = load_engine(opts)?;
     let q = parse_point(require(opts, "query")?)?;
     let id = whynot_id(opts, &engine)?;
@@ -238,7 +247,7 @@ fn explain(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn mwp(opts: &HashMap<String, String>) -> Result<(), String> {
+fn mwp(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     let engine = load_engine(opts)?;
     let q = parse_point(require(opts, "query")?)?;
     let id = whynot_id(opts, &engine)?;
@@ -259,7 +268,7 @@ fn mwp(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn mqp(opts: &HashMap<String, String>) -> Result<(), String> {
+fn mqp(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     let engine = load_engine(opts)?;
     let q = parse_point(require(opts, "query")?)?;
     let id = whynot_id(opts, &engine)?;
@@ -277,7 +286,7 @@ fn mqp(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn mwq(opts: &HashMap<String, String>) -> Result<(), String> {
+fn mwq(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     let engine = load_engine(opts)?;
     let q = parse_point(require(opts, "query")?)?;
     let id = whynot_id(opts, &engine)?;
@@ -301,20 +310,21 @@ fn mwq(opts: &HashMap<String, String>) -> Result<(), String> {
             println!("  case C1: move the query point to {} (cost 0)", ans.q_star);
         }
         wnrs_core::MwqCase::Disjoint => {
-            let c = ans.c_star.expect("case C2 repairs the customer");
             println!("  case C2: move the query point to {}", ans.q_star);
-            println!(
-                "           and the customer to {} (cost {:.9}{})",
-                c.point,
-                c.cost,
-                verified_tag(c.verified)
-            );
+            if let Some(c) = &ans.c_star {
+                println!(
+                    "           and the customer to {} (cost {:.9}{})",
+                    c.point,
+                    c.cost,
+                    verified_tag(c.verified)
+                );
+            }
         }
     }
     Ok(())
 }
 
-fn safe_region(opts: &HashMap<String, String>) -> Result<(), String> {
+fn safe_region(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     let engine = load_engine(opts)?;
     let q = parse_point(require(opts, "query")?)?;
     let rsl = engine.reverse_skyline(&q);

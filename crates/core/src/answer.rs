@@ -1,6 +1,6 @@
 //! Shared candidate-answer types.
 
-use wnrs_geometry::Point;
+use wnrs_geometry::{cmp_f64, Point};
 
 /// One candidate modification, with its cost under the engine's cost
 /// model and whether it passed limit-point verification (see
@@ -19,12 +19,7 @@ pub struct Candidate {
 /// Sorts candidates by ascending cost (verified first on ties) and drops
 /// exact-location duplicates.
 pub(crate) fn finish_candidates(mut cands: Vec<Candidate>) -> Vec<Candidate> {
-    cands.sort_by(|a, b| {
-        a.cost
-            .partial_cmp(&b.cost)
-            .expect("finite costs")
-            .then_with(|| b.verified.cmp(&a.verified))
-    });
+    cands.sort_by(|a, b| cmp_f64(a.cost, b.cost).then_with(|| b.verified.cmp(&a.verified)));
     let mut out: Vec<Candidate> = Vec::with_capacity(cands.len());
     for c in cands {
         if !out.iter().any(|o| o.point.same_location(&c.point)) {

@@ -157,22 +157,26 @@ impl<'a, P: Pager> PageStream<'a, P> {
         Ok(out)
     }
 
+    /// Reads exactly `N` bytes into an array.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], StorePersistError> {
+        let bytes = self.take(N)?;
+        let mut arr = [0u8; N];
+        for (dst, src) in arr.iter_mut().zip(bytes.iter()) {
+            *dst = *src;
+        }
+        Ok(arr)
+    }
+
     fn u64(&mut self) -> Result<u64, StorePersistError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     fn u32(&mut self) -> Result<u32, StorePersistError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     fn f64(&mut self) -> Result<f64, StorePersistError> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 }
 

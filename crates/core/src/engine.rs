@@ -2,6 +2,7 @@
 //! why-not answering techniques behind one API.
 
 use crate::answer::Candidate;
+use crate::error::EngineError;
 use crate::explain::{explain, Explanation};
 use crate::mqp::{modify_query_point, MqpAnswer};
 use crate::mwp::{modify_why_not_point, MwpAnswer};
@@ -57,60 +58,108 @@ impl WhyNotEngine {
     /// 1536-byte page geometry (bulk-loaded), min–max-normalised equal
     /// weights, verification nudge [`DEFAULT_EPS`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `points` is empty or of mixed dimensionality.
-    pub fn new(points: Vec<Point>) -> Self {
-        assert!(!points.is_empty(), "engine needs at least one data point");
-        let dim = points[0].dim();
-        Self::with_config(points, RTreeConfig::paper_default(dim))
+    /// Returns [`EngineError::EmptyDataset`] for an empty `points`.
+    pub fn try_new(points: Vec<Point>) -> Result<Self, EngineError> {
+        let Some(first) = points.first() else {
+            return Err(EngineError::EmptyDataset);
+        };
+        let dim = first.dim();
+        Self::try_with_config(points, RTreeConfig::paper_default(dim))
     }
 
-    /// As [`WhyNotEngine::new`] with an explicit index configuration.
-    pub fn with_config(points: Vec<Point>, config: RTreeConfig) -> Self {
-        assert!(!points.is_empty(), "engine needs at least one data point");
+    /// As [`WhyNotEngine::try_new`] with an explicit index configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::EmptyDataset`] for an empty `points`.
+    pub fn try_with_config(points: Vec<Point>, config: RTreeConfig) -> Result<Self, EngineError> {
+        if points.is_empty() {
+            return Err(EngineError::EmptyDataset);
+        }
         let tree = bulk_load(&points, config);
         let universe = Rect::bounding(&points);
         let cost = CostModel::paper_default(&points);
-        Self {
+        Ok(Self {
             points,
             tree,
             universe,
             cost,
             eps: DEFAULT_EPS,
             parallelism: Parallelism::sequential(),
-        }
+        })
     }
 
     /// Builds an engine around an existing tree (e.g. one reloaded from
     /// disk via [`wnrs_rtree::persist::load`]). Item ids must be dense
     /// `0..len`, as produced by the bulk loader.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the tree is empty or its item ids are not dense.
-    pub fn from_tree(tree: RTree) -> Self {
+    /// Returns [`EngineError::EmptyDataset`] for an empty tree and
+    /// [`EngineError::SparseItemIds`] when item ids are not `0..len`.
+    pub fn try_from_tree(tree: RTree) -> Result<Self, EngineError> {
         let mut items = tree.items();
-        assert!(!items.is_empty(), "engine needs at least one data point");
+        if items.is_empty() {
+            return Err(EngineError::EmptyDataset);
+        }
         items.sort_by_key(|(id, _)| *id);
-        assert!(
-            items
-                .iter()
-                .enumerate()
-                .all(|(i, (id, _))| id.0 as usize == i),
-            "engine requires dense item ids"
-        );
+        if let Some(first_gap) = items
+            .iter()
+            .enumerate()
+            .position(|(i, (id, _))| id.0 as usize != i)
+        {
+            return Err(EngineError::SparseItemIds {
+                items: items.len(),
+                first_gap,
+            });
+        }
         let points: Vec<Point> = items.into_iter().map(|(_, p)| p).collect();
         let universe = Rect::bounding(&points);
         let cost = CostModel::paper_default(&points);
-        Self {
+        Ok(Self {
             points,
             tree,
             universe,
             cost,
             eps: DEFAULT_EPS,
             parallelism: Parallelism::sequential(),
-        }
+        })
+    }
+
+    /// Panicking façade over [`WhyNotEngine::try_new`] for examples,
+    /// tests and callers that statically know the dataset is non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or of mixed dimensionality.
+    #[must_use]
+    pub fn new(points: Vec<Point>) -> Self {
+        // lint:allow(no_panic) reason=documented panicking facade over try_new
+        Self::try_new(points).expect("engine needs at least one data point")
+    }
+
+    /// Panicking façade over [`WhyNotEngine::try_with_config`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    #[must_use]
+    pub fn with_config(points: Vec<Point>, config: RTreeConfig) -> Self {
+        // lint:allow(no_panic) reason=documented panicking facade over try_with_config
+        Self::try_with_config(points, config).expect("engine needs at least one data point")
+    }
+
+    /// Panicking façade over [`WhyNotEngine::try_from_tree`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is empty or its item ids are not dense.
+    #[must_use]
+    pub fn from_tree(tree: RTree) -> Self {
+        // lint:allow(no_panic) reason=documented panicking facade over try_from_tree
+        Self::try_from_tree(tree).expect("engine needs a non-empty tree with dense item ids")
     }
 
     /// Replaces the cost model.

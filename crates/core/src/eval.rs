@@ -15,7 +15,7 @@
 use crate::engine::WhyNotEngine;
 use crate::mwp::modify_why_not_point;
 use wnrs_geometry::parallel::map_slice;
-use wnrs_geometry::{Point, Region};
+use wnrs_geometry::{cmp_f64, Point, Region};
 use wnrs_reverse_skyline::is_reverse_skyline_member;
 use wnrs_rtree::ItemId;
 
@@ -37,13 +37,14 @@ pub fn nearest_in_region(engine: &WhyNotEngine, sr: &Region, target: &Point) -> 
         .iter()
         .map(|b| b.nearest_point(target))
         .min_by(|a, b| {
-            engine
-                .cost_model()
-                .query_cost(target, a)
-                .partial_cmp(&engine.cost_model().query_cost(target, b))
-                .expect("finite costs")
+            cmp_f64(
+                engine.cost_model().query_cost(target, a),
+                engine.cost_model().query_cost(target, b),
+            )
         })
-        .expect("safe region is never empty")
+        // A safe region always contains the current query point, so the
+        // empty case is unreachable in practice; degrade to "stay put".
+        .unwrap_or_else(|| target.clone())
 }
 
 /// MWP score: the cheapest Algorithm-1 repair of customer `id`.

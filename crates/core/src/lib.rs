@@ -36,6 +36,7 @@
 pub mod answer;
 pub mod approx_store_persist;
 pub mod engine;
+pub mod error;
 pub mod eval;
 pub mod explain;
 pub mod flexible;
@@ -47,6 +48,7 @@ pub mod verify;
 
 pub use answer::Candidate;
 pub use engine::WhyNotEngine;
+pub use error::{EngineError, WnrsError};
 pub use eval::score_all_batch;
 pub use explain::{explain, Explanation};
 pub use flexible::{expand_safe_region, mwq_batch, truncate_safe_region, ExpandedSafeRegion};

@@ -14,7 +14,7 @@
 
 use crate::answer::{finish_candidates, Candidate};
 use crate::verify::limit_verified_query;
-use wnrs_geometry::{CostModel, Point};
+use wnrs_geometry::{cmp_f64, CostModel, Point};
 use wnrs_reverse_skyline::window_query;
 use wnrs_rtree::{ItemId, RTree};
 use wnrs_skyline::sfs_skyline;
@@ -99,11 +99,7 @@ pub fn modify_query_point(
     // Staircase outer corners (Eqn (5) max-merge) in 2-d.
     if d == 2 {
         let mut pts: Vec<(f64, f64)> = f_t.iter().map(|e| (e[0], e[1])).collect();
-        pts.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("finite")
-                .then(b.1.partial_cmp(&a.1).expect("finite"))
-        });
+        pts.sort_by(|a, b| cmp_f64(a.0, b.0).then(cmp_f64(b.1, a.1)));
         for l in 0..pts.len().saturating_sub(1) {
             // max-merge of the successive pair: the outer stair corner.
             let corner = Point::xy(pts[l + 1].0.max(pts[l].0), pts[l].1.max(pts[l + 1].1));

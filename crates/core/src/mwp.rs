@@ -17,7 +17,8 @@
 
 use crate::answer::{finish_candidates, Candidate};
 use crate::verify::limit_verified_whynot;
-use wnrs_geometry::{CostModel, Point};
+use std::cmp::Ordering;
+use wnrs_geometry::{cmp_f64, CostModel, Point};
 use wnrs_reverse_skyline::window_query;
 use wnrs_rtree::{ItemId, RTree};
 
@@ -54,11 +55,20 @@ fn thresholds(e: &Point, q: &Point, sign: &[f64]) -> Thresholds {
     let d = q.dim();
     let mut directed = Vec::with_capacity(d);
     for i in 0..d {
-        let s_e = (q[i] - e[i]).signum();
-        if s_e == 0.0 || s_e != sign[i] {
-            // Either q and e tie in this dimension (no strict win
-            // possible) or escaping would require moving against the
-            // canonical direction.
+        // Note `signum` maps a 0.0 difference to 1.0, so the tie case
+        // must be decided by comparison, not by sign extraction.
+        let dir = match cmp_f64(q[i], e[i]) {
+            Ordering::Greater => 1.0,
+            Ordering::Less => -1.0,
+            Ordering::Equal => {
+                // q and e tie in this dimension: no strict win possible.
+                directed.push(None);
+                continue;
+            }
+        };
+        if dir != sign[i] {
+            // Escaping would require moving against the canonical
+            // direction.
             directed.push(None);
         } else {
             directed.push(Some(sign[i] * 0.5 * (q[i] + e[i])));
@@ -151,11 +161,7 @@ pub fn modify_why_not_point(
             }
         }
         if all_finite && !pts.is_empty() {
-            pts.sort_by(|a, b| {
-                b.0.partial_cmp(&a.0)
-                    .expect("finite")
-                    .then(b.1.partial_cmp(&a.1).expect("finite"))
-            });
+            pts.sort_by(|a, b| cmp_f64(b.0, a.0).then(cmp_f64(b.1, a.1)));
             // Max-frontier sweep: descending dim 0, keep strict dim-1
             // record holders. The survivors form the staircase, now
             // ascending in dim 0 after the reverse.

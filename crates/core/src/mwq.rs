@@ -14,7 +14,7 @@
 use crate::answer::Candidate;
 use crate::mwp::modify_why_not_point;
 use crate::safe_region::anti_ddr_of;
-use wnrs_geometry::{dominates_dyn, CostModel, Point, Rect, Region};
+use wnrs_geometry::{cmp_f64, dominates_dyn, CostModel, Point, Rect, Region};
 use wnrs_rtree::{ItemId, RTree};
 
 /// Which case of Table I applied.
@@ -84,12 +84,10 @@ pub fn modify_both(
             .boxes()
             .iter()
             .map(|rec| rec.nearest_point(q))
-            .min_by(|a, b| {
-                cost.query_cost(q, a)
-                    .partial_cmp(&cost.query_cost(q, b))
-                    .expect("finite costs")
-            })
-            .expect("non-empty overlap");
+            .min_by(|a, b| cmp_f64(cost.query_cost(q, a), cost.query_cost(q, b)))
+            // `overlap` was just checked non-empty, so a candidate exists;
+            // degrade to "q stays put" rather than panic.
+            .unwrap_or_else(|| q.clone());
         return MwqAnswer {
             case: MwqCase::Overlap,
             q_star,
@@ -122,31 +120,28 @@ pub fn modify_both(
         }
     }
     let mut it = keep.iter();
-    corners.retain(|_| *it.next().expect("mask length"));
+    corners.retain(|_| it.next().copied().unwrap_or(false));
 
-    // Always keep the "q stays put" option: dominance-closer corners do
-    // not imply cheaper repairs (a corner can land tie-aligned with a
+    // Always evaluate the "q stays put" option: dominance-closer corners
+    // do not imply cheaper repairs (a corner can land tie-aligned with a
     // blocker and kill the cheap escape dimension). Leaving q unmoved is
     // trivially safe — even when an *approximate* safe region fails to
     // contain q — and guarantees cost(MWQ) ≤ cost(MWP), the property the
-    // paper observes throughout Tables III–VI.
-    if !corners.iter().any(|c| c.same_location(q)) {
-        corners.push(q.clone());
-    }
-
-    let mut best: Option<(Point, Candidate)> = None;
+    // paper observes throughout Tables III–VI. Seeding `best` with it
+    // also makes the search total: no corner set is ever empty.
+    let stay_put = modify_why_not_point(products, c_t, q, exclude, cost, eps);
+    let mut best: (Point, Candidate) = (q.clone(), stay_put.best().clone());
     for corner in corners {
+        if corner.same_location(q) {
+            continue;
+        }
         let ans = modify_why_not_point(products, c_t, &corner, exclude, cost, eps);
         let cand = ans.best().clone();
-        let better = match &best {
-            None => true,
-            Some((_, b)) => cand.cost < b.cost,
-        };
-        if better {
-            best = Some((corner, cand));
+        if cand.cost < best.1.cost {
+            best = (corner, cand);
         }
     }
-    let (q_star, c_star) = best.expect("safe region has at least one corner");
+    let (q_star, c_star) = best;
     let cost_value = c_star.cost;
     MwqAnswer {
         case: MwqCase::Disjoint,

@@ -75,15 +75,25 @@ pub fn exact_safe_region(
     exclude_self: bool,
 ) -> Region {
     let mut sr: Option<Region> = None;
+    #[cfg(feature = "invariant-checks")]
+    let mut contributors: Vec<Region> = Vec::new();
     for (id, c) in rsl {
         let exclude = if exclude_self { Some(*id) } else { None };
         let region = anti_ddr_of(products, c, exclude, universe, 0.0);
+        #[cfg(feature = "invariant-checks")]
+        contributors.push(region.clone());
         sr = Some(match sr {
             None => region,
             Some(acc) => acc.intersect(&region),
         });
     }
-    sr.unwrap_or_else(|| Region::from_rect(universe.clone()))
+    let sr = sr.unwrap_or_else(|| Region::from_rect(universe.clone()));
+    #[cfg(feature = "invariant-checks")]
+    debug_assert!(
+        sr_contained_in_contributors(&sr, &contributors),
+        "exact safe region escapes a contributing anti-DDR"
+    );
+    sr
 }
 
 /// [`exact_safe_region`] under an explicit concurrency policy: the
@@ -105,7 +115,31 @@ pub fn exact_safe_region_with(
         let exclude = if exclude_self { Some(*id) } else { None };
         anti_ddr_of(products, c, exclude, universe, 0.0)
     });
-    intersect_all(regions, par).unwrap_or_else(|| Region::from_rect(universe.clone()))
+    #[cfg(feature = "invariant-checks")]
+    let contributors = regions.clone();
+    let sr = intersect_all(regions, par).unwrap_or_else(|| Region::from_rect(universe.clone()));
+    #[cfg(feature = "invariant-checks")]
+    debug_assert!(
+        sr_contained_in_contributors(&sr, &contributors),
+        "exact safe region escapes a contributing anti-DDR"
+    );
+    sr
+}
+
+/// Whether every box of `sr` lies inside a single box of **each**
+/// contributing anti-DDR. The exact safe region is the intersection
+/// `∩ anti-DDR(c_l)`, and each product box is an intersection of one box
+/// from every contributor, so this containment is structural — the check
+/// catches pruning or reduction bugs that would let the safe region leak
+/// outside a member's anti-dominance area.
+#[cfg(feature = "invariant-checks")]
+#[must_use]
+pub fn sr_contained_in_contributors(sr: &Region, contributors: &[Region]) -> bool {
+    sr.boxes().iter().all(|b| {
+        contributors
+            .iter()
+            .all(|r| r.boxes().iter().any(|rb| rb.contains_rect(b)))
+    })
 }
 
 /// Precomputed k-sampled dynamic skylines for every indexed point
@@ -126,6 +160,7 @@ impl ApproxDslStore {
     /// # Panics
     ///
     /// Panics if `k == 0` or the ids are not dense.
+    #[must_use]
     pub fn build(products: &RTree, k: usize) -> Self {
         Self::build_with(products, k, &Parallelism::sequential())
     }
@@ -139,6 +174,7 @@ impl ApproxDslStore {
     /// # Panics
     ///
     /// Panics if `k == 0` or the ids are not dense.
+    #[must_use]
     pub fn build_with(products: &RTree, k: usize, par: &Parallelism) -> Self {
         assert!(k > 0, "sample size k must be positive");
         let mut items = products.items();
@@ -188,6 +224,7 @@ impl ApproxDslStore {
     /// # Panics
     ///
     /// Panics if `k == 0`.
+    #[must_use]
     pub fn from_parts(k: usize, samples: Vec<Vec<Point>>) -> Self {
         assert!(k > 0, "sample size k must be positive");
         Self { k, samples }

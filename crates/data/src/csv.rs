@@ -14,8 +14,9 @@ pub fn to_csv(points: &[Point]) -> String {
             if i > 0 {
                 out.push(',');
             }
-            // Round-trippable f64 formatting.
-            write!(out, "{c}").expect("writing to String cannot fail");
+            // Round-trippable f64 formatting; fmt::Write into a String is
+            // infallible, so the Result carries no information.
+            let _ = write!(out, "{c}");
         }
         out.push('\n');
     }

@@ -8,7 +8,7 @@
 //! * [`cardb`] — a synthetic surrogate for the paper's Yahoo! Autos
 //!   CarDB (Price, Mileage): a sparse mixture of used-car market
 //!   segments with heavy-tailed prices and negative price–mileage
-//!   correlation inside each segment (see DESIGN.md §4 for the
+//!   correlation inside each segment (see DESIGN.md §5 for the
 //!   substitution rationale);
 //! * [`rng`] — Box–Muller normal / log-normal sampling on top of `rand`
 //!   (keeping the dependency surface to the approved crates);

@@ -39,6 +39,7 @@ impl QueryWorkload {
     /// found (or `max_probes` is exhausted — targets without a hit are
     /// skipped, mirroring the paper's tables, which also skip sizes the
     /// dataset does not produce).
+    #[must_use]
     pub fn build<R: Rng + ?Sized>(
         tree: &RTree,
         points: &[Point],

@@ -19,6 +19,7 @@ impl Weights {
     /// # Panics
     ///
     /// Panics if empty or if any weight lies outside `[0, 1]`.
+    #[must_use]
     pub fn new(w: Vec<f64>) -> Self {
         assert!(!w.is_empty(), "weights must cover at least one dimension");
         assert!(
@@ -30,6 +31,7 @@ impl Weights {
 
     /// Equal weights summing to one (`1/d` each) — the paper's evaluation
     /// setting (`Σ β_i = 1`).
+    #[must_use]
     pub fn equal(d: usize) -> Self {
         assert!(d > 0);
         Self(vec![1.0 / d as f64; d])
@@ -68,6 +70,7 @@ pub struct CostModel {
 
 impl CostModel {
     /// A cost model with explicit weights and no normalisation.
+    #[must_use]
     pub fn new(alpha: Weights, beta: Weights) -> Self {
         assert_eq!(alpha.dim(), beta.dim(), "α/β dimensionality mismatch");
         Self {
@@ -79,6 +82,7 @@ impl CostModel {
 
     /// The paper's evaluation model: equal weights (`α = β`, `Σ = 1`) and
     /// min–max normalisation fitted to `dataset`.
+    #[must_use]
     pub fn paper_default(dataset: &[Point]) -> Self {
         let norm = MinMaxNormalizer::fit(dataset);
         let d = norm.dim();
@@ -90,6 +94,7 @@ impl CostModel {
     }
 
     /// Attaches a normaliser; costs are then computed in normalised space.
+    #[must_use]
     pub fn with_normalizer(mut self, n: MinMaxNormalizer) -> Self {
         assert_eq!(
             n.dim(),

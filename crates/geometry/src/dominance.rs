@@ -40,11 +40,11 @@ pub enum Dominance {
 pub fn dominates(a: &Point, b: &Point) -> bool {
     debug_assert_eq!(a.dim(), b.dim());
     let mut strict = false;
-    for i in 0..a.dim() {
-        if a[i] > b[i] {
+    for (&x, &y) in a.coords().iter().zip(b.coords().iter()) {
+        if x > y {
             return false;
         }
-        if a[i] < b[i] {
+        if x < y {
             strict = true;
         }
     }
@@ -55,10 +55,10 @@ pub fn dominates(a: &Point, b: &Point) -> bool {
 pub fn compare(a: &Point, b: &Point) -> Dominance {
     debug_assert_eq!(a.dim(), b.dim());
     let (mut a_better, mut b_better) = (false, false);
-    for i in 0..a.dim() {
-        if a[i] < b[i] {
+    for (&x, &y) in a.coords().iter().zip(b.coords().iter()) {
+        if x < y {
             a_better = true;
-        } else if b[i] < a[i] {
+        } else if y < x {
             b_better = true;
         }
         if a_better && b_better {
@@ -88,9 +88,10 @@ pub fn dominates_dyn(a: &Point, b: &Point, q: &Point) -> bool {
     debug_assert_eq!(a.dim(), b.dim());
     debug_assert_eq!(a.dim(), q.dim());
     let mut strict = false;
-    for i in 0..a.dim() {
-        let da = (q[i] - a[i]).abs();
-        let db = (q[i] - b[i]).abs();
+    let coords = a.coords().iter().zip(b.coords().iter());
+    for ((&x, &y), &c) in coords.zip(q.coords().iter()) {
+        let da = (c - x).abs();
+        let db = (c - y).abs();
         if da > db {
             return false;
         }
@@ -106,9 +107,10 @@ pub fn compare_dyn(a: &Point, b: &Point, q: &Point) -> Dominance {
     debug_assert_eq!(a.dim(), b.dim());
     debug_assert_eq!(a.dim(), q.dim());
     let (mut a_better, mut b_better) = (false, false);
-    for i in 0..a.dim() {
-        let da = (q[i] - a[i]).abs();
-        let db = (q[i] - b[i]).abs();
+    let coords = a.coords().iter().zip(b.coords().iter());
+    for ((&x, &y), &c) in coords.zip(q.coords().iter()) {
+        let da = (c - x).abs();
+        let db = (c - y).abs();
         if da < db {
             a_better = true;
         } else if db < da {
@@ -135,9 +137,10 @@ pub fn dominates_global(a: &Point, b: &Point, q: &Point) -> bool {
     debug_assert_eq!(a.dim(), b.dim());
     debug_assert_eq!(a.dim(), q.dim());
     let mut strict = false;
-    for i in 0..a.dim() {
-        let sa = a[i] - q[i];
-        let sb = b[i] - q[i];
+    let coords = a.coords().iter().zip(b.coords().iter());
+    for ((&x, &y), &c) in coords.zip(q.coords().iter()) {
+        let sa = x - c;
+        let sb = y - c;
         // Opposite (strict) sides of q in dimension i ⇒ incomparable.
         if sa * sb < 0.0 {
             return false;
@@ -157,23 +160,45 @@ pub fn dominates_global(a: &Point, b: &Point, q: &Point) -> bool {
 /// by another member, in place. Quadratic; intended for the small candidate
 /// sets (`Λ`, `F`, `M`) the paper's algorithms manipulate.
 pub fn prune_dominated(points: &mut Vec<Point>, dominated_by: impl Fn(&Point, &Point) -> bool) {
-    let mut keep = vec![true; points.len()];
-    for i in 0..points.len() {
-        if !keep[i] {
+    let pts = std::mem::take(points);
+    let mut kept: Vec<Point> = Vec::with_capacity(pts.len());
+    for p in pts {
+        if kept.iter().any(|k| dominated_by(k, &p)) {
             continue;
         }
-        for j in 0..points.len() {
-            if i == j || !keep[j] {
-                continue;
-            }
-            if dominated_by(&points[j], &points[i]) {
-                keep[i] = false;
-                break;
-            }
-        }
+        kept.retain(|k| !dominated_by(&p, k));
+        kept.push(p);
     }
-    let mut it = keep.iter();
-    points.retain(|_| *it.next().expect("keep mask matches points length"));
+    *points = kept;
+}
+
+/// Whether a dominance relation is antisymmetric on every pair of
+/// `sample`: no two points dominate each other. Quadratic; intended for
+/// the `invariant-checks` property suites.
+#[cfg(feature = "invariant-checks")]
+#[must_use]
+pub fn antisymmetric_on(sample: &[Point], dominated_by: impl Fn(&Point, &Point) -> bool) -> bool {
+    sample.iter().enumerate().all(|(i, a)| {
+        sample
+            .iter()
+            .skip(i + 1)
+            .all(|b| !(dominated_by(a, b) && dominated_by(b, a)))
+    })
+}
+
+/// Whether a dominance relation is transitive on every ordered triple of
+/// `sample`: `a ≺ b ∧ b ≺ c ⇒ a ≺ c`. Cubic; intended for the
+/// `invariant-checks` property suites on small samples.
+#[cfg(feature = "invariant-checks")]
+#[must_use]
+pub fn transitive_on(sample: &[Point], dominated_by: impl Fn(&Point, &Point) -> bool) -> bool {
+    sample.iter().all(|a| {
+        sample.iter().all(|b| {
+            sample
+                .iter()
+                .all(|c| !(dominated_by(a, b) && dominated_by(b, c)) || dominated_by(a, c))
+        })
+    })
 }
 
 #[cfg(test)]

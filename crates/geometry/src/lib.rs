@@ -38,7 +38,7 @@ pub use cost::{CostModel, Weights};
 pub use dominance::{dominates, dominates_dyn, dominates_global, Dominance};
 pub use normalize::MinMaxNormalizer;
 pub use parallel::Parallelism;
-pub use point::Point;
+pub use point::{cmp_f64, max_f64, min_f64, Point};
 pub use rect::Rect;
 pub use region::Region;
 pub use transform::{orthant_of, reflect_rect, to_distance_space, Orthant};

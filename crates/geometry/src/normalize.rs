@@ -23,6 +23,7 @@ impl MinMaxNormalizer {
     /// # Panics
     ///
     /// Panics if `points` is empty.
+    #[must_use]
     pub fn fit(points: &[Point]) -> Self {
         assert!(!points.is_empty(), "cannot fit a normaliser to no data");
         let bounds = Rect::bounding(points);
@@ -30,6 +31,7 @@ impl MinMaxNormalizer {
     }
 
     /// Builds the normaliser from explicit data bounds.
+    #[must_use]
     pub fn from_bounds(bounds: &Rect) -> Self {
         let d = bounds.dim();
         let lo = bounds.lo().coords().to_vec();

@@ -40,6 +40,7 @@ impl Parallelism {
     pub const DEFAULT_SEQUENTIAL_CUTOFF: usize = 4;
 
     /// Single-threaded execution (the default).
+    #[must_use]
     pub fn sequential() -> Self {
         Self {
             workers: 1,
@@ -49,6 +50,7 @@ impl Parallelism {
 
     /// Execution with up to `workers` threads. `workers == 0` is
     /// normalised to `1`.
+    #[must_use]
     pub fn new(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
@@ -58,6 +60,7 @@ impl Parallelism {
 
     /// Uses the parallelism the OS reports as available
     /// (`std::thread::available_parallelism`), falling back to `1`.
+    #[must_use]
     pub fn available() -> Self {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -117,10 +120,15 @@ where
             .collect();
         results = handles
             .into_iter()
-            .map(|h| h.join().expect("parallel map worker panicked"))
+            // A worker panic is re-raised on the caller's thread with its
+            // original payload instead of being masked by a new panic.
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect();
     })
-    .expect("crossbeam scope failed");
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
     results.into_iter().flatten().collect()
 }
 
@@ -151,10 +159,14 @@ where
             .collect();
         results = handles
             .into_iter()
-            .map(|h| h.join().expect("parallel map worker panicked"))
+            // See `map_slice`: re-raise the worker's own panic payload.
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect();
     })
-    .expect("crossbeam scope failed");
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
     results.into_iter().flatten().collect()
 }
 

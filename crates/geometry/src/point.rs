@@ -1,7 +1,45 @@
-//! d-dimensional points.
+//! d-dimensional points, and the workspace's float-ordering boundary.
+//!
+//! This file is the **NaN-validated boundary**: [`Point::new`] rejects
+//! non-finite coordinates, and the total-order helpers below
+//! ([`cmp_f64`], [`max_f64`], [`min_f64`]) are the only sanctioned way
+//! to order floats anywhere else in the workspace. `wnrs-lint`'s
+//! `float_cmp` rule enforces that no other module calls `partial_cmp`/
+//! `total_cmp` or compares against float literals with `==`/`!=`.
 
+use std::cmp::Ordering;
 use std::fmt;
 use std::ops::Index;
+
+/// Total-order comparison of two `f64`s (IEEE 754 `totalOrder`).
+///
+/// Unlike `partial_cmp().unwrap()`, this never panics: NaN sorts after
+/// `+∞` (and `-NaN` before `-∞`), `-0.0 < +0.0`. On the finite values
+/// the workspace's geometry actually produces, it agrees with the usual
+/// `<` ordering — extreme-but-finite inputs included — so it is a
+/// drop-in replacement for every coordinate/cost sort.
+#[inline]
+pub fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+/// The larger of two `f64`s under the total order ([`cmp_f64`]).
+#[inline]
+pub fn max_f64(a: f64, b: f64) -> f64 {
+    match cmp_f64(a, b) {
+        Ordering::Less => b,
+        _ => a,
+    }
+}
+
+/// The smaller of two `f64`s under the total order ([`cmp_f64`]).
+#[inline]
+pub fn min_f64(a: f64, b: f64) -> f64 {
+    match cmp_f64(a, b) {
+        Ordering::Greater => b,
+        _ => a,
+    }
+}
 
 /// An immutable point in `R^d`.
 ///
@@ -30,6 +68,7 @@ impl Point {
     /// Panics if `coords` is empty or contains a non-finite value: points
     /// with NaN/∞ coordinates break dominance transitivity and every
     /// downstream invariant, so they are rejected at the boundary.
+    #[must_use]
     pub fn new(coords: impl Into<Box<[f64]>>) -> Self {
         let coords = coords.into();
         assert!(!coords.is_empty(), "a point must have at least 1 dimension");
@@ -41,6 +80,7 @@ impl Point {
     }
 
     /// Creates a 2-d point; convenience for the paper's running examples.
+    #[must_use]
     pub fn xy(x: f64, y: f64) -> Self {
         Self::new(vec![x, y])
     }
@@ -64,6 +104,7 @@ impl Point {
     }
 
     /// Returns a new point with dimension `i` replaced by `value`.
+    #[must_use]
     pub fn with_coord(&self, i: usize, value: f64) -> Self {
         let mut c = self.coords.to_vec();
         c[i] = value;
@@ -110,6 +151,7 @@ impl Point {
 
     /// Coordinate-wise absolute difference `(|p^1-q^1|, …, |p^d-q^d|)`:
     /// the image of `self` under the distance transform centred at `origin`.
+    #[must_use]
     pub fn abs_diff(&self, origin: &Self) -> Self {
         self.expect_same_dim(origin);
         Self::new(

@@ -22,6 +22,7 @@ impl Rect {
     ///
     /// Panics if the corners disagree in dimensionality or `lo ≤ hi` fails
     /// in some dimension.
+    #[must_use]
     pub fn new(lo: Point, hi: Point) -> Self {
         assert_eq!(lo.dim(), hi.dim(), "corner dimensionality mismatch");
         for i in 0..lo.dim() {
@@ -34,6 +35,7 @@ impl Rect {
     }
 
     /// A rectangle containing exactly one point.
+    #[must_use]
     pub fn degenerate(p: Point) -> Self {
         Self {
             lo: p.clone(),
@@ -46,6 +48,7 @@ impl Rect {
     /// # Panics
     ///
     /// Panics if `points` is empty.
+    #[must_use]
     pub fn bounding(points: &[Point]) -> Self {
         assert!(!points.is_empty(), "bounding rect of empty point set");
         let d = points[0].dim();

@@ -7,7 +7,7 @@
 //! is that representation with the operations the algorithms need:
 //! intersection, membership, union area, and nearest-point queries.
 
-use crate::point::Point;
+use crate::point::{cmp_f64, Point};
 use crate::rect::Rect;
 use std::fmt;
 
@@ -22,11 +22,13 @@ pub struct Region {
 
 impl Region {
     /// The empty region.
+    #[must_use]
     pub fn empty() -> Self {
         Self { boxes: Vec::new() }
     }
 
     /// A region consisting of a single box.
+    #[must_use]
     pub fn from_rect(r: Rect) -> Self {
         Self { boxes: vec![r] }
     }
@@ -37,6 +39,7 @@ impl Region {
     /// # Panics
     ///
     /// Panics if the boxes disagree in dimensionality.
+    #[must_use]
     pub fn from_boxes(boxes: Vec<Rect>) -> Self {
         if let Some(first) = boxes.first() {
             let d = first.dim();
@@ -107,7 +110,9 @@ impl Region {
             }
         }
         // `out` is already containment-pruned; no second pass needed.
-        Region { boxes: out }
+        let product = Region { boxes: out };
+        product.debug_check_canonical();
+        product
     }
 
     /// Unions two regions (concatenation + containment pruning).
@@ -136,28 +141,41 @@ impl Region {
         // Collect and sort the distinct coordinates per dimension.
         let mut cuts: Vec<Vec<f64>> = vec![Vec::new(); d];
         for b in &self.boxes {
-            for (i, cut) in cuts.iter_mut().enumerate() {
-                cut.push(b.lo()[i]);
-                cut.push(b.hi()[i]);
+            let bounds = b.lo().coords().iter().zip(b.hi().coords().iter());
+            for (cut, (&l, &h)) in cuts.iter_mut().zip(bounds) {
+                cut.push(l);
+                cut.push(h);
             }
         }
         for c in &mut cuts {
-            c.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+            c.sort_by(|a, b| cmp_f64(*a, *b));
             c.dedup();
         }
-        // Walk the grid cells in mixed-radix order.
-        let radix: Vec<usize> = cuts.iter().map(|c| c.len().saturating_sub(1)).collect();
+        // Per-dimension grid cells: consecutive cut pairs.
+        let cells: Vec<Vec<(f64, f64)>> = cuts
+            .iter()
+            .map(|c| {
+                c.windows(2)
+                    .filter_map(|w| match w {
+                        [lo, hi] => Some((*lo, *hi)),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        let radix: Vec<usize> = cells.iter().map(Vec::len).collect();
         if radix.contains(&0) {
             return 0.0;
         }
+        // Walk the grid cells in mixed-radix order.
         let total: usize = radix.iter().product();
         let mut sum = 0.0;
         let mut idx = vec![0usize; d];
         for _ in 0..total {
             let mut vol = 1.0;
             let mut center = Vec::with_capacity(d);
-            for i in 0..d {
-                let (lo, hi) = (cuts[i][idx[i]], cuts[i][idx[i] + 1]);
+            for (cell, &k) in cells.iter().zip(idx.iter()) {
+                let (lo, hi) = cell.get(k).copied().unwrap_or((0.0, 0.0));
                 vol *= hi - lo;
                 center.push(0.5 * (lo + hi));
             }
@@ -168,12 +186,12 @@ impl Region {
                 }
             }
             // Increment mixed-radix counter.
-            for i in 0..d {
-                idx[i] += 1;
-                if idx[i] < radix[i] {
+            for (i, &r) in idx.iter_mut().zip(radix.iter()) {
+                *i += 1;
+                if *i < r {
                     break;
                 }
-                idx[i] = 0;
+                *i = 0;
             }
         }
         sum
@@ -185,7 +203,7 @@ impl Region {
         self.boxes
             .iter()
             .map(|b| b.nearest_point(p))
-            .min_by(|a, b| a.l1(p).partial_cmp(&b.l1(p)).expect("finite distances"))
+            .min_by(|a, b| cmp_f64(a.l1(p), b.l1(p)))
     }
 
     /// The point of the region nearest to `p` under L2 distance.
@@ -193,11 +211,7 @@ impl Region {
         self.boxes
             .iter()
             .map(|b| b.nearest_point(p))
-            .min_by(|a, b| {
-                a.dist2(p)
-                    .partial_cmp(&b.dist2(p))
-                    .expect("finite distances")
-            })
+            .min_by(|a, b| cmp_f64(a.dist2(p), b.dist2(p)))
     }
 
     /// Minimum L1 distance from `p` to the region (zero if inside,
@@ -206,7 +220,7 @@ impl Region {
         self.boxes
             .iter()
             .map(|b| b.min_l1(p))
-            .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+            .min_by(|a, b| cmp_f64(*a, *b))
     }
 
     /// Shrinks every box by `eps` on each side (per dimension), dropping
@@ -221,7 +235,7 @@ impl Region {
     /// Panics if `eps` is negative.
     pub fn shrink(&self, eps: f64) -> Region {
         assert!(eps >= 0.0, "eps must be non-negative");
-        if eps == 0.0 {
+        if eps <= 0.0 {
             return self.clone();
         }
         Region::from_boxes(
@@ -231,9 +245,9 @@ impl Region {
                     let d = b.dim();
                     let mut lo = Vec::with_capacity(d);
                     let mut hi = Vec::with_capacity(d);
-                    for i in 0..d {
-                        let l = b.lo()[i] + eps;
-                        let h = b.hi()[i] - eps;
+                    for (&l0, &h0) in b.lo().coords().iter().zip(b.hi().coords().iter()) {
+                        let l = l0 + eps;
+                        let h = h0 - eps;
                         if l > h {
                             return None;
                         }
@@ -254,32 +268,54 @@ impl Region {
     }
 
     /// Removes boxes contained in another box of the region (duplicates
-    /// collapse to one).
+    /// collapse to one), keeping the surviving antichain in first-seen
+    /// order. This is the same incremental antichain maintenance
+    /// [`Region::intersect`] performs while building a product, so both
+    /// paths leave the representation in the identical canonical form.
     fn prune(&mut self) {
-        let n = self.boxes.len();
-        if n <= 1 {
+        if self.boxes.len() <= 1 {
             return;
         }
-        let mut keep = vec![true; n];
-        for i in 0..n {
-            if !keep[i] {
+        let boxes = std::mem::take(&mut self.boxes);
+        let mut kept: Vec<Rect> = Vec::with_capacity(boxes.len());
+        for b in boxes {
+            if kept.iter().any(|k| k.contains_rect(&b)) {
                 continue;
             }
-            for j in 0..n {
-                if i == j || !keep[j] {
-                    continue;
-                }
-                if self.boxes[j].contains_rect(&self.boxes[i])
-                    && (self.boxes[j] != self.boxes[i] || j < i)
-                {
-                    keep[i] = false;
-                    break;
-                }
-            }
+            kept.retain(|k| !b.contains_rect(k));
+            kept.push(b);
         }
-        let mut it = keep.iter();
-        self.boxes.retain(|_| *it.next().expect("mask length"));
+        self.boxes = kept;
+        self.debug_check_canonical();
     }
+
+    /// Whether the representation is in canonical maximal-box form: no
+    /// box of the region contains another (containment antichain).
+    #[cfg(feature = "invariant-checks")]
+    #[must_use]
+    pub fn is_canonical(&self) -> bool {
+        self.boxes.iter().enumerate().all(|(i, a)| {
+            self.boxes
+                .iter()
+                .enumerate()
+                .all(|(j, b)| i == j || !a.contains_rect(b))
+        })
+    }
+
+    /// With `invariant-checks`: debug-asserts canonical maximal-box form
+    /// after every canonicalising operation. Free when the feature (or
+    /// debug assertions) are off.
+    #[cfg(feature = "invariant-checks")]
+    fn debug_check_canonical(&self) {
+        debug_assert!(
+            self.is_canonical(),
+            "region left canonical maximal-box form: {self:?}"
+        );
+    }
+
+    #[cfg(not(feature = "invariant-checks"))]
+    #[inline]
+    fn debug_check_canonical(&self) {}
 }
 
 impl fmt::Debug for Region {

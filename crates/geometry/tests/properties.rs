@@ -200,3 +200,92 @@ proptest! {
         }
     }
 }
+
+// Regression for the float-ordering sweep: every coordinate/cost sort in
+// the workspace routes through `cmp_f64` (total order), so sorting any
+// finite costs — however extreme — must never panic the way
+// `partial_cmp().unwrap()` did on NaN and must agree with `<` on finite
+// inputs.
+#[test]
+fn sorting_extreme_but_finite_costs_never_panics() {
+    use wnrs_geometry::cmp_f64;
+    let mut costs = vec![
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE,
+        -f64::MIN_POSITIVE,
+        f64::MIN_POSITIVE / 4.0, // subnormal
+        0.0,
+        -0.0,
+        1e308,
+        -1e308,
+        1e-308,
+        f64::EPSILON,
+        -f64::EPSILON,
+        1.0,
+        -1.0,
+    ];
+    costs.sort_by(|a, b| cmp_f64(*a, *b));
+    for w in costs.windows(2) {
+        assert!(w[0] <= w[1] || (w[0] == 0.0 && w[1] == 0.0), "{w:?}");
+    }
+    assert_eq!(costs.first().copied(), Some(f64::MIN));
+    assert_eq!(costs.last().copied(), Some(f64::MAX));
+}
+
+#[test]
+fn cmp_f64_totally_orders_non_finite_values_without_panicking() {
+    use std::cmp::Ordering;
+    use wnrs_geometry::cmp_f64;
+    // `Point::new` rejects non-finite coordinates, but the helper itself
+    // must stay total so no sort can ever panic.
+    assert_eq!(cmp_f64(f64::NEG_INFINITY, f64::INFINITY), Ordering::Less);
+    assert_eq!(cmp_f64(f64::NAN, f64::NAN), Ordering::Equal);
+    assert_eq!(cmp_f64(f64::INFINITY, f64::NAN), Ordering::Less);
+    let mut v = [f64::NAN, 1.0, f64::NEG_INFINITY, -f64::NAN, 0.0];
+    v.sort_by(|a, b| cmp_f64(*a, *b)); // must not panic
+    assert_eq!(v.len(), 5);
+}
+
+// Invariant layer: canonical-form and dominance-law checks
+// (`cargo test -p wnrs-geometry --features invariant-checks`).
+#[cfg(feature = "invariant-checks")]
+mod invariant_checks {
+    use super::{arb_point, arb_rect};
+    use proptest::prelude::*;
+    use wnrs_geometry::{
+        dominance::{antisymmetric_on, transitive_on},
+        dominates, dominates_dyn, Point, Region,
+    };
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn region_algebra_preserves_canonical_form(
+            ra in prop::collection::vec(arb_rect(2), 1..6),
+            rb in prop::collection::vec(arb_rect(2), 1..6),
+        ) {
+            let a = Region::from_boxes(ra);
+            let b = Region::from_boxes(rb);
+            prop_assert!(a.is_canonical());
+            prop_assert!(a.intersect(&b).is_canonical());
+            prop_assert!(a.union(&b).is_canonical());
+            if let Some(bb) = b.bounding() {
+                prop_assert!(a.intersect_rect(&bb).is_canonical());
+            }
+        }
+
+        #[test]
+        fn dominance_laws_on_sampled_triples(
+            pts in prop::collection::vec(arb_point(3), 0..24),
+            q in arb_point(3),
+        ) {
+            prop_assert!(antisymmetric_on(&pts, dominates));
+            prop_assert!(transitive_on(&pts, dominates));
+            let dyn_wrt_q = |a: &Point, b: &Point| dominates_dyn(a, b, &q);
+            prop_assert!(antisymmetric_on(&pts, dyn_wrt_q));
+            prop_assert!(transitive_on(&pts, dyn_wrt_q));
+        }
+    }
+}

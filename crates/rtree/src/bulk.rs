@@ -9,7 +9,7 @@
 use crate::config::RTreeConfig;
 use crate::node::{Entry, ItemId, Node, NodeId};
 use crate::tree::RTree;
-use wnrs_geometry::Point;
+use wnrs_geometry::{cmp_f64, Point};
 
 /// Bulk loads `points` into a fresh tree.
 ///
@@ -107,11 +107,7 @@ fn tile_rec(mut entries: Vec<Entry>, axis: usize, dim: usize, k: usize) -> Vec<V
     // Number of slabs along this axis: k^(1/dims_left), rounded up.
     let s = (k as f64).powf(1.0 / dims_left as f64).ceil() as usize;
     let s = s.clamp(1, k);
-    entries.sort_by(|a, b| {
-        a.rect().center()[axis]
-            .partial_cmp(&b.rect().center()[axis])
-            .expect("finite coordinates")
-    });
+    entries.sort_by(|a, b| cmp_f64(a.rect().center().get(axis), b.rect().center().get(axis)));
     // Distribute the k target nodes over the s slabs, then cut the entry
     // list proportionally.
     let mut out = Vec::with_capacity(k);
@@ -143,11 +139,7 @@ fn chunk_even(mut entries: Vec<Entry>, k: usize) -> Vec<Vec<Entry>> {
         return vec![entries];
     }
     let axis = entries[0].rect().dim() - 1;
-    entries.sort_by(|a, b| {
-        a.rect().center()[axis]
-            .partial_cmp(&b.rect().center()[axis])
-            .expect("finite coordinates")
-    });
+    entries.sort_by(|a, b| cmp_f64(a.rect().center().get(axis), b.rect().center().get(axis)));
     let n = entries.len();
     let mut out = Vec::with_capacity(k);
     let mut start = 0usize;

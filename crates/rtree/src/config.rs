@@ -29,6 +29,7 @@ impl RTreeConfig {
     ///
     /// Panics if `max_entries < 4` (splits need at least two entries per
     /// side, and forced reinsertion needs slack).
+    #[must_use]
     pub fn with_max_entries(max_entries: usize) -> Self {
         assert!(
             max_entries >= 4,
@@ -49,6 +50,7 @@ impl RTreeConfig {
     /// # Panics
     ///
     /// Panics if the page cannot hold at least 4 entries.
+    #[must_use]
     pub fn for_page_size(page_size: usize, dim: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
         let usable = page_size.saturating_sub(NODE_HEADER_BYTES);
@@ -61,6 +63,7 @@ impl RTreeConfig {
     }
 
     /// The paper's experimental configuration: 1536-byte pages.
+    #[must_use]
     pub fn paper_default(dim: usize) -> Self {
         Self::for_page_size(PAPER_PAGE_SIZE, dim)
     }

@@ -38,6 +38,7 @@ pub struct Entry {
 
 impl Entry {
     /// An inner entry bounding `child`'s subtree.
+    #[must_use]
     pub fn node(rect: Rect, child: NodeId) -> Self {
         Self {
             rect,
@@ -46,6 +47,7 @@ impl Entry {
     }
 
     /// A leaf entry for data point `p` with id `id`.
+    #[must_use]
     pub fn item(id: ItemId, p: Point) -> Self {
         Self {
             rect: Rect::degenerate(p),
@@ -73,6 +75,7 @@ impl Entry {
     pub fn point(&self) -> &Point {
         match self.child {
             Child::Item(_) => self.rect.lo(),
+            // lint:allow(no_panic) reason=documented API contract; no point exists for an inner entry
             Child::Node(_) => panic!("point() called on an inner entry"),
         }
     }
@@ -85,6 +88,7 @@ impl Entry {
     pub fn item_id(&self) -> ItemId {
         match self.child {
             Child::Item(id) => id,
+            // lint:allow(no_panic) reason=documented API contract; inner entries carry no item id
             Child::Node(_) => panic!("item_id() called on an inner entry"),
         }
     }
@@ -104,6 +108,7 @@ pub struct Node {
 
 impl Node {
     /// An empty node at the given level.
+    #[must_use]
     pub fn new(level: u32) -> Self {
         Self {
             level,
@@ -112,6 +117,7 @@ impl Node {
     }
 
     /// A node with the given entries.
+    #[must_use]
     pub fn with_entries(level: u32, entries: Vec<Entry>) -> Self {
         Self { level, entries }
     }
@@ -155,6 +161,7 @@ impl Node {
     /// MBR).
     pub fn mbr(&self) -> Rect {
         let mut it = self.entries.iter();
+        // lint:allow(no_panic) reason=documented API contract; an empty node has no extent
         let first = it.next().expect("mbr of empty node").rect().clone();
         it.fold(first, |acc, e| acc.union_mbr(e.rect()))
     }

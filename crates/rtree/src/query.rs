@@ -10,7 +10,7 @@ use crate::node::{Child, ItemId, NodeId};
 use crate::tree::RTree;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use wnrs_geometry::{Point, Rect};
+use wnrs_geometry::{cmp_f64, Point, Rect};
 
 /// One element popped from a [`BestFirst`] traversal.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,10 +72,7 @@ impl Ord for HeapElem {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert so the smallest key pops first;
         // break ties by insertion order for determinism.
-        other
-            .key
-            .total_cmp(&self.key)
-            .then_with(|| other.seq.cmp(&self.seq))
+        cmp_f64(other.key, self.key).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -87,7 +84,7 @@ impl Ord for HeapElem {
 /// Nearest-first enumeration of all points:
 ///
 /// ```
-/// use wnrs_geometry::{Point, Rect};
+/// use wnrs_geometry::{cmp_f64, Point, Rect};
 /// use wnrs_rtree::{bulk::bulk_load, BestFirst, RTreeConfig, Traversal};
 ///
 /// let pts = vec![Point::xy(0.0, 0.0), Point::xy(5.0, 5.0), Point::xy(1.0, 1.0)];
@@ -112,6 +109,7 @@ pub struct BestFirst<'a, K> {
 
 impl<'a, K: FnMut(&Rect) -> f64> BestFirst<'a, K> {
     /// Starts a traversal at the root.
+    #[must_use]
     pub fn new(tree: &'a RTree, key: K) -> Self {
         let mut this = Self {
             tree,

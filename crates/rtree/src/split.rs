@@ -12,7 +12,7 @@
 
 use crate::config::RTreeConfig;
 use crate::node::Entry;
-use wnrs_geometry::Rect;
+use wnrs_geometry::{cmp_f64, Rect};
 
 /// Result of splitting an overflowing entry list in two.
 pub(crate) struct Split {
@@ -20,11 +20,11 @@ pub(crate) struct Split {
     pub right: Vec<Entry>,
 }
 
-/// MBR of a slice of entries.
-fn mbr_of(entries: &[Entry]) -> Rect {
+/// MBR of a slice of entries, or `None` for an empty slice.
+fn mbr_of(entries: &[Entry]) -> Option<Rect> {
     let mut it = entries.iter();
-    let first = it.next().expect("mbr of empty entry list").rect().clone();
-    it.fold(first, |acc, e| acc.union_mbr(e.rect()))
+    let first = it.next()?.rect().clone();
+    Some(it.fold(first, |acc, e| acc.union_mbr(e.rect())))
 }
 
 /// Sorts `entries` in place along `axis`, by lower bound if `by_lower`,
@@ -41,7 +41,7 @@ fn sort_along(entries: &mut [Entry], axis: usize, by_lower: bool) {
         } else {
             (a.rect().lo()[axis], b.rect().lo()[axis])
         };
-        (ka, ta).partial_cmp(&(kb, tb)).expect("finite coordinates")
+        cmp_f64(ka, kb).then(cmp_f64(ta, tb))
     });
 }
 
@@ -50,7 +50,8 @@ fn margin_sum(entries: &[Entry], min_entries: usize) -> f64 {
     let n = entries.len();
     let mut sum = 0.0;
     for k in min_entries..=(n - min_entries) {
-        sum += mbr_of(&entries[..k]).margin() + mbr_of(&entries[k..]).margin();
+        sum += mbr_of(&entries[..k]).map_or(0.0, |r| r.margin())
+            + mbr_of(&entries[k..]).map_or(0.0, |r| r.margin());
     }
     sum
 }
@@ -91,8 +92,9 @@ pub(crate) fn rstar_split(mut entries: Vec<Entry>, config: &RTreeConfig) -> Spli
     let mut best_overlap = f64::INFINITY;
     let mut best_area = f64::INFINITY;
     for k in m..=(n - m) {
-        let left = mbr_of(&entries[..k]);
-        let right = mbr_of(&entries[k..]);
+        let (Some(left), Some(right)) = (mbr_of(&entries[..k]), mbr_of(&entries[k..])) else {
+            continue;
+        };
         let overlap = left.overlap(&right);
         let area = left.area() + right.area();
         if overlap < best_overlap || (overlap == best_overlap && area < best_area) {
@@ -137,8 +139,8 @@ mod tests {
         ]);
         let config = RTreeConfig::with_max_entries(7); // m = 3
         let split = rstar_split(entries, &config);
-        let left_mbr = mbr_of(&split.left);
-        let right_mbr = mbr_of(&split.right);
+        let left_mbr = mbr_of(&split.left).expect("non-empty split");
+        let right_mbr = mbr_of(&split.right).expect("non-empty split");
         assert_eq!(
             left_mbr.overlap(&right_mbr),
             0.0,

@@ -5,7 +5,7 @@ use crate::config::RTreeConfig;
 use crate::node::{Child, Entry, ItemId, Node, NodeId};
 use crate::split::rstar_split;
 use std::sync::atomic::{AtomicU64, Ordering};
-use wnrs_geometry::{Point, Rect};
+use wnrs_geometry::{cmp_f64, Point, Rect};
 
 /// An R\*-tree over d-dimensional points.
 ///
@@ -43,6 +43,7 @@ impl RTree {
     /// # Panics
     ///
     /// Panics if `dim == 0` or the configuration is inconsistent.
+    #[must_use]
     pub fn new(dim: usize, config: RTreeConfig) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
         assert!(
@@ -62,6 +63,7 @@ impl RTree {
     }
 
     /// An empty tree with the paper's page geometry (1536-byte pages).
+    #[must_use]
     pub fn with_paper_pages(dim: usize) -> Self {
         Self::new(dim, RTreeConfig::paper_default(dim))
     }
@@ -184,34 +186,37 @@ impl RTree {
             } else {
                 self.pick_min_enlargement_child(node, rect)
             };
+            // An inner node with no node children is structurally
+            // impossible; stop descending rather than panic if it
+            // happens, so the entry lands at the shallowest valid level.
+            let Some(best) = best else { break };
             current = best;
             path.push(current);
         }
         path
     }
 
-    fn pick_min_enlargement_child(&self, node: &Node, rect: &Rect) -> NodeId {
+    fn pick_min_enlargement_child(&self, node: &Node, rect: &Rect) -> Option<NodeId> {
         let mut best = None;
         let mut best_key = (f64::INFINITY, f64::INFINITY);
         for e in node.entries() {
+            let Child::Node(id) = e.child() else { continue };
             let enlargement = e.rect().enlargement(rect);
             let area = e.rect().area();
             if (enlargement, area) < best_key {
                 best_key = (enlargement, area);
-                best = Some(e);
+                best = Some(id);
             }
         }
-        match best.expect("inner node has entries").child() {
-            Child::Node(id) => id,
-            Child::Item(_) => unreachable!("inner node entry must point at a node"),
-        }
+        best
     }
 
-    fn pick_min_overlap_child(&self, node: &Node, rect: &Rect) -> NodeId {
+    fn pick_min_overlap_child(&self, node: &Node, rect: &Rect) -> Option<NodeId> {
         let entries = node.entries();
         let mut best = None;
         let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
         for (i, e) in entries.iter().enumerate() {
+            let Child::Node(id) = e.child() else { continue };
             let grown = e.rect().union_mbr(rect);
             let mut overlap_delta = 0.0;
             for (j, other) in entries.iter().enumerate() {
@@ -223,18 +228,16 @@ impl RTree {
             let key = (overlap_delta, e.rect().enlargement(rect), e.rect().area());
             if key < best_key {
                 best_key = key;
-                best = Some(e);
+                best = Some(id);
             }
         }
-        match best.expect("inner node has entries").child() {
-            Child::Node(id) => id,
-            Child::Item(_) => unreachable!("inner node entry must point at a node"),
-        }
+        best
     }
 
     fn insert_entry(&mut self, entry: Entry, level: u32, reinserted: &mut [bool]) {
         let path = self.choose_path(entry.rect(), level);
-        let target = *path.last().expect("path is never empty");
+        // `choose_path` always returns at least the root.
+        let Some(&target) = path.last() else { return };
         self.nodes[target.index()].push(entry);
         self.propagate(path, reinserted);
     }
@@ -277,7 +280,7 @@ impl RTree {
         entries.sort_by(|a, b| {
             let da = a.rect().center().dist2(&center);
             let db = b.rect().center().dist2(&center);
-            da.partial_cmp(&db).expect("finite distances")
+            cmp_f64(da, db)
         });
         let keep = entries.len() - p;
         let mut orphans = entries.split_off(keep);
@@ -307,9 +310,10 @@ impl RTree {
             self.root = new_root;
             self.height += 1;
             debug_assert!(path.is_empty(), "root split with non-empty remaining path");
-        } else {
-            let parent = *path.last().expect("non-root node has a parent on the path");
+        } else if let Some(&parent) = path.last() {
             self.nodes[parent.index()].push(Entry::node(sibling_rect, sibling));
+        } else {
+            debug_assert!(false, "non-root node has a parent on the path");
         }
     }
 
@@ -324,7 +328,7 @@ impl RTree {
                 return;
             }
         }
-        unreachable!("child {child:?} missing from parent {parent:?}");
+        debug_assert!(false, "child {child:?} missing from parent {parent:?}");
     }
 
     /// Recomputes rectangles bottom-up along a whole path.
@@ -345,14 +349,16 @@ impl RTree {
         let Some(path) = self.find_leaf(self.root, id, p, &mut Vec::new()) else {
             return false;
         };
-        let leaf = *path.last().expect("leaf path non-empty");
+        let Some(&leaf) = path.last() else {
+            return false;
+        };
         let entries = self.nodes[leaf.index()].entries_mut();
-        let pos = entries
-            .iter()
-            .position(|e| {
-                matches!(e.child(), Child::Item(i) if i == id) && e.point().same_location(p)
-            })
-            .expect("find_leaf guarantees a match");
+        let Some(pos) = entries.iter().position(|e| {
+            matches!(e.child(), Child::Item(i) if i == id) && e.point().same_location(p)
+        }) else {
+            // find_leaf guarantees a match; treat a miss as "not found".
+            return false;
+        };
         entries.remove(pos);
         self.len -= 1;
         self.condense(path);
@@ -379,7 +385,7 @@ impl RTree {
             for e in node.entries() {
                 if e.rect().contains_point(p) {
                     let Child::Node(child) = e.child() else {
-                        unreachable!()
+                        continue;
                     };
                     if let Some(found) = self.find_leaf(child, id, p, path) {
                         return Some(found);
@@ -400,13 +406,15 @@ impl RTree {
             let node = self.node(node_id);
             if node.len() < self.config.min_entries {
                 let level = node.level();
-                let parent = *path.last().expect("non-root has parent");
+                // A non-root node always has a parent on the path.
+                let Some(&parent) = path.last() else { break };
                 let parent_entries = self.nodes[parent.index()].entries_mut();
-                let pos = parent_entries
+                if let Some(pos) = parent_entries
                     .iter()
                     .position(|e| e.child() == Child::Node(node_id))
-                    .expect("parent links child");
-                parent_entries.remove(pos);
+                {
+                    parent_entries.remove(pos);
+                }
                 for e in self.nodes[node_id.index()].take_entries() {
                     orphans.push((level, e));
                 }
@@ -420,8 +428,9 @@ impl RTree {
 
         // Shrink the root while it is an inner node with a single child.
         while !self.node(self.root).is_leaf() && self.node(self.root).len() == 1 {
-            let Child::Node(child) = self.node(self.root).entries()[0].child() else {
-                unreachable!()
+            let child = self.node(self.root).entries().first().map(|e| e.child());
+            let Some(Child::Node(child)) = child else {
+                break;
             };
             self.free.push(self.root);
             self.root = child;
@@ -510,10 +519,9 @@ impl RTree {
             } else {
                 for e in node.entries() {
                     if window.intersects(e.rect()) {
-                        let Child::Node(child) = e.child() else {
-                            unreachable!()
-                        };
-                        stack.push(child);
+                        if let Child::Node(child) = e.child() {
+                            stack.push(child);
+                        }
                     }
                 }
             }
@@ -541,10 +549,9 @@ impl RTree {
             } else {
                 for e in node.entries() {
                     if window.intersects(e.rect()) {
-                        let Child::Node(child) = e.child() else {
-                            unreachable!()
-                        };
-                        stack.push(child);
+                        if let Child::Node(child) = e.child() {
+                            stack.push(child);
+                        }
                     }
                 }
             }
@@ -577,10 +584,9 @@ impl RTree {
                         // Fully covered subtree: count it wholesale.
                         count += self.subtree_len(e.child());
                     } else if window.intersects(e.rect()) {
-                        let Child::Node(child) = e.child() else {
-                            unreachable!()
-                        };
-                        stack.push(child);
+                        if let Child::Node(child) = e.child() {
+                            stack.push(child);
+                        }
                     }
                 }
             }
@@ -620,10 +626,9 @@ impl RTree {
                 }
             } else {
                 for e in node.entries() {
-                    let Child::Node(child) = e.child() else {
-                        unreachable!()
-                    };
-                    stack.push(child);
+                    if let Child::Node(child) = e.child() {
+                        stack.push(child);
+                    }
                 }
             }
         }

@@ -87,7 +87,7 @@ fn check_node(
                 if !node.is_leaf() {
                     return Err(StructureError(format!("{id:?}: item entry in inner node")));
                 }
-                if e.rect().area() != 0.0 {
+                if e.rect().area() > 0.0 {
                     return Err(StructureError(format!("{id:?}: item entry with extent")));
                 }
                 *items += 1;

@@ -15,7 +15,7 @@
 //! region of the paper's Fig. 16 is what it misses. A safe region built
 //! from it can only be smaller than the exact one, never unsafe.
 
-use wnrs_geometry::{dominance::prune_dominated, dominates, Point, Rect, Region};
+use wnrs_geometry::{cmp_f64, dominance::prune_dominated, dominates, Point, Rect, Region};
 
 /// Samples a transformed-space DSL down to roughly `k` points: the first
 /// and last point of the sequence sorted by dimension 0 are always kept,
@@ -31,7 +31,7 @@ pub fn sample_dsl(dsl_t: &[Point], k: usize) -> Vec<Point> {
     let mut sky: Vec<Point> = dsl_t.to_vec();
     prune_dominated(&mut sky, dominates);
     dedup(&mut sky);
-    sky.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite"));
+    sky.sort_by(|a, b| cmp_f64(a[0], b[0]));
     let m = sky.len();
     if m <= k.max(2) {
         return sky;
@@ -61,7 +61,7 @@ pub fn approx_anti_ddr(sample_t: &[Point], maxd: &Point) -> Region {
     if sample.is_empty() {
         return Region::from_rect(Rect::new(origin, maxd.clone()));
     }
-    sample.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite"));
+    sample.sort_by(|a, b| cmp_f64(a[0], b[0]));
     let cap = |p: &Point| Point::new((0..d).map(|i| p[i].min(maxd[i])).collect::<Vec<_>>());
     let mut boxes = Vec::with_capacity(sample.len() + 2);
     // Left extension: everything with dim-0 below the first sample.

@@ -8,7 +8,7 @@
 //! pairwise filtering — still a useful contrast to BNL/SFS on large
 //! dominated fractions.
 
-use wnrs_geometry::{dominates, Point};
+use wnrs_geometry::{cmp_f64, dominates, Point};
 
 /// Indices of the skyline of `points` under static dominance, in input
 /// order. Output-equivalent to [`crate::bnl_skyline`].
@@ -17,12 +17,7 @@ pub fn dc_skyline(points: &[Point]) -> Vec<usize> {
         return Vec::new();
     }
     let mut idx: Vec<usize> = (0..points.len()).collect();
-    idx.sort_by(|&a, &b| {
-        points[a][0]
-            .partial_cmp(&points[b][0])
-            .expect("finite coordinates")
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| cmp_f64(points[a][0], points[b][0]).then(a.cmp(&b)));
     let mut result = solve(points, &idx);
     result.sort_unstable();
     result

@@ -19,7 +19,7 @@
 //! The closed representation errs by a measure-zero set; callers that
 //! need strict safety (property tests) shrink by an epsilon.
 
-use wnrs_geometry::{dominance::prune_dominated, dominates, Point, Rect, Region};
+use wnrs_geometry::{cmp_f64, dominance::prune_dominated, dominates, Point, Rect, Region};
 
 /// Per-dimension maximum distance from `c` to anywhere in `universe` —
 /// the transformed-space corner the unbounded staircase boxes are capped
@@ -80,7 +80,7 @@ fn anti_ddr_2d(dsl_t: &[Point], maxd: &Point) -> Region {
         return Region::from_rect(Rect::new(origin(2), maxd.clone()));
     }
     // Ascending x ⇒ descending y (mutually non-dominated).
-    sky.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite"));
+    sky.sort_by(|a, b| cmp_f64(a[0], b[0]));
     let m = sky.len();
     let mut boxes = Vec::with_capacity(m + 1);
     // Left of the staircase: x ≤ s_0.x, any y.

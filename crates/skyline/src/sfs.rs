@@ -5,7 +5,7 @@
 //! single filtering pass against the already-confirmed skyline suffices —
 //! confirmed points are never evicted, unlike BNL's window.
 
-use wnrs_geometry::{dominates, Point};
+use wnrs_geometry::{cmp_f64, dominates, Point};
 
 /// Indices of the skyline of `points` under static dominance, in input
 /// order. Equivalent output to [`crate::bnl_skyline`]; typically faster
@@ -15,9 +15,7 @@ pub fn sfs_skyline(points: &[Point]) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         let sa: f64 = points[a].coords().iter().sum();
         let sb: f64 = points[b].coords().iter().sum();
-        sa.partial_cmp(&sb)
-            .expect("finite coordinates")
-            .then(a.cmp(&b))
+        cmp_f64(sa, sb).then(a.cmp(&b))
     });
     let mut skyline: Vec<usize> = Vec::new();
     'outer: for &i in &order {

@@ -39,6 +39,7 @@ impl<P: Pager> BufferPool<P> {
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
+    #[must_use]
     pub fn new(pager: Arc<P>, capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool capacity must be positive");
         Self {
@@ -167,9 +168,12 @@ impl<P: Pager> BufferPool<P> {
                 .frames
                 .iter()
                 .min_by_key(|(_, f)| f.last_used)
-                .map(|(id, _)| *id)
-                .expect("non-empty frames when at capacity");
-            let frame = st.frames.remove(&victim).expect("victim present");
+                .map(|(id, _)| *id);
+            // A zero-capacity pool has no victim to evict; nothing to do.
+            let Some(victim) = victim else { break };
+            let Some(frame) = st.frames.remove(&victim) else {
+                break;
+            };
             if frame.dirty {
                 stats.record_physical_write();
                 pager.write_page(victim, &frame.page)?;

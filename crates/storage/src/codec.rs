@@ -42,6 +42,7 @@ pub struct Encoder<'a> {
 
 impl<'a> Encoder<'a> {
     /// Starts encoding at the beginning of `buf`.
+    #[must_use]
     pub fn new(buf: &'a mut [u8]) -> Self {
         Self { buf, pos: 0 }
     }
@@ -97,6 +98,7 @@ pub struct Decoder<'a> {
 
 impl<'a> Decoder<'a> {
     /// Starts decoding at the beginning of `buf`.
+    #[must_use]
     pub fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
@@ -128,25 +130,29 @@ impl<'a> Decoder<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads exactly `N` bytes into an array.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let bytes = self.take(N)?;
+        let mut arr = [0u8; N];
+        for (dst, src) in arr.iter_mut().zip(bytes.iter()) {
+            *dst = *src;
+        }
+        Ok(arr)
+    }
+
     /// Reads a `u32`.
     pub fn get_u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a `u64`.
     pub fn get_u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads an `f64`.
     pub fn get_f64(&mut self) -> Result<f64, CodecError> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 }
 

@@ -79,11 +79,14 @@ impl FilePager {
         let mut superblock = [0u8; SUPERBLOCK_BYTES as usize];
         file.read_exact(&mut superblock)
             .map_err(|_| FilePagerError::Format("file shorter than a superblock".into()))?;
-        let magic = u64::from_le_bytes(superblock[..8].try_into().expect("8 bytes"));
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&superblock[..8]);
+        let magic = u64::from_le_bytes(word);
         if magic != MAGIC {
             return Err(FilePagerError::Format("magic mismatch".into()));
         }
-        let page_size = u64::from_le_bytes(superblock[8..16].try_into().expect("8 bytes")) as usize;
+        word.copy_from_slice(&superblock[8..16]);
+        let page_size = u64::from_le_bytes(word) as usize;
         if page_size == 0 {
             return Err(FilePagerError::Format("zero page size".into()));
         }

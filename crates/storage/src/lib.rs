@@ -22,5 +22,5 @@ pub use buffer::BufferPool;
 pub use codec::{Decoder, Encoder};
 pub use file::FilePager;
 pub use page::{Page, PageId, PAPER_PAGE_SIZE};
-pub use pager::{MemPager, Pager};
+pub use pager::{MemPager, Pager, PagerError};
 pub use stats::IoStats;

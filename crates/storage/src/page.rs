@@ -35,6 +35,7 @@ impl Page {
     /// # Panics
     ///
     /// Panics if `size` is zero.
+    #[must_use]
     pub fn zeroed(size: usize) -> Self {
         assert!(size > 0, "page size must be positive");
         Self {
@@ -43,6 +44,7 @@ impl Page {
     }
 
     /// Builds a page from raw bytes.
+    #[must_use]
     pub fn from_bytes(data: Vec<u8>) -> Self {
         assert!(!data.is_empty(), "page size must be positive");
         Self {

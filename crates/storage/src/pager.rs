@@ -69,6 +69,7 @@ impl MemPager {
     /// # Panics
     ///
     /// Panics if `page_size` is zero.
+    #[must_use]
     pub fn new(page_size: usize) -> Self {
         assert!(page_size > 0, "page size must be positive");
         Self {
@@ -79,6 +80,7 @@ impl MemPager {
     }
 
     /// A pager with the paper's 1536-byte pages.
+    #[must_use]
     pub fn paper_default() -> Self {
         Self::new(crate::page::PAPER_PAGE_SIZE)
     }

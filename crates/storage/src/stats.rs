@@ -18,6 +18,7 @@ pub struct IoStats {
 
 impl IoStats {
     /// Fresh, zeroed counters.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }

@@ -61,6 +61,7 @@ impl Scene {
     ///
     /// Panics unless `bounds` is 2-d with positive extent in both
     /// dimensions.
+    #[must_use]
     pub fn new(bounds: Rect) -> Self {
         assert_eq!(bounds.dim(), 2, "SVG scenes are 2-d");
         assert!(
@@ -93,20 +94,18 @@ impl Scene {
     pub fn point(&mut self, p: &Point, label: &str, style: &str) -> &mut Self {
         assert_eq!(p.dim(), 2, "2-d points only");
         let (cx, cy) = (self.x(p[0]), self.y(p[1]));
-        writeln!(
+        let _ = writeln!(
             self.body,
             r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="4" style="{style}"/>"#
-        )
-        .expect("write to String");
+        );
         if !label.is_empty() {
-            writeln!(
+            let _ = writeln!(
                 self.body,
                 r#"<text x="{:.2}" y="{:.2}" font-size="12" font-family="sans-serif">{}</text>"#,
                 cx + 6.0,
                 cy - 6.0,
                 escape(label)
-            )
-            .expect("write to String");
+            );
         }
         self
     }
@@ -126,11 +125,10 @@ impl Scene {
         let y = self.y(r.hi()[1]);
         let w = (r.extent(0) / self.bounds.extent(0) * VIEW).max(1.0);
         let h = (r.extent(1) / self.bounds.extent(1) * VIEW).max(1.0);
-        writeln!(
+        let _ = writeln!(
             self.body,
             r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" style="{style}"/>"#
-        )
-        .expect("write to String");
+        );
         self
     }
 
@@ -146,20 +144,18 @@ impl Scene {
     pub fn arrow(&mut self, from: &Point, to: &Point, label: &str) -> &mut Self {
         let (x1, y1) = (self.x(from[0]), self.y(from[1]));
         let (x2, y2) = (self.x(to[0]), self.y(to[1]));
-        writeln!(
+        let _ = writeln!(
             self.body,
             r##"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="#7c3aed" stroke-width="1.6" marker-end="url(#arrowhead)"/>"##
-        )
-        .expect("write to String");
+        );
         if !label.is_empty() {
-            writeln!(
+            let _ = writeln!(
                 self.body,
                 r##"<text x="{:.2}" y="{:.2}" font-size="11" fill="#7c3aed" font-family="sans-serif">{}</text>"##,
                 (x1 + x2) / 2.0 + 4.0,
                 (y1 + y2) / 2.0 - 4.0,
                 escape(label)
-            )
-            .expect("write to String");
+            );
         }
         self
     }
@@ -168,51 +164,45 @@ impl Scene {
     pub fn render(&self) -> String {
         let total = VIEW + 2.0 * MARGIN;
         let mut out = String::new();
-        writeln!(
+        let _ = writeln!(
             out,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{total}" height="{total}" viewBox="0 0 {total} {total}">"#
-        )
-        .expect("write");
+        );
         out.push_str(concat!(
             r#"<defs><marker id="arrowhead" markerWidth="8" markerHeight="6" refX="7" refY="3" orient="auto">"#,
             r##"<polygon points="0 0, 8 3, 0 6" fill="#7c3aed"/></marker></defs>"##,
             "\n"
         ));
         // Background and frame.
-        writeln!(
+        let _ = writeln!(
             out,
             r##"<rect width="{total}" height="{total}" fill="#ffffff"/>"##
-        )
-        .expect("write");
-        writeln!(
+        );
+        let _ = writeln!(
             out,
             r##"<rect x="{MARGIN}" y="{MARGIN}" width="{VIEW}" height="{VIEW}" fill="none" stroke="#9ca3af"/>"##
-        )
-        .expect("write");
+        );
         // Axis extents.
-        writeln!(
+        let _ = writeln!(
             out,
             r##"<text x="{MARGIN}" y="{:.1}" font-size="11" fill="#6b7280" font-family="sans-serif">{} .. {}</text>"##,
             MARGIN + VIEW + 16.0,
             fmt_num(self.bounds.lo()[0]),
             fmt_num(self.bounds.hi()[0]),
-        )
-        .expect("write");
-        writeln!(
+        );
+        let _ = writeln!(
             out,
             r##"<text x="4" y="{MARGIN}" font-size="11" fill="#6b7280" font-family="sans-serif">{} .. {}</text>"##,
             fmt_num(self.bounds.lo()[1]),
             fmt_num(self.bounds.hi()[1]),
-        )
-        .expect("write");
+        );
         if let Some(t) = &self.title {
-            writeln!(
+            let _ = writeln!(
                 out,
                 r#"<text x="{:.1}" y="24" font-size="15" font-family="sans-serif" text-anchor="middle">{}</text>"#,
                 total / 2.0,
                 escape(t)
-            )
-            .expect("write");
+            );
         }
         out.push_str(&self.body);
         out.push_str("</svg>\n");

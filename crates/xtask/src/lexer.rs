@@ -1,0 +1,480 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The container this workspace builds in has no registry access, so the
+//! lint pass cannot lean on `syn`. This lexer implements exactly the
+//! subset of Rust's lexical grammar the rules need to be *sound* about:
+//!
+//! * line (`//`, `///`, `//!`) and nested block (`/* */`) comments,
+//! * string, raw-string (`r#"…"#`), byte-string and char literals
+//!   (including the char-vs-lifetime ambiguity),
+//! * numeric literals with a float/integer distinction (so `a == 1.0`
+//!   and `a == 1` are told apart),
+//! * identifiers, raw identifiers (`r#fn`) and single-char punctuation.
+//!
+//! Everything inside comments and string literals disappears from the
+//! token stream — an `unwrap()` spelled in a doc comment or a string is
+//! invisible to the rules, which is the property the fixture tests pin
+//! down. Comment text is preserved separately because the
+//! `// lint:allow(...)` escape hatch lives in comments.
+
+/// What a single token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `unwrap`, `Self`, …).
+    Ident(String),
+    /// A numeric literal; `float` is true for decimal-point/exponent
+    /// forms (`1.0`, `2e9`, `1f64`).
+    Number {
+        /// Whether the literal is a floating-point literal.
+        float: bool,
+    },
+    /// A string, raw-string, byte-string or char literal (contents
+    /// dropped).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// A comment (line or block) plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The raw comment text including its delimiters.
+    pub text: String,
+    /// 1-based source line of the comment's first character.
+    pub line: u32,
+}
+
+/// The output of [`lex`]: code tokens and the comments that were
+/// stripped from around them.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens and comments.
+///
+/// The lexer is total: malformed input (e.g. an unterminated string)
+/// never fails, it simply consumes to end of input. Lint rules only
+/// ever *under*-report on malformed files, which `rustc` rejects anyway.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                out.comments.push(lex_line_comment(&mut cur, line));
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                out.comments.push(lex_block_comment(&mut cur, line));
+            }
+            '"' => {
+                lex_string(&mut cur);
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&cur) => {
+                lex_raw_or_byte_literal(&mut cur);
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            'r' if cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) => {
+                cur.bump();
+                cur.bump();
+                let ident = lex_ident(&mut cur);
+                out.tokens.push(Token {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+            }
+            '\'' => {
+                if let Some(tok) = lex_char_or_lifetime(&mut cur) {
+                    out.tokens.push(Token { tok, line });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let float = lex_number(&mut cur);
+                out.tokens.push(Token {
+                    tok: Tok::Number { float },
+                    line,
+                });
+            }
+            _ if is_ident_start(c) => {
+                let ident = lex_ident(&mut cur);
+                out.tokens.push(Token {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor, line: u32) -> Comment {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Comment { text, line }
+}
+
+fn lex_block_comment(cur: &mut Cursor, line: u32) -> Comment {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            text.push_str("*/");
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    Comment { text, line }
+}
+
+fn lex_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump(); // escaped char, including \" and \\
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// True at `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `br#"…"#`.
+fn starts_raw_or_byte_literal(cur: &Cursor) -> bool {
+    let mut i = 1; // past the leading r or b
+    if cur.peek(0) == Some('b') && cur.peek(1) == Some('r') {
+        i = 2;
+    }
+    let mut hashes = 0;
+    while cur.peek(i + hashes) == Some('#') {
+        hashes += 1;
+    }
+    // b"…" permits no hashes; r"…"/br"…" permit any number.
+    let raw = cur.peek(0) == Some('r') || cur.peek(1) == Some('r');
+    cur.peek(i + hashes) == Some('"') && (raw || hashes == 0)
+}
+
+fn lex_raw_or_byte_literal(cur: &mut Cursor) {
+    let mut raw = false;
+    while let Some(c) = cur.peek(0) {
+        if c == 'b' {
+            cur.bump();
+        } else if c == 'r' {
+            raw = true;
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    if !raw {
+        // Plain byte string: escapes apply.
+        while let Some(c) = cur.bump() {
+            match c {
+                '\\' => {
+                    cur.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        return;
+    }
+    // Raw string: ends at `"` followed by the same number of `#`.
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek(0) == Some('#') {
+                seen += 1;
+                cur.bump();
+            }
+            if seen == hashes {
+                break;
+            }
+        }
+    }
+}
+
+fn lex_char_or_lifetime(cur: &mut Cursor) -> Option<Tok> {
+    cur.bump(); // the opening '
+    let first = cur.peek(0)?;
+    if first == '\\' {
+        // Escaped char literal: '\n', '\'', '\u{1F600}' …
+        cur.bump(); // backslash
+        cur.bump(); // escape head
+        while let Some(c) = cur.bump() {
+            if c == '\'' {
+                break;
+            }
+        }
+        return Some(Tok::Literal);
+    }
+    if is_ident_start(first) && cur.peek(1) != Some('\'') {
+        // Lifetime: 'a, 'static, '_ — an identifier not closed by a quote.
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        return Some(Tok::Lifetime);
+    }
+    // Plain char literal like 'x' or '('.
+    cur.bump(); // the char
+    if cur.peek(0) == Some('\'') {
+        cur.bump();
+    }
+    Some(Tok::Literal)
+}
+
+fn lex_ident(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            s.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// Lexes a number; returns whether it is a float literal.
+fn lex_number(cur: &mut Cursor) -> bool {
+    let mut float = false;
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x') | Some('o') | Some('b')) {
+        cur.bump();
+        cur.bump();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        return false;
+    }
+    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+        cur.bump();
+    }
+    // Decimal point: `1.0`, `1.` — but not the range `1..2` and not the
+    // method call `1.max(2)`.
+    if cur.peek(0) == Some('.') {
+        let after = cur.peek(1);
+        let is_fractional = match after {
+            Some(c) if c.is_ascii_digit() => true,
+            Some('.') => false,
+            Some(c) if is_ident_start(c) => false,
+            _ => true, // `1.` followed by `)`, `,`, whitespace, EOF …
+        };
+        if is_fractional {
+            float = true;
+            cur.bump();
+            while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                cur.bump();
+            }
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e') | Some('E')) {
+        let mut j = 1;
+        if matches!(cur.peek(1), Some('+') | Some('-')) {
+            j = 2;
+        }
+        if cur.peek(j).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            for _ in 0..j {
+                cur.bump();
+            }
+            while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                cur.bump();
+            }
+        }
+    }
+    // Suffix (`f64`, `u32`, …).
+    let mut suffix = String::new();
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        if let Some(c) = cur.bump() {
+            suffix.push(c);
+        }
+    }
+    if suffix == "f32" || suffix == "f64" {
+        float = true;
+    }
+    float
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_invisible() {
+        let src = r##"
+            let s = "call .unwrap() here"; // and .unwrap() there
+            /* block .unwrap() */
+            let r = r#"raw .unwrap()"#;
+            /// doc .unwrap()
+            let x = 1;
+        "##;
+        let names = idents(src);
+        assert!(!names.iter().any(|n| n == "unwrap"), "{names:?}");
+    }
+
+    #[test]
+    fn real_unwrap_is_visible() {
+        let names = idents("x.unwrap();");
+        assert!(names.iter().any(|n| n == "unwrap"));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks: Vec<Tok> = lex("1.0 2 0..3 4.max(9) 5e3 6f64 0x1f")
+            .tokens
+            .into_iter()
+            .map(|t| t.tok)
+            .collect();
+        let floats: Vec<bool> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Number { float } => Some(*float),
+                _ => None,
+            })
+            .collect();
+        // 1.0, 2, 0, 3, 4, 9, 5e3, 6f64, 0x1f
+        assert_eq!(
+            floats,
+            vec![true, false, false, false, false, false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n  c");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still */ x");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.comments.len(), 1);
+    }
+}

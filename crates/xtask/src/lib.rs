@@ -1,0 +1,98 @@
+//! # xtask — `wnrs-lint`, the workspace-native static analysis pass
+//!
+//! An offline, dependency-free lint tool for this workspace
+//! (`cargo run -p xtask -- lint`). The paper's algorithms are
+//! geometry-heavy: correctness lives or dies on totally-ordered floats
+//! and canonical region form, properties neither `rustc` nor stock
+//! clippy can check. This crate hand-rolls a small Rust lexer
+//! ([`lexer`]) — the build container is offline, so no `syn` — and
+//! enforces repo-specific rules ([`rules`]) over every workspace crate
+//! ([`walk`]), reporting as text or JSON ([`report`]).
+//!
+//! See `DESIGN.md` §4 for the rule catalogue and the escape-hatch
+//! policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use report::Report;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Errors the tool itself can hit (I/O, bad usage).
+#[derive(Debug)]
+pub enum Error {
+    /// Reading a file or directory failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The command line was malformed.
+    Usage(String),
+}
+
+impl Error {
+    #[must_use]
+    pub(crate) fn io(path: &Path, source: std::io::Error) -> Self {
+        Error::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            Error::Usage(msg) => write!(f, "usage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lints the workspace rooted at `root`; returns the normalized report.
+pub fn lint_workspace(root: &Path) -> Result<Report, Error> {
+    let sources = walk::collect_sources(root)?;
+    let mut report = Report {
+        files_scanned: sources.len(),
+        ..Report::default()
+    };
+    for src in &sources {
+        let text = std::fs::read_to_string(&src.path).map_err(|e| Error::io(&src.path, e))?;
+        let (findings, allows) = rules::lint_source(&src.rel, &text, src.class);
+        report.findings.extend(findings);
+        report.allows.extend(allows);
+    }
+    report.normalize();
+    Ok(report)
+}
+
+/// Locates the workspace root: walks up from the current directory to
+/// the first directory holding both `Cargo.toml` and `crates/`.
+pub fn find_workspace_root() -> Result<PathBuf, Error> {
+    let cwd = std::env::current_dir().map_err(|e| Error::io(Path::new("."), e))?;
+    let mut dir: &Path = &cwd;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(Error::Usage(
+                    "no workspace root (Cargo.toml + crates/) above the current directory"
+                        .to_string(),
+                ))
+            }
+        }
+    }
+}

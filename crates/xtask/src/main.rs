@@ -1,0 +1,74 @@
+//! Command-line entry point for the workspace lint pass.
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--json] [--root <dir>]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/I-O error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::Error;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            eprintln!("usage: cargo run -p xtask -- lint [--json] [--root <dir>]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Runs the CLI; returns whether the workspace was clean.
+fn run(args: Vec<String>) -> Result<bool, Error> {
+    let mut args = args.into_iter();
+    match args.next().as_deref() {
+        Some("lint") => {}
+        Some(other) => {
+            return Err(Error::Usage(format!("unknown subcommand `{other}`")));
+        }
+        None => {
+            return Err(Error::Usage(
+                "missing subcommand (expected `lint`)".to_string(),
+            ));
+        }
+    }
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    return Err(Error::Usage("--root requires a directory".to_string()));
+                }
+            },
+            other => {
+                return Err(Error::Usage(format!("unknown flag `{other}`")));
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => xtask::find_workspace_root()?,
+    };
+    let report = xtask::lint_workspace(&root)?;
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(report.is_clean())
+}

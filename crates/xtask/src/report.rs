@@ -1,0 +1,223 @@
+//! Rendering lint results as human-readable text or machine-readable
+//! JSON (the `--json` flag and the committed `LINT_BASELINE.json`).
+
+use crate::rules::{AllowRecord, Finding, Rule};
+use std::fmt::Write as _;
+
+/// The outcome of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving findings across all files, sorted (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Used allow directives across all files, sorted (file, line).
+    pub allows: Vec<AllowRecord>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the workspace is clean (no surviving findings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Sorts findings and allows into the canonical report order.
+    pub fn normalize(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+
+    /// Count of findings for one rule.
+    pub fn count(&self, rule: Rule) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    /// Count of allows for one rule.
+    pub fn allow_count(&self, rule: Rule) -> usize {
+        self.allows.iter().filter(|a| a.rule == rule).count()
+    }
+
+    /// The human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            let _ = writeln!(s, "{}:{}: [{}] {}", f.file, f.line, f.rule.id(), f.message);
+        }
+        if !self.findings.is_empty() {
+            let _ = writeln!(s);
+        }
+        let _ = writeln!(
+            s,
+            "wnrs-lint: {} file(s) scanned, {} finding(s), {} allow(s)",
+            self.files_scanned,
+            self.findings.len(),
+            self.allows.len()
+        );
+        for rule in Rule::all() {
+            let n = self.count(rule);
+            let a = self.allow_count(rule);
+            if n > 0 || a > 0 {
+                let _ = writeln!(s, "  {:>16}: {} finding(s), {} allow(s)", rule.id(), n, a);
+            }
+        }
+        let hygiene = self.count(Rule::AllowHygiene);
+        if hygiene > 0 {
+            let _ = writeln!(
+                s,
+                "  {:>16}: {} finding(s)",
+                Rule::AllowHygiene.id(),
+                hygiene
+            );
+        }
+        if !self.allows.is_empty() {
+            let _ = writeln!(s, "allow escape hatches in effect:");
+            for a in &self.allows {
+                let _ = writeln!(
+                    s,
+                    "  {}:{}: lint:allow({}) reason={}",
+                    a.file,
+                    a.line,
+                    a.rule.id(),
+                    a.reason
+                );
+            }
+        }
+        s
+    }
+
+    /// The machine-readable report (stable field and entry order, so the
+    /// committed baseline diffs cleanly).
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(f.rule.id()),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(a.rule.id()),
+                json_str(&a.file),
+                a.line,
+                json_str(&a.reason)
+            );
+        }
+        if !self.allows.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"counts\": {");
+        let mut first = true;
+        for rule in Rule::all() {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "\n    {}: {{\"findings\": {}, \"allows\": {}}}",
+                json_str(rule.id()),
+                self.count(rule),
+                self.allow_count(rule)
+            );
+        }
+        let _ = write!(
+            s,
+            ",\n    {}: {{\"findings\": {}, \"allows\": 0}}",
+            json_str(Rule::AllowHygiene.id()),
+            self.count(Rule::AllowHygiene)
+        );
+        let _ = write!(
+            s,
+            "\n  }},\n  \"files_scanned\": {}\n}}\n",
+            self.files_scanned
+        );
+        s
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn clean_report_renders() {
+        let mut r = Report {
+            files_scanned: 3,
+            ..Report::default()
+        };
+        r.normalize();
+        assert!(r.is_clean());
+        let json = r.render_json();
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(r.render_text().contains("3 file(s) scanned"));
+    }
+
+    #[test]
+    fn finding_counts_by_rule() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: Rule::NoPanic,
+            file: "b.rs".to_string(),
+            line: 2,
+            message: "m".to_string(),
+        });
+        r.findings.push(Finding {
+            rule: Rule::FloatCmp,
+            file: "a.rs".to_string(),
+            line: 9,
+            message: "m".to_string(),
+        });
+        r.normalize();
+        assert_eq!(r.count(Rule::NoPanic), 1);
+        assert_eq!(r.count(Rule::FloatCmp), 1);
+        assert_eq!(r.findings[0].file, "a.rs", "sorted by file");
+        assert!(!r.is_clean());
+    }
+}

@@ -1,0 +1,855 @@
+//! The lint rules and the per-file engine that applies them.
+//!
+//! | id                 | rule                                                        |
+//! |--------------------|-------------------------------------------------------------|
+//! | `no_panic`         | no `unwrap`/`expect`/`panic!`/`unreachable!` outside tests  |
+//! | `float_cmp`        | no raw float `==`/`!=`, no `partial_cmp`/`total_cmp` calls  |
+//! |                    | outside the NaN-validated boundary (`geometry/src/point.rs`)|
+//! | `no_index`         | no `[…]` indexing in designated hot-path modules            |
+//! | `must_use_builder` | `pub fn … -> Self` must carry `#[must_use]`                 |
+//! | `crate_gates`      | crate roots carry `#![forbid(unsafe_code)]` +               |
+//! |                    | `#![warn(missing_docs)]`                                    |
+//! | `allow_hygiene`    | malformed or unused `// lint:allow` directives              |
+//!
+//! Code under `#[cfg(test)]` / `#[test]` items is exempt from every
+//! token rule, as are doc comments and string literals (the lexer never
+//! surfaces them).
+//!
+//! The escape hatch is a comment of the form
+//! `// lint:allow(<rule>) reason=<free text>` placed on the offending
+//! line or the line directly above it. Allows are counted and reported;
+//! an allow without a reason, with an unknown rule id, or matching no
+//! finding is itself a finding (`allow_hygiene`).
+
+use crate::lexer::{lex, Comment, Tok, Token};
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// L1: no `unwrap`/`expect`/`panic!`/`unreachable!` in non-test code.
+    NoPanic,
+    /// L2: no raw float equality or ordering outside the float boundary.
+    FloatCmp,
+    /// L3: no `[…]` indexing in hot-path modules.
+    NoIndex,
+    /// L4: builder methods returning `Self` must be `#[must_use]`.
+    MustUseBuilder,
+    /// L5: crate roots must carry the safety/doc gates.
+    CrateGates,
+    /// Escape-hatch hygiene: malformed or unused allow directives.
+    AllowHygiene,
+}
+
+impl Rule {
+    /// The stable textual id used in reports and allow directives.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no_panic",
+            Rule::FloatCmp => "float_cmp",
+            Rule::NoIndex => "no_index",
+            Rule::MustUseBuilder => "must_use_builder",
+            Rule::CrateGates => "crate_gates",
+            Rule::AllowHygiene => "allow_hygiene",
+        }
+    }
+
+    /// Parses a rule id as written in an allow directive.
+    pub fn from_id(s: &str) -> Option<Rule> {
+        Some(match s {
+            "no_panic" => Rule::NoPanic,
+            "float_cmp" => Rule::FloatCmp,
+            "no_index" => Rule::NoIndex,
+            "must_use_builder" => Rule::MustUseBuilder,
+            "crate_gates" => Rule::CrateGates,
+            _ => return None,
+        })
+    }
+
+    /// All user-facing rules (excludes the internal hygiene rule).
+    pub fn all() -> [Rule; 5] {
+        [
+            Rule::NoPanic,
+            Rule::FloatCmp,
+            Rule::NoIndex,
+            Rule::MustUseBuilder,
+            Rule::CrateGates,
+        ]
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A used `// lint:allow` escape hatch.
+#[derive(Debug, Clone)]
+pub struct AllowRecord {
+    /// The rule being allowed.
+    pub rule: Rule,
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the directive.
+    pub line: u32,
+    /// The stated reason.
+    pub reason: String,
+}
+
+/// Which rule sets apply to a file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// `src/lib.rs` or `src/main.rs` of a workspace crate (L5 applies).
+    pub crate_root: bool,
+    /// A designated hot-path module (L3 applies).
+    pub hot_path: bool,
+    /// The NaN-validated float boundary (L2 exempt).
+    pub float_boundary: bool,
+}
+
+/// Lints one file's source text; returns surviving findings plus the
+/// allow directives that suppressed something.
+pub fn lint_source(file: &str, src: &str, class: FileClass) -> (Vec<Finding>, Vec<AllowRecord>) {
+    let lexed = lex(src);
+    let mut findings = Vec::new();
+
+    let eff = strip_test_items(&lexed.tokens);
+    check_no_panic(file, &eff, &mut findings);
+    if !class.float_boundary {
+        check_float_cmp(file, &eff, &mut findings);
+    }
+    if class.hot_path {
+        check_no_index(file, &eff, &mut findings);
+    }
+    check_must_use_builder(file, &eff, &mut findings);
+    if class.crate_root {
+        check_crate_gates(file, &lexed.tokens, &mut findings);
+    }
+
+    apply_allows(file, &lexed.comments, findings)
+}
+
+// ---------------------------------------------------------------------
+// Test-code stripping
+// ---------------------------------------------------------------------
+
+/// Removes every item annotated `#[test]`, `#[cfg(test)]` or
+/// `#[cfg(any/all(… test …))]` from the token stream, so the token rules
+/// never see test code. Outer attributes are kept in the stream (L4
+/// needs them); the stripped item spans from its first attribute to the
+/// end of its braced body or terminating `;`.
+fn strip_test_items(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_outer_attr_start(tokens, i) {
+            let attr_start = i;
+            let mut test_marked = false;
+            // A run of consecutive outer attributes belongs to one item.
+            while is_outer_attr_start(tokens, i) {
+                let end = attr_group_end(tokens, i + 1);
+                if attr_is_test_marker(&tokens[i + 1..end]) {
+                    test_marked = true;
+                }
+                i = end;
+            }
+            if test_marked {
+                i = item_end(tokens, i);
+                continue;
+            }
+            out.extend_from_slice(&tokens[attr_start..i]);
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Whether `tokens[i]` starts an outer attribute `#[…]` (not `#![…]`).
+fn is_outer_attr_start(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct('#')))
+        && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+}
+
+/// Given `start` at the `[` of an attribute, returns the index one past
+/// the matching `]`.
+fn attr_group_end(tokens: &[Token], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Whether the attribute body (tokens between `[` and `]`, exclusive of
+/// both) marks a test item: `test`, `cfg(test)`, `cfg(any(test, …))`.
+fn attr_is_test_marker(body: &[Token]) -> bool {
+    let idents: Vec<&str> = body
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    match idents.first() {
+        Some(&"test") if idents.len() == 1 => true,
+        Some(&"cfg") => idents.contains(&"test"),
+        _ => false,
+    }
+}
+
+/// Given `i` at the first token of an item (after its attributes),
+/// returns the index one past the item's end: past the matching `}` of
+/// its first brace block, or past the first top-level `;`.
+fn item_end(tokens: &[Token], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 && tokens[i].tok == Tok::Punct('}') {
+                    return i + 1;
+                }
+            }
+            Tok::Punct(';') if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+// ---------------------------------------------------------------------
+// L1 — no_panic
+// ---------------------------------------------------------------------
+
+fn check_no_panic(file: &str, eff: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in eff.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        let prev = i.checked_sub(1).and_then(|j| eff.get(j)).map(|t| &t.tok);
+        let next = eff.get(i + 1).map(|t| &t.tok);
+        let is_method = matches!(prev, Some(Tok::Punct('.')));
+        let is_macro = matches!(next, Some(Tok::Punct('!')));
+        let hit = match name.as_str() {
+            "unwrap" | "expect" if is_method => true,
+            "panic" | "unreachable" if is_macro => true,
+            _ => false,
+        };
+        if hit {
+            findings.push(Finding {
+                rule: Rule::NoPanic,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{name}{}` in non-test code; return a typed error instead",
+                    if is_macro { "!" } else { "()" }
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L2 — float_cmp
+// ---------------------------------------------------------------------
+
+fn check_float_cmp(file: &str, eff: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in eff.iter().enumerate() {
+        match &t.tok {
+            Tok::Ident(name) if name == "partial_cmp" || name == "total_cmp" => {
+                // A trait-impl *definition* (`fn partial_cmp(…)`) is not a
+                // call site; those delegate to the boundary helper.
+                let prev = i.checked_sub(1).and_then(|j| eff.get(j)).map(|t| &t.tok);
+                if matches!(prev, Some(Tok::Ident(k)) if k == "fn") {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: Rule::FloatCmp,
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{name}` outside the float boundary; use \
+                         wnrs_geometry::cmp_f64 (total order)"
+                    ),
+                });
+            }
+            Tok::Punct('=') if matches!(eff.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('='))) => {
+                // `==` — only when genuinely an equality operator: the
+                // preceding token must not merge into `<=`, `>=`, `!=`,
+                // `==`, `+=` … (those pairs never precede a second `=`
+                // in valid Rust, but be conservative).
+                let prev = i.checked_sub(1).and_then(|j| eff.get(j));
+                if matches!(
+                    prev.map(|t| &t.tok),
+                    Some(Tok::Punct('<'))
+                        | Some(Tok::Punct('>'))
+                        | Some(Tok::Punct('!'))
+                        | Some(Tok::Punct('='))
+                ) {
+                    continue;
+                }
+                let lhs_float = matches!(prev.map(|t| &t.tok), Some(Tok::Number { float: true }));
+                let rhs_float = matches!(
+                    eff.get(i + 2).map(|t| &t.tok),
+                    Some(Tok::Number { float: true })
+                );
+                if lhs_float || rhs_float {
+                    findings.push(float_eq_finding(file, t.line, "=="));
+                }
+            }
+            Tok::Punct('!') if matches!(eff.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('='))) => {
+                let prev = i.checked_sub(1).and_then(|j| eff.get(j));
+                let lhs_float = matches!(prev.map(|t| &t.tok), Some(Tok::Number { float: true }));
+                let rhs_float = matches!(
+                    eff.get(i + 2).map(|t| &t.tok),
+                    Some(Tok::Number { float: true })
+                );
+                if lhs_float || rhs_float {
+                    findings.push(float_eq_finding(file, t.line, "!="));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn float_eq_finding(file: &str, line: u32, op: &str) -> Finding {
+    Finding {
+        rule: Rule::FloatCmp,
+        file: file.to_string(),
+        line,
+        message: format!(
+            "raw float `{op}` comparison; compare via the float boundary \
+             helpers or an epsilon"
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// L3 — no_index
+// ---------------------------------------------------------------------
+
+fn check_no_index(file: &str, eff: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in eff.iter().enumerate() {
+        if t.tok != Tok::Punct('[') {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|j| eff.get(j)).map(|t| &t.tok);
+        // Indexing expressions follow a value: `v[i]`, `f()[0]`, `m[a][b]`.
+        // Everything else (`&[T]`, `#[attr]`, `= [1, 2]`, `vec![…]`) does
+        // not. Keywords can precede `[` only in non-indexing positions.
+        let indexes = match prev {
+            Some(Tok::Ident(name)) => !is_keyword(name),
+            Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => true,
+            _ => false,
+        };
+        if indexes {
+            findings.push(Finding {
+                rule: Rule::NoIndex,
+                file: file.to_string(),
+                line: t.line,
+                message: "`[…]` indexing in a hot-path module; use `get`, \
+                          iterators or pattern matching"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+    )
+}
+
+// ---------------------------------------------------------------------
+// L4 — must_use_builder
+// ---------------------------------------------------------------------
+
+fn check_must_use_builder(file: &str, eff: &[Token], findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < eff.len() {
+        // Collect the attribute run (if any) in front of a potential item.
+        let mut has_must_use = false;
+        let item_start;
+        if is_outer_attr_start(eff, i) {
+            let mut j = i;
+            while is_outer_attr_start(eff, j) {
+                let end = attr_group_end(eff, j + 1);
+                if eff[j + 1..end]
+                    .iter()
+                    .any(|t| matches!(&t.tok, Tok::Ident(s) if s == "must_use"))
+                {
+                    has_must_use = true;
+                }
+                j = end;
+            }
+            item_start = j;
+        } else {
+            item_start = i;
+        }
+        // Match `pub [(…)] [const] [async] fn name`.
+        let Some(after_pub) = eat_pub(eff, item_start) else {
+            i = item_start.max(i) + 1;
+            continue;
+        };
+        let mut k = after_pub;
+        while matches!(eff.get(k).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "const" || s == "async")
+        {
+            k += 1;
+        }
+        if !matches!(eff.get(k).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "fn") {
+            i = item_start.max(i) + 1;
+            continue;
+        }
+        let fn_line = eff[k].line;
+        let name = match eff.get(k + 1).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => s.clone(),
+            _ => String::new(),
+        };
+        let (returns_self, sig_end) = signature_returns_self(eff, k + 2);
+        if returns_self && !has_must_use {
+            findings.push(Finding {
+                rule: Rule::MustUseBuilder,
+                file: file.to_string(),
+                line: fn_line,
+                message: format!("builder `pub fn {name}(…) -> Self` lacks `#[must_use]`"),
+            });
+        }
+        i = sig_end.max(item_start.max(i) + 1);
+    }
+}
+
+/// If `i` is at `pub` (optionally with a `(crate)`/`(super)` restriction),
+/// returns the index after the visibility; otherwise `None`.
+fn eat_pub(eff: &[Token], i: usize) -> Option<usize> {
+    if !matches!(eff.get(i).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "pub") {
+        return None;
+    }
+    if matches!(eff.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('('))) {
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < eff.len() {
+            match eff[j].tok {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j + 1);
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        return Some(eff.len());
+    }
+    Some(i + 1)
+}
+
+/// Parses a fn signature starting at the token after the fn name
+/// (generics or `(`); returns (return type is exactly `Self`, index of
+/// the end of the signature).
+fn signature_returns_self(eff: &[Token], mut i: usize) -> (bool, usize) {
+    // Skip generics `<…>` if present (angle depth; `->` cannot appear at
+    // depth 0 inside them).
+    if matches!(eff.get(i).map(|t| &t.tok), Some(Tok::Punct('<'))) {
+        let mut depth = 0isize;
+        while i < eff.len() {
+            match eff[i].tok {
+                // `->` inside a bound (`Fn(u32) -> u32`) — its `>` must
+                // not close the generics.
+                Tok::Punct('-')
+                    if matches!(eff.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('>'))) =>
+                {
+                    i += 1;
+                }
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Argument list.
+    if !matches!(eff.get(i).map(|t| &t.tok), Some(Tok::Punct('('))) {
+        return (false, i);
+    }
+    let mut depth = 0usize;
+    while i < eff.len() {
+        match eff[i].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Optional `-> ReturnType` up to `{`, `;` or `where`.
+    if !(matches!(eff.get(i).map(|t| &t.tok), Some(Tok::Punct('-')))
+        && matches!(eff.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('>'))))
+    {
+        return (false, i);
+    }
+    i += 2;
+    let mut ret: Vec<&Tok> = Vec::new();
+    while i < eff.len() {
+        match &eff[i].tok {
+            Tok::Punct('{') | Tok::Punct(';') => break,
+            Tok::Ident(s) if s == "where" => break,
+            t => ret.push(t),
+        }
+        i += 1;
+    }
+    let returns_self = ret.len() == 1 && matches!(ret.first(), Some(Tok::Ident(s)) if *s == "Self");
+    (returns_self, i)
+}
+
+// ---------------------------------------------------------------------
+// L5 — crate_gates
+// ---------------------------------------------------------------------
+
+fn check_crate_gates(file: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let mut has_forbid_unsafe = false;
+    let mut has_warn_missing_docs = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Inner attribute `#![…]`.
+        if matches!(tokens[i].tok, Tok::Punct('#'))
+            && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!')))
+            && matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Tok::Punct('[')))
+        {
+            let end = attr_group_end(tokens, i + 2);
+            let idents: Vec<&str> = tokens[i + 2..end]
+                .iter()
+                .filter_map(|t| match &t.tok {
+                    Tok::Ident(s) => Some(s.as_str()),
+                    _ => None,
+                })
+                .collect();
+            if idents.contains(&"forbid") && idents.contains(&"unsafe_code") {
+                has_forbid_unsafe = true;
+            }
+            if (idents.contains(&"warn") || idents.contains(&"deny"))
+                && idents.contains(&"missing_docs")
+            {
+                has_warn_missing_docs = true;
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    if !has_forbid_unsafe {
+        findings.push(Finding {
+            rule: Rule::CrateGates,
+            file: file.to_string(),
+            line: 1,
+            message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    if !has_warn_missing_docs {
+        findings.push(Finding {
+            rule: Rule::CrateGates,
+            file: file.to_string(),
+            line: 1,
+            message: "crate root lacks `#![warn(missing_docs)]`".to_string(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Allow directives
+// ---------------------------------------------------------------------
+
+struct Directive {
+    rule: Rule,
+    line: u32,
+    reason: String,
+}
+
+/// Parses directives out of comments, suppresses matching findings, and
+/// reports hygiene problems (bad syntax, unknown rule, missing reason,
+/// unused allow).
+fn apply_allows(
+    file: &str,
+    comments: &[Comment],
+    findings: Vec<Finding>,
+) -> (Vec<Finding>, Vec<AllowRecord>) {
+    let mut directives: Vec<Directive> = Vec::new();
+    let mut out: Vec<Finding> = Vec::new();
+    for c in comments {
+        // Directives live in plain implementation comments; doc comments
+        // (`///`, `//!`, `/**`, `/*!`) only ever *describe* the syntax.
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| c.text.starts_with(p))
+        {
+            continue;
+        }
+        let Some(start) = c.text.find("lint:allow") else {
+            continue;
+        };
+        let rest = &c.text[start + "lint:allow".len()..];
+        let parsed = parse_directive(rest);
+        match parsed {
+            Ok((rule, reason)) => directives.push(Directive {
+                rule,
+                line: c.line,
+                reason,
+            }),
+            Err(msg) => out.push(Finding {
+                rule: Rule::AllowHygiene,
+                file: file.to_string(),
+                line: c.line,
+                message: msg,
+            }),
+        }
+    }
+
+    let mut used = vec![false; directives.len()];
+    for f in findings {
+        let suppressed = directives
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.rule == f.rule && (d.line == f.line || d.line + 1 == f.line));
+        match suppressed {
+            Some((idx, _)) => used[idx] = true,
+            None => out.push(f),
+        }
+    }
+    let mut allows = Vec::new();
+    for (d, was_used) in directives.into_iter().zip(used) {
+        if was_used {
+            allows.push(AllowRecord {
+                rule: d.rule,
+                file: file.to_string(),
+                line: d.line,
+                reason: d.reason,
+            });
+        } else {
+            out.push(Finding {
+                rule: Rule::AllowHygiene,
+                file: file.to_string(),
+                line: d.line,
+                message: format!(
+                    "unused `lint:allow({})` — no matching finding on this or the next line",
+                    d.rule.id()
+                ),
+            });
+        }
+    }
+    (out, allows)
+}
+
+/// Parses `(<rule>) reason=<text>`; returns the rule and reason.
+fn parse_directive(rest: &str) -> Result<(Rule, String), String> {
+    let rest = rest.trim_start();
+    let Some(stripped) = rest.strip_prefix('(') else {
+        return Err("malformed lint:allow — expected `lint:allow(<rule>) reason=…`".to_string());
+    };
+    let Some(close) = stripped.find(')') else {
+        return Err("malformed lint:allow — missing `)`".to_string());
+    };
+    let rule_id = stripped[..close].trim();
+    let Some(rule) = Rule::from_id(rule_id) else {
+        return Err(format!("lint:allow names unknown rule `{rule_id}`"));
+    };
+    let tail = stripped[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix("reason=") else {
+        return Err(format!(
+            "lint:allow({rule_id}) lacks a `reason=…`; every escape hatch must be justified"
+        ));
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err(format!("lint:allow({rule_id}) has an empty reason"));
+    }
+    Ok((rule, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_source("test.rs", src, FileClass::default()).0
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let src = "fn f() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests { fn g() { y.unwrap(); } }\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_recorded() {
+        let src = "fn f() {\n    // lint:allow(no_panic) reason=demo\n    x.unwrap();\n}\n";
+        let (f, a) = lint_source("t.rs", src, FileClass::default());
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].reason, "demo");
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "// lint:allow(no_panic)\nfn f() { x.unwrap(); }\n";
+        let f = lint(src);
+        assert!(f.iter().any(|x| x.rule == Rule::AllowHygiene));
+        assert!(f.iter().any(|x| x.rule == Rule::NoPanic));
+    }
+
+    #[test]
+    fn unused_allow_is_a_finding() {
+        let src = "// lint:allow(no_panic) reason=stale\nfn f() {}\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::AllowHygiene);
+    }
+
+    #[test]
+    fn builder_without_must_use_flagged() {
+        let src = "impl T {\n    pub fn with_x(mut self) -> Self { self }\n}\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::MustUseBuilder);
+        let ok = "impl T {\n    #[must_use]\n    pub fn with_x(mut self) -> Self { self }\n}\n";
+        assert!(lint(ok).is_empty());
+    }
+
+    #[test]
+    fn builder_with_closure_arg_and_generics() {
+        // The `->` inside the Fn bound must not be mistaken for the
+        // return type.
+        let src = "impl T { pub fn map<F: Fn(u32) -> u32>(self, f: F) -> Self { self } }\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        let not_self = "impl T { pub fn map<F: Fn(u32) -> Self>(self, f: F) -> u32 { 0 } }\n";
+        assert!(lint(not_self).is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged_int_eq_not() {
+        let f = lint("fn f(x: f64) -> bool { x == 0.0 }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::FloatCmp);
+        assert!(lint("fn f(x: usize) -> bool { x == 0 }").is_empty());
+        assert!(lint("fn f(x: f64) -> bool { x <= 1.0 }").is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_call_flagged_definition_not() {
+        let f = lint("fn f() { a.partial_cmp(&b); }");
+        assert_eq!(f.len(), 1);
+        let def = "impl PartialOrd for T {\n  fn partial_cmp(&self, o: &T) -> Option<Ordering> { Some(self.cmp(o)) }\n}\n";
+        assert!(lint(def).is_empty());
+    }
+
+    #[test]
+    fn indexing_only_in_hot_path() {
+        let class = FileClass {
+            hot_path: true,
+            ..FileClass::default()
+        };
+        let (f, _) = lint_source("hot.rs", "fn f(v: &[u32]) -> u32 { v[0] }", class);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::NoIndex);
+        // Non-indexing brackets are fine.
+        let (f, _) = lint_source(
+            "hot.rs",
+            "fn g() { let a: [u32; 2] = [1, 2]; let v = vec![3]; let s: &[u32] = &a; }",
+            class,
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // And indexing outside hot paths is fine.
+        assert!(lint("fn f(v: &[u32]) -> u32 { v[0] }").is_empty());
+    }
+
+    #[test]
+    fn crate_gates_checked_on_roots() {
+        let class = FileClass {
+            crate_root: true,
+            ..FileClass::default()
+        };
+        let (f, _) = lint_source("src/lib.rs", "pub fn x() {}", class);
+        assert_eq!(f.len(), 2);
+        let (f, _) = lint_source(
+            "src/lib.rs",
+            "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn x() {}",
+            class,
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn panic_and_unreachable_macros() {
+        let f = lint("fn f() { panic!(\"boom\"); unreachable!() }");
+        assert_eq!(f.len(), 2);
+        // `a.unreachable()` method or ident `panic` without `!` is fine.
+        assert!(lint("fn f() { let panic = 3; }").is_empty());
+    }
+}

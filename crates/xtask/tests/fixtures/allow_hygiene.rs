@@ -1,0 +1,16 @@
+//! Fixture: seeded escape-hatch hygiene problems.
+
+pub fn unused_allow() -> u32 {
+    // lint:allow(no_panic) reason=nothing to suppress on the next line
+    1 + 1
+}
+
+pub fn unknown_rule(x: Option<u32>) -> u32 {
+    // lint:allow(no_such_rule) reason=the rule id is bogus
+    x.unwrap_or(0)
+}
+
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    // lint:allow(no_panic)
+    x.unwrap()
+}

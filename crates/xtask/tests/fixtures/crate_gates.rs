@@ -1,0 +1,6 @@
+//! Fixture: a crate root missing both L5 gates
+//! (`#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`).
+
+pub fn gated() -> u32 {
+    42
+}

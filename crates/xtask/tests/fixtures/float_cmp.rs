@@ -1,0 +1,26 @@
+//! Fixture: seeded L2 (`float_cmp`) violations plus boundary cases.
+
+pub fn violations(x: f64, y: f64) -> bool {
+    let eq = x == 1.0; // line 4: finding (raw equality vs float literal)
+    let ne = x != 0.5; // line 5: finding
+    let cmp = x.partial_cmp(&y); // line 6: finding (partial_cmp call)
+    let tot = x.total_cmp(&y); // line 7: finding (total_cmp outside boundary)
+    eq || ne || cmp.is_none() || tot == std::cmp::Ordering::Less
+}
+
+pub fn non_violations(x: f64, y: f64, sign: f64) -> bool {
+    let le = x <= 1.0; // <= is never flagged
+    let ge = x >= 0.5; // >= is never flagged
+    let vs = x == y; // no float literal adjacent: not flagged
+    let dir = sign != y; // not flagged either
+    le && ge && vs && dir
+}
+
+pub struct Wrapper(pub f64);
+
+impl Wrapper {
+    /// Defining `partial_cmp` is fine; only calls are flagged.
+    pub fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0)) // line 24: finding (call in body)
+    }
+}

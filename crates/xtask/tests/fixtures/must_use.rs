@@ -1,0 +1,26 @@
+//! Fixture: seeded L4 (`must_use_builder`) violations.
+
+pub struct Builder {
+    x: u32,
+}
+
+impl Builder {
+    pub fn with_x(mut self, x: u32) -> Self {
+        // line 8: finding (builder lacks #[must_use])
+        self.x = x;
+        self
+    }
+
+    #[must_use]
+    pub fn with_y(mut self, y: u32) -> Self {
+        // carries the attribute: not a finding
+        self.x = y;
+        self
+    }
+
+    pub fn apply<F: Fn(u32) -> Self>(self, f: F) -> u32 {
+        // generic bound returns Self but the method does not: not a finding
+        let _ = f;
+        self.x
+    }
+}

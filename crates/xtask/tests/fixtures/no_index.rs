@@ -1,0 +1,19 @@
+//! Fixture: seeded L3 (`no_index`) violations for a hot-path module.
+
+pub fn violations(v: &[f64], i: usize) -> f64 {
+    let a = v[i]; // line 4: finding
+    let b = v[0]; // line 5: finding
+    a + b
+}
+
+pub fn non_violations(v: &[f64]) -> f64 {
+    let a = v.first().copied().unwrap_or(0.0);
+    let b = v.get(1).copied().unwrap_or(0.0);
+    // Slice patterns are fine: `[` after `(`/`{`/`&`/`,` is not indexing.
+    let c = match v {
+        [lo, hi] => lo + hi,
+        _ => 0.0,
+    };
+    let arr = [a, b, c]; // array literal: `[` after `=` is not indexing
+    arr.iter().sum()
+}

@@ -1,0 +1,39 @@
+//! Fixture: seeded L1 (`no_panic`) violations plus tricky non-violations.
+//! The doc mention of unwrap() here must NOT count.
+
+/// Doc comment talking about `x.unwrap()` — not a finding.
+pub fn violations(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); // line 6: finding
+    let b = y.expect("boom"); // line 7: finding
+    if a + b == 0 {
+        panic!("zero"); // line 9: finding
+    }
+    match a {
+        0 => unreachable!(), // line 12: finding
+        n => n,
+    }
+}
+
+pub fn tricky_non_violations(x: Option<u32>) -> u32 {
+    let s = "call .unwrap() and panic!(now)"; // inside a string: not findings
+    let a = x.unwrap_or(0); // unwrap_or is fine
+    let b = x.unwrap_or_else(|| s.len() as u32); // unwrap_or_else is fine
+    assert!(a < 10_000); // assert! is fine
+    debug_assert!(b < 10_000); // debug_assert! is fine
+    a + b
+}
+
+pub fn allowed(x: Option<u32>) -> u32 {
+    // lint:allow(no_panic) reason=fixture demonstrates the escape hatch
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1); // in cfg(test): not a finding
+        let _ = std::panic::catch_unwind(|| panic!("fine in tests"));
+    }
+}

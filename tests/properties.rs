@@ -167,3 +167,66 @@ proptest! {
         prop_assert!(i.area() <= a.area().min(b.area()) + 1e-9);
     }
 }
+
+// Runtime invariant layer (`cargo test -q --features invariant-checks`):
+// the checks below re-derive the canonical-form and containment
+// guarantees the static lint pass cannot see.
+#[cfg(feature = "invariant-checks")]
+mod invariant_checks {
+    use super::{arb_point, arb_points};
+    use proptest::prelude::*;
+    use wnrs::core::safe_region::{anti_ddr_of, exact_safe_region, sr_contained_in_contributors};
+    use wnrs::geometry::dominance::{antisymmetric_on, transitive_on};
+    use wnrs::geometry::{dominates, dominates_dyn};
+    use wnrs::prelude::*;
+    use wnrs::reverse_skyline::bbrs_reverse_skyline;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn region_intersection_stays_canonical(
+            boxes_a in prop::collection::vec((0.0f64..50.0, 0.0f64..50.0, 0.0f64..50.0, 0.0f64..50.0), 1..6),
+            boxes_b in prop::collection::vec((0.0f64..50.0, 0.0f64..50.0, 0.0f64..50.0, 0.0f64..50.0), 1..6),
+        ) {
+            let mk = |v: &[(f64, f64, f64, f64)]| Region::from_boxes(
+                v.iter().map(|&(x, y, w, h)| Rect::new(Point::xy(x, y), Point::xy(x + w, y + h))).collect()
+            );
+            let a = mk(&boxes_a);
+            let b = mk(&boxes_b);
+            prop_assert!(a.is_canonical());
+            prop_assert!(b.is_canonical());
+            prop_assert!(a.intersect(&b).is_canonical());
+            prop_assert!(a.union(&b).is_canonical());
+        }
+
+        #[test]
+        fn dominance_laws_hold_on_samples(
+            pts in arb_points(24, 3),
+            q in arb_point(3),
+        ) {
+            prop_assert!(antisymmetric_on(&pts, dominates));
+            prop_assert!(transitive_on(&pts, dominates));
+            let dyn_wrt_q = |a: &Point, b: &Point| dominates_dyn(a, b, &q);
+            prop_assert!(antisymmetric_on(&pts, dyn_wrt_q));
+            prop_assert!(transitive_on(&pts, dyn_wrt_q));
+        }
+
+        #[test]
+        fn exact_safe_region_contained_in_every_anti_ddr(
+            pts in arb_points(40, 2),
+            q in arb_point(2),
+        ) {
+            let tree = bulk_load(&pts, RTreeConfig::with_max_entries(5));
+            let universe = Rect::bounding(&pts).union_mbr(&Rect::degenerate(q.clone()));
+            let rsl = bbrs_reverse_skyline(&tree, &q);
+            let sr = exact_safe_region(&tree, &rsl, &universe, true);
+            prop_assert!(sr.is_canonical());
+            let contributors: Vec<Region> = rsl
+                .iter()
+                .map(|(id, c)| anti_ddr_of(&tree, c, Some(*id), &universe, 0.0))
+                .collect();
+            prop_assert!(sr_contained_in_contributors(&sr, &contributors));
+        }
+    }
+}

@@ -197,6 +197,7 @@ impl Criterion {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group generated by `criterion_group!`.
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+
@@ -208,6 +209,7 @@ macro_rules! criterion_group {
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
+        /// Benchmark entry point generated by `criterion_main!`.
         fn main() {
             $($group();)+
         }

@@ -47,12 +47,7 @@ pub fn save_store<P: Pager>(
     store: &ApproxDslStore,
     pager: &P,
 ) -> Result<PageId, StorePersistError> {
-    let dim = store
-        .samples_iter()
-        .flat_map(|s| s.first())
-        .map(|p| p.dim())
-        .next()
-        .unwrap_or(0);
+    let dim = store.dim();
     let mut bytes: Vec<u8> = Vec::new();
     bytes.extend_from_slice(&MAGIC.to_le_bytes());
     bytes.extend_from_slice(&(store.k() as u64).to_le_bytes());
@@ -60,14 +55,9 @@ pub fn save_store<P: Pager>(
     bytes.extend_from_slice(&(dim as u64).to_le_bytes());
     for sample in store.samples_iter() {
         bytes.extend_from_slice(&(sample.len() as u32).to_le_bytes());
-        for p in sample {
-            if dim != 0 && p.dim() != dim {
-                return Err(StorePersistError::Format(
-                    "mixed sample dimensionality".into(),
-                ));
-            }
-            for i in 0..p.dim() {
-                bytes.extend_from_slice(&p[i].to_le_bytes());
+        for p in sample.iter() {
+            for &v in p.coords() {
+                bytes.extend_from_slice(&v.to_le_bytes());
             }
         }
     }

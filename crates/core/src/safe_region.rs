@@ -12,12 +12,12 @@
 //! safe — just possibly smaller, which can only make MWQ's answers more
 //! conservative (Tables V–VI).
 
-use wnrs_geometry::parallel::{intersect_all, map_slice, Parallelism};
-use wnrs_geometry::{Point, Rect, Region};
+use wnrs_geometry::parallel::{intersect_all, map_range_chunked, map_slice, Parallelism};
+use wnrs_geometry::{Point, PointsView, Rect, Region};
 use wnrs_rtree::{ItemId, RTree};
 use wnrs_skyline::{
-    approx::approx_anti_ddr, approx::sample_dsl, bbs_dynamic_skyline_excluding, ddr::anti_ddr,
-    ddr::max_dist,
+    approx::approx_anti_ddr_flat, approx::approx_dsl_sample_into, approx::ApproxDslScratch,
+    bbs_dynamic_skyline_excluding, ddr::anti_ddr, ddr::max_dist,
 };
 
 /// Computes the exact anti-dominance region of customer `c` in the
@@ -145,11 +145,20 @@ pub fn sr_contained_in_contributors(sr: &Region, contributors: &[Region]) -> boo
 /// Precomputed k-sampled dynamic skylines for every indexed point
 /// (Section VI-B.1). Built offline once per dataset; a safe region can
 /// then be assembled without any skyline computation at query time.
+///
+/// Samples are held in one flat coordinate buffer (structure-of-arrays):
+/// item `i`'s transformed-space sample occupies point indices
+/// `offsets[i]..offsets[i + 1]`, each point being `dim` consecutive
+/// `f64`s. Accessors hand out borrowed [`PointsView`]s, so reading a
+/// sample never allocates.
 #[derive(Debug, Clone)]
 pub struct ApproxDslStore {
     k: usize,
-    /// Transformed-space DSL samples, indexed by dense item id.
-    samples: Vec<Vec<Point>>,
+    dim: usize,
+    /// Concatenated sample coordinates in item-id order.
+    coords: Vec<f64>,
+    /// Prefix offsets in points, length `len + 1`.
+    offsets: Vec<u32>,
 }
 
 impl ApproxDslStore {
@@ -177,21 +186,54 @@ impl ApproxDslStore {
     #[must_use]
     pub fn build_with(products: &RTree, k: usize, par: &Parallelism) -> Self {
         assert!(k > 0, "sample size k must be positive");
-        let mut items = products.items();
-        items.sort_by_key(|(id, _)| *id);
+        let n = products.len();
+        let dim = products.dim();
+        // Gather item locations into one dense flat buffer, verifying id
+        // density along the way (no per-item Point clones, no sort).
+        let mut pts = vec![0.0; n * dim];
+        let mut seen = vec![false; n];
+        products.for_each_item(|id, p| {
+            let i = id.0 as usize;
+            assert!(i < n && !seen[i], "ApproxDslStore requires dense item ids");
+            seen[i] = true;
+            pts[i * dim..(i + 1) * dim].copy_from_slice(p.coords());
+        });
         assert!(
-            items
-                .iter()
-                .enumerate()
-                .all(|(i, (id, _))| id.0 as usize == i),
+            seen.iter().all(|&s| s),
             "ApproxDslStore requires dense item ids"
         );
-        let samples = map_slice(&items, par, |(id, c)| {
-            let dsl = bbs_dynamic_skyline_excluding(products, c, Some(*id));
-            let dsl_t: Vec<Point> = dsl.iter().map(|(_, p)| p.abs_diff(c)).collect();
-            sample_dsl(&dsl_t, k)
+        // One scratch per worker chunk: the per-customer BBS pass and
+        // sampling step allocate nothing once the buffers are warm.
+        let chunks = map_range_chunked(n, par, |range| {
+            let mut scratch = ApproxDslScratch::new();
+            let mut coords: Vec<f64> = Vec::new();
+            let mut counts: Vec<u32> = Vec::with_capacity(range.len());
+            for i in range {
+                let c = &pts[i * dim..(i + 1) * dim];
+                let sample =
+                    approx_dsl_sample_into(products, c, Some(ItemId(i as u32)), k, &mut scratch);
+                counts.push(sample.len() as u32);
+                coords.extend_from_slice(sample.coords());
+            }
+            (coords, counts)
         });
-        Self { k, samples }
+        let mut coords = Vec::new();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut total = 0u32;
+        for (chunk_coords, chunk_counts) in chunks {
+            coords.extend_from_slice(&chunk_coords);
+            for count in chunk_counts {
+                total += count;
+                offsets.push(total);
+            }
+        }
+        Self {
+            k,
+            dim,
+            coords,
+            offsets,
+        }
     }
 
     /// The configured sample size.
@@ -199,42 +241,79 @@ impl ApproxDslStore {
         self.k
     }
 
+    /// The dimensionality of the stored sample points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Number of stored points.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.offsets.len() - 1
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.len() == 0
     }
 
-    /// The stored transformed-space sample for item `id`.
-    pub fn sample(&self, id: ItemId) -> &[Point] {
-        &self.samples[id.0 as usize]
+    /// A borrowed view of the stored transformed-space sample for item
+    /// `id`.
+    pub fn sample(&self, id: ItemId) -> PointsView<'_> {
+        let i = id.0 as usize;
+        let lo = self.offsets[i] as usize * self.dim;
+        let hi = self.offsets[i + 1] as usize * self.dim;
+        PointsView::new(self.dim, &self.coords[lo..hi])
     }
 
     /// Iterates over every stored sample in item-id order.
-    pub fn samples_iter(&self) -> impl Iterator<Item = &[Point]> {
-        self.samples.iter().map(Vec::as_slice)
+    pub fn samples_iter(&self) -> impl Iterator<Item = PointsView<'_>> {
+        (0..self.len()).map(move |i| self.sample(ItemId(i as u32)))
     }
 
-    /// Reassembles a store from its raw parts (persistence path).
+    /// Reassembles a store from its raw parts (persistence path). The
+    /// dimensionality is taken from the first non-empty sample.
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0`.
+    /// Panics if `k == 0` or samples have mixed dimensionality.
     #[must_use]
     pub fn from_parts(k: usize, samples: Vec<Vec<Point>>) -> Self {
         assert!(k > 0, "sample size k must be positive");
-        Self { k, samples }
+        let dim = samples
+            .iter()
+            .flat_map(|s| s.first())
+            .map(Point::dim)
+            .next()
+            .unwrap_or(1);
+        let mut coords = Vec::new();
+        let mut offsets = Vec::with_capacity(samples.len() + 1);
+        offsets.push(0u32);
+        let mut total = 0u32;
+        for sample in &samples {
+            for p in sample {
+                assert_eq!(p.dim(), dim, "mixed sample dimensionality");
+                coords.extend_from_slice(p.coords());
+            }
+            total += sample.len() as u32;
+            offsets.push(total);
+        }
+        Self {
+            k,
+            dim,
+            coords,
+            offsets,
+        }
     }
 
     /// The approximate anti-dominance region of item `id` (located at
     /// `c`) in the original space.
     pub fn anti_ddr(&self, id: ItemId, c: &Point, universe: &Rect) -> Region {
         let maxd = max_dist(c, universe);
-        reflect_region(c, &approx_anti_ddr(self.sample(id), &maxd), universe)
+        reflect_region(
+            c,
+            &approx_anti_ddr_flat(self.sample(id).coords(), &maxd),
+            universe,
+        )
     }
 }
 

@@ -133,7 +133,7 @@ proptest! {
             for i in 0..reference.len() as u32 {
                 let (a, b) = (par.sample(ItemId(i)), reference.sample(ItemId(i)));
                 prop_assert_eq!(a.len(), b.len(), "item {} threads {}", i, threads);
-                for (x, y) in a.iter().zip(b) {
+                for (x, y) in a.iter().zip(b.iter()) {
                     prop_assert!(x.same_location(y), "item {} threads {}", i, threads);
                 }
             }

@@ -39,8 +39,20 @@ pub enum Dominance {
 /// ```
 pub fn dominates(a: &Point, b: &Point) -> bool {
     debug_assert_eq!(a.dim(), b.dim());
+    dominates_components(a.coords(), b.coords())
+}
+
+/// Static dominance on raw coordinate slices: the flat analogue of
+/// [`dominates`] for hot paths that keep points in shared `f64` buffers
+/// instead of boxed [`Point`]s. Identical branch structure, so it agrees
+/// with [`dominates`] bit-for-bit on every input (ties, negative
+/// coordinates, `-0.0` included).
+#[inline]
+pub fn dominates_components(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    crate::stats::record_dominance_test();
     let mut strict = false;
-    for (&x, &y) in a.coords().iter().zip(b.coords().iter()) {
+    for (&x, &y) in a.iter().zip(b.iter()) {
         if x > y {
             return false;
         }
@@ -87,6 +99,7 @@ pub fn compare(a: &Point, b: &Point) -> Dominance {
 pub fn dominates_dyn(a: &Point, b: &Point, q: &Point) -> bool {
     debug_assert_eq!(a.dim(), b.dim());
     debug_assert_eq!(a.dim(), q.dim());
+    crate::stats::record_dominance_test();
     let mut strict = false;
     let coords = a.coords().iter().zip(b.coords().iter());
     for ((&x, &y), &c) in coords.zip(q.coords().iter()) {
@@ -136,6 +149,7 @@ pub fn compare_dyn(a: &Point, b: &Point, q: &Point) -> Dominance {
 pub fn dominates_global(a: &Point, b: &Point, q: &Point) -> bool {
     debug_assert_eq!(a.dim(), b.dim());
     debug_assert_eq!(a.dim(), q.dim());
+    crate::stats::record_dominance_test();
     let mut strict = false;
     let coords = a.coords().iter().zip(b.coords().iter());
     for ((&x, &y), &c) in coords.zip(q.coords().iter()) {
@@ -221,6 +235,24 @@ mod tests {
         assert!(!dominates(&p4, &p1));
         assert!(!dominates(&p1, &p3));
         assert!(!dominates(&p3, &p1));
+    }
+
+    #[test]
+    fn components_match_point_dominance() {
+        let pairs = [
+            (p(1.0, 2.0), p(1.0, 3.0)),
+            (p(1.0, 2.0), p(1.0, 2.0)),
+            (p(-1.0, 4.0), p(2.0, 3.0)),
+            (p(-0.0, 1.0), p(0.0, 1.0)),
+            (p(3.0, 3.0), p(2.0, 2.0)),
+        ];
+        for (a, b) in &pairs {
+            assert_eq!(
+                dominates_components(a.coords(), b.coords()),
+                dominates(a, b),
+                "{a:?} vs {b:?}"
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! * [`parallel`] — the [`Parallelism`] policy plus order-preserving
 //!   parallel map and tree-reduced region intersection, shared by every
 //!   multi-threaded code path in the workspace.
+//! * [`store`] — flat contiguous point storage ([`PointStore`]) with
+//!   borrow-based views ([`PointRef`], [`PointsView`]) for
+//!   allocation-free hot paths.
+//! * [`stats`] — the [`QueryStats`] instrumentation counters behind the
+//!   `query-stats` feature (zero-cost when disabled).
 //! * [`cost`] — weighted L1 edit-distance cost model (Eqns 8–11 of the
 //!   paper).
 
@@ -32,13 +37,17 @@ pub mod parallel;
 pub mod point;
 pub mod rect;
 pub mod region;
+pub mod stats;
+pub mod store;
 pub mod transform;
 
 pub use cost::{CostModel, Weights};
-pub use dominance::{dominates, dominates_dyn, dominates_global, Dominance};
+pub use dominance::{dominates, dominates_components, dominates_dyn, dominates_global, Dominance};
 pub use normalize::MinMaxNormalizer;
 pub use parallel::Parallelism;
-pub use point::{cmp_f64, max_f64, min_f64, Point};
+pub use point::{abs_diff_into, cmp_f64, max_f64, min_f64, Point};
 pub use rect::Rect;
 pub use region::Region;
+pub use stats::QueryStats;
+pub use store::{PointRef, PointStore, PointsView};
 pub use transform::{orthant_of, reflect_rect, to_distance_space, Orthant};

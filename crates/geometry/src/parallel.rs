@@ -170,6 +170,54 @@ where
     results.into_iter().flatten().collect()
 }
 
+/// Maps `f` over *contiguous chunks* of the index range `0..n`, one
+/// chunk per worker, returning the per-chunk outputs in chunk order.
+///
+/// This is the scratch-reuse analogue of [`map_range`]: where
+/// `map_range` calls `f` once per index (forcing any per-call state to
+/// be rebuilt `n` times), `map_range_chunked` hands each worker one
+/// `Range` so the callee can allocate its scratch state once and sweep
+/// the whole chunk with it. Chunk boundaries are identical to
+/// [`map_range`]'s, and the sequential path is a single `f(0..n)` call —
+/// so concatenating per-item results produced inside `f` yields the same
+/// sequence regardless of worker count.
+pub fn map_range_chunked<U, F>(n: usize, par: &Parallelism, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(std::ops::Range<usize>) -> U + Sync,
+{
+    if !par.is_parallel(n) {
+        if n == 0 {
+            return Vec::new();
+        }
+        return vec![f(0..n)];
+    }
+    let n_chunks = par.chunks_for(n);
+    let chunk_len = n.div_ceil(n_chunks);
+    let bounds: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk_len)
+        .map(|lo| (lo, (lo + chunk_len).min(n)))
+        .collect();
+    let mut results: Vec<U> = Vec::new();
+    let f = &f;
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| scope.spawn(move |_| f(lo..hi)))
+            .collect();
+        results = handles
+            .into_iter()
+            // See `map_slice`: re-raise the worker's own panic payload.
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect();
+    })
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+    results
+}
+
 /// Intersects a collection of regions by balanced tree reduction,
 /// optionally evaluating each round's pairwise intersections in
 /// parallel. Returns `None` for an empty input.
@@ -262,6 +310,25 @@ mod tests {
         let par = Parallelism::new(4).with_sequential_cutoff(1);
         assert!(map_slice::<i32, i32, _>(&[], &par, |x| *x).is_empty());
         assert!(map_range(0, &par, |i| i).is_empty());
+        assert!(map_range_chunked::<usize, _>(0, &par, |r| r.len()).is_empty());
+    }
+
+    #[test]
+    fn map_range_chunked_concatenates_like_map_range() {
+        let seq: Vec<usize> = (0..57).map(|i| i * 3 + 1).collect();
+        for workers in [1, 2, 4, 8] {
+            let par = Parallelism::new(workers).with_sequential_cutoff(1);
+            let chunks = map_range_chunked(57, &par, |range| {
+                // Per-chunk scratch state: allocated once per worker.
+                let mut out = Vec::with_capacity(range.len());
+                for i in range {
+                    out.push(i * 3 + 1);
+                }
+                out
+            });
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, seq, "workers={workers}");
+        }
     }
 
     fn r(lx: f64, ly: f64, hx: f64, hy: f64) -> Region {

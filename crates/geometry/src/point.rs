@@ -41,6 +41,17 @@ pub fn min_f64(a: f64, b: f64) -> f64 {
     }
 }
 
+/// In-place absolute-distance transform: writes `(|p^i − origin^i|)_i`
+/// into `out`, clearing it first and reusing its allocation. The flat
+/// analogue of [`Point::abs_diff`] for allocation-free hot paths.
+#[inline]
+pub fn abs_diff_into(p: &[f64], origin: &[f64], out: &mut Vec<f64>) {
+    debug_assert_eq!(p.len(), origin.len(), "dimensionality mismatch");
+    crate::stats::record_transform();
+    out.clear();
+    out.extend(p.iter().zip(origin.iter()).map(|(a, b)| (a - b).abs()));
+}
+
 /// An immutable point in `R^d`.
 ///
 /// Coordinates are stored inline in a boxed slice; cloning is a single
@@ -154,6 +165,7 @@ impl Point {
     #[must_use]
     pub fn abs_diff(&self, origin: &Self) -> Self {
         self.expect_same_dim(origin);
+        crate::stats::record_transform();
         Self::new(
             self.coords
                 .iter()
@@ -295,6 +307,15 @@ mod tests {
         let p2 = Point::xy(7.5, 42.0);
         let t = p2.abs_diff(&q);
         assert!(t.approx_eq(&Point::xy(1.0, 13.0), 1e-12));
+    }
+
+    #[test]
+    fn abs_diff_into_matches_abs_diff() {
+        let q = Point::xy(8.5, 55.0);
+        let p2 = Point::xy(7.5, 42.0);
+        let mut buf = vec![9.0; 7];
+        abs_diff_into(p2.coords(), q.coords(), &mut buf);
+        assert_eq!(buf.as_slice(), p2.abs_diff(&q).coords());
     }
 
     #[test]

@@ -228,6 +228,68 @@ impl Rect {
             .sum()
     }
 
+    /// Minimum L1 distance from a raw coordinate slice to the rectangle:
+    /// the flat analogue of [`Rect::min_l1`] for hot paths. Same per-dim
+    /// branch structure and summation order, so the result is
+    /// bit-identical to `min_l1` on the same inputs — and equal to the
+    /// coordinate sum of the absolute-distance transform's lower bound
+    /// (the BBS priority key).
+    #[inline]
+    pub fn min_l1_coords(&self, q: &[f64]) -> f64 {
+        debug_assert_eq!(self.dim(), q.len());
+        (0..self.dim())
+            .map(|i| {
+                if q[i] < self.lo[i] {
+                    self.lo[i] - q[i]
+                } else if q[i] > self.hi[i] {
+                    q[i] - self.hi[i]
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// Minimum squared Euclidean distance from a raw coordinate slice to
+    /// the rectangle: the flat analogue of [`Rect::min_dist2`],
+    /// bit-identical on the same inputs.
+    #[inline]
+    pub fn min_dist2_coords(&self, q: &[f64]) -> f64 {
+        debug_assert_eq!(self.dim(), q.len());
+        (0..self.dim())
+            .map(|i| {
+                let v = if q[i] < self.lo[i] {
+                    self.lo[i] - q[i]
+                } else if q[i] > self.hi[i] {
+                    q[i] - self.hi[i]
+                } else {
+                    0.0
+                };
+                v * v
+            })
+            .sum()
+    }
+
+    /// Writes the per-dimension minimum distances from `q` to the
+    /// rectangle into `out` (clearing it first): the lower-bound corner
+    /// of the rectangle's image under the absolute-distance transform
+    /// centred at `q`. In-place variant of the `transformed_lo` helper
+    /// used by BBS; never allocates once `out` has capacity.
+    #[inline]
+    pub fn min_dists_into(&self, q: &[f64], out: &mut Vec<f64>) {
+        debug_assert_eq!(self.dim(), q.len());
+        out.clear();
+        out.extend((0..self.dim()).map(|i| {
+            if q[i] < self.lo[i] {
+                self.lo[i] - q[i]
+            } else if q[i] > self.hi[i] {
+                q[i] - self.hi[i]
+            } else {
+                0.0
+            }
+        }));
+    }
+
     /// All `2^d` corner points (Algorithm 4, `corner_points`).
     ///
     /// For d = 2 these are the four rectangle corners. The enumeration
@@ -305,6 +367,32 @@ mod tests {
     #[should_panic(expected = "invalid rect")]
     fn inverted_rect_rejected() {
         let _ = r(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn coord_slice_kernels_match_point_variants() {
+        let rect = r(2.0, 3.0, 6.0, 8.0);
+        let probes = [
+            Point::xy(0.0, 0.0),
+            Point::xy(4.0, 5.0),
+            Point::xy(9.0, 1.0),
+            Point::xy(2.0, 8.0),
+            Point::xy(-3.5, 10.25),
+        ];
+        let mut buf = Vec::new();
+        for p in &probes {
+            assert_eq!(
+                rect.min_l1_coords(p.coords()).to_bits(),
+                rect.min_l1(p).to_bits()
+            );
+            assert_eq!(
+                rect.min_dist2_coords(p.coords()).to_bits(),
+                rect.min_dist2(p).to_bits()
+            );
+            rect.min_dists_into(p.coords(), &mut buf);
+            let sum: f64 = buf.iter().sum();
+            assert_eq!(sum.to_bits(), rect.min_l1(p).to_bits());
+        }
     }
 
     #[test]

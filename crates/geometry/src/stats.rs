@@ -1,0 +1,162 @@
+//! Lightweight query instrumentation counters.
+//!
+//! The hot-path kernels (BBS descent, window queries, dominance tests,
+//! absolute-distance transforms) report *why* a query cost what it did
+//! through a handful of thread-local counters. The layer is compiled
+//! out entirely unless the `query-stats` cargo feature is enabled: with
+//! the feature off every `record_*` function is an empty `#[inline]`
+//! stub, so release builds pay nothing.
+//!
+//! Counters are per-thread by design — the store build runs one scratch
+//! per worker, and per-thread tallies avoid cross-core cache traffic on
+//! the hot path. Aggregate across workers at the call site if needed.
+//!
+//! ```
+//! use wnrs_geometry::stats;
+//!
+//! stats::reset();
+//! // ... run a query ...
+//! let snap = stats::snapshot();
+//! // With `query-stats` off the snapshot is always zero.
+//! assert_eq!(snap.heap_pushes, snap.heap_pushes);
+//! ```
+
+/// A snapshot of the per-thread query counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryStats {
+    /// R-tree nodes expanded (BBS pops plus window-query descents).
+    pub nodes_visited: u64,
+    /// Entries pushed onto a best-first priority queue.
+    pub heap_pushes: u64,
+    /// Pairwise dominance tests evaluated.
+    pub dominance_tests: u64,
+    /// Absolute-distance transforms applied to a point.
+    pub transforms: u64,
+}
+
+impl QueryStats {
+    /// The all-zero snapshot.
+    #[must_use]
+    pub const fn zero() -> Self {
+        Self {
+            nodes_visited: 0,
+            heap_pushes: 0,
+            dominance_tests: 0,
+            transforms: 0,
+        }
+    }
+}
+
+#[cfg(feature = "query-stats")]
+mod imp {
+    use super::QueryStats;
+    use std::cell::Cell;
+
+    thread_local! {
+        static STATS: Cell<QueryStats> = const { Cell::new(QueryStats::zero()) };
+    }
+
+    pub(super) fn update(f: impl FnOnce(&mut QueryStats)) {
+        STATS.with(|s| {
+            let mut v = s.get();
+            f(&mut v);
+            s.set(v);
+        });
+    }
+
+    pub(super) fn get() -> QueryStats {
+        STATS.with(Cell::get)
+    }
+
+    pub(super) fn clear() {
+        STATS.with(|s| s.set(QueryStats::zero()));
+    }
+}
+
+/// Resets this thread's counters to zero. No-op when `query-stats` is
+/// disabled.
+#[inline]
+pub fn reset() {
+    #[cfg(feature = "query-stats")]
+    imp::clear();
+}
+
+/// Returns this thread's counters. Always [`QueryStats::zero`] when
+/// `query-stats` is disabled.
+#[inline]
+#[must_use]
+pub fn snapshot() -> QueryStats {
+    #[cfg(feature = "query-stats")]
+    {
+        imp::get()
+    }
+    #[cfg(not(feature = "query-stats"))]
+    {
+        QueryStats::zero()
+    }
+}
+
+/// Records one R-tree node expansion.
+#[inline]
+pub fn record_node_visit() {
+    #[cfg(feature = "query-stats")]
+    imp::update(|s| s.nodes_visited += 1);
+}
+
+/// Records one priority-queue push.
+#[inline]
+pub fn record_heap_push() {
+    #[cfg(feature = "query-stats")]
+    imp::update(|s| s.heap_pushes += 1);
+}
+
+/// Records one pairwise dominance test.
+#[inline]
+pub fn record_dominance_test() {
+    #[cfg(feature = "query-stats")]
+    imp::update(|s| s.dominance_tests += 1);
+}
+
+/// Records one absolute-distance transform of a point.
+#[inline]
+pub fn record_transform() {
+    #[cfg(feature = "query-stats")]
+    imp::update(|s| s.transforms += 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_starts_zero() {
+        reset();
+        assert_eq!(snapshot(), QueryStats::zero());
+    }
+
+    #[cfg(feature = "query-stats")]
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset();
+        record_node_visit();
+        record_heap_push();
+        record_heap_push();
+        record_dominance_test();
+        record_transform();
+        let s = snapshot();
+        assert_eq!(s.nodes_visited, 1);
+        assert_eq!(s.heap_pushes, 2);
+        assert_eq!(s.dominance_tests, 1);
+        assert_eq!(s.transforms, 1);
+        reset();
+        assert_eq!(snapshot(), QueryStats::zero());
+    }
+
+    #[cfg(not(feature = "query-stats"))]
+    #[test]
+    fn disabled_layer_is_inert() {
+        record_node_visit();
+        record_heap_push();
+        assert_eq!(snapshot(), QueryStats::zero());
+    }
+}

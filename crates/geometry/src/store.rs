@@ -1,0 +1,316 @@
+//! Flat, cache-friendly point storage.
+//!
+//! The per-customer hot paths (BBS, dynamic-skyline sampling, window
+//! queries) churn through millions of short-lived points. Boxed
+//! [`Point`] values are fine at API boundaries but hostile in inner
+//! loops: every transform allocates, every clone allocates, and the
+//! allocator becomes the bottleneck long before the arithmetic does.
+//!
+//! [`PointStore`] keeps `n` same-dimension points in one contiguous
+//! `Vec<f64>` (structure-of-arrays by point: point `i` occupies
+//! `coords[i*dim .. (i+1)*dim]`). [`PointRef`] and [`PointsView`] are
+//! borrow-based views into that buffer — `Copy`, allocation-free, and
+//! convertible to owned [`Point`]s only when a caller explicitly asks.
+
+use crate::point::Point;
+
+/// A borrowed view of a single point stored in flat coordinates.
+///
+/// Cheap to copy (it is a fat pointer), never allocates, and exposes
+/// the read-only subset of the [`Point`] API hot paths need.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointRef<'a> {
+    coords: &'a [f64],
+}
+
+impl<'a> PointRef<'a> {
+    /// Wraps a coordinate slice as a point view.
+    #[must_use]
+    pub fn new(coords: &'a [f64]) -> Self {
+        Self { coords }
+    }
+
+    /// Dimensionality of the point.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The coordinate slice.
+    #[must_use]
+    pub fn coords(&self) -> &'a [f64] {
+        self.coords
+    }
+
+    /// Coordinate `i`. Panics if out of range, like `Point` indexing.
+    #[must_use]
+    pub fn get(&self, i: usize) -> f64 {
+        self.coords[i]
+    }
+
+    /// Whether both views denote exactly the same coordinates.
+    #[must_use]
+    pub fn same_location(&self, other: PointRef<'_>) -> bool {
+        self.coords == other.coords
+    }
+
+    /// Materialises an owned [`Point`] (allocates).
+    #[must_use]
+    pub fn to_point(&self) -> Point {
+        Point::new(self.coords.to_vec())
+    }
+}
+
+/// A borrowed view over a contiguous run of flat same-dimension points.
+#[derive(Debug, Clone, Copy)]
+pub struct PointsView<'a> {
+    dim: usize,
+    coords: &'a [f64],
+}
+
+impl<'a> PointsView<'a> {
+    /// Wraps a flat coordinate slice holding whole points of
+    /// dimensionality `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len()` is not a multiple of `dim` (an empty
+    /// slice is fine for any `dim`, including zero).
+    #[must_use]
+    pub fn new(dim: usize, coords: &'a [f64]) -> Self {
+        assert!(
+            coords.is_empty() || (dim > 0 && coords.len().is_multiple_of(dim)),
+            "flat buffer length {} is not a multiple of dim {dim}",
+            coords.len()
+        );
+        Self { dim, coords }
+    }
+
+    /// Dimensionality of the stored points.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.coords.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// Whether the view holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// The backing flat coordinate slice.
+    #[must_use]
+    pub fn coords(&self) -> &'a [f64] {
+        self.coords
+    }
+
+    /// Point `i` of the view. Panics if out of range.
+    #[must_use]
+    pub fn get(&self, i: usize) -> PointRef<'a> {
+        PointRef::new(&self.coords[i * self.dim..(i + 1) * self.dim])
+    }
+
+    /// Iterates the points of the view as borrowed [`PointRef`]s.
+    pub fn iter(&self) -> impl Iterator<Item = PointRef<'a>> + '_ {
+        let view = *self;
+        (0..view.len()).map(move |i| view.get(i))
+    }
+
+    /// Materialises owned [`Point`]s (allocates; cold paths only).
+    #[must_use]
+    pub fn to_points(&self) -> Vec<Point> {
+        self.iter().map(|p| p.to_point()).collect()
+    }
+}
+
+/// An append-only flat store of same-dimension points.
+///
+/// One allocation for the whole collection; grows amortised like a
+/// `Vec`. Reusing a cleared store across queries makes steady-state
+/// appends allocation-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointStore {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl PointStore {
+    /// An empty store for points of dimensionality `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self::with_capacity(dim, 0)
+    }
+
+    /// An empty store with room for `n` points before reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "point dimensionality must be positive");
+        Self {
+            dim,
+            coords: Vec::with_capacity(dim * n),
+        }
+    }
+
+    /// Wraps an existing flat buffer (length must be a multiple of
+    /// `dim`) without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or the length is not a multiple of `dim`.
+    #[must_use]
+    pub fn from_flat(dim: usize, coords: Vec<f64>) -> Self {
+        assert!(dim > 0, "point dimensionality must be positive");
+        assert!(
+            coords.len().is_multiple_of(dim),
+            "flat buffer length {} is not a multiple of dim {dim}",
+            coords.len()
+        );
+        Self { dim, coords }
+    }
+
+    /// Dimensionality of the stored points.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// Whether the store holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Appends a point given as a coordinate slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() != self.dim()`.
+    pub fn push(&mut self, coords: &[f64]) {
+        assert_eq!(coords.len(), self.dim, "coordinate count must match dim");
+        self.coords.extend_from_slice(coords);
+    }
+
+    /// Appends an owned [`Point`].
+    pub fn push_point(&mut self, p: &Point) {
+        self.push(p.coords());
+    }
+
+    /// Point `i` of the store. Panics if out of range.
+    #[must_use]
+    pub fn get(&self, i: usize) -> PointRef<'_> {
+        self.view().get(i)
+    }
+
+    /// Removes every point, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.coords.clear();
+    }
+
+    /// The backing flat coordinate slice.
+    #[must_use]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// A view over the whole store.
+    #[must_use]
+    pub fn view(&self) -> PointsView<'_> {
+        PointsView::new(self.dim, &self.coords)
+    }
+
+    /// A view over the point range `lo..hi` (indices in points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > self.len()`.
+    #[must_use]
+    pub fn slice(&self, lo: usize, hi: usize) -> PointsView<'_> {
+        PointsView::new(self.dim, &self.coords[lo * self.dim..hi * self.dim])
+    }
+
+    /// Iterates the stored points as borrowed [`PointRef`]s.
+    pub fn iter(&self) -> impl Iterator<Item = PointRef<'_>> {
+        let view = self.view();
+        (0..view.len()).map(move |i| view.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut store = PointStore::new(2);
+        assert!(store.is_empty());
+        store.push(&[1.0, 2.0]);
+        store.push_point(&Point::xy(3.0, 4.0));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(0).coords(), &[1.0, 2.0]);
+        assert_eq!(store.get(1).get(1), 4.0);
+        assert!(store.get(1).same_location(PointRef::new(&[3.0, 4.0])));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut store = PointStore::with_capacity(3, 4);
+        store.push(&[1.0, 2.0, 3.0]);
+        let cap = store.coords.capacity();
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.coords.capacity(), cap);
+    }
+
+    #[test]
+    fn view_slice_and_iter() {
+        let store = PointStore::from_flat(2, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(store.len(), 3);
+        let mid = store.slice(1, 3);
+        assert_eq!(mid.len(), 2);
+        assert_eq!(mid.get(0).coords(), &[2.0, 3.0]);
+        let pts: Vec<Point> = store.view().to_points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts[2].same_location(&Point::xy(4.0, 5.0)));
+        assert_eq!(store.iter().count(), 3);
+    }
+
+    #[test]
+    fn empty_view_any_dim() {
+        let v = PointsView::new(0, &[]);
+        assert_eq!(v.len(), 0);
+        assert!(v.is_empty());
+        assert_eq!(v.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn ragged_flat_buffer_rejected() {
+        let _ = PointStore::from_flat(2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_store_rejected() {
+        let _ = PointStore::new(0);
+    }
+}

@@ -12,9 +12,9 @@
 //!    own tuple), exactly as the naive algorithm would — but over a far
 //!    smaller candidate set.
 
-use crate::window::is_reverse_skyline_member;
+use crate::window::is_reverse_skyline_member_with;
 use wnrs_geometry::{dominates_global, Point, Rect};
-use wnrs_rtree::{BestFirst, ItemId, RTree, Traversal};
+use wnrs_rtree::{BestFirst, ItemId, RTree, Traversal, WindowScratch};
 
 /// Whether `s` globally dominates *every* point of `rect` w.r.t. `q`:
 /// per dimension the rectangle must lie weakly on `s`'s side of `q` and
@@ -52,12 +52,9 @@ pub fn global_skyline(data: &RTree, q: &Point) -> Vec<(ItemId, Point)> {
     let q_key = q.clone();
     let mut found: Vec<Point> = Vec::new();
     let mut out: Vec<(ItemId, Point)> = Vec::new();
-    let mut bf = BestFirst::new(data, move |r: &Rect| {
-        wnrs_skyline::transformed_lo(r, &q_key)
-            .coords()
-            .iter()
-            .sum()
-    });
+    // Same priority as summing `transformed_lo` per dimension, without
+    // materialising the transformed corner point for every rectangle.
+    let mut bf = BestFirst::new(data, move |r: &Rect| r.min_l1_coords(q_key.coords()));
     while let Some(t) = bf.pop() {
         match t {
             Traversal::Node { id, rect, .. } => {
@@ -80,9 +77,10 @@ pub fn global_skyline(data: &RTree, q: &Point) -> Vec<(ItemId, Point)> {
 /// Produces exactly the same set as
 /// [`crate::naive::rsl_monochromatic_naive`].
 pub fn bbrs_reverse_skyline(data: &RTree, q: &Point) -> Vec<(ItemId, Point)> {
+    let mut scratch = WindowScratch::new();
     let mut out: Vec<(ItemId, Point)> = global_skyline(data, q)
         .into_iter()
-        .filter(|(id, c)| is_reverse_skyline_member(data, c, q, Some(*id)))
+        .filter(|(id, c)| is_reverse_skyline_member_with(data, c, q, Some(*id), &mut scratch))
         .collect();
     out.sort_by_key(|(id, _)| *id);
     out

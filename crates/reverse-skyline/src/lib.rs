@@ -25,4 +25,6 @@ pub mod window;
 pub use bbrs::{bbrs_reverse_skyline, global_skyline};
 pub use bichromatic::rsl_bichromatic_indexed;
 pub use naive::{rsl_bichromatic, rsl_bichromatic_parallel, rsl_monochromatic_naive};
-pub use window::{is_reverse_skyline_member, window_query};
+pub use window::{
+    is_reverse_skyline_member, is_reverse_skyline_member_with, window_query, window_query_into,
+};

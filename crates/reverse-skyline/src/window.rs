@@ -8,7 +8,7 @@
 //! interesting than `q`.
 
 use wnrs_geometry::{dominates_dyn, Point, Rect};
-use wnrs_rtree::{ItemId, RTree};
+use wnrs_rtree::{ItemId, RTree, WindowScratch};
 
 /// The culprit set `Λ = window_query(c, q)`: all products that
 /// dynamically dominate `q` with respect to `c`. `exclude` removes the
@@ -42,12 +42,28 @@ pub fn window_query(
     q: &Point,
     exclude: Option<ItemId>,
 ) -> Vec<(ItemId, Point)> {
+    let mut scratch = WindowScratch::new();
+    let mut out = Vec::new();
+    window_query_into(products, c, q, exclude, &mut scratch, &mut out);
+    out
+}
+
+/// As [`window_query`], but reusing a descent-stack scratch and an output
+/// buffer across calls — the per-customer hot path of the naive and BBRS
+/// verification loops. `out` is cleared first; results appear in index
+/// traversal order, as with [`window_query`].
+pub fn window_query_into(
+    products: &RTree,
+    c: &Point,
+    q: &Point,
+    exclude: Option<ItemId>,
+    scratch: &mut WindowScratch,
+    out: &mut Vec<(ItemId, Point)>,
+) {
     let rect = Rect::window(c, q);
-    products
-        .window(&rect)
-        .into_iter()
-        .filter(|(id, p)| Some(*id) != exclude && dominates_dyn(p, q, c))
-        .collect()
+    out.clear();
+    products.window_into_with(&rect, scratch, out);
+    out.retain(|(id, p)| Some(*id) != exclude && dominates_dyn(p, q, c));
 }
 
 /// Whether `c ∈ RSL(q)`: true iff the window query finds no dominating
@@ -58,8 +74,21 @@ pub fn is_reverse_skyline_member(
     q: &Point,
     exclude: Option<ItemId>,
 ) -> bool {
+    let mut scratch = WindowScratch::new();
+    is_reverse_skyline_member_with(products, c, q, exclude, &mut scratch)
+}
+
+/// As [`is_reverse_skyline_member`], but reusing a descent-stack scratch
+/// across calls so repeated membership tests allocate nothing.
+pub fn is_reverse_skyline_member_with(
+    products: &RTree,
+    c: &Point,
+    q: &Point,
+    exclude: Option<ItemId>,
+    scratch: &mut WindowScratch,
+) -> bool {
     let rect = Rect::window(c, q);
-    !products.window_any(&rect, |id, p| {
+    !products.window_any_with(&rect, scratch, |id, p| {
         Some(id) == exclude || !dominates_dyn(p, q, c)
     })
 }

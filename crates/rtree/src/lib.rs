@@ -37,5 +37,5 @@ pub mod validate;
 pub use config::RTreeConfig;
 pub use node::{Child, Entry, ItemId, Node, NodeId};
 pub use paged::PagedRTree;
-pub use query::{BestFirst, Traversal};
-pub use tree::RTree;
+pub use query::{knn, nearest, BestFirst, Traversal};
+pub use tree::{RTree, WindowScratch};

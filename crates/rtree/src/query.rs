@@ -105,6 +105,7 @@ pub struct BestFirst<'a, K> {
     key: K,
     heap: BinaryHeap<HeapElem>,
     seq: u64,
+    staged: Vec<(f64, Payload)>,
 }
 
 impl<'a, K: FnMut(&Rect) -> f64> BestFirst<'a, K> {
@@ -116,6 +117,8 @@ impl<'a, K: FnMut(&Rect) -> f64> BestFirst<'a, K> {
             key,
             heap: BinaryHeap::new(),
             seq: 0,
+            // lint:allow(hot_path_alloc) reason=one-time construction per traversal, reused across expands
+            staged: Vec::new(),
         };
         if !tree.is_empty() {
             let root = tree.root();
@@ -127,6 +130,7 @@ impl<'a, K: FnMut(&Rect) -> f64> BestFirst<'a, K> {
     }
 
     fn push(&mut self, key: f64, payload: Payload) {
+        wnrs_geometry::stats::record_heap_push();
         self.seq += 1;
         self.heap.push(HeapElem {
             key,
@@ -162,19 +166,24 @@ impl<'a, K: FnMut(&Rect) -> f64> BestFirst<'a, K> {
     pub fn expand(&mut self, node: NodeId) {
         self.tree.record_visit();
         let n = self.tree.node(node);
-        // Collect first: `self.key` and `self.push` both borrow self.
-        let mut staged: Vec<(f64, Payload)> = Vec::with_capacity(n.len());
+        // Stage first: `self.key` and `self.push` both borrow self. The
+        // staging buffer lives on the traversal, so steady-state expands
+        // reuse one allocation instead of building a fresh Vec per node.
+        let mut staged = std::mem::take(&mut self.staged);
+        staged.clear();
         for e in n.entries() {
             let k = (self.key)(e.rect());
             let payload = match e.child() {
                 Child::Node(id) => Payload::Node(id),
+                // lint:allow(hot_path_alloc) reason=owned Point required by the public Traversal API
                 Child::Item(id) => Payload::Item(id, e.point().clone()),
             };
             staged.push((k, payload));
         }
-        for (k, p) in staged {
+        for (k, p) in staged.drain(..) {
             self.push(k, p);
         }
+        self.staged = staged;
     }
 
     /// Number of elements currently on the frontier.
@@ -187,6 +196,7 @@ impl<'a, K: FnMut(&Rect) -> f64> BestFirst<'a, K> {
 /// first. Ties broken by traversal order.
 pub fn knn(tree: &RTree, q: &Point, k: usize) -> Vec<(ItemId, Point)> {
     assert_eq!(q.dim(), tree.dim(), "query dimensionality mismatch");
+    // lint:allow(hot_path_alloc) reason=one query-point clone per knn call, not per candidate
     let q = q.clone();
     let mut bf = BestFirst::new(tree, move |r: &Rect| r.min_dist2(&q));
     let mut out = Vec::with_capacity(k);

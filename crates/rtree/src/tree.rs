@@ -124,6 +124,7 @@ impl RTree {
     /// bichromatic pruning) report comparable statistics.
     #[inline]
     pub fn record_visit(&self) {
+        wnrs_geometry::stats::record_node_visit();
         self.visits.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -502,11 +503,26 @@ impl RTree {
 
     /// As [`RTree::window`], reusing an output buffer.
     pub fn window_into(&self, window: &Rect, out: &mut Vec<(ItemId, Point)>) {
+        let mut scratch = WindowScratch::new();
+        self.window_into_with(window, &mut scratch, out);
+    }
+
+    /// As [`RTree::window_into`], additionally reusing the descent stack
+    /// in `scratch` — the allocation-free form for callers that issue
+    /// many window queries in a row.
+    pub fn window_into_with(
+        &self,
+        window: &Rect,
+        scratch: &mut WindowScratch,
+        out: &mut Vec<(ItemId, Point)>,
+    ) {
         out.clear();
         if self.is_empty() {
             return;
         }
-        let mut stack = vec![self.root];
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(self.root);
         while let Some(node_id) = stack.pop() {
             self.record_visit();
             let node = self.node(node_id);
@@ -532,11 +548,24 @@ impl RTree {
     /// variant; the reverse-skyline membership test only needs emptiness).
     /// `skip` is invoked per candidate point and can exclude e.g. the
     /// customer's own tuple.
-    pub fn window_any(&self, window: &Rect, mut skip: impl FnMut(ItemId, &Point) -> bool) -> bool {
+    pub fn window_any(&self, window: &Rect, skip: impl FnMut(ItemId, &Point) -> bool) -> bool {
+        let mut scratch = WindowScratch::new();
+        self.window_any_with(window, &mut scratch, skip)
+    }
+
+    /// As [`RTree::window_any`], reusing the descent stack in `scratch`.
+    pub fn window_any_with(
+        &self,
+        window: &Rect,
+        scratch: &mut WindowScratch,
+        mut skip: impl FnMut(ItemId, &Point) -> bool,
+    ) -> bool {
         if self.is_empty() {
             return false;
         }
-        let mut stack = vec![self.root];
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(self.root);
         while let Some(node_id) = stack.pop() {
             self.record_visit();
             let node = self.node(node_id);
@@ -614,15 +643,24 @@ impl RTree {
     /// All `(id, point)` pairs in the tree, in arbitrary order.
     pub fn items(&self) -> Vec<(ItemId, Point)> {
         let mut out = Vec::with_capacity(self.len);
+        self.for_each_item(|id, p| out.push((id, p.clone())));
+        out
+    }
+
+    /// Visits every `(id, point)` pair in the tree, in arbitrary order,
+    /// without materialising an intermediate collection. The streaming
+    /// form of [`RTree::items`] for callers that scatter the points into
+    /// their own storage (e.g. a dense flat table keyed by item id).
+    pub fn for_each_item(&self, mut f: impl FnMut(ItemId, &Point)) {
         if self.is_empty() {
-            return out;
+            return;
         }
         let mut stack = vec![self.root];
         while let Some(node_id) = stack.pop() {
             let node = self.node(node_id);
             if node.is_leaf() {
                 for e in node.entries() {
-                    out.push((e.item_id(), e.point().clone()));
+                    f(e.item_id(), e.point());
                 }
             } else {
                 for e in node.entries() {
@@ -632,12 +670,31 @@ impl RTree {
                 }
             }
         }
-        out
     }
 
     /// Whether an exact `(id, point)` entry exists.
     pub fn contains(&self, id: ItemId, p: &Point) -> bool {
         self.find_leaf(self.root, id, p, &mut Vec::new()).is_some()
+    }
+}
+
+/// Reusable descent state for the window-query family
+/// ([`RTree::window_into_with`], [`RTree::window_any_with`]).
+///
+/// A window query needs a node stack; constructing one per query puts an
+/// allocation on the per-customer hot path. Callers that issue many
+/// window queries hold one `WindowScratch` and pass it to the `_with`
+/// variants — after the first query the stack's allocation is reused.
+#[derive(Debug, Default)]
+pub struct WindowScratch {
+    stack: Vec<NodeId>,
+}
+
+impl WindowScratch {
+    /// An empty scratch; allocates lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 

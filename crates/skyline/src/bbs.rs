@@ -7,8 +7,12 @@
 //! corner is dominated by an already-found skyline point can be pruned
 //! wholesale, which makes BBS I/O-optimal for skylines.
 
-use wnrs_geometry::{dominates, Point, Rect};
-use wnrs_rtree::{BestFirst, ItemId, RTree, Traversal};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use wnrs_geometry::{
+    abs_diff_into, cmp_f64, dominates, dominates_components, Point, PointsView, Rect,
+};
+use wnrs_rtree::{BestFirst, Child, ItemId, Node, NodeId, RTree, Traversal};
 
 /// The lower corner of `rect`'s image under the absolute-distance
 /// transform centred at `q`: per dimension, the minimum of `|x − q_i|`
@@ -37,7 +41,9 @@ pub fn transformed_lo(rect: &Rect, q: &Point) -> Point {
 /// The static skyline of the indexed points via BBS, as `(id, point)`
 /// pairs in discovery (MINDIST) order.
 pub fn bbs_skyline(tree: &RTree) -> Vec<(ItemId, Point)> {
+    // lint:allow(hot_path_alloc) reason=per-query setup, not per-candidate
     let mut skyline: Vec<Point> = Vec::new();
+    // lint:allow(hot_path_alloc) reason=per-query setup, not per-candidate
     let mut out: Vec<(ItemId, Point)> = Vec::new();
     let mut bf = BestFirst::new(tree, |r: &Rect| r.lo().coords().iter().sum());
     while let Some(t) = bf.pop() {
@@ -49,6 +55,7 @@ pub fn bbs_skyline(tree: &RTree) -> Vec<(ItemId, Point)> {
             }
             Traversal::Item { id, point, .. } => {
                 if !skyline.iter().any(|s| dominates(s, &point)) {
+                    // lint:allow(hot_path_alloc) reason=one clone per accepted skyline point
                     skyline.push(point.clone());
                     out.push((id, point));
                 }
@@ -98,35 +105,218 @@ pub fn bbs_dynamic_skyline_excluding(
     q: &Point,
     exclude: Option<ItemId>,
 ) -> Vec<(ItemId, Point)> {
-    assert_eq!(q.dim(), tree.dim(), "query dimensionality mismatch");
-    let q_key = q.clone();
-    let q_dom = q.clone();
-    let mut skyline_t: Vec<Point> = Vec::new(); // transformed-space skyline
-    let mut out: Vec<(ItemId, Point)> = Vec::new();
-    let mut bf = BestFirst::new(tree, move |r: &Rect| {
-        transformed_lo(r, &q_key).coords().iter().sum()
-    });
-    while let Some(t) = bf.pop() {
-        match t {
-            Traversal::Node { id, rect, .. } => {
-                let lo = transformed_lo(&rect, &q_dom);
-                if !skyline_t.iter().any(|s| dominates(s, &lo)) {
-                    bf.expand(id);
+    let mut scratch = BbsScratch::new();
+    bbs_dynamic_skyline_scratch(tree, q.coords(), exclude, &mut scratch);
+    scratch
+        .ids
+        .iter()
+        .zip(scratch.locs.iter())
+        // lint:allow(hot_path_alloc) reason=compat wrapper materialises one owned point per result
+        .map(|(&id, &(nid, idx))| (id, tree.node(nid).entries()[idx as usize].point().clone()))
+        .collect()
+}
+
+/// One heap element of the scratch-based BBS traversal. Mirrors the
+/// ordering of `BestFirst`'s internal heap exactly: smallest key pops
+/// first, ties broken FIFO by insertion sequence — so the scratch path
+/// replays the reference traversal bit for bit.
+#[derive(Debug)]
+struct ScratchElem {
+    key: f64,
+    seq: u64,
+    slot: Slot,
+}
+
+/// Heap payload: node to maybe-expand, or a leaf entry addressed by its
+/// position in the arena (no point clone — the coordinates are fetched
+/// from the tree when the element pops).
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Node(NodeId),
+    Item(ItemId, NodeId, u32),
+}
+
+impl PartialEq for ScratchElem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for ScratchElem {}
+impl PartialOrd for ScratchElem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScratchElem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the smallest key pops first;
+        // break ties by insertion order for determinism.
+        cmp_f64(other.key, self.key).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Reusable state for [`bbs_dynamic_skyline_scratch`]: the best-first
+/// heap, the flat transformed-space skyline arena, the accepted item
+/// ids/locations, and a transform buffer.
+///
+/// One scratch serves any number of sequential queries; after a warm-up
+/// query has grown the buffers, further queries perform **zero** heap
+/// allocations. The store build holds one scratch per worker thread.
+#[derive(Debug, Default)]
+pub struct BbsScratch {
+    heap: BinaryHeap<ScratchElem>,
+    seq: u64,
+    dim: usize,
+    /// Transformed-space skyline, flat (`len * dim` coords).
+    sky_t: Vec<f64>,
+    /// Accepted item ids, discovery order.
+    ids: Vec<ItemId>,
+    /// Arena address (node, entry index) of each accepted item.
+    locs: Vec<(NodeId, u32)>,
+    /// Per-candidate transform buffer.
+    tbuf: Vec<f64>,
+}
+
+impl BbsScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of skyline points found by the last query.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the last query found no skyline points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The transformed-space dynamic skyline of the last query, in
+    /// discovery order, as a flat borrowed view.
+    #[must_use]
+    pub fn dsl_t(&self) -> PointsView<'_> {
+        PointsView::new(self.dim, &self.sky_t)
+    }
+
+    /// The accepted item ids of the last query, in discovery order.
+    #[must_use]
+    pub fn ids(&self) -> &[ItemId] {
+        &self.ids
+    }
+
+    fn reset(&mut self, dim: usize) {
+        self.heap.clear();
+        self.seq = 0;
+        self.dim = dim;
+        self.sky_t.clear();
+        self.ids.clear();
+        self.locs.clear();
+        self.tbuf.clear();
+    }
+
+    fn push(&mut self, key: f64, slot: Slot) {
+        wnrs_geometry::stats::record_heap_push();
+        self.seq += 1;
+        self.heap.push(ScratchElem {
+            key,
+            seq: self.seq,
+            slot,
+        });
+    }
+}
+
+/// Whether any point of the flat skyline arena dominates `t`.
+fn any_dominates(sky: &[f64], dim: usize, t: &[f64]) -> bool {
+    debug_assert!(dim > 0);
+    sky.chunks_exact(dim).any(|s| dominates_components(s, t))
+}
+
+/// Writes the lower corner of `node`'s bounding rectangle under the
+/// absolute-distance transform centred at `q` into `out`, without
+/// materialising the MBR. Replicates `Node::mbr`'s `f64::min`/`f64::max`
+/// fold followed by [`transformed_lo`]'s branches, so the prune decision
+/// is bit-identical to recomputing the MBR.
+fn node_transformed_lo_into(node: &Node, q: &[f64], out: &mut Vec<f64>) {
+    debug_assert!(!node.is_empty());
+    out.clear();
+    out.extend(q.iter().enumerate().map(|(i, &qi)| {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for e in node.entries() {
+            lo = lo.min(e.rect().lo()[i]);
+            hi = hi.max(e.rect().hi()[i]);
+        }
+        if qi < lo {
+            lo - qi
+        } else if qi > hi {
+            qi - hi
+        } else {
+            0.0
+        }
+    }));
+}
+
+/// Allocation-free core of [`bbs_dynamic_skyline_excluding`]: runs the
+/// BBS traversal in the transformed space centred at `q`, leaving the
+/// results in `scratch` ([`BbsScratch::ids`], [`BbsScratch::dsl_t`]).
+///
+/// Traversal order, pruning decisions and results are identical to the
+/// allocating wrapper — the heap keys are computed with the bit-identical
+/// [`Rect::min_l1_coords`] kernel and ties break by the same insertion
+/// sequence. After a warm-up query on the same tree shape the steady
+/// state performs zero heap allocations.
+pub fn bbs_dynamic_skyline_scratch(
+    tree: &RTree,
+    q: &[f64],
+    exclude: Option<ItemId>,
+    scratch: &mut BbsScratch,
+) {
+    assert_eq!(q.len(), tree.dim(), "query dimensionality mismatch");
+    scratch.reset(q.len());
+    if tree.is_empty() {
+        return;
+    }
+    // The root is the heap's only element at this point, so its key is
+    // never compared against anything: push 0.0 instead of computing the
+    // real bound (which would allocate an MBR).
+    scratch.push(0.0, Slot::Node(tree.root()));
+    while let Some(elem) = scratch.heap.pop() {
+        match elem.slot {
+            Slot::Node(nid) => {
+                let node = tree.node(nid);
+                node_transformed_lo_into(node, q, &mut scratch.tbuf);
+                if any_dominates(&scratch.sky_t, scratch.dim, &scratch.tbuf) {
+                    continue;
+                }
+                tree.record_visit();
+                for (idx, e) in node.entries().iter().enumerate() {
+                    let key = e.rect().min_l1_coords(q);
+                    match e.child() {
+                        Child::Node(child) => scratch.push(key, Slot::Node(child)),
+                        Child::Item(id) => scratch.push(key, Slot::Item(id, nid, idx as u32)),
+                    }
                 }
             }
-            Traversal::Item { id, point, .. } => {
+            Slot::Item(id, nid, idx) => {
                 if Some(id) == exclude {
                     continue;
                 }
-                let tp = point.abs_diff(&q_dom);
-                if !skyline_t.iter().any(|s| dominates(s, &tp)) {
-                    skyline_t.push(tp);
-                    out.push((id, point));
+                let p = tree.node(nid).entries()[idx as usize].point();
+                abs_diff_into(p.coords(), q, &mut scratch.tbuf);
+                if any_dominates(&scratch.sky_t, scratch.dim, &scratch.tbuf) {
+                    continue;
                 }
+                scratch.sky_t.extend_from_slice(&scratch.tbuf);
+                scratch.ids.push(id);
+                scratch.locs.push((nid, idx));
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -202,6 +392,34 @@ mod tests {
             tree.node_visits(),
             tree.node_count()
         );
+    }
+
+    #[test]
+    fn scratch_matches_wrapper_across_reuse() {
+        let pts = pseudo_points(400, 13, 2);
+        let tree = bulk_load(&pts, RTreeConfig::with_max_entries(8));
+        let mut scratch = BbsScratch::new();
+        let queries = [
+            Point::xy(41.0, 67.0),
+            Point::xy(3.0, 3.0),
+            Point::xy(90.0, 10.0),
+        ];
+        for (qi, q) in queries.iter().enumerate() {
+            let want = bbs_dynamic_skyline_excluding(&tree, q, Some(ItemId(7)));
+            bbs_dynamic_skyline_scratch(&tree, q.coords(), Some(ItemId(7)), &mut scratch);
+            assert_eq!(scratch.len(), want.len(), "query {qi}");
+            for (i, (id, p)) in want.iter().enumerate() {
+                assert_eq!(scratch.ids()[i], *id, "query {qi} item {i}");
+                let t = p.abs_diff(q);
+                assert!(
+                    scratch
+                        .dsl_t()
+                        .get(i)
+                        .same_location(wnrs_geometry::PointRef::new(t.coords())),
+                    "query {qi} item {i}"
+                );
+            }
+        }
     }
 
     #[test]

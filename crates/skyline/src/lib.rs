@@ -27,8 +27,13 @@ pub mod dynamic;
 pub mod sfs;
 pub mod skyband;
 
-pub use approx::{approx_anti_ddr, sample_dsl};
-pub use bbs::{bbs_dynamic_skyline, bbs_dynamic_skyline_excluding, bbs_skyline, transformed_lo};
+pub use approx::{
+    approx_anti_ddr, approx_anti_ddr_flat, approx_dsl_sample_into, sample_dsl, ApproxDslScratch,
+};
+pub use bbs::{
+    bbs_dynamic_skyline, bbs_dynamic_skyline_excluding, bbs_dynamic_skyline_scratch, bbs_skyline,
+    transformed_lo, BbsScratch,
+};
 pub use bnl::bnl_skyline;
 pub use dc::dc_skyline;
 pub use ddr::{anti_ddr, anti_ddr_general, anti_ddr_original_space};

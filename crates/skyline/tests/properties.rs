@@ -111,7 +111,7 @@ proptest! {
         wnrs_geometry::dominance::prune_dominated(&mut sky, dominates);
         let maxd = Point::xy(100.0, 100.0);
         let exact = anti_ddr(&sky, &maxd);
-        let sample = sample_dsl(&sky, k);
+        let sample = sample_dsl(sky.clone(), k);
         let approx = approx_anti_ddr(&sample, &maxd);
         prop_assert!(approx.area() <= exact.area() + 1e-6);
         // Spot-check membership implication on a grid.

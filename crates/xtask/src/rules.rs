@@ -6,6 +6,8 @@
 //! | `float_cmp`        | no raw float `==`/`!=`, no `partial_cmp`/`total_cmp` calls  |
 //! |                    | outside the NaN-validated boundary (`geometry/src/point.rs`)|
 //! | `no_index`         | no `[…]` indexing in designated hot-path modules            |
+//! | `hot_path_alloc`   | no `.to_vec()`, `.clone()` or `Vec::new()` in designated    |
+//! |                    | allocation-free hot-path modules                            |
 //! | `must_use_builder` | `pub fn … -> Self` must carry `#[must_use]`                 |
 //! | `crate_gates`      | crate roots carry `#![forbid(unsafe_code)]` +               |
 //! |                    | `#![warn(missing_docs)]`                                    |
@@ -32,6 +34,8 @@ pub enum Rule {
     FloatCmp,
     /// L3: no `[…]` indexing in hot-path modules.
     NoIndex,
+    /// L6: no allocating calls in allocation-free hot-path modules.
+    HotPathAlloc,
     /// L4: builder methods returning `Self` must be `#[must_use]`.
     MustUseBuilder,
     /// L5: crate roots must carry the safety/doc gates.
@@ -47,6 +51,7 @@ impl Rule {
             Rule::NoPanic => "no_panic",
             Rule::FloatCmp => "float_cmp",
             Rule::NoIndex => "no_index",
+            Rule::HotPathAlloc => "hot_path_alloc",
             Rule::MustUseBuilder => "must_use_builder",
             Rule::CrateGates => "crate_gates",
             Rule::AllowHygiene => "allow_hygiene",
@@ -59,6 +64,7 @@ impl Rule {
             "no_panic" => Rule::NoPanic,
             "float_cmp" => Rule::FloatCmp,
             "no_index" => Rule::NoIndex,
+            "hot_path_alloc" => Rule::HotPathAlloc,
             "must_use_builder" => Rule::MustUseBuilder,
             "crate_gates" => Rule::CrateGates,
             _ => return None,
@@ -66,11 +72,12 @@ impl Rule {
     }
 
     /// All user-facing rules (excludes the internal hygiene rule).
-    pub fn all() -> [Rule; 5] {
+    pub fn all() -> [Rule; 6] {
         [
             Rule::NoPanic,
             Rule::FloatCmp,
             Rule::NoIndex,
+            Rule::HotPathAlloc,
             Rule::MustUseBuilder,
             Rule::CrateGates,
         ]
@@ -110,6 +117,8 @@ pub struct FileClass {
     pub crate_root: bool,
     /// A designated hot-path module (L3 applies).
     pub hot_path: bool,
+    /// A designated allocation-free hot-path module (L6 applies).
+    pub alloc_hot_path: bool,
     /// The NaN-validated float boundary (L2 exempt).
     pub float_boundary: bool,
 }
@@ -127,6 +136,9 @@ pub fn lint_source(file: &str, src: &str, class: FileClass) -> (Vec<Finding>, Ve
     }
     if class.hot_path {
         check_no_index(file, &eff, &mut findings);
+    }
+    if class.alloc_hot_path {
+        check_hot_path_alloc(file, &eff, &mut findings);
     }
     check_must_use_builder(file, &eff, &mut findings);
     if class.crate_root {
@@ -371,6 +383,45 @@ fn check_no_index(file: &str, eff: &[Token], findings: &mut Vec<Finding>) {
                 message: "`[…]` indexing in a hot-path module; use `get`, \
                           iterators or pattern matching"
                     .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L6 — hot_path_alloc
+// ---------------------------------------------------------------------
+
+/// Flags per-element heap traffic in modules whose inner loops are meant
+/// to run allocation-free: `.to_vec()` and `.clone()` calls plus
+/// `Vec::new()` constructions. Cold setup paths escape with
+/// `// lint:allow(hot_path_alloc) reason=…`.
+fn check_hot_path_alloc(file: &str, eff: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in eff.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        let prev = i.checked_sub(1).and_then(|j| eff.get(j)).map(|t| &t.tok);
+        let next = eff.get(i + 1).map(|t| &t.tok);
+        let called = matches!(next, Some(Tok::Punct('(')));
+        let hit = match name.as_str() {
+            "to_vec" | "clone" if matches!(prev, Some(Tok::Punct('.'))) && called => Some(format!(
+                "`.{name}()` allocates per call in a hot-path module"
+            )),
+            "new"
+                if called
+                    && matches!(prev, Some(Tok::Punct(':')))
+                    && matches!(i.checked_sub(3).and_then(|j| eff.get(j)).map(|t| &t.tok),
+                    Some(Tok::Ident(s)) if s == "Vec") =>
+            {
+                Some("`Vec::new()` in a hot-path module; reuse a scratch buffer".to_string())
+            }
+            _ => None,
+        };
+        if let Some(message) = hit {
+            findings.push(Finding {
+                rule: Rule::HotPathAlloc,
+                file: file.to_string(),
+                line: t.line,
+                message,
             });
         }
     }
@@ -827,6 +878,30 @@ mod tests {
         assert!(f.is_empty(), "{f:?}");
         // And indexing outside hot paths is fine.
         assert!(lint("fn f(v: &[u32]) -> u32 { v[0] }").is_empty());
+    }
+
+    #[test]
+    fn alloc_calls_only_in_alloc_hot_path() {
+        let class = FileClass {
+            alloc_hot_path: true,
+            ..FileClass::default()
+        };
+        let src = "fn f(v: &[u32]) { let a = v.to_vec(); let b = a.clone(); \
+                   let c: Vec<u32> = Vec::new(); }";
+        let (f, _) = lint_source("hot.rs", src, class);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::HotPathAlloc));
+        // `Clone::clone` derives, `vec![]` literals and plain `new` are
+        // out of scope; so is everything outside designated modules.
+        let ok = "fn g() { let s = Scratch::new(); let v = vec![1]; }";
+        let (f, _) = lint_source("hot.rs", ok, class);
+        assert!(f.is_empty(), "{f:?}");
+        assert!(lint(src).is_empty());
+        // The escape hatch works per line.
+        let allowed = "fn f(v: &[u32]) {\n    // lint:allow(hot_path_alloc) reason=cold setup\n    let a = v.to_vec();\n}\n";
+        let (f, a) = lint_source("hot.rs", allowed, class);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(a.len(), 1);
     }
 
     #[test]

@@ -23,6 +23,16 @@ const HOT_PATHS: [&str; 4] = [
     "crates/rtree/src/node.rs",
 ];
 
+/// Modules designated allocation-free for the `hot_path_alloc` rule:
+/// their inner loops run once per customer (or per tree node) and must
+/// not produce per-element heap traffic. Cold setup paths use the
+/// `lint:allow(hot_path_alloc)` escape.
+const ALLOC_HOT_PATHS: [&str; 3] = [
+    "crates/skyline/src/bbs.rs",
+    "crates/rtree/src/query.rs",
+    "crates/geometry/src/dominance.rs",
+];
+
 /// The NaN-validated float boundary: the one file allowed to use raw
 /// float comparison primitives, because `Point::new` rejects non-finite
 /// coordinates there and the `float` helpers it hosts wrap `total_cmp`.
@@ -95,6 +105,7 @@ fn classify(rel: &str) -> FileClass {
     FileClass {
         crate_root: rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs"),
         hot_path: HOT_PATHS.contains(&rel),
+        alloc_hot_path: ALLOC_HOT_PATHS.contains(&rel),
         float_boundary: rel == FLOAT_BOUNDARY,
     }
 }
@@ -110,6 +121,10 @@ mod tests {
         assert!(!classify("crates/core/src/engine.rs").crate_root);
         assert!(classify("crates/geometry/src/region.rs").hot_path);
         assert!(!classify("crates/geometry/src/rect.rs").hot_path);
+        assert!(classify("crates/skyline/src/bbs.rs").alloc_hot_path);
+        assert!(classify("crates/rtree/src/query.rs").alloc_hot_path);
+        assert!(classify("crates/geometry/src/dominance.rs").alloc_hot_path);
+        assert!(!classify("crates/skyline/src/approx.rs").alloc_hot_path);
         assert!(classify("crates/geometry/src/point.rs").float_boundary);
     }
 }

@@ -1,0 +1,31 @@
+//! Fixture: per-element heap traffic for the `hot_path_alloc` rule.
+
+pub fn hot(v: &[u32], p: &Point) -> Vec<u32> {
+    let copy = v.to_vec();
+    let owned = p.clone();
+    let scratch: Vec<u32> = Vec::new();
+    copy
+}
+
+pub fn cold_ok() {
+    let s = Scratch::new();
+    let lit = vec![1, 2, 3];
+    let sized: Vec<u32> = Vec::with_capacity(8);
+}
+
+pub fn allowed(v: &[u32]) -> Vec<u32> {
+    // lint:allow(hot_path_alloc) reason=cold setup path
+    v.to_vec()
+}
+
+/// Doc comments may mention `.clone()` and `Vec::new()` freely.
+pub fn documented() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = [1u32].to_vec();
+        let w = v.clone();
+    }
+}

@@ -75,6 +75,29 @@ fn no_index_fixture_exact_findings() {
 }
 
 #[test]
+fn hot_path_alloc_fixture_exact_findings() {
+    let src = fixture("hot_path_alloc.rs");
+    let class = FileClass {
+        alloc_hot_path: true,
+        ..FileClass::default()
+    };
+    let (findings, allows) = lint_source("fixtures/hot_path_alloc.rs", &src, class);
+    // .to_vec()/.clone()/Vec::new() — but not Scratch::new(), vec![]
+    // literals, Vec::with_capacity, doc comments or #[cfg(test)] code.
+    assert_eq!(lines_of(&findings, Rule::HotPathAlloc), vec![4, 5, 6]);
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    // The escape hatch on `allowed()` is recorded, not a finding.
+    assert_eq!(allows.len(), 1);
+    assert_eq!(allows[0].line, 17);
+    assert_eq!(allows[0].reason, "cold setup path");
+    // The same file outside a designated module is clean except for the
+    // now-unused allow directive.
+    let (cold, _) = lint_source("fixtures/hot_path_alloc.rs", &src, FileClass::default());
+    assert_eq!(lines_of(&cold, Rule::AllowHygiene), vec![17]);
+    assert_eq!(cold.len(), 1, "{cold:?}");
+}
+
+#[test]
 fn must_use_fixture_exact_findings() {
     let src = fixture("must_use.rs");
     let (findings, _) = lint_source("fixtures/must_use.rs", &src, FileClass::default());
@@ -129,6 +152,7 @@ fn workspace_pass_is_dirty_on_seeded_fixture_root() {
         "no_panic.rs",
         "float_cmp.rs",
         "no_index.rs",
+        "hot_path_alloc.rs",
         "must_use.rs",
         "crate_gates.rs",
         "allow_hygiene.rs",
@@ -137,12 +161,15 @@ fn workspace_pass_is_dirty_on_seeded_fixture_root() {
     }
     let report = xtask::lint_workspace(&root).expect("lint");
     assert!(!report.is_clean());
-    assert_eq!(report.files_scanned, 6);
-    // Every rule with a seeded violation shows up in the counts.
+    assert_eq!(report.files_scanned, 7);
+    // Every rule with a seeded violation shows up in the counts. The
+    // seeded root's files are not designated alloc-hot-path modules, so
+    // the hot_path_alloc fixture contributes only its (now unused) allow
+    // directive to the hygiene count.
     assert_eq!(report.count(Rule::NoPanic), 5);
     assert_eq!(report.count(Rule::FloatCmp), 5);
     assert_eq!(report.count(Rule::MustUseBuilder), 1);
-    assert_eq!(report.count(Rule::AllowHygiene), 3);
+    assert_eq!(report.count(Rule::AllowHygiene), 4);
     assert_eq!(report.allow_count(Rule::NoPanic), 1);
     // JSON round-trips the same counts for LINT_BASELINE diffing.
     let json = report.render_json();

@@ -147,7 +147,7 @@ fn main() {
         let exact = anti_ddr_original_space(c2, &dsl, &bounds());
         // Approximate from a k = 2 sample of the transformed DSL.
         let dsl_t: Vec<Point> = dsl.iter().map(|p| p.abs_diff(c2)).collect();
-        let sample = wnrs::skyline::sample_dsl(&dsl_t, 2);
+        let sample = wnrs::skyline::sample_dsl(dsl_t, 2);
         let maxd = wnrs::skyline::ddr::max_dist(c2, &bounds());
         let approx_t = wnrs::skyline::approx_anti_ddr(&sample, &maxd);
         let approx = Region::from_boxes(

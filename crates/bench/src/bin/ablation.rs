@@ -121,6 +121,13 @@ fn page_size_sweep(n: usize) {
 }
 
 fn main() {
+    // --metrics-out / --trace plumbing (no-op without `--features obs`).
+    let obs = wnrs_bench::ObsSession::from_args();
+    run();
+    obs.finish();
+}
+
+fn run() {
     println!(
         "Ablations (scale factor {}, seed {})",
         wnrs_bench::scale(),

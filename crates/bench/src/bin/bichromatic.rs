@@ -17,6 +17,13 @@ use wnrs_rtree::bulk::bulk_load;
 use wnrs_rtree::RTreeConfig;
 
 fn main() {
+    // --metrics-out / --trace plumbing (no-op without `--features obs`).
+    let obs = wnrs_bench::ObsSession::from_args();
+    run();
+    obs.finish();
+}
+
+fn run() {
     println!("Bichromatic reverse-skyline strategies (extension experiment)");
     println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
     let n_products = (100_000.0 * wnrs_bench::scale()) as usize;

@@ -38,6 +38,13 @@ fn probe_query(engine: &WhyNotEngine, rng: &mut StdRng) -> Option<WorkloadQuery>
 }
 
 fn main() {
+    // --metrics-out / --trace plumbing (no-op without `--features obs`).
+    let obs = wnrs_bench::ObsSession::from_args();
+    run();
+    obs.finish();
+}
+
+fn run() {
     println!("Dimensionality sweep (extension experiment)");
     println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
     let n = ((50_000.0 * wnrs_bench::scale()) as usize).max(2_000);

@@ -6,6 +6,13 @@
 use wnrs_bench::{seed, write_report, DatasetKind, ExperimentSetup};
 
 fn main() {
+    // --metrics-out / --trace plumbing (no-op without `--features obs`).
+    let obs = wnrs_bench::ObsSession::from_args();
+    run();
+    obs.finish();
+}
+
+fn run() {
     println!("Fig. 14: RSL size vs safe-region area (CarDB)");
     println!("(scale factor {}, seed {})", wnrs_bench::scale(), seed());
     let targets: Vec<usize> = (1..=15).collect();

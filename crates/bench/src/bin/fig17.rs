@@ -6,6 +6,13 @@
 use wnrs_bench::{seed, threads_flag, timing_rows, write_report, DatasetKind, ExperimentSetup};
 
 fn main() {
+    // --metrics-out / --trace plumbing (no-op without `--features obs`).
+    let obs = wnrs_bench::ObsSession::from_args();
+    run();
+    obs.finish();
+}
+
+fn run() {
     println!("Fig. 17: execution time of MWP, MQP and Approx-MWQ (k = 10)");
     let threads = threads_flag();
     println!(

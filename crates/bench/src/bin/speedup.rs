@@ -43,6 +43,13 @@ fn threads_list() -> Vec<usize> {
 }
 
 fn main() {
+    // --metrics-out / --trace plumbing (no-op without `--features obs`).
+    let obs = wnrs_bench::ObsSession::from_args();
+    run();
+    obs.finish();
+}
+
+fn run() {
     let threads = threads_list();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())

@@ -7,6 +7,13 @@ use wnrs_bench::quality::print_rows;
 use wnrs_bench::{quality_rows, seed, threads_flag, write_report, DatasetKind, ExperimentSetup};
 
 fn main() {
+    // --metrics-out / --trace plumbing (no-op without `--features obs`).
+    let obs = wnrs_bench::ObsSession::from_args();
+    run();
+    obs.finish();
+}
+
+fn run() {
     println!("Table IV: quality of results in synthetic datasets");
     let threads = threads_flag();
     println!(

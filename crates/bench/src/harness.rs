@@ -136,6 +136,86 @@ impl ExperimentSetup {
     }
 }
 
+/// Observability plumbing for the experiment binaries: scans the
+/// command line for `--metrics-out <path|->` and `--trace <path|->`
+/// (same contract as the CLI) and writes the report/trace when
+/// [`ObsSession::finish`] runs at the end of the experiment.
+///
+/// Construct it **first** in `main` — tracing must be on before the
+/// first span completes — and call `finish()` last:
+///
+/// ```ignore
+/// fn main() {
+///     let obs = harness::ObsSession::from_args();
+///     // ... run the experiment ...
+///     obs.finish();
+/// }
+/// ```
+///
+/// Without `--features obs` the flags are still accepted and produce an
+/// empty report, so scripted invocations work against any build.
+pub struct ObsSession {
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+}
+
+impl ObsSession {
+    /// Reads the flags from `std::env::args` and enables tracing if
+    /// `--trace` is present.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let flag = |name: &str| args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone());
+        let session = Self {
+            metrics_out: flag("--metrics-out"),
+            trace_out: flag("--trace"),
+        };
+        if session.trace_out.is_some() {
+            wnrs_obs::set_trace(true);
+        }
+        session
+    }
+
+    /// Whether either output was requested.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some()
+    }
+
+    /// Writes the requested outputs. `-` writes to stdout; a
+    /// `.prom`/`.txt` metrics extension selects Prometheus text format,
+    /// anything else the stable JSON schema.
+    pub fn finish(self) {
+        if let Some(out) = &self.metrics_out {
+            let report = wnrs_obs::report();
+            if out == "-" {
+                print!("{}", report.to_summary());
+            } else {
+                let text = if out.ends_with(".prom") || out.ends_with(".txt") {
+                    report.to_prometheus()
+                } else {
+                    report.to_json()
+                };
+                match std::fs::write(out, text) {
+                    Ok(()) => println!("  [metrics saved to {out}]"),
+                    Err(e) => eprintln!("  [could not save metrics to {out}: {e}]"),
+                }
+            }
+        }
+        if let Some(out) = &self.trace_out {
+            let rendered = wnrs_obs::render_trace(&wnrs_obs::take_trace());
+            if out == "-" {
+                print!("{rendered}");
+            } else {
+                match std::fs::write(out, rendered) {
+                    Ok(()) => println!("  [trace saved to {out}]"),
+                    Err(e) => eprintln!("  [could not save trace to {out}: {e}]"),
+                }
+            }
+        }
+    }
+}
+
 /// The output directory `target/experiments/` (created on demand).
 pub fn out_dir() -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");

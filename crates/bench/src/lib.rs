@@ -23,6 +23,12 @@
 //! `--threads N` (or `WNRS_THREADS`) to run safe-region construction,
 //! the approximate-DSL store build and batch answering in parallel —
 //! results are identical at any thread count.
+//!
+//! Every binary also accepts `--metrics-out <path|->` and
+//! `--trace <path|->` (via [`harness::ObsSession`]): with the `obs`
+//! feature they dump the wnrs-obs metrics report / span trace after the
+//! run, and without it they emit empty reports. See
+//! `docs/OBSERVABILITY.md`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,7 +39,7 @@ pub mod timing;
 
 pub use harness::{
     make_dataset, out_dir, parallelism_flag, scale, seed, threads_flag, write_report, DatasetKind,
-    ExperimentSetup,
+    ExperimentSetup, ObsSession,
 };
 pub use quality::{quality_rows, QualityRow};
 pub use timing::{timing_rows, TimingRow};

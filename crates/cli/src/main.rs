@@ -8,9 +8,16 @@
 //! wnrs mqp      --data data.csv --query 8500,55000 --whynot 17
 //! wnrs mwq      --data data.csv --query 8500,55000 --whynot 17 [--approx-k 10]
 //! wnrs safe-region --data data.csv --query 8500,55000
+//! wnrs profile  --data data.csv --query 8500,55000 --whynot 17 --metrics-out metrics.json
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free.
+//!
+//! Every command accepts `--metrics-out <path|->` (observability report;
+//! `.prom`/`.txt` extension selects Prometheus text format, anything
+//! else JSON) and `--trace <path|->` (per-span event trace). Both emit
+//! empty reports unless the binary is built with `--features obs`; see
+//! `docs/OBSERVABILITY.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,17 +53,27 @@ const USAGE: &str = "usage:
   wnrs explain|mwp|mqp --data <file.csv> --query <x,y,...> --whynot <index>
   wnrs mwq --data <file.csv> --query <x,y,...> --whynot <index> [--approx-k <k>]
   wnrs safe-region --data <file.csv> --query <x,y,...>
+  wnrs profile --data <file.csv> --query <x,y,...> --whynot <index> [--approx-k <k>]
 
 every command that accepts --data also accepts --index to load a
 persisted tree instead of rebuilding it. query commands also accept
 --threads <n> to parallelise safe-region construction and the
-approximate-DSL store build (results are identical at any count).";
+approximate-DSL store build (results are identical at any count).
+
+observability (requires building with --features obs, else empty):
+  --metrics-out <path|->   write the metrics report after the command
+                           (.prom/.txt extension = Prometheus text,
+                           anything else = JSON, - = summary to stdout)
+  --trace <path|->         record per-span events and write the trace";
 
 fn run(args: &[String]) -> Result<(), WnrsError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(WnrsError::usage("no command given"));
     };
     let opts = parse_opts(rest)?;
+    if opts.contains_key("trace") {
+        wnrs_obs::set_trace(true);
+    }
     match cmd.as_str() {
         "generate" => generate(&opts),
         "index" => index(&opts),
@@ -67,8 +84,36 @@ fn run(args: &[String]) -> Result<(), WnrsError> {
         "mqp" => mqp(&opts),
         "mwq" => mwq(&opts),
         "safe-region" => safe_region(&opts),
-        other => Err(WnrsError::usage(format!("unknown command `{other}`"))),
+        "profile" => profile(&opts),
+        other => return Err(WnrsError::usage(format!("unknown command `{other}`"))),
+    }?;
+    emit_observability(&opts)
+}
+
+/// Honours `--metrics-out` and `--trace` after a successful command.
+/// `-` writes to stdout; a `.prom`/`.txt` metrics extension selects the
+/// Prometheus text format, anything else the stable JSON schema.
+fn emit_observability(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
+    if let Some(out) = opts.get("metrics-out") {
+        let report = wnrs_obs::report();
+        if out == "-" {
+            print!("{}", report.to_summary());
+        } else if out.ends_with(".prom") || out.ends_with(".txt") {
+            std::fs::write(out, report.to_prometheus())
+                .map_err(|e| format!("writing {out}: {e}"))?;
+        } else {
+            std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+        }
     }
+    if let Some(out) = opts.get("trace") {
+        let rendered = wnrs_obs::render_trace(&wnrs_obs::take_trace());
+        if out == "-" {
+            print!("{rendered}");
+        } else {
+            std::fs::write(out, rendered).map_err(|e| format!("writing {out}: {e}"))?;
+        }
+    }
+    Ok(())
 }
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, WnrsError> {
@@ -338,6 +383,53 @@ fn safe_region(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     for b in sr.boxes() {
         println!("  {} -> {}", b.lo(), b.hi());
     }
+    Ok(())
+}
+
+/// Runs all four why-not algorithms (explain, MWP, MQP, MWQ — the
+/// latter against both the exact and the `k`-sampled approximate safe
+/// region) against one query/customer pair, so a single `--metrics-out`
+/// run captures a per-phase breakdown like the paper's Section 7
+/// tables. The registry is reset after engine construction: the report
+/// covers query phases only, not the index build.
+fn profile(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
+    let engine = load_engine(opts)?;
+    let q = parse_point(require(opts, "query")?)?;
+    let id = whynot_id(opts, &engine)?;
+    let k: usize = opts
+        .get("approx-k")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --approx-k: {e}"))?
+        .unwrap_or(10);
+
+    wnrs_obs::reset();
+    let ex = engine.explain(id, &q);
+    let mwp = engine.mwp(id, &q);
+    let mqp = engine.mqp(id, &q);
+    let rsl = engine.reverse_skyline(&q);
+    let sr = engine.safe_region_for(&q, &rsl);
+    let store = engine.build_approx_store(k);
+    let sr_approx = engine.approx_safe_region_for(&q, &rsl, &store);
+    let mwq = engine.mwq(id, &q, &sr);
+
+    println!("profile: customer #{} against q = {q}", id.0);
+    println!("  explain:     {} culprit(s)", ex.culprits.len());
+    println!("  mwp:         best cost {:.9}", mwp.best_cost());
+    println!("  mqp:         best cost {:.9}", mqp.best_cost());
+    println!("  rsl:         {} member(s)", rsl.len());
+    println!(
+        "  safe region: exact {} box(es) area {:.6}, approx(k={k}) {} box(es) area {:.6}",
+        sr.len(),
+        sr.area(),
+        sr_approx.len(),
+        sr_approx.area()
+    );
+    println!("  mwq:         case {:?}, cost {:.9}", mwq.case, mwq.cost);
+    if !wnrs_obs::compiled() {
+        println!("(built without --features obs: metrics report will be empty)");
+    }
+    print!("{}", wnrs_obs::report().to_summary());
     Ok(())
 }
 

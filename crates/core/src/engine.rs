@@ -254,6 +254,25 @@ impl WhyNotEngine {
     }
 
     /// Algorithm 1 (MWP) for dataset customer `id`.
+    ///
+    /// Minimally modifies the why-not customer so `q` enters their
+    /// dynamic skyline; the best candidate comes first:
+    ///
+    /// ```
+    /// use wnrs_core::WhyNotEngine;
+    /// use wnrs_geometry::Point;
+    /// use wnrs_rtree::ItemId;
+    ///
+    /// let engine = WhyNotEngine::new(vec![
+    ///     Point::xy(5.0, 30.0), Point::xy(7.5, 42.0), Point::xy(2.5, 70.0),
+    ///     Point::xy(7.5, 90.0), Point::xy(24.0, 20.0), Point::xy(20.0, 50.0),
+    ///     Point::xy(26.0, 70.0), Point::xy(16.0, 80.0),
+    /// ]);
+    /// let q = Point::xy(8.5, 55.0);
+    /// let ans = engine.mwp(ItemId(0), &q); // the paper's why-not c1
+    /// assert!(ans.best_cost() > 0.0);
+    /// assert!(ans.candidates[0].verified);
+    /// ```
     pub fn mwp(&self, id: ItemId, q: &Point) -> MwpAnswer {
         modify_why_not_point(
             &self.tree,
@@ -271,6 +290,26 @@ impl WhyNotEngine {
     }
 
     /// Algorithm 2 (MQP) for dataset customer `id`.
+    ///
+    /// Minimally modifies the *query product* onto the customer's
+    /// dynamic-skyline frontier instead of moving the customer:
+    ///
+    /// ```
+    /// use wnrs_core::WhyNotEngine;
+    /// use wnrs_geometry::Point;
+    /// use wnrs_rtree::ItemId;
+    ///
+    /// let engine = WhyNotEngine::new(vec![
+    ///     Point::xy(5.0, 30.0), Point::xy(7.5, 42.0), Point::xy(2.5, 70.0),
+    ///     Point::xy(7.5, 90.0), Point::xy(24.0, 20.0), Point::xy(20.0, 50.0),
+    ///     Point::xy(26.0, 70.0), Point::xy(16.0, 80.0),
+    /// ]);
+    /// let q = Point::xy(8.5, 55.0);
+    /// let ans = engine.mqp(ItemId(0), &q);
+    /// // The moved product q* puts customer 0 into RSL(q*).
+    /// assert!(ans.candidates.iter().any(|c| c.verified));
+    /// assert!(ans.best_cost() > 0.0);
+    /// ```
     pub fn mqp(&self, id: ItemId, q: &Point) -> MqpAnswer {
         modify_query_point(
             &self.tree,
@@ -291,6 +330,24 @@ impl WhyNotEngine {
     /// first; reuse [`WhyNotEngine::safe_region_for`] when the reverse
     /// skyline is already at hand (the paper stresses that one safe
     /// region serves many why-not questions).
+    ///
+    /// The region is a union of boxes containing `q`, inside which `q`
+    /// may move without losing any reverse-skyline member:
+    ///
+    /// ```
+    /// use wnrs_core::WhyNotEngine;
+    /// use wnrs_geometry::Point;
+    ///
+    /// let engine = WhyNotEngine::new(vec![
+    ///     Point::xy(5.0, 30.0), Point::xy(7.5, 42.0), Point::xy(2.5, 70.0),
+    ///     Point::xy(7.5, 90.0), Point::xy(24.0, 20.0), Point::xy(20.0, 50.0),
+    ///     Point::xy(26.0, 70.0), Point::xy(16.0, 80.0),
+    /// ]);
+    /// let q = Point::xy(8.5, 55.0);
+    /// let sr = engine.safe_region(&q);
+    /// assert!(sr.contains(&q));
+    /// assert!(sr.area() > 0.0);
+    /// ```
     pub fn safe_region(&self, q: &Point) -> Region {
         let rsl = self.reverse_skyline(q);
         self.safe_region_for(q, &rsl)
@@ -324,6 +381,26 @@ impl WhyNotEngine {
 
     /// Algorithm 4 (MWQ) for dataset customer `id`, against a
     /// precomputed safe region (exact or approximate).
+    ///
+    /// Moves `q` inside the safe region (free, Eqn 10) and, when the
+    /// region misses the customer's anti-DDR, additionally repairs the
+    /// customer — never costing more than plain MWP:
+    ///
+    /// ```
+    /// use wnrs_core::WhyNotEngine;
+    /// use wnrs_geometry::Point;
+    /// use wnrs_rtree::ItemId;
+    ///
+    /// let engine = WhyNotEngine::new(vec![
+    ///     Point::xy(5.0, 30.0), Point::xy(7.5, 42.0), Point::xy(2.5, 70.0),
+    ///     Point::xy(7.5, 90.0), Point::xy(24.0, 20.0), Point::xy(20.0, 50.0),
+    ///     Point::xy(26.0, 70.0), Point::xy(16.0, 80.0),
+    /// ]);
+    /// let q = Point::xy(8.5, 55.0);
+    /// let sr = engine.safe_region(&q);
+    /// let ans = engine.mwq(ItemId(0), &q, &sr);
+    /// assert!(ans.cost <= engine.mwp(ItemId(0), &q).best_cost() + 1e-9);
+    /// ```
     pub fn mwq(&self, id: ItemId, q: &Point, sr: &Region) -> MwqAnswer {
         modify_both(
             &self.tree,

@@ -24,6 +24,7 @@ impl Explanation {
 /// Computes the explanation (Section III, first aspect): deleting every
 /// culprit from `P` would admit `c_t` into `RSL(q)` (Lemma 1).
 pub fn explain(products: &RTree, c_t: &Point, q: &Point, exclude: Option<ItemId>) -> Explanation {
+    let _span = wnrs_obs::span!("explain");
     Explanation {
         culprits: window_query(products, c_t, q, exclude),
     }

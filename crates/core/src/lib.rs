@@ -6,7 +6,7 @@
 //! Given products `P`, a query product `q` and a why-not customer `c_t ∉
 //! RSL(q)`, the library answers three ways:
 //!
-//! * [`explain`] — *why* is `c_t` missing: the culprit products
+//! * [`mod@explain`] — *why* is `c_t` missing: the culprit products
 //!   `Λ = window_query(c_t, q)` the customer prefers over `q`;
 //! * [`mwp`] — **Algorithm 1**: minimally modify the why-not point,
 //!   `c_t → c_t*`, so `q ∈ DSL(c_t*)`;
@@ -28,7 +28,8 @@
 //! *limit points*: they may tie a dominating product on the boundary and
 //! become strictly valid after an arbitrarily small further move.
 //! Verification helpers therefore nudge candidates by a caller-supplied
-//! `ε` before testing membership (see [`verify::limit_verified`]).
+//! `ε` before testing membership (see [`verify::limit_verified_whynot`]
+//! and [`verify::limit_verified_query`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

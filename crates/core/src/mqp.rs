@@ -64,6 +64,7 @@ pub fn modify_query_point(
     eps: f64,
 ) -> MqpAnswer {
     assert_eq!(c_t.dim(), q.dim(), "dimensionality mismatch");
+    let _span = wnrs_obs::span!("mqp");
     let d = c_t.dim();
     let lambda = window_query(products, c_t, q, exclude);
     if lambda.is_empty() {

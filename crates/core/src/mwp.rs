@@ -92,6 +92,7 @@ pub fn modify_why_not_point(
     eps: f64,
 ) -> MwpAnswer {
     assert_eq!(c_t.dim(), q.dim(), "dimensionality mismatch");
+    let _span = wnrs_obs::span!("mwp");
     let d = c_t.dim();
     let lambda = window_query(products, c_t, q, exclude);
     if lambda.is_empty() {

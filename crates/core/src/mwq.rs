@@ -56,6 +56,7 @@ pub fn modify_both(
     universe: &Rect,
     eps: f64,
 ) -> MwqAnswer {
+    let _span = wnrs_obs::span!("mwq");
     // The exact safe region always contains q; an *approximate* safe
     // region can miss it entirely (Fig. 16) — fall back to "q stays
     // put", which is trivially safe.
@@ -80,6 +81,7 @@ pub fn modify_both(
     if !overlap.is_empty() {
         // Case C1 (steps 1–6): q moves to the nearest point of the
         // overlap region; cost is zero because q stays inside SR(q).
+        let _c1 = wnrs_obs::span!("mwq_c1");
         let q_star = overlap
             .boxes()
             .iter()
@@ -99,6 +101,7 @@ pub fn modify_both(
     // Case C2 (steps 7–20): candidate q* positions are the safe-region
     // corners closest to c_t (non-dominated in the transformed space of
     // c_t); each is handed to Algorithm 1 to repair c_t.
+    let _c2 = wnrs_obs::span!("mwq_c2");
     let mut corners: Vec<Point> = Vec::new();
     for rec in sr_strict.boxes() {
         for p in rec.corner_points() {

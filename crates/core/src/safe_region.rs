@@ -39,6 +39,7 @@ pub fn anti_ddr_of(
     shrink: f64,
 ) -> Region {
     assert!(shrink >= 0.0, "shrink must be non-negative");
+    let _span = wnrs_obs::span!("anti_ddr");
     let dsl = bbs_dynamic_skyline_excluding(products, c, exclude);
     let dsl_t: Vec<Point> = dsl.iter().map(|(_, p)| p.abs_diff(c)).collect();
     let maxd = max_dist(c, universe);
@@ -74,6 +75,7 @@ pub fn exact_safe_region(
     universe: &Rect,
     exclude_self: bool,
 ) -> Region {
+    let _span = wnrs_obs::span!("sr_exact");
     let mut sr: Option<Region> = None;
     #[cfg(feature = "invariant-checks")]
     let mut contributors: Vec<Region> = Vec::new();
@@ -111,6 +113,7 @@ pub fn exact_safe_region_with(
     exclude_self: bool,
     par: &Parallelism,
 ) -> Region {
+    let _span = wnrs_obs::span!("sr_exact");
     let regions = map_slice(rsl, par, |(id, c)| {
         let exclude = if exclude_self { Some(*id) } else { None };
         anti_ddr_of(products, c, exclude, universe, 0.0)
@@ -186,6 +189,7 @@ impl ApproxDslStore {
     #[must_use]
     pub fn build_with(products: &RTree, k: usize, par: &Parallelism) -> Self {
         assert!(k > 0, "sample size k must be positive");
+        let _span = wnrs_obs::span!("approx_store_build");
         let n = products.len();
         let dim = products.dim();
         // Gather item locations into one dense flat buffer, verifying id
@@ -324,6 +328,7 @@ pub fn approx_safe_region(
     rsl: &[(ItemId, Point)],
     universe: &Rect,
 ) -> Region {
+    let _span = wnrs_obs::span!("sr_approx");
     let mut sr: Option<Region> = None;
     for (id, c) in rsl {
         let region = store.anti_ddr(*id, c, universe);
@@ -345,6 +350,7 @@ pub fn approx_safe_region_with(
     universe: &Rect,
     par: &Parallelism,
 ) -> Region {
+    let _span = wnrs_obs::span!("sr_approx");
     let regions = map_slice(rsl, par, |(id, c)| store.anti_ddr(*id, c, universe));
     intersect_all(regions, par).unwrap_or_else(|| Region::from_rect(universe.clone()))
 }

@@ -5,10 +5,10 @@
 //! * [`synthetic`] — the three standard skyline benchmark distributions
 //!   of Börzsönyi et al. (uniform **UN**, correlated **CO**,
 //!   anti-correlated **AC**), d-dimensional;
-//! * [`cardb`] — a synthetic surrogate for the paper's Yahoo! Autos
+//! * [`mod@cardb`] — a synthetic surrogate for the paper's Yahoo! Autos
 //!   CarDB (Price, Mileage): a sparse mixture of used-car market
 //!   segments with heavy-tailed prices and negative price–mileage
-//!   correlation inside each segment (see DESIGN.md §5 for the
+//!   correlation inside each segment (see DESIGN.md §6 for the
 //!   substitution rationale);
 //! * [`rng`] — Box–Muller normal / log-normal sampling on top of `rand`
 //!   (keeping the dependency surface to the approved crates);

@@ -99,15 +99,22 @@ impl Region {
     /// anti-DDR boxes are the common case in safe-region construction).
     pub fn intersect(&self, other: &Region) -> Region {
         let mut out: Vec<Rect> = Vec::new();
+        let mut pruned: u64 = 0;
         for a in &self.boxes {
             for b in &other.boxes {
                 let Some(i) = a.intersection(b) else { continue };
                 if out.iter().any(|kept| kept.contains_rect(&i)) {
+                    pruned += 1;
                     continue;
                 }
+                let before = out.len();
                 out.retain(|kept| !i.contains_rect(kept));
+                pruned += (before - out.len()) as u64;
                 out.push(i);
             }
+        }
+        if pruned > 0 {
+            wnrs_obs::record_n(wnrs_obs::Counter::SrBoxesPruned, pruned);
         }
         // `out` is already containment-pruned; no second pass needed.
         let product = Region { boxes: out };
@@ -278,12 +285,19 @@ impl Region {
         }
         let boxes = std::mem::take(&mut self.boxes);
         let mut kept: Vec<Rect> = Vec::with_capacity(boxes.len());
+        let mut pruned: u64 = 0;
         for b in boxes {
             if kept.iter().any(|k| k.contains_rect(&b)) {
+                pruned += 1;
                 continue;
             }
+            let before = kept.len();
             kept.retain(|k| !b.contains_rect(k));
+            pruned += (before - kept.len()) as u64;
             kept.push(b);
+        }
+        if pruned > 0 {
+            wnrs_obs::record_n(wnrs_obs::Counter::SrBoxesPruned, pruned);
         }
         self.boxes = kept;
         self.debug_check_canonical();

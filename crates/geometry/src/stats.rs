@@ -11,6 +11,14 @@
 //! per worker, and per-thread tallies avoid cross-core cache traffic on
 //! the hot path. Aggregate across workers at the call site if needed.
 //!
+//! This layer is superseded by the `wnrs-obs` observability subsystem
+//! (the `obs` cargo feature): every `record_*` hook below additionally
+//! forwards into the global [`wnrs_obs`] registry, which adds per-span
+//! latency histograms, cross-thread aggregation and JSON/Prometheus
+//! exporters on top of these raw tallies. The thread-local snapshot API
+//! is kept for tests and callers that want worker-scoped numbers; see
+//! `docs/OBSERVABILITY.md` for the full picture.
+//!
 //! ```
 //! use wnrs_geometry::stats;
 //!
@@ -101,6 +109,7 @@ pub fn snapshot() -> QueryStats {
 pub fn record_node_visit() {
     #[cfg(feature = "query-stats")]
     imp::update(|s| s.nodes_visited += 1);
+    wnrs_obs::record(wnrs_obs::Counter::NodeVisits);
 }
 
 /// Records one priority-queue push.
@@ -108,6 +117,7 @@ pub fn record_node_visit() {
 pub fn record_heap_push() {
     #[cfg(feature = "query-stats")]
     imp::update(|s| s.heap_pushes += 1);
+    wnrs_obs::record(wnrs_obs::Counter::HeapPushes);
 }
 
 /// Records one pairwise dominance test.
@@ -115,6 +125,7 @@ pub fn record_heap_push() {
 pub fn record_dominance_test() {
     #[cfg(feature = "query-stats")]
     imp::update(|s| s.dominance_tests += 1);
+    wnrs_obs::record(wnrs_obs::Counter::DominanceTests);
 }
 
 /// Records one absolute-distance transform of a point.
@@ -122,6 +133,7 @@ pub fn record_dominance_test() {
 pub fn record_transform() {
     #[cfg(feature = "query-stats")]
     imp::update(|s| s.transforms += 1);
+    wnrs_obs::record(wnrs_obs::Counter::Transforms);
 }
 
 #[cfg(test)]

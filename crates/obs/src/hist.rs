@@ -1,0 +1,64 @@
+//! Fixed-bucket latency histogram geometry.
+//!
+//! One bucket layout serves every span: 16 power-of-four bounds from
+//! 256 ns to ~4.6 min plus an overflow bucket. Power-of-four spacing
+//! keeps the array small while still separating "sub-microsecond
+//! kernel", "per-customer loop", "per-query phase" and "whole
+//! experiment" time scales — the resolutions the paper's Section 7
+//! breakdowns care about.
+
+/// Upper bounds (inclusive, in nanoseconds) of the fixed histogram
+/// buckets. A duration `d` lands in the first bucket with
+/// `d <= bound`; durations above the last bound land in the overflow
+/// bucket, so every histogram has [`BUCKET_COUNT`] slots.
+pub const BUCKET_BOUNDS_NS: [u64; 16] = [
+    1 << 8,  // 256 ns
+    1 << 10, // ~1 µs
+    1 << 12, // ~4 µs
+    1 << 14, // ~16 µs
+    1 << 16, // ~65 µs
+    1 << 18, // ~262 µs
+    1 << 20, // ~1 ms
+    1 << 22, // ~4.2 ms
+    1 << 24, // ~16.8 ms
+    1 << 26, // ~67 ms
+    1 << 28, // ~268 ms
+    1 << 30, // ~1.07 s
+    1 << 32, // ~4.29 s
+    1 << 34, // ~17.2 s
+    1 << 36, // ~68.7 s
+    1 << 38, // ~4.6 min
+];
+
+/// Total number of buckets: one per bound plus the overflow bucket.
+pub const BUCKET_COUNT: usize = BUCKET_BOUNDS_NS.len() + 1;
+
+/// The bucket index a duration of `ns` nanoseconds falls into.
+#[inline]
+#[must_use]
+pub fn bucket_index(ns: u64) -> usize {
+    BUCKET_BOUNDS_NS
+        .iter()
+        .position(|&b| ns <= b)
+        .unwrap_or(BUCKET_BOUNDS_NS.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_increasing() {
+        assert!(BUCKET_BOUNDS_NS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn indexing_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(256), 0);
+        assert_eq!(bucket_index(257), 1);
+        assert_eq!(bucket_index(1 << 38), BUCKET_COUNT - 2);
+        assert_eq!(bucket_index((1 << 38) + 1), BUCKET_COUNT - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+}

@@ -1,0 +1,324 @@
+//! The live registry — compiled only with the `enabled` feature.
+//!
+//! Everything is global and lock-free on the record path: counters are
+//! relaxed `AtomicU64`s and each span slot is a fixed struct of
+//! atomics, so worker threads spawned by `wnrs-geometry::parallel`
+//! contribute to the same aggregate without any merge step. The only
+//! mutex guards the span-name intern table, taken once per `span!`
+//! call *site* (memoised through the site's `OnceLock`) and on the
+//! cold report/trace paths.
+//!
+//! The trace buffer is thread-local: traces are a debugging aid for
+//! single-threaded query runs, and a per-thread buffer keeps the hot
+//! path free of shared-state writes when tracing is off.
+
+use crate::hist::{bucket_index, BUCKET_COUNT};
+use crate::report::{CounterSnapshot, Report, SpanSnapshot, TraceEvent};
+use crate::Counter;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Maximum number of distinct span names; `span!` sites beyond this
+/// record nothing (the workspace uses ~16).
+pub(crate) const MAX_SPANS: usize = 64;
+
+const NC: usize = Counter::COUNT;
+
+struct SpanStat {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: Vec<AtomicU64>,
+    counters: Vec<AtomicU64>,
+}
+
+impl SpanStat {
+    fn new() -> Self {
+        SpanStat {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            counters: (0..NC).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+struct Registry {
+    enabled: AtomicBool,
+    trace: AtomicBool,
+    epoch: Instant,
+    counters: Vec<AtomicU64>,
+    spans: Vec<SpanStat>,
+    names: Mutex<Vec<&'static str>>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn reg() -> &'static Registry {
+    REGISTRY.get_or_init(|| Registry {
+        enabled: AtomicBool::new(true),
+        trace: AtomicBool::new(false),
+        epoch: Instant::now(),
+        counters: (0..NC).map(|_| AtomicU64::new(0)).collect(),
+        spans: (0..MAX_SPANS).map(|_| SpanStat::new()).collect(),
+        names: Mutex::new(Vec::new()),
+    })
+}
+
+/// Locks the intern table, recovering from poisoning (a panicking
+/// holder cannot corrupt a `Vec<&'static str>`).
+fn names(r: &Registry) -> MutexGuard<'_, Vec<&'static str>> {
+    match r.names.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// An internal trace record (name resolved on [`take_trace`]).
+struct RawEvent {
+    id: usize,
+    depth: u16,
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+thread_local! {
+    static TRACE_BUF: RefCell<Vec<RawEvent>> = const { RefCell::new(Vec::new()) };
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+pub(crate) fn is_enabled() -> bool {
+    reg().enabled.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_enabled(on: bool) {
+    reg().enabled.store(on, Ordering::Relaxed);
+}
+
+pub(crate) fn is_trace() -> bool {
+    reg().trace.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_trace(on: bool) {
+    reg().trace.store(on, Ordering::Relaxed);
+}
+
+pub(crate) fn record_n(c: Counter, n: u64) {
+    let r = reg();
+    if r.enabled.load(Ordering::Relaxed) {
+        r.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn counter_value(c: Counter) -> u64 {
+    reg().counters[c as usize].load(Ordering::Relaxed)
+}
+
+/// Zeroes every counter and span aggregate, and clears this thread's
+/// trace buffer. Interned span names survive (they are keyed by call
+/// site).
+pub(crate) fn reset() {
+    let r = reg();
+    for c in &r.counters {
+        c.store(0, Ordering::Relaxed);
+    }
+    for s in &r.spans {
+        s.reset();
+    }
+    TRACE_BUF.with(|b| b.borrow_mut().clear());
+    DEPTH.with(|d| d.set(0));
+}
+
+/// Interns `name`, returning its span slot, or `usize::MAX` when the
+/// table is full (such spans record nothing).
+pub(crate) fn intern(name: &'static str) -> usize {
+    let r = reg();
+    let mut table = names(r);
+    if let Some(pos) = table.iter().position(|&n| n == name) {
+        return pos;
+    }
+    if table.len() >= MAX_SPANS {
+        return usize::MAX;
+    }
+    table.push(name);
+    table.len() - 1
+}
+
+/// The live span guard: records wall time (and counter deltas) into
+/// the slot on drop. Constructed through the [`crate::span!`] macro.
+#[must_use = "a span guard records on drop; bind it with `let _span = …`"]
+pub struct SpanGuard {
+    id: usize,
+    start: Instant,
+    counters0: [u64; NC],
+    traced: bool,
+    start_ns: u64,
+    depth: u16,
+}
+
+impl SpanGuard {
+    /// Enters a span. `cell` memoises the intern lookup per call site.
+    #[inline]
+    pub fn enter(cell: &'static OnceLock<usize>, name: &'static str) -> SpanGuard {
+        let r = reg();
+        if !r.enabled.load(Ordering::Relaxed) {
+            return SpanGuard {
+                id: usize::MAX,
+                start: Instant::now(),
+                counters0: [0; NC],
+                traced: false,
+                start_ns: 0,
+                depth: 0,
+            };
+        }
+        let id = *cell.get_or_init(|| intern(name));
+        let mut counters0 = [0u64; NC];
+        for (slot, counter) in counters0.iter_mut().zip(&r.counters) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        let traced = r.trace.load(Ordering::Relaxed) && id != usize::MAX;
+        let (start_ns, depth) = if traced {
+            let depth = DEPTH.with(|d| {
+                let v = d.get();
+                d.set(v.saturating_add(1));
+                v
+            });
+            (r.epoch.elapsed().as_nanos() as u64, depth)
+        } else {
+            (0, 0)
+        };
+        SpanGuard {
+            id,
+            start: Instant::now(),
+            counters0,
+            traced,
+            start_ns,
+            depth,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == usize::MAX {
+            return;
+        }
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        let r = reg();
+        let Some(stat) = r.spans.get(self.id) else {
+            return;
+        };
+        stat.count.fetch_add(1, Ordering::Relaxed);
+        stat.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        stat.min_ns.fetch_min(dur_ns, Ordering::Relaxed);
+        stat.max_ns.fetch_max(dur_ns, Ordering::Relaxed);
+        stat.buckets[bucket_index(dur_ns)].fetch_add(1, Ordering::Relaxed);
+        for ((after, before), slot) in r
+            .counters
+            .iter()
+            .zip(self.counters0.iter())
+            .zip(stat.counters.iter())
+        {
+            let delta = after.load(Ordering::Relaxed).saturating_sub(*before);
+            if delta > 0 {
+                slot.fetch_add(delta, Ordering::Relaxed);
+            }
+        }
+        if self.traced {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            TRACE_BUF.with(|b| {
+                b.borrow_mut().push(RawEvent {
+                    id: self.id,
+                    depth: self.depth,
+                    start_ns: self.start_ns,
+                    dur_ns,
+                });
+            });
+        }
+    }
+}
+
+/// Drains this thread's trace buffer into name-resolved events.
+pub(crate) fn take_trace() -> Vec<TraceEvent> {
+    let r = reg();
+    let table = names(r);
+    TRACE_BUF.with(|b| {
+        b.borrow_mut()
+            .drain(..)
+            .filter_map(|e| {
+                table.get(e.id).map(|&name| TraceEvent {
+                    name,
+                    depth: e.depth,
+                    start_ns: e.start_ns,
+                    dur_ns: e.dur_ns,
+                })
+            })
+            .collect()
+    })
+}
+
+/// Snapshots the registry into a [`Report`]. Spans appear sorted by
+/// name; counters in [`Counter::all`] order.
+pub(crate) fn report() -> Report {
+    let r = reg();
+    let counters = Counter::all()
+        .iter()
+        .map(|&c| CounterSnapshot {
+            name: c.name().to_string(),
+            value: r.counters[c as usize].load(Ordering::Relaxed),
+        })
+        .collect();
+    let table = names(r);
+    let mut spans: Vec<SpanSnapshot> = table
+        .iter()
+        .enumerate()
+        .filter_map(|(id, &name)| {
+            let stat = r.spans.get(id)?;
+            let count = stat.count.load(Ordering::Relaxed);
+            let min_raw = stat.min_ns.load(Ordering::Relaxed);
+            Some(SpanSnapshot {
+                name: name.to_string(),
+                count,
+                total_ns: stat.total_ns.load(Ordering::Relaxed),
+                min_ns: if min_raw == u64::MAX { 0 } else { min_raw },
+                max_ns: stat.max_ns.load(Ordering::Relaxed),
+                buckets: stat
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+                counters: Counter::all()
+                    .iter()
+                    .map(|&c| CounterSnapshot {
+                        name: c.name().to_string(),
+                        value: stat.counters[c as usize].load(Ordering::Relaxed),
+                    })
+                    .collect(),
+            })
+        })
+        .collect();
+    spans.sort_by(|a, b| a.name.cmp(&b.name));
+    Report {
+        compiled: true,
+        counters,
+        spans,
+    }
+}

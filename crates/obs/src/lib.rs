@@ -1,0 +1,368 @@
+//! # wnrs-obs — zero-dependency query observability
+//!
+//! Spans, counters, latency histograms and exporters for the why-not
+//! reverse-skyline pipeline. The crate is deliberately dependency-free
+//! (the workspace builds offline; see `vendor/README.md`) and follows
+//! the same compile-time gating discipline as `query-stats` and
+//! `invariant-checks`:
+//!
+//! * **without** the `enabled` feature, every recording function is an
+//!   empty `#[inline]` stub and [`span!`] expands to a zero-sized guard
+//!   with no `Drop` impl — instrumented hot paths pay nothing;
+//! * **with** `enabled` (forwarded by the `obs` feature of each
+//!   workspace crate), a global registry of relaxed atomics collects
+//!   monotonic counters, per-span latency histograms, and per-span
+//!   counter attribution.
+//!
+//! ## Spans
+//!
+//! ```
+//! fn phase() -> u64 {
+//!     let _span = wnrs_obs::span!("example_phase");
+//!     wnrs_obs::record(wnrs_obs::Counter::DominanceTests);
+//!     42
+//! } // span duration recorded here, on drop
+//!
+//! assert_eq!(phase(), 42);
+//! let report = wnrs_obs::report();
+//! // With the `enabled` feature the report now carries the span;
+//! // without it, the report is empty — either way the API is the same.
+//! let _json = report.to_json();
+//! ```
+//!
+//! Span statistics are *inclusive*: counter increments inside nested
+//! spans are attributed to every enclosing span, like inclusive time
+//! in a profiler. Aggregation is global (across threads); the optional
+//! trace buffer ([`set_trace`]/[`take_trace`]) is thread-local and
+//! meant for single-threaded query debugging.
+//!
+//! ## Relationship to `wnrs-geometry::stats`
+//!
+//! This crate supersedes the per-thread `QueryStats` counters from
+//! PR 3: geometry's `record_*` hooks now forward here as well, so a
+//! single build with `--features obs` yields both the legacy snapshot
+//! API and the full report/exporter pipeline documented in
+//! `docs/OBSERVABILITY.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod report;
+
+#[cfg(feature = "enabled")]
+mod imp;
+
+pub use report::{render_trace, CounterSnapshot, Report, SpanSnapshot, TraceEvent, JSON_SCHEMA};
+
+/// The global monotonic counters the pipeline records. Variants map
+/// 1:1 onto the cost metrics of the paper's Section 7 experiments plus
+/// the safe-region machinery added in later PRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Point/rectangle dominance comparisons (`dominates_*` in
+    /// `wnrs-geometry`).
+    DominanceTests = 0,
+    /// R-tree node accesses (paper metric "node accesses" / I/O proxy).
+    NodeVisits = 1,
+    /// Priority-queue pushes in best-first traversals (BBS/BBRS).
+    HeapPushes = 2,
+    /// Point transforms into query-centric space (Eqn 1).
+    Transforms = 3,
+    /// Window queries issued during reverse-skyline verification.
+    WindowQueries = 4,
+    /// Safe-region candidate boxes discarded by pruning/containment.
+    SrBoxesPruned = 5,
+}
+
+impl Counter {
+    /// Number of counters (array dimension for per-span attribution).
+    pub const COUNT: usize = 6;
+
+    /// The stable, export-facing name (snake_case; used as the JSON
+    /// key and the Prometheus metric suffix).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::DominanceTests => "dominance_tests",
+            Counter::NodeVisits => "node_visits",
+            Counter::HeapPushes => "heap_pushes",
+            Counter::Transforms => "transforms",
+            Counter::WindowQueries => "window_queries",
+            Counter::SrBoxesPruned => "sr_boxes_pruned",
+        }
+    }
+
+    /// All counters, in `repr` order (the canonical export order).
+    #[must_use]
+    pub const fn all() -> &'static [Counter] {
+        &[
+            Counter::DominanceTests,
+            Counter::NodeVisits,
+            Counter::HeapPushes,
+            Counter::Transforms,
+            Counter::WindowQueries,
+            Counter::SrBoxesPruned,
+        ]
+    }
+}
+
+/// Opens an observability span over the rest of the enclosing scope.
+///
+/// Expands to a [`SpanGuard`] that must be bound (`let _span = …`);
+/// the span's wall time — and the counter increments that happen while
+/// it is live — are recorded when the guard drops. With the `enabled`
+/// feature off the guard is a zero-sized no-op.
+///
+/// ```
+/// let _span = wnrs_obs::span!("doc_example");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        // A `cfg` here would resolve against the *calling* crate's
+        // features; instead the expansion is uniform and the two
+        // `SpanGuard::enter` impls (live vs zero-sized no-op) select
+        // behaviour inside wnrs-obs itself.
+        static SITE: ::std::sync::OnceLock<usize> = ::std::sync::OnceLock::new();
+        $crate::SpanGuard::enter(&SITE, $name)
+    }};
+}
+
+#[cfg(feature = "enabled")]
+pub use imp::SpanGuard;
+
+/// The no-op span guard used when the `enabled` feature is off: a
+/// zero-sized type with no `Drop` impl, so `span!` sites vanish
+/// entirely from optimised builds.
+#[cfg(not(feature = "enabled"))]
+#[must_use = "a span guard records on drop; bind it with `let _span = …`"]
+pub struct SpanGuard;
+
+#[cfg(not(feature = "enabled"))]
+impl SpanGuard {
+    /// No-op counterpart of the live `enter`; exists so the [`span!`]
+    /// expansion is identical with and without the `enabled` feature.
+    #[inline]
+    pub fn enter(_site: &'static std::sync::OnceLock<usize>, _name: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+}
+
+/// Whether this build carries the recording machinery (the `enabled`
+/// feature). Reports from no-op builds set `obs_compiled: false`.
+#[must_use]
+pub const fn compiled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Increments `c` by 1. No-op without the `enabled` feature or after
+/// [`set_enabled`]`(false)`.
+#[inline]
+pub fn record(c: Counter) {
+    record_n(c, 1);
+}
+
+/// Increments `c` by `n`.
+#[inline]
+pub fn record_n(c: Counter, n: u64) {
+    #[cfg(feature = "enabled")]
+    imp::record_n(c, n);
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (c, n);
+    }
+}
+
+/// Current value of counter `c` (always 0 without `enabled`).
+#[must_use]
+pub fn counter_value(c: Counter) -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        imp::counter_value(c)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = c;
+        0
+    }
+}
+
+/// Runtime kill-switch: with `false`, compiled-in instrumentation
+/// records nothing (spans still cost one atomic load). Defaults to on.
+pub fn set_enabled(on: bool) {
+    #[cfg(feature = "enabled")]
+    imp::set_enabled(on);
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = on;
+    }
+}
+
+/// Whether recording is currently on (always `false` without
+/// `enabled`).
+#[must_use]
+pub fn is_enabled() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        imp::is_enabled()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// Turns per-event tracing on or off. While on, every completed span
+/// on the calling thread is appended to a thread-local buffer drained
+/// by [`take_trace`].
+pub fn set_trace(on: bool) {
+    #[cfg(feature = "enabled")]
+    imp::set_trace(on);
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = on;
+    }
+}
+
+/// Whether tracing is currently on.
+#[must_use]
+pub fn is_trace() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        imp::is_trace()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// Drains and returns this thread's trace buffer (empty without
+/// `enabled` or when tracing was off).
+#[must_use]
+pub fn take_trace() -> Vec<TraceEvent> {
+    #[cfg(feature = "enabled")]
+    {
+        imp::take_trace()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Zeroes all counters and span aggregates and clears this thread's
+/// trace buffer. Call between phases/queries to get per-run reports.
+pub fn reset() {
+    #[cfg(feature = "enabled")]
+    imp::reset();
+}
+
+/// Snapshots the registry into a [`Report`]; from a build without
+/// `enabled` this is [`Report::empty`]`(false)`.
+#[must_use]
+pub fn report() -> Report {
+    #[cfg(feature = "enabled")]
+    {
+        imp::report()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Report::empty(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_guard_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+        assert!(!compiled());
+        assert_eq!(report(), Report::empty(false));
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_recording_is_inert() {
+        record(Counter::DominanceTests);
+        record_n(Counter::NodeVisits, 100);
+        set_enabled(true);
+        set_trace(true);
+        assert!(!is_enabled());
+        assert!(!is_trace());
+        assert_eq!(counter_value(Counter::DominanceTests), 0);
+        assert!(take_trace().is_empty());
+    }
+
+    // The enabled-path tests share one global registry, so they run as
+    // a single test to avoid cross-test interference under the
+    // parallel test harness.
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn enabled_end_to_end() {
+        reset();
+        set_enabled(true);
+        set_trace(true);
+
+        {
+            let _outer = span!("test_outer");
+            record_n(Counter::DominanceTests, 5);
+            {
+                let _inner = span!("test_inner");
+                record(Counter::NodeVisits);
+            }
+        }
+
+        assert!(compiled());
+        assert_eq!(counter_value(Counter::DominanceTests), 5);
+        assert_eq!(counter_value(Counter::NodeVisits), 1);
+
+        let rep = report();
+        assert!(rep.compiled);
+        let outer = rep
+            .spans
+            .iter()
+            .find(|s| s.name == "test_outer")
+            .unwrap_or_else(|| panic!("test_outer span missing"));
+        assert_eq!(outer.count, 1);
+        assert!(outer.total_ns >= outer.min_ns);
+        assert_eq!(outer.buckets.iter().sum::<u64>(), 1);
+        // Inclusive attribution: outer sees the inner span's counter.
+        let nv = outer
+            .counters
+            .iter()
+            .find(|c| c.name == "node_visits")
+            .map(|c| c.value);
+        assert_eq!(nv, Some(1));
+
+        let trace = take_trace();
+        assert_eq!(trace.len(), 2);
+        assert!(trace.iter().any(|e| e.name == "test_inner" && e.depth == 1));
+        assert!(trace.iter().any(|e| e.name == "test_outer" && e.depth == 0));
+        let rendered = render_trace(&trace);
+        assert!(rendered.contains("test_outer"));
+
+        // Kill-switch: nothing records while disabled.
+        set_trace(false);
+        set_enabled(false);
+        let before = counter_value(Counter::Transforms);
+        {
+            let _s = span!("test_disabled");
+            record(Counter::Transforms);
+        }
+        assert_eq!(counter_value(Counter::Transforms), before);
+        assert!(!report().spans.iter().any(|s| s.name == "test_disabled"));
+
+        // Reset clears aggregates but keeps the report well-formed.
+        set_enabled(true);
+        reset();
+        let rep2 = report();
+        assert!(rep2.counters.iter().all(|c| c.value == 0));
+        assert!(rep2.spans.iter().all(|s| s.count == 0));
+    }
+}

@@ -1,0 +1,324 @@
+//! The aggregated metrics report and its exporters.
+//!
+//! A [`Report`] is a plain-data snapshot of the registry — it exists in
+//! every build (with or without the `enabled` feature), so callers like
+//! the CLI compile identically either way and simply emit an empty
+//! report from an uninstrumented binary.
+//!
+//! Two export formats:
+//!
+//! * [`Report::to_json`] — a stable, hand-rendered JSON document
+//!   (schema `wnrs-obs-v1`, pinned by the golden-file test in
+//!   `crates/obs/tests/golden_report.rs`);
+//! * [`Report::to_prometheus`] — Prometheus text exposition format
+//!   (counters plus one `_bucket`/`_sum`/`_count` histogram family).
+
+use crate::hist::BUCKET_BOUNDS_NS;
+use crate::Counter;
+
+/// Schema identifier written into every JSON export. Bump only with a
+/// matching golden-file update; downstream tooling keys off this.
+pub const JSON_SCHEMA: &str = "wnrs-obs-v1";
+
+/// One global counter's value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Stable counter name (see [`Counter::name`]).
+    pub name: String,
+    /// Monotonic count since the last [`crate::reset`].
+    pub value: u64,
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// The span name as written at the `span!` site.
+    pub name: String,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall time across all completions, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest completion (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Slowest completion.
+    pub max_ns: u64,
+    /// Fixed-bucket latency histogram ([`crate::hist::BUCKET_COUNT`] slots; bounds
+    /// in [`BUCKET_BOUNDS_NS`], last slot is overflow).
+    pub buckets: Vec<u64>,
+    /// Counter increments attributed to this span (inclusive of nested
+    /// spans, like inclusive time in a profiler), in [`Counter::all`]
+    /// order.
+    pub counters: Vec<CounterSnapshot>,
+}
+
+/// A complete metrics snapshot: every global counter plus per-span
+/// latency histograms and attributed counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Whether the producing binary was compiled with the `enabled`
+    /// feature (an all-zero report from a no-op build sets this false).
+    pub compiled: bool,
+    /// Global counters, in [`Counter::all`] order.
+    pub counters: Vec<CounterSnapshot>,
+    /// Per-span aggregates, sorted by name for deterministic output.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl Report {
+    /// An empty report (what a build without the `enabled` feature
+    /// produces): all counters present at zero, no spans.
+    #[must_use]
+    pub fn empty(compiled: bool) -> Self {
+        Report {
+            compiled,
+            counters: Counter::all()
+                .iter()
+                .map(|c| CounterSnapshot {
+                    name: c.name().to_string(),
+                    value: 0,
+                })
+                .collect(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Renders the report as a stable JSON document (schema
+    /// [`JSON_SCHEMA`]). Key order is fixed: schema, compiled flag,
+    /// bucket bounds, counters (in [`Counter::all`] order), spans
+    /// (sorted by name).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{JSON_SCHEMA}\",\n"));
+        out.push_str(&format!("  \"obs_compiled\": {},\n", self.compiled));
+        out.push_str("  \"span_bucket_bounds_ns\": ");
+        push_u64_array(&mut out, &BUCKET_BOUNDS_NS);
+        out.push_str(",\n  \"counters\": {");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", escape_json(&c.name), c.value));
+        }
+        out.push_str("\n  },\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", escape_json(&s.name)));
+            out.push_str(&format!("      \"count\": {},\n", s.count));
+            out.push_str(&format!("      \"total_ns\": {},\n", s.total_ns));
+            out.push_str(&format!("      \"min_ns\": {},\n", s.min_ns));
+            out.push_str(&format!("      \"max_ns\": {},\n", s.max_ns));
+            out.push_str("      \"buckets\": ");
+            push_u64_array(&mut out, &s.buckets);
+            out.push_str(",\n      \"counters\": {");
+            for (j, c) in s.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n        \"{}\": {}",
+                    escape_json(&c.name),
+                    c.value
+                ));
+            }
+            out.push_str("\n      }\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders the report in Prometheus text exposition format:
+    /// `wnrs_<counter>` counters, a `wnrs_span_duration_ns` histogram
+    /// family labelled by span, and `wnrs_span_counter` for the
+    /// per-span counter attribution.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for c in &self.counters {
+            out.push_str(&format!("# TYPE wnrs_{} counter\n", c.name));
+            out.push_str(&format!("wnrs_{} {}\n", c.name, c.value));
+        }
+        out.push_str("# TYPE wnrs_span_duration_ns histogram\n");
+        for s in &self.spans {
+            let mut cumulative = 0u64;
+            for (i, &b) in s.buckets.iter().enumerate() {
+                cumulative += b;
+                let le = if i < BUCKET_BOUNDS_NS.len() {
+                    BUCKET_BOUNDS_NS[i].to_string()
+                } else {
+                    "+Inf".to_string()
+                };
+                out.push_str(&format!(
+                    "wnrs_span_duration_ns_bucket{{span=\"{}\",le=\"{le}\"}} {cumulative}\n",
+                    s.name
+                ));
+            }
+            out.push_str(&format!(
+                "wnrs_span_duration_ns_sum{{span=\"{}\"}} {}\n",
+                s.name, s.total_ns
+            ));
+            out.push_str(&format!(
+                "wnrs_span_duration_ns_count{{span=\"{}\"}} {}\n",
+                s.name, s.count
+            ));
+        }
+        out.push_str("# TYPE wnrs_span_counter counter\n");
+        for s in &self.spans {
+            for c in &s.counters {
+                out.push_str(&format!(
+                    "wnrs_span_counter{{span=\"{}\",counter=\"{}\"}} {}\n",
+                    s.name, c.name, c.value
+                ));
+            }
+        }
+        out
+    }
+
+    /// A terse human-readable summary (one line per span), for console
+    /// output.
+    #[must_use]
+    pub fn to_summary(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str(&format!("{:<22} {}\n", c.name, c.value));
+        }
+        for s in &self.spans {
+            let mean = s.total_ns.checked_div(s.count).unwrap_or(0);
+            out.push_str(&format!(
+                "span {:<22} count {:<8} total {:>12} ns  mean {:>10} ns  min {:>10} ns  max {:>10} ns\n",
+                s.name, s.count, s.total_ns, mean, s.min_ns, s.max_ns
+            ));
+        }
+        out
+    }
+}
+
+/// One completed span occurrence from the trace buffer (only collected
+/// while tracing is on, see [`crate::set_trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The span name.
+    pub name: &'static str,
+    /// Nesting depth at entry (0 = top level).
+    pub depth: u16,
+    /// Start time, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Renders a trace as an indented, start-ordered tree.
+#[must_use]
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.start_ns, e.depth));
+    let mut out = String::new();
+    for e in sorted {
+        let indent = "  ".repeat(e.depth as usize);
+        out.push_str(&format!(
+            "{:>12} ns  {indent}{} ({} ns)\n",
+            e.start_ns, e.name, e.dur_ns
+        ));
+    }
+    out
+}
+
+fn push_u64_array(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+/// Escapes the characters JSON string literals cannot hold verbatim.
+/// Span/counter names are identifiers in practice; this keeps the
+/// exporter correct for arbitrary input anyway.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::BUCKET_COUNT;
+
+    #[test]
+    fn empty_report_round_trips_all_counters() {
+        let r = Report::empty(false);
+        assert_eq!(r.counters.len(), Counter::all().len());
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"wnrs-obs-v1\""));
+        assert!(json.contains("\"obs_compiled\": false"));
+        for c in Counter::all() {
+            assert!(json.contains(c.name()), "missing {}", c.name());
+        }
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_at_inf() {
+        let mut r = Report::empty(true);
+        let mut buckets = vec![0u64; BUCKET_COUNT];
+        buckets[0] = 2;
+        buckets[3] = 1;
+        r.spans.push(SpanSnapshot {
+            name: "mwp".into(),
+            count: 3,
+            total_ns: 999,
+            min_ns: 10,
+            max_ns: 500,
+            buckets,
+            counters: vec![],
+        });
+        let prom = r.to_prometheus();
+        assert!(prom.contains("wnrs_span_duration_ns_bucket{span=\"mwp\",le=\"256\"} 2"));
+        assert!(prom.contains("wnrs_span_duration_ns_bucket{span=\"mwp\",le=\"+Inf\"} 3"));
+        assert!(prom.contains("wnrs_span_duration_ns_count{span=\"mwp\"} 3"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn trace_renders_in_start_order() {
+        let events = vec![
+            TraceEvent {
+                name: "inner",
+                depth: 1,
+                start_ns: 50,
+                dur_ns: 10,
+            },
+            TraceEvent {
+                name: "outer",
+                depth: 0,
+                start_ns: 40,
+                dur_ns: 30,
+            },
+        ];
+        let text = render_trace(&events);
+        let outer_pos = text.find("outer").unwrap();
+        let inner_pos = text.find("inner").unwrap();
+        assert!(outer_pos < inner_pos);
+    }
+}

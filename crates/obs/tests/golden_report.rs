@@ -1,0 +1,127 @@
+//! Golden-file tests pinning the wnrs-obs export formats.
+//!
+//! The JSON schema (`wnrs-obs-v1`) is a public contract: the CLI's
+//! `--metrics-out`, every bench binary and the worked example in
+//! `EXPERIMENTS.md` all emit it, and downstream tooling parses it. These
+//! tests render a fully deterministic synthetic [`Report`] and compare
+//! the output byte-for-byte against the committed files under
+//! `tests/golden/`. Any change to key order, indentation, bucket bounds
+//! or field names fails here first.
+//!
+//! To intentionally evolve the format: bump `JSON_SCHEMA` in
+//! `src/report.rs`, re-run with `WNRS_BLESS=1`, and commit the diff.
+
+use wnrs_obs::{Counter, CounterSnapshot, Report, SpanSnapshot};
+
+/// Bucket count mirrored from `wnrs_obs::hist` (16 bounds + overflow).
+const BUCKET_COUNT: usize = 17;
+
+/// A synthetic report with every field exercised: all counters non-zero,
+/// two spans (one with histogram mass in first/last/overflow buckets,
+/// one empty-histogram edge case), and per-span counter attribution.
+fn sample_report() -> Report {
+    let mut report = Report::empty(true);
+    for (i, c) in report.counters.iter_mut().enumerate() {
+        c.value = (i as u64 + 1) * 1000;
+    }
+
+    let mut mwp_buckets = vec![0u64; BUCKET_COUNT];
+    mwp_buckets[0] = 3;
+    mwp_buckets[7] = 2;
+    mwp_buckets[BUCKET_COUNT - 1] = 1;
+    report.spans.push(SpanSnapshot {
+        name: "mwp".to_string(),
+        count: 6,
+        total_ns: 123_456_789,
+        min_ns: 120,
+        max_ns: 99_000_000,
+        buckets: mwp_buckets,
+        counters: Counter::all()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CounterSnapshot {
+                name: c.name().to_string(),
+                value: (i as u64) * 7,
+            })
+            .collect(),
+    });
+    report.spans.push(SpanSnapshot {
+        name: "sr_exact".to_string(),
+        count: 0,
+        total_ns: 0,
+        min_ns: 0,
+        max_ns: 0,
+        buckets: vec![0u64; BUCKET_COUNT],
+        counters: Vec::new(),
+    });
+    report
+}
+
+/// Compares rendered output to a committed golden file, regenerating it
+/// when `WNRS_BLESS=1` is set.
+fn assert_matches_golden(rendered: &str, golden_name: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(golden_name);
+    if std::env::var_os("WNRS_BLESS").is_some() {
+        std::fs::write(&path, rendered).expect("bless golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        rendered, golden,
+        "{golden_name} drifted from the committed golden file; if the \
+         format change is intentional, bump JSON_SCHEMA and re-run with \
+         WNRS_BLESS=1"
+    );
+}
+
+#[test]
+fn json_export_matches_golden() {
+    assert_matches_golden(&sample_report().to_json(), "report.json");
+}
+
+#[test]
+fn prometheus_export_matches_golden() {
+    assert_matches_golden(&sample_report().to_prometheus(), "report.prom");
+}
+
+#[test]
+fn empty_report_matches_golden() {
+    // What a binary built *without* `--features obs` writes for
+    // `--metrics-out`: all counters present at zero, no spans.
+    assert_matches_golden(&Report::empty(false).to_json(), "report_empty.json");
+}
+
+#[test]
+fn live_registry_report_conforms_to_schema() {
+    // The live registry (exercised when the `enabled` feature is on)
+    // must emit the same shape the golden file pins: schema marker
+    // first, all counters in Counter::all() order, spans sorted by
+    // name with full-width histograms.
+    wnrs_obs::reset();
+    wnrs_obs::record_n(Counter::DominanceTests, 42);
+    {
+        let _span = wnrs_obs::span!("golden_live");
+    }
+    let report = wnrs_obs::report();
+    let json = report.to_json();
+    assert!(json.starts_with("{\n  \"schema\": \"wnrs-obs-v1\",\n"));
+    let counter_names: Vec<&str> = report.counters.iter().map(|c| c.name.as_str()).collect();
+    let expected: Vec<&str> = Counter::all().iter().map(|c| c.name()).collect();
+    assert_eq!(counter_names, expected);
+    for s in &report.spans {
+        assert_eq!(s.buckets.len(), BUCKET_COUNT, "span {}", s.name);
+        assert_eq!(s.counters.len(), expected.len(), "span {}", s.name);
+    }
+    if wnrs_obs::compiled() {
+        assert!(report.compiled);
+        assert_eq!(report.counters[0].value, 42);
+        assert!(report.spans.iter().any(|s| s.name == "golden_live"));
+    } else {
+        assert!(!report.compiled);
+        assert!(report.spans.is_empty());
+    }
+    wnrs_obs::reset();
+}

@@ -49,6 +49,7 @@ fn globally_dominates_rect(s: &Point, rect: &Rect, q: &Point) -> bool {
 /// skyline.
 pub fn global_skyline(data: &RTree, q: &Point) -> Vec<(ItemId, Point)> {
     assert_eq!(q.dim(), data.dim(), "query dimensionality mismatch");
+    let _span = wnrs_obs::span!("bbrs_global_skyline");
     let q_key = q.clone();
     let mut found: Vec<Point> = Vec::new();
     let mut out: Vec<(ItemId, Point)> = Vec::new();
@@ -77,11 +78,16 @@ pub fn global_skyline(data: &RTree, q: &Point) -> Vec<(ItemId, Point)> {
 /// Produces exactly the same set as
 /// [`crate::naive::rsl_monochromatic_naive`].
 pub fn bbrs_reverse_skyline(data: &RTree, q: &Point) -> Vec<(ItemId, Point)> {
+    let _span = wnrs_obs::span!("bbrs");
     let mut scratch = WindowScratch::new();
-    let mut out: Vec<(ItemId, Point)> = global_skyline(data, q)
-        .into_iter()
-        .filter(|(id, c)| is_reverse_skyline_member_with(data, c, q, Some(*id), &mut scratch))
-        .collect();
+    let candidates = global_skyline(data, q);
+    let mut out: Vec<(ItemId, Point)> = {
+        let _verify = wnrs_obs::span!("bbrs_verify");
+        candidates
+            .into_iter()
+            .filter(|(id, c)| is_reverse_skyline_member_with(data, c, q, Some(*id), &mut scratch))
+            .collect()
+    };
     out.sort_by_key(|(id, _)| *id);
     out
 }

@@ -120,6 +120,7 @@ impl<P: Pager> PagedRTree<P> {
     /// the buffer pool.
     pub fn window(&self, window: &Rect) -> Result<Vec<(ItemId, Point)>, PersistError> {
         assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
+        wnrs_obs::record(wnrs_obs::Counter::WindowQueries);
         let mut out = Vec::new();
         if self.is_empty() {
             return Ok(out);
@@ -144,6 +145,7 @@ impl<P: Pager> PagedRTree<P> {
     /// Whether any item lies inside `window`.
     pub fn window_any(&self, window: &Rect) -> Result<bool, PersistError> {
         assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
+        wnrs_obs::record(wnrs_obs::Counter::WindowQueries);
         if self.is_empty() {
             return Ok(false);
         }

@@ -517,6 +517,7 @@ impl RTree {
         out: &mut Vec<(ItemId, Point)>,
     ) {
         out.clear();
+        wnrs_obs::record(wnrs_obs::Counter::WindowQueries);
         if self.is_empty() {
             return;
         }
@@ -560,6 +561,7 @@ impl RTree {
         scratch: &mut WindowScratch,
         mut skip: impl FnMut(ItemId, &Point) -> bool,
     ) -> bool {
+        wnrs_obs::record(wnrs_obs::Counter::WindowQueries);
         if self.is_empty() {
             return false;
         }
@@ -593,6 +595,7 @@ impl RTree {
     /// the benches).
     pub fn window_count(&self, window: &Rect) -> usize {
         assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
+        wnrs_obs::record(wnrs_obs::Counter::WindowQueries);
         if self.is_empty() {
             return 0;
         }

@@ -41,6 +41,7 @@ pub fn transformed_lo(rect: &Rect, q: &Point) -> Point {
 /// The static skyline of the indexed points via BBS, as `(id, point)`
 /// pairs in discovery (MINDIST) order.
 pub fn bbs_skyline(tree: &RTree) -> Vec<(ItemId, Point)> {
+    let _span = wnrs_obs::span!("bbs_skyline");
     // lint:allow(hot_path_alloc) reason=per-query setup, not per-candidate
     let mut skyline: Vec<Point> = Vec::new();
     // lint:allow(hot_path_alloc) reason=per-query setup, not per-candidate
@@ -277,6 +278,7 @@ pub fn bbs_dynamic_skyline_scratch(
     scratch: &mut BbsScratch,
 ) {
     assert_eq!(q.len(), tree.dim(), "query dimensionality mismatch");
+    let _span = wnrs_obs::span!("bbs_dsl");
     scratch.reset(q.len());
     if tree.is_empty() {
         return;

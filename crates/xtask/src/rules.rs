@@ -6,8 +6,9 @@
 //! | `float_cmp`        | no raw float `==`/`!=`, no `partial_cmp`/`total_cmp` calls  |
 //! |                    | outside the NaN-validated boundary (`geometry/src/point.rs`)|
 //! | `no_index`         | no `[…]` indexing in designated hot-path modules            |
-//! | `hot_path_alloc`   | no `.to_vec()`, `.clone()` or `Vec::new()` in designated    |
-//! |                    | allocation-free hot-path modules                            |
+//! | `hot_path_alloc`   | no `.to_vec()`, `.clone()`, `Vec::new()` or unrecognised    |
+//! |                    | `span!` macros in designated allocation-free hot-path       |
+//! |                    | modules; `wnrs_obs::span!` is a *builtin checked allow*     |
 //! | `must_use_builder` | `pub fn … -> Self` must carry `#[must_use]`                 |
 //! | `crate_gates`      | crate roots carry `#![forbid(unsafe_code)]` +               |
 //! |                    | `#![warn(missing_docs)]`                                    |
@@ -137,15 +138,18 @@ pub fn lint_source(file: &str, src: &str, class: FileClass) -> (Vec<Finding>, Ve
     if class.hot_path {
         check_no_index(file, &eff, &mut findings);
     }
+    let mut builtin_allows = Vec::new();
     if class.alloc_hot_path {
-        check_hot_path_alloc(file, &eff, &mut findings);
+        check_hot_path_alloc(file, &eff, &mut findings, &mut builtin_allows);
     }
     check_must_use_builder(file, &eff, &mut findings);
     if class.crate_root {
         check_crate_gates(file, &lexed.tokens, &mut findings);
     }
 
-    apply_allows(file, &lexed.comments, findings)
+    let (findings, mut allows) = apply_allows(file, &lexed.comments, findings);
+    allows.extend(builtin_allows);
+    (findings, allows)
 }
 
 // ---------------------------------------------------------------------
@@ -392,11 +396,29 @@ fn check_no_index(file: &str, eff: &[Token], findings: &mut Vec<Finding>) {
 // L6 — hot_path_alloc
 // ---------------------------------------------------------------------
 
+/// The reason auto-recorded when L6 recognises a `wnrs_obs::span!` guard
+/// in an allocation-free hot path (a *builtin checked allow*).
+pub const SPAN_GUARD_REASON: &str =
+    "builtin: wnrs_obs::span! is a zero-alloc RAII guard (no-op without the obs feature)";
+
 /// Flags per-element heap traffic in modules whose inner loops are meant
 /// to run allocation-free: `.to_vec()` and `.clone()` calls plus
 /// `Vec::new()` constructions. Cold setup paths escape with
 /// `// lint:allow(hot_path_alloc) reason=…`.
-fn check_hot_path_alloc(file: &str, eff: &[Token], findings: &mut Vec<Finding>) {
+///
+/// `span!`-style macros are also policed: instrumentation macros are
+/// exactly the kind of thing that quietly allocates (formatting, boxed
+/// subscribers) in a hot loop. The one vetted guard, `wnrs_obs::span!`
+/// — whose expansion is a `static OnceLock` + two relaxed atomic adds,
+/// and a zero-sized no-op without the `obs` feature — is recorded as a
+/// builtin checked allow (reported like a directive, with
+/// [`SPAN_GUARD_REASON`]); any other `span!` is a finding.
+fn check_hot_path_alloc(
+    file: &str,
+    eff: &[Token],
+    findings: &mut Vec<Finding>,
+    allows: &mut Vec<AllowRecord>,
+) {
     for (i, t) in eff.iter().enumerate() {
         let Tok::Ident(name) = &t.tok else { continue };
         let prev = i.checked_sub(1).and_then(|j| eff.get(j)).map(|t| &t.tok);
@@ -413,6 +435,32 @@ fn check_hot_path_alloc(file: &str, eff: &[Token], findings: &mut Vec<Finding>) 
                     Some(Tok::Ident(s)) if s == "Vec") =>
             {
                 Some("`Vec::new()` in a hot-path module; reuse a scratch buffer".to_string())
+            }
+            "span" if matches!(next, Some(Tok::Punct('!'))) => {
+                let from_wnrs_obs = matches!(prev, Some(Tok::Punct(':')))
+                    && matches!(
+                        i.checked_sub(2).and_then(|j| eff.get(j)).map(|t| &t.tok),
+                        Some(Tok::Punct(':'))
+                    )
+                    && matches!(
+                        i.checked_sub(3).and_then(|j| eff.get(j)).map(|t| &t.tok),
+                        Some(Tok::Ident(s)) if s == "wnrs_obs"
+                    );
+                if from_wnrs_obs {
+                    allows.push(AllowRecord {
+                        rule: Rule::HotPathAlloc,
+                        file: file.to_string(),
+                        line: t.line,
+                        reason: SPAN_GUARD_REASON.to_string(),
+                    });
+                    None
+                } else {
+                    Some(
+                        "`span!` in an allocation-free hot path; only the vetted \
+                         path-qualified `wnrs_obs::span!` guard is allowed"
+                            .to_string(),
+                    )
+                }
             }
             _ => None,
         };
@@ -902,6 +950,43 @@ mod tests {
         let (f, a) = lint_source("hot.rs", allowed, class);
         assert!(f.is_empty(), "{f:?}");
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn span_guard_is_a_builtin_checked_allow() {
+        let class = FileClass {
+            alloc_hot_path: true,
+            ..FileClass::default()
+        };
+        // The vetted guard: no finding, but recorded as an allow.
+        let src = "fn f() { let _span = wnrs_obs::span!(\"bbs_dsl\"); }";
+        let (f, a) = lint_source("hot.rs", src, class);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].rule, Rule::HotPathAlloc);
+        assert_eq!(a[0].line, 1);
+        assert_eq!(a[0].reason, SPAN_GUARD_REASON);
+        // An unqualified `span!` (even if it re-exports the same macro)
+        // is a finding — the checked allow demands the qualified path.
+        let (f, a) = lint_source("hot.rs", "fn f() { let _s = span!(\"x\"); }", class);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::HotPathAlloc);
+        assert!(a.is_empty());
+        // So is any foreign tracing macro.
+        let (f, _) = lint_source(
+            "hot.rs",
+            "fn f() { let _s = tracing::span!(\"x\"); }",
+            class,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        // A directive can still override for a foreign macro, per line.
+        let allowed = "fn f() {\n    // lint:allow(hot_path_alloc) reason=vendored shim\n    \
+                       let _s = other::span!(\"x\");\n}\n";
+        let (f, a) = lint_source("hot.rs", allowed, class);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(a.len(), 1);
+        // Outside designated modules `span!` is unrestricted.
+        assert!(lint("fn f() { let _s = span!(\"x\"); }").is_empty());
     }
 
     #[test]

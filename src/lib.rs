@@ -31,6 +31,7 @@
 pub use wnrs_core as core;
 pub use wnrs_data as data;
 pub use wnrs_geometry as geometry;
+pub use wnrs_obs as obs;
 pub use wnrs_reverse_skyline as reverse_skyline;
 pub use wnrs_rtree as rtree;
 pub use wnrs_skyline as skyline;

@@ -1,0 +1,90 @@
+//! Observation-only guarantee: turning the wnrs-obs runtime collection
+//! on (or off, or enabling tracing) never changes any query answer.
+//!
+//! The property is exercised in both build modes: without
+//! `--features obs` the toggles are no-ops and the test degenerates to
+//! determinism; with it, the same binary computes every answer twice —
+//! once with collection suppressed via the runtime kill-switch, once
+//! with collection *and* tracing on — and demands bit-identical results.
+//!
+//! Kept in its own integration-test binary: the runtime kill-switch is
+//! process-global, so this test must not share a process with tests
+//! that assert on collected metrics (see `tests/obs_pipeline.rs`).
+
+use proptest::prelude::*;
+use wnrs::prelude::*;
+
+fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, dim).prop_map(Point::new),
+        2..max_n,
+    )
+}
+
+fn arb_point(dim: usize) -> impl Strategy<Value = Point> {
+    prop::collection::vec(-100.0f64..100.0, dim).prop_map(Point::new)
+}
+
+/// Every answer the engine can produce for one (data, query, culprit)
+/// triple, in a directly comparable form.
+#[derive(Debug, PartialEq)]
+struct Answers {
+    rsl: Vec<u32>,
+    explain_culprits: Vec<u32>,
+    mwp_cost: f64,
+    mqp_cost: f64,
+    sr_area: f64,
+    sr_boxes: usize,
+    mwq_cost: f64,
+}
+
+fn compute_answers(engine: &WhyNotEngine, id: ItemId, q: &Point) -> Answers {
+    let rsl = engine.reverse_skyline(q);
+    let sr = engine.safe_region_for(q, &rsl);
+    let (_, mwq) = engine.mwq_full(id, q);
+    Answers {
+        rsl: rsl.iter().map(|(i, _)| i.0).collect(),
+        explain_culprits: {
+            let mut c: Vec<u32> = engine
+                .explain(id, q)
+                .culprits
+                .iter()
+                .map(|(i, _)| i.0)
+                .collect();
+            c.sort_unstable();
+            c
+        },
+        mwp_cost: engine.mwp(id, q).best_cost(),
+        mqp_cost: engine.mqp(id, q).best_cost(),
+        sr_area: sr.area(),
+        sr_boxes: sr.boxes().len(),
+        mwq_cost: mwq.cost,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn answers_identical_with_and_without_observation(
+        pts in arb_points(50, 2),
+        q in arb_point(2),
+        pick in 0usize..50,
+    ) {
+        let engine = WhyNotEngine::with_config(pts.clone(), RTreeConfig::with_max_entries(5));
+        let id = ItemId((pick % pts.len()) as u32);
+
+        wnrs::obs::set_enabled(false);
+        wnrs::obs::set_trace(false);
+        let silent = compute_answers(&engine, id, &q);
+
+        wnrs::obs::set_enabled(true);
+        wnrs::obs::set_trace(true);
+        let observed = compute_answers(&engine, id, &q);
+
+        wnrs::obs::set_trace(false);
+        let _ = wnrs::obs::take_trace();
+
+        prop_assert_eq!(silent, observed);
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end pipeline observability: one run of all four why-not
+//! algorithms must populate per-phase spans and global counters, and
+//! the JSON export must carry them under the pinned schema.
+//!
+//! This is the test behind the acceptance criterion "an obs-enabled run
+//! emits JSON metrics with per-phase histograms and counters for all
+//! four algorithms". It lives in its own integration-test binary
+//! because the metrics registry is process-global (see
+//! `tests/obs_equivalence.rs` for the flip side: observation never
+//! changes answers).
+
+use wnrs::prelude::*;
+
+/// Deterministic fixture: the paper's running example (Fig. 1 products)
+/// plus enough synthetic filler for non-trivial phases.
+fn fixture() -> Vec<Point> {
+    let mut pts = vec![
+        Point::xy(5.0, 30.0),
+        Point::xy(7.5, 42.0),
+        Point::xy(2.5, 70.0),
+        Point::xy(7.5, 90.0),
+        Point::xy(24.0, 20.0),
+        Point::xy(20.0, 50.0),
+        Point::xy(26.0, 70.0),
+        Point::xy(16.0, 80.0),
+    ];
+    // Low-discrepancy filler (no RNG needed, fully deterministic).
+    for i in 0..120u32 {
+        let x = (f64::from(i) * 0.618_033_988_749) % 1.0 * 30.0;
+        let y = (f64::from(i) * 0.754_877_666_246) % 1.0 * 100.0;
+        pts.push(Point::xy(x, y));
+    }
+    pts
+}
+
+#[test]
+fn one_run_reports_per_phase_data_for_all_four_algorithms() {
+    let engine = WhyNotEngine::with_config(fixture(), RTreeConfig::with_max_entries(8));
+    let q = Point::xy(8.5, 55.0);
+    let id = ItemId(3);
+
+    wnrs::obs::reset();
+    wnrs::obs::set_trace(true);
+
+    // The full pipeline: explanation, MWP, MQP, safe region (exact and
+    // approximate) and MWQ — the paper's four answering techniques.
+    let explanation = engine.explain(id, &q);
+    let mwp = engine.mwp(id, &q);
+    let mqp = engine.mqp(id, &q);
+    let rsl = engine.reverse_skyline(&q);
+    let sr = engine.safe_region_for(&q, &rsl);
+    let store = engine.build_approx_store(8);
+    let sr_approx = engine.approx_safe_region_for(&q, &rsl, &store);
+    let mwq = engine.mwq(id, &q, &sr);
+    let _ = explanation.is_member();
+    assert!(mwp.best_cost() >= 0.0);
+    assert!(mqp.best_cost() >= 0.0);
+    assert!(sr.area() > 0.0);
+    // The approximate region is a conservative subset of the exact one
+    // (it can be empty for a sparse store); only its instrumentation is
+    // asserted below.
+    assert!(sr_approx.area() <= sr.area() + 1e-9);
+    assert!(mwq.cost >= 0.0);
+
+    let report = wnrs::obs::report();
+    let trace = wnrs::obs::take_trace();
+    wnrs::obs::set_trace(false);
+    let json = report.to_json();
+
+    if !wnrs::obs::compiled() {
+        // Non-obs build: flags still work, report is well-formed but
+        // empty — the contract scripted callers rely on.
+        assert!(!report.compiled);
+        assert!(report.spans.is_empty());
+        assert!(json.contains("\"obs_compiled\": false"));
+        assert!(trace.is_empty());
+        return;
+    }
+
+    // Per-phase spans for all four algorithms (plus the substrate).
+    let span_names: Vec<&str> = report.spans.iter().map(|s| s.name.as_str()).collect();
+    for phase in [
+        "explain",
+        "mwp",
+        "mqp",
+        "mwq",
+        "sr_exact",
+        "sr_approx",
+        "anti_ddr",
+        "approx_store_build",
+        "bbrs",
+        "bbs_dsl",
+    ] {
+        assert!(
+            span_names.contains(&phase),
+            "missing span `{phase}` in {span_names:?}"
+        );
+    }
+    for s in &report.spans {
+        assert_eq!(s.count, s.buckets.iter().sum::<u64>(), "span {}", s.name);
+        assert!(s.total_ns >= s.min_ns, "span {}", s.name);
+    }
+
+    // Global counters: every instrumented substrate fired.
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    assert!(counter("dominance_tests") > 0);
+    assert!(counter("node_visits") > 0);
+    assert!(counter("window_queries") > 0);
+    assert!(counter("transforms") > 0);
+
+    // The per-span attribution for `mwp` saw dominance work.
+    let mwp_span = report
+        .spans
+        .iter()
+        .find(|s| s.name == "mwp")
+        .expect("mwp span");
+    let mwp_dom = mwp_span
+        .counters
+        .iter()
+        .find(|c| c.name == "dominance_tests")
+        .expect("attributed counter");
+    assert!(mwp_dom.value > 0, "mwp should attribute dominance tests");
+
+    // The JSON export carries the same data under the pinned schema.
+    assert!(json.contains("\"schema\": \"wnrs-obs-v1\""));
+    for phase in ["explain", "mwp", "mqp", "mwq", "sr_exact"] {
+        assert!(
+            json.contains(&format!("\"name\": \"{phase}\"")),
+            "{phase} absent from JSON"
+        );
+    }
+
+    // And the trace captured a nested tree (sr_exact encloses anti_ddr).
+    assert!(trace.iter().any(|e| e.name == "sr_exact" && e.depth == 0));
+    assert!(trace.iter().any(|e| e.name == "anti_ddr" && e.depth > 0));
+    let rendered = wnrs::obs::render_trace(&trace);
+    assert!(rendered.contains("sr_exact"));
+
+    wnrs::obs::reset();
+}

@@ -58,7 +58,10 @@ const USAGE: &str = "usage:
 every command that accepts --data also accepts --index to load a
 persisted tree instead of rebuilding it. query commands also accept
 --threads <n> to parallelise safe-region construction and the
-approximate-DSL store build (results are identical at any count).
+approximate-DSL store build (results are identical at any count), and
+--cache on|off (default off) to enable the cross-query reuse layer
+(memoised skylines / anti-DDRs / safe regions; answers are identical;
+`profile` prints the hit/miss statistics).
 
 observability (requires building with --features obs, else empty):
   --metrics-out <path|->   write the metrics report after the command
@@ -159,7 +162,14 @@ fn load_engine(opts: &HashMap<String, String>) -> Result<WhyNotEngine, WnrsError
         }
         WhyNotEngine::try_new(points)?
     };
-    Ok(engine.with_parallelism(parallelism_opt(opts)?))
+    let engine = engine.with_parallelism(parallelism_opt(opts)?);
+    match opts.get("cache").map(String::as_str) {
+        Some("on") => Ok(engine.with_cache()),
+        Some("off") | None => Ok(engine),
+        Some(other) => Err(WnrsError::usage(format!(
+            "bad --cache `{other}` (expected on|off)"
+        ))),
+    }
 }
 
 fn parallelism_opt(opts: &HashMap<String, String>) -> Result<Parallelism, WnrsError> {
@@ -426,6 +436,17 @@ fn profile(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
         sr_approx.area()
     );
     println!("  mwq:         case {:?}, cost {:.9}", mwq.case, mwq.cost);
+    if let Some(stats) = engine.cache_stats() {
+        println!(
+            "  cache:       {} hit(s) / {} miss(es) ({:.1}% hit rate), {} invalidation(s), {} eviction(s), generation {}",
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0,
+            stats.invalidations,
+            stats.evictions,
+            stats.generation
+        );
+    }
     if !wnrs_obs::compiled() {
         println!("(built without --features obs: metrics report will be empty)");
     }

@@ -1,0 +1,538 @@
+//! Cross-query reuse layer: versioned memoization of per-customer
+//! dynamic skylines / anti-DDR regions and per-query-point results.
+//!
+//! Every [`crate::WhyNotEngine`] call recomputes the world from scratch
+//! by default, yet heavy why-not traffic is dominated by *repeated
+//! substructure*: W why-not questions against one query product share
+//! `RSL(q)` and `SR(q)`; `explain`/MWP/MQP against the same `(c_t, q)`
+//! pair share the culprit window `Λ`; and every safe region is an
+//! intersection of per-customer anti-DDRs whose underlying dynamic
+//! skylines never change until the dataset does. [`EngineCache`] stores
+//! each of these exactly once:
+//!
+//! * **per customer** — the dynamic skyline `DSL(c)` (universe- and
+//!   shrink-independent) and the anti-DDR regions derived from it,
+//!   keyed by `(customer id, universe bits, shrink bits)`;
+//! * **per query point** — `RSL(q)`, the exact and approximate `SR(q)`
+//!   (entries remember the reverse-skyline ids and, for the approximate
+//!   variant, the store fingerprint they were built from), and the
+//!   end-to-end MWQ answers produced by the full-pipeline path;
+//! * **per (query, customer) pair** — the culprit window `Λ`.
+//!
+//! ## Invalidation protocol
+//!
+//! The cache is *versioned*: a monotonically increasing generation
+//! counter is bumped by every dataset mutation that goes through the
+//! engine ([`crate::WhyNotEngine::insert`] /
+//! [`crate::WhyNotEngine::delete`]). The bump and the eager flush of
+//! every map happen in one critical section under the state's write
+//! lock, and mutations require `&mut` access to the engine, so no
+//! concurrent reader can observe a pre-flush entry with a post-bump
+//! generation. As defence in depth every lookup still compares the
+//! entry state's generation against the counter and treats a mismatch
+//! as a miss — a stale entry can never be served even if a future
+//! refactor breaks the `&mut` exclusivity argument.
+//!
+//! ## Key scheme
+//!
+//! `f64` coordinates key by bit pattern via
+//! [`wnrs_geometry::CoordKey`], with `-0.0` normalised to `+0.0` so
+//! numerically identical queries hit the same entry. Points are finite
+//! by construction, so NaN never reaches a key. Callers build the
+//! (allocating) keys once and pass them in: lookups borrow, fills take
+//! ownership, and this module — a designated allocation-free hot path —
+//! never clones a key or a value.
+//!
+//! ## Memory bounds
+//!
+//! Each map has a capacity from [`CacheConfig`]. Overflow triggers an
+//! epoch flush of that map (cheap, allocation-free bookkeeping versus
+//! per-entry LRU chains); the dropped entries are counted as evictions
+//! in [`CacheStats`]. Per-customer maps are additionally bounded by the
+//! dataset size in steady state.
+
+use crate::mwq::MwqAnswer;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use wnrs_geometry::{CoordKey, Point, Region};
+use wnrs_obs::Counter;
+use wnrs_rtree::ItemId;
+
+/// A shared culprit-window / reverse-skyline / dynamic-skyline result.
+pub type SharedItems = Arc<Vec<(ItemId, Point)>>;
+
+/// Anti-DDR key: `(customer id, universe rect bits, shrink bits)`. The
+/// universe participates because `anti_ddr` clips to it and derives its
+/// `max_dist` corner from it, and `universe_for(q)` grows when `q`
+/// falls outside the data's bounding box.
+pub type AddrKey = (u32, CoordKey, u64);
+
+/// Per-`(window anchor, customer)` key for culprit windows and
+/// full-pipeline MWQ answers. The anchor is `q` itself for
+/// `explain`/MWP/MQP and a safe-region corner for MWQ's C2 repairs.
+pub type PairKey = (CoordKey, u32);
+
+/// Approximate-safe-region key: `(query point bits, store
+/// fingerprint)` — see [`crate::ApproxDslStore::fingerprint`].
+pub type SrApproxKey = (CoordKey, u64);
+
+/// Capacity limits for the cache's maps. Overflowing a map flushes it
+/// (an "epoch flush"), counting the dropped entries as evictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Max entries in each per-query map (`RSL`, exact `SR`,
+    /// approximate `SR`, MWQ answers).
+    pub query_capacity: usize,
+    /// Max entries in the per-`(anchor, customer)` culprit-window map —
+    /// the largest map by far under batch MWQ, which probes one window
+    /// per safe-region corner per customer.
+    pub lambda_capacity: usize,
+    /// Max entries in each per-customer map (`DSL`, anti-DDR).
+    pub customer_capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            query_capacity: 1024,
+            lambda_capacity: 8192,
+            customer_capacity: 65_536,
+        }
+    }
+}
+
+/// A monotonic snapshot of the cache's behaviour counters (also
+/// forwarded to `wnrs-obs` as the `engine_cache_*` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Generation bumps (dataset mutations).
+    pub invalidations: u64,
+    /// Entries dropped by capacity epoch flushes.
+    pub evictions: u64,
+    /// Current generation.
+    pub generation: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A safe-region entry: the region plus the reverse-skyline ids it was
+/// built from. Callers may pass RSL prefixes to `safe_region_for`, so
+/// a hit requires the ids to match, not just the query point.
+#[derive(Debug)]
+pub struct SrEntry {
+    rsl_ids: Vec<u32>,
+    /// The memoised safe region.
+    pub region: Region,
+}
+
+struct CacheState {
+    generation: u64,
+    dsl: HashMap<u32, SharedItems>,
+    addr: HashMap<AddrKey, Arc<Region>>,
+    rsl: HashMap<CoordKey, SharedItems>,
+    lambda: HashMap<PairKey, SharedItems>,
+    sr_exact: HashMap<CoordKey, Arc<SrEntry>>,
+    sr_approx: HashMap<SrApproxKey, Arc<SrEntry>>,
+    mwq: HashMap<PairKey, Arc<MwqAnswer>>,
+}
+
+impl CacheState {
+    fn empty() -> Self {
+        CacheState {
+            generation: 0,
+            dsl: HashMap::new(),
+            addr: HashMap::new(),
+            rsl: HashMap::new(),
+            lambda: HashMap::new(),
+            sr_exact: HashMap::new(),
+            sr_approx: HashMap::new(),
+            mwq: HashMap::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        self.dsl.clear();
+        self.addr.clear();
+        self.rsl.clear();
+        self.lambda.clear();
+        self.sr_exact.clear();
+        self.sr_approx.clear();
+        self.mwq.clear();
+    }
+}
+
+/// The engine-side cross-query cache. Thread-safe: lookups take a read
+/// lock, fills a write lock, and the parallel batch paths share one
+/// instance across workers.
+pub struct EngineCache {
+    config: CacheConfig,
+    generation: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+    state: RwLock<CacheState>,
+}
+
+impl std::fmt::Debug for EngineCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCache")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl EngineCache {
+    /// A fresh cache with the given capacities.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        EngineCache {
+            config,
+            generation: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            state: RwLock::new(CacheState::empty()),
+        }
+    }
+
+    /// The configured capacities.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The current generation (bumped by every dataset mutation).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the behaviour counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            generation: self.generation(),
+        }
+    }
+
+    /// Bumps the generation and flushes every map in one critical
+    /// section — called by the engine's mutation paths. Entries filled
+    /// under the old generation can never be observed afterwards.
+    pub fn invalidate(&self) {
+        let mut state = self.write_state();
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        state.generation = generation;
+        state.flush();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        wnrs_obs::record(Counter::CacheInvalidations);
+    }
+
+    // ------------------------------------------------------------------
+    // Lock plumbing
+    // ------------------------------------------------------------------
+
+    // A poisoned lock means a panic mid-fill on another thread; the
+    // cache holds only derived data, so continuing with the inner state
+    // is sound (fills insert fully-built Arcs, never torn entries).
+    fn read_state(&self) -> RwLockReadGuard<'_, CacheState> {
+        match self.state.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write_state(&self) -> RwLockWriteGuard<'_, CacheState> {
+        match self.state.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Counts the lookup outcome (and forwards it to `wnrs-obs`), then
+    /// passes the value through.
+    fn counted<T>(&self, found: Option<T>) -> Option<T> {
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            wnrs_obs::record(Counter::CacheHits);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            wnrs_obs::record(Counter::CacheMisses);
+        }
+        found
+    }
+
+    /// Shared guard logic for every lookup: a generation mismatch is a
+    /// miss (defence in depth — `invalidate` flushes eagerly, so under
+    /// the engine's `&mut` mutation discipline the branch never fires).
+    fn guarded<'s, T>(&self, state: &'s CacheState, value: Option<&'s T>) -> Option<&'s T> {
+        if state.generation != self.generation.load(Ordering::Acquire) {
+            return None;
+        }
+        value
+    }
+
+    /// Pre-insert capacity check: flushes `map` when full, counting the
+    /// dropped entries as evictions.
+    fn make_room<K, V>(&self, map: &mut HashMap<K, V>, capacity: usize) {
+        if map.len() >= capacity {
+            let dropped = map.len() as u64;
+            map.clear();
+            self.evictions.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-customer entries
+    // ------------------------------------------------------------------
+
+    /// The memoised dynamic skyline of customer `id` (own tuple
+    /// excluded), if present.
+    #[must_use]
+    pub fn get_dsl(&self, id: u32) -> Option<SharedItems> {
+        let state = self.read_state();
+        self.counted(self.guarded(&state, state.dsl.get(&id)).map(Arc::clone))
+    }
+
+    /// Stores the dynamic skyline of customer `id`, returning the
+    /// shared handle.
+    pub fn put_dsl(&self, id: u32, dsl: Vec<(ItemId, Point)>) -> SharedItems {
+        let shared = Arc::new(dsl);
+        let mut state = self.write_state();
+        self.make_room(&mut state.dsl, self.config.customer_capacity);
+        state.dsl.insert(id, Arc::clone(&shared));
+        shared
+    }
+
+    /// The memoised anti-DDR for an [`AddrKey`], if present.
+    #[must_use]
+    pub fn get_addr(&self, key: &AddrKey) -> Option<Arc<Region>> {
+        let state = self.read_state();
+        self.counted(self.guarded(&state, state.addr.get(key)).map(Arc::clone))
+    }
+
+    /// Stores an anti-DDR region, returning the shared handle.
+    pub fn put_addr(&self, key: AddrKey, region: Region) -> Arc<Region> {
+        let shared = Arc::new(region);
+        let mut state = self.write_state();
+        self.make_room(&mut state.addr, self.config.customer_capacity);
+        state.addr.insert(key, Arc::clone(&shared));
+        shared
+    }
+
+    // ------------------------------------------------------------------
+    // Per-query entries
+    // ------------------------------------------------------------------
+
+    /// The memoised reverse skyline of a query point, if present.
+    #[must_use]
+    pub fn get_rsl(&self, q_key: &CoordKey) -> Option<SharedItems> {
+        let state = self.read_state();
+        self.counted(self.guarded(&state, state.rsl.get(q_key)).map(Arc::clone))
+    }
+
+    /// Stores a reverse skyline, returning the shared handle.
+    pub fn put_rsl(&self, q_key: CoordKey, rsl: Vec<(ItemId, Point)>) -> SharedItems {
+        let shared = Arc::new(rsl);
+        let mut state = self.write_state();
+        self.make_room(&mut state.rsl, self.config.query_capacity);
+        state.rsl.insert(q_key, Arc::clone(&shared));
+        shared
+    }
+
+    /// The memoised exact safe region for a query point, if present
+    /// *and* built from exactly the reverse-skyline ids in `rsl_ids`.
+    #[must_use]
+    pub fn get_sr_exact(&self, q_key: &CoordKey, rsl_ids: &[u32]) -> Option<Arc<SrEntry>> {
+        let state = self.read_state();
+        self.counted(
+            self.guarded(&state, state.sr_exact.get(q_key))
+                .filter(|e| e.rsl_ids == rsl_ids)
+                .map(Arc::clone),
+        )
+    }
+
+    /// Stores an exact safe region, returning the shared entry.
+    pub fn put_sr_exact(&self, q_key: CoordKey, rsl_ids: Vec<u32>, region: Region) -> Arc<SrEntry> {
+        let shared = Arc::new(SrEntry { rsl_ids, region });
+        let mut state = self.write_state();
+        self.make_room(&mut state.sr_exact, self.config.query_capacity);
+        state.sr_exact.insert(q_key, Arc::clone(&shared));
+        shared
+    }
+
+    /// The memoised approximate safe region for an [`SrApproxKey`], if
+    /// present and built from `rsl_ids`.
+    #[must_use]
+    pub fn get_sr_approx(&self, key: &SrApproxKey, rsl_ids: &[u32]) -> Option<Arc<SrEntry>> {
+        let state = self.read_state();
+        self.counted(
+            self.guarded(&state, state.sr_approx.get(key))
+                .filter(|e| e.rsl_ids == rsl_ids)
+                .map(Arc::clone),
+        )
+    }
+
+    /// Stores an approximate safe region, returning the shared entry.
+    pub fn put_sr_approx(
+        &self,
+        key: SrApproxKey,
+        rsl_ids: Vec<u32>,
+        region: Region,
+    ) -> Arc<SrEntry> {
+        let shared = Arc::new(SrEntry { rsl_ids, region });
+        let mut state = self.write_state();
+        self.make_room(&mut state.sr_approx, self.config.query_capacity);
+        state.sr_approx.insert(key, Arc::clone(&shared));
+        shared
+    }
+
+    // ------------------------------------------------------------------
+    // Per-(anchor, customer) entries
+    // ------------------------------------------------------------------
+
+    /// The memoised culprit window `Λ` for a [`PairKey`], if present.
+    #[must_use]
+    pub fn get_lambda(&self, key: &PairKey) -> Option<SharedItems> {
+        let state = self.read_state();
+        self.counted(self.guarded(&state, state.lambda.get(key)).map(Arc::clone))
+    }
+
+    /// Stores a culprit window, returning the shared handle.
+    pub fn put_lambda(&self, key: PairKey, lambda: Vec<(ItemId, Point)>) -> SharedItems {
+        let shared = Arc::new(lambda);
+        let mut state = self.write_state();
+        self.make_room(&mut state.lambda, self.config.lambda_capacity);
+        state.lambda.insert(key, Arc::clone(&shared));
+        shared
+    }
+
+    /// The memoised full-pipeline MWQ answer for a [`PairKey`], if
+    /// present. Only the engine's `mwq_full`/`mwq_batch` paths — where
+    /// the safe region is known to be the full-RSL `SR(q)` — read or
+    /// fill this map; `mwq` against a caller-supplied region never
+    /// does.
+    #[must_use]
+    pub fn get_mwq(&self, key: &PairKey) -> Option<Arc<MwqAnswer>> {
+        let state = self.read_state();
+        self.counted(self.guarded(&state, state.mwq.get(key)).map(Arc::clone))
+    }
+
+    /// Stores a full-pipeline MWQ answer, returning the shared handle.
+    pub fn put_mwq(&self, key: PairKey, answer: MwqAnswer) -> Arc<MwqAnswer> {
+        let shared = Arc::new(answer);
+        let mut state = self.write_state();
+        self.make_room(&mut state.mwq, self.config.query_capacity);
+        state.mwq.insert(key, Arc::clone(&shared));
+        shared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnrs_geometry::Rect;
+
+    fn key(x: f64, y: f64) -> CoordKey {
+        CoordKey::of_point(&Point::xy(x, y))
+    }
+
+    #[test]
+    fn miss_then_hit_then_invalidate() {
+        let cache = EngineCache::new(CacheConfig::default());
+        let k = key(1.0, 2.0);
+        assert!(cache.get_rsl(&k).is_none());
+        cache.put_rsl(k.clone(), vec![(ItemId(3), Point::xy(9.0, 9.0))]);
+        let got = cache.get_rsl(&k).expect("filled entry hits");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, ItemId(3));
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.generation, 0);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+
+        cache.invalidate();
+        assert!(cache.get_rsl(&k).is_none(), "flushed on invalidation");
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.generation, 1);
+    }
+
+    #[test]
+    fn negative_zero_keys_unify() {
+        let cache = EngineCache::new(CacheConfig::default());
+        cache.put_rsl(key(-0.0, 5.0), vec![]);
+        assert!(cache.get_rsl(&key(0.0, 5.0)).is_some());
+    }
+
+    #[test]
+    fn sr_entry_requires_matching_rsl_ids() {
+        let cache = EngineCache::new(CacheConfig::default());
+        let k = key(3.0, 4.0);
+        let region = Region::from_rect(Rect::new(Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)));
+        cache.put_sr_exact(k.clone(), vec![1, 2, 5], region);
+        assert!(cache.get_sr_exact(&k, &[1, 2, 5]).is_some());
+        assert!(
+            cache.get_sr_exact(&k, &[1, 2]).is_none(),
+            "an RSL-prefix call must not reuse the full-RSL region"
+        );
+    }
+
+    #[test]
+    fn capacity_overflow_flushes_and_counts_evictions() {
+        let cache = EngineCache::new(CacheConfig {
+            query_capacity: 2,
+            lambda_capacity: 2,
+            customer_capacity: 2,
+        });
+        cache.put_rsl(key(0.0, 0.0), vec![]);
+        cache.put_rsl(key(1.0, 0.0), vec![]);
+        // Third insert overflows: the map flushes first.
+        cache.put_rsl(key(2.0, 0.0), vec![]);
+        assert!(cache.get_rsl(&key(0.0, 0.0)).is_none());
+        assert!(cache.get_rsl(&key(2.0, 0.0)).is_some());
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn lambda_keys_are_per_customer() {
+        let cache = EngineCache::new(CacheConfig::default());
+        cache.put_lambda((key(1.0, 1.0), 7), vec![(ItemId(0), Point::xy(0.5, 0.5))]);
+        assert!(cache.get_lambda(&(key(1.0, 1.0), 7)).is_some());
+        assert!(cache.get_lambda(&(key(1.0, 1.0), 8)).is_none());
+    }
+
+    #[test]
+    fn generation_mismatch_is_a_miss() {
+        // Exercise the defence-in-depth branch directly: bump the
+        // counter without flushing (simulating a racy writer).
+        let cache = EngineCache::new(CacheConfig::default());
+        cache.put_rsl(key(1.0, 1.0), vec![]);
+        cache.generation.fetch_add(1, Ordering::AcqRel);
+        assert!(cache.get_rsl(&key(1.0, 1.0)).is_none());
+    }
+}

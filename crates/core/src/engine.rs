@@ -2,16 +2,24 @@
 //! why-not answering techniques behind one API.
 
 use crate::answer::Candidate;
+use crate::cache::{CacheConfig, CacheStats, EngineCache, SharedItems};
 use crate::error::EngineError;
 use crate::explain::{explain, Explanation};
-use crate::mqp::{modify_query_point, MqpAnswer};
-use crate::mwp::{modify_why_not_point, MwpAnswer};
-use crate::mwq::{modify_both, MwqAnswer};
-use crate::safe_region::{approx_safe_region_with, exact_safe_region_with, ApproxDslStore};
-use wnrs_geometry::{CostModel, Parallelism, Point, Rect, Region};
-use wnrs_reverse_skyline::{bbrs_reverse_skyline, is_reverse_skyline_member};
+use crate::mqp::{modify_query_point, modify_query_point_with_lambda, MqpAnswer};
+use crate::mwp::{modify_why_not_point, modify_why_not_point_with_lambda, MwpAnswer};
+use crate::mwq::{modify_both, modify_both_parts, MwqAnswer};
+use crate::safe_region::{
+    anti_ddr_from_dsl, approx_safe_region_with, exact_safe_region_with, ApproxDslStore,
+};
+use std::sync::Arc;
+use wnrs_geometry::parallel::{intersect_all, map_range_chunked, map_slice};
+use wnrs_geometry::{f64_key, CoordKey, CostModel, Parallelism, Point, Rect, Region};
+use wnrs_reverse_skyline::{
+    bbrs_reverse_skyline, is_reverse_skyline_member, window_query, window_query_into,
+};
 use wnrs_rtree::bulk::bulk_load;
-use wnrs_rtree::{ItemId, RTree, RTreeConfig};
+use wnrs_rtree::{ItemId, RTree, RTreeConfig, WindowScratch};
+use wnrs_skyline::bbs_dynamic_skyline_excluding;
 
 /// Default verification nudge (see [`crate::verify`]).
 pub const DEFAULT_EPS: f64 = 1e-9;
@@ -46,11 +54,17 @@ pub const DEFAULT_EPS: f64 = 1e-9;
 /// ```
 pub struct WhyNotEngine {
     points: Vec<Point>,
+    /// Tombstones, parallel to `points`: a deleted customer leaves the
+    /// index but its id stays addressable (its point can still pose
+    /// why-not questions, like an external customer).
+    deleted: Vec<bool>,
+    live: usize,
     tree: RTree,
     universe: Rect,
     cost: CostModel,
     eps: f64,
     parallelism: Parallelism,
+    cache: Option<EngineCache>,
 }
 
 impl WhyNotEngine {
@@ -81,13 +95,17 @@ impl WhyNotEngine {
         let tree = bulk_load(&points, config);
         let universe = Rect::bounding(&points);
         let cost = CostModel::paper_default(&points);
+        let live = points.len();
         Ok(Self {
+            deleted: vec![false; points.len()],
+            live,
             points,
             tree,
             universe,
             cost,
             eps: DEFAULT_EPS,
             parallelism: Parallelism::sequential(),
+            cache: None,
         })
     }
 
@@ -100,31 +118,43 @@ impl WhyNotEngine {
     /// Returns [`EngineError::EmptyDataset`] for an empty tree and
     /// [`EngineError::SparseItemIds`] when item ids are not `0..len`.
     pub fn try_from_tree(tree: RTree) -> Result<Self, EngineError> {
-        let mut items = tree.items();
-        if items.is_empty() {
+        let items = tree.items();
+        let n = items.len();
+        if n == 0 {
             return Err(EngineError::EmptyDataset);
         }
-        items.sort_by_key(|(id, _)| *id);
-        if let Some(first_gap) = items
-            .iter()
-            .enumerate()
-            .position(|(i, (id, _))| id.0 as usize != i)
-        {
+        // Scatter each point into its id-indexed slot in one pass: no
+        // sort, and the points move straight out of the item list into
+        // their final positions instead of being collected a second
+        // time. Out-of-range and duplicate ids leave a `None` hole
+        // somewhere in `0..n`, so the density check below catches both.
+        let mut slots: Vec<Option<Point>> = vec![None; n];
+        for (id, p) in items {
+            if let Some(slot) = slots.get_mut(id.0 as usize) {
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+            }
+        }
+        if let Some(first_gap) = slots.iter().position(Option::is_none) {
             return Err(EngineError::SparseItemIds {
-                items: items.len(),
+                items: n,
                 first_gap,
             });
         }
-        let points: Vec<Point> = items.into_iter().map(|(_, p)| p).collect();
+        let points: Vec<Point> = slots.into_iter().flatten().collect();
         let universe = Rect::bounding(&points);
         let cost = CostModel::paper_default(&points);
         Ok(Self {
+            deleted: vec![false; n],
+            live: n,
             points,
             tree,
             universe,
             cost,
             eps: DEFAULT_EPS,
             parallelism: Parallelism::sequential(),
+            cache: None,
         })
     }
 
@@ -193,6 +223,90 @@ impl WhyNotEngine {
         &self.parallelism
     }
 
+    /// Enables the cross-query cache with default capacities (see
+    /// [`CacheConfig`]). Cached answers are bit-identical to uncached
+    /// ones; dataset mutations ([`WhyNotEngine::insert`] /
+    /// [`WhyNotEngine::delete`]) invalidate the whole cache.
+    #[must_use]
+    pub fn with_cache(self) -> Self {
+        self.with_cache_config(CacheConfig::default())
+    }
+
+    /// Enables the cross-query cache with explicit capacities.
+    #[must_use]
+    pub fn with_cache_config(mut self, config: CacheConfig) -> Self {
+        self.cache = Some(EngineCache::new(config));
+        self
+    }
+
+    /// The cross-query cache, when enabled.
+    pub fn cache(&self) -> Option<&EngineCache> {
+        self.cache.as_ref()
+    }
+
+    /// A snapshot of the cache's behaviour counters, when enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(EngineCache::stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations
+    // ------------------------------------------------------------------
+
+    /// Inserts a new data point, growing the universe to cover it, and
+    /// returns its id. The cost model stays as fixed at construction
+    /// (weights are part of the query semantics, not the data). The
+    /// cache, if enabled, is invalidated before the call returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn insert(&mut self, p: Point) -> ItemId {
+        assert_eq!(p.dim(), self.dim(), "dimensionality mismatch");
+        let id = ItemId(self.points.len() as u32);
+        self.universe = self.universe.union_mbr(&Rect::degenerate(p.clone()));
+        self.tree.insert(id, p.clone());
+        self.points.push(p);
+        self.deleted.push(false);
+        self.live += 1;
+        if let Some(cache) = &self.cache {
+            cache.invalidate();
+        }
+        id
+    }
+
+    /// Deletes customer `id` from the index (tombstone: the id stays
+    /// addressable, so its point can still pose why-not questions like
+    /// an external customer, but it no longer participates in skylines).
+    /// The universe never shrinks — anti-DDR clipping stays valid for
+    /// every remaining point. Returns `false` when `id` is out of range
+    /// or already deleted. The cache, if enabled, is invalidated.
+    pub fn delete(&mut self, id: ItemId) -> bool {
+        let i = id.0 as usize;
+        if i >= self.points.len() || self.deleted[i] {
+            return false;
+        }
+        if !self.tree.delete(id, &self.points[i]) {
+            return false;
+        }
+        self.deleted[i] = true;
+        self.live -= 1;
+        if let Some(cache) = &self.cache {
+            cache.invalidate();
+        }
+        true
+    }
+
+    /// Number of live (non-deleted) data points.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether `id` names a live (inserted, not deleted) data point.
+    pub fn is_live(&self, id: ItemId) -> bool {
+        (id.0 as usize) < self.points.len() && !self.deleted[id.0 as usize]
+    }
+
     /// Dimensionality of the data.
     pub fn dim(&self) -> usize {
         self.points[0].dim()
@@ -235,11 +349,65 @@ impl WhyNotEngine {
     }
 
     // ------------------------------------------------------------------
+    // Cached building blocks
+    // ------------------------------------------------------------------
+
+    /// The memoised dynamic skyline of customer `id` (own tuple
+    /// excluded). The DSL depends only on the dataset, so one entry
+    /// serves every universe and shrink.
+    fn dsl_for(&self, cache: &EngineCache, id: ItemId) -> SharedItems {
+        if let Some(dsl) = cache.get_dsl(id.0) {
+            return dsl;
+        }
+        let dsl = bbs_dynamic_skyline_excluding(&self.tree, self.point(id), Some(id));
+        cache.put_dsl(id.0, dsl)
+    }
+
+    /// The memoised anti-DDR of customer `id` for a given universe and
+    /// shrink, built from the memoised DSL on a miss.
+    fn anti_ddr_cached(
+        &self,
+        cache: &EngineCache,
+        id: ItemId,
+        universe: &Rect,
+        shrink: f64,
+    ) -> Arc<Region> {
+        let key = (id.0, CoordKey::of_rect(universe), f64_key(shrink));
+        if let Some(region) = cache.get_addr(&key) {
+            return region;
+        }
+        let _span = wnrs_obs::span!("anti_ddr");
+        let dsl = self.dsl_for(cache, id);
+        let region = anti_ddr_from_dsl(self.point(id), &dsl, universe, shrink);
+        cache.put_addr(key, region)
+    }
+
+    /// The memoised culprit window `Λ = window(c_t, at)` for customer
+    /// `id`, with the window anchored at `at` (`q` itself, or a
+    /// safe-region corner during MWQ's C2 repairs).
+    fn lambda_for(&self, cache: &EngineCache, id: ItemId, at: &Point) -> SharedItems {
+        let key = (CoordKey::of_point(at), id.0);
+        if let Some(lambda) = cache.get_lambda(&key) {
+            return lambda;
+        }
+        let lambda = window_query(&self.tree, self.point(id), at, Some(id));
+        cache.put_lambda(key, lambda)
+    }
+
+    // ------------------------------------------------------------------
     // Queries
     // ------------------------------------------------------------------
 
     /// The reverse skyline of `q` (BBRS), sorted by item id.
     pub fn reverse_skyline(&self, q: &Point) -> Vec<(ItemId, Point)> {
+        if let Some(cache) = &self.cache {
+            let q_key = CoordKey::of_point(q);
+            if let Some(rsl) = cache.get_rsl(&q_key) {
+                return (*rsl).clone();
+            }
+            let rsl = bbrs_reverse_skyline(&self.tree, q);
+            return (*cache.put_rsl(q_key, rsl)).clone();
+        }
         bbrs_reverse_skyline(&self.tree, q)
     }
 
@@ -250,6 +418,13 @@ impl WhyNotEngine {
 
     /// Aspect 1: why is customer `id` missing from `RSL(q)`?
     pub fn explain(&self, id: ItemId, q: &Point) -> Explanation {
+        if let Some(cache) = &self.cache {
+            let _span = wnrs_obs::span!("explain");
+            let lambda = self.lambda_for(cache, id, q);
+            return Explanation {
+                culprits: (*lambda).clone(),
+            };
+        }
         explain(&self.tree, self.point(id), q, Some(id))
     }
 
@@ -274,6 +449,19 @@ impl WhyNotEngine {
     /// assert!(ans.candidates[0].verified);
     /// ```
     pub fn mwp(&self, id: ItemId, q: &Point) -> MwpAnswer {
+        if let Some(cache) = &self.cache {
+            let _span = wnrs_obs::span!("mwp");
+            let lambda = self.lambda_for(cache, id, q);
+            return modify_why_not_point_with_lambda(
+                &self.tree,
+                self.point(id),
+                q,
+                &lambda,
+                Some(id),
+                &self.cost,
+                self.eps,
+            );
+        }
         modify_why_not_point(
             &self.tree,
             self.point(id),
@@ -311,6 +499,19 @@ impl WhyNotEngine {
     /// assert!(ans.best_cost() > 0.0);
     /// ```
     pub fn mqp(&self, id: ItemId, q: &Point) -> MqpAnswer {
+        if let Some(cache) = &self.cache {
+            let _span = wnrs_obs::span!("mqp");
+            let lambda = self.lambda_for(cache, id, q);
+            return modify_query_point_with_lambda(
+                &self.tree,
+                self.point(id),
+                q,
+                &lambda,
+                Some(id),
+                &self.cost,
+                self.eps,
+            );
+        }
         modify_query_point(
             &self.tree,
             self.point(id),
@@ -355,6 +556,31 @@ impl WhyNotEngine {
 
     /// Algorithm 3 against a precomputed reverse skyline.
     pub fn safe_region_for(&self, q: &Point, rsl: &[(ItemId, Point)]) -> Region {
+        if let Some(cache) = &self.cache {
+            let q_key = CoordKey::of_point(q);
+            let rsl_ids: Vec<u32> = rsl.iter().map(|(id, _)| id.0).collect();
+            if let Some(entry) = cache.get_sr_exact(&q_key, &rsl_ids) {
+                return entry.region.clone();
+            }
+            let _span = wnrs_obs::span!("sr_exact");
+            let universe = self.universe_for(q);
+            // Mirrors `exact_safe_region_with` exactly (same member
+            // regions, same balanced-tree intersection pairing), so the
+            // cached path agrees with the uncached one bit for bit.
+            let regions = map_slice(rsl, &self.parallelism, |(id, _)| {
+                (*self.anti_ddr_cached(cache, *id, &universe, 0.0)).clone()
+            });
+            #[cfg(feature = "invariant-checks")]
+            let contributors = regions.clone();
+            let sr = intersect_all(regions, &self.parallelism)
+                .unwrap_or_else(|| Region::from_rect(universe.clone()));
+            #[cfg(feature = "invariant-checks")]
+            debug_assert!(
+                crate::safe_region::sr_contained_in_contributors(&sr, &contributors),
+                "exact safe region escapes a contributing anti-DDR"
+            );
+            return cache.put_sr_exact(q_key, rsl_ids, sr).region.clone();
+        }
         exact_safe_region_with(
             &self.tree,
             rsl,
@@ -376,6 +602,15 @@ impl WhyNotEngine {
         rsl: &[(ItemId, Point)],
         store: &ApproxDslStore,
     ) -> Region {
+        if let Some(cache) = &self.cache {
+            let key = (CoordKey::of_point(q), store.fingerprint());
+            let rsl_ids: Vec<u32> = rsl.iter().map(|(id, _)| id.0).collect();
+            if let Some(entry) = cache.get_sr_approx(&key, &rsl_ids) {
+                return entry.region.clone();
+            }
+            let sr = approx_safe_region_with(store, rsl, &self.universe_for(q), &self.parallelism);
+            return cache.put_sr_approx(key, rsl_ids, sr).region.clone();
+        }
         approx_safe_region_with(store, rsl, &self.universe_for(q), &self.parallelism)
     }
 
@@ -402,6 +637,24 @@ impl WhyNotEngine {
     /// assert!(ans.cost <= engine.mwp(ItemId(0), &q).best_cost() + 1e-9);
     /// ```
     pub fn mwq(&self, id: ItemId, q: &Point, sr: &Region) -> MwqAnswer {
+        if let Some(cache) = &self.cache {
+            let _span = wnrs_obs::span!("mwq");
+            let universe = self.universe_for(q);
+            let addr = self.anti_ddr_cached(cache, id, &universe, self.eps);
+            return modify_both_parts(sr, self.point(id), q, &self.cost, &addr, self.eps, |at| {
+                let _span = wnrs_obs::span!("mwp");
+                let lambda = self.lambda_for(cache, id, at);
+                modify_why_not_point_with_lambda(
+                    &self.tree,
+                    self.point(id),
+                    at,
+                    &lambda,
+                    Some(id),
+                    &self.cost,
+                    self.eps,
+                )
+            });
+        }
         modify_both(
             &self.tree,
             sr,
@@ -429,8 +682,19 @@ impl WhyNotEngine {
     }
 
     /// End-to-end convenience: compute the safe region and run MWQ.
+    /// With the cache enabled the full answer is memoised per
+    /// `(q, customer)` pair — safe here (unlike plain [`WhyNotEngine::mwq`])
+    /// because the safe region is known to be the full-RSL `SR(q)`.
     pub fn mwq_full(&self, id: ItemId, q: &Point) -> (Region, MwqAnswer) {
         let sr = self.safe_region(q);
+        if let Some(cache) = &self.cache {
+            let key = (CoordKey::of_point(q), id.0);
+            if let Some(ans) = cache.get_mwq(&key) {
+                return (sr, (*ans).clone());
+            }
+            let ans = self.mwq(id, q, &sr);
+            return (sr, (*cache.put_mwq(key, ans)).clone());
+        }
         let ans = self.mwq(id, q, &sr);
         (sr, ans)
     }
@@ -438,6 +702,72 @@ impl WhyNotEngine {
     /// The cheapest MWP candidate for `id` (helper for evaluations).
     pub fn mwp_best(&self, id: ItemId, q: &Point) -> Candidate {
         self.mwp(id, q).best().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Batch answering
+    // ------------------------------------------------------------------
+
+    /// Answers Aspect 1 for many customers against one query product,
+    /// fanning out across the engine's [`Parallelism`] policy. With the
+    /// cache enabled each `(q, customer)` culprit window is memoised;
+    /// without it, per-chunk scratch keeps the loop allocation-light.
+    pub fn explain_batch(&self, ids: &[ItemId], q: &Point) -> Vec<Explanation> {
+        if let Some(cache) = &self.cache {
+            return map_slice(ids, &self.parallelism, |&id| {
+                let _span = wnrs_obs::span!("explain");
+                let lambda = self.lambda_for(cache, id, q);
+                Explanation {
+                    culprits: (*lambda).clone(),
+                }
+            });
+        }
+        map_range_chunked(ids.len(), &self.parallelism, |range| {
+            let mut scratch = WindowScratch::new();
+            let mut out: Vec<(ItemId, Point)> = Vec::new();
+            let mut chunk = Vec::with_capacity(range.len());
+            for i in range {
+                let _span = wnrs_obs::span!("explain");
+                let id = ids[i];
+                window_query_into(
+                    &self.tree,
+                    self.point(id),
+                    q,
+                    Some(id),
+                    &mut scratch,
+                    &mut out,
+                );
+                chunk.push(Explanation {
+                    culprits: out.clone(),
+                });
+            }
+            chunk
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Answers MWQ for many customers against one query product: the
+    /// safe region is computed once (the paper's headline reuse) and the
+    /// per-customer answers fan out across the engine's [`Parallelism`]
+    /// policy. With the cache enabled, full answers are memoised per
+    /// `(q, customer)` pair exactly as in [`WhyNotEngine::mwq_full`].
+    pub fn mwq_batch(&self, ids: &[ItemId], q: &Point) -> (Region, Vec<(ItemId, MwqAnswer)>) {
+        let sr = self.safe_region(q);
+        let answers = if let Some(cache) = &self.cache {
+            map_slice(ids, &self.parallelism, |&id| {
+                let key = (CoordKey::of_point(q), id.0);
+                if let Some(ans) = cache.get_mwq(&key) {
+                    return (id, (*ans).clone());
+                }
+                let ans = self.mwq(id, q, &sr);
+                (id, (*cache.put_mwq(key, ans)).clone())
+            })
+        } else {
+            map_slice(ids, &self.parallelism, |&id| (id, self.mwq(id, q, &sr)))
+        };
+        (sr, answers)
     }
 }
 
@@ -546,6 +876,71 @@ mod tests {
                 .point(ItemId(i))
                 .same_location(rebuilt.point(ItemId(i))));
         }
+    }
+
+    #[test]
+    fn from_tree_matches_fresh_engine_after_persist_round_trip() {
+        // Regression for the id-scatter rebuild: a tree reloaded from
+        // pages yields items in storage order, not id order, and the
+        // rebuilt engine must still index every point under its
+        // original id.
+        let pts = vec![
+            Point::xy(5.0, 30.0),
+            Point::xy(7.5, 42.0),
+            Point::xy(2.5, 70.0),
+            Point::xy(7.5, 90.0),
+            Point::xy(24.0, 20.0),
+            Point::xy(20.0, 50.0),
+            Point::xy(26.0, 70.0),
+            Point::xy(16.0, 80.0),
+        ];
+        let fresh = WhyNotEngine::with_config(pts.clone(), RTreeConfig::with_max_entries(4));
+        let pager = wnrs_storage::MemPager::new(wnrs_storage::PAPER_PAGE_SIZE);
+        let meta = wnrs_rtree::persist::save(fresh.tree(), &pager).expect("save");
+        let tree = wnrs_rtree::persist::load(&pager, meta).expect("load");
+        let rebuilt = WhyNotEngine::from_tree(tree);
+        for (i, p) in pts.iter().enumerate() {
+            assert!(
+                rebuilt.point(ItemId(i as u32)).same_location(p),
+                "point #{i} lost its id through the persist round trip"
+            );
+        }
+        let q = Point::xy(8.5, 55.0);
+        let a: Vec<u32> = fresh
+            .reverse_skyline(&q)
+            .iter()
+            .map(|(id, _)| id.0)
+            .collect();
+        let b: Vec<u32> = rebuilt
+            .reverse_skyline(&q)
+            .iter()
+            .map(|(id, _)| id.0)
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(
+            format!("{:?}", fresh.mwq_full(ItemId(0), &q)),
+            format!("{:?}", rebuilt.mwq_full(ItemId(0), &q))
+        );
+    }
+
+    #[test]
+    fn insert_delete_round_trip() {
+        let mut e = engine();
+        let q = Point::xy(8.5, 55.0);
+        let before = e.explain(ItemId(0), &q).culprits.len();
+        let id = e.insert(Point::xy(6.5, 44.0));
+        assert_eq!(id, ItemId(8));
+        assert_eq!(e.live_len(), 9);
+        assert!(e.is_live(id));
+        assert_eq!(e.explain(ItemId(0), &q).culprits.len(), before + 1);
+        assert!(e.delete(id));
+        assert!(!e.is_live(id), "tombstoned");
+        assert!(!e.delete(id), "double delete is a no-op");
+        assert_eq!(e.live_len(), 8);
+        assert_eq!(e.len(), 9, "id space keeps the tombstone addressable");
+        assert_eq!(e.explain(ItemId(0), &q).culprits.len(), before);
+        // The tombstoned customer can still ask why-not questions.
+        assert!(e.mwp(id, &q).best_cost() >= 0.0);
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //!   Algorithm 1 against the best safe corner, minimising Eqn (11).
 //!
 //! [`engine::WhyNotEngine`] packages the dataset, index, cost model and
-//! all of the above behind one façade.
+//! all of the above behind one façade. Under repeated why-not traffic,
+//! [`mod@cache`] adds an optional versioned cross-query reuse layer
+//! (memoised dynamic skylines, anti-DDRs, reverse skylines, safe
+//! regions and culprit windows) plus batch entry points
+//! ([`engine::WhyNotEngine::explain_batch`] /
+//! [`engine::WhyNotEngine::mwq_batch`]); dataset mutations invalidate
+//! it atomically via a generation counter.
 //!
 //! ## Boundary convention
 //!
@@ -36,6 +42,7 @@
 
 pub mod answer;
 pub mod approx_store_persist;
+pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod eval;
@@ -48,16 +55,17 @@ pub mod safe_region;
 pub mod verify;
 
 pub use answer::Candidate;
+pub use cache::{CacheConfig, CacheStats, EngineCache};
 pub use engine::WhyNotEngine;
 pub use error::{EngineError, WnrsError};
 pub use eval::score_all_batch;
 pub use explain::{explain, Explanation};
 pub use flexible::{expand_safe_region, mwq_batch, truncate_safe_region, ExpandedSafeRegion};
-pub use mqp::{modify_query_point, MqpAnswer};
-pub use mwp::{modify_why_not_point, MwpAnswer};
-pub use mwq::{modify_both, MwqAnswer, MwqCase};
+pub use mqp::{modify_query_point, modify_query_point_with_lambda, MqpAnswer};
+pub use mwp::{modify_why_not_point, modify_why_not_point_with_lambda, MwpAnswer};
+pub use mwq::{modify_both, modify_both_parts, MwqAnswer, MwqCase};
 pub use safe_region::{
-    approx_safe_region, approx_safe_region_with, exact_safe_region, exact_safe_region_with,
-    ApproxDslStore,
+    anti_ddr_from_dsl, approx_safe_region, approx_safe_region_with, exact_safe_region,
+    exact_safe_region_with, ApproxDslStore,
 };
 pub use wnrs_geometry::parallel::Parallelism;

@@ -63,10 +63,25 @@ pub fn modify_query_point(
     cost: &CostModel,
     eps: f64,
 ) -> MqpAnswer {
-    assert_eq!(c_t.dim(), q.dim(), "dimensionality mismatch");
     let _span = wnrs_obs::span!("mqp");
-    let d = c_t.dim();
     let lambda = window_query(products, c_t, q, exclude);
+    modify_query_point_with_lambda(products, c_t, q, &lambda, exclude, cost, eps)
+}
+
+/// As [`modify_query_point`] against a precomputed culprit window
+/// `Λ = window_query(c_t, q)` (shared with `explain`/MWP by the
+/// cross-query cache). The index is still needed for verification.
+pub fn modify_query_point_with_lambda(
+    products: &RTree,
+    c_t: &Point,
+    q: &Point,
+    lambda: &[(ItemId, Point)],
+    exclude: Option<ItemId>,
+    cost: &CostModel,
+    eps: f64,
+) -> MqpAnswer {
+    assert_eq!(c_t.dim(), q.dim(), "dimensionality mismatch");
+    let d = c_t.dim();
     if lambda.is_empty() {
         return MqpAnswer {
             candidates: vec![Candidate {

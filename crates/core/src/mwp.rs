@@ -91,10 +91,26 @@ pub fn modify_why_not_point(
     cost: &CostModel,
     eps: f64,
 ) -> MwpAnswer {
-    assert_eq!(c_t.dim(), q.dim(), "dimensionality mismatch");
     let _span = wnrs_obs::span!("mwp");
-    let d = c_t.dim();
     let lambda = window_query(products, c_t, q, exclude);
+    modify_why_not_point_with_lambda(products, c_t, q, &lambda, exclude, cost, eps)
+}
+
+/// As [`modify_why_not_point`] against a precomputed culprit window
+/// `Λ = window_query(c_t, q)` (the cross-query cache shares one window
+/// result between `explain`, MWP and MQP). The index is still needed
+/// for candidate verification.
+pub fn modify_why_not_point_with_lambda(
+    products: &RTree,
+    c_t: &Point,
+    q: &Point,
+    lambda: &[(ItemId, Point)],
+    exclude: Option<ItemId>,
+    cost: &CostModel,
+    eps: f64,
+) -> MwpAnswer {
+    assert_eq!(c_t.dim(), q.dim(), "dimensionality mismatch");
+    let d = c_t.dim();
     if lambda.is_empty() {
         return MwpAnswer {
             candidates: vec![Candidate {

@@ -12,7 +12,7 @@
 //!   minimising the Eqn (11) cost `Σ β_i |c_t^i − c_t*^i|`.
 
 use crate::answer::Candidate;
-use crate::mwp::modify_why_not_point;
+use crate::mwp::{modify_why_not_point, MwpAnswer};
 use crate::safe_region::anti_ddr_of;
 use wnrs_geometry::{cmp_f64, dominates_dyn, CostModel, Point, Rect, Region};
 use wnrs_rtree::{ItemId, RTree};
@@ -57,6 +57,33 @@ pub fn modify_both(
     eps: f64,
 ) -> MwqAnswer {
     let _span = wnrs_obs::span!("mwq");
+    // Both the anti-dominance region and the safe region are *closed*
+    // representations whose outer boundaries contain tie points: a query
+    // point placed exactly there can still be weakly dominated (losing
+    // c_t's admission) or can lose an existing member. Shrinking both by
+    // the verification ε restricts the search to their strictly-valid
+    // interiors, so every returned q* is strictly safe — not merely a
+    // limit point.
+    let addr = anti_ddr_of(products, c_t, exclude, universe, eps);
+    modify_both_parts(sr, c_t, q, cost, &addr, eps, |at| {
+        modify_why_not_point(products, c_t, at, exclude, cost, eps)
+    })
+}
+
+/// The index-free core of Algorithm 4, parameterised over a
+/// precomputed (ε-shrunk) anti-DDR of `c_t` and an MWP oracle
+/// `mwp_at(q*)` that repairs `c_t` against a candidate query position.
+/// The cross-query cache calls this with memoised inputs; the plain
+/// path above wires the live computations in.
+pub fn modify_both_parts(
+    sr: &Region,
+    c_t: &Point,
+    q: &Point,
+    cost: &CostModel,
+    addr: &Region,
+    eps: f64,
+    mwp_at: impl Fn(&Point) -> MwpAnswer,
+) -> MwqAnswer {
     // The exact safe region always contains q; an *approximate* safe
     // region can miss it entirely (Fig. 16) — fall back to "q stays
     // put", which is trivially safe.
@@ -67,16 +94,8 @@ pub fn modify_both(
     } else {
         sr
     };
-    // Both the anti-dominance region and the safe region are *closed*
-    // representations whose outer boundaries contain tie points: a query
-    // point placed exactly there can still be weakly dominated (losing
-    // c_t's admission) or can lose an existing member. Shrinking both by
-    // the verification ε restricts the search to their strictly-valid
-    // interiors, so every returned q* is strictly safe — not merely a
-    // limit point.
-    let addr = anti_ddr_of(products, c_t, exclude, universe, eps);
     let sr_strict = sr.shrink(eps);
-    let overlap = sr_strict.intersect(&addr);
+    let overlap = sr_strict.intersect(addr);
 
     if !overlap.is_empty() {
         // Case C1 (steps 1–6): q moves to the nearest point of the
@@ -132,13 +151,13 @@ pub fn modify_both(
     // contain q — and guarantees cost(MWQ) ≤ cost(MWP), the property the
     // paper observes throughout Tables III–VI. Seeding `best` with it
     // also makes the search total: no corner set is ever empty.
-    let stay_put = modify_why_not_point(products, c_t, q, exclude, cost, eps);
+    let stay_put = mwp_at(q);
     let mut best: (Point, Candidate) = (q.clone(), stay_put.best().clone());
     for corner in corners {
         if corner.same_location(q) {
             continue;
         }
-        let ans = modify_why_not_point(products, c_t, &corner, exclude, cost, eps);
+        let ans = mwp_at(&corner);
         let cand = ans.best().clone();
         if cand.cost < best.1.cost {
             best = (corner, cand);

@@ -38,9 +38,24 @@ pub fn anti_ddr_of(
     universe: &Rect,
     shrink: f64,
 ) -> Region {
-    assert!(shrink >= 0.0, "shrink must be non-negative");
     let _span = wnrs_obs::span!("anti_ddr");
     let dsl = bbs_dynamic_skyline_excluding(products, c, exclude);
+    anti_ddr_from_dsl(c, &dsl, universe, shrink)
+}
+
+/// As [`anti_ddr_of`] from an already-computed dynamic skyline of `c`
+/// (original-space points, as returned by
+/// [`wnrs_skyline::bbs_dynamic_skyline_excluding`]). The dynamic
+/// skyline itself does not depend on `universe` or `shrink`, so the
+/// cross-query cache stores it once per customer and re-derives the
+/// anti-DDR here for whatever universe the current query implies.
+pub fn anti_ddr_from_dsl(
+    c: &Point,
+    dsl: &[(ItemId, Point)],
+    universe: &Rect,
+    shrink: f64,
+) -> Region {
+    assert!(shrink >= 0.0, "shrink must be non-negative");
     let dsl_t: Vec<Point> = dsl.iter().map(|(_, p)| p.abs_diff(c)).collect();
     let maxd = max_dist(c, universe);
     let mut region_t = anti_ddr(&dsl_t, &maxd);
@@ -162,6 +177,37 @@ pub struct ApproxDslStore {
     coords: Vec<f64>,
     /// Prefix offsets in points, length `len + 1`.
     offsets: Vec<u32>,
+    /// Content hash over `(k, dim, offsets, coords)`; two stores with
+    /// the same fingerprint hold the same samples (up to the
+    /// astronomically unlikely 64-bit collision). The cross-query cache
+    /// keys approximate safe regions by this.
+    fingerprint: u64,
+}
+
+/// FNV-1a over the store's defining content. `f64` coordinates hash by
+/// bit pattern with `-0.0` normalised to `+0.0` (matching
+/// [`wnrs_geometry::f64_key`]), so numerically equal stores fingerprint
+/// equally.
+fn store_fingerprint(k: usize, dim: usize, coords: &[f64], offsets: &[u32]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(k as u64);
+    mix(dim as u64);
+    mix(offsets.len() as u64);
+    for &o in offsets {
+        mix(u64::from(o));
+    }
+    for &v in coords {
+        mix(wnrs_geometry::f64_key(v));
+    }
+    h
 }
 
 impl ApproxDslStore {
@@ -232,17 +278,24 @@ impl ApproxDslStore {
                 offsets.push(total);
             }
         }
+        let fingerprint = store_fingerprint(k, dim, &coords, &offsets);
         Self {
             k,
             dim,
             coords,
             offsets,
+            fingerprint,
         }
     }
 
     /// The configured sample size.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// The store's content fingerprint (see the field docs).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The dimensionality of the stored sample points.
@@ -301,11 +354,13 @@ impl ApproxDslStore {
             total += sample.len() as u32;
             offsets.push(total);
         }
+        let fingerprint = store_fingerprint(k, dim, &coords, &offsets);
         Self {
             k,
             dim,
             coords,
             offsets,
+            fingerprint,
         }
     }
 

@@ -28,4 +28,4 @@ pub mod workload;
 
 pub use cardb::cardb;
 pub use synthetic::{anticorrelated, clustered, correlated, uniform};
-pub use workload::{select_why_not, QueryWorkload, WorkloadQuery};
+pub use workload::{select_why_not, BatchQuestion, QueryWorkload, RepeatedWorkload, WorkloadQuery};

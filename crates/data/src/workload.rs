@@ -87,6 +87,129 @@ impl QueryWorkload {
     }
 }
 
+/// One batch why-not question: a query product plus the why-not
+/// customers asked against it (the paper's `W` why-not points per
+/// query).
+#[derive(Debug, Clone)]
+pub struct BatchQuestion {
+    /// The query product.
+    pub q: Point,
+    /// The why-not customers (dataset ids outside `RSL(q)`).
+    pub whynot: Vec<ItemId>,
+}
+
+/// A repeated/mixed stream of batch why-not questions, modelling heavy
+/// production traffic for the cross-query cache benchmarks: a busy
+/// product page keeps answering why-not questions against the *same*
+/// query product, interleaved with one-off queries from elsewhere.
+#[derive(Debug, Clone, Default)]
+pub struct RepeatedWorkload {
+    /// The question stream, in arrival order.
+    pub questions: Vec<BatchQuestion>,
+}
+
+impl RepeatedWorkload {
+    /// Builds a repeated workload: `distinct` query products (perturbed
+    /// copies of random data points), each carrying `whynot_per_query`
+    /// why-not customers, emitted `repeats` times in round-robin order —
+    /// so consecutive questions never share a query point, but every
+    /// point recurs `repeats` times across the stream.
+    #[must_use]
+    pub fn repeated<R: Rng + ?Sized>(
+        tree: &RTree,
+        points: &[Point],
+        distinct: usize,
+        repeats: usize,
+        whynot_per_query: usize,
+        rng: &mut R,
+    ) -> Self {
+        let base = Self::distinct_questions(tree, points, distinct, whynot_per_query, rng);
+        let mut questions = Vec::with_capacity(base.len() * repeats);
+        for _ in 0..repeats {
+            questions.extend(base.iter().cloned());
+        }
+        Self { questions }
+    }
+
+    /// Builds a mixed workload: the repeated stream of
+    /// [`RepeatedWorkload::repeated`] with `fresh` additional one-off
+    /// query products spliced in at even intervals (cache misses that
+    /// never amortise — the adversarial component of the mix).
+    #[must_use]
+    pub fn mixed<R: Rng + ?Sized>(
+        tree: &RTree,
+        points: &[Point],
+        distinct: usize,
+        repeats: usize,
+        fresh: usize,
+        whynot_per_query: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut stream = Self::repeated(tree, points, distinct, repeats, whynot_per_query, rng);
+        let singles = Self::distinct_questions(tree, points, fresh, whynot_per_query, rng);
+        let stride = stream.questions.len() / (singles.len() + 1).max(1) + 1;
+        for (i, single) in singles.into_iter().enumerate() {
+            let at = ((i + 1) * stride).min(stream.questions.len());
+            stream.questions.insert(at, single);
+        }
+        stream
+    }
+
+    fn distinct_questions<R: Rng + ?Sized>(
+        tree: &RTree,
+        points: &[Point],
+        count: usize,
+        whynot_per_query: usize,
+        rng: &mut R,
+    ) -> Vec<BatchQuestion> {
+        assert!(!points.is_empty(), "workload needs data");
+        let d = points[0].dim();
+        let bounds = wnrs_geometry::Rect::bounding(points);
+        let scale: Vec<f64> = (0..d).map(|i| bounds.extent(i) * 0.05).collect();
+        let mut questions = Vec::with_capacity(count);
+        while questions.len() < count {
+            let base = &points[rng.gen_range(0..points.len())];
+            let q = Point::new(
+                (0..d)
+                    .map(|i| base[i] + (rng.gen::<f64>() - 0.5) * scale[i])
+                    .collect::<Vec<_>>(),
+            );
+            let rsl = bbrs_reverse_skyline(tree, &q);
+            if rsl.len() >= points.len() {
+                continue;
+            }
+            let mut whynot = Vec::with_capacity(whynot_per_query);
+            let mut seen = std::collections::HashSet::new();
+            while whynot.len() < whynot_per_query {
+                let Some(id) = select_why_not(points, &rsl, rng) else {
+                    break;
+                };
+                // Prefer distinct customers; allow repeats only once
+                // every non-member is already in the question.
+                let exhausted = seen.len() + rsl.len() >= points.len();
+                if seen.insert(id.0) || exhausted {
+                    whynot.push(id);
+                }
+            }
+            if whynot.is_empty() {
+                continue;
+            }
+            questions.push(BatchQuestion { q, whynot });
+        }
+        questions
+    }
+
+    /// Number of questions in the stream.
+    pub fn len(&self) -> usize {
+        self.questions.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.questions.is_empty()
+    }
+}
+
 /// Picks a random why-not point for `q`: a data point that is *not* in
 /// the reverse skyline (the paper's selection). Returns `None` if every
 /// point is a member (degenerate tiny datasets).
@@ -151,6 +274,44 @@ mod tests {
             let id = select_why_not(&pts, &query.rsl, &mut rng).expect("non-member exists");
             assert!(!query.rsl.iter().any(|(m, _)| *m == id));
         }
+    }
+
+    #[test]
+    fn repeated_workload_round_robins_distinct_queries() {
+        let pts = dataset();
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = RepeatedWorkload::repeated(&tree, &pts, 3, 4, 8, &mut rng);
+        assert_eq!(w.len(), 12);
+        for (i, question) in w.questions.iter().enumerate() {
+            assert_eq!(question.whynot.len(), 8);
+            // Round-robin: occurrence i repeats the question at i % 3.
+            let base = &w.questions[i % 3];
+            assert!(question.q.same_location(&base.q));
+            assert_eq!(question.whynot, base.whynot);
+            // Adjacent questions never share a query point.
+            if i > 0 {
+                assert!(!question.q.same_location(&w.questions[i - 1].q));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_workload_splices_fresh_queries() {
+        let pts = dataset();
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = RepeatedWorkload::mixed(&tree, &pts, 3, 4, 2, 8, &mut rng);
+        assert_eq!(w.len(), 14);
+        // Exactly two query points occur once; the rest occur 4 times.
+        let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        for question in &w.questions {
+            *counts.entry(format!("{}", question.q)).or_default() += 1;
+        }
+        let singles = counts.values().filter(|&&c| c == 1).count();
+        let repeated = counts.values().filter(|&&c| c == 4).count();
+        assert_eq!(singles, 2);
+        assert_eq!(repeated, 3);
     }
 
     #[test]

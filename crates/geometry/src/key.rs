@@ -1,0 +1,98 @@
+//! Bit-pattern hashing keys for finite `f64` coordinates.
+//!
+//! `f64` is neither `Eq` nor `Hash`, so cache maps keyed by points or
+//! rectangles need a stable bit-level key. [`f64_key`] collapses the
+//! two IEEE-754 zeros (`-0.0` and `+0.0` compare equal but differ in
+//! bit pattern) onto `+0.0` so that numerically identical coordinates
+//! always produce identical keys. NaN is not handled specially —
+//! [`crate::Point::new`] already rejects non-finite coordinates, so
+//! every coordinate that can reach a key is finite.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// The canonical bit pattern of a finite `f64`: `-0.0` maps to the bits
+/// of `+0.0`, everything else to its own bits. `-0.0 + 0.0 == +0.0`
+/// under IEEE-754 round-to-nearest, which makes the normalisation
+/// branch-free.
+#[must_use]
+#[inline]
+pub fn f64_key(v: f64) -> u64 {
+    (v + 0.0).to_bits()
+}
+
+/// A hashable identity key over a sequence of finite `f64` coordinates
+/// (a point, or a rectangle's `lo` then `hi` corner). Two keys are
+/// equal exactly when the underlying coordinates are numerically equal
+/// (with `-0.0 == +0.0`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CoordKey(Box<[u64]>);
+
+impl CoordKey {
+    /// Key of a single point.
+    #[must_use]
+    pub fn of_point(p: &Point) -> Self {
+        CoordKey(p.coords().iter().copied().map(f64_key).collect())
+    }
+
+    /// Key of a rectangle: the `lo` corner's bits followed by `hi`'s.
+    #[must_use]
+    pub fn of_rect(r: &Rect) -> Self {
+        CoordKey(
+            r.lo()
+                .coords()
+                .iter()
+                .chain(r.hi().coords().iter())
+                .copied()
+                .map(f64_key)
+                .collect(),
+        )
+    }
+
+    /// Number of `u64` words in the key.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key is empty (never true for points/rects, which
+    /// have at least one dimension).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_signs_collapse() {
+        assert_eq!(f64_key(-0.0), f64_key(0.0));
+        assert_eq!(
+            CoordKey::of_point(&Point::xy(-0.0, 1.0)),
+            CoordKey::of_point(&Point::xy(0.0, 1.0))
+        );
+    }
+
+    #[test]
+    fn distinct_values_distinct_keys() {
+        assert_ne!(f64_key(1.0), f64_key(1.0 + f64::EPSILON));
+        assert_ne!(
+            CoordKey::of_point(&Point::xy(1.0, 2.0)),
+            CoordKey::of_point(&Point::xy(2.0, 1.0))
+        );
+    }
+
+    #[test]
+    fn rect_key_covers_both_corners() {
+        let a = Rect::new(Point::xy(0.0, 0.0), Point::xy(1.0, 1.0));
+        let b = Rect::new(Point::xy(0.0, 0.0), Point::xy(1.0, 2.0));
+        let ka = CoordKey::of_rect(&a);
+        let kb = CoordKey::of_rect(&b);
+        assert_ne!(ka, kb);
+        assert_eq!(ka.len(), 4);
+        assert!(!ka.is_empty());
+    }
+}

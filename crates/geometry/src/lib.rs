@@ -16,6 +16,8 @@
 //!   anti-dominance regions and safe regions.
 //! * [`normalize`] — min–max normalisation (the paper's evaluation metric
 //!   space).
+//! * [`key`] — bit-pattern hashing keys ([`CoordKey`], [`f64_key`]) for
+//!   finite `f64` coordinates, used by the cross-query cache layer.
 //! * [`parallel`] — the [`Parallelism`] policy plus order-preserving
 //!   parallel map and tree-reduced region intersection, shared by every
 //!   multi-threaded code path in the workspace.
@@ -32,6 +34,7 @@
 
 pub mod cost;
 pub mod dominance;
+pub mod key;
 pub mod normalize;
 pub mod parallel;
 pub mod point;
@@ -43,6 +46,7 @@ pub mod transform;
 
 pub use cost::{CostModel, Weights};
 pub use dominance::{dominates, dominates_components, dominates_dyn, dominates_global, Dominance};
+pub use key::{f64_key, CoordKey};
 pub use normalize::MinMaxNormalizer;
 pub use parallel::Parallelism;
 pub use point::{abs_diff_into, cmp_f64, max_f64, min_f64, Point};

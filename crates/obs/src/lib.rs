@@ -74,11 +74,21 @@ pub enum Counter {
     WindowQueries = 4,
     /// Safe-region candidate boxes discarded by pruning/containment.
     SrBoxesPruned = 5,
+    /// Cross-query engine-cache lookups served from the cache.
+    CacheHits = 6,
+    /// Cross-query engine-cache lookups that had to compute.
+    CacheMisses = 7,
+    /// Engine-cache generation bumps (dataset insert/delete).
+    CacheInvalidations = 8,
+    /// Buffer-pool page reads served from a resident frame.
+    PoolHits = 9,
+    /// Buffer-pool page reads that went to the backing pager.
+    PoolMisses = 10,
 }
 
 impl Counter {
     /// Number of counters (array dimension for per-span attribution).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 11;
 
     /// The stable, export-facing name (snake_case; used as the JSON
     /// key and the Prometheus metric suffix).
@@ -91,6 +101,11 @@ impl Counter {
             Counter::Transforms => "transforms",
             Counter::WindowQueries => "window_queries",
             Counter::SrBoxesPruned => "sr_boxes_pruned",
+            Counter::CacheHits => "engine_cache_hits",
+            Counter::CacheMisses => "engine_cache_misses",
+            Counter::CacheInvalidations => "engine_cache_invalidations",
+            Counter::PoolHits => "pool_page_hits",
+            Counter::PoolMisses => "pool_page_misses",
         }
     }
 
@@ -104,6 +119,11 @@ impl Counter {
             Counter::Transforms,
             Counter::WindowQueries,
             Counter::SrBoxesPruned,
+            Counter::CacheHits,
+            Counter::CacheMisses,
+            Counter::CacheInvalidations,
+            Counter::PoolHits,
+            Counter::PoolMisses,
         ]
     }
 }

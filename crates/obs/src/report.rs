@@ -8,8 +8,9 @@
 //! Two export formats:
 //!
 //! * [`Report::to_json`] — a stable, hand-rendered JSON document
-//!   (schema `wnrs-obs-v1`, pinned by the golden-file test in
-//!   `crates/obs/tests/golden_report.rs`);
+//!   (schema `wnrs-obs-v2`, pinned by the golden-file test in
+//!   `crates/obs/tests/golden_report.rs`; v1 → v2 added the engine-cache
+//!   and buffer-pool counters);
 //! * [`Report::to_prometheus`] — Prometheus text exposition format
 //!   (counters plus one `_bucket`/`_sum`/`_count` histogram family).
 
@@ -18,7 +19,7 @@ use crate::Counter;
 
 /// Schema identifier written into every JSON export. Bump only with a
 /// matching golden-file update; downstream tooling keys off this.
-pub const JSON_SCHEMA: &str = "wnrs-obs-v1";
+pub const JSON_SCHEMA: &str = "wnrs-obs-v2";
 
 /// One global counter's value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -267,7 +268,7 @@ mod tests {
         let r = Report::empty(false);
         assert_eq!(r.counters.len(), Counter::all().len());
         let json = r.to_json();
-        assert!(json.contains("\"schema\": \"wnrs-obs-v1\""));
+        assert!(json.contains("\"schema\": \"wnrs-obs-v2\""));
         assert!(json.contains("\"obs_compiled\": false"));
         for c in Counter::all() {
             assert!(json.contains(c.name()), "missing {}", c.name());

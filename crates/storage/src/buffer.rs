@@ -86,10 +86,12 @@ impl<P: Pager> BufferPool<P> {
         let clock = st.clock;
         if let Some(frame) = st.frames.get_mut(&id) {
             frame.last_used = clock;
+            wnrs_obs::record(wnrs_obs::Counter::PoolHits);
             return Ok(frame.page.clone());
         }
         drop(st);
         // Miss: fetch outside the map borrow, then install.
+        wnrs_obs::record(wnrs_obs::Counter::PoolMisses);
         self.stats.record_physical_read();
         let page = self.pager.read_page(id)?;
         let mut st = self.state.lock();
@@ -213,6 +215,31 @@ mod tests {
         assert_eq!(pool.stats().physical_reads(), 1);
         let hit_rate = pool.stats().hit_rate().expect("reads happened");
         assert!((hit_rate - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// The pool reports page traffic into the global observability
+    /// registry. Counters are process-wide and other tests read pages
+    /// concurrently, so only monotonic growth is asserted.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn reads_record_global_pool_counters() {
+        use wnrs_obs::Counter;
+        wnrs_obs::set_enabled(true);
+        let pool = pool(4);
+        let id = pool.allocate();
+        pool.pager().write_page(id, &page_with(3)).unwrap();
+        let hits = wnrs_obs::counter_value(Counter::PoolHits);
+        let misses = wnrs_obs::counter_value(Counter::PoolMisses);
+        pool.read(id).unwrap();
+        pool.read(id).unwrap();
+        assert!(
+            wnrs_obs::counter_value(Counter::PoolMisses) > misses,
+            "first read must record a pool miss"
+        );
+        assert!(
+            wnrs_obs::counter_value(Counter::PoolHits) > hits,
+            "second read must record a pool hit"
+        );
     }
 
     #[test]

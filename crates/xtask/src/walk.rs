@@ -27,10 +27,11 @@ const HOT_PATHS: [&str; 4] = [
 /// their inner loops run once per customer (or per tree node) and must
 /// not produce per-element heap traffic. Cold setup paths use the
 /// `lint:allow(hot_path_alloc)` escape.
-const ALLOC_HOT_PATHS: [&str; 3] = [
+const ALLOC_HOT_PATHS: [&str; 4] = [
     "crates/skyline/src/bbs.rs",
     "crates/rtree/src/query.rs",
     "crates/geometry/src/dominance.rs",
+    "crates/core/src/cache.rs",
 ];
 
 /// The NaN-validated float boundary: the one file allowed to use raw
@@ -124,6 +125,7 @@ mod tests {
         assert!(classify("crates/skyline/src/bbs.rs").alloc_hot_path);
         assert!(classify("crates/rtree/src/query.rs").alloc_hot_path);
         assert!(classify("crates/geometry/src/dominance.rs").alloc_hot_path);
+        assert!(classify("crates/core/src/cache.rs").alloc_hot_path);
         assert!(!classify("crates/skyline/src/approx.rs").alloc_hot_path);
         assert!(classify("crates/geometry/src/point.rs").float_boundary);
     }

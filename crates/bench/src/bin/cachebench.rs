@@ -1,12 +1,12 @@
-//! Measures the cross-query cache on repeated and mixed why-not
-//! workloads and writes the `BENCH_whynot_cache.json` summary at the
-//! repository root.
+//! Measures the cross-query cache on repeated, mixed and write-mixed
+//! why-not workloads and writes the `BENCH_whynot_cache.json` summary
+//! at the repository root.
 //!
 //! ```text
-//! cargo run --release -p wnrs-bench --bin cachebench [-- --smoke]
+//! cargo run --release -p wnrs-bench --bin cachebench [-- --smoke] [-- --write-mix]
 //! ```
 //!
-//! The workload models heavy production traffic (see
+//! The read-only workloads model heavy production traffic (see
 //! `wnrs_data::workload::RepeatedWorkload`): a handful of busy query
 //! products each answer `W = 64` why-not questions per arrival and
 //! recur throughout the stream, optionally mixed with one-off queries
@@ -16,23 +16,44 @@
 //! plus the cache's own hit/miss/eviction counters. Answers are
 //! asserted identical between the two engines as they stream.
 //!
-//! `--smoke` shrinks the dataset and stream for CI: same code path,
-//! seconds instead of minutes, no acceptance bar, and no JSON write
-//! (the committed summary stays a full-scale run).
+//! The write-mix battery (`wnrs_data::workload::WriteMixWorkload`)
+//! interleaves the repeated stream with 0% / 1% / 5% / 10% inserts and
+//! deletes and replays each stream twice — once with the cache in
+//! whole-flush invalidation mode, once with surgical (incremental)
+//! invalidation — against a plain reference engine that applies the
+//! same writes and cross-checks every answer outside the clock. The
+//! reference timing doubles as the uncached baseline.
+//!
+//! Flags:
+//!
+//! * `--smoke` shrinks the dataset and stream for CI: same code path,
+//!   seconds instead of minutes, no acceptance bars, and no JSON write
+//!   (the committed summary stays a full-scale run).
+//! * `--write-mix` runs *only* the write-mix battery (no JSON write) —
+//!   combined with `--smoke` this is the CI gate for the surgical
+//!   invalidation path.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 use wnrs_bench::{make_dataset, DatasetKind};
-use wnrs_core::WhyNotEngine;
-use wnrs_data::workload::RepeatedWorkload;
+use wnrs_core::{CacheConfig, InvalidationMode, WhyNotEngine};
+use wnrs_data::workload::{RepeatedWorkload, StreamOp, WriteMixWorkload};
 use wnrs_rtree::bulk::bulk_load;
-use wnrs_rtree::RTreeConfig;
+use wnrs_rtree::{ItemId, RTreeConfig};
 
 const SEED: u64 = 20_130_408;
 
 /// Why-not questions per query product (the paper's `W`).
 const W: usize = 64;
+
+/// The write-mix battery fractions and their case labels.
+const WRITE_MIXES: [(f64, &str); 4] = [
+    (0.0, "write_mix_0pct"),
+    (0.01, "write_mix_1pct"),
+    (0.05, "write_mix_5pct"),
+    (0.10, "write_mix_10pct"),
+];
 
 struct Case {
     workload: &'static str,
@@ -47,11 +68,12 @@ struct Case {
 fn main() {
     let obs = wnrs_bench::ObsSession::from_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
-    run(smoke);
+    let write_mix_only = std::env::args().any(|a| a == "--write-mix");
+    run(smoke, write_mix_only);
     obs.finish();
 }
 
-fn run(smoke: bool) {
+fn run(smoke: bool, write_mix_only: bool) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -68,49 +90,197 @@ fn run(smoke: bool) {
 
     let points = make_dataset(DatasetKind::CarDb, n, SEED);
     let tree = bulk_load(&points, RTreeConfig::paper_default(2));
-    let plain = WhyNotEngine::new(points.clone());
-
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let repeated = RepeatedWorkload::repeated(&tree, &points, distinct, repeats, W, &mut rng);
-    let mixed = RepeatedWorkload::mixed(&tree, &points, distinct, repeats, fresh, W, &mut rng);
 
     let mut cases: Vec<Case> = Vec::new();
-    for (name, workload) in [("repeated", &repeated), ("mixed", &mixed)] {
-        // A fresh cached engine per workload keeps the recorded
-        // hit/miss statistics per-case rather than cumulative.
-        let cached = WhyNotEngine::new(points.clone()).with_cache();
-        println!("== {name} workload: {} questions ==", workload.len());
-        let uncached_secs = drive(&plain, workload, &mut cases, name, "uncached", n, None);
-        let cached_secs = drive(
-            &cached,
-            workload,
-            &mut cases,
-            name,
-            "cached",
-            n,
-            Some(&plain),
-        );
-        println!(
-            "  uncached {uncached_secs:.3} s, cached {cached_secs:.3} s -> {:.2}x",
-            uncached_secs / cached_secs
-        );
+
+    if !write_mix_only {
+        let plain = WhyNotEngine::new(points.clone());
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let repeated = RepeatedWorkload::repeated(&tree, &points, distinct, repeats, W, &mut rng);
+        let mixed = RepeatedWorkload::mixed(&tree, &points, distinct, repeats, fresh, W, &mut rng);
+        for (name, workload) in [("repeated", &repeated), ("mixed", &mixed)] {
+            // A fresh cached engine per workload keeps the recorded
+            // hit/miss statistics per-case rather than cumulative.
+            let cached = WhyNotEngine::new(points.clone()).with_cache();
+            println!("== {name} workload: {} questions ==", workload.len());
+            let uncached_secs = drive(&plain, workload, &mut cases, name, "uncached", n, None);
+            let cached_secs = drive(
+                &cached,
+                workload,
+                &mut cases,
+                name,
+                "cached",
+                n,
+                Some(&plain),
+            );
+            println!(
+                "  uncached {uncached_secs:.3} s, cached {cached_secs:.3} s -> {:.2}x",
+                uncached_secs / cached_secs
+            );
+        }
     }
 
-    // Smoke runs exercise the code path but must not clobber the
-    // recorded full-scale summary.
-    if smoke {
-        println!("[smoke: skipping BENCH_whynot_cache.json]");
+    write_mix_battery(smoke, n, &points, &tree, &mut cases);
+
+    // Smoke runs (and the focused --write-mix gate) exercise the code
+    // path but must not clobber the recorded full-scale summary.
+    if smoke || write_mix_only {
+        println!("[skipping BENCH_whynot_cache.json]");
     } else {
         write_summary(&cases, cores);
     }
 
     if !smoke {
-        let repeated_speedup = speedup(&cases, "repeated");
-        assert!(
-            repeated_speedup >= 5.0,
-            "acceptance: repeated-workload speedup {repeated_speedup:.2}x is below the 5x bar"
-        );
+        if !write_mix_only {
+            let repeated_speedup = speedup(&cases, "repeated");
+            assert!(
+                repeated_speedup >= 5.0,
+                "acceptance: repeated-workload speedup {repeated_speedup:.2}x is below the 5x bar"
+            );
+        }
+        let bar = |workload: &str, min_rate: f64| {
+            let rate = cases
+                .iter()
+                .find(|c| c.workload == workload && c.mode == "cached_incremental")
+                .and_then(|c| c.stats.as_ref())
+                .map(|s| s.hit_rate())
+                .unwrap_or(0.0);
+            assert!(
+                rate >= min_rate,
+                "acceptance: {workload} incremental hit rate {:.1}% is below the {:.0}% bar",
+                rate * 100.0,
+                min_rate * 100.0
+            );
+        };
+        bar("write_mix_1pct", 0.60);
+        bar("write_mix_10pct", 0.40);
     }
+}
+
+/// Runs every write-mix fraction through the cache in flush and
+/// incremental invalidation modes, recording an uncached baseline case
+/// (the reference engine's timing) per fraction.
+fn write_mix_battery(
+    smoke: bool,
+    n: usize,
+    points: &[wnrs_geometry::Point],
+    tree: &wnrs_rtree::RTree,
+    cases: &mut Vec<Case>,
+) {
+    let (distinct, repeats) = if smoke { (2usize, 3usize) } else { (4, 8) };
+    for (fraction, name) in WRITE_MIXES {
+        let mut rng = StdRng::seed_from_u64(SEED ^ 0x77);
+        let base = RepeatedWorkload::repeated(tree, points, distinct, repeats, W, &mut rng);
+        let stream = WriteMixWorkload::from_questions(base.questions, points, fraction, &mut rng);
+        println!(
+            "== {name}: {} questions, {} writes ==",
+            stream.questions, stream.writes
+        );
+        for (mode, config) in [
+            (
+                "cached_flush",
+                CacheConfig {
+                    invalidation: InvalidationMode::Flush,
+                    ..CacheConfig::default()
+                },
+            ),
+            ("cached_incremental", CacheConfig::default()),
+        ] {
+            let mut cached = WhyNotEngine::new(points.to_vec()).with_cache_config(config);
+            let mut reference = WhyNotEngine::new(points.to_vec());
+            let (cached_secs, ref_secs, answers) = drive_ops(&mut cached, &mut reference, &stream);
+            let stats = cached.cache_stats();
+            if let Some(stats) = &stats {
+                println!(
+                    "  [{mode}] {cached_secs:.3} s vs uncached {ref_secs:.3} s ({:.2}x), \
+                     {:.1}% hit rate, {} partial / {} full invalidations",
+                    ref_secs / cached_secs,
+                    stats.hit_rate() * 100.0,
+                    stats.partial_invalidations,
+                    stats.full_flushes
+                );
+            }
+            // One uncached baseline per fraction (the flush pass's
+            // reference timing) keeps the JSON free of duplicates.
+            if mode == "cached_flush" {
+                cases.push(Case {
+                    workload: name,
+                    mode: "uncached",
+                    n,
+                    questions: stream.questions,
+                    answers,
+                    seconds: ref_secs,
+                    stats: None,
+                });
+            }
+            cases.push(Case {
+                workload: name,
+                mode,
+                n,
+                questions: stream.questions,
+                answers,
+                seconds: cached_secs,
+                stats,
+            });
+        }
+    }
+}
+
+/// Replays a write-mixed stream on the cached engine and a plain
+/// reference engine in lockstep: questions are timed on each engine
+/// separately, writes are applied to both, and every answer is
+/// cross-checked outside both clocks. Returns `(cached_seconds,
+/// reference_seconds, answers)`.
+fn drive_ops(
+    cached: &mut WhyNotEngine,
+    reference: &mut WhyNotEngine,
+    stream: &WriteMixWorkload,
+) -> (f64, f64, usize) {
+    let mut cached_secs = 0.0f64;
+    let mut ref_secs = 0.0f64;
+    let mut answers = 0usize;
+    let mut inserted: Vec<ItemId> = Vec::new();
+    for op in &stream.ops {
+        match op {
+            StreamOp::Question(question) => {
+                let clock = Instant::now();
+                let explanations = cached.explain_batch(&question.whynot, &question.q);
+                let (sr, mwq) = cached.mwq_batch(&question.whynot, &question.q);
+                cached_secs += clock.elapsed().as_secs_f64();
+                answers += explanations.len() + mwq.len();
+                let clock = Instant::now();
+                let ref_explanations = reference.explain_batch(&question.whynot, &question.q);
+                let (ref_sr, ref_mwq) = reference.mwq_batch(&question.whynot, &question.q);
+                ref_secs += clock.elapsed().as_secs_f64();
+                assert_eq!(sr.len(), ref_sr.len(), "safe regions diverged");
+                for (a, b) in explanations.iter().zip(&ref_explanations) {
+                    assert_eq!(a.culprits.len(), b.culprits.len(), "explanations diverged");
+                }
+                for ((id_a, a), (id_b, b)) in mwq.iter().zip(&ref_mwq) {
+                    assert_eq!(id_a, id_b);
+                    assert!(
+                        (a.cost - b.cost).abs() < 1e-12,
+                        "mwq costs diverged for #{}: {} vs {}",
+                        id_a.0,
+                        a.cost,
+                        b.cost
+                    );
+                }
+            }
+            StreamOp::Insert(p) => {
+                let a = cached.insert(p.clone());
+                let b = reference.insert(p.clone());
+                assert_eq!(a, b, "engines assigned different ids");
+                inserted.push(a);
+            }
+            StreamOp::DeleteInserted(k) => {
+                let id = inserted[*k];
+                assert!(cached.delete(id), "cached delete missed");
+                assert!(reference.delete(id), "reference delete missed");
+            }
+        }
+    }
+    (cached_secs, ref_secs, answers)
 }
 
 /// Streams every question of `workload` through `engine`, checking each
@@ -198,12 +368,18 @@ fn write_summary(cases: &[Case], cores: usize) {
         .map(|c| {
             let stats = match &c.stats {
                 Some(s) => format!(
-                    ", \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"invalidations\": {}, \"evictions\": {} }}",
+                    ", \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"invalidations\": {}, \"evictions\": {}, \"partial_invalidations\": {}, \"full_flushes\": {}, \"dsl_evictions\": {}, \"addr_evictions\": {}, \"sr_evictions\": {}, \"mwq_evictions\": {} }}",
                     s.hits,
                     s.misses,
                     s.hit_rate(),
                     s.invalidations,
-                    s.evictions
+                    s.evictions,
+                    s.partial_invalidations,
+                    s.full_flushes,
+                    s.dsl_evictions,
+                    s.addr_evictions,
+                    s.sr_evictions,
+                    s.mwq_evictions
                 ),
                 None => String::new(),
             };
@@ -212,6 +388,13 @@ fn write_summary(cases: &[Case], cores: usize) {
                     ", \"speedup_vs_uncached\": {:.3}",
                     speedup(cases, c.workload)
                 )
+            } else if c.mode.starts_with("cached_") {
+                let uncached = cases
+                    .iter()
+                    .find(|u| u.workload == c.workload && u.mode == "uncached")
+                    .map(|u| u.seconds)
+                    .unwrap_or(f64::NAN);
+                format!(", \"speedup_vs_uncached\": {:.3}", uncached / c.seconds)
             } else {
                 String::new()
             };

@@ -446,6 +446,15 @@ fn profile(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
             stats.evictions,
             stats.generation
         );
+        println!(
+            "  writes:      {} surgical / {} full flush(es); evicted {} dsl, {} anti-ddr, {} safe-region, {} mwq entr(ies)",
+            stats.partial_invalidations,
+            stats.full_flushes,
+            stats.dsl_evictions,
+            stats.addr_evictions,
+            stats.sr_evictions,
+            stats.mwq_evictions
+        );
     }
     if !wnrs_obs::compiled() {
         println!("(built without --features obs: metrics report will be empty)");

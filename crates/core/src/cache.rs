@@ -24,13 +24,47 @@
 //! The cache is *versioned*: a monotonically increasing generation
 //! counter is bumped by every dataset mutation that goes through the
 //! engine ([`crate::WhyNotEngine::insert`] /
-//! [`crate::WhyNotEngine::delete`]). The bump and the eager flush of
-//! every map happen in one critical section under the state's write
-//! lock, and mutations require `&mut` access to the engine, so no
-//! concurrent reader can observe a pre-flush entry with a post-bump
-//! generation. As defence in depth every lookup still compares the
-//! entry state's generation against the counter and treats a mismatch
-//! as a miss — a stale entry can never be served even if a future
+//! [`crate::WhyNotEngine::delete`]). What happens to the maps depends
+//! on [`InvalidationMode`]:
+//!
+//! * [`InvalidationMode::Flush`] — the PR 5 behaviour: every map is
+//!   eagerly cleared in the same critical section as the bump.
+//! * [`InvalidationMode::Incremental`] (the default) — **surgical
+//!   invalidation**: the write of product `p` evicts only the entries
+//!   it can actually perturb, decided per map by exact dominance
+//!   tests against dependency metadata recorded at fill time:
+//!   `DSL(c)` falls on a delete of a member or an unshielded insert;
+//!   anti-DDRs fall with their customer; `Λ(anchor, c)` is *repaired
+//!   in place* — a window result changes under a write in exactly one
+//!   way, gaining `p` iff it dominates the anchor w.r.t. `c` or losing
+//!   the victim's tuple — so it is never evicted at all; `RSL(q)` falls iff a
+//!   member is dominated out, the write joins, or (on delete) a
+//!   customer the victim alone was shielding joins — an exact test,
+//!   since joiners are confined to the victim's own reverse skyline;
+//!   exact `SR(q)` falls iff a recorded
+//!   reverse-skyline dependency is affected; MWQ answers fall iff a
+//!   dependency is affected, the membership moved, or the write
+//!   touches the *cached optimum itself* — an insert that dominates
+//!   the recorded `q*` w.r.t. the repaired `c*` (making the repair
+//!   infeasible; a still-feasible optimum stays optimal because
+//!   inserts only add constraints), or a delete whose
+//!   [`wnrs_geometry::release_region`] against the safe region's
+//!   bounding box admits a repair at or below the cached cost
+//!   (deletes only remove constraints, so the optimum stands unless
+//!   the victim was blocking something at least as cheap). Tests the cache
+//!   cannot decide from metadata alone are delegated to the engine
+//!   through [`WriteProbes`] (one memoised window probe per
+//!   customer/query), and a per-write probe budget falls back to the
+//!   epoch flush so pathological writes stay cheap.
+//!
+//! Either way the bump and the evictions happen in one critical
+//! section under the state's write lock, and mutations require `&mut`
+//! access to the engine, so no concurrent reader can observe a
+//! pre-eviction entry with a post-bump generation. As defence in depth
+//! every lookup still compares the entry state's generation against
+//! the counter and treats a mismatch as a miss — a missed dependency
+//! edge can cost a stale *eviction decision* only in the conservative
+//! direction, and a stale entry can never be served even if a future
 //! refactor breaks the `&mut` exclusivity argument.
 //!
 //! ## Key scheme
@@ -41,7 +75,10 @@
 //! by construction, so NaN never reaches a key. Callers build the
 //! (allocating) keys once and pass them in: lookups borrow, fills take
 //! ownership, and this module — a designated allocation-free hot path —
-//! never clones a key or a value.
+//! never clones a key or a value on the *read* path. Surgical
+//! eviction walks the maps with `retain` under the write lock; the
+//! only write-path allocation is the copy-on-write repair of a
+//! culprit-window member list.
 //!
 //! ## Memory bounds
 //!
@@ -49,13 +86,15 @@
 //! epoch flush of that map (cheap, allocation-free bookkeeping versus
 //! per-entry LRU chains); the dropped entries are counted as evictions
 //! in [`CacheStats`]. Per-customer maps are additionally bounded by the
-//! dataset size in steady state.
+//! dataset size in steady state. Dependency metadata is a compact
+//! sorted `u32` id list plus one safe-region bounding rectangle per
+//! MWQ entry, bounded by the same capacities.
 
 use crate::mwq::MwqAnswer;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use wnrs_geometry::{CoordKey, Point, Region};
+use wnrs_geometry::{dominates_dyn, CoordKey, Point, Rect, Region};
 use wnrs_obs::Counter;
 use wnrs_rtree::ItemId;
 
@@ -77,8 +116,21 @@ pub type PairKey = (CoordKey, u32);
 /// fingerprint)` — see [`crate::ApproxDslStore::fingerprint`].
 pub type SrApproxKey = (CoordKey, u64);
 
-/// Capacity limits for the cache's maps. Overflowing a map flushes it
-/// (an "epoch flush"), counting the dropped entries as evictions.
+/// How the cache reacts to dataset writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InvalidationMode {
+    /// Every write flushes every map (the pre-surgical behaviour; kept
+    /// as the honest baseline for the write-mix benchmarks).
+    Flush,
+    /// Writes evict only the entries they can perturb, guided by
+    /// recorded dependency sets and [`WriteProbes`] membership tests.
+    #[default]
+    Incremental,
+}
+
+/// Capacity limits and write-handling policy for the cache's maps.
+/// Overflowing a map flushes it (an "epoch flush"), counting the
+/// dropped entries as evictions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Max entries in each per-query map (`RSL`, exact `SR`,
@@ -90,6 +142,13 @@ pub struct CacheConfig {
     pub lambda_capacity: usize,
     /// Max entries in each per-customer map (`DSL`, anti-DDR).
     pub customer_capacity: usize,
+    /// Write-handling policy (see [`InvalidationMode`]).
+    pub invalidation: InvalidationMode,
+    /// Surgical invalidation's per-write budget of index probes
+    /// (affected-customer / membership window tests). A write whose
+    /// blast radius needs more probes than this falls back to a full
+    /// epoch flush, keeping pathological writes O(1) in probe work.
+    pub write_probe_budget: usize,
 }
 
 impl Default for CacheConfig {
@@ -98,12 +157,15 @@ impl Default for CacheConfig {
             query_capacity: 1024,
             lambda_capacity: 8192,
             customer_capacity: 65_536,
+            invalidation: InvalidationMode::Incremental,
+            write_probe_budget: 512,
         }
     }
 }
 
 /// A monotonic snapshot of the cache's behaviour counters (also
-/// forwarded to `wnrs-obs` as the `engine_cache_*` counters).
+/// forwarded to `wnrs-obs` as the `engine_cache_*` / `cache_*`
+/// counters).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups served from the cache.
@@ -116,6 +178,19 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Current generation.
     pub generation: u64,
+    /// Writes handled surgically (only dependent entries evicted).
+    pub partial_invalidations: u64,
+    /// Writes (or fallbacks) that flushed every map.
+    pub full_flushes: u64,
+    /// Dynamic-skyline entries evicted by surgical invalidation.
+    pub dsl_evictions: u64,
+    /// Anti-DDR entries evicted by surgical invalidation.
+    pub addr_evictions: u64,
+    /// Reverse-skyline / safe-region entries evicted surgically.
+    pub sr_evictions: u64,
+    /// MWQ-answer entries evicted surgically (culprit windows are
+    /// repaired in place, never evicted).
+    pub mwq_evictions: u64,
 }
 
 impl CacheStats {
@@ -131,9 +206,92 @@ impl CacheStats {
     }
 }
 
+/// Which kind of dataset write is being applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// A new product appended to the dataset.
+    Insert,
+    /// An existing product tombstoned out of the index.
+    Delete,
+}
+
+/// One dataset write, as seen by [`EngineCache::invalidate_surgical`].
+/// The point must be the written product's location *after* the index
+/// mutation has been applied (inserts are already in the tree, deletes
+/// already out), so membership probes observe the post-write world.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteEvent<'a> {
+    /// Insert or delete.
+    pub kind: WriteKind,
+    /// The written product's id.
+    pub id: u32,
+    /// The written product's location.
+    pub point: &'a Point,
+}
+
+/// Index-backed membership tests surgical invalidation delegates to
+/// the engine. Implementations memoise per-customer / per-query
+/// verdicts and count index probes against the write budget; once the
+/// budget is exhausted they must answer conservatively (`true`) so
+/// eviction stays sound while the caller falls back to a full flush.
+pub trait WriteProbes {
+    /// Location of customer `id` (live or tombstoned).
+    fn customer(&self, id: u32) -> &Point;
+    /// Records a verdict the cache derived from its own metadata (a
+    /// cached `DSL(c)` decides "did this write change `DSL(c)`?"
+    /// without touching the index), so later [`WriteProbes::affected`]
+    /// calls for the same customer are free.
+    fn seed_affected(&mut self, id: u32, affected: bool);
+    /// Whether the write changed `DSL(id)` — exact membership test
+    /// against the post-write index unless a verdict was seeded.
+    fn affected(&mut self, id: u32) -> bool;
+    /// Insert only: whether the written point joined `RSL(q)`.
+    fn insert_joins_rsl(&mut self, q: &Point) -> bool;
+    /// Delete only: whether some live customer actually *joins*
+    /// `RSL(q)` now that the written point is gone. Exact, not
+    /// conservative: a joiner must have had the victim as its sole
+    /// dominator of `q`, which (by transitivity of dynamic dominance)
+    /// confines candidates to the victim's own reverse skyline — one
+    /// reverse-skyline query per write bounds the set, then one
+    /// membership probe per candidate confirms the join.
+    fn delete_admits_into_rsl(&mut self, q: &Point) -> bool;
+    /// Insert only: whether the written point breaks a cached case-C2
+    /// MWQ optimum — it (weakly, within the verification tolerance)
+    /// dynamically dominates the recorded `q*` w.r.t. the repaired
+    /// `c*`, so the repair is no longer feasible. A still-feasible
+    /// optimum stays optimal: inserts only add constraints, so no
+    /// candidate can get cheaper. Pure arithmetic — never charged
+    /// against the probe budget.
+    fn insert_breaks_candidate(&self, q_star: &Point, c_star: &Point) -> bool;
+    /// Delete only: whether removing the written point could unblock a
+    /// repair for customer `c` cheaper than `cost_bar` (Eqn 11)
+    /// against *some* candidate query position inside `sr_bb` — the
+    /// victim's [`wnrs_geometry::release_region`] contains a position
+    /// at or below the cached cost. Pure arithmetic — never charged
+    /// against the probe budget.
+    fn delete_unblocks_cheaper(&self, c: &Point, sr_bb: &Rect, cost_bar: f64) -> bool;
+    /// Whether the per-write probe budget has been exhausted.
+    fn over_budget(&self) -> bool;
+}
+
+/// A reverse-skyline entry: the members plus the query point they
+/// answer for (needed by surgical eviction's dominance tests).
+struct RslEntry {
+    q: Point,
+    items: SharedItems,
+}
+
+/// A culprit-window entry: the members plus the window anchor.
+struct LambdaEntry {
+    anchor: Point,
+    items: SharedItems,
+}
+
 /// A safe-region entry: the region plus the reverse-skyline ids it was
 /// built from. Callers may pass RSL prefixes to `safe_region_for`, so
-/// a hit requires the ids to match, not just the query point.
+/// a hit requires the ids to match, not just the query point — and the
+/// same id list doubles as the entry's dependency set under surgical
+/// invalidation.
 #[derive(Debug)]
 pub struct SrEntry {
     rsl_ids: Vec<u32>,
@@ -141,15 +299,26 @@ pub struct SrEntry {
     pub region: Region,
 }
 
+/// A full-pipeline MWQ answer plus its recorded dependencies: the
+/// query point, the reverse-skyline ids the safe region was built
+/// from, and the safe region's bounding box (every candidate query
+/// position Algorithm 4 ranged over lies inside it).
+struct MwqEntry {
+    q: Point,
+    deps: Vec<u32>,
+    sr_bb: Rect,
+    answer: Arc<MwqAnswer>,
+}
+
 struct CacheState {
     generation: u64,
     dsl: HashMap<u32, SharedItems>,
     addr: HashMap<AddrKey, Arc<Region>>,
-    rsl: HashMap<CoordKey, SharedItems>,
-    lambda: HashMap<PairKey, SharedItems>,
+    rsl: HashMap<CoordKey, RslEntry>,
+    lambda: HashMap<PairKey, LambdaEntry>,
     sr_exact: HashMap<CoordKey, Arc<SrEntry>>,
     sr_approx: HashMap<SrApproxKey, Arc<SrEntry>>,
-    mwq: HashMap<PairKey, Arc<MwqAnswer>>,
+    mwq: HashMap<PairKey, MwqEntry>,
 }
 
 impl CacheState {
@@ -187,6 +356,12 @@ pub struct EngineCache {
     misses: AtomicU64,
     invalidations: AtomicU64,
     evictions: AtomicU64,
+    partial_invalidations: AtomicU64,
+    full_flushes: AtomicU64,
+    dsl_evictions: AtomicU64,
+    addr_evictions: AtomicU64,
+    sr_evictions: AtomicU64,
+    mwq_evictions: AtomicU64,
     state: RwLock<CacheState>,
 }
 
@@ -210,6 +385,12 @@ impl EngineCache {
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            partial_invalidations: AtomicU64::new(0),
+            full_flushes: AtomicU64::new(0),
+            dsl_evictions: AtomicU64::new(0),
+            addr_evictions: AtomicU64::new(0),
+            sr_evictions: AtomicU64::new(0),
+            mwq_evictions: AtomicU64::new(0),
             state: RwLock::new(CacheState::empty()),
         }
     }
@@ -235,19 +416,232 @@ impl EngineCache {
             invalidations: self.invalidations.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             generation: self.generation(),
+            partial_invalidations: self.partial_invalidations.load(Ordering::Relaxed),
+            full_flushes: self.full_flushes.load(Ordering::Relaxed),
+            dsl_evictions: self.dsl_evictions.load(Ordering::Relaxed),
+            addr_evictions: self.addr_evictions.load(Ordering::Relaxed),
+            sr_evictions: self.sr_evictions.load(Ordering::Relaxed),
+            mwq_evictions: self.mwq_evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Bumps the generation and flushes every map in one critical
-    /// section — called by the engine's mutation paths. Entries filled
-    /// under the old generation can never be observed afterwards.
+    /// section — the engine's mutation path under
+    /// [`InvalidationMode::Flush`], and surgical invalidation's
+    /// fallback for universe growth, compaction and over-budget
+    /// writes. Entries filled under the old generation can never be
+    /// observed afterwards.
     pub fn invalidate(&self) {
         let mut state = self.write_state();
         let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
         state.generation = generation;
         state.flush();
         self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.full_flushes.fetch_add(1, Ordering::Relaxed);
         wnrs_obs::record(Counter::CacheInvalidations);
+        wnrs_obs::record(Counter::CacheFullFlushes);
+    }
+
+    /// Surgically invalidates the entries the write can perturb,
+    /// bumping the generation like [`EngineCache::invalidate`] but
+    /// keeping every entry the write provably cannot reach. Falls back
+    /// to a full flush when the probe budget is exhausted. The engine
+    /// must apply the index mutation *before* calling this, so the
+    /// membership probes observe the post-write world.
+    pub fn invalidate_surgical(&self, ev: &WriteEvent<'_>, probes: &mut dyn WriteProbes) {
+        let mut state = self.write_state();
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        state.generation = generation;
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        wnrs_obs::record(Counter::CacheInvalidations);
+
+        // Seed affected-verdicts from cached dynamic skylines first:
+        // an insert leaves DSL(c) unchanged iff an existing member
+        // dynamically dominates the new point (a "shield"); a delete
+        // changes DSL(c) iff the victim was a member. Both are exact
+        // and need no index probe. The customer's own tuple is always
+        // excluded from its DSL, so a write of c itself never affects
+        // DSL(c).
+        for (&id, members) in &state.dsl {
+            let verdict = if id == ev.id {
+                false
+            } else {
+                match ev.kind {
+                    WriteKind::Insert => !members
+                        .iter()
+                        .any(|(_, m)| dominates_dyn(m, ev.point, probes.customer(id))),
+                    WriteKind::Delete => members.iter().any(|(m, _)| m.0 == ev.id),
+                }
+            };
+            probes.seed_affected(id, verdict);
+        }
+
+        let mut dsl_dropped = 0u64;
+        state.dsl.retain(|&id, _| {
+            if probes.affected(id) {
+                dsl_dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+
+        let mut addr_dropped = 0u64;
+        state.addr.retain(|&(id, _, _), _| {
+            if probes.affected(id) {
+                addr_dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+
+        // Λ(anchor, c) is a plain window result, so a write perturbs it
+        // in exactly one way — an insert adds the written tuple iff it
+        // dynamically dominates the anchor w.r.t. c, a delete removes
+        // the victim's tuple — and the entry is *repaired in place*
+        // rather than evicted, keeping the map hot at the cost of one
+        // copy-on-write of the (short) member list. A delete of c
+        // itself is a no-op: the customer's own tuple was excluded
+        // from its windows all along. Ascending-id order is preserved,
+        // so repaired entries stay bit-identical to a recomputation.
+        for (&(_, c_id), entry) in &mut state.lambda {
+            if c_id == ev.id {
+                continue;
+            }
+            match ev.kind {
+                WriteKind::Insert => {
+                    if dominates_dyn(ev.point, &entry.anchor, probes.customer(c_id)) {
+                        let items = Arc::make_mut(&mut entry.items);
+                        if let Err(at) = items.binary_search_by_key(&ev.id, |(m, _)| m.0) {
+                            // lint:allow(hot_path_alloc) reason=copy-on-write repair on the write path, not a query
+                            items.insert(at, (ItemId(ev.id), ev.point.clone()));
+                        }
+                    }
+                }
+                WriteKind::Delete => {
+                    if let Ok(at) = entry.items.binary_search_by_key(&ev.id, |(m, _)| m.0) {
+                        Arc::make_mut(&mut entry.items).remove(at);
+                    }
+                }
+            }
+        }
+
+        // RSL(q): an insert evicts a member it dominates out, or joins
+        // itself; a delete evicts its own membership, or a customer it
+        // alone was shielding that now joins (exact, memoised per q).
+        let mut sr_dropped = 0u64;
+        state.rsl.retain(|_, entry| {
+            let moved = match ev.kind {
+                WriteKind::Insert => {
+                    entry
+                        .items
+                        .iter()
+                        .any(|(_, c)| dominates_dyn(ev.point, &entry.q, c))
+                        || probes.insert_joins_rsl(&entry.q)
+                }
+                WriteKind::Delete => {
+                    entry.items.iter().any(|(m, _)| m.0 == ev.id)
+                        || probes.delete_admits_into_rsl(&entry.q)
+                }
+            };
+            if moved {
+                sr_dropped += 1;
+            }
+            !moved
+        });
+
+        // Exact SR(q) depends only on its recorded reverse-skyline
+        // members' anti-DDRs (plus the universe, handled by the
+        // engine's growth fallback); membership changes are caught at
+        // lookup by the id filter against a freshly recomputed RSL.
+        state.sr_exact.retain(|_, entry| {
+            let touched = entry.rsl_ids.iter().any(|&id| probes.affected(id));
+            if touched {
+                sr_dropped += 1;
+            }
+            !touched
+        });
+
+        // Approximate SR(q) entries derive from an immutable sampled
+        // store snapshot (fingerprint-keyed) and customer locations,
+        // not live dynamic skylines: writes never stale them, and
+        // membership changes are caught by the lookup id filter.
+
+        // MWQ answers fall with an affected customer (its anti-DDR
+        // moved) or dependency (the safe region moved), or a membership
+        // change of RSL(q) — a write dominating `q` out from under a
+        // member, a join, or (delete) an exact admitted join. Beyond
+        // membership, a write touches a cached repair only two ways:
+        // an *insert* that breaks the recorded optimum `c*` (it landed
+        // inside the culprit window `Λ(c*, q*)`) — a surviving optimum
+        // stays optimal, since inserts only add constraints and never
+        // cheapen Algorithm 1's staircase — or a *delete* whose victim
+        // sat inside `Λ(c, q*)` or whose release region against the
+        // safe region's bounding box admits a repair at or below the
+        // cached cost (deletes only remove constraints, so anything
+        // the victim wasn't blocking stands; the floor also covers
+        // verification flips of equal-cost candidates).
+        let mut mwq_dropped = 0u64;
+        state.mwq.retain(|&(_, c_id), entry| {
+            let touched = probes.affected(c_id)
+                || entry.deps.iter().any(|&d| probes.affected(d))
+                || match ev.kind {
+                    WriteKind::Insert => {
+                        entry
+                            .deps
+                            .iter()
+                            .any(|&d| dominates_dyn(ev.point, &entry.q, probes.customer(d)))
+                            || probes.insert_joins_rsl(&entry.q)
+                            || entry.answer.c_star.as_ref().is_some_and(|c| {
+                                probes.insert_breaks_candidate(&entry.answer.q_star, &c.point)
+                            })
+                    }
+                    WriteKind::Delete => {
+                        entry.deps.contains(&ev.id)
+                            || probes.delete_admits_into_rsl(&entry.q)
+                            || (entry.answer.c_star.is_some()
+                                && ((c_id != ev.id
+                                    && dominates_dyn(
+                                        ev.point,
+                                        &entry.answer.q_star,
+                                        probes.customer(c_id),
+                                    ))
+                                    || probes.delete_unblocks_cheaper(
+                                        probes.customer(c_id),
+                                        &entry.sr_bb,
+                                        entry.answer.cost,
+                                    )))
+                    }
+                };
+            if touched {
+                mwq_dropped += 1;
+            }
+            !touched
+        });
+
+        if probes.over_budget() {
+            // Blast radius too large: the conservative verdicts above
+            // already evicted soundly, but the remaining maps were
+            // judged with degraded precision — drop everything and
+            // account the write as a full flush.
+            state.flush();
+            self.full_flushes.fetch_add(1, Ordering::Relaxed);
+            wnrs_obs::record(Counter::CacheFullFlushes);
+            return;
+        }
+
+        self.partial_invalidations.fetch_add(1, Ordering::Relaxed);
+        self.dsl_evictions.fetch_add(dsl_dropped, Ordering::Relaxed);
+        self.addr_evictions
+            .fetch_add(addr_dropped, Ordering::Relaxed);
+        self.sr_evictions.fetch_add(sr_dropped, Ordering::Relaxed);
+        self.mwq_evictions.fetch_add(mwq_dropped, Ordering::Relaxed);
+        wnrs_obs::record(Counter::CachePartialInvalidations);
+        wnrs_obs::record_n(Counter::CacheEvictionsDsl, dsl_dropped);
+        wnrs_obs::record_n(Counter::CacheEvictionsAntiDdr, addr_dropped);
+        wnrs_obs::record_n(Counter::CacheEvictionsSr, sr_dropped);
+        wnrs_obs::record_n(Counter::CacheEvictionsMwq, mwq_dropped);
     }
 
     // ------------------------------------------------------------------
@@ -285,8 +679,9 @@ impl EngineCache {
     }
 
     /// Shared guard logic for every lookup: a generation mismatch is a
-    /// miss (defence in depth — `invalidate` flushes eagerly, so under
-    /// the engine's `&mut` mutation discipline the branch never fires).
+    /// miss (defence in depth — both invalidation paths update the
+    /// state's generation eagerly, so under the engine's `&mut`
+    /// mutation discipline the branch never fires).
     fn guarded<'s, T>(&self, state: &'s CacheState, value: Option<&'s T>) -> Option<&'s T> {
         if state.generation != self.generation.load(Ordering::Acquire) {
             return None;
@@ -350,15 +745,26 @@ impl EngineCache {
     #[must_use]
     pub fn get_rsl(&self, q_key: &CoordKey) -> Option<SharedItems> {
         let state = self.read_state();
-        self.counted(self.guarded(&state, state.rsl.get(q_key)).map(Arc::clone))
+        self.counted(
+            self.guarded(&state, state.rsl.get(q_key))
+                .map(|e| Arc::clone(&e.items)),
+        )
     }
 
-    /// Stores a reverse skyline, returning the shared handle.
-    pub fn put_rsl(&self, q_key: CoordKey, rsl: Vec<(ItemId, Point)>) -> SharedItems {
+    /// Stores a reverse skyline for query point `q`, returning the
+    /// shared handle. The point rides along so surgical eviction can
+    /// run dominance tests without reconstructing it from the key.
+    pub fn put_rsl(&self, q_key: CoordKey, q: Point, rsl: Vec<(ItemId, Point)>) -> SharedItems {
         let shared = Arc::new(rsl);
         let mut state = self.write_state();
         self.make_room(&mut state.rsl, self.config.query_capacity);
-        state.rsl.insert(q_key, Arc::clone(&shared));
+        state.rsl.insert(
+            q_key,
+            RslEntry {
+                q,
+                items: Arc::clone(&shared),
+            },
+        );
         shared
     }
 
@@ -417,15 +823,30 @@ impl EngineCache {
     #[must_use]
     pub fn get_lambda(&self, key: &PairKey) -> Option<SharedItems> {
         let state = self.read_state();
-        self.counted(self.guarded(&state, state.lambda.get(key)).map(Arc::clone))
+        self.counted(
+            self.guarded(&state, state.lambda.get(key))
+                .map(|e| Arc::clone(&e.items)),
+        )
     }
 
-    /// Stores a culprit window, returning the shared handle.
-    pub fn put_lambda(&self, key: PairKey, lambda: Vec<(ItemId, Point)>) -> SharedItems {
+    /// Stores a culprit window anchored at `anchor`, returning the
+    /// shared handle.
+    pub fn put_lambda(
+        &self,
+        key: PairKey,
+        anchor: Point,
+        lambda: Vec<(ItemId, Point)>,
+    ) -> SharedItems {
         let shared = Arc::new(lambda);
         let mut state = self.write_state();
         self.make_room(&mut state.lambda, self.config.lambda_capacity);
-        state.lambda.insert(key, Arc::clone(&shared));
+        state.lambda.insert(
+            key,
+            LambdaEntry {
+                anchor,
+                items: Arc::clone(&shared),
+            },
+        );
         shared
     }
 
@@ -437,15 +858,35 @@ impl EngineCache {
     #[must_use]
     pub fn get_mwq(&self, key: &PairKey) -> Option<Arc<MwqAnswer>> {
         let state = self.read_state();
-        self.counted(self.guarded(&state, state.mwq.get(key)).map(Arc::clone))
+        self.counted(
+            self.guarded(&state, state.mwq.get(key))
+                .map(|e| Arc::clone(&e.answer)),
+        )
     }
 
-    /// Stores a full-pipeline MWQ answer, returning the shared handle.
-    pub fn put_mwq(&self, key: PairKey, answer: MwqAnswer) -> Arc<MwqAnswer> {
+    /// Stores a full-pipeline MWQ answer with its dependency metadata
+    /// (query point, reverse-skyline ids, and the safe region's
+    /// bounding box), returning the shared handle.
+    pub fn put_mwq(
+        &self,
+        key: PairKey,
+        q: Point,
+        deps: Vec<u32>,
+        sr_bb: Rect,
+        answer: MwqAnswer,
+    ) -> Arc<MwqAnswer> {
         let shared = Arc::new(answer);
         let mut state = self.write_state();
         self.make_room(&mut state.mwq, self.config.query_capacity);
-        state.mwq.insert(key, Arc::clone(&shared));
+        state.mwq.insert(
+            key,
+            MwqEntry {
+                q,
+                deps,
+                sr_bb,
+                answer: Arc::clone(&shared),
+            },
+        );
         shared
     }
 }
@@ -453,10 +894,73 @@ impl EngineCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wnrs_geometry::Rect;
 
     fn key(x: f64, y: f64) -> CoordKey {
         CoordKey::of_point(&Point::xy(x, y))
+    }
+
+    /// A scripted [`WriteProbes`] for unit-testing the eviction passes
+    /// without an index: unseeded customers and query probes answer
+    /// from fixed maps, counting "index probes" against the budget.
+    struct MockProbes {
+        customers: Vec<Point>,
+        seeded: HashMap<u32, bool>,
+        affected_fallback: bool,
+        joins: bool,
+        releases: bool,
+        breaks: bool,
+        unblocks: bool,
+        probes_used: usize,
+        budget: usize,
+    }
+
+    impl MockProbes {
+        fn new(customers: Vec<Point>) -> Self {
+            MockProbes {
+                customers,
+                seeded: HashMap::new(),
+                affected_fallback: false,
+                joins: false,
+                releases: false,
+                breaks: false,
+                unblocks: false,
+                probes_used: 0,
+                budget: 64,
+            }
+        }
+    }
+
+    impl WriteProbes for MockProbes {
+        fn customer(&self, id: u32) -> &Point {
+            &self.customers[id as usize]
+        }
+        fn seed_affected(&mut self, id: u32, affected: bool) {
+            self.seeded.insert(id, affected);
+        }
+        fn affected(&mut self, id: u32) -> bool {
+            if let Some(&v) = self.seeded.get(&id) {
+                return v;
+            }
+            self.probes_used += 1;
+            self.affected_fallback
+        }
+        fn insert_joins_rsl(&mut self, _q: &Point) -> bool {
+            self.probes_used += 1;
+            self.joins
+        }
+        fn delete_admits_into_rsl(&mut self, _q: &Point) -> bool {
+            self.probes_used += 1;
+            self.releases
+        }
+        fn insert_breaks_candidate(&self, _q_star: &Point, _c_star: &Point) -> bool {
+            self.breaks
+        }
+        fn delete_unblocks_cheaper(&self, _c: &Point, _sr_bb: &Rect, _cost_bar: f64) -> bool {
+            self.unblocks
+        }
+        fn over_budget(&self) -> bool {
+            self.probes_used > self.budget
+        }
     }
 
     #[test]
@@ -464,7 +968,11 @@ mod tests {
         let cache = EngineCache::new(CacheConfig::default());
         let k = key(1.0, 2.0);
         assert!(cache.get_rsl(&k).is_none());
-        cache.put_rsl(k.clone(), vec![(ItemId(3), Point::xy(9.0, 9.0))]);
+        cache.put_rsl(
+            k.clone(),
+            Point::xy(1.0, 2.0),
+            vec![(ItemId(3), Point::xy(9.0, 9.0))],
+        );
         let got = cache.get_rsl(&k).expect("filled entry hits");
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, ItemId(3));
@@ -479,13 +987,14 @@ mod tests {
         assert!(cache.get_rsl(&k).is_none(), "flushed on invalidation");
         let stats = cache.stats();
         assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.full_flushes, 1);
         assert_eq!(stats.generation, 1);
     }
 
     #[test]
     fn negative_zero_keys_unify() {
         let cache = EngineCache::new(CacheConfig::default());
-        cache.put_rsl(key(-0.0, 5.0), vec![]);
+        cache.put_rsl(key(-0.0, 5.0), Point::xy(-0.0, 5.0), vec![]);
         assert!(cache.get_rsl(&key(0.0, 5.0)).is_some());
     }
 
@@ -508,11 +1017,12 @@ mod tests {
             query_capacity: 2,
             lambda_capacity: 2,
             customer_capacity: 2,
+            ..CacheConfig::default()
         });
-        cache.put_rsl(key(0.0, 0.0), vec![]);
-        cache.put_rsl(key(1.0, 0.0), vec![]);
+        cache.put_rsl(key(0.0, 0.0), Point::xy(0.0, 0.0), vec![]);
+        cache.put_rsl(key(1.0, 0.0), Point::xy(1.0, 0.0), vec![]);
         // Third insert overflows: the map flushes first.
-        cache.put_rsl(key(2.0, 0.0), vec![]);
+        cache.put_rsl(key(2.0, 0.0), Point::xy(2.0, 0.0), vec![]);
         assert!(cache.get_rsl(&key(0.0, 0.0)).is_none());
         assert!(cache.get_rsl(&key(2.0, 0.0)).is_some());
         assert_eq!(cache.stats().evictions, 2);
@@ -521,7 +1031,11 @@ mod tests {
     #[test]
     fn lambda_keys_are_per_customer() {
         let cache = EngineCache::new(CacheConfig::default());
-        cache.put_lambda((key(1.0, 1.0), 7), vec![(ItemId(0), Point::xy(0.5, 0.5))]);
+        cache.put_lambda(
+            (key(1.0, 1.0), 7),
+            Point::xy(1.0, 1.0),
+            vec![(ItemId(0), Point::xy(0.5, 0.5))],
+        );
         assert!(cache.get_lambda(&(key(1.0, 1.0), 7)).is_some());
         assert!(cache.get_lambda(&(key(1.0, 1.0), 8)).is_none());
     }
@@ -531,8 +1045,242 @@ mod tests {
         // Exercise the defence-in-depth branch directly: bump the
         // counter without flushing (simulating a racy writer).
         let cache = EngineCache::new(CacheConfig::default());
-        cache.put_rsl(key(1.0, 1.0), vec![]);
+        cache.put_rsl(key(1.0, 1.0), Point::xy(1.0, 1.0), vec![]);
         cache.generation.fetch_add(1, Ordering::AcqRel);
         assert!(cache.get_rsl(&key(1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn surgical_insert_keeps_shielded_dsl_and_evicts_unshielded() {
+        // Customer 0 at the origin holds a DSL member at (1, 1).
+        // Inserting (5, 5) is dynamically dominated by the member
+        // (shielded: DSL unchanged); inserting (0.5, 0.5) is not.
+        let cache = EngineCache::new(CacheConfig::default());
+        let origin = Point::xy(0.0, 0.0);
+        cache.put_dsl(0, vec![(ItemId(1), Point::xy(1.0, 1.0))]);
+
+        let mut probes = MockProbes::new(vec![origin.clone(), Point::xy(1.0, 1.0)]);
+        let shielded = Point::xy(5.0, 5.0);
+        cache.invalidate_surgical(
+            &WriteEvent {
+                kind: WriteKind::Insert,
+                id: 2,
+                point: &shielded,
+            },
+            &mut probes,
+        );
+        assert!(cache.get_dsl(0).is_some(), "shielded insert keeps DSL");
+
+        let mut probes = MockProbes::new(vec![origin, Point::xy(1.0, 1.0)]);
+        let unshielded = Point::xy(0.5, 0.5);
+        cache.invalidate_surgical(
+            &WriteEvent {
+                kind: WriteKind::Insert,
+                id: 3,
+                point: &unshielded,
+            },
+            &mut probes,
+        );
+        assert!(cache.get_dsl(0).is_none(), "unshielded insert evicts DSL");
+        let stats = cache.stats();
+        assert_eq!(stats.partial_invalidations, 2);
+        assert_eq!(stats.invalidations, 2);
+        assert_eq!(stats.dsl_evictions, 1);
+        assert_eq!(stats.generation, 2);
+    }
+
+    #[test]
+    fn surgical_delete_evicts_dsl_containing_victim_only() {
+        let cache = EngineCache::new(CacheConfig::default());
+        cache.put_dsl(0, vec![(ItemId(5), Point::xy(1.0, 1.0))]);
+        cache.put_dsl(1, vec![(ItemId(6), Point::xy(2.0, 2.0))]);
+        let victim = Point::xy(1.0, 1.0);
+        let mut probes = MockProbes::new(vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(9.0, 9.0),
+            Point::xy(0.0, 0.0),
+            Point::xy(0.0, 0.0),
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 1.0),
+            Point::xy(2.0, 2.0),
+        ]);
+        cache.invalidate_surgical(
+            &WriteEvent {
+                kind: WriteKind::Delete,
+                id: 5,
+                point: &victim,
+            },
+            &mut probes,
+        );
+        assert!(cache.get_dsl(0).is_none(), "member delete evicts");
+        assert!(cache.get_dsl(1).is_some(), "non-member delete keeps");
+    }
+
+    #[test]
+    fn surgical_lambda_repair_is_in_place() {
+        // Λ anchored at (10, 10) for customer 0 at the origin: an
+        // insert at (4, 4) dynamically dominates the anchor (closer to
+        // c in both dims) and must join the member list in id order;
+        // for customer 1 at (100, 100) it does not dominate and the
+        // list stays untouched. Deleting the written tuple again must
+        // remove exactly it. No entry is ever evicted.
+        let cache = EngineCache::new(CacheConfig::default());
+        let anchor = Point::xy(10.0, 10.0);
+        cache.put_lambda(
+            (key(10.0, 10.0), 0),
+            anchor.clone(),
+            vec![(ItemId(12), Point::xy(5.0, 5.0))],
+        );
+        cache.put_lambda((key(10.0, 10.0), 1), anchor, vec![]);
+
+        let customers = vec![Point::xy(0.0, 0.0), Point::xy(100.0, 100.0)];
+        let mut probes = MockProbes::new(customers.clone());
+        let p = Point::xy(4.0, 4.0);
+        cache.invalidate_surgical(
+            &WriteEvent {
+                kind: WriteKind::Insert,
+                id: 9,
+                point: &p,
+            },
+            &mut probes,
+        );
+        let repaired = cache
+            .get_lambda(&(key(10.0, 10.0), 0))
+            .expect("repaired, not evicted");
+        assert_eq!(
+            repaired.iter().map(|(m, _)| m.0).collect::<Vec<_>>(),
+            vec![9, 12],
+            "written tuple joins the window in ascending id order"
+        );
+        assert!(
+            cache
+                .get_lambda(&(key(10.0, 10.0), 1))
+                .is_some_and(|items| items.is_empty()),
+            "write outside the customer's window leaves the list alone"
+        );
+
+        let mut probes = MockProbes::new(customers);
+        cache.invalidate_surgical(
+            &WriteEvent {
+                kind: WriteKind::Delete,
+                id: 9,
+                point: &p,
+            },
+            &mut probes,
+        );
+        let repaired = cache
+            .get_lambda(&(key(10.0, 10.0), 0))
+            .expect("still live after the delete");
+        assert_eq!(
+            repaired.iter().map(|(m, _)| m.0).collect::<Vec<_>>(),
+            vec![12],
+            "deleting the tuple removes exactly it"
+        );
+        assert_eq!(cache.stats().mwq_evictions, 0);
+    }
+
+    #[test]
+    fn surgical_mwq_eviction_keys_off_the_cached_optimum() {
+        use crate::answer::Candidate;
+        use crate::mwq::MwqCase;
+
+        // A case-C2 answer with a recorded optimum: writes that leave
+        // the dependencies and the optimum alone keep the entry; one
+        // breaking the repair's feasibility (insert) or unblocking a
+        // cheaper repair (delete) evicts it.
+        let cache = EngineCache::new(CacheConfig::default());
+        let k = (key(3.0, 3.0), 0);
+        let answer = MwqAnswer {
+            case: MwqCase::Disjoint,
+            q_star: Point::xy(3.0, 3.0),
+            c_star: Some(Candidate {
+                point: Point::xy(4.0, 4.0),
+                cost: 0.25,
+                verified: true,
+            }),
+            cost: 0.25,
+        };
+        let sr_bb = Rect::new(Point::xy(2.0, 2.0), Point::xy(6.0, 6.0));
+        let fill = |cache: &EngineCache| {
+            cache.put_mwq(
+                k.clone(),
+                Point::xy(3.0, 3.0),
+                vec![],
+                sr_bb.clone(),
+                answer.clone(),
+            );
+        };
+        let customers = vec![Point::xy(9.0, 9.0)];
+        let p = Point::xy(50.0, 50.0);
+
+        fill(&cache);
+        let mut probes = MockProbes::new(customers.clone());
+        cache.invalidate_surgical(
+            &WriteEvent {
+                kind: WriteKind::Insert,
+                id: 7,
+                point: &p,
+            },
+            &mut probes,
+        );
+        assert!(
+            cache.get_mwq(&k).is_some(),
+            "benign insert keeps the answer"
+        );
+
+        let mut probes = MockProbes::new(customers.clone());
+        probes.breaks = true;
+        cache.invalidate_surgical(
+            &WriteEvent {
+                kind: WriteKind::Insert,
+                id: 8,
+                point: &p,
+            },
+            &mut probes,
+        );
+        assert!(
+            cache.get_mwq(&k).is_none(),
+            "an insert breaking the repair evicts"
+        );
+
+        fill(&cache);
+        let mut probes = MockProbes::new(customers);
+        probes.unblocks = true;
+        cache.invalidate_surgical(
+            &WriteEvent {
+                kind: WriteKind::Delete,
+                id: 9,
+                point: &p,
+            },
+            &mut probes,
+        );
+        assert!(
+            cache.get_mwq(&k).is_none(),
+            "a delete unblocking a cheaper repair evicts"
+        );
+    }
+
+    #[test]
+    fn over_budget_write_falls_back_to_full_flush() {
+        let cache = EngineCache::new(CacheConfig::default());
+        cache.put_rsl(key(1.0, 1.0), Point::xy(1.0, 1.0), vec![]);
+        cache.put_dsl(0, vec![(ItemId(1), Point::xy(1.0, 1.0))]);
+        let mut probes = MockProbes::new(vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)]);
+        probes.budget = 0;
+        let p = Point::xy(50.0, 50.0);
+        cache.invalidate_surgical(
+            &WriteEvent {
+                kind: WriteKind::Insert,
+                id: 2,
+                point: &p,
+            },
+            &mut probes,
+        );
+        assert!(cache.get_rsl(&key(1.0, 1.0)).is_none());
+        assert!(cache.get_dsl(0).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.full_flushes, 1);
+        assert_eq!(stats.partial_invalidations, 0);
+        assert_eq!(stats.invalidations, 1);
     }
 }

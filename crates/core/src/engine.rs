@@ -2,7 +2,10 @@
 //! why-not answering techniques behind one API.
 
 use crate::answer::Candidate;
-use crate::cache::{CacheConfig, CacheStats, EngineCache, SharedItems};
+use crate::cache::{
+    CacheConfig, CacheStats, EngineCache, InvalidationMode, SharedItems, WriteEvent, WriteKind,
+    WriteProbes,
+};
 use crate::error::EngineError;
 use crate::explain::{explain, Explanation};
 use crate::mqp::{modify_query_point, modify_query_point_with_lambda, MqpAnswer};
@@ -11,11 +14,15 @@ use crate::mwq::{modify_both, modify_both_parts, MwqAnswer};
 use crate::safe_region::{
     anti_ddr_from_dsl, approx_safe_region_with, exact_safe_region_with, ApproxDslStore,
 };
+use std::collections::HashMap;
 use std::sync::Arc;
 use wnrs_geometry::parallel::{intersect_all, map_range_chunked, map_slice};
-use wnrs_geometry::{f64_key, CoordKey, CostModel, Parallelism, Point, Rect, Region};
+use wnrs_geometry::{
+    dominates_dyn, f64_key, release_region, CoordKey, CostModel, Parallelism, Point, Rect, Region,
+};
 use wnrs_reverse_skyline::{
-    bbrs_reverse_skyline, is_reverse_skyline_member, window_query, window_query_into,
+    bbrs_reverse_skyline, is_reverse_skyline_member, is_reverse_skyline_member_with, window_query,
+    window_query_into,
 };
 use wnrs_rtree::bulk::bulk_load;
 use wnrs_rtree::{ItemId, RTree, RTreeConfig, WindowScratch};
@@ -226,7 +233,11 @@ impl WhyNotEngine {
     /// Enables the cross-query cache with default capacities (see
     /// [`CacheConfig`]). Cached answers are bit-identical to uncached
     /// ones; dataset mutations ([`WhyNotEngine::insert`] /
-    /// [`WhyNotEngine::delete`]) invalidate the whole cache.
+    /// [`WhyNotEngine::delete`]) invalidate surgically by default —
+    /// only the entries a write can perturb are evicted (set
+    /// [`InvalidationMode::Flush`] via
+    /// [`WhyNotEngine::with_cache_config`] for the old whole-cache
+    /// flush).
     #[must_use]
     pub fn with_cache(self) -> Self {
         self.with_cache_config(CacheConfig::default())
@@ -256,7 +267,11 @@ impl WhyNotEngine {
     /// Inserts a new data point, growing the universe to cover it, and
     /// returns its id. The cost model stays as fixed at construction
     /// (weights are part of the query semantics, not the data). The
-    /// cache, if enabled, is invalidated before the call returns.
+    /// cache, if enabled, is invalidated before the call returns —
+    /// surgically under [`InvalidationMode::Incremental`] (only entries
+    /// the write can perturb are evicted), wholesale when the point
+    /// grows the universe (memoised anti-DDR clipping would go stale)
+    /// or under [`InvalidationMode::Flush`].
     ///
     /// # Panics
     ///
@@ -264,14 +279,13 @@ impl WhyNotEngine {
     pub fn insert(&mut self, p: Point) -> ItemId {
         assert_eq!(p.dim(), self.dim(), "dimensionality mismatch");
         let id = ItemId(self.points.len() as u32);
+        let grew = !self.universe.contains_point(&p);
         self.universe = self.universe.union_mbr(&Rect::degenerate(p.clone()));
         self.tree.insert(id, p.clone());
         self.points.push(p);
         self.deleted.push(false);
         self.live += 1;
-        if let Some(cache) = &self.cache {
-            cache.invalidate();
-        }
+        self.invalidate_cache_write(WriteKind::Insert, id, grew);
         id
     }
 
@@ -280,7 +294,14 @@ impl WhyNotEngine {
     /// an external customer, but it no longer participates in skylines).
     /// The universe never shrinks — anti-DDR clipping stays valid for
     /// every remaining point. Returns `false` when `id` is out of range
-    /// or already deleted. The cache, if enabled, is invalidated.
+    /// or already deleted. The cache, if enabled, is invalidated
+    /// (surgically under [`InvalidationMode::Incremental`]).
+    ///
+    /// When tombstones outnumber live points ([`WhyNotEngine::live_len`]
+    /// falls below half of [`WhyNotEngine::len`]), the id space is
+    /// compacted: live points are renumbered densely in insertion order
+    /// and the index is rebuilt, so delete-heavy streams don't degrade
+    /// window-query cost. Compaction always flushes the cache whole.
     pub fn delete(&mut self, id: ItemId) -> bool {
         let i = id.0 as usize;
         if i >= self.points.len() || self.deleted[i] {
@@ -291,10 +312,68 @@ impl WhyNotEngine {
         }
         self.deleted[i] = true;
         self.live -= 1;
-        if let Some(cache) = &self.cache {
-            cache.invalidate();
+        if self.live > 0 && self.live * 2 < self.points.len() {
+            self.compact();
+            if let Some(cache) = &self.cache {
+                cache.invalidate();
+            }
+        } else {
+            self.invalidate_cache_write(WriteKind::Delete, id, false);
         }
         true
+    }
+
+    /// Rebuilds the dataset densely from the live points (dropping all
+    /// tombstones) and bulk-loads a fresh index over them. Ids are
+    /// remapped to `0..live` preserving insertion order — deterministic,
+    /// so replicated engines (e.g. a cached engine and its uncached
+    /// cross-check twin) stay in lockstep. The universe is left as-is:
+    /// it never shrinks.
+    fn compact(&mut self) {
+        let mut live_points = Vec::with_capacity(self.live);
+        for (i, p) in self.points.iter().enumerate() {
+            if !self.deleted[i] {
+                live_points.push(p.clone());
+            }
+        }
+        self.tree = bulk_load(&live_points, self.tree.config().clone());
+        self.deleted = vec![false; live_points.len()];
+        self.live = live_points.len();
+        self.points = live_points;
+    }
+
+    /// Routes a dataset write to the cache's invalidation machinery:
+    /// a full flush under [`InvalidationMode::Flush`] or when
+    /// `force_flush` (universe growth) demands it, otherwise surgical
+    /// invalidation driven by index-backed [`WriteProbes`].
+    fn invalidate_cache_write(&self, kind: WriteKind, id: ItemId, force_flush: bool) {
+        let Some(cache) = &self.cache else {
+            return;
+        };
+        if force_flush || cache.config().invalidation == InvalidationMode::Flush {
+            cache.invalidate();
+            return;
+        }
+        let ev = WriteEvent {
+            kind,
+            id: id.0,
+            point: self.point(id),
+        };
+        let mut probes = EngineWriteProbes {
+            tree: &self.tree,
+            points: &self.points,
+            universe: &self.universe,
+            cost: &self.cost,
+            eps: self.eps,
+            id: id.0,
+            scratch: WindowScratch::new(),
+            affected: HashMap::new(),
+            by_query: HashMap::new(),
+            shields: None,
+            probes_used: 0,
+            budget: cache.config().write_probe_budget,
+        };
+        cache.invalidate_surgical(&ev, &mut probes);
     }
 
     /// Number of live (non-deleted) data points.
@@ -391,7 +470,7 @@ impl WhyNotEngine {
             return lambda;
         }
         let lambda = window_query(&self.tree, self.point(id), at, Some(id));
-        cache.put_lambda(key, lambda)
+        cache.put_lambda(key, at.clone(), lambda)
     }
 
     // ------------------------------------------------------------------
@@ -406,7 +485,7 @@ impl WhyNotEngine {
                 return (*rsl).clone();
             }
             let rsl = bbrs_reverse_skyline(&self.tree, q);
-            return (*cache.put_rsl(q_key, rsl)).clone();
+            return (*cache.put_rsl(q_key, q.clone(), rsl)).clone();
         }
         bbrs_reverse_skyline(&self.tree, q)
     }
@@ -686,14 +765,20 @@ impl WhyNotEngine {
     /// `(q, customer)` pair — safe here (unlike plain [`WhyNotEngine::mwq`])
     /// because the safe region is known to be the full-RSL `SR(q)`.
     pub fn mwq_full(&self, id: ItemId, q: &Point) -> (Region, MwqAnswer) {
-        let sr = self.safe_region(q);
+        let rsl = self.reverse_skyline(q);
+        let sr = self.safe_region_for(q, &rsl);
         if let Some(cache) = &self.cache {
             let key = (CoordKey::of_point(q), id.0);
             if let Some(ans) = cache.get_mwq(&key) {
                 return (sr, (*ans).clone());
             }
             let ans = self.mwq(id, q, &sr);
-            return (sr, (*cache.put_mwq(key, ans)).clone());
+            let deps: Vec<u32> = rsl.iter().map(|(m, _)| m.0).collect();
+            let sr_bb = sr.bounding().unwrap_or_else(|| Rect::degenerate(q.clone()));
+            return (
+                sr,
+                (*cache.put_mwq(key, q.clone(), deps, sr_bb, ans)).clone(),
+            );
         }
         let ans = self.mwq(id, q, &sr);
         (sr, ans)
@@ -754,20 +839,209 @@ impl WhyNotEngine {
     /// policy. With the cache enabled, full answers are memoised per
     /// `(q, customer)` pair exactly as in [`WhyNotEngine::mwq_full`].
     pub fn mwq_batch(&self, ids: &[ItemId], q: &Point) -> (Region, Vec<(ItemId, MwqAnswer)>) {
-        let sr = self.safe_region(q);
+        let rsl = self.reverse_skyline(q);
+        let sr = self.safe_region_for(q, &rsl);
         let answers = if let Some(cache) = &self.cache {
+            let deps: Vec<u32> = rsl.iter().map(|(m, _)| m.0).collect();
+            let sr_bb = sr.bounding().unwrap_or_else(|| Rect::degenerate(q.clone()));
             map_slice(ids, &self.parallelism, |&id| {
                 let key = (CoordKey::of_point(q), id.0);
                 if let Some(ans) = cache.get_mwq(&key) {
                     return (id, (*ans).clone());
                 }
                 let ans = self.mwq(id, q, &sr);
-                (id, (*cache.put_mwq(key, ans)).clone())
+                (
+                    id,
+                    (*cache.put_mwq(key, q.clone(), deps.clone(), sr_bb.clone(), ans)).clone(),
+                )
             })
         } else {
             map_slice(ids, &self.parallelism, |&id| (id, self.mwq(id, q, &sr)))
         };
         (sr, answers)
+    }
+}
+
+/// Index-backed [`WriteProbes`] for surgical cache invalidation: one
+/// reusable [`WindowScratch`] serves every membership probe of the
+/// write, verdicts are memoised per customer / per query point, and
+/// probe counts enforce the configured write budget (over budget every
+/// answer degrades to the conservative `true`, and the cache falls
+/// back to a full flush).
+struct EngineWriteProbes<'a> {
+    tree: &'a RTree,
+    points: &'a [Point],
+    universe: &'a Rect,
+    cost: &'a CostModel,
+    eps: f64,
+    /// The written product's id (its point is `points[id]`, tombstoned
+    /// or live — both stay addressable).
+    id: u32,
+    scratch: WindowScratch,
+    affected: HashMap<u32, bool>,
+    by_query: HashMap<CoordKey, bool>,
+    /// Deletes only: ids of the victim's reverse-skyline members over
+    /// the post-delete tree — the only customers whose sole dominator
+    /// of any query the victim can have been. Computed lazily, once
+    /// per write.
+    shields: Option<Vec<u32>>,
+    probes_used: usize,
+    budget: usize,
+}
+
+impl EngineWriteProbes<'_> {
+    /// Charges one index probe against the budget; when exhausted the
+    /// caller must answer conservatively instead of probing.
+    fn charge(&mut self) -> bool {
+        self.probes_used += 1;
+        self.probes_used <= self.budget
+    }
+}
+
+impl WriteProbes for EngineWriteProbes<'_> {
+    fn customer(&self, id: u32) -> &Point {
+        &self.points[id as usize]
+    }
+
+    fn seed_affected(&mut self, id: u32, affected: bool) {
+        self.affected.insert(id, affected);
+    }
+
+    fn affected(&mut self, id: u32) -> bool {
+        if id == self.id {
+            // A customer's own tuple is excluded from its DSL, so the
+            // write of `id` itself never changes `DSL(id)`.
+            return false;
+        }
+        if let Some(&v) = self.affected.get(&id) {
+            return v;
+        }
+        let v = if self.charge() {
+            // `DSL(c)` gains/loses the written point `p` iff `p` is on
+            // c's dynamic-skyline frontier of the post-write tree: no
+            // other product dynamically dominates it w.r.t. c. (On
+            // insert `p` is in the tree but cannot dominate itself; on
+            // delete it is already out.)
+            is_reverse_skyline_member_with(
+                self.tree,
+                &self.points[id as usize],
+                &self.points[self.id as usize],
+                Some(ItemId(id)),
+                &mut self.scratch,
+            )
+        } else {
+            true
+        };
+        self.affected.insert(id, v);
+        v
+    }
+
+    fn insert_joins_rsl(&mut self, q: &Point) -> bool {
+        let key = CoordKey::of_point(q);
+        if let Some(&v) = self.by_query.get(&key) {
+            return v;
+        }
+        let v = if self.charge() {
+            is_reverse_skyline_member_with(
+                self.tree,
+                &self.points[self.id as usize],
+                q,
+                Some(ItemId(self.id)),
+                &mut self.scratch,
+            )
+        } else {
+            true
+        };
+        self.by_query.insert(key, v);
+        v
+    }
+
+    fn delete_admits_into_rsl(&mut self, q: &Point) -> bool {
+        let key = CoordKey::of_point(q);
+        if let Some(&v) = self.by_query.get(&key) {
+            return v;
+        }
+        let v = if self.charge() {
+            // A customer c joins RSL(q) only if the victim was its sole
+            // dominator of q. The victim then sits on DSL(c), i.e. c is
+            // in the victim's reverse skyline over the post-delete tree
+            // (any product beating the victim w.r.t. c would, by
+            // transitivity, still beat q). One reverse-skyline query
+            // per write bounds the candidates — a handful of points —
+            // and one membership probe per shielded candidate settles
+            // the join exactly.
+            let points = self.points;
+            let tree = self.tree;
+            let victim = &points[self.id as usize];
+            if self.shields.is_none() {
+                self.shields = Some(
+                    bbrs_reverse_skyline(tree, victim)
+                        .into_iter()
+                        .map(|(id, _)| id.0)
+                        .collect(),
+                );
+            }
+            let shields = self.shields.clone().unwrap_or_default();
+            let mut admits = false;
+            for cid in shields {
+                let c = &points[cid as usize];
+                if !dominates_dyn(victim, q, c) {
+                    continue;
+                }
+                if !self.charge()
+                    || is_reverse_skyline_member_with(
+                        tree,
+                        c,
+                        q,
+                        Some(ItemId(cid)),
+                        &mut self.scratch,
+                    )
+                {
+                    admits = true;
+                    break;
+                }
+            }
+            admits
+        } else {
+            true
+        };
+        self.by_query.insert(key, v);
+        v
+    }
+
+    fn insert_breaks_candidate(&self, q_star: &Point, c_star: &Point) -> bool {
+        // Weak per-dimension dominance of q* w.r.t. the repaired c*,
+        // widened by the verification tolerance: Algorithm 1 confirms
+        // repairs through ε-nudged probes, so a point landing within ε
+        // of the dominance boundary must count as breaking even if the
+        // exact comparison says otherwise.
+        let p = &self.points[self.id as usize];
+        (0..p.dim()).all(|i| {
+            let r = (q_star.get(i) - c_star.get(i)).abs();
+            let tol = self.eps + 1e-9 * (1.0 + r + c_star.get(i).abs());
+            (p.get(i) - c_star.get(i)).abs() <= r + tol
+        })
+    }
+
+    fn delete_unblocks_cheaper(&self, c: &Point, sr_bb: &Rect, cost_bar: f64) -> bool {
+        // Any repair position the victim alone was excluding lies in
+        // its release region against the candidate query box; if the
+        // cheapest such position (per-axis clamp — the weighted L1 is
+        // separable) already costs more than the cached optimum,
+        // removing the victim cannot have unblocked anything better.
+        // Ties evict: an equally cheap alternative could win a
+        // recomputation's ordering.
+        match release_region(&self.points[self.id as usize], sr_bb, self.universe) {
+            None => false,
+            Some(region) => {
+                let floor = self.cost.whynot_cost_to_rect(c, &region);
+                floor <= cost_bar + self.eps + 1e-9 * (1.0 + cost_bar)
+            }
+        }
+    }
+
+    fn over_budget(&self) -> bool {
+        self.probes_used > self.budget
     }
 }
 

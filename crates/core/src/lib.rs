@@ -55,7 +55,7 @@ pub mod safe_region;
 pub mod verify;
 
 pub use answer::Candidate;
-pub use cache::{CacheConfig, CacheStats, EngineCache};
+pub use cache::{CacheConfig, CacheStats, EngineCache, InvalidationMode};
 pub use engine::WhyNotEngine;
 pub use error::{EngineError, WnrsError};
 pub use eval::score_all_batch;

@@ -169,6 +169,56 @@ proptest! {
     }
 
     #[test]
+    fn surgical_interleavings_stay_partial_and_correct(
+        dist in 0u8..3,
+        n in 30usize..60,
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec((0u8..4, 0usize..1_000_000), 4..10),
+    ) {
+        // Like the interleaving test above, but every insert stays
+        // inside the dataset bounding box, so no write can grow the
+        // universe: the incremental cache must handle every mutation
+        // surgically — zero full flushes — while staying
+        // answer-identical to the plain engine.
+        let points = make_points(dist, n, seed);
+        let (mut plain, mut cached) = engines_of(points.clone());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+        let hot_q = query_in(&points, &mut rng);
+        let mut mutations = 0u64;
+        for (op, pick) in ops {
+            match op {
+                0 => {
+                    let p = query_in(&points, &mut rng);
+                    let a = plain.insert(p.clone());
+                    let b = cached.insert(p);
+                    prop_assert_eq!(a, b, "ids must stay in lockstep");
+                    mutations += 1;
+                }
+                1 => {
+                    let id = ItemId((pick % plain.len()) as u32);
+                    if plain.is_live(id) && plain.live_len() > 1 {
+                        prop_assert!(plain.delete(id));
+                        prop_assert!(cached.delete(id));
+                        mutations += 1;
+                    }
+                }
+                _ => {
+                    let q = if op == 2 { hot_q.clone() } else { query_in(&points, &mut rng) };
+                    let id = ItemId((pick % plain.len()) as u32);
+                    assert_all_algorithms_agree(&plain, &cached, id, &q);
+                }
+            }
+        }
+        let last = ItemId((plain.len() - 1) as u32);
+        assert_all_algorithms_agree(&plain, &cached, last, &hot_q);
+        let stats = cached.cache_stats().expect("cache enabled");
+        prop_assert_eq!(stats.invalidations, mutations);
+        prop_assert_eq!(stats.generation, mutations);
+        prop_assert_eq!(stats.partial_invalidations, mutations);
+        prop_assert_eq!(stats.full_flushes, 0);
+    }
+
+    #[test]
     fn batch_entry_points_match_singles(
         dist in 0u8..3,
         n in 30usize..70,
@@ -221,6 +271,59 @@ fn negative_zero_queries_share_entries_and_answers() {
         "-0.0 must key to the +0.0 entries"
     );
     assert!(after_neg.hits > after_pos.hits);
+}
+
+#[test]
+fn surgical_invalidation_is_selective() {
+    // The paper's running example (Fig. 2): customer c5 = pt5 = (24, 20)
+    // has DSL(c5) = {(19, 10), (16.5, 22), (4, 30), (2, 50)} in its
+    // distance space. A write *shielded* by a DSL member must leave the
+    // memoised entry in place; a write that joins the dynamic skyline
+    // must evict it — and both stay answer-identical to a plain engine.
+    let points = vec![
+        Point::xy(5.0, 30.0),  // pt1
+        Point::xy(7.5, 42.0),  // pt2
+        Point::xy(2.5, 70.0),  // pt3
+        Point::xy(7.5, 90.0),  // pt4
+        Point::xy(24.0, 20.0), // pt5 = c5
+        Point::xy(20.0, 50.0), // pt6
+        Point::xy(26.0, 70.0), // pt7
+        Point::xy(16.0, 80.0), // pt8
+    ];
+    let (mut plain, mut cached) = engines_of(points);
+    let q = Point::xy(8.5, 55.0);
+    let c5 = ItemId(4);
+    let has_dsl = |e: &WhyNotEngine| e.cache().expect("cache enabled").get_dsl(4).is_some();
+
+    assert_all_algorithms_agree(&plain, &cached, c5, &q);
+    assert!(has_dsl(&cached), "warm-up must memoise DSL(c5)");
+
+    // (7.0, 44.0) transforms to (17, 24) at c5 — dominated by the DSL
+    // member (16.5, 22), so DSL(c5) cannot change: the entry survives.
+    plain.insert(Point::xy(7.0, 44.0));
+    cached.insert(Point::xy(7.0, 44.0));
+    assert!(has_dsl(&cached), "shielded write must not evict DSL(c5)");
+    assert_all_algorithms_agree(&plain, &cached, c5, &q);
+
+    // (25.0, 60.0) transforms to (1, 40) — no DSL member dominates it,
+    // so it joins DSL(c5) and the stale entry must go.
+    assert!(has_dsl(&cached));
+    plain.insert(Point::xy(25.0, 60.0));
+    cached.insert(Point::xy(25.0, 60.0));
+    assert!(
+        !has_dsl(&cached),
+        "write inside the dominance region must evict DSL(c5)"
+    );
+    assert_all_algorithms_agree(&plain, &cached, c5, &q);
+
+    // Both writes landed inside the universe: handled surgically.
+    let stats = cached.cache_stats().expect("cache enabled");
+    assert_eq!(stats.partial_invalidations, 2);
+    assert_eq!(stats.full_flushes, 0);
+    assert!(
+        stats.dsl_evictions >= 1,
+        "the joining write evicts DSL entries"
+    );
 }
 
 #[test]

@@ -1,0 +1,150 @@
+//! Regression tests for tombstone compaction: a delete-heavy stream
+//! must not leave the engine dragging a tombstone-riddled index around.
+//! Once live points fall below half the physical id space, the engine
+//! renumbers them densely and bulk-loads a fresh R-tree — so window
+//! queries traverse an index shaped exactly like one built from scratch
+//! over the survivors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wnrs_core::WhyNotEngine;
+use wnrs_geometry::{Point, Rect};
+use wnrs_rtree::{ItemId, RTreeConfig};
+
+fn dataset(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    wnrs_data::uniform(&mut rng, n, 2)
+}
+
+fn config() -> RTreeConfig {
+    RTreeConfig::with_max_entries(8)
+}
+
+#[test]
+fn delete_heavy_stream_compacts_to_a_fresh_index() {
+    // Pin the bounding-box corners at the end of the dataset (they
+    // survive the deletes), so the fresh comparison engine sees the
+    // same universe — the engine's own universe never shrinks.
+    let mut points = dataset(400, 11);
+    points.push(Point::xy(0.0, 0.0));
+    points.push(Point::xy(1.0, 1.0));
+    let mut engine = WhyNotEngine::with_config(points.clone(), config());
+    // Deleting ids 0..=201 leaves 200 live of 402 physical — past the
+    // half-live threshold, so the last delete triggers compaction.
+    for i in 0..=201u32 {
+        assert!(engine.delete(ItemId(i)));
+    }
+    assert_eq!(engine.len(), 200, "tombstones must be dropped");
+    assert_eq!(engine.live_len(), 200);
+
+    // The rebuilt index is *identical in shape* to one bulk-loaded over
+    // the survivors in insertion order: window-query cost cannot have
+    // degraded relative to a fresh build. (The fresh engine borrows the
+    // compacted engine's cost model — a model built from the survivors
+    // would normalise by different extents.)
+    let fresh = WhyNotEngine::with_config(points[202..].to_vec(), config())
+        .with_cost_model(engine.cost_model().clone());
+    assert_eq!(engine.tree().height(), fresh.tree().height());
+    assert_eq!(engine.tree().node_count(), fresh.tree().node_count());
+    assert_eq!(engine.tree().len(), fresh.tree().len());
+
+    // Ids were remapped densely in insertion order, so every answer
+    // matches the fresh engine's.
+    let mut rng = StdRng::seed_from_u64(12);
+    let bounds = Rect::bounding(&points);
+    for _ in 0..4 {
+        let q = Point::xy(
+            rng.gen_range(bounds.lo()[0]..=bounds.hi()[0]),
+            rng.gen_range(bounds.lo()[1]..=bounds.hi()[1]),
+        );
+        let id = ItemId(rng.gen_range(0..200) as u32);
+        assert_eq!(
+            format!("{:?}", engine.reverse_skyline(&q)),
+            format!("{:?}", fresh.reverse_skyline(&q)),
+            "rsl diverged after compaction"
+        );
+        assert_eq!(
+            format!("{:?}", engine.explain(id, &q)),
+            format!("{:?}", fresh.explain(id, &q)),
+            "explain diverged after compaction"
+        );
+        assert_eq!(
+            format!("{:?}", engine.mwq_full(id, &q)),
+            format!("{:?}", fresh.mwq_full(id, &q)),
+            "mwq diverged after compaction"
+        );
+    }
+}
+
+#[test]
+fn compaction_keeps_cached_engine_in_lockstep() {
+    // Replicated engines (a cached one and its uncached cross-check
+    // twin) must agree through the remap: compaction is deterministic
+    // and always flushes the cache whole.
+    let points = dataset(120, 13);
+    let mut plain = WhyNotEngine::with_config(points.clone(), config());
+    let mut cached = WhyNotEngine::with_config(points.clone(), config()).with_cache();
+    let mut rng = StdRng::seed_from_u64(14);
+    let bounds = Rect::bounding(&points);
+    let mut q = || {
+        Point::xy(
+            rng.gen_range(bounds.lo()[0]..=bounds.hi()[0]),
+            rng.gen_range(bounds.lo()[1]..=bounds.hi()[1]),
+        )
+    };
+    let hot = q();
+    let mut deletes = 0u64;
+    for i in 0..=60u32 {
+        assert!(plain.delete(ItemId(i)));
+        assert!(cached.delete(ItemId(i)));
+        deletes += 1;
+        if i % 16 == 0 {
+            let id = ItemId(i + 2);
+            assert_eq!(
+                format!("{:?}", plain.mwq_full(id, &hot)),
+                format!("{:?}", cached.mwq_full(id, &hot)),
+                "cached engine diverged mid-stream"
+            );
+        }
+    }
+    // 61 deletes of 120: live 59 * 2 < 120 — the final delete fired
+    // compaction on both engines.
+    assert_eq!(plain.len(), 59);
+    assert_eq!(cached.len(), 59);
+    for want in 0..59u32 {
+        let id = ItemId(want);
+        assert!(plain.is_live(id) && cached.is_live(id));
+        assert_eq!(
+            format!("{:?}", plain.explain(id, &hot)),
+            format!("{:?}", cached.explain(id, &hot)),
+            "post-compaction explain diverged"
+        );
+    }
+    let stats = cached.cache_stats().expect("cache enabled");
+    // Every delete bumped the generation exactly once, compaction
+    // included — no answer can outlive the remap.
+    assert_eq!(stats.invalidations, deletes);
+    assert_eq!(stats.generation, deletes);
+    assert!(
+        stats.full_flushes >= 1,
+        "compaction flushes the cache whole"
+    );
+}
+
+#[test]
+fn compaction_threshold_is_half_live() {
+    let points = dataset(100, 15);
+    let mut engine = WhyNotEngine::with_config(points, config());
+    // 50 live of 100 physical: 50 * 2 == 100, not strictly below — no
+    // compaction yet, ids still addressable as tombstones.
+    for i in 0..50u32 {
+        assert!(engine.delete(ItemId(i)));
+    }
+    assert_eq!(engine.len(), 100);
+    assert_eq!(engine.live_len(), 50);
+    assert!(!engine.is_live(ItemId(0)));
+    // One more delete tips it: 49 * 2 < 100.
+    assert!(engine.delete(ItemId(50)));
+    assert_eq!(engine.len(), 49);
+    assert_eq!(engine.live_len(), 49);
+}

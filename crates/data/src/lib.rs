@@ -28,4 +28,7 @@ pub mod workload;
 
 pub use cardb::cardb;
 pub use synthetic::{anticorrelated, clustered, correlated, uniform};
-pub use workload::{select_why_not, BatchQuestion, QueryWorkload, RepeatedWorkload, WorkloadQuery};
+pub use workload::{
+    select_why_not, BatchQuestion, QueryWorkload, RepeatedWorkload, StreamOp, WorkloadQuery,
+    WriteMixWorkload,
+};

@@ -210,6 +210,103 @@ impl RepeatedWorkload {
     }
 }
 
+/// One operation in a read/write interleaved benchmark stream.
+#[derive(Debug, Clone)]
+pub enum StreamOp {
+    /// Answer a batch why-not question.
+    Question(BatchQuestion),
+    /// Insert a new product. The point is interpolated between two
+    /// existing data points, so the dataset bounding box (and hence the
+    /// engine's universe) never grows.
+    Insert(Point),
+    /// Delete the `k`-th previously emitted [`StreamOp::Insert`]
+    /// (0-based, each inserted product deleted at most once), keeping
+    /// the live dataset size stable over long streams.
+    DeleteInserted(usize),
+}
+
+/// A question stream interleaved with a deterministic trickle of
+/// inserts and deletes — the write-traffic mix the surgical cache
+/// invalidation benchmarks replay. `write_fraction` is expressed
+/// relative to the number of *why-not answers* a question produces: a
+/// question carrying `W` customers advances a fractional accumulator
+/// by `W · f`, and each time it crosses 1 a write is emitted after the
+/// question, alternating insert / delete-of-a-prior-insert.
+#[derive(Debug, Clone, Default)]
+pub struct WriteMixWorkload {
+    /// The operation stream, in arrival order.
+    pub ops: Vec<StreamOp>,
+    /// Number of write operations in `ops`.
+    pub writes: usize,
+    /// Number of questions in `ops`.
+    pub questions: usize,
+}
+
+impl WriteMixWorkload {
+    /// Interleaves writes into a question stream. Deterministic for a
+    /// seeded `rng`; `write_fraction` must be in `[0, 1]`. Deletes only
+    /// ever target previously inserted points (the original dataset is
+    /// never shrunk), and a delete scheduled before any insert is
+    /// pending is emitted as an insert instead.
+    #[must_use]
+    pub fn from_questions<R: Rng + ?Sized>(
+        questions: Vec<BatchQuestion>,
+        points: &[Point],
+        write_fraction: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&write_fraction),
+            "write_fraction must be a fraction"
+        );
+        assert!(!points.is_empty(), "workload needs data");
+        let d = points[0].dim();
+        let n_questions = questions.len();
+        let mut ops = Vec::with_capacity(n_questions);
+        let mut acc = 0.0;
+        let mut inserted = 0usize;
+        let mut next_delete = 0usize;
+        let mut next_is_insert = true;
+        let mut writes = 0usize;
+        for question in questions {
+            acc += write_fraction * question.whynot.len() as f64;
+            ops.push(StreamOp::Question(question));
+            while acc >= 1.0 {
+                acc -= 1.0;
+                if next_is_insert || next_delete >= inserted {
+                    let a = &points[rng.gen_range(0..points.len())];
+                    let b = &points[rng.gen_range(0..points.len())];
+                    let t = rng.gen::<f64>();
+                    let p =
+                        Point::new((0..d).map(|i| a[i] + t * (b[i] - a[i])).collect::<Vec<_>>());
+                    ops.push(StreamOp::Insert(p));
+                    inserted += 1;
+                } else {
+                    ops.push(StreamOp::DeleteInserted(next_delete));
+                    next_delete += 1;
+                }
+                next_is_insert = !next_is_insert;
+                writes += 1;
+            }
+        }
+        Self {
+            ops,
+            writes,
+            questions: n_questions,
+        }
+    }
+
+    /// Number of operations in the stream.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
 /// Picks a random why-not point for `q`: a data point that is *not* in
 /// the reverse skyline (the paper's selection). Returns `None` if every
 /// point is a member (degenerate tiny datasets).
@@ -312,6 +409,77 @@ mod tests {
         let repeated = counts.values().filter(|&&c| c == 4).count();
         assert_eq!(singles, 2);
         assert_eq!(repeated, 3);
+    }
+
+    #[test]
+    fn zero_write_mix_is_the_plain_stream() {
+        let pts = dataset();
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        let mut rng = StdRng::seed_from_u64(6);
+        let base = RepeatedWorkload::repeated(&tree, &pts, 3, 4, 8, &mut rng);
+        let mix = WriteMixWorkload::from_questions(base.questions.clone(), &pts, 0.0, &mut rng);
+        assert_eq!(mix.writes, 0);
+        assert_eq!(mix.questions, 12);
+        assert_eq!(mix.len(), 12);
+        assert!(mix.ops.iter().all(|op| matches!(op, StreamOp::Question(_))));
+    }
+
+    #[test]
+    fn write_mix_paces_and_alternates_writes() {
+        let pts = dataset();
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = RepeatedWorkload::repeated(&tree, &pts, 4, 5, 10, &mut rng);
+        let mix = WriteMixWorkload::from_questions(base.questions.clone(), &pts, 0.05, &mut rng);
+        // 20 questions × 10 customers × 5% = 10 writes exactly.
+        assert_eq!(mix.questions, 20);
+        assert_eq!(mix.writes, 10);
+        assert_eq!(mix.len(), 30);
+        let bounds = wnrs_geometry::Rect::bounding(&pts);
+        let mut inserts = 0usize;
+        let mut deleted = std::collections::HashSet::new();
+        for op in &mix.ops {
+            match op {
+                StreamOp::Question(_) => {}
+                StreamOp::Insert(p) => {
+                    // Interpolated points never grow the universe.
+                    assert!(bounds.contains_point(p));
+                    inserts += 1;
+                }
+                StreamOp::DeleteInserted(k) => {
+                    // Deletes only reference prior inserts, each once.
+                    assert!(*k < inserts, "delete of not-yet-inserted point");
+                    assert!(deleted.insert(*k), "double delete");
+                }
+            }
+        }
+        // Alternation keeps the stream roughly balanced.
+        assert_eq!(inserts, 5);
+        assert_eq!(deleted.len(), 5);
+    }
+
+    #[test]
+    fn write_mix_is_deterministic_for_a_seed() {
+        let pts = dataset();
+        let tree = bulk_load(&pts, RTreeConfig::paper_default(2));
+        let mut rng = StdRng::seed_from_u64(8);
+        let base = RepeatedWorkload::repeated(&tree, &pts, 3, 3, 8, &mut rng);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let a = WriteMixWorkload::from_questions(base.questions.clone(), &pts, 0.1, &mut rng_a);
+        let b = WriteMixWorkload::from_questions(base.questions.clone(), &pts, 0.1, &mut rng_b);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.ops.iter().zip(&b.ops) {
+            match (x, y) {
+                (StreamOp::Question(p), StreamOp::Question(q)) => {
+                    assert!(p.q.same_location(&q.q));
+                    assert_eq!(p.whynot, q.whynot);
+                }
+                (StreamOp::Insert(p), StreamOp::Insert(q)) => assert!(p.same_location(q)),
+                (StreamOp::DeleteInserted(i), StreamOp::DeleteInserted(j)) => assert_eq!(i, j),
+                other => panic!("streams diverged: {other:?}"),
+            }
+        }
     }
 
     #[test]

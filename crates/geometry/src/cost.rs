@@ -8,6 +8,7 @@
 
 use crate::normalize::MinMaxNormalizer;
 use crate::point::Point;
+use crate::rect::Rect;
 
 /// A per-dimension weight vector with entries in `[0, 1]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,6 +134,31 @@ impl CostModel {
     pub fn total_cost(&self, q: &Point, q_star: &Point, c: &Point, c_star: &Point) -> f64 {
         self.query_cost(q, q_star) + self.whynot_cost(c, c_star)
     }
+
+    /// Single-dimension Eqn-(11) contribution `β_i · |a − b|`
+    /// (normalised if configured).
+    pub fn whynot_cost_dim(&self, i: usize, a: f64, b: f64) -> f64 {
+        let gap = match &self.normalizer {
+            Some(n) => n.normalize_gap(i, a, b),
+            None => (a - b).abs(),
+        };
+        self.beta.get(i) * gap
+    }
+
+    /// The Eqn-(11) cost from `c` to the nearest point of `rect`.
+    /// Exact, because the weighted L1 is separable per dimension and
+    /// the normalisation affine: the nearest point is the per-axis
+    /// clamp of `c` into the box.
+    pub fn whynot_cost_to_rect(&self, c: &Point, rect: &Rect) -> f64 {
+        assert_eq!(c.dim(), self.dim(), "dimensionality mismatch");
+        assert_eq!(rect.dim(), self.dim(), "dimensionality mismatch");
+        (0..self.dim())
+            .map(|i| {
+                let xi = c[i].clamp(rect.lo()[i], rect.hi()[i]);
+                self.whynot_cost_dim(i, c[i], xi)
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +192,22 @@ mod tests {
         let qs = Point::xy(1.0, 1.0);
         assert!((m.query_cost(&q, &qs) - 1.0).abs() < 1e-12);
         assert_eq!(m.query_cost(&q, &q), 0.0);
+    }
+
+    #[test]
+    fn rect_cost_is_the_clamp_cost() {
+        let dataset = vec![Point::xy(0.0, 0.0), Point::xy(10.0, 20.0)];
+        let m = CostModel::paper_default(&dataset);
+        let rect = Rect::new(Point::xy(4.0, 8.0), Point::xy(6.0, 12.0));
+        // Outside the box: nearest point is the per-axis clamp.
+        let c = Point::xy(0.0, 16.0);
+        let clamp = Point::xy(4.0, 12.0);
+        assert!((m.whynot_cost_to_rect(&c, &rect) - m.whynot_cost(&c, &clamp)).abs() < 1e-12);
+        // Inside the box: free.
+        assert_eq!(m.whynot_cost_to_rect(&Point::xy(5.0, 10.0), &rect), 0.0);
+        // Per-dimension pieces sum to the full Eqn-(11) cost.
+        let total: f64 = (0..2).map(|i| m.whynot_cost_dim(i, c[i], clamp[i])).sum();
+        assert!((total - m.whynot_cost(&c, &clamp)).abs() < 1e-12);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod cost;
 pub mod dominance;
+pub mod invalidate;
 pub mod key;
 pub mod normalize;
 pub mod parallel;
@@ -46,6 +47,7 @@ pub mod transform;
 
 pub use cost::{CostModel, Weights};
 pub use dominance::{dominates, dominates_components, dominates_dyn, dominates_global, Dominance};
+pub use invalidate::{dominator_region, release_region};
 pub use key::{f64_key, CoordKey};
 pub use normalize::MinMaxNormalizer;
 pub use parallel::Parallelism;

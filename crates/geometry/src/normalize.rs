@@ -77,6 +77,17 @@ impl MinMaxNormalizer {
     pub fn l1(&self, a: &Point, b: &Point) -> f64 {
         self.normalize(a).l1(&self.normalize(b))
     }
+
+    /// Normalised gap `|a − b|` along a single dimension — the affine
+    /// map cancels its offset, leaving a pure rescale (zero on
+    /// zero-spread dimensions, matching [`MinMaxNormalizer::normalize`]).
+    pub fn normalize_gap(&self, i: usize, a: f64, b: f64) -> f64 {
+        if self.span[i] > 0.0 {
+            (a - b).abs() / self.span[i]
+        } else {
+            0.0
+        }
+    }
 }
 
 #[cfg(test)]

@@ -84,11 +84,27 @@ pub enum Counter {
     PoolHits = 9,
     /// Buffer-pool page reads that went to the backing pager.
     PoolMisses = 10,
+    /// Per-customer dynamic-skyline entries dropped by surgical
+    /// invalidation (a write changed `DSL(c)`).
+    CacheEvictionsDsl = 11,
+    /// Anti-DDR entries dropped because their customer was affected.
+    CacheEvictionsAntiDdr = 12,
+    /// Reverse-skyline / safe-region entries dropped because a recorded
+    /// dependency customer was affected or the membership set moved.
+    CacheEvictionsSr = 13,
+    /// MWQ answers dropped because the write touched their dependency
+    /// set, membership, or cached optimum (culprit windows are
+    /// repaired in place, never evicted).
+    CacheEvictionsMwq = 14,
+    /// Writes handled by surgical (partial) invalidation.
+    CachePartialInvalidations = 15,
+    /// Writes (or capacity/consistency events) that flushed every map.
+    CacheFullFlushes = 16,
 }
 
 impl Counter {
     /// Number of counters (array dimension for per-span attribution).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 17;
 
     /// The stable, export-facing name (snake_case; used as the JSON
     /// key and the Prometheus metric suffix).
@@ -106,6 +122,12 @@ impl Counter {
             Counter::CacheInvalidations => "engine_cache_invalidations",
             Counter::PoolHits => "pool_page_hits",
             Counter::PoolMisses => "pool_page_misses",
+            Counter::CacheEvictionsDsl => "cache_evictions_dsl",
+            Counter::CacheEvictionsAntiDdr => "cache_evictions_antiddr",
+            Counter::CacheEvictionsSr => "cache_evictions_sr",
+            Counter::CacheEvictionsMwq => "cache_evictions_mwq",
+            Counter::CachePartialInvalidations => "cache_partial_invalidations",
+            Counter::CacheFullFlushes => "cache_full_flushes",
         }
     }
 
@@ -124,6 +146,12 @@ impl Counter {
             Counter::CacheInvalidations,
             Counter::PoolHits,
             Counter::PoolMisses,
+            Counter::CacheEvictionsDsl,
+            Counter::CacheEvictionsAntiDdr,
+            Counter::CacheEvictionsSr,
+            Counter::CacheEvictionsMwq,
+            Counter::CachePartialInvalidations,
+            Counter::CacheFullFlushes,
         ]
     }
 }

@@ -11,8 +11,9 @@ use wnrs_geometry::{dominates_dyn, Point, Rect};
 use wnrs_rtree::{ItemId, RTree, WindowScratch};
 
 /// The culprit set `Λ = window_query(c, q)`: all products that
-/// dynamically dominate `q` with respect to `c`. `exclude` removes the
-/// customer's own tuple in the monochromatic setting.
+/// dynamically dominate `q` with respect to `c`, in ascending id order.
+/// `exclude` removes the customer's own tuple in the monochromatic
+/// setting.
 ///
 /// # Examples
 ///
@@ -50,8 +51,12 @@ pub fn window_query(
 
 /// As [`window_query`], but reusing a descent-stack scratch and an output
 /// buffer across calls — the per-customer hot path of the naive and BBRS
-/// verification loops. `out` is cleared first; results appear in index
-/// traversal order, as with [`window_query`].
+/// verification loops. `out` is cleared first; results are in ascending
+/// id order (as with [`window_query`]): a *canonical* order, independent
+/// of the index's node layout, so culprit sets — and everything that
+/// tie-breaks on their order, like Algorithm 1's candidate staircase —
+/// compare bit-identically between a cached answer and a recomputation
+/// against a tree whose shape has changed under writes.
 pub fn window_query_into(
     products: &RTree,
     c: &Point,
@@ -64,6 +69,7 @@ pub fn window_query_into(
     out.clear();
     products.window_into_with(&rect, scratch, out);
     out.retain(|(id, p)| Some(*id) != exclude && dominates_dyn(p, q, c));
+    out.sort_unstable_by_key(|(id, _)| *id);
 }
 
 /// Whether `c ∈ RSL(q)`: true iff the window query finds no dominating

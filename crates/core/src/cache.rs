@@ -91,9 +91,10 @@
 //! MWQ entry, bounded by the same capacities.
 
 use crate::mwq::MwqAnswer;
+use crate::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
 use wnrs_geometry::{dominates_dyn, CoordKey, Point, Rect, Region};
 use wnrs_obs::Counter;
 use wnrs_rtree::ItemId;
@@ -191,6 +192,9 @@ pub struct CacheStats {
     /// MWQ-answer entries evicted surgically (culprit windows are
     /// repaired in place, never evicted).
     pub mwq_evictions: u64,
+    /// Fills dropped because the generation moved between the miss and
+    /// the store (stale-fill protection; concurrent readers only).
+    pub stale_fills: u64,
 }
 
 impl CacheStats {
@@ -362,6 +366,7 @@ pub struct EngineCache {
     addr_evictions: AtomicU64,
     sr_evictions: AtomicU64,
     mwq_evictions: AtomicU64,
+    stale_fills: AtomicU64,
     state: RwLock<CacheState>,
 }
 
@@ -391,6 +396,7 @@ impl EngineCache {
             addr_evictions: AtomicU64::new(0),
             sr_evictions: AtomicU64::new(0),
             mwq_evictions: AtomicU64::new(0),
+            stale_fills: AtomicU64::new(0),
             state: RwLock::new(CacheState::empty()),
         }
     }
@@ -422,6 +428,7 @@ impl EngineCache {
             addr_evictions: self.addr_evictions.load(Ordering::Relaxed),
             sr_evictions: self.sr_evictions.load(Ordering::Relaxed),
             mwq_evictions: self.mwq_evictions.load(Ordering::Relaxed),
+            stale_fills: self.stale_fills.load(Ordering::Relaxed),
         }
     }
 
@@ -689,6 +696,24 @@ impl EngineCache {
         value
     }
 
+    /// Stale-fill protection: a fill computed under `expected_gen` may
+    /// only land while the state is still at that generation. If a
+    /// writer invalidated in between (possible only with concurrent
+    /// readers — the engine's `&mut` mutation discipline serialises
+    /// this away single-threaded), the maps were already flushed for
+    /// the new generation; inserting the stale value afterwards would
+    /// resurrect a pre-write answer whose generation tag looks current
+    /// (an ABA the lookup-side `guarded` check cannot catch). Dropped
+    /// fills are counted in [`CacheStats::stale_fills`].
+    fn fill_allowed(&self, state: &CacheState, expected_gen: u64) -> bool {
+        if state.generation == expected_gen {
+            return true;
+        }
+        self.stale_fills.fetch_add(1, Ordering::Relaxed);
+        wnrs_obs::record(Counter::CacheStaleFills);
+        false
+    }
+
     /// Pre-insert capacity check: flushes `map` when full, counting the
     /// dropped entries as evictions.
     fn make_room<K, V>(&self, map: &mut HashMap<K, V>, capacity: usize) {
@@ -713,11 +738,19 @@ impl EngineCache {
 
     /// Stores the dynamic skyline of customer `id`, returning the
     /// shared handle.
-    pub fn put_dsl(&self, id: u32, dsl: Vec<(ItemId, Point)>) -> SharedItems {
+    ///
+    /// `expected_gen` must be [`EngineCache::generation`] sampled
+    /// before the lookup that missed; the fill is dropped (and the
+    /// computed value simply returned to the caller) if the dataset
+    /// generation moved in between. Every `put_*` method follows this
+    /// contract.
+    pub fn put_dsl(&self, expected_gen: u64, id: u32, dsl: Vec<(ItemId, Point)>) -> SharedItems {
         let shared = Arc::new(dsl);
         let mut state = self.write_state();
-        self.make_room(&mut state.dsl, self.config.customer_capacity);
-        state.dsl.insert(id, Arc::clone(&shared));
+        if self.fill_allowed(&state, expected_gen) {
+            self.make_room(&mut state.dsl, self.config.customer_capacity);
+            state.dsl.insert(id, Arc::clone(&shared));
+        }
         shared
     }
 
@@ -728,12 +761,15 @@ impl EngineCache {
         self.counted(self.guarded(&state, state.addr.get(key)).map(Arc::clone))
     }
 
-    /// Stores an anti-DDR region, returning the shared handle.
-    pub fn put_addr(&self, key: AddrKey, region: Region) -> Arc<Region> {
+    /// Stores an anti-DDR region, returning the shared handle
+    /// (generation-checked, see [`EngineCache::put_dsl`]).
+    pub fn put_addr(&self, expected_gen: u64, key: AddrKey, region: Region) -> Arc<Region> {
         let shared = Arc::new(region);
         let mut state = self.write_state();
-        self.make_room(&mut state.addr, self.config.customer_capacity);
-        state.addr.insert(key, Arc::clone(&shared));
+        if self.fill_allowed(&state, expected_gen) {
+            self.make_room(&mut state.addr, self.config.customer_capacity);
+            state.addr.insert(key, Arc::clone(&shared));
+        }
         shared
     }
 
@@ -754,17 +790,25 @@ impl EngineCache {
     /// Stores a reverse skyline for query point `q`, returning the
     /// shared handle. The point rides along so surgical eviction can
     /// run dominance tests without reconstructing it from the key.
-    pub fn put_rsl(&self, q_key: CoordKey, q: Point, rsl: Vec<(ItemId, Point)>) -> SharedItems {
+    pub fn put_rsl(
+        &self,
+        expected_gen: u64,
+        q_key: CoordKey,
+        q: Point,
+        rsl: Vec<(ItemId, Point)>,
+    ) -> SharedItems {
         let shared = Arc::new(rsl);
         let mut state = self.write_state();
-        self.make_room(&mut state.rsl, self.config.query_capacity);
-        state.rsl.insert(
-            q_key,
-            RslEntry {
-                q,
-                items: Arc::clone(&shared),
-            },
-        );
+        if self.fill_allowed(&state, expected_gen) {
+            self.make_room(&mut state.rsl, self.config.query_capacity);
+            state.rsl.insert(
+                q_key,
+                RslEntry {
+                    q,
+                    items: Arc::clone(&shared),
+                },
+            );
+        }
         shared
     }
 
@@ -780,12 +824,21 @@ impl EngineCache {
         )
     }
 
-    /// Stores an exact safe region, returning the shared entry.
-    pub fn put_sr_exact(&self, q_key: CoordKey, rsl_ids: Vec<u32>, region: Region) -> Arc<SrEntry> {
+    /// Stores an exact safe region, returning the shared entry
+    /// (generation-checked, see [`EngineCache::put_dsl`]).
+    pub fn put_sr_exact(
+        &self,
+        expected_gen: u64,
+        q_key: CoordKey,
+        rsl_ids: Vec<u32>,
+        region: Region,
+    ) -> Arc<SrEntry> {
         let shared = Arc::new(SrEntry { rsl_ids, region });
         let mut state = self.write_state();
-        self.make_room(&mut state.sr_exact, self.config.query_capacity);
-        state.sr_exact.insert(q_key, Arc::clone(&shared));
+        if self.fill_allowed(&state, expected_gen) {
+            self.make_room(&mut state.sr_exact, self.config.query_capacity);
+            state.sr_exact.insert(q_key, Arc::clone(&shared));
+        }
         shared
     }
 
@@ -801,17 +854,21 @@ impl EngineCache {
         )
     }
 
-    /// Stores an approximate safe region, returning the shared entry.
+    /// Stores an approximate safe region, returning the shared entry
+    /// (generation-checked, see [`EngineCache::put_dsl`]).
     pub fn put_sr_approx(
         &self,
+        expected_gen: u64,
         key: SrApproxKey,
         rsl_ids: Vec<u32>,
         region: Region,
     ) -> Arc<SrEntry> {
         let shared = Arc::new(SrEntry { rsl_ids, region });
         let mut state = self.write_state();
-        self.make_room(&mut state.sr_approx, self.config.query_capacity);
-        state.sr_approx.insert(key, Arc::clone(&shared));
+        if self.fill_allowed(&state, expected_gen) {
+            self.make_room(&mut state.sr_approx, self.config.query_capacity);
+            state.sr_approx.insert(key, Arc::clone(&shared));
+        }
         shared
     }
 
@@ -830,23 +887,26 @@ impl EngineCache {
     }
 
     /// Stores a culprit window anchored at `anchor`, returning the
-    /// shared handle.
+    /// shared handle (generation-checked, see [`EngineCache::put_dsl`]).
     pub fn put_lambda(
         &self,
+        expected_gen: u64,
         key: PairKey,
         anchor: Point,
         lambda: Vec<(ItemId, Point)>,
     ) -> SharedItems {
         let shared = Arc::new(lambda);
         let mut state = self.write_state();
-        self.make_room(&mut state.lambda, self.config.lambda_capacity);
-        state.lambda.insert(
-            key,
-            LambdaEntry {
-                anchor,
-                items: Arc::clone(&shared),
-            },
-        );
+        if self.fill_allowed(&state, expected_gen) {
+            self.make_room(&mut state.lambda, self.config.lambda_capacity);
+            state.lambda.insert(
+                key,
+                LambdaEntry {
+                    anchor,
+                    items: Arc::clone(&shared),
+                },
+            );
+        }
         shared
     }
 
@@ -866,9 +926,11 @@ impl EngineCache {
 
     /// Stores a full-pipeline MWQ answer with its dependency metadata
     /// (query point, reverse-skyline ids, and the safe region's
-    /// bounding box), returning the shared handle.
+    /// bounding box), returning the shared handle (generation-checked,
+    /// see [`EngineCache::put_dsl`]).
     pub fn put_mwq(
         &self,
+        expected_gen: u64,
         key: PairKey,
         q: Point,
         deps: Vec<u32>,
@@ -877,16 +939,18 @@ impl EngineCache {
     ) -> Arc<MwqAnswer> {
         let shared = Arc::new(answer);
         let mut state = self.write_state();
-        self.make_room(&mut state.mwq, self.config.query_capacity);
-        state.mwq.insert(
-            key,
-            MwqEntry {
-                q,
-                deps,
-                sr_bb,
-                answer: Arc::clone(&shared),
-            },
-        );
+        if self.fill_allowed(&state, expected_gen) {
+            self.make_room(&mut state.mwq, self.config.query_capacity);
+            state.mwq.insert(
+                key,
+                MwqEntry {
+                    q,
+                    deps,
+                    sr_bb,
+                    answer: Arc::clone(&shared),
+                },
+            );
+        }
         shared
     }
 }
@@ -969,6 +1033,7 @@ mod tests {
         let k = key(1.0, 2.0);
         assert!(cache.get_rsl(&k).is_none());
         cache.put_rsl(
+            cache.generation(),
             k.clone(),
             Point::xy(1.0, 2.0),
             vec![(ItemId(3), Point::xy(9.0, 9.0))],
@@ -994,7 +1059,12 @@ mod tests {
     #[test]
     fn negative_zero_keys_unify() {
         let cache = EngineCache::new(CacheConfig::default());
-        cache.put_rsl(key(-0.0, 5.0), Point::xy(-0.0, 5.0), vec![]);
+        cache.put_rsl(
+            cache.generation(),
+            key(-0.0, 5.0),
+            Point::xy(-0.0, 5.0),
+            vec![],
+        );
         assert!(cache.get_rsl(&key(0.0, 5.0)).is_some());
     }
 
@@ -1003,7 +1073,7 @@ mod tests {
         let cache = EngineCache::new(CacheConfig::default());
         let k = key(3.0, 4.0);
         let region = Region::from_rect(Rect::new(Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)));
-        cache.put_sr_exact(k.clone(), vec![1, 2, 5], region);
+        cache.put_sr_exact(cache.generation(), k.clone(), vec![1, 2, 5], region);
         assert!(cache.get_sr_exact(&k, &[1, 2, 5]).is_some());
         assert!(
             cache.get_sr_exact(&k, &[1, 2]).is_none(),
@@ -1019,10 +1089,25 @@ mod tests {
             customer_capacity: 2,
             ..CacheConfig::default()
         });
-        cache.put_rsl(key(0.0, 0.0), Point::xy(0.0, 0.0), vec![]);
-        cache.put_rsl(key(1.0, 0.0), Point::xy(1.0, 0.0), vec![]);
+        cache.put_rsl(
+            cache.generation(),
+            key(0.0, 0.0),
+            Point::xy(0.0, 0.0),
+            vec![],
+        );
+        cache.put_rsl(
+            cache.generation(),
+            key(1.0, 0.0),
+            Point::xy(1.0, 0.0),
+            vec![],
+        );
         // Third insert overflows: the map flushes first.
-        cache.put_rsl(key(2.0, 0.0), Point::xy(2.0, 0.0), vec![]);
+        cache.put_rsl(
+            cache.generation(),
+            key(2.0, 0.0),
+            Point::xy(2.0, 0.0),
+            vec![],
+        );
         assert!(cache.get_rsl(&key(0.0, 0.0)).is_none());
         assert!(cache.get_rsl(&key(2.0, 0.0)).is_some());
         assert_eq!(cache.stats().evictions, 2);
@@ -1032,6 +1117,7 @@ mod tests {
     fn lambda_keys_are_per_customer() {
         let cache = EngineCache::new(CacheConfig::default());
         cache.put_lambda(
+            cache.generation(),
             (key(1.0, 1.0), 7),
             Point::xy(1.0, 1.0),
             vec![(ItemId(0), Point::xy(0.5, 0.5))],
@@ -1045,9 +1131,47 @@ mod tests {
         // Exercise the defence-in-depth branch directly: bump the
         // counter without flushing (simulating a racy writer).
         let cache = EngineCache::new(CacheConfig::default());
-        cache.put_rsl(key(1.0, 1.0), Point::xy(1.0, 1.0), vec![]);
+        cache.put_rsl(
+            cache.generation(),
+            key(1.0, 1.0),
+            Point::xy(1.0, 1.0),
+            vec![],
+        );
         cache.generation.fetch_add(1, Ordering::AcqRel);
         assert!(cache.get_rsl(&key(1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn stale_fill_is_dropped_after_intervening_invalidation() {
+        // The threadless replay of the fill/invalidate race: a reader
+        // samples the generation, misses, computes — and a writer
+        // invalidates before the fill lands. Without the generation
+        // check the insert would resurrect a pre-write answer whose
+        // state generation looks current.
+        let cache = EngineCache::new(CacheConfig::default());
+        let k = key(1.0, 1.0);
+        let expected_gen = cache.generation();
+        assert!(cache.get_rsl(&k).is_none());
+
+        cache.invalidate(); // the racing writer lands first
+
+        let returned = cache.put_rsl(
+            expected_gen,
+            k.clone(),
+            Point::xy(1.0, 1.0),
+            vec![(ItemId(3), Point::xy(9.0, 9.0))],
+        );
+        assert_eq!(returned.len(), 1, "the caller still gets its own value");
+        assert!(
+            cache.get_rsl(&k).is_none(),
+            "the stale fill must not be served to later readers"
+        );
+        assert_eq!(cache.stats().stale_fills, 1);
+
+        // A fill at the *current* generation lands normally.
+        cache.put_rsl(cache.generation(), k.clone(), Point::xy(1.0, 1.0), vec![]);
+        assert!(cache.get_rsl(&k).is_some());
+        assert_eq!(cache.stats().stale_fills, 1);
     }
 
     #[test]
@@ -1057,7 +1181,11 @@ mod tests {
         // (shielded: DSL unchanged); inserting (0.5, 0.5) is not.
         let cache = EngineCache::new(CacheConfig::default());
         let origin = Point::xy(0.0, 0.0);
-        cache.put_dsl(0, vec![(ItemId(1), Point::xy(1.0, 1.0))]);
+        cache.put_dsl(
+            cache.generation(),
+            0,
+            vec![(ItemId(1), Point::xy(1.0, 1.0))],
+        );
 
         let mut probes = MockProbes::new(vec![origin.clone(), Point::xy(1.0, 1.0)]);
         let shielded = Point::xy(5.0, 5.0);
@@ -1092,8 +1220,16 @@ mod tests {
     #[test]
     fn surgical_delete_evicts_dsl_containing_victim_only() {
         let cache = EngineCache::new(CacheConfig::default());
-        cache.put_dsl(0, vec![(ItemId(5), Point::xy(1.0, 1.0))]);
-        cache.put_dsl(1, vec![(ItemId(6), Point::xy(2.0, 2.0))]);
+        cache.put_dsl(
+            cache.generation(),
+            0,
+            vec![(ItemId(5), Point::xy(1.0, 1.0))],
+        );
+        cache.put_dsl(
+            cache.generation(),
+            1,
+            vec![(ItemId(6), Point::xy(2.0, 2.0))],
+        );
         let victim = Point::xy(1.0, 1.0);
         let mut probes = MockProbes::new(vec![
             Point::xy(0.0, 0.0),
@@ -1127,11 +1263,12 @@ mod tests {
         let cache = EngineCache::new(CacheConfig::default());
         let anchor = Point::xy(10.0, 10.0);
         cache.put_lambda(
+            cache.generation(),
             (key(10.0, 10.0), 0),
             anchor.clone(),
             vec![(ItemId(12), Point::xy(5.0, 5.0))],
         );
-        cache.put_lambda((key(10.0, 10.0), 1), anchor, vec![]);
+        cache.put_lambda(cache.generation(), (key(10.0, 10.0), 1), anchor, vec![]);
 
         let customers = vec![Point::xy(0.0, 0.0), Point::xy(100.0, 100.0)];
         let mut probes = MockProbes::new(customers.clone());
@@ -1203,6 +1340,7 @@ mod tests {
         let sr_bb = Rect::new(Point::xy(2.0, 2.0), Point::xy(6.0, 6.0));
         let fill = |cache: &EngineCache| {
             cache.put_mwq(
+                cache.generation(),
                 k.clone(),
                 Point::xy(3.0, 3.0),
                 vec![],
@@ -1263,8 +1401,17 @@ mod tests {
     #[test]
     fn over_budget_write_falls_back_to_full_flush() {
         let cache = EngineCache::new(CacheConfig::default());
-        cache.put_rsl(key(1.0, 1.0), Point::xy(1.0, 1.0), vec![]);
-        cache.put_dsl(0, vec![(ItemId(1), Point::xy(1.0, 1.0))]);
+        cache.put_rsl(
+            cache.generation(),
+            key(1.0, 1.0),
+            Point::xy(1.0, 1.0),
+            vec![],
+        );
+        cache.put_dsl(
+            cache.generation(),
+            0,
+            vec![(ItemId(1), Point::xy(1.0, 1.0))],
+        );
         let mut probes = MockProbes::new(vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)]);
         probes.budget = 0;
         let p = Point::xy(50.0, 50.0);

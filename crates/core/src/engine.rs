@@ -435,11 +435,12 @@ impl WhyNotEngine {
     /// excluded). The DSL depends only on the dataset, so one entry
     /// serves every universe and shrink.
     fn dsl_for(&self, cache: &EngineCache, id: ItemId) -> SharedItems {
+        let expected_gen = cache.generation();
         if let Some(dsl) = cache.get_dsl(id.0) {
             return dsl;
         }
         let dsl = bbs_dynamic_skyline_excluding(&self.tree, self.point(id), Some(id));
-        cache.put_dsl(id.0, dsl)
+        cache.put_dsl(expected_gen, id.0, dsl)
     }
 
     /// The memoised anti-DDR of customer `id` for a given universe and
@@ -452,13 +453,14 @@ impl WhyNotEngine {
         shrink: f64,
     ) -> Arc<Region> {
         let key = (id.0, CoordKey::of_rect(universe), f64_key(shrink));
+        let expected_gen = cache.generation();
         if let Some(region) = cache.get_addr(&key) {
             return region;
         }
         let _span = wnrs_obs::span!("anti_ddr");
         let dsl = self.dsl_for(cache, id);
         let region = anti_ddr_from_dsl(self.point(id), &dsl, universe, shrink);
-        cache.put_addr(key, region)
+        cache.put_addr(expected_gen, key, region)
     }
 
     /// The memoised culprit window `Λ = window(c_t, at)` for customer
@@ -466,11 +468,12 @@ impl WhyNotEngine {
     /// safe-region corner during MWQ's C2 repairs).
     fn lambda_for(&self, cache: &EngineCache, id: ItemId, at: &Point) -> SharedItems {
         let key = (CoordKey::of_point(at), id.0);
+        let expected_gen = cache.generation();
         if let Some(lambda) = cache.get_lambda(&key) {
             return lambda;
         }
         let lambda = window_query(&self.tree, self.point(id), at, Some(id));
-        cache.put_lambda(key, at.clone(), lambda)
+        cache.put_lambda(expected_gen, key, at.clone(), lambda)
     }
 
     // ------------------------------------------------------------------
@@ -481,11 +484,12 @@ impl WhyNotEngine {
     pub fn reverse_skyline(&self, q: &Point) -> Vec<(ItemId, Point)> {
         if let Some(cache) = &self.cache {
             let q_key = CoordKey::of_point(q);
+            let expected_gen = cache.generation();
             if let Some(rsl) = cache.get_rsl(&q_key) {
                 return (*rsl).clone();
             }
             let rsl = bbrs_reverse_skyline(&self.tree, q);
-            return (*cache.put_rsl(q_key, q.clone(), rsl)).clone();
+            return (*cache.put_rsl(expected_gen, q_key, q.clone(), rsl)).clone();
         }
         bbrs_reverse_skyline(&self.tree, q)
     }
@@ -638,6 +642,7 @@ impl WhyNotEngine {
         if let Some(cache) = &self.cache {
             let q_key = CoordKey::of_point(q);
             let rsl_ids: Vec<u32> = rsl.iter().map(|(id, _)| id.0).collect();
+            let expected_gen = cache.generation();
             if let Some(entry) = cache.get_sr_exact(&q_key, &rsl_ids) {
                 return entry.region.clone();
             }
@@ -658,7 +663,10 @@ impl WhyNotEngine {
                 crate::safe_region::sr_contained_in_contributors(&sr, &contributors),
                 "exact safe region escapes a contributing anti-DDR"
             );
-            return cache.put_sr_exact(q_key, rsl_ids, sr).region.clone();
+            return cache
+                .put_sr_exact(expected_gen, q_key, rsl_ids, sr)
+                .region
+                .clone();
         }
         exact_safe_region_with(
             &self.tree,
@@ -684,11 +692,15 @@ impl WhyNotEngine {
         if let Some(cache) = &self.cache {
             let key = (CoordKey::of_point(q), store.fingerprint());
             let rsl_ids: Vec<u32> = rsl.iter().map(|(id, _)| id.0).collect();
+            let expected_gen = cache.generation();
             if let Some(entry) = cache.get_sr_approx(&key, &rsl_ids) {
                 return entry.region.clone();
             }
             let sr = approx_safe_region_with(store, rsl, &self.universe_for(q), &self.parallelism);
-            return cache.put_sr_approx(key, rsl_ids, sr).region.clone();
+            return cache
+                .put_sr_approx(expected_gen, key, rsl_ids, sr)
+                .region
+                .clone();
         }
         approx_safe_region_with(store, rsl, &self.universe_for(q), &self.parallelism)
     }
@@ -769,6 +781,7 @@ impl WhyNotEngine {
         let sr = self.safe_region_for(q, &rsl);
         if let Some(cache) = &self.cache {
             let key = (CoordKey::of_point(q), id.0);
+            let expected_gen = cache.generation();
             if let Some(ans) = cache.get_mwq(&key) {
                 return (sr, (*ans).clone());
             }
@@ -777,7 +790,7 @@ impl WhyNotEngine {
             let sr_bb = sr.bounding().unwrap_or_else(|| Rect::degenerate(q.clone()));
             return (
                 sr,
-                (*cache.put_mwq(key, q.clone(), deps, sr_bb, ans)).clone(),
+                (*cache.put_mwq(expected_gen, key, q.clone(), deps, sr_bb, ans)).clone(),
             );
         }
         let ans = self.mwq(id, q, &sr);
@@ -846,13 +859,22 @@ impl WhyNotEngine {
             let sr_bb = sr.bounding().unwrap_or_else(|| Rect::degenerate(q.clone()));
             map_slice(ids, &self.parallelism, |&id| {
                 let key = (CoordKey::of_point(q), id.0);
+                let expected_gen = cache.generation();
                 if let Some(ans) = cache.get_mwq(&key) {
                     return (id, (*ans).clone());
                 }
                 let ans = self.mwq(id, q, &sr);
                 (
                     id,
-                    (*cache.put_mwq(key, q.clone(), deps.clone(), sr_bb.clone(), ans)).clone(),
+                    (*cache.put_mwq(
+                        expected_gen,
+                        key,
+                        q.clone(),
+                        deps.clone(),
+                        sr_bb.clone(),
+                        ans,
+                    ))
+                    .clone(),
                 )
             })
         } else {

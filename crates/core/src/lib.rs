@@ -52,6 +52,7 @@ pub mod mqp;
 pub mod mwp;
 pub mod mwq;
 pub mod safe_region;
+pub mod sync;
 pub mod verify;
 
 pub use answer::Candidate;

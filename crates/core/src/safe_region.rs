@@ -160,6 +160,15 @@ pub fn sr_contained_in_contributors(sr: &Region, contributors: &[Region]) -> boo
     })
 }
 
+/// No-op twin of [`sr_contained_in_contributors`] (lint rule W3): with
+/// the invariant layer off the containment check vacuously holds, so
+/// callers can assert on it unconditionally.
+#[cfg(not(feature = "invariant-checks"))]
+#[must_use]
+pub fn sr_contained_in_contributors(_sr: &Region, _contributors: &[Region]) -> bool {
+    true
+}
+
 /// Precomputed k-sampled dynamic skylines for every indexed point
 /// (Section VI-B.1). Built offline once per dataset; a safe region can
 /// then be assembled without any skyline computation at query time.

@@ -1,0 +1,453 @@
+//! Lock shim for the engine cache, with an optional deterministic
+//! scheduler for concurrency testing.
+//!
+//! With the `dt-sched` feature **off** (the default) this module is a
+//! zero-cost re-export of [`std::sync`]'s reader-writer lock, so
+//! production builds compile against the exact std types with no
+//! wrapper in the way.
+//!
+//! With `dt-sched` **on**, [`RwLock`] becomes an instrumented wrapper
+//! that parks at a schedule point before every acquisition. When the
+//! calling thread was spawned by `sched::Scheduler::run`, the
+//! scheduler decides — from a seed — which parked thread proceeds
+//! next, yielding a *deterministic interleaving*: the same seed always
+//! produces the same acquisition order, so a concurrency bug found at
+//! seed `s` replays forever. Threads outside a scheduler run (and all
+//! code when the feature is off) go straight to the real lock.
+//!
+//! The scheduler is runnability-aware: a thread parked on an
+//! acquisition that would block (a write while readers hold the lock,
+//! any acquisition while a writer holds it) is not eligible to run, so
+//! the cooperative single-token design can never self-deadlock on lock
+//! contention. If *no* parked thread is eligible — a genuine lock
+//! cycle, the dynamic analogue of lint rule L7 — every thread panics
+//! with a diagnostic instead of hanging the test.
+//!
+//! Nothing here uses `unsafe` or external crates: the instrumented
+//! lock wraps `std::sync::RwLock`, and the scheduler is a
+//! `Mutex<State>` + `Condvar` token-passer with a SplitMix64 seed
+//! stream.
+
+#[cfg(not(feature = "dt-sched"))]
+pub use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(feature = "dt-sched")]
+pub use dt::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The deterministic scheduler (only populated under the `dt-sched`
+/// feature; an empty placeholder otherwise so the module path exists
+/// in every configuration).
+#[cfg(not(feature = "dt-sched"))]
+pub mod sched {}
+
+/// The deterministic scheduler driving instrumented lock acquisitions.
+#[cfg(feature = "dt-sched")]
+pub mod sched {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+    /// What a parked thread wants to do when it next runs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(crate) enum Intent {
+        /// A plain schedule point — always eligible.
+        Yield,
+        /// About to take a shared read lock on the given lock id.
+        AcquireRead(u64),
+        /// About to take the exclusive write lock on the given lock id.
+        AcquireWrite(u64),
+    }
+
+    #[derive(Default)]
+    struct LockState {
+        readers: usize,
+        writer: bool,
+    }
+
+    struct Inner {
+        /// Threads parked at a schedule point, in park order.
+        waiting: Vec<(usize, Intent)>,
+        /// The thread currently holding the run token, if any.
+        running: Option<usize>,
+        /// Reader/writer occupancy per instrumented lock.
+        locks: HashMap<u64, LockState>,
+        /// Threads that have not finished their task yet.
+        live: usize,
+        /// Dispatch is held back until every task has parked once, so
+        /// thread-spawn timing can never perturb the schedule.
+        started: bool,
+        parked_at_start: usize,
+        /// SplitMix64 state — the whole schedule derives from the seed.
+        rng: u64,
+        /// Thread index picked at each dispatch, i.e. the schedule.
+        log: Vec<usize>,
+        deadlocked: bool,
+    }
+
+    /// A cooperative, seed-driven thread scheduler. Exactly one task
+    /// runs at a time; at every schedule point (instrumented lock
+    /// acquisition or explicit [`yield_point`]) the scheduler picks the
+    /// next runnable task with a deterministic PRNG.
+    pub struct Scheduler {
+        inner: Mutex<Inner>,
+        cv: Condvar,
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn grantable(locks: &HashMap<u64, LockState>, intent: Intent) -> bool {
+        match intent {
+            Intent::Yield => true,
+            Intent::AcquireRead(id) => locks.get(&id).is_none_or(|s| !s.writer),
+            Intent::AcquireWrite(id) => locks.get(&id).is_none_or(|s| !s.writer && s.readers == 0),
+        }
+    }
+
+    fn apply(locks: &mut HashMap<u64, LockState>, intent: Intent) {
+        match intent {
+            Intent::Yield => {}
+            Intent::AcquireRead(id) => locks.entry(id).or_default().readers += 1,
+            Intent::AcquireWrite(id) => locks.entry(id).or_default().writer = true,
+        }
+    }
+
+    thread_local! {
+        static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+    }
+
+    fn current() -> Option<(Arc<Scheduler>, usize)> {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    /// Parks the calling thread at an explicit schedule point. A no-op
+    /// for threads not owned by a [`Scheduler::run`] call, so workload
+    /// code can sprinkle these freely.
+    pub fn yield_point() {
+        if let Some((sched, idx)) = current() {
+            sched.checkpoint(idx, Intent::Yield);
+        }
+    }
+
+    /// Releases an instrumented-lock hold when the guard drops. Created
+    /// by [`acquire`]; inert for unscheduled threads.
+    pub(crate) struct Ticket {
+        sched: Option<Arc<Scheduler>>,
+        lock: u64,
+        write: bool,
+    }
+
+    impl std::fmt::Debug for Ticket {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Ticket")
+                .field("scheduled", &self.sched.is_some())
+                .field("lock", &self.lock)
+                .field("write", &self.write)
+                .finish()
+        }
+    }
+
+    impl Drop for Ticket {
+        fn drop(&mut self) {
+            if let Some(sched) = self.sched.take() {
+                sched.release(self.lock, self.write);
+            }
+        }
+    }
+
+    /// Parks until the scheduler grants the acquisition (scheduled
+    /// threads) or returns immediately (everyone else). The returned
+    /// ticket must be dropped when the real guard drops.
+    pub(crate) fn acquire(lock: u64, write: bool) -> Ticket {
+        match current() {
+            Some((sched, idx)) => {
+                let intent = if write {
+                    Intent::AcquireWrite(lock)
+                } else {
+                    Intent::AcquireRead(lock)
+                };
+                sched.checkpoint(idx, intent);
+                Ticket {
+                    sched: Some(sched),
+                    lock,
+                    write,
+                }
+            }
+            None => Ticket {
+                sched: None,
+                lock,
+                write,
+            },
+        }
+    }
+
+    impl Scheduler {
+        /// Runs `tasks` to completion under the deterministic schedule
+        /// derived from `seed`, returning the schedule log (the thread
+        /// index picked at each dispatch). Identical `(seed, tasks)`
+        /// always produce the identical log and interleaving.
+        ///
+        /// # Panics
+        ///
+        /// Panics if any task panics, or if every live task parks on an
+        /// unsatisfiable acquisition (a real lock-ordering deadlock).
+        pub fn run(seed: u64, tasks: Vec<Box<dyn FnOnce() + Send>>) -> Vec<usize> {
+            let n = tasks.len();
+            let sched = Arc::new(Scheduler {
+                inner: Mutex::new(Inner {
+                    waiting: Vec::new(),
+                    running: None,
+                    locks: HashMap::new(),
+                    live: n,
+                    started: false,
+                    parked_at_start: 0,
+                    rng: seed,
+                    log: Vec::new(),
+                    deadlocked: false,
+                }),
+                cv: Condvar::new(),
+            });
+            let handles: Vec<_> = tasks
+                .into_iter()
+                .enumerate()
+                .map(|(idx, task)| {
+                    let sched = Arc::clone(&sched);
+                    std::thread::spawn(move || {
+                        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), idx)));
+                        sched.start_barrier(idx);
+                        task();
+                        CURRENT.with(|c| *c.borrow_mut() = None);
+                        sched.finish(idx);
+                    })
+                })
+                .collect();
+            let mut panicked = false;
+            for handle in handles {
+                panicked |= handle.join().is_err();
+            }
+            assert!(!panicked, "a scheduled task panicked (see output above)");
+            let inner = sched
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner.log.clone()
+        }
+
+        fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        /// First park of every task: dispatch is deferred until all
+        /// tasks are here, making spawn order irrelevant.
+        fn start_barrier(&self, idx: usize) {
+            let mut inner = self.lock_inner();
+            inner.waiting.push((idx, Intent::Yield));
+            inner.parked_at_start += 1;
+            if inner.parked_at_start == inner.live {
+                inner.started = true;
+                self.dispatch(&mut inner);
+            }
+            self.wait_until_running(inner, idx);
+        }
+
+        fn checkpoint(&self, idx: usize, intent: Intent) {
+            let mut inner = self.lock_inner();
+            debug_assert_eq!(inner.running, Some(idx), "checkpoint from a parked thread");
+            inner.running = None;
+            inner.waiting.push((idx, intent));
+            self.dispatch(&mut inner);
+            self.wait_until_running(inner, idx);
+        }
+
+        fn release(&self, lock: u64, write: bool) {
+            let mut inner = self.lock_inner();
+            let state = inner.locks.entry(lock).or_default();
+            if write {
+                state.writer = false;
+            } else {
+                state.readers = state.readers.saturating_sub(1);
+            }
+            // The releasing thread keeps the run token; the freed lock
+            // matters at its next schedule point.
+        }
+
+        fn finish(&self, idx: usize) {
+            let mut inner = self.lock_inner();
+            debug_assert_eq!(inner.running, Some(idx), "finish from a parked thread");
+            inner.running = None;
+            inner.live -= 1;
+            self.dispatch(&mut inner);
+        }
+
+        fn dispatch(&self, inner: &mut Inner) {
+            if !inner.started || inner.running.is_some() {
+                return;
+            }
+            // Select by *thread index*, not park-order slot: park order
+            // at the start barrier depends on OS spawn timing, and the
+            // schedule must be a pure function of the seed.
+            let mut eligible: Vec<usize> = inner
+                .waiting
+                .iter()
+                .filter(|&&(_, intent)| grantable(&inner.locks, intent))
+                .map(|&(idx, _)| idx)
+                .collect();
+            eligible.sort_unstable();
+            if eligible.is_empty() {
+                if inner.live > 0 && inner.waiting.len() == inner.live {
+                    // Every live thread is parked on a blocked
+                    // acquisition: a genuine deadlock. Wake everyone so
+                    // the run fails loudly instead of hanging.
+                    inner.deadlocked = true;
+                    self.cv.notify_all();
+                }
+                return;
+            }
+            let target = eligible[(splitmix64(&mut inner.rng) % eligible.len() as u64) as usize];
+            let slot = inner
+                .waiting
+                .iter()
+                .position(|&(idx, _)| idx == target)
+                // lint:allow(no_panic) reason=test-only scheduler; target was just drawn from waiting
+                .expect("eligible thread is parked");
+            let (idx, intent) = inner.waiting.remove(slot);
+            apply(&mut inner.locks, intent);
+            inner.running = Some(idx);
+            inner.log.push(idx);
+            self.cv.notify_all();
+        }
+
+        fn wait_until_running(&self, mut inner: MutexGuard<'_, Inner>, idx: usize) {
+            while inner.running != Some(idx) {
+                assert!(
+                    !inner.deadlocked,
+                    "deterministic scheduler deadlock: every live thread is parked on a \
+                     blocked lock acquisition (dynamic analogue of lint rule L7)"
+                );
+                inner = self
+                    .cv
+                    .wait(inner)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+    }
+}
+
+/// The instrumented reader-writer lock (private; re-exported as this
+/// module's `RwLock` family when `dt-sched` is on).
+#[cfg(feature = "dt-sched")]
+mod dt {
+    use super::sched;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{LockResult, PoisonError};
+
+    // Relaxed: ids only need uniqueness (it is a single RMW); no other
+    // memory hangs off the counter.
+    static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// Drop-in for [`std::sync::RwLock`] that parks at a scheduler
+    /// checkpoint before every acquisition. See the module docs.
+    #[derive(Debug)]
+    pub struct RwLock<T> {
+        id: u64,
+        inner: std::sync::RwLock<T>,
+    }
+
+    /// Shared-access guard mirroring [`std::sync::RwLockReadGuard`].
+    #[derive(Debug)]
+    pub struct RwLockReadGuard<'a, T> {
+        guard: std::sync::RwLockReadGuard<'a, T>,
+        _ticket: sched::Ticket,
+    }
+
+    /// Exclusive-access guard mirroring [`std::sync::RwLockWriteGuard`].
+    #[derive(Debug)]
+    pub struct RwLockWriteGuard<'a, T> {
+        guard: std::sync::RwLockWriteGuard<'a, T>,
+        _ticket: sched::Ticket,
+    }
+
+    impl<T> RwLock<T> {
+        /// Wraps `value` in a new instrumented lock.
+        #[must_use]
+        pub fn new(value: T) -> Self {
+            Self {
+                id: NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed),
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+
+        /// Acquires shared access, parking at a schedule point first.
+        /// The scheduler only grants the acquisition when no writer
+        /// holds the lock, so the inner `read()` never blocks.
+        ///
+        /// # Errors
+        ///
+        /// Forwards the inner lock's poison error, rewrapped around the
+        /// instrumented guard.
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            let ticket = sched::acquire(self.id, false);
+            match self.inner.read() {
+                Ok(guard) => Ok(RwLockReadGuard {
+                    guard,
+                    _ticket: ticket,
+                }),
+                Err(poisoned) => Err(PoisonError::new(RwLockReadGuard {
+                    guard: poisoned.into_inner(),
+                    _ticket: ticket,
+                })),
+            }
+        }
+
+        /// Acquires exclusive access, parking at a schedule point
+        /// first. Granted only when the lock is completely free.
+        ///
+        /// # Errors
+        ///
+        /// Forwards the inner lock's poison error, rewrapped around the
+        /// instrumented guard.
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            let ticket = sched::acquire(self.id, true);
+            match self.inner.write() {
+                Ok(guard) => Ok(RwLockWriteGuard {
+                    guard,
+                    _ticket: ticket,
+                }),
+                Err(poisoned) => Err(PoisonError::new(RwLockWriteGuard {
+                    guard: poisoned.into_inner(),
+                    _ticket: ticket,
+                })),
+            }
+        }
+    }
+
+    // Field order matters: `guard` (the real lock) drops before
+    // `_ticket` tells the scheduler the hold is gone.
+    impl<T> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.guard
+        }
+    }
+
+    impl<T> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.guard
+        }
+    }
+
+    impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.guard
+        }
+    }
+}

@@ -316,6 +316,15 @@ impl Region {
         })
     }
 
+    /// No-op twin of [`Self::is_canonical`] (lint rule W3): vacuously
+    /// true with the invariant layer off, so callers can assert on
+    /// canonical form unconditionally.
+    #[cfg(not(feature = "invariant-checks"))]
+    #[must_use]
+    pub fn is_canonical(&self) -> bool {
+        true
+    }
+
     /// With `invariant-checks`: debug-asserts canonical maximal-box form
     /// after every canonicalising operation. Free when the feature (or
     /// debug assertions) are off.

@@ -100,11 +100,15 @@ pub enum Counter {
     CachePartialInvalidations = 15,
     /// Writes (or capacity/consistency events) that flushed every map.
     CacheFullFlushes = 16,
+    /// Cache fills dropped because the dataset generation moved between
+    /// the miss and the store (concurrent readers only; see
+    /// `EngineCache` stale-fill protection).
+    CacheStaleFills = 17,
 }
 
 impl Counter {
     /// Number of counters (array dimension for per-span attribution).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// The stable, export-facing name (snake_case; used as the JSON
     /// key and the Prometheus metric suffix).
@@ -128,6 +132,7 @@ impl Counter {
             Counter::CacheEvictionsMwq => "cache_evictions_mwq",
             Counter::CachePartialInvalidations => "cache_partial_invalidations",
             Counter::CacheFullFlushes => "cache_full_flushes",
+            Counter::CacheStaleFills => "cache_stale_fills",
         }
     }
 
@@ -152,6 +157,7 @@ impl Counter {
             Counter::CacheEvictionsMwq,
             Counter::CachePartialInvalidations,
             Counter::CacheFullFlushes,
+            Counter::CacheStaleFills,
         ]
     }
 }

@@ -116,12 +116,17 @@ impl Pager for FilePager {
     }
 
     fn page_count(&self) -> u64 {
-        self.pages.load(Ordering::SeqCst)
+        // Relaxed: `pages` is a monotonic counter; cross-thread
+        // visibility of page *contents* comes from the file mutex, not
+        // from this load (atomic policy, DESIGN.md §4).
+        self.pages.load(Ordering::Relaxed)
     }
 
     fn allocate(&self) -> PageId {
         let mut file = self.file.lock();
-        let id = PageId(self.pages.fetch_add(1, Ordering::SeqCst));
+        // Relaxed: allocations are already serialized by the file mutex
+        // held above; the atomic only lets `page_count` read lock-free.
+        let id = PageId(self.pages.fetch_add(1, Ordering::Relaxed));
         // Extend the file eagerly so reads of fresh pages see zeroes.
         let zero = vec![0u8; self.page_size];
         let _ = file.seek(SeekFrom::Start(self.offset(id)));

@@ -28,9 +28,14 @@ pub enum Tok {
         /// Whether the literal is a floating-point literal.
         float: bool,
     },
-    /// A string, raw-string, byte-string or char literal (contents
-    /// dropped).
-    Literal,
+    /// A string, raw-string, byte-string or char literal.
+    Literal {
+        /// The raw source text of the literal, delimiters included
+        /// (e.g. `"obs"` keeps its quotes). The workspace pass reads
+        /// feature names out of `#[cfg(feature = "…")]` attributes from
+        /// this; the token rules ignore it.
+        text: String,
+    },
     /// A lifetime such as `'a`.
     Lifetime,
     /// A single punctuation character.
@@ -94,6 +99,11 @@ impl Cursor {
         }
         c
     }
+
+    /// The raw source text consumed since `start` (a saved `pos`).
+    fn slice_from(&self, start: usize) -> String {
+        self.chars[start..self.pos].iter().collect()
+    }
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -125,16 +135,22 @@ pub fn lex(src: &str) -> Lexed {
                 out.comments.push(lex_block_comment(&mut cur, line));
             }
             '"' => {
+                let start = cur.pos;
                 lex_string(&mut cur);
                 out.tokens.push(Token {
-                    tok: Tok::Literal,
+                    tok: Tok::Literal {
+                        text: cur.slice_from(start),
+                    },
                     line,
                 });
             }
             'r' | 'b' if starts_raw_or_byte_literal(&cur) => {
+                let start = cur.pos;
                 lex_raw_or_byte_literal(&mut cur);
                 out.tokens.push(Token {
-                    tok: Tok::Literal,
+                    tok: Tok::Literal {
+                        text: cur.slice_from(start),
+                    },
                     line,
                 });
             }
@@ -290,6 +306,7 @@ fn lex_raw_or_byte_literal(cur: &mut Cursor) {
 }
 
 fn lex_char_or_lifetime(cur: &mut Cursor) -> Option<Tok> {
+    let start = cur.pos;
     cur.bump(); // the opening '
     let first = cur.peek(0)?;
     if first == '\\' {
@@ -301,7 +318,9 @@ fn lex_char_or_lifetime(cur: &mut Cursor) -> Option<Tok> {
                 break;
             }
         }
-        return Some(Tok::Literal);
+        return Some(Tok::Literal {
+            text: cur.slice_from(start),
+        });
     }
     if is_ident_start(first) && cur.peek(1) != Some('\'') {
         // Lifetime: 'a, 'static, '_ — an identifier not closed by a quote.
@@ -315,7 +334,9 @@ fn lex_char_or_lifetime(cur: &mut Cursor) -> Option<Tok> {
     if cur.peek(0) == Some('\'') {
         cur.bump();
     }
-    Some(Tok::Literal)
+    Some(Tok::Literal {
+        text: cur.slice_from(start),
+    })
 }
 
 fn lex_ident(cur: &mut Cursor) -> String {
@@ -458,7 +479,7 @@ mod tests {
         let chars = lexed
             .tokens
             .iter()
-            .filter(|t| t.tok == Tok::Literal)
+            .filter(|t| matches!(t.tok, Tok::Literal { .. }))
             .count();
         assert_eq!(lifetimes, 2);
         assert_eq!(chars, 2);

@@ -6,8 +6,18 @@
 //! and canonical region form, properties neither `rustc` nor stock
 //! clippy can check. This crate hand-rolls a small Rust lexer
 //! ([`lexer`]) — the build container is offline, so no `syn` — and
-//! enforces repo-specific rules ([`rules`]) over every workspace crate
-//! ([`walk`]), reporting as text or JSON ([`report`]).
+//! runs three passes over the workspace:
+//!
+//! 1. **lexical** — per-file token rules L1–L6 ([`rules`]) over every
+//!    workspace crate ([`walk`]);
+//! 2. **scope** — a block/scope tracker for concurrency discipline,
+//!    L7 `lock_discipline` and L8 `atomic_ordering` ([`rules_scope`]),
+//!    on the files classified `concurrency`;
+//! 3. **workspace** — a manifest-graph model ([`workspace`],
+//!    [`model`]) checked by W1 `feature_cascade`, W2 `dep_graph`, and
+//!    W3 `cfg_consistency` ([`rules_workspace`]).
+//!
+//! Reports render as text or `wnrs-lint-v2` JSON ([`report`]).
 //!
 //! See `DESIGN.md` §4 for the rule catalogue and the escape-hatch
 //! policy.
@@ -16,9 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod lexer;
+pub mod model;
 pub mod report;
 pub mod rules;
+pub mod rules_scope;
+pub mod rules_workspace;
 pub mod walk;
+pub mod workspace;
 
 use report::Report;
 use std::fmt;
@@ -72,6 +86,10 @@ pub fn lint_workspace(root: &Path) -> Result<Report, Error> {
         report.findings.extend(findings);
         report.allows.extend(allows);
     }
+    let ws = model::WorkspaceModel::load(root)?;
+    let (ws_findings, ws_allows) = rules_workspace::check(&ws);
+    report.findings.extend(ws_findings);
+    report.allows.extend(ws_allows);
     report.normalize();
     Ok(report)
 }

@@ -1,0 +1,630 @@
+//! The workspace model: every member crate's parsed manifest plus the
+//! source-level facts the workspace rules need (which features each
+//! source file gates on, and which `pub` items sit behind a
+//! `#[cfg(feature = …)]` attribute).
+//!
+//! Loading is tolerant by design: unknown manifest shapes are skipped
+//! and missing `src/` directories contribute no facts. The workspace
+//! pass can only *under*-report on inputs it does not model — `cargo`
+//! itself is the authority on manifest validity.
+
+use crate::lexer::{lex, Comment, Tok, Token};
+use crate::workspace::{parse_manifest, Manifest};
+use crate::{walk, Error};
+use std::path::Path;
+
+/// One `cfg(feature = "…")` occurrence in a source file.
+#[derive(Debug, Clone)]
+pub struct CfgUse {
+    /// The feature name inside the quotes.
+    pub feature: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the occurrence.
+    pub line: u32,
+}
+
+/// What kind of item a feature gate sits on (twin matching is by name
+/// for everything except `fn`, which also compares signatures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `pub fn` (twin must match the normalized signature too).
+    Fn,
+    /// A `pub use` re-export (each leaf name is one item).
+    Use,
+    /// Any other `pub` item (`struct`, `enum`, `trait`, `type`, …).
+    Other,
+}
+
+/// A `pub` item directly behind a `#[cfg(feature = "…")]` or
+/// `#[cfg(not(feature = "…"))]` attribute.
+#[derive(Debug, Clone)]
+pub struct GatedItem {
+    /// The gating feature.
+    pub feature: String,
+    /// `true` for the enabled branch, `false` under `not(…)`.
+    pub enabled_branch: bool,
+    /// The item kind.
+    pub kind: ItemKind,
+    /// The item's name (for `use`: the leaf or `as` alias).
+    pub name: String,
+    /// Normalized signature for `fn` items (`None` otherwise).
+    pub signature: Option<String>,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the gate attribute.
+    pub line: u32,
+}
+
+/// One member crate: manifest plus source-derived facts.
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// The parsed manifest subset.
+    pub manifest: Manifest,
+    /// Workspace-relative crate directory (`""` for the façade package
+    /// that lives in the workspace root).
+    pub dir: String,
+    /// Whether the crate is a vendored registry stand-in (`vendor/`).
+    pub is_vendor: bool,
+    /// Every `cfg(feature = …)` occurrence in the crate's sources.
+    pub cfg_uses: Vec<CfgUse>,
+    /// Every feature-gated `pub` item in the crate's sources.
+    pub gated_items: Vec<GatedItem>,
+    /// Per file, the comments that contain `lint:allow` (for the
+    /// workspace pass's escape hatch).
+    pub src_allow_comments: Vec<(String, Vec<Comment>)>,
+}
+
+/// The loaded workspace.
+#[derive(Debug, Clone)]
+pub struct WorkspaceModel {
+    /// The root manifest (workspace tables plus the façade package).
+    pub root: Manifest,
+    /// Every member crate, sorted by directory; the façade first.
+    pub crates: Vec<CrateInfo>,
+}
+
+impl WorkspaceModel {
+    /// Loads the workspace rooted at `root`.
+    pub fn load(root: &Path) -> Result<WorkspaceModel, Error> {
+        let root_toml = root.join("Cargo.toml");
+        let text = std::fs::read_to_string(&root_toml).map_err(|e| Error::io(&root_toml, e))?;
+        let root_manifest = parse_manifest("Cargo.toml", &text);
+
+        let mut dirs = expand_members(root, &root_manifest.members)?;
+        dirs.sort();
+        dirs.dedup();
+
+        // Group the lintable sources by owning crate directory so each
+        // crate's facts come from its own files.
+        let sources = walk::collect_sources(root)?;
+        let mut crates = Vec::new();
+        if !root_manifest.name.is_empty() {
+            let mut info = CrateInfo {
+                manifest: root_manifest.clone(),
+                dir: String::new(),
+                is_vendor: false,
+                cfg_uses: Vec::new(),
+                gated_items: Vec::new(),
+                src_allow_comments: Vec::new(),
+            };
+            scan_crate_sources(&sources, "", &mut info)?;
+            crates.push(info);
+        }
+        for dir in dirs {
+            let manifest_path = root.join(&dir).join("Cargo.toml");
+            let text = std::fs::read_to_string(&manifest_path)
+                .map_err(|e| Error::io(&manifest_path, e))?;
+            let rel = format!("{dir}/Cargo.toml");
+            let mut manifest = parse_manifest(&rel, &text);
+            if manifest.name.is_empty() {
+                // A nameless fixture manifest: fall back to the
+                // directory name so graph edges still resolve.
+                manifest.name = dir.rsplit('/').next().unwrap_or(&dir).to_string();
+            }
+            let is_vendor = dir.starts_with("vendor/");
+            let mut info = CrateInfo {
+                manifest,
+                dir: dir.clone(),
+                is_vendor,
+                cfg_uses: Vec::new(),
+                gated_items: Vec::new(),
+                src_allow_comments: Vec::new(),
+            };
+            if !is_vendor {
+                scan_crate_sources(&sources, &dir, &mut info)?;
+            }
+            crates.push(info);
+        }
+        Ok(WorkspaceModel {
+            root: root_manifest,
+            crates,
+        })
+    }
+
+    /// Looks up a member crate by package name.
+    #[must_use]
+    pub fn by_name(&self, name: &str) -> Option<&CrateInfo> {
+        self.crates.iter().find(|c| c.manifest.name == name)
+    }
+
+    /// Finds a cycle in the normal-dependency graph restricted to
+    /// workspace members, if any; returns the crate names along the
+    /// cycle (first == last). Dev-dependencies are excluded: cargo
+    /// permits dev-edges back up the stack (and this workspace has
+    /// them).
+    #[must_use]
+    pub fn find_normal_dep_cycle(&self) -> Option<Vec<String>> {
+        // Iterative DFS with an explicit colour map, in stable order.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let names: Vec<&str> = self
+            .crates
+            .iter()
+            .map(|c| c.manifest.name.as_str())
+            .collect();
+        let mut colour = vec![Colour::White; names.len()];
+        let index_of = |n: &str| names.iter().position(|x| *x == n);
+        let edges: Vec<Vec<usize>> = self
+            .crates
+            .iter()
+            .map(|c| {
+                c.manifest
+                    .deps
+                    .iter()
+                    .filter_map(|d| index_of(&d.name))
+                    .collect()
+            })
+            .collect();
+        for start in 0..names.len() {
+            if colour.get(start) != Some(&Colour::White) {
+                continue;
+            }
+            // (node, next-edge-cursor) stack.
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            let mut path: Vec<usize> = vec![start];
+            colour[start] = Colour::Grey;
+            while let Some(top) = stack.last_mut() {
+                let node = top.0;
+                let next = edges.get(node).and_then(|e| e.get(top.1)).copied();
+                top.1 += 1;
+                match next {
+                    Some(succ) => match colour.get(succ) {
+                        Some(Colour::Grey) => {
+                            // Found a back edge: report the cycle.
+                            let from = path.iter().position(|&n| n == succ).unwrap_or(0);
+                            let mut cycle: Vec<String> = path
+                                .iter()
+                                .skip(from)
+                                .filter_map(|&i| names.get(i).map(|s| (*s).to_string()))
+                                .collect();
+                            cycle.push(
+                                names
+                                    .get(succ)
+                                    .map(|s| (*s).to_string())
+                                    .unwrap_or_default(),
+                            );
+                            return Some(cycle);
+                        }
+                        Some(Colour::White) => {
+                            colour[succ] = Colour::Grey;
+                            stack.push((succ, 0));
+                            path.push(succ);
+                        }
+                        _ => {}
+                    },
+                    None => {
+                        colour[node] = Colour::Black;
+                        stack.pop();
+                        path.pop();
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Expands the `[workspace] members` globs. Only the `dir/*` shape and
+/// literal paths are supported (the shapes this workspace uses); when
+/// no members are declared, `crates/*` and `vendor/*` are assumed.
+fn expand_members(root: &Path, members: &[String]) -> Result<Vec<String>, Error> {
+    let patterns: Vec<String> = if members.is_empty() {
+        vec!["crates/*".to_string(), "vendor/*".to_string()]
+    } else {
+        members.to_vec()
+    };
+    let mut out = Vec::new();
+    for pat in &patterns {
+        match pat.strip_suffix("/*") {
+            Some(parent) => {
+                let dir = root.join(parent);
+                if !dir.is_dir() {
+                    continue;
+                }
+                let entries = std::fs::read_dir(&dir).map_err(|e| Error::io(&dir, e))?;
+                for entry in entries {
+                    let entry = entry.map_err(|e| Error::io(&dir, e))?;
+                    let path = entry.path();
+                    if path.is_dir() && path.join("Cargo.toml").is_file() {
+                        let name = entry.file_name().to_string_lossy().into_owned();
+                        out.push(format!("{parent}/{name}"));
+                    }
+                }
+            }
+            None => {
+                if root.join(pat).join("Cargo.toml").is_file() {
+                    out.push(pat.clone());
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Scans the crate's source files (already collected by [`walk`]) for
+/// cfg-feature uses, gated pub items and allow-bearing comments.
+fn scan_crate_sources(
+    sources: &[walk::SourceFile],
+    dir: &str,
+    info: &mut CrateInfo,
+) -> Result<(), Error> {
+    let prefix = if dir.is_empty() {
+        "src/".to_string()
+    } else {
+        format!("{dir}/src/")
+    };
+    for src in sources {
+        if !src.rel.starts_with(&prefix) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&src.path).map_err(|e| Error::io(&src.path, e))?;
+        scan_cfg_uses(&src.rel, &text, &mut info.cfg_uses);
+        let lexed = lex(&text);
+        scan_gated_items(&src.rel, &lexed.tokens, &mut info.gated_items);
+        let allows: Vec<Comment> = lexed
+            .comments
+            .into_iter()
+            .filter(|c| c.text.contains("lint:allow"))
+            .collect();
+        if !allows.is_empty() {
+            info.src_allow_comments.push((src.rel.clone(), allows));
+        }
+    }
+    Ok(())
+}
+
+/// Text-level scan for `feature = "…"` on lines that mention `cfg`
+/// (covers `#[cfg(…)]`, `#[cfg_attr(…)]` and `cfg!(…)`); `//` comments
+/// are stripped first.
+fn scan_cfg_uses(file: &str, text: &str, out: &mut Vec<CfgUse>) {
+    for (idx, raw) in text.lines().enumerate() {
+        let code = strip_line_comment(raw);
+        if !code.contains("cfg") {
+            continue;
+        }
+        let mut rest = code;
+        while let Some(pos) = rest.find("feature") {
+            let after = &rest[pos + "feature".len()..];
+            let trimmed = after.trim_start();
+            if let Some(eq_rest) = trimmed.strip_prefix('=') {
+                let eq_rest = eq_rest.trim_start();
+                if let Some(stripped) = eq_rest.strip_prefix('"') {
+                    if let Some(end) = stripped.find('"') {
+                        out.push(CfgUse {
+                            feature: stripped[..end].to_string(),
+                            file: file.to_string(),
+                            line: (idx + 1) as u32,
+                        });
+                    }
+                }
+            }
+            rest = after;
+        }
+    }
+}
+
+/// Strips a `//` comment from one line, string-aware.
+fn strip_line_comment(raw: &str) -> &str {
+    let bytes = raw.as_bytes();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes.get(i) {
+            Some(b'\\') if in_string => i += 1,
+            Some(b'"') => in_string = !in_string,
+            Some(b'/') if !in_string && bytes.get(i + 1) == Some(&b'/') => {
+                return raw.get(..i).unwrap_or(raw);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    raw
+}
+
+/// Token-level scan for `pub` items directly behind a single-feature
+/// `#[cfg(feature = "…")]` / `#[cfg(not(feature = "…"))]` attribute.
+/// Statement-level gates inside fn bodies never precede `pub`, so they
+/// fall out naturally.
+pub(crate) fn scan_gated_items(file: &str, tokens: &[Token], out: &mut Vec<GatedItem>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if !crate::rules::is_outer_attr_start(tokens, i) {
+            i += 1;
+            continue;
+        }
+        // Collect the whole attribute run; remember the last simple
+        // feature gate seen in it.
+        let mut gate: Option<(String, bool, u32)> = None;
+        while crate::rules::is_outer_attr_start(tokens, i) {
+            let end = crate::rules::attr_group_end(tokens, i + 1);
+            if let Some((feature, enabled)) = parse_cfg_gate(&tokens[i + 1..end]) {
+                gate = Some((feature, enabled, tokens[i].line));
+            }
+            i = end;
+        }
+        let Some((feature, enabled_branch, line)) = gate else {
+            continue;
+        };
+        let Some(after_vis) = crate::rules::eat_pub(tokens, i) else {
+            continue;
+        };
+        let mut k = after_vis;
+        while matches!(tokens.get(k).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "const" || s == "async")
+        {
+            k += 1;
+        }
+        match tokens.get(k).map(|t| &t.tok) {
+            Some(Tok::Ident(kw)) if kw == "fn" => {
+                let name = match tokens.get(k + 1).map(|t| &t.tok) {
+                    Some(Tok::Ident(s)) => s.clone(),
+                    _ => continue,
+                };
+                let signature = normalize_signature(tokens, k + 2);
+                out.push(GatedItem {
+                    feature,
+                    enabled_branch,
+                    kind: ItemKind::Fn,
+                    name,
+                    signature: Some(signature),
+                    file: file.to_string(),
+                    line,
+                });
+            }
+            Some(Tok::Ident(kw)) if kw == "use" => {
+                for name in use_leaf_names(tokens, k + 1) {
+                    out.push(GatedItem {
+                        feature: feature.clone(),
+                        enabled_branch,
+                        kind: ItemKind::Use,
+                        name,
+                        signature: None,
+                        file: file.to_string(),
+                        line,
+                    });
+                }
+            }
+            Some(Tok::Ident(kw))
+                if matches!(
+                    kw.as_str(),
+                    "struct" | "enum" | "trait" | "type" | "static" | "union" | "mod"
+                ) =>
+            {
+                let name = match tokens.get(k + 1).map(|t| &t.tok) {
+                    Some(Tok::Ident(s)) => s.clone(),
+                    _ => continue,
+                };
+                out.push(GatedItem {
+                    feature,
+                    enabled_branch,
+                    kind: ItemKind::Other,
+                    name,
+                    signature: None,
+                    file: file.to_string(),
+                    line,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parses an attribute body (tokens between `[` and `]`) as a simple
+/// feature gate. Returns `(feature, enabled_branch)` for
+/// `cfg(feature = "x")` and `cfg(not(feature = "x"))`; `None` for
+/// anything else (multi-feature `all`/`any`, `cfg(test)`, non-cfg
+/// attributes).
+fn parse_cfg_gate(body: &[Token]) -> Option<(String, bool)> {
+    let mut idents: Vec<&str> = Vec::new();
+    let mut features: Vec<String> = Vec::new();
+    for (i, t) in body.iter().enumerate() {
+        let Tok::Ident(s) = &t.tok else { continue };
+        idents.push(s.as_str());
+        if s == "feature" {
+            if let (Some(Tok::Punct('=')), Some(Tok::Literal { text })) = (
+                body.get(i + 1).map(|t| &t.tok),
+                body.get(i + 2).map(|t| &t.tok),
+            ) {
+                if let Some(inner) = text.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+                    features.push(inner.to_string());
+                }
+            }
+        }
+    }
+    if idents.first() != Some(&"cfg") || idents.contains(&"test") || features.len() != 1 {
+        return None;
+    }
+    let feature = features.pop()?;
+    Some((feature, !idents.contains(&"not")))
+}
+
+/// Renders a fn signature (tokens after the fn name, up to the body
+/// `{`, a terminating `;` or a `where` clause) into a comparable
+/// string. Leading underscores on identifiers are stripped so a no-op
+/// twin may name its unused parameters `_x`; lifetimes all render as
+/// `'` (the lexer does not keep their names — elision differences are
+/// not signature differences for twin purposes).
+fn normalize_signature(tokens: &[Token], start: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    let mut i = start;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('{') if paren == 0 => break,
+            Tok::Punct(';') if paren == 0 => break,
+            Tok::Ident(s) if s == "where" && paren == 0 && angle <= 0 => break,
+            Tok::Punct(c) => {
+                match c {
+                    '(' => paren += 1,
+                    ')' => paren -= 1,
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    _ => {}
+                }
+                parts.push(c.to_string());
+            }
+            Tok::Ident(s) => {
+                let trimmed = s.trim_start_matches('_');
+                parts.push(if trimmed.is_empty() { "_" } else { trimmed }.to_string());
+            }
+            Tok::Number { .. } => parts.push("#".to_string()),
+            Tok::Literal { text } => parts.push(text.clone()),
+            Tok::Lifetime => parts.push("'".to_string()),
+        }
+        i += 1;
+    }
+    parts.join(" ")
+}
+
+/// Collects the leaf names of a `use` tree starting after the `use`
+/// keyword: the final path segment, the `as` alias when present, and
+/// each element of a `{…}` group.
+fn use_leaf_names(tokens: &[Token], start: usize) -> Vec<String> {
+    // Gather tokens to the terminating `;`.
+    let mut end = start;
+    while end < tokens.len() && tokens[end].tok != Tok::Punct(';') {
+        end += 1;
+    }
+    let tree = &tokens[start..end];
+    // Split on top-level-of-brace commas; each part's name is the ident
+    // after `as` if present, else the last ident.
+    let mut names = Vec::new();
+    let mut current: Vec<&Tok> = Vec::new();
+    let mut depth = 0i32;
+    for t in tree
+        .iter()
+        .map(|t| &t.tok)
+        .chain(std::iter::once(&Tok::Punct(',')))
+    {
+        match t {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => depth -= 1,
+            Tok::Punct(',') if depth <= 1 => {
+                if let Some(name) = leaf_name(&current) {
+                    names.push(name);
+                }
+                current.clear();
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t);
+    }
+    names
+}
+
+/// The effective name of one `use`-tree element.
+fn leaf_name(toks: &[&Tok]) -> Option<String> {
+    let mut last_ident: Option<&str> = None;
+    let mut alias: Option<&str> = None;
+    let mut saw_as = false;
+    for t in toks {
+        if let Tok::Ident(s) = t {
+            if saw_as {
+                alias = Some(s.as_str());
+                saw_as = false;
+            } else if s == "as" {
+                saw_as = true;
+            } else {
+                last_ident = Some(s.as_str());
+            }
+        }
+    }
+    alias.or(last_ident).map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn gated(src: &str) -> Vec<GatedItem> {
+        let lexed = lex(src);
+        let mut out = Vec::new();
+        scan_gated_items("t.rs", &lexed.tokens, &mut out);
+        out
+    }
+
+    #[test]
+    fn simple_gate_on_pub_fn() {
+        let items = gated(
+            "#[cfg(feature = \"obs\")]\npub fn f(x: u32) -> bool { true }\n\
+             #[cfg(not(feature = \"obs\"))]\npub fn f(_x: u32) -> bool { false }\n",
+        );
+        assert_eq!(items.len(), 2);
+        assert!(items[0].enabled_branch);
+        assert!(!items[1].enabled_branch);
+        assert_eq!(items[0].signature, items[1].signature, "{items:?}");
+    }
+
+    #[test]
+    fn statement_level_gates_are_ignored() {
+        let items = gated(
+            "pub fn f(c: u32) {\n    #[cfg(feature = \"obs\")]\n    imp::record(c);\n    \
+             #[cfg(not(feature = \"obs\"))]\n    {\n        let _ = c;\n    }\n}\n",
+        );
+        assert!(items.is_empty(), "{items:?}");
+    }
+
+    #[test]
+    fn use_groups_and_aliases() {
+        let items = gated("#[cfg(feature = \"enabled\")]\npub use imp::{SpanGuard, x as Alias};\n");
+        let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["SpanGuard", "Alias"]);
+        assert!(items.iter().all(|i| i.kind == ItemKind::Use));
+    }
+
+    #[test]
+    fn cfg_test_and_multi_feature_gates_are_skipped() {
+        assert!(gated("#[cfg(test)]\npub fn f() {}\n").is_empty());
+        assert!(gated("#[cfg(all(feature = \"a\", feature = \"b\"))]\npub fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn cfg_use_scan_sees_attr_and_macro_forms() {
+        let mut out = Vec::new();
+        scan_cfg_uses(
+            "t.rs",
+            "#[cfg(feature = \"obs\")]\nfn a() {}\nfn b() { if cfg!(feature = \"x\") {} }\n// cfg(feature = \"ignored\") in a comment\n",
+            &mut out,
+        );
+        let names: Vec<&str> = out.iter().map(|u| u.feature.as_str()).collect();
+        assert_eq!(names, vec!["obs", "x"]);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn signature_mismatch_is_visible() {
+        let items = gated(
+            "#[cfg(feature = \"f\")]\npub fn g(x: u32) -> bool { true }\n\
+             #[cfg(not(feature = \"f\"))]\npub fn g(x: u64) -> bool { false }\n",
+        );
+        assert_ne!(items[0].signature, items[1].signature);
+    }
+}

@@ -1,5 +1,10 @@
 //! Rendering lint results as human-readable text or machine-readable
 //! JSON (the `--json` flag and the committed `LINT_BASELINE.json`).
+//!
+//! The JSON schema is `wnrs-lint-v2`: a top-level `"schema"` marker,
+//! and each finding carries `pass` (`lexical` | `scope` | `workspace`)
+//! and `rule_family` (`L1`–`L8`, `W1`–`W3`, `A1`) so downstream
+//! tooling can split reports by pass without a rule-name lookup table.
 
 use crate::rules::{AllowRecord, Finding, Rule};
 use std::fmt::Write as _;
@@ -91,15 +96,18 @@ impl Report {
     /// committed baseline diffs cleanly).
     pub fn render_json(&self) -> String {
         let mut s = String::new();
-        s.push_str("{\n  \"findings\": [");
+        s.push_str("{\n  \"schema\": \"wnrs-lint-v2\",\n  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
             let _ = write!(
                 s,
-                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                "\n    {{\"rule\": {}, \"pass\": {}, \"rule_family\": {}, \"file\": {}, \
+                 \"line\": {}, \"message\": {}}}",
                 json_str(f.rule.id()),
+                json_str(f.rule.pass().id()),
+                json_str(f.rule.family()),
                 json_str(&f.file),
                 f.line,
                 json_str(&f.message)
@@ -194,6 +202,7 @@ mod tests {
         r.normalize();
         assert!(r.is_clean());
         let json = r.render_json();
+        assert!(json.contains("\"schema\": \"wnrs-lint-v2\""));
         assert!(json.contains("\"findings\": []"));
         assert!(json.contains("\"files_scanned\": 3"));
         assert!(r.render_text().contains("3 file(s) scanned"));
@@ -219,5 +228,31 @@ mod tests {
         assert_eq!(r.count(Rule::FloatCmp), 1);
         assert_eq!(r.findings[0].file, "a.rs", "sorted by file");
         assert!(!r.is_clean());
+        let json = r.render_json();
+        assert!(json.contains("\"pass\": \"lexical\""));
+        assert!(json.contains("\"rule_family\": \"L1\""));
+    }
+
+    #[test]
+    fn v2_fields_follow_the_rule_pass() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: Rule::FeatureCascade,
+            file: "crates/x/Cargo.toml".to_string(),
+            line: 12,
+            message: "gap".to_string(),
+        });
+        r.findings.push(Finding {
+            rule: Rule::LockDiscipline,
+            file: "crates/core/src/cache.rs".to_string(),
+            line: 40,
+            message: "nested".to_string(),
+        });
+        r.normalize();
+        let json = r.render_json();
+        assert!(json.contains("\"pass\": \"workspace\""));
+        assert!(json.contains("\"rule_family\": \"W1\""));
+        assert!(json.contains("\"pass\": \"scope\""));
+        assert!(json.contains("\"rule_family\": \"L7\""));
     }
 }

@@ -1,18 +1,34 @@
 //! The lint rules and the per-file engine that applies them.
 //!
-//! | id                 | rule                                                        |
-//! |--------------------|-------------------------------------------------------------|
-//! | `no_panic`         | no `unwrap`/`expect`/`panic!`/`unreachable!` outside tests  |
-//! | `float_cmp`        | no raw float `==`/`!=`, no `partial_cmp`/`total_cmp` calls  |
-//! |                    | outside the NaN-validated boundary (`geometry/src/point.rs`)|
-//! | `no_index`         | no `[…]` indexing in designated hot-path modules            |
-//! | `hot_path_alloc`   | no `.to_vec()`, `.clone()`, `Vec::new()` or unrecognised    |
-//! |                    | `span!` macros in designated allocation-free hot-path       |
-//! |                    | modules; `wnrs_obs::span!` is a *builtin checked allow*     |
-//! | `must_use_builder` | `pub fn … -> Self` must carry `#[must_use]`                 |
-//! | `crate_gates`      | crate roots carry `#![forbid(unsafe_code)]` +               |
-//! |                    | `#![warn(missing_docs)]`                                    |
-//! | `allow_hygiene`    | malformed or unused `// lint:allow` directives              |
+//! Three passes share this rule catalogue (see `DESIGN.md` §4):
+//! **lexical** (L1–L6, per-file token rules), **scope** (L7–L8,
+//! concurrency discipline over a block/scope tracker — [`crate::rules_scope`])
+//! and **workspace** (W1–W3, over the parsed manifest graph —
+//! [`crate::rules_workspace`]).
+//!
+//! | id                 | family | rule                                                 |
+//! |--------------------|--------|------------------------------------------------------|
+//! | `no_panic`         | L1 | no `unwrap`/`expect`/`panic!`/`unreachable!` outside tests |
+//! | `float_cmp`        | L2 | no raw float `==`/`!=`, no `partial_cmp`/`total_cmp` calls |
+//! |                    |    | outside the NaN-validated boundary (`geometry/src/point.rs`)|
+//! | `no_index`         | L3 | no `[…]` indexing in designated hot-path modules          |
+//! | `must_use_builder` | L4 | `pub fn … -> Self` must carry `#[must_use]`               |
+//! | `crate_gates`      | L5 | crate roots carry `#![forbid(unsafe_code)]` +             |
+//! |                    |    | `#![warn(missing_docs)]`                                  |
+//! | `hot_path_alloc`   | L6 | no `.to_vec()`, `.clone()`, `Vec::new()` or unrecognised  |
+//! |                    |    | `span!` macros in designated allocation-free hot-path     |
+//! |                    |    | modules; `wnrs_obs::span!` is a *builtin checked allow*   |
+//! | `lock_discipline`  | L7 | no nested cache-lock acquisition, no engine call while a  |
+//! |                    |    | guard is live, in designated concurrency modules          |
+//! | `atomic_ordering`  | L8 | atomic orderings must match the documented per-site       |
+//! |                    |    | policy table of the designated module                     |
+//! | `feature_cascade`  | W1 | declared cascade features forward leaf-ward with no gaps; |
+//! |                    |    | no `cfg(feature)` on undeclared features; no dead plumbing|
+//! | `dep_graph`        | W2 | no normal-dep cycles; pinned leaf invariants (wnrs-obs has|
+//! |                    |    | zero deps, vendor stubs reached only via workspace deps)  |
+//! | `cfg_consistency`  | W3 | a cfg-gated `pub` item needs a same-signature no-op twin  |
+//! |                    |    | in the opposite branch (the ZST pattern)                  |
+//! | `allow_hygiene`    | A1 | malformed or unused `// lint:allow` directives            |
 //!
 //! Code under `#[cfg(test)]` / `#[test]` items is exempt from every
 //! token rule, as are doc comments and string literals (the lexer never
@@ -41,8 +57,43 @@ pub enum Rule {
     MustUseBuilder,
     /// L5: crate roots must carry the safety/doc gates.
     CrateGates,
+    /// L7: lock discipline in designated concurrency modules.
+    LockDiscipline,
+    /// L8: atomic orderings must match the per-site policy table.
+    AtomicOrdering,
+    /// W1: cascade features forward leaf-ward along dependency edges.
+    FeatureCascade,
+    /// W2: dependency-graph shape invariants.
+    DepGraph,
+    /// W3: cfg-gated pub items have same-signature disabled twins.
+    CfgConsistency,
     /// Escape-hatch hygiene: malformed or unused allow directives.
     AllowHygiene,
+}
+
+/// Which analysis pass a rule belongs to (the `pass` field of the
+/// `wnrs-lint-v2` JSON schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Per-file token rules over the lexer (L1–L6, hygiene).
+    Lexical,
+    /// Concurrency-discipline rules over the block/scope tracker
+    /// (L7–L8).
+    Scope,
+    /// Rules over the parsed workspace model (W1–W3).
+    Workspace,
+}
+
+impl Pass {
+    /// The stable textual id used in reports.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Pass::Lexical => "lexical",
+            Pass::Scope => "scope",
+            Pass::Workspace => "workspace",
+        }
+    }
 }
 
 impl Rule {
@@ -55,6 +106,11 @@ impl Rule {
             Rule::HotPathAlloc => "hot_path_alloc",
             Rule::MustUseBuilder => "must_use_builder",
             Rule::CrateGates => "crate_gates",
+            Rule::LockDiscipline => "lock_discipline",
+            Rule::AtomicOrdering => "atomic_ordering",
+            Rule::FeatureCascade => "feature_cascade",
+            Rule::DepGraph => "dep_graph",
+            Rule::CfgConsistency => "cfg_consistency",
             Rule::AllowHygiene => "allow_hygiene",
         }
     }
@@ -68,12 +124,17 @@ impl Rule {
             "hot_path_alloc" => Rule::HotPathAlloc,
             "must_use_builder" => Rule::MustUseBuilder,
             "crate_gates" => Rule::CrateGates,
+            "lock_discipline" => Rule::LockDiscipline,
+            "atomic_ordering" => Rule::AtomicOrdering,
+            "feature_cascade" => Rule::FeatureCascade,
+            "dep_graph" => Rule::DepGraph,
+            "cfg_consistency" => Rule::CfgConsistency,
             _ => return None,
         })
     }
 
     /// All user-facing rules (excludes the internal hygiene rule).
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 11] {
         [
             Rule::NoPanic,
             Rule::FloatCmp,
@@ -81,7 +142,48 @@ impl Rule {
             Rule::HotPathAlloc,
             Rule::MustUseBuilder,
             Rule::CrateGates,
+            Rule::LockDiscipline,
+            Rule::AtomicOrdering,
+            Rule::FeatureCascade,
+            Rule::DepGraph,
+            Rule::CfgConsistency,
         ]
+    }
+
+    /// The pass a rule runs in.
+    #[must_use]
+    pub fn pass(self) -> Pass {
+        match self {
+            Rule::NoPanic
+            | Rule::FloatCmp
+            | Rule::NoIndex
+            | Rule::HotPathAlloc
+            | Rule::MustUseBuilder
+            | Rule::CrateGates
+            | Rule::AllowHygiene => Pass::Lexical,
+            Rule::LockDiscipline | Rule::AtomicOrdering => Pass::Scope,
+            Rule::FeatureCascade | Rule::DepGraph | Rule::CfgConsistency => Pass::Workspace,
+        }
+    }
+
+    /// The rule family code (`L1`–`L8`, `W1`–`W3`, `A1`) used in the
+    /// `wnrs-lint-v2` JSON schema and the DESIGN.md rule table.
+    #[must_use]
+    pub fn family(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "L1",
+            Rule::FloatCmp => "L2",
+            Rule::NoIndex => "L3",
+            Rule::MustUseBuilder => "L4",
+            Rule::CrateGates => "L5",
+            Rule::HotPathAlloc => "L6",
+            Rule::LockDiscipline => "L7",
+            Rule::AtomicOrdering => "L8",
+            Rule::FeatureCascade => "W1",
+            Rule::DepGraph => "W2",
+            Rule::CfgConsistency => "W3",
+            Rule::AllowHygiene => "A1",
+        }
     }
 }
 
@@ -122,6 +224,9 @@ pub struct FileClass {
     pub alloc_hot_path: bool,
     /// The NaN-validated float boundary (L2 exempt).
     pub float_boundary: bool,
+    /// A designated concurrency module (L7/L8 apply; the per-site
+    /// atomic-ordering policy lives in [`crate::rules_scope`]).
+    pub concurrency: bool,
 }
 
 /// Lints one file's source text; returns surviving findings plus the
@@ -145,6 +250,10 @@ pub fn lint_source(file: &str, src: &str, class: FileClass) -> (Vec<Finding>, Ve
     check_must_use_builder(file, &eff, &mut findings);
     if class.crate_root {
         check_crate_gates(file, &lexed.tokens, &mut findings);
+    }
+    if class.concurrency {
+        crate::rules_scope::check_lock_discipline(file, &eff, &mut findings);
+        crate::rules_scope::check_atomic_ordering(file, &eff, &mut findings);
     }
 
     let (findings, mut allows) = apply_allows(file, &lexed.comments, findings);
@@ -190,14 +299,14 @@ fn strip_test_items(tokens: &[Token]) -> Vec<Token> {
 }
 
 /// Whether `tokens[i]` starts an outer attribute `#[…]` (not `#![…]`).
-fn is_outer_attr_start(tokens: &[Token], i: usize) -> bool {
+pub(crate) fn is_outer_attr_start(tokens: &[Token], i: usize) -> bool {
     matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct('#')))
         && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
 }
 
 /// Given `start` at the `[` of an attribute, returns the index one past
 /// the matching `]`.
-fn attr_group_end(tokens: &[Token], start: usize) -> usize {
+pub(crate) fn attr_group_end(tokens: &[Token], start: usize) -> usize {
     let mut depth = 0usize;
     let mut i = start;
     while i < tokens.len() {
@@ -571,7 +680,7 @@ fn check_must_use_builder(file: &str, eff: &[Token], findings: &mut Vec<Finding>
 
 /// If `i` is at `pub` (optionally with a `(crate)`/`(super)` restriction),
 /// returns the index after the visibility; otherwise `None`.
-fn eat_pub(eff: &[Token], i: usize) -> Option<usize> {
+pub(crate) fn eat_pub(eff: &[Token], i: usize) -> Option<usize> {
     if !matches!(eff.get(i).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "pub") {
         return None;
     }
@@ -730,11 +839,38 @@ struct Directive {
 
 /// Parses directives out of comments, suppresses matching findings, and
 /// reports hygiene problems (bad syntax, unknown rule, missing reason,
-/// unused allow).
+/// unused allow). Directives naming a workspace-pass rule are left
+/// alone here — [`apply_workspace_allows`] owns them, so a
+/// `lint:allow(cfg_consistency)` next to a W3 finding is neither
+/// consumed nor flagged unused by the per-file pass.
 fn apply_allows(
     file: &str,
     comments: &[Comment],
     findings: Vec<Finding>,
+) -> (Vec<Finding>, Vec<AllowRecord>) {
+    apply_allows_routed(file, comments, findings, false, true)
+}
+
+/// The workspace-pass twin of [`apply_allows`]: considers only
+/// directives naming workspace-pass rules. `report_malformed` is true
+/// for manifests (which no other pass reads) and false for source
+/// files (the lexical pass already reported malformed directives
+/// there).
+pub(crate) fn apply_workspace_allows(
+    file: &str,
+    comments: &[Comment],
+    findings: Vec<Finding>,
+    report_malformed: bool,
+) -> (Vec<Finding>, Vec<AllowRecord>) {
+    apply_allows_routed(file, comments, findings, true, report_malformed)
+}
+
+fn apply_allows_routed(
+    file: &str,
+    comments: &[Comment],
+    findings: Vec<Finding>,
+    workspace_pass: bool,
+    report_malformed: bool,
 ) -> (Vec<Finding>, Vec<AllowRecord>) {
     let mut directives: Vec<Directive> = Vec::new();
     let mut out: Vec<Finding> = Vec::new();
@@ -753,17 +889,25 @@ fn apply_allows(
         let rest = &c.text[start + "lint:allow".len()..];
         let parsed = parse_directive(rest);
         match parsed {
-            Ok((rule, reason)) => directives.push(Directive {
-                rule,
-                line: c.line,
-                reason,
-            }),
-            Err(msg) => out.push(Finding {
-                rule: Rule::AllowHygiene,
-                file: file.to_string(),
-                line: c.line,
-                message: msg,
-            }),
+            Ok((rule, reason)) => {
+                if (rule.pass() == Pass::Workspace) == workspace_pass {
+                    directives.push(Directive {
+                        rule,
+                        line: c.line,
+                        reason,
+                    });
+                }
+            }
+            Err(msg) => {
+                if report_malformed {
+                    out.push(Finding {
+                        rule: Rule::AllowHygiene,
+                        file: file.to_string(),
+                        line: c.line,
+                        message: msg,
+                    });
+                }
+            }
         }
     }
 

@@ -39,6 +39,20 @@ const ALLOC_HOT_PATHS: [&str; 4] = [
 /// coordinates there and the `float` helpers it hosts wrap `total_cmp`.
 const FLOAT_BOUNDARY: &str = "crates/geometry/src/point.rs";
 
+/// Files holding lock- or atomic-bearing code, subject to the scope
+/// pass (L7 `lock_discipline`, L8 `atomic_ordering`). Every file with
+/// an `Atomic*` or `RwLock`/`Mutex` in first-party code must be listed
+/// here, so the per-site ordering policies in `rules_scope` stay
+/// exhaustive.
+const CONCURRENCY: [&str; 6] = [
+    "crates/core/src/cache.rs",
+    "crates/core/src/sync.rs",
+    "crates/obs/src/imp.rs",
+    "crates/rtree/src/tree.rs",
+    "crates/storage/src/stats.rs",
+    "crates/storage/src/file.rs",
+];
+
 /// A source file scheduled for linting.
 #[derive(Debug, Clone)]
 pub struct SourceFile {
@@ -108,6 +122,7 @@ fn classify(rel: &str) -> FileClass {
         hot_path: HOT_PATHS.contains(&rel),
         alloc_hot_path: ALLOC_HOT_PATHS.contains(&rel),
         float_boundary: rel == FLOAT_BOUNDARY,
+        concurrency: CONCURRENCY.contains(&rel),
     }
 }
 
@@ -128,5 +143,9 @@ mod tests {
         assert!(classify("crates/core/src/cache.rs").alloc_hot_path);
         assert!(!classify("crates/skyline/src/approx.rs").alloc_hot_path);
         assert!(classify("crates/geometry/src/point.rs").float_boundary);
+        assert!(classify("crates/core/src/cache.rs").concurrency);
+        assert!(classify("crates/core/src/sync.rs").concurrency);
+        assert!(classify("crates/storage/src/file.rs").concurrency);
+        assert!(!classify("crates/core/src/engine.rs").concurrency);
     }
 }

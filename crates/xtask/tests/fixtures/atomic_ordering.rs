@@ -1,0 +1,16 @@
+//! L8 fixture: statistics counters must be Relaxed in policy files.
+fn records(s: &Stats) {
+    s.visits.fetch_add(1, Ordering::SeqCst);
+    s.visits.fetch_add(1, Ordering::Relaxed);
+    s.visits.load(Ordering::Acquire);
+    s.visits.load(Ordering::Relaxed);
+    // lint:allow(atomic_ordering) reason=fixture demonstrates the escape hatch
+    s.visits.store(0, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt(s: &Stats) {
+        s.visits.swap(1, Ordering::SeqCst);
+    }
+}

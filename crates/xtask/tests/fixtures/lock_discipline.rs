@@ -1,0 +1,41 @@
+//! L7 fixture: nested guards, engine calls under guards, the hatch.
+fn nested(c: &Cache) {
+    let g = c.state.read();
+    let h = c.state.write();
+    drop(h);
+    drop(g);
+}
+
+fn engine_under_guard(c: &Cache, e: &Engine) {
+    let g = c.state.write();
+    e.explain(1, 2);
+    drop(g);
+}
+
+fn temp_dies_at_statement_end(c: &Cache, e: &Engine) {
+    let n = c.state.read().len();
+    e.mwq(n);
+}
+
+fn drop_then_reacquire(c: &Cache) {
+    let g = c.state.read();
+    drop(g);
+    let h = c.state.write();
+    drop(h);
+}
+
+fn allowed(c: &Cache) {
+    let g = c.state.read();
+    // lint:allow(lock_discipline) reason=fixture demonstrates the escape hatch
+    let h = c.state.read();
+    drop(h);
+    drop(g);
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt(c: &Cache) {
+        let g = c.state.read();
+        let h = c.state.write();
+    }
+}

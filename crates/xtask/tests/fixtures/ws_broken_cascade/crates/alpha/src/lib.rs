@@ -1,0 +1,3 @@
+//! Cascade fixture: the cfg below names a feature alpha never declares.
+#[cfg(feature = "query-stats")]
+fn never_enabled() {}

@@ -1,0 +1,3 @@
+//! Beta gates a private module on `obs`, so the declaration is live.
+#[cfg(feature = "obs")]
+mod imp {}

@@ -1,0 +1,25 @@
+//! Twin fixture: one gapped item, one correct pair, one mismatch.
+#[cfg(feature = "checks")]
+pub fn validate(x: u32) -> bool {
+    x > 0
+}
+
+#[cfg(feature = "checks")]
+pub fn twinned(x: u32) -> bool {
+    x > 0
+}
+
+#[cfg(not(feature = "checks"))]
+pub fn twinned(_x: u32) -> bool {
+    true
+}
+
+#[cfg(feature = "checks")]
+pub fn mismatched(x: u32) -> bool {
+    x > 0
+}
+
+#[cfg(not(feature = "checks"))]
+pub fn mismatched(_x: u64) -> bool {
+    true
+}

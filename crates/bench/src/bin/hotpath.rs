@@ -32,6 +32,14 @@ const SEED: u64 = 20_130_408;
 /// bar is at least a 2x improvement over it.
 const SEED_BASELINE_BUILD_10K: f64 = 10.703732;
 
+/// Single-thread store-build seconds recorded on this host *before* the
+/// BBS push-time-pruning / bound-arena rework (`(n, seconds)`): the
+/// traversal used to rescan every popped node's entries to rebuild its
+/// MBR, push every entry onto the heap even when already dominated, and
+/// re-transform every item at pop. Kept so `BENCH_hotpath.json` records
+/// the before/after of that fix.
+const PRE_PRUNE_BUILD: [(usize, f64); 2] = [(10_000, 1.507686), (50_000, 24.508341)];
+
 struct Case {
     op: &'static str,
     n: usize,
@@ -124,8 +132,26 @@ fn run() {
         "  \"hardware\": {{ \"available_cores\": {cores}, \"note\": \"speedup is bounded by the physical core count; on a 1-core host parallel == sequential by physics\" }},\n"
     ));
     json.push_str(&format!(
-        "  \"seed\": 20130408,\n  \"dataset\": \"CarDB\",\n  \"baseline\": {{ \"op\": \"approx_store_build\", \"n\": 10000, \"threads\": 1, \"seconds\": {SEED_BASELINE_BUILD_10K} }},\n  \"cases\": [\n"
+        "  \"seed\": 20130408,\n  \"dataset\": \"CarDB\",\n  \"baseline\": {{ \"op\": \"approx_store_build\", \"n\": 10000, \"threads\": 1, \"seconds\": {SEED_BASELINE_BUILD_10K} }},\n"
     ));
+    json.push_str("  \"pre_prune_baseline\": [\n");
+    let prior: Vec<String> = PRE_PRUNE_BUILD
+        .iter()
+        .map(|(n, secs)| {
+            let after = cases
+                .iter()
+                .find(|c| c.op == "approx_store_build" && c.n == *n && c.threads == 1)
+                .map(|c| c.seconds);
+            let speedup = after
+                .map(|a| format!(", \"speedup_after_fix\": {:.3}", secs / a))
+                .unwrap_or_default();
+            format!(
+                "    {{ \"op\": \"approx_store_build\", \"n\": {n}, \"threads\": 1, \"seconds\": {secs}{speedup} }}"
+            )
+        })
+        .collect();
+    json.push_str(&prior.join(",\n"));
+    json.push_str("\n  ],\n  \"cases\": [\n");
     let lines: Vec<String> = cases
         .iter()
         .map(|c| {

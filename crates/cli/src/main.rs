@@ -63,6 +63,19 @@ approximate-DSL store build (results are identical at any count), and
 (memoised skylines / anti-DDRs / safe regions; answers are identical;
 `profile` prints the hit/miss statistics).
 
+out-of-core mode: rsl, explain, mwp, mqp, safe-region and mwq accept
+--paged on with --index <file.idx> to run end-to-end through the
+page-resident engine (bounded buffer pool, no in-memory point arena;
+answers are bit-identical). --pool-pages <n> sets the pool budget
+(default 256 pages of 1536 bytes). the why-not customer is then given
+by coordinates (--whynot-point <x,y,...>), optionally with --whynot
+<index> for the own-tuple exclusion.
+
+lazy approximation: mwq and profile accept --lazy on with --approx-k
+<k> to derive the approximate safe region from lazily materialised
+per-customer DSL samples (no offline store build; identical region,
+see `profile`'s dsl_lazy_* counters).
+
 observability (requires building with --features obs, else empty):
   --metrics-out <path|->   write the metrics report after the command
                            (.prom/.txt extension = Prometheus text,
@@ -76,6 +89,10 @@ fn run(args: &[String]) -> Result<(), WnrsError> {
     let opts = parse_opts(rest)?;
     if opts.contains_key("trace") {
         wnrs_obs::set_trace(true);
+    }
+    if paged_mode(&opts)? {
+        run_paged(cmd, &opts)?;
+        return emit_observability(&opts);
     }
     match cmd.as_str() {
         "generate" => generate(&opts),
@@ -190,6 +207,193 @@ fn load_index(path: &str) -> Result<wnrs_rtree::RTree, WnrsError> {
         .map_err(|e| format!("opening {path}: {e}"))?;
     Ok(wnrs_rtree::persist::load(&pager, wnrs_storage::PageId(0))
         .map_err(|e| format!("loading index {path}: {e}"))?)
+}
+
+fn paged_mode(opts: &HashMap<String, String>) -> Result<bool, WnrsError> {
+    match opts.get("paged").map(String::as_str) {
+        Some("on") => Ok(true),
+        Some("off") | None => Ok(false),
+        Some(other) => Err(WnrsError::usage(format!(
+            "bad --paged `{other}` (expected on|off)"
+        ))),
+    }
+}
+
+fn lazy_mode(opts: &HashMap<String, String>) -> Result<bool, WnrsError> {
+    match opts.get("lazy").map(String::as_str) {
+        Some("on") => Ok(true),
+        Some("off") | None => Ok(false),
+        Some(other) => Err(WnrsError::usage(format!(
+            "bad --lazy `{other}` (expected on|off)"
+        ))),
+    }
+}
+
+/// Opens a persisted index behind a bounded buffer pool and wraps it in
+/// the out-of-core engine, the cost model normalised to the universe
+/// recovered from the root page (the same min–max fit the in-memory
+/// engine computes from the point arena).
+fn load_paged_engine(
+    opts: &HashMap<String, String>,
+) -> Result<wnrs_core::PagedEngine<wnrs_storage::FilePager>, WnrsError> {
+    let path = opts
+        .get("index")
+        .ok_or_else(|| WnrsError::usage("--paged on requires --index <file.idx>"))?;
+    let pool_pages: usize = opts
+        .get("pool-pages")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --pool-pages: {e}"))?
+        .unwrap_or(256);
+    if pool_pages == 0 {
+        return Err(WnrsError::usage("--pool-pages must be at least 1"));
+    }
+    let pager = std::sync::Arc::new(
+        wnrs_storage::FilePager::open(Path::new(path))
+            .map_err(|e| format!("opening {path}: {e}"))?,
+    );
+    let tree = wnrs_rtree::PagedRTree::open(
+        wnrs_storage::BufferPool::new(pager, pool_pages),
+        wnrs_storage::PageId(0),
+    )
+    .map_err(|e| format!("opening paged index {path}: {e}"))?;
+    let dim = tree.dim();
+    let equal = || wnrs_geometry::Weights::equal(dim);
+    let engine =
+        wnrs_core::PagedEngine::from_tree(tree, wnrs_geometry::CostModel::new(equal(), equal()))
+            .map_err(|e| format!("reading index root: {e}"))?;
+    let normalizer = wnrs_geometry::MinMaxNormalizer::from_bounds(engine.universe());
+    Ok(engine.with_cost_model(
+        wnrs_geometry::CostModel::new(equal(), equal()).with_normalizer(normalizer),
+    ))
+}
+
+/// The why-not customer in paged mode: explicit coordinates (the engine
+/// holds no point arena to index into), plus an optional `--whynot` id
+/// for the monochromatic own-tuple exclusion.
+fn paged_whynot(opts: &HashMap<String, String>) -> Result<(Point, Option<ItemId>), WnrsError> {
+    let c = parse_point(
+        opts.get("whynot-point")
+            .ok_or_else(|| WnrsError::usage("--paged on requires --whynot-point <x,y,...>"))?,
+    )?;
+    let exclude = opts
+        .get("whynot")
+        .map(|s| s.parse::<u32>())
+        .transpose()
+        .map_err(|e| format!("bad --whynot: {e}"))?
+        .map(ItemId);
+    Ok((c, exclude))
+}
+
+/// Query commands routed end-to-end through the page-resident engine.
+fn run_paged(cmd: &str, opts: &HashMap<String, String>) -> Result<(), WnrsError> {
+    let engine = load_paged_engine(opts)?;
+    let q = parse_point(require(opts, "query")?)?;
+    let fail = |e: wnrs_rtree::persist::PersistError| format!("page read failed: {e}");
+    match cmd {
+        "rsl" => {
+            let rsl = engine.reverse_skyline(&q).map_err(fail)?;
+            println!("RSL({q}) has {} members:", rsl.len());
+            for (id, p) in &rsl {
+                println!("  #{:<6} {p}", id.0);
+            }
+        }
+        "explain" => {
+            let (c, exclude) = paged_whynot(opts)?;
+            let ex = engine.explain(&c, exclude, &q).map_err(fail)?;
+            if ex.is_member() {
+                println!("customer at {c} is already in RSL({q})");
+            } else {
+                println!(
+                    "customer at {c} is not in RSL({q}); it prefers {} product(s):",
+                    ex.culprits.len()
+                );
+                for (pid, p) in &ex.culprits {
+                    println!("  #{:<6} {p}", pid.0);
+                }
+            }
+        }
+        "mwp" => {
+            let (c, exclude) = paged_whynot(opts)?;
+            let ans = engine.mwp(&c, exclude, &q).map_err(fail)?;
+            println!("MWP: move the customer from {c} to one of:");
+            for cand in &ans.candidates {
+                println!(
+                    "  {:<28} cost {:.9}{}",
+                    cand.point.to_string(),
+                    cand.cost,
+                    verified_tag(cand.verified)
+                );
+            }
+        }
+        "mqp" => {
+            let (c, exclude) = paged_whynot(opts)?;
+            let ans = engine.mqp(&c, exclude, &q).map_err(fail)?;
+            println!("MQP: move the query point {q} to one of:");
+            for cand in &ans.candidates {
+                println!(
+                    "  {:<28} cost {:.9}{}",
+                    cand.point.to_string(),
+                    cand.cost,
+                    verified_tag(cand.verified)
+                );
+            }
+        }
+        "safe-region" => {
+            let rsl = engine.reverse_skyline(&q).map_err(fail)?;
+            let sr = engine.safe_region_for(&q, &rsl).map_err(fail)?;
+            println!(
+                "SR({q}) over {} reverse-skyline member(s): {} rectangle(s), area {:.6}",
+                rsl.len(),
+                sr.len(),
+                sr.area()
+            );
+            for b in sr.boxes() {
+                println!("  {} -> {}", b.lo(), b.hi());
+            }
+        }
+        "mwq" => {
+            if opts.contains_key("approx-k") {
+                return Err(WnrsError::usage(
+                    "--approx-k is not supported with --paged on (the paged pipeline uses the exact safe region)",
+                ));
+            }
+            let (c, exclude) = paged_whynot(opts)?;
+            let rsl = engine.reverse_skyline(&q).map_err(fail)?;
+            let sr = engine.safe_region_for(&q, &rsl).map_err(fail)?;
+            let ans = engine.mwq(&c, exclude, &q, &sr).map_err(fail)?;
+            println!("MWQ for the customer at {c} ({} existing members kept):", rsl.len());
+            match ans.case {
+                wnrs_core::MwqCase::Overlap => {
+                    println!("  case C1: move the query point to {} (cost 0)", ans.q_star);
+                }
+                wnrs_core::MwqCase::Disjoint => {
+                    println!("  case C2: move the query point to {}", ans.q_star);
+                    if let Some(cand) = &ans.c_star {
+                        println!(
+                            "           and the customer to {} (cost {:.9}{})",
+                            cand.point,
+                            cand.cost,
+                            verified_tag(cand.verified)
+                        );
+                    }
+                }
+            }
+        }
+        other => {
+            return Err(WnrsError::usage(format!(
+                "--paged on does not apply to `{other}` (paged commands: rsl, explain, mwp, mqp, safe-region, mwq)"
+            )))
+        }
+    }
+    let stats = engine.tree().pool().stats();
+    println!(
+        "[paged: {} logical page read(s), {} resident of {} budget]",
+        stats.logical_reads(),
+        engine.tree().pool().resident(),
+        engine.tree().pool().capacity()
+    );
+    Ok(())
 }
 
 fn index(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
@@ -349,10 +553,19 @@ fn mwq(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     let sr = match opts.get("approx-k") {
         Some(k) => {
             let k: usize = k.parse().map_err(|e| format!("bad --approx-k: {e}"))?;
-            let store = engine.build_approx_store(k);
-            engine.approx_safe_region_for(&q, &rsl, &store)
+            if lazy_mode(opts)? {
+                engine.approx_safe_region_lazy(&q, &rsl, k)
+            } else {
+                let store = engine.build_approx_store(k);
+                engine.approx_safe_region_for(&q, &rsl, &store)
+            }
         }
-        None => engine.safe_region_for(&q, &rsl),
+        None => {
+            if lazy_mode(opts)? {
+                return Err(WnrsError::usage("--lazy on requires --approx-k <k>"));
+            }
+            engine.safe_region_for(&q, &rsl)
+        }
     };
     let ans = engine.mwq(id, &q, &sr);
     println!(
@@ -397,11 +610,12 @@ fn safe_region(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
 }
 
 /// Runs all four why-not algorithms (explain, MWP, MQP, MWQ — the
-/// latter against both the exact and the `k`-sampled approximate safe
-/// region) against one query/customer pair, so a single `--metrics-out`
-/// run captures a per-phase breakdown like the paper's Section 7
-/// tables. The registry is reset after engine construction: the report
-/// covers query phases only, not the index build.
+/// latter against the exact, the eager `k`-sampled and the lazily
+/// materialised approximate safe regions) against one query/customer
+/// pair, so a single `--metrics-out` run captures a per-phase breakdown
+/// like the paper's Section 7 tables. The registry is reset after
+/// engine construction: the report covers query phases only, not the
+/// index build.
 fn profile(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     let engine = load_engine(opts)?;
     let q = parse_point(require(opts, "query")?)?;
@@ -421,6 +635,7 @@ fn profile(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     let sr = engine.safe_region_for(&q, &rsl);
     let store = engine.build_approx_store(k);
     let sr_approx = engine.approx_safe_region_for(&q, &rsl, &store);
+    let sr_lazy = engine.approx_safe_region_lazy(&q, &rsl, k);
     let mwq = engine.mwq(id, &q, &sr);
 
     println!("profile: customer #{} against q = {q}", id.0);
@@ -435,7 +650,18 @@ fn profile(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
         sr_approx.len(),
         sr_approx.area()
     );
+    println!(
+        "  lazy sr:     {} box(es) area {:.6} ({} sample materialisation(s), {} memo hit(s))",
+        sr_lazy.len(),
+        sr_lazy.area(),
+        wnrs_obs::counter_value(wnrs_obs::Counter::DslLazyMaterializations),
+        wnrs_obs::counter_value(wnrs_obs::Counter::DslLazyHits)
+    );
     println!("  mwq:         case {:?}, cost {:.9}", mwq.case, mwq.cost);
+    println!(
+        "  paged io:    {} logical page read(s)",
+        wnrs_obs::counter_value(wnrs_obs::Counter::PagesReadLogical)
+    );
     if let Some(stats) = engine.cache_stats() {
         println!(
             "  cache:       {} hit(s) / {} miss(es) ({:.1}% hit rate), {} invalidation(s), {} eviction(s), generation {}",

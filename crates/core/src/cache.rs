@@ -278,6 +278,23 @@ pub trait WriteProbes {
     fn over_budget(&self) -> bool;
 }
 
+/// One customer's lazily materialised k-sampled dynamic skyline: the
+/// flat transformed-space coordinates (the exact
+/// [`wnrs_skyline::approx::approx_dsl_sample_into`] output the eager
+/// [`crate::ApproxDslStore`] would hold for this customer) plus its
+/// [`crate::safe_region::entry_fingerprint`]. Unlike the eager store —
+/// an immutable snapshot identified wholesale by its fingerprint —
+/// these entries track the *live* tree, so surgical invalidation must
+/// evict them exactly like the exact per-customer DSLs.
+#[derive(Debug, Clone)]
+pub struct DslSampleEntry {
+    /// Flat transformed-space sample coordinates (`len * dim` f64s).
+    pub coords: Vec<f64>,
+    /// Content hash of the sample (see
+    /// [`crate::safe_region::entry_fingerprint`]).
+    pub fingerprint: u64,
+}
+
 /// A reverse-skyline entry: the members plus the query point they
 /// answer for (needed by surgical eviction's dominance tests).
 struct RslEntry {
@@ -317,6 +334,8 @@ struct MwqEntry {
 struct CacheState {
     generation: u64,
     dsl: HashMap<u32, SharedItems>,
+    /// Lazily materialised k-sampled DSLs, keyed `(customer id, k)`.
+    dsl_sample: HashMap<(u32, u32), Arc<DslSampleEntry>>,
     addr: HashMap<AddrKey, Arc<Region>>,
     rsl: HashMap<CoordKey, RslEntry>,
     lambda: HashMap<PairKey, LambdaEntry>,
@@ -330,6 +349,7 @@ impl CacheState {
         CacheState {
             generation: 0,
             dsl: HashMap::new(),
+            dsl_sample: HashMap::new(),
             addr: HashMap::new(),
             rsl: HashMap::new(),
             lambda: HashMap::new(),
@@ -341,6 +361,7 @@ impl CacheState {
 
     fn flush(&mut self) {
         self.dsl.clear();
+        self.dsl_sample.clear();
         self.addr.clear();
         self.rsl.clear();
         self.lambda.clear();
@@ -485,6 +506,19 @@ impl EngineCache {
 
         let mut dsl_dropped = 0u64;
         state.dsl.retain(|&id, _| {
+            if probes.affected(id) {
+                dsl_dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+
+        // Lazily materialised samples track the live tree like the
+        // exact DSLs, so they share the same affected-customer verdict.
+        // (A k-sample of an unchanged DSL is unchanged: sampling is a
+        // pure function of the frontier.)
+        state.dsl_sample.retain(|&(id, _), _| {
             if probes.affected(id) {
                 dsl_dropped += 1;
                 false
@@ -750,6 +784,40 @@ impl EngineCache {
         if self.fill_allowed(&state, expected_gen) {
             self.make_room(&mut state.dsl, self.config.customer_capacity);
             state.dsl.insert(id, Arc::clone(&shared));
+        }
+        shared
+    }
+
+    /// The lazily materialised k-sampled DSL of customer `id` for
+    /// sample size `k`, if present. A hit additionally counts towards
+    /// the `dsl_lazy_hits` observability counter.
+    #[must_use]
+    pub fn get_dsl_sample(&self, id: u32, k: u32) -> Option<Arc<DslSampleEntry>> {
+        let state = self.read_state();
+        let found = self.counted(
+            self.guarded(&state, state.dsl_sample.get(&(id, k)))
+                .map(Arc::clone),
+        );
+        if found.is_some() {
+            wnrs_obs::record(Counter::DslLazyHits);
+        }
+        found
+    }
+
+    /// Stores a lazily materialised k-sampled DSL, returning the shared
+    /// handle (generation-checked, see [`EngineCache::put_dsl`]).
+    pub fn put_dsl_sample(
+        &self,
+        expected_gen: u64,
+        id: u32,
+        k: u32,
+        entry: DslSampleEntry,
+    ) -> Arc<DslSampleEntry> {
+        let shared = Arc::new(entry);
+        let mut state = self.write_state();
+        if self.fill_allowed(&state, expected_gen) {
+            self.make_room(&mut state.dsl_sample, self.config.customer_capacity);
+            state.dsl_sample.insert((id, k), Arc::clone(&shared));
         }
         shared
     }

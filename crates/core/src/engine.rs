@@ -3,8 +3,8 @@
 
 use crate::answer::Candidate;
 use crate::cache::{
-    CacheConfig, CacheStats, EngineCache, InvalidationMode, SharedItems, WriteEvent, WriteKind,
-    WriteProbes,
+    CacheConfig, CacheStats, DslSampleEntry, EngineCache, InvalidationMode, SharedItems,
+    WriteEvent, WriteKind, WriteProbes,
 };
 use crate::error::EngineError;
 use crate::explain::{explain, Explanation};
@@ -12,7 +12,8 @@ use crate::mqp::{modify_query_point, modify_query_point_with_lambda, MqpAnswer};
 use crate::mwp::{modify_why_not_point, modify_why_not_point_with_lambda, MwpAnswer};
 use crate::mwq::{modify_both, modify_both_parts, MwqAnswer};
 use crate::safe_region::{
-    anti_ddr_from_dsl, approx_safe_region_with, exact_safe_region_with, ApproxDslStore,
+    anti_ddr_from_dsl, approx_anti_ddr_of_sample, approx_safe_region_with, entry_fingerprint,
+    exact_safe_region_with, ApproxDslStore,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -26,6 +27,7 @@ use wnrs_reverse_skyline::{
 };
 use wnrs_rtree::bulk::bulk_load;
 use wnrs_rtree::{ItemId, RTree, RTreeConfig, WindowScratch};
+use wnrs_skyline::approx::{approx_dsl_sample_into, ApproxDslScratch};
 use wnrs_skyline::bbs_dynamic_skyline_excluding;
 
 /// Default verification nudge (see [`crate::verify`]).
@@ -463,6 +465,41 @@ impl WhyNotEngine {
         cache.put_addr(expected_gen, key, region)
     }
 
+    /// The lazily materialised k-sampled DSL of customer `id`, memoised
+    /// through the cache. On a miss the sample is computed on demand
+    /// with the same kernel the eager offline
+    /// [`ApproxDslStore::build`] runs per item
+    /// ([`wnrs_skyline::approx::approx_dsl_sample_into`], own tuple
+    /// excluded), so the entry's coordinates and
+    /// [`crate::safe_region::entry_fingerprint`] are bit-identical to
+    /// the corresponding store slice.
+    fn dsl_sample_for(&self, cache: &EngineCache, id: ItemId, k: usize) -> Arc<DslSampleEntry> {
+        let expected_gen = cache.generation();
+        if let Some(entry) = cache.get_dsl_sample(id.0, k as u32) {
+            return entry;
+        }
+        wnrs_obs::record(wnrs_obs::Counter::DslLazyMaterializations);
+        let mut scratch = ApproxDslScratch::new();
+        let sample = approx_dsl_sample_into(
+            &self.tree,
+            self.point(id).coords(),
+            Some(id),
+            k,
+            &mut scratch,
+        );
+        let coords = sample.coords().to_vec();
+        let fingerprint = entry_fingerprint(k, self.dim(), &coords);
+        cache.put_dsl_sample(
+            expected_gen,
+            id.0,
+            k as u32,
+            DslSampleEntry {
+                coords,
+                fingerprint,
+            },
+        )
+    }
+
     /// The memoised culprit window `Λ = window(c_t, at)` for customer
     /// `id`, with the window anchored at `at` (`q` itself, or a
     /// safe-region corner during MWQ's C2 repairs).
@@ -705,6 +742,95 @@ impl WhyNotEngine {
         approx_safe_region_with(store, rsl, &self.universe_for(q), &self.parallelism)
     }
 
+    /// The approximate safe region of `q` from **lazily materialised**
+    /// per-member DSL samples — no offline store build. Only the
+    /// reverse-skyline members' samples are ever computed (at
+    /// million-point scale the eager [`ApproxDslStore::build`] is an
+    /// O(n) BBS sweep; a why-not workload touches a vanishing fraction
+    /// of customers), and with the cache enabled each sample is
+    /// memoised under the generation protocol, so repeat queries pay
+    /// nothing. The region is bit-identical to
+    /// [`WhyNotEngine::approx_safe_region_for`] against a store of the
+    /// same `k`: both paths run the same sampling kernel and the same
+    /// [`approx_anti_ddr_of_sample`] / intersection pairing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn approx_safe_region_lazy(&self, q: &Point, rsl: &[(ItemId, Point)], k: usize) -> Region {
+        assert!(k > 0, "sample size k must be positive");
+        let universe = self.universe_for(q);
+        if let Some(cache) = &self.cache {
+            let entries: Vec<Arc<DslSampleEntry>> = rsl
+                .iter()
+                .map(|(id, _)| self.dsl_sample_for(cache, *id, k))
+                .collect();
+            // Content-addressed like the eager path, but over the
+            // *members'* sample fingerprints (the lazy layer has no
+            // whole-store fingerprint) — plus a tag keeping the key
+            // space disjoint from eager store fingerprints.
+            let key = (
+                CoordKey::of_point(q),
+                combined_sample_fingerprint(k, &entries),
+            );
+            let rsl_ids: Vec<u32> = rsl.iter().map(|(id, _)| id.0).collect();
+            let expected_gen = cache.generation();
+            if let Some(entry) = cache.get_sr_approx(&key, &rsl_ids) {
+                return entry.region.clone();
+            }
+            let _span = wnrs_obs::span!("sr_approx");
+            let pairs: Vec<(&Point, &DslSampleEntry)> = rsl
+                .iter()
+                .zip(&entries)
+                .map(|((_, c), e)| (c, e.as_ref()))
+                .collect();
+            let regions = map_slice(&pairs, &self.parallelism, |(c, e)| {
+                approx_anti_ddr_of_sample(&e.coords, c, &universe)
+            });
+            let sr = intersect_all(regions, &self.parallelism)
+                .unwrap_or_else(|| Region::from_rect(universe.clone()));
+            return cache
+                .put_sr_approx(expected_gen, key, rsl_ids, sr)
+                .region
+                .clone();
+        }
+        // Cache disabled: still lazy (only RSL members sampled), just
+        // unmemoised. One scratch per worker chunk, as in the eager
+        // build.
+        let _span = wnrs_obs::span!("sr_approx");
+        let regions: Vec<Region> = map_range_chunked(rsl.len(), &self.parallelism, |range| {
+            let mut scratch = ApproxDslScratch::new();
+            let mut chunk = Vec::with_capacity(range.len());
+            for i in range {
+                let (id, c) = &rsl[i];
+                let sample =
+                    approx_dsl_sample_into(&self.tree, c.coords(), Some(*id), k, &mut scratch);
+                chunk.push(approx_anti_ddr_of_sample(sample.coords(), c, &universe));
+            }
+            chunk
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        intersect_all(regions, &self.parallelism).unwrap_or_else(|| Region::from_rect(universe))
+    }
+
+    /// The lazily materialised k-sampled DSL entry of customer `id`
+    /// (computing and memoising it on first access), or `None` when the
+    /// cache is disabled. Exposed so equivalence tests can compare
+    /// lazy entries against eager [`ApproxDslStore`] slices fingerprint
+    /// for fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn lazy_dsl_sample(&self, id: ItemId, k: usize) -> Option<Arc<DslSampleEntry>> {
+        assert!(k > 0, "sample size k must be positive");
+        self.cache
+            .as_ref()
+            .map(|cache| self.dsl_sample_for(cache, id, k))
+    }
+
     /// Algorithm 4 (MWQ) for dataset customer `id`, against a
     /// precomputed safe region (exact or approximate).
     ///
@@ -882,6 +1008,31 @@ impl WhyNotEngine {
         };
         (sr, answers)
     }
+}
+
+/// FNV-1a over the reverse-skyline members' per-sample fingerprints
+/// plus `k`, tagged so lazily keyed approximate safe regions can never
+/// collide with eager whole-store fingerprints in the shared
+/// `sr_approx` map.
+fn combined_sample_fingerprint(k: usize, entries: &[Arc<DslSampleEntry>]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    /// ASCII "lazy_sr\0" — a domain separator, nothing more.
+    const LAZY_TAG: u64 = 0x6c61_7a79_5f73_7200;
+    let mut h = OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(LAZY_TAG);
+    mix(k as u64);
+    mix(entries.len() as u64);
+    for e in entries {
+        mix(e.fingerprint);
+    }
+    h
 }
 
 /// Index-backed [`WriteProbes`] for surgical cache invalidation: one

@@ -51,22 +51,28 @@ pub mod flexible;
 pub mod mqp;
 pub mod mwp;
 pub mod mwq;
+pub mod paged;
 pub mod safe_region;
 pub mod sync;
 pub mod verify;
 
 pub use answer::Candidate;
-pub use cache::{CacheConfig, CacheStats, EngineCache, InvalidationMode};
+pub use cache::{CacheConfig, CacheStats, DslSampleEntry, EngineCache, InvalidationMode};
 pub use engine::WhyNotEngine;
 pub use error::{EngineError, WnrsError};
 pub use eval::score_all_batch;
 pub use explain::{explain, Explanation};
 pub use flexible::{expand_safe_region, mwq_batch, truncate_safe_region, ExpandedSafeRegion};
-pub use mqp::{modify_query_point, modify_query_point_with_lambda, MqpAnswer};
-pub use mwp::{modify_why_not_point, modify_why_not_point_with_lambda, MwpAnswer};
+pub use mqp::{
+    modify_query_point, modify_query_point_core, modify_query_point_with_lambda, MqpAnswer,
+};
+pub use mwp::{
+    modify_why_not_point, modify_why_not_point_core, modify_why_not_point_with_lambda, MwpAnswer,
+};
 pub use mwq::{modify_both, modify_both_parts, MwqAnswer, MwqCase};
+pub use paged::PagedEngine;
 pub use safe_region::{
-    anti_ddr_from_dsl, approx_safe_region, approx_safe_region_with, exact_safe_region,
-    exact_safe_region_with, ApproxDslStore,
+    anti_ddr_from_dsl, approx_anti_ddr_of_sample, approx_safe_region, approx_safe_region_with,
+    entry_fingerprint, exact_safe_region, exact_safe_region_with, ApproxDslStore,
 };
 pub use wnrs_geometry::parallel::Parallelism;

@@ -13,9 +13,9 @@
 //! limit points, verified with an ε-nudge.
 
 use crate::answer::{finish_candidates, Candidate};
-use crate::verify::limit_verified_query;
+use crate::verify::limit_verified_query_by;
 use wnrs_geometry::{cmp_f64, CostModel, Point};
-use wnrs_reverse_skyline::window_query;
+use wnrs_reverse_skyline::{is_reverse_skyline_member, window_query};
 use wnrs_rtree::{ItemId, RTree};
 use wnrs_skyline::sfs_skyline;
 
@@ -80,6 +80,22 @@ pub fn modify_query_point_with_lambda(
     cost: &CostModel,
     eps: f64,
 ) -> MqpAnswer {
+    modify_query_point_core(c_t, q, lambda, cost, eps, &mut |c, at| {
+        is_reverse_skyline_member(products, c, at, exclude)
+    })
+}
+
+/// Index-agnostic core of Algorithm 2: the candidate construction uses
+/// only `Λ`; the product store enters solely through `member(c, at)`
+/// deciding `c ∈ RSL(at)`.
+pub fn modify_query_point_core(
+    c_t: &Point,
+    q: &Point,
+    lambda: &[(ItemId, Point)],
+    cost: &CostModel,
+    eps: f64,
+    member: &mut impl FnMut(&Point, &Point) -> bool,
+) -> MqpAnswer {
     assert_eq!(c_t.dim(), q.dim(), "dimensionality mismatch");
     let d = c_t.dim();
     if lambda.is_empty() {
@@ -134,7 +150,7 @@ pub fn modify_query_point_with_lambda(
         .into_iter()
         .map(|t| untransform(c_t, q, &t))
         .map(|p| {
-            let verified = limit_verified_query(products, c_t, q, &p, exclude, eps);
+            let verified = limit_verified_query_by(c_t, q, &p, eps, member);
             let c = cost.query_cost(q, &p);
             Candidate {
                 point: p,

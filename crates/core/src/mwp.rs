@@ -16,9 +16,10 @@
 //! engine's [`CostModel`].
 
 use crate::answer::{finish_candidates, Candidate};
-use crate::verify::limit_verified_whynot;
+use crate::verify::limit_verified_whynot_by;
 use std::cmp::Ordering;
 use wnrs_geometry::{cmp_f64, CostModel, Point};
+use wnrs_reverse_skyline::is_reverse_skyline_member;
 use wnrs_reverse_skyline::window_query;
 use wnrs_rtree::{ItemId, RTree};
 
@@ -108,6 +109,22 @@ pub fn modify_why_not_point_with_lambda(
     exclude: Option<ItemId>,
     cost: &CostModel,
     eps: f64,
+) -> MwpAnswer {
+    modify_why_not_point_core(c_t, q, lambda, cost, eps, &mut |c, at| {
+        is_reverse_skyline_member(products, c, at, exclude)
+    })
+}
+
+/// Index-agnostic core of Algorithm 1: the candidate construction uses
+/// only `Λ`; the product store enters solely through `member(c, at)`
+/// deciding `c ∈ RSL(at)` (in-memory arena, page-resident tree, …).
+pub fn modify_why_not_point_core(
+    c_t: &Point,
+    q: &Point,
+    lambda: &[(ItemId, Point)],
+    cost: &CostModel,
+    eps: f64,
+    member: &mut impl FnMut(&Point, &Point) -> bool,
 ) -> MwpAnswer {
     assert_eq!(c_t.dim(), q.dim(), "dimensionality mismatch");
     let d = c_t.dim();
@@ -210,7 +227,7 @@ pub fn modify_why_not_point_with_lambda(
     let candidates = raw
         .into_iter()
         .map(|p| {
-            let verified = limit_verified_whynot(products, c_t, &p, q, exclude, eps);
+            let verified = limit_verified_whynot_by(c_t, &p, q, eps, member);
             let c = cost.whynot_cost(c_t, &p);
             Candidate {
                 point: p,

@@ -219,6 +219,43 @@ fn store_fingerprint(k: usize, dim: usize, coords: &[f64], offsets: &[u32]) -> u
     h
 }
 
+/// FNV-1a content hash of **one** customer's k-sampled DSL (flat
+/// transformed-space coordinates). Mixes `k`, `dim` and the point count
+/// before the coordinate bits, mirroring `store_fingerprint`'s f64
+/// treatment (`-0.0` normalised to `+0.0`), so a lazily materialised
+/// sample and the corresponding [`ApproxDslStore`] slice fingerprint
+/// equally iff they hold the same sample.
+#[must_use]
+pub fn entry_fingerprint(k: usize, dim: usize, coords: &[f64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(k as u64);
+    mix(dim as u64);
+    mix((coords.len() / dim.max(1)) as u64);
+    for &v in coords {
+        mix(wnrs_geometry::f64_key(v));
+    }
+    h
+}
+
+/// The approximate anti-dominance region of a customer at `c` from its
+/// flat transformed-space DSL sample — the single code path shared by
+/// [`ApproxDslStore::anti_ddr`] (eager, offline store) and the engine's
+/// lazily materialised per-customer samples, so both produce
+/// bit-identical regions from identical samples.
+#[must_use]
+pub fn approx_anti_ddr_of_sample(sample_coords: &[f64], c: &Point, universe: &Rect) -> Region {
+    let maxd = max_dist(c, universe);
+    reflect_region(c, &approx_anti_ddr_flat(sample_coords, &maxd), universe)
+}
+
 impl ApproxDslStore {
     /// Builds the store for all items of `products` (item ids must be
     /// dense `0..len`, as produced by [`wnrs_rtree::bulk::bulk_load`]).
@@ -376,12 +413,14 @@ impl ApproxDslStore {
     /// The approximate anti-dominance region of item `id` (located at
     /// `c`) in the original space.
     pub fn anti_ddr(&self, id: ItemId, c: &Point, universe: &Rect) -> Region {
-        let maxd = max_dist(c, universe);
-        reflect_region(
-            c,
-            &approx_anti_ddr_flat(self.sample(id).coords(), &maxd),
-            universe,
-        )
+        approx_anti_ddr_of_sample(self.sample(id).coords(), c, universe)
+    }
+
+    /// The [`entry_fingerprint`] of item `id`'s stored sample — what a
+    /// lazy materialisation of the same customer must reproduce.
+    #[must_use]
+    pub fn entry_fingerprint(&self, id: ItemId) -> u64 {
+        entry_fingerprint(self.k, self.dim, self.sample(id).coords())
     }
 }
 

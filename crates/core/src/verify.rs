@@ -43,13 +43,28 @@ pub fn limit_verified_whynot(
     exclude: Option<ItemId>,
     eps: f64,
 ) -> bool {
+    limit_verified_whynot_by(c_t, c_star, q, eps, &mut |c, at| {
+        is_reverse_skyline_member(products, c, at, exclude)
+    })
+}
+
+/// Index-agnostic core of [`limit_verified_whynot`]: `member(c, at)`
+/// decides `c ∈ RSL(at)` against whatever product store the caller runs
+/// on (in-memory arena, page-resident tree, …). Called at most twice.
+pub fn limit_verified_whynot_by(
+    c_t: &Point,
+    c_star: &Point,
+    q: &Point,
+    eps: f64,
+    member: &mut impl FnMut(&Point, &Point) -> bool,
+) -> bool {
     // Exactly valid counts too (e.g. c* = q with a product at q: valid
     // at the point but not in a punctured neighbourhood).
-    if is_reverse_skyline_member(products, c_star, q, exclude) {
+    if member(c_star, q) {
         return true;
     }
     let nudged = nudge(c_t, c_star, eps);
-    is_reverse_skyline_member(products, &nudged, q, exclude)
+    member(&nudged, q)
 }
 
 /// Whether the modified query point `q_star` (moved from `q`) is at
@@ -63,11 +78,25 @@ pub fn limit_verified_query(
     exclude: Option<ItemId>,
     eps: f64,
 ) -> bool {
-    if is_reverse_skyline_member(products, c_t, q_star, exclude) {
+    limit_verified_query_by(c_t, q, q_star, eps, &mut |c, at| {
+        is_reverse_skyline_member(products, c, at, exclude)
+    })
+}
+
+/// Index-agnostic core of [`limit_verified_query`]: `member(c, at)`
+/// decides `c ∈ RSL(at)`. Called at most twice.
+pub fn limit_verified_query_by(
+    c_t: &Point,
+    q: &Point,
+    q_star: &Point,
+    eps: f64,
+    member: &mut impl FnMut(&Point, &Point) -> bool,
+) -> bool {
+    if member(c_t, q_star) {
         return true;
     }
     let nudged = nudge(q, q_star, eps);
-    is_reverse_skyline_member(products, c_t, &nudged, exclude)
+    member(c_t, &nudged)
 }
 
 #[cfg(test)]

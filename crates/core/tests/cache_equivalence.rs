@@ -15,11 +15,19 @@
 //!
 //! Answers carry `f64` costs and coordinates, so equality is asserted
 //! on `Debug` renderings — any bit difference shows up.
+//!
+//! The lazy-DSL suite at the bottom extends the same bar to the
+//! on-demand sample store: lazily materialised per-customer samples and
+//! the lazy approximate safe region must be bit-identical to an eager
+//! [`ApproxDslStore`] of the same `k` — in any query order, and across
+//! insert/delete interleavings (where a Flush-mode cache, which
+//! recomputes every sample after every write, is the ground truth the
+//! surgically evicted cache must keep matching).
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wnrs_core::WhyNotEngine;
+use wnrs_core::{CacheConfig, InvalidationMode, WhyNotEngine};
 use wnrs_geometry::{Point, Rect};
 use wnrs_rtree::{ItemId, RTreeConfig};
 
@@ -368,4 +376,150 @@ fn mutation_invalidates_immediately() {
     assert_all_algorithms_agree(&plain, &cached, id, &q);
     let stats = cached.cache_stats().expect("cache enabled");
     assert_eq!(stats.invalidations, 2);
+}
+
+/// Coordinates as raw bit patterns: `assert_eq!` on `f64` slices would
+/// conflate `±0.0` and choke on NaN; bits catch every difference.
+fn bits_of(coords: &[f64]) -> Vec<u64> {
+    coords.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Asserts the lazy path is bit-identical to an eager store of the same
+/// `k` for one query: the safe region (memoised on `cached`, streaming
+/// on `plain`, eager on the store) and every reverse-skyline member's
+/// sample, fingerprint *and* coordinates.
+fn assert_lazy_matches_eager_store(
+    plain: &WhyNotEngine,
+    cached: &WhyNotEngine,
+    q: &Point,
+    k: usize,
+) {
+    let rsl = plain.reverse_skyline(q);
+    let store = plain.build_approx_store(k);
+    let eager = format!("{:?}", plain.approx_safe_region_for(q, &rsl, &store));
+    // Two rounds on the cached engine: the first fills the lazy sample
+    // and sr_approx entries, the second must serve them unchanged.
+    for _round in 0..2 {
+        assert_eq!(
+            eager,
+            format!("{:?}", cached.approx_safe_region_lazy(q, &rsl, k)),
+            "memoised lazy safe region diverged from the eager store"
+        );
+    }
+    assert_eq!(
+        eager,
+        format!("{:?}", plain.approx_safe_region_lazy(q, &rsl, k)),
+        "unmemoised lazy safe region diverged from the eager store"
+    );
+    for (id, _) in &rsl {
+        let entry = cached.lazy_dsl_sample(*id, k).expect("cache enabled");
+        assert_eq!(
+            entry.fingerprint,
+            store.entry_fingerprint(*id),
+            "lazy sample fingerprint diverged for {id:?}"
+        );
+        assert_eq!(
+            bits_of(&entry.coords),
+            bits_of(store.sample(*id).coords()),
+            "lazy sample coordinates diverged for {id:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn lazy_dsl_equals_eager_store_in_any_query_order(
+        dist in 0u8..3,
+        n in 30usize..70,
+        seed in 0u64..1_000_000,
+        k in 1usize..6,
+        order in prop::collection::vec(0usize..4, 4..8),
+    ) {
+        let points = make_points(dist, n, seed);
+        let (plain, cached) = engines_of(points.clone());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1A27);
+        let queries: Vec<Point> = (0..4).map(|_| query_in(&points, &mut rng)).collect();
+        // Whatever order the queries arrive in (repeats included), every
+        // lazy answer matches the eager store built over the same data.
+        for i in order {
+            assert_lazy_matches_eager_store(&plain, &cached, &queries[i], k);
+        }
+        let stats = cached.cache_stats().expect("cache enabled");
+        prop_assert!(stats.hits > 0, "repeats must hit the lazy entries");
+        prop_assert_eq!(stats.invalidations, 0);
+    }
+
+    #[test]
+    fn lazy_equivalence_survives_mutation_interleavings(
+        dist in 0u8..3,
+        n in 30usize..60,
+        seed in 0u64..1_000_000,
+        k in 1usize..5,
+        ops in prop::collection::vec((0u8..4, 0usize..1_000_000), 4..10),
+    ) {
+        // The eager store demands dense ids, so after deletes the ground
+        // truth is a Flush-mode cache: it recomputes every sample after
+        // every write, while the surgical cache keeps whatever its
+        // write probes deemed unaffected. A stale sample that dodged
+        // surgical eviction shows up as a fingerprint or region diff.
+        let points = make_points(dist, n, seed);
+        let plain = WhyNotEngine::with_config(points.clone(), RTreeConfig::with_max_entries(8));
+        let surgical = WhyNotEngine::with_config(points.clone(), RTreeConfig::with_max_entries(8))
+            .with_cache();
+        let flushy = WhyNotEngine::with_config(points.clone(), RTreeConfig::with_max_entries(8))
+            .with_cache_config(CacheConfig {
+                invalidation: InvalidationMode::Flush,
+                ..CacheConfig::default()
+            });
+        let mut engines = [plain, surgical, flushy];
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1A55);
+        let hot_q = query_in(&points, &mut rng);
+        let check = |engines: &[WhyNotEngine; 3], q: &Point| {
+            let [plain, surgical, flushy] = engines;
+            let rsl = plain.reverse_skyline(q);
+            let fresh = format!("{:?}", plain.approx_safe_region_lazy(q, &rsl, k));
+            for cached in [surgical, flushy] {
+                assert_eq!(
+                    fresh,
+                    format!("{:?}", cached.approx_safe_region_lazy(q, &rsl, k)),
+                    "lazy safe region diverged after mutations"
+                );
+            }
+            for (id, _) in &rsl {
+                let a = surgical.lazy_dsl_sample(*id, k).expect("cache enabled");
+                let b = flushy.lazy_dsl_sample(*id, k).expect("cache enabled");
+                assert_eq!(
+                    a.fingerprint, b.fingerprint,
+                    "surgically retained sample went stale for {id:?}"
+                );
+                assert_eq!(bits_of(&a.coords), bits_of(&b.coords));
+            }
+        };
+        for (op, pick) in ops {
+            match op {
+                0 => {
+                    let p = query_in(&points, &mut rng);
+                    let ids: Vec<ItemId> =
+                        engines.iter_mut().map(|e| e.insert(p.clone())).collect();
+                    prop_assert_eq!(ids[0], ids[1]);
+                    prop_assert_eq!(ids[0], ids[2]);
+                }
+                1 => {
+                    let id = ItemId((pick % engines[0].len()) as u32);
+                    if engines[0].is_live(id) && engines[0].live_len() > 1 {
+                        for e in &mut engines {
+                            prop_assert!(e.delete(id));
+                        }
+                    }
+                }
+                _ => {
+                    let q = if op == 2 { hot_q.clone() } else { query_in(&points, &mut rng) };
+                    check(&engines, &q);
+                }
+            }
+        }
+        check(&engines, &hot_q);
+    }
 }

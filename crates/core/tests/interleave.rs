@@ -5,8 +5,9 @@
 //! outer engine lock built here) report every acquisition to
 //! [`wnrs_core::sync::sched::Scheduler`], which picks the next runnable
 //! thread from a seeded PRNG. Each seed therefore names one exact
-//! interleaving of concurrent explain/MWQ/RSL readers and insert/delete
-//! writers over one shared cached engine — and replays it forever.
+//! interleaving of concurrent explain/MWQ/RSL/lazy-safe-region readers
+//! and insert/delete writers over one shared cached engine — and
+//! replays it forever.
 //!
 //! Correctness oracle: every operation records its `Debug`-rendered
 //! answer in a linearization log ordered by the outer lock (readers
@@ -38,11 +39,20 @@ const BASE_POINTS: usize = 24;
 const QUERY_IDS: u32 = 5;
 const DELETE_FROM: u32 = 20;
 
+/// Sample size for the lazy safe-region reader op — small enough that
+/// every base customer's DSL truncates differently, so a stale sample
+/// is visible in the region.
+const LAZY_K: usize = 3;
+
 #[derive(Debug, Clone)]
 enum Op {
     Rsl(Point),
     Explain(ItemId, Point),
     MwqFull(ItemId, Point),
+    /// Reverse skyline + lazy approximate safe region in one reader op:
+    /// exercises the memoised per-customer DSL samples (and their
+    /// surgical eviction) under every explored interleaving.
+    LazySr(Point),
     Insert(Point),
     Delete(ItemId),
 }
@@ -66,9 +76,10 @@ fn workload(seed: u64) -> Vec<Vec<Op>> {
         for _ in 0..3 {
             let id = ItemId(rng.gen_range(0..QUERY_IDS));
             let q = rand_point(&mut rng);
-            ops.push(match rng.gen_range(0..3u8) {
+            ops.push(match rng.gen_range(0..4u8) {
                 0 => Op::Rsl(q),
                 1 => Op::Explain(id, q),
+                2 => Op::LazySr(q),
                 _ => Op::MwqFull(id, q),
             });
         }
@@ -89,6 +100,13 @@ fn run_reader_op(engine: &WhyNotEngine, op: &Op) -> String {
         Op::Rsl(q) => format!("{:?}", engine.reverse_skyline(q)),
         Op::Explain(id, q) => format!("{:?}", engine.explain(*id, q)),
         Op::MwqFull(id, q) => format!("{:?}", engine.mwq_full(*id, q)),
+        Op::LazySr(q) => {
+            let rsl = engine.reverse_skyline(q);
+            format!(
+                "{:?}",
+                (&rsl, engine.approx_safe_region_lazy(q, &rsl, LAZY_K))
+            )
+        }
         Op::Insert(_) | Op::Delete(_) => unreachable!("writer op on the read path"),
     }
 }

@@ -77,35 +77,45 @@ const SEGMENTS: &[Segment] = &[
     },
 ];
 
+/// Draws one car as a (price, mileage) point.
+fn car<R: Rng + ?Sized>(rng: &mut R, total_weight: f64) -> Point {
+    let mut pick = rng.gen::<f64>() * total_weight;
+    let seg = SEGMENTS
+        .iter()
+        .find(|s| {
+            pick -= s.weight;
+            pick <= 0.0
+        })
+        .unwrap_or(&SEGMENTS[SEGMENTS.len() - 1]);
+    let price_raw = lognormal(rng, seg.price_mu, seg.price_sigma);
+    let price = price_raw.clamp(PRICE_RANGE.0, PRICE_RANGE.1);
+    // Higher price within the segment ⇒ fewer miles: shift the
+    // mileage level down proportionally to the price z-score.
+    let z = (price_raw.ln() - seg.price_mu) / seg.price_sigma;
+    let mileage_center = seg.mileage_mu - seg.coupling * z * seg.mileage_sigma;
+    let mileage = truncated_normal(
+        rng,
+        mileage_center,
+        seg.mileage_sigma * 0.6,
+        MILEAGE_RANGE.0,
+        MILEAGE_RANGE.1,
+    );
+    Point::xy(price, mileage)
+}
+
 /// Generates `n` cars as (price, mileage) points.
 pub fn cardb<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<Point> {
+    cardb_stream(rng, n).collect()
+}
+
+/// Streaming counterpart of [`cardb`]: yields the identical point
+/// sequence for the same RNG state, one car at a time, without ever
+/// materialising the dataset. The out-of-core loader feeds this
+/// straight into the streaming STR bulk load, so the generated market
+/// size never enters resident memory.
+pub fn cardb_stream<R: Rng + ?Sized>(rng: &mut R, n: usize) -> impl Iterator<Item = Point> + '_ {
     let total_weight: f64 = SEGMENTS.iter().map(|s| s.weight).sum();
-    (0..n)
-        .map(|_| {
-            let mut pick = rng.gen::<f64>() * total_weight;
-            let seg = SEGMENTS
-                .iter()
-                .find(|s| {
-                    pick -= s.weight;
-                    pick <= 0.0
-                })
-                .unwrap_or(&SEGMENTS[SEGMENTS.len() - 1]);
-            let price_raw = lognormal(rng, seg.price_mu, seg.price_sigma);
-            let price = price_raw.clamp(PRICE_RANGE.0, PRICE_RANGE.1);
-            // Higher price within the segment ⇒ fewer miles: shift the
-            // mileage level down proportionally to the price z-score.
-            let z = (price_raw.ln() - seg.price_mu) / seg.price_sigma;
-            let mileage_center = seg.mileage_mu - seg.coupling * z * seg.mileage_sigma;
-            let mileage = truncated_normal(
-                rng,
-                mileage_center,
-                seg.mileage_sigma * 0.6,
-                MILEAGE_RANGE.0,
-                MILEAGE_RANGE.1,
-            );
-            Point::xy(price, mileage)
-        })
-        .collect()
+    (0..n).map(move |_| car(rng, total_weight))
 }
 
 #[cfg(test)]
@@ -178,5 +188,17 @@ mod tests {
         let a = cardb(&mut StdRng::seed_from_u64(15), 20);
         let b = cardb(&mut StdRng::seed_from_u64(15), 20);
         assert!(a.iter().zip(b.iter()).all(|(x, y)| x.same_location(y)));
+    }
+
+    #[test]
+    fn stream_matches_eager_bit_for_bit() {
+        let eager = cardb(&mut StdRng::seed_from_u64(16), 500);
+        let mut rng = StdRng::seed_from_u64(16);
+        let streamed: Vec<Point> = cardb_stream(&mut rng, 500).collect();
+        assert_eq!(eager.len(), streamed.len());
+        for (a, b) in eager.iter().zip(&streamed) {
+            assert_eq!(a[0].to_bits(), b[0].to_bits());
+            assert_eq!(a[1].to_bits(), b[1].to_bits());
+        }
     }
 }

@@ -26,7 +26,7 @@ pub mod rng;
 pub mod synthetic;
 pub mod workload;
 
-pub use cardb::cardb;
+pub use cardb::{cardb, cardb_stream};
 pub use synthetic::{anticorrelated, clustered, correlated, uniform};
 pub use workload::{
     select_why_not, BatchQuestion, QueryWorkload, RepeatedWorkload, StreamOp, WorkloadQuery,

@@ -104,11 +104,20 @@ pub enum Counter {
     /// the miss and the store (concurrent readers only; see
     /// `EngineCache` stale-fill protection).
     CacheStaleFills = 17,
+    /// Sampled dynamic skylines computed on demand by the lazy DSL
+    /// store (first touch of a customer since the last eviction).
+    DslLazyMaterializations = 18,
+    /// Lazy DSL store lookups served from a memoized per-customer
+    /// sample.
+    DslLazyHits = 19,
+    /// Logical page reads against the buffer pool (hits + misses) — the
+    /// paper's per-query I/O metric for the page-resident pipeline.
+    PagesReadLogical = 20,
 }
 
 impl Counter {
     /// Number of counters (array dimension for per-span attribution).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 21;
 
     /// The stable, export-facing name (snake_case; used as the JSON
     /// key and the Prometheus metric suffix).
@@ -133,6 +142,9 @@ impl Counter {
             Counter::CachePartialInvalidations => "cache_partial_invalidations",
             Counter::CacheFullFlushes => "cache_full_flushes",
             Counter::CacheStaleFills => "cache_stale_fills",
+            Counter::DslLazyMaterializations => "dsl_lazy_materializations",
+            Counter::DslLazyHits => "dsl_lazy_hits",
+            Counter::PagesReadLogical => "pages_read_logical",
         }
     }
 
@@ -158,6 +170,9 @@ impl Counter {
             Counter::CachePartialInvalidations,
             Counter::CacheFullFlushes,
             Counter::CacheStaleFills,
+            Counter::DslLazyMaterializations,
+            Counter::DslLazyHits,
+            Counter::PagesReadLogical,
         ]
     }
 }

@@ -8,10 +8,11 @@
 //! Two export formats:
 //!
 //! * [`Report::to_json`] — a stable, hand-rendered JSON document
-//!   (schema `wnrs-obs-v4`, pinned by the golden-file test in
+//!   (schema `wnrs-obs-v5`, pinned by the golden-file test in
 //!   `crates/obs/tests/golden_report.rs`; v1 → v2 added the engine-cache
 //!   and buffer-pool counters, v2 → v3 the surgical-invalidation
-//!   eviction counters);
+//!   eviction counters, v3 → v4 the stale-fill counter, v4 → v5 the
+//!   lazy-DSL-store and logical-page-read counters);
 //! * [`Report::to_prometheus`] — Prometheus text exposition format
 //!   (counters plus one `_bucket`/`_sum`/`_count` histogram family).
 
@@ -20,7 +21,7 @@ use crate::Counter;
 
 /// Schema identifier written into every JSON export. Bump only with a
 /// matching golden-file update; downstream tooling keys off this.
-pub const JSON_SCHEMA: &str = "wnrs-obs-v4";
+pub const JSON_SCHEMA: &str = "wnrs-obs-v5";
 
 /// One global counter's value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -269,7 +270,7 @@ mod tests {
         let r = Report::empty(false);
         assert_eq!(r.counters.len(), Counter::all().len());
         let json = r.to_json();
-        assert!(json.contains("\"schema\": \"wnrs-obs-v4\""));
+        assert!(json.contains("\"schema\": \"wnrs-obs-v5\""));
         assert!(json.contains("\"obs_compiled\": false"));
         for c in Counter::all() {
             assert!(json.contains(c.name()), "missing {}", c.name());

@@ -20,11 +20,16 @@
 pub mod bbrs;
 pub mod bichromatic;
 pub mod naive;
+pub mod paged;
 pub mod window;
 
 pub use bbrs::{bbrs_reverse_skyline, global_skyline};
 pub use bichromatic::rsl_bichromatic_indexed;
 pub use naive::{rsl_bichromatic, rsl_bichromatic_parallel, rsl_monochromatic_naive};
+pub use paged::{
+    paged_bbrs_reverse_skyline, paged_global_skyline, paged_is_reverse_skyline_member,
+    paged_window_query, PagedMemberScratch,
+};
 pub use window::{
     is_reverse_skyline_member, is_reverse_skyline_member_with, window_query, window_query_into,
 };

@@ -90,7 +90,12 @@ fn finish(tree: &mut RTree, root: NodeId, height: u32, len: usize) {
 
 /// Splits `entries` into groups of at most `max_entries`, tiling along
 /// `axis…d-1`. Returns the leaf groups in tile order.
-fn tile(entries: Vec<Entry>, axis: usize, dim: usize, config: &RTreeConfig) -> Vec<Vec<Entry>> {
+pub(crate) fn tile(
+    entries: Vec<Entry>,
+    axis: usize,
+    dim: usize,
+    config: &RTreeConfig,
+) -> Vec<Vec<Entry>> {
     let n = entries.len();
     let k = n.div_ceil(config.max_entries);
     if k <= 1 {
@@ -99,7 +104,12 @@ fn tile(entries: Vec<Entry>, axis: usize, dim: usize, config: &RTreeConfig) -> V
     tile_rec(entries, axis, dim, k)
 }
 
-fn tile_rec(mut entries: Vec<Entry>, axis: usize, dim: usize, k: usize) -> Vec<Vec<Entry>> {
+pub(crate) fn tile_rec(
+    mut entries: Vec<Entry>,
+    axis: usize,
+    dim: usize,
+    k: usize,
+) -> Vec<Vec<Entry>> {
     if k <= 1 || axis == dim - 1 {
         return chunk_even(entries, k);
     }

@@ -31,6 +31,7 @@ pub mod paged;
 pub mod persist;
 pub mod query;
 pub mod split;
+pub mod stream;
 pub mod tree;
 pub mod validate;
 
@@ -38,4 +39,5 @@ pub use config::RTreeConfig;
 pub use node::{Child, Entry, ItemId, Node, NodeId};
 pub use paged::PagedRTree;
 pub use query::{knn, nearest, BestFirst, Traversal};
+pub use stream::bulk_load_stream;
 pub use tree::{RTree, WindowScratch};

@@ -24,6 +24,87 @@ struct DecodedNode {
     entries: Vec<(u64, Rect)>,
 }
 
+/// A reusable, allocation-free decode target for one node page.
+///
+/// External traversals (the paged BBS/BBRS drivers) decode nodes into
+/// one of these instead of materialising [`Rect`]s per entry: children
+/// stay as raw tagged ids, coordinates as one flat `lo‖hi` buffer per
+/// entry. Reusing the buffer across [`PagedRTree::read_node_into`] calls
+/// keeps a whole traversal at zero steady-state allocations.
+#[derive(Debug, Default)]
+pub struct NodeBuf {
+    level: u32,
+    dim: usize,
+    /// Tagged child ids: high bit set = item, clear = child page.
+    children: Vec<u64>,
+    /// `2·dim` coordinates per entry: `lo` then `hi`.
+    coords: Vec<f64>,
+}
+
+impl NodeBuf {
+    /// An empty buffer (filled by [`PagedRTree::read_node_into`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The decoded node's level (0 = leaf).
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Whether the decoded node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Whether the node has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Whether entry `i` is an item (leaf) entry.
+    #[inline]
+    pub fn is_item(&self, i: usize) -> bool {
+        self.children[i] & ITEM_TAG != 0
+    }
+
+    /// The item id of leaf entry `i`.
+    #[inline]
+    pub fn item_id(&self, i: usize) -> ItemId {
+        debug_assert!(self.is_item(i));
+        ItemId((self.children[i] & !ITEM_TAG) as u32)
+    }
+
+    /// The child page of inner entry `i`.
+    #[inline]
+    pub fn child_page(&self, i: usize) -> PageId {
+        debug_assert!(!self.is_item(i));
+        PageId(self.children[i])
+    }
+
+    /// Entry `i`'s lower corner (the point itself for leaf entries).
+    #[inline]
+    pub fn lo(&self, i: usize) -> &[f64] {
+        &self.coords[2 * self.dim * i..2 * self.dim * i + self.dim]
+    }
+
+    /// Entry `i`'s upper corner.
+    #[inline]
+    pub fn hi(&self, i: usize) -> &[f64] {
+        &self.coords[2 * self.dim * i + self.dim..2 * self.dim * (i + 1)]
+    }
+}
+
 /// A read-only R\*-tree whose nodes live in pages behind a buffer pool.
 pub struct PagedRTree<P: Pager> {
     pool: BufferPool<P>,
@@ -95,6 +176,32 @@ impl<P: Pager> PagedRTree<P> {
         &self.pool
     }
 
+    /// The root node's page id (the traversal entry point for external
+    /// drivers such as the paged BBS).
+    pub fn root_page(&self) -> PageId {
+        self.root_page
+    }
+
+    /// Decodes the node at `page` into `buf`, reusing its allocations.
+    pub fn read_node_into(&self, page: PageId, buf: &mut NodeBuf) -> Result<(), PersistError> {
+        let p = self.pool.read(page)?;
+        let mut dec = Decoder::new(p.bytes());
+        buf.level = dec.get_u32()?;
+        buf.dim = self.dim;
+        let count = dec.get_u32()? as usize;
+        buf.children.clear();
+        buf.coords.clear();
+        buf.children.reserve(count);
+        buf.coords.reserve(count * 2 * self.dim);
+        for _ in 0..count {
+            buf.children.push(dec.get_u64()?);
+            for _ in 0..2 * self.dim {
+                buf.coords.push(dec.get_f64()?);
+            }
+        }
+        Ok(())
+    }
+
     fn read_node(&self, page: PageId) -> Result<DecodedNode, PersistError> {
         let p = self.pool.read(page)?;
         let mut dec = Decoder::new(p.bytes());
@@ -121,6 +228,7 @@ impl<P: Pager> PagedRTree<P> {
     pub fn window(&self, window: &Rect) -> Result<Vec<(ItemId, Point)>, PersistError> {
         assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
         wnrs_obs::record(wnrs_obs::Counter::WindowQueries);
+        // lint:allow(hot_path_alloc) reason=one result buffer per window query, not per entry
         let mut out = Vec::new();
         if self.is_empty() {
             return Ok(out);
@@ -132,6 +240,7 @@ impl<P: Pager> PagedRTree<P> {
                 if node.level == 0 {
                     debug_assert!(child & ITEM_TAG != 0, "leaf entry must be an item");
                     if window.contains_point(rect.lo()) {
+                        // lint:allow(hot_path_alloc) reason=owned Point per accepted match required by the public API
                         out.push((ItemId((child & !ITEM_TAG) as u32), rect.lo().clone()));
                     }
                 } else if window.intersects(rect) {

@@ -17,8 +17,8 @@ use std::fmt;
 use wnrs_geometry::{Point, Rect};
 use wnrs_storage::{Decoder, Encoder, Page, PageId, Pager};
 
-const MAGIC: u64 = 0x524E_5753_5254_5245; // "WNRS RTRE"
-const ITEM_TAG: u64 = 1 << 63;
+pub(crate) const MAGIC: u64 = 0x524E_5753_5254_5245; // "WNRS RTRE"
+pub(crate) const ITEM_TAG: u64 = 1 << 63;
 
 /// Persistence failure.
 #[derive(Debug)]

@@ -24,6 +24,7 @@ pub mod bnl;
 pub mod dc;
 pub mod ddr;
 pub mod dynamic;
+pub mod paged;
 pub mod sfs;
 pub mod skyband;
 
@@ -38,5 +39,6 @@ pub use bnl::bnl_skyline;
 pub use dc::dc_skyline;
 pub use ddr::{anti_ddr, anti_ddr_general, anti_ddr_original_space};
 pub use dynamic::{dynamic_skyline_scan, is_in_dynamic_skyline};
+pub use paged::{paged_bbs_dynamic_skyline, PagedBbsScratch};
 pub use sfs::sfs_skyline;
 pub use skyband::{dominance_count, dynamic_k_skyband, k_skyband};

@@ -81,6 +81,7 @@ impl<P: Pager> BufferPool<P> {
     /// Reads a page through the pool.
     pub fn read(&self, id: PageId) -> Result<Page, PagerError> {
         self.stats.record_logical_read();
+        wnrs_obs::record(wnrs_obs::Counter::PagesReadLogical);
         let mut st = self.state.lock();
         st.clock += 1;
         let clock = st.clock;

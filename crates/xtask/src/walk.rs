@@ -26,10 +26,15 @@ const HOT_PATHS: [&str; 4] = [
 /// Modules designated allocation-free for the `hot_path_alloc` rule:
 /// their inner loops run once per customer (or per tree node) and must
 /// not produce per-element heap traffic. Cold setup paths use the
-/// `lint:allow(hot_path_alloc)` escape.
-const ALLOC_HOT_PATHS: [&str; 4] = [
+/// `lint:allow(hot_path_alloc)` escape. The paged traversal kernels are
+/// included: they sit under every out-of-core query, where a stray
+/// per-entry allocation multiplies by the page fan-out.
+const ALLOC_HOT_PATHS: [&str; 7] = [
     "crates/skyline/src/bbs.rs",
+    "crates/skyline/src/paged.rs",
     "crates/rtree/src/query.rs",
+    "crates/rtree/src/paged.rs",
+    "crates/reverse-skyline/src/paged.rs",
     "crates/geometry/src/dominance.rs",
     "crates/core/src/cache.rs",
 ];
@@ -141,7 +146,11 @@ mod tests {
         assert!(classify("crates/rtree/src/query.rs").alloc_hot_path);
         assert!(classify("crates/geometry/src/dominance.rs").alloc_hot_path);
         assert!(classify("crates/core/src/cache.rs").alloc_hot_path);
+        assert!(classify("crates/skyline/src/paged.rs").alloc_hot_path);
+        assert!(classify("crates/rtree/src/paged.rs").alloc_hot_path);
+        assert!(classify("crates/reverse-skyline/src/paged.rs").alloc_hot_path);
         assert!(!classify("crates/skyline/src/approx.rs").alloc_hot_path);
+        assert!(!classify("crates/core/src/paged.rs").alloc_hot_path);
         assert!(classify("crates/geometry/src/point.rs").float_boundary);
         assert!(classify("crates/core/src/cache.rs").concurrency);
         assert!(classify("crates/core/src/sync.rs").concurrency);

@@ -361,7 +361,7 @@ fn write_summary(cases: &[Case], cores: usize) {
         "  \"hardware\": {{ \"available_cores\": {cores}, \"note\": \"single-process wall-clock; on a 1-core host the cached and uncached runs compete for the same core, so the ratio isolates algorithmic reuse, not parallel speedup\" }},\n"
     ));
     json.push_str(&format!(
-        "  \"seed\": 20130408,\n  \"dataset\": \"CarDB\",\n  \"whynot_per_query\": {W},\n  \"cases\": [\n"
+        "  \"seed\": 20130408,\n  \"engine_mode\": \"in_memory_cached\",\n  \"dataset\": \"CarDB\",\n  \"whynot_per_query\": {W},\n  \"cases\": [\n"
     ));
     let lines: Vec<String> = cases
         .iter()

@@ -132,7 +132,7 @@ fn run() {
         "  \"hardware\": {{ \"available_cores\": {cores}, \"note\": \"speedup is bounded by the physical core count; on a 1-core host parallel == sequential by physics\" }},\n"
     ));
     json.push_str(&format!(
-        "  \"seed\": 20130408,\n  \"dataset\": \"CarDB\",\n  \"baseline\": {{ \"op\": \"approx_store_build\", \"n\": 10000, \"threads\": 1, \"seconds\": {SEED_BASELINE_BUILD_10K} }},\n"
+        "  \"seed\": 20130408,\n  \"engine_mode\": \"in_memory\",\n  \"dataset\": \"CarDB\",\n  \"baseline\": {{ \"op\": \"approx_store_build\", \"n\": 10000, \"threads\": 1, \"seconds\": {SEED_BASELINE_BUILD_10K} }},\n"
     ));
     json.push_str("  \"pre_prune_baseline\": [\n");
     let prior: Vec<String> = PRE_PRUNE_BUILD

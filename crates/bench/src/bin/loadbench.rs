@@ -1,0 +1,608 @@
+//! Serving-layer load benchmark: drives `wnrs-server` with ≥ 1000
+//! concurrent open-loop clients and writes `BENCH_serving.json` at the
+//! repository root.
+//!
+//! ```text
+//! cargo run --release -p wnrs-bench --bin loadbench [-- --smoke]
+//! ```
+//!
+//! Two phases, each against a fresh in-process server on an ephemeral
+//! loopback port:
+//!
+//! * **steady** — a fixed-rate open-loop arrival schedule spread over
+//!   the full connection fan-in. Latency is measured from each
+//!   request's *scheduled* arrival time (not its send time), so sender
+//!   lateness counts against the server rather than being silently
+//!   absorbed (no coordinated omission). A deterministic sample of the
+//!   responses is byte-compared against a single-threaded *uncached*
+//!   oracle engine.
+//! * **overload** — an unpaced blast at a deliberately tiny queue
+//!   (one worker, depth 2), demonstrating that saturation produces
+//!   explicit `Overload` responses: every request is answered, sheds
+//!   are counted, nothing is silently dropped.
+//!
+//! The client side multiplexes all connections over two reader threads
+//! with non-blocking sockets and the protocol's incremental
+//! `take_frame` — the benchmark host has a single core, so one thread
+//! per client would measure the scheduler, not the server.
+//!
+//! Flags:
+//!
+//! * `--smoke` shrinks both phases for CI: same code path, seconds of
+//!   wall clock, and **no JSON write** (the committed summary stays a
+//!   full-scale run).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wnrs_core::WhyNotEngine;
+use wnrs_geometry::Point;
+use wnrs_rtree::ItemId;
+use wnrs_server::proto::{
+    self, encode_request, encode_response, Answer, Customer, ErrorKind, Request, Response,
+    ResponseBody,
+};
+use wnrs_server::server::{EngineHost, Server, ServerConfig};
+
+/// Paper-epoch seed shared by every experiment binary (ICDE 2013).
+const SEED: u64 = 20_130_408;
+
+/// Reader threads multiplexing the client connections.
+const READERS: usize = 2;
+
+/// Benchmark setup failures are fatal; report and exit without a panic.
+fn or_die<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("loadbench: {what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let obs = wnrs_bench::ObsSession::from_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    run(smoke);
+    obs.finish();
+}
+
+struct PhasePlan {
+    /// Client connections to fan the schedule over.
+    conns: usize,
+    /// Total requests across the phase.
+    requests: usize,
+    /// Open-loop arrival rate in requests/second; `None` = unpaced
+    /// blast (overload phase).
+    rate: Option<f64>,
+    /// Sample stride for oracle byte-comparison (`0` = no checks).
+    oracle_stride: usize,
+    workers: usize,
+    queue_depth: usize,
+    deadline: Duration,
+}
+
+#[derive(Default)]
+struct PhaseStats {
+    ok: usize,
+    shed: usize,
+    deadline: usize,
+    other_err: usize,
+    unanswered: usize,
+    oracle_checks: usize,
+    oracle_mismatches: usize,
+    /// Milliseconds, `Ok` responses only, sorted ascending.
+    latencies_ms: Vec<f64>,
+    duration: Duration,
+}
+
+impl PhaseStats {
+    fn answered(&self) -> usize {
+        self.ok + self.shed + self.deadline + self.other_err
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((p / 100.0) * (self.latencies_ms.len() - 1) as f64).round() as usize;
+        self.latencies_ms[idx.min(self.latencies_ms.len() - 1)]
+    }
+
+    fn throughput(&self) -> f64 {
+        if self.duration.as_secs_f64() > 0.0 {
+            self.answered() as f64 / self.duration.as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+}
+
+fn run(smoke: bool) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (n, steady, overload) = if smoke {
+        (
+            300usize,
+            PhasePlan {
+                conns: 64,
+                requests: 640,
+                rate: Some(640.0),
+                oracle_stride: 13,
+                workers: 2,
+                queue_depth: 256,
+                deadline: Duration::from_secs(10),
+            },
+            PhasePlan {
+                conns: 8,
+                requests: 120,
+                rate: None,
+                oracle_stride: 0,
+                workers: 1,
+                queue_depth: 2,
+                deadline: Duration::from_secs(10),
+            },
+        )
+    } else {
+        (
+            2_000usize,
+            PhasePlan {
+                conns: 1_000,
+                requests: 12_000,
+                rate: Some(1_200.0),
+                oracle_stride: 97,
+                workers: 2,
+                queue_depth: 512,
+                deadline: Duration::from_secs(10),
+            },
+            PhasePlan {
+                conns: 32,
+                requests: 1_500,
+                rate: None,
+                oracle_stride: 0,
+                workers: 1,
+                queue_depth: 2,
+                deadline: Duration::from_secs(10),
+            },
+        )
+    };
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let points = wnrs_data::uniform(&mut rng, n, 2);
+    let mut qrng = StdRng::seed_from_u64(SEED ^ 0x5EED);
+    // A pool of distinct query points: repeats model production's hot
+    // queries (and exercise the serving cache); the pool is large
+    // enough that the uncached oracle still does real work per sample.
+    let pool: Vec<Point> = (0..200)
+        .map(|_| Point::new(vec![qrng.gen::<f64>(), qrng.gen::<f64>()]))
+        .collect();
+
+    let engine_mode = EngineHost::memory(WhyNotEngine::new(points.clone()).with_cache())
+        .mode_name()
+        .to_string();
+    println!(
+        "loadbench: n = {n} (UN 2-d), {} steady clients @ {:.0} req/s, engine {engine_mode}, {cores}-core host{}",
+        steady.conns,
+        steady.rate.unwrap_or(0.0),
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    let oracle = WhyNotEngine::new(points.clone());
+    let steady_stats = run_phase(&steady, &points, &pool, Some(&oracle));
+    report("steady", &steady_stats);
+
+    let overload_stats = run_phase(&overload, &points, &pool, None);
+    report("overload", &overload_stats);
+
+    // Admission control must answer everything, explicitly.
+    assert_eq!(
+        steady_stats.unanswered, 0,
+        "steady phase: {} requests were never answered",
+        steady_stats.unanswered
+    );
+    assert_eq!(
+        overload_stats.unanswered, 0,
+        "overload phase: {} requests were never answered",
+        overload_stats.unanswered
+    );
+    assert_eq!(
+        steady_stats.oracle_mismatches, 0,
+        "served answers diverged from the single-threaded uncached oracle"
+    );
+    if !smoke {
+        assert!(
+            overload_stats.shed > 0,
+            "overload phase produced no explicit sheds — the queue never saturated"
+        );
+    }
+
+    if smoke {
+        println!("[skipping BENCH_serving.json]");
+    } else {
+        write_summary(
+            cores,
+            n,
+            &engine_mode,
+            &steady,
+            &steady_stats,
+            &overload,
+            &overload_stats,
+        );
+    }
+}
+
+fn report(name: &str, s: &PhaseStats) {
+    println!(
+        "  {name}: {} ok / {} shed / {} deadline / {} other in {:.2}s ({:.0} resp/s); \
+         p50 {:.2}ms p99 {:.2}ms p999 {:.2}ms max {:.2}ms; oracle {}/{} mismatched",
+        s.ok,
+        s.shed,
+        s.deadline,
+        s.other_err,
+        s.duration.as_secs_f64(),
+        s.throughput(),
+        s.percentile(50.0),
+        s.percentile(99.0),
+        s.percentile(99.9),
+        s.latencies_ms.last().copied().unwrap_or(0.0),
+        s.oracle_mismatches,
+        s.oracle_checks,
+    );
+}
+
+/// The deterministic request for schedule slot `i`: a hot-query mix of
+/// 50% RSL, 20% MWP, 20% safe region, 10% MWQ.
+fn request_for(i: usize, n: usize, pool: &[Point]) -> Request {
+    let q = pool[i % pool.len()].clone();
+    let id = ItemId(((i * 7_919) % n) as u32);
+    match i % 10 {
+        0..=4 => Request::Rsl { q },
+        5 | 6 => Request::Mwp {
+            customer: Customer::Id(id),
+            q,
+        },
+        7 | 8 => Request::SafeRegion { q },
+        _ => Request::Mwq {
+            customer: Customer::Id(id),
+            q,
+        },
+    }
+}
+
+/// Replays `req` against the uncached oracle engine exactly as the
+/// server's handler would, returning the expected response payload
+/// (the frame minus its length prefix) for byte comparison.
+fn oracle_payload(e: &WhyNotEngine, id: u64, req: &Request) -> Option<Vec<u8>> {
+    let answer = match req {
+        Request::Rsl { q } => Answer::Items(e.reverse_skyline(q)),
+        Request::Mwp {
+            customer: Customer::Id(c),
+            q,
+        } => Answer::Candidates(e.mwp(*c, q).candidates),
+        Request::SafeRegion { q } => {
+            let rsl = e.reverse_skyline(q);
+            Answer::Region(proto::region_to_wire(&e.safe_region_for(q, &rsl)))
+        }
+        Request::Mwq {
+            customer: Customer::Id(c),
+            q,
+        } => {
+            let rsl = e.reverse_skyline(q);
+            let sr = e.safe_region_for(q, &rsl);
+            let ans = e.mwq(*c, q, &sr);
+            Answer::Mwq {
+                case: ans.case,
+                q_star: ans.q_star,
+                c_star: ans.c_star,
+                cost: ans.cost,
+            }
+        }
+        // Not part of the loadbench mix; the sampler never asks.
+        _ => return None,
+    };
+    let frame = encode_response(&Response {
+        id,
+        opcode: req.opcode(),
+        body: ResponseBody::Ok(answer),
+    })
+    .ok()?;
+    Some(frame[4..].to_vec())
+}
+
+/// One response as observed by a reader thread.
+struct Rec {
+    id: u64,
+    recv_ns: u64,
+    status: u8,
+    /// Raw payload, kept only for oracle-sampled ids.
+    payload: Option<Vec<u8>>,
+}
+
+fn run_phase(
+    plan: &PhasePlan,
+    points: &[Point],
+    pool: &[Point],
+    oracle: Option<&WhyNotEngine>,
+) -> PhaseStats {
+    let engine = WhyNotEngine::new(points.to_vec()).with_cache();
+    let server = or_die(
+        Server::start(
+            ServerConfig::default()
+                .with_addr("127.0.0.1:0")
+                .with_workers(plan.workers)
+                .with_queue_depth(plan.queue_depth)
+                .with_max_conns(plan.conns + 8)
+                .with_deadline(plan.deadline),
+            EngineHost::memory(engine),
+        ),
+        "server start",
+    );
+    let addr = server.local_addr();
+
+    // Pre-encode every frame so the send loop measures the server, not
+    // the codec; remember which ids the oracle will audit.
+    let n = points.len();
+    let mut frames = Vec::with_capacity(plan.requests);
+    let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
+    for i in 0..plan.requests {
+        let req = request_for(i, n, pool);
+        let id = i as u64 + 1;
+        frames.push(or_die(encode_request(id, &req), "encode request"));
+        if let Some(e) = oracle {
+            if plan.oracle_stride > 0 && i % plan.oracle_stride == 0 {
+                if let Some(payload) = oracle_payload(e, id, &req) {
+                    expected.insert(id, payload);
+                }
+            }
+        }
+    }
+    let sampled: Arc<std::collections::HashSet<u64>> = Arc::new(expected.keys().copied().collect());
+
+    // Connect the fan-in; non-blocking so a handful of reader threads
+    // can multiplex all of it. Throttled so the accept queue keeps up.
+    let mut streams = Vec::with_capacity(plan.conns);
+    for c in 0..plan.conns {
+        let s = or_die(TcpStream::connect(addr), "connect");
+        let _ = s.set_nodelay(true);
+        or_die(s.set_nonblocking(true), "set nonblocking");
+        streams.push(s);
+        if c % 64 == 63 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    // Responses expected per reader thread (conn c → reader c % READERS).
+    let mut per_reader_conns: Vec<Vec<TcpStream>> = (0..READERS).map(|_| Vec::new()).collect();
+    let mut per_reader_expected = vec![0usize; READERS];
+    for (c, s) in streams.iter().enumerate() {
+        per_reader_conns[c % READERS].push(or_die(s.try_clone(), "clone stream"));
+    }
+    for i in 0..plan.requests {
+        per_reader_expected[(i % plan.conns) % READERS] += 1;
+    }
+
+    let epoch = Instant::now();
+    let readers: Vec<_> = per_reader_conns
+        .into_iter()
+        .zip(per_reader_expected)
+        .map(|(conns, want)| {
+            let sampled = Arc::clone(&sampled);
+            std::thread::spawn(move || reader_thread(conns, want, epoch, &sampled))
+        })
+        .collect();
+
+    // Open-loop sender: slot i is *scheduled* at i/rate seconds after
+    // the epoch; latency is measured from that instant.
+    let period_ns = plan.rate.map(|r| 1.0e9 / r);
+    let mut sched_ns = vec![0u64; plan.requests];
+    for (i, frame) in frames.iter().enumerate() {
+        let target_ns = period_ns.map_or_else(
+            || epoch.elapsed().as_nanos() as u64,
+            |p| (p * i as f64) as u64,
+        );
+        if period_ns.is_some() {
+            loop {
+                let now = epoch.elapsed().as_nanos() as u64;
+                if now >= target_ns {
+                    break;
+                }
+                let wait = target_ns - now;
+                if wait > 200_000 {
+                    std::thread::sleep(Duration::from_nanos(wait - 100_000));
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        sched_ns[i] = target_ns;
+        write_all_nonblocking(&mut streams[i % plan.conns], frame);
+    }
+
+    let mut stats = PhaseStats::default();
+    let mut recs: Vec<Rec> = Vec::with_capacity(plan.requests);
+    for r in readers {
+        match r.join() {
+            Ok(batch) => recs.extend(batch),
+            Err(_) => {
+                eprintln!("loadbench: reader thread panicked");
+                std::process::exit(1);
+            }
+        }
+    }
+    stats.duration = epoch.elapsed();
+    or_die(server.shutdown(), "server shutdown");
+
+    for rec in recs {
+        let idx = (rec.id - 1) as usize;
+        match rec.status {
+            0 => {
+                stats.ok += 1;
+                let lat_ns = rec.recv_ns.saturating_sub(sched_ns[idx]);
+                stats.latencies_ms.push(lat_ns as f64 / 1.0e6);
+                if let Some(want) = expected.get(&rec.id) {
+                    stats.oracle_checks += 1;
+                    if rec.payload.as_deref() != Some(want.as_slice()) {
+                        stats.oracle_mismatches += 1;
+                    }
+                }
+            }
+            b if b == ErrorKind::Overload as u8 => stats.shed += 1,
+            b if b == ErrorKind::DeadlineExceeded as u8 => stats.deadline += 1,
+            _ => stats.other_err += 1,
+        }
+    }
+    stats.unanswered = plan.requests - stats.answered();
+    stats
+        .latencies_ms
+        .sort_by(|a, b| wnrs_geometry::cmp_f64(*a, *b));
+    stats
+}
+
+/// Drains responses from a set of non-blocking connections until every
+/// expected response arrived (or nothing has moved for ten seconds —
+/// the conservation assertions upstream then report the shortfall).
+fn reader_thread(
+    mut conns: Vec<TcpStream>,
+    want: usize,
+    epoch: Instant,
+    sampled: &std::collections::HashSet<u64>,
+) -> Vec<Rec> {
+    let mut bufs: Vec<Vec<u8>> = conns.iter().map(|_| Vec::new()).collect();
+    let mut out = Vec::with_capacity(want);
+    let mut scratch = [0u8; 64 * 1024];
+    let mut last_progress = Instant::now();
+    while out.len() < want {
+        let mut progressed = false;
+        for (s, buf) in conns.iter_mut().zip(bufs.iter_mut()) {
+            match s.read(&mut scratch) {
+                Ok(0) => continue, // peer closed; drained below
+                Ok(got) => {
+                    buf.extend_from_slice(&scratch[..got]);
+                    progressed = true;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    continue
+                }
+                Err(_) => continue,
+            }
+            while let Ok(Some(payload)) = proto::take_frame(buf) {
+                // Payload layout: [u64 id][u8 opcode][u8 status][body].
+                if payload.len() < 10 {
+                    continue;
+                }
+                let Ok(id_bytes) = <[u8; 8]>::try_from(&payload[..8]) else {
+                    continue;
+                };
+                let id = u64::from_le_bytes(id_bytes);
+                let status = payload[9];
+                let keep = sampled.contains(&id);
+                out.push(Rec {
+                    id,
+                    recv_ns: epoch.elapsed().as_nanos() as u64,
+                    status,
+                    payload: keep.then_some(payload),
+                });
+            }
+        }
+        if progressed {
+            last_progress = Instant::now();
+        } else {
+            if last_progress.elapsed() > Duration::from_secs(10) {
+                break; // reported as `unanswered` by the caller
+            }
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+    out
+}
+
+/// `write_all` over a non-blocking socket: spins briefly on a full
+/// send buffer (the readers drain the other side concurrently).
+fn write_all_nonblocking(stream: &mut TcpStream, mut buf: &[u8]) {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => return,
+            Ok(n) => buf = &buf[n..],
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_summary(
+    cores: usize,
+    n: usize,
+    engine_mode: &str,
+    steady: &PhasePlan,
+    s: &PhaseStats,
+    overload: &PhasePlan,
+    o: &PhaseStats,
+) {
+    fn phase_json(plan: &PhasePlan, st: &PhaseStats, indent: &str) -> String {
+        format!(
+            "{indent}\"connections\": {conns},\n\
+             {indent}\"requests\": {reqs},\n\
+             {indent}\"target_rate_per_sec\": {rate},\n\
+             {indent}\"config\": {{ \"workers\": {workers}, \"queue_depth\": {depth}, \"deadline_ms\": {dl} }},\n\
+             {indent}\"duration_secs\": {dur:.3},\n\
+             {indent}\"throughput_resp_per_sec\": {tput:.1},\n\
+             {indent}\"latency_ms\": {{ \"p50\": {p50:.3}, \"p99\": {p99:.3}, \"p999\": {p999:.3}, \"max\": {max:.3} }},\n\
+             {indent}\"ok\": {ok},\n\
+             {indent}\"shed_queue_full\": {shed},\n\
+             {indent}\"deadline_exceeded\": {dead},\n\
+             {indent}\"other_errors\": {other},\n\
+             {indent}\"unanswered\": {unans},\n\
+             {indent}\"oracle_spot_checks\": {checks},\n\
+             {indent}\"oracle_mismatches\": {mism}",
+            conns = plan.conns,
+            reqs = plan.requests,
+            rate = plan
+                .rate
+                .map_or("null".to_string(), |r| format!("{r:.0}")),
+            workers = plan.workers,
+            depth = plan.queue_depth,
+            dl = plan.deadline.as_millis(),
+            dur = st.duration.as_secs_f64(),
+            tput = st.throughput(),
+            p50 = st.percentile(50.0),
+            p99 = st.percentile(99.0),
+            p999 = st.percentile(99.9),
+            max = st.latencies_ms.last().copied().unwrap_or(0.0),
+            ok = st.ok,
+            shed = st.shed,
+            dead = st.deadline,
+            other = st.other_err,
+            unans = st.unanswered,
+            checks = st.oracle_checks,
+            mism = st.oracle_mismatches,
+        )
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"wnrs-serving-bench-v1\",\n  \"hardware\": {{ \"available_cores\": {cores}, \"note\": \"client fan-in, reader threads and the server share the host; on a 1-core box the percentiles include scheduler contention, which is the deployment-realistic number for a co-located oracle check\" }},\n  \"seed\": {SEED},\n  \"engine_mode\": \"{engine_mode}\",\n  \"dataset\": \"UN\",\n  \"n\": {n},\n  \"dim\": 2,\n  \"steady\": {{\n{s_body}\n  }},\n  \"overload\": {{\n{o_body}\n  }}\n}}\n",
+        s_body = phase_json(steady, s, "    "),
+        o_body = phase_json(overload, o, "    "),
+    );
+
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serving.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[could not save {}: {e}]", path.display()),
+    }
+}

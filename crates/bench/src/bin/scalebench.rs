@@ -320,7 +320,7 @@ fn run(smoke: bool) {
         "  \"hardware\": {{ \"available_cores\": {cores}, \"note\": \"single process; streaming build and all queries are single-threaded\" }},\n"
     ));
     json.push_str(&format!(
-        "  \"seed\": {SEED},\n  \"dataset\": \"CarDB\",\n  \"page_size_bytes\": {PAPER_PAGE_SIZE},\n  \"pool_pages\": {POOL_PAGES},\n  \"pool_budget_bytes\": {},\n  \"run_capacity_points\": {RUN_CAPACITY},\n",
+        "  \"seed\": {SEED},\n  \"engine_mode\": \"paged\",\n  \"dataset\": \"CarDB\",\n  \"page_size_bytes\": {PAPER_PAGE_SIZE},\n  \"pool_pages\": {POOL_PAGES},\n  \"pool_budget_bytes\": {},\n  \"run_capacity_points\": {RUN_CAPACITY},\n",
         POOL_PAGES * PAPER_PAGE_SIZE
     ));
     json.push_str(&format!(

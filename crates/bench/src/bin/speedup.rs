@@ -112,7 +112,9 @@ fn run() {
     json.push_str(&format!(
         "  \"hardware\": {{ \"available_cores\": {cores}, \"note\": \"speedup is bounded by the physical core count; on a 1-core host parallel == sequential by physics\" }},\n"
     ));
-    json.push_str("  \"seed\": 20130408,\n  \"dataset\": \"CarDB\",\n  \"cases\": [\n");
+    json.push_str(
+        "  \"seed\": 20130408,\n  \"engine_mode\": \"in_memory\",\n  \"dataset\": \"CarDB\",\n  \"cases\": [\n",
+    );
     let lines: Vec<String> = cases
         .iter()
         .map(|c| {

@@ -54,6 +54,13 @@ const USAGE: &str = "usage:
   wnrs mwq --data <file.csv> --query <x,y,...> --whynot <index> [--approx-k <k>]
   wnrs safe-region --data <file.csv> --query <x,y,...>
   wnrs profile --data <file.csv> --query <x,y,...> --whynot <index> [--approx-k <k>]
+  wnrs serve --data <file.csv> | --index <file.idx> [--addr 127.0.0.1:7878]
+             [--threads <n>] [--queue-depth <n>] [--max-conns <n>]
+             [--deadline-ms <n>] [--cache on|off] [--paged on [--pool-pages <n>]]
+             [--lazy on --approx-k <k>]
+  wnrs client --addr <host:port> --op ping|rsl|explain|mwp|mqp|safe-region|mwq|
+              insert|delete|shutdown [--query <x,y,...>] [--whynot <id>]
+              [--whynot-point <x,y,...>] [--point <x,y,...>]
 
 every command that accepts --data also accepts --index to load a
 persisted tree instead of rebuilding it. query commands also accept
@@ -76,6 +83,15 @@ lazy approximation: mwq and profile accept --lazy on with --approx-k
 per-customer DSL samples (no offline store build; identical region,
 see `profile`'s dsl_lazy_* counters).
 
+serving: `wnrs serve` hosts the engine behind the wire protocol of
+docs/SERVING.md (threaded workers, bounded admission queue, explicit
+overload shedding, draining shutdown) and blocks until a client sends
+the shutdown opcode. `wnrs client` performs one request against a
+running server and prints the answer; --op shutdown stops the server
+gracefully. serving flags: --threads sets the worker pool, --queue-depth
+the admission queue, --max-conns the connection cap, --deadline-ms the
+per-request deadline.
+
 observability (requires building with --features obs, else empty):
   --metrics-out <path|->   write the metrics report after the command
                            (.prom/.txt extension = Prometheus text,
@@ -89,6 +105,16 @@ fn run(args: &[String]) -> Result<(), WnrsError> {
     let opts = parse_opts(rest)?;
     if opts.contains_key("trace") {
         wnrs_obs::set_trace(true);
+    }
+    // `serve` handles --paged itself (the server hosts either engine
+    // mode); everything else routes through the paged pipeline here.
+    if cmd == "serve" {
+        serve(&opts)?;
+        return emit_observability(&opts);
+    }
+    if cmd == "client" {
+        client_cmd(&opts)?;
+        return emit_observability(&opts);
     }
     if paged_mode(&opts)? {
         run_paged(cmd, &opts)?;
@@ -394,6 +420,214 @@ fn run_paged(cmd: &str, opts: &HashMap<String, String>) -> Result<(), WnrsError>
         engine.tree().pool().capacity()
     );
     Ok(())
+}
+
+fn parse_usize_opt(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: usize,
+) -> Result<usize, WnrsError> {
+    match opts.get(key) {
+        Some(s) => Ok(s.parse().map_err(|e| format!("bad --{key}: {e}"))?),
+        None => Ok(default),
+    }
+}
+
+/// `wnrs serve`: hosts the engine (in-memory or paged) behind the wire
+/// protocol of `docs/SERVING.md` and blocks until a client sends the
+/// shutdown opcode. `--metrics-out`/`--trace` are written afterwards,
+/// so a serving session's counters, gauges and spans land in one
+/// report.
+fn serve(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
+    use wnrs_server::server::{EngineHost, Server, ServerConfig};
+
+    let addr = opts.get("addr").map_or("127.0.0.1:7878", String::as_str);
+    let workers = parse_usize_opt(opts, "threads", 2)?;
+    let queue_depth = parse_usize_opt(opts, "queue-depth", 128)?;
+    let max_conns = parse_usize_opt(opts, "max-conns", 1024)?;
+    let deadline_ms = parse_usize_opt(opts, "deadline-ms", 10_000)?;
+    let lazy_k = if lazy_mode(opts)? {
+        let k: usize = require(opts, "approx-k")?
+            .parse()
+            .map_err(|e| format!("bad --approx-k: {e}"))?;
+        Some(k)
+    } else {
+        if opts.contains_key("approx-k") {
+            return Err(WnrsError::usage(
+                "serve supports --approx-k only together with --lazy on",
+            ));
+        }
+        None
+    };
+    let host = if paged_mode(opts)? {
+        if lazy_k.is_some() {
+            return Err(WnrsError::usage(
+                "--lazy on applies to the in-memory engine, not --paged on",
+            ));
+        }
+        EngineHost::paged(load_paged_engine(opts)?)
+    } else {
+        EngineHost::memory(load_engine(opts)?)
+    };
+    let mode = host.mode_name();
+    let config = ServerConfig::default()
+        .with_addr(addr)
+        .with_workers(workers)
+        .with_queue_depth(queue_depth)
+        .with_max_conns(max_conns)
+        .with_deadline(std::time::Duration::from_millis(deadline_ms as u64))
+        .with_lazy_k(lazy_k);
+    let server =
+        Server::start(config, host).map_err(|e| format!("starting server on {addr}: {e}"))?;
+    println!(
+        "serving {mode} engine on {} ({workers} worker(s), queue depth {queue_depth}, \
+         max {max_conns} conn(s), deadline {deadline_ms} ms)",
+        server.local_addr()
+    );
+    println!(
+        "stop with: wnrs client --addr {} --op shutdown",
+        server.local_addr()
+    );
+    server.wait().map_err(|e| format!("server teardown: {e}"))?;
+    println!("server drained and stopped");
+    Ok(())
+}
+
+/// `wnrs client`: one request against a running server, answer printed
+/// in the same shapes the offline commands use.
+fn client_cmd(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
+    use wnrs_server::client::Client;
+    use wnrs_server::proto::{Customer, Request, ResponseBody};
+
+    let addr = require(opts, "addr")?;
+    let op = require(opts, "op")?;
+    let query = || parse_point(require(opts, "query")?);
+    let whynot_id = || -> Result<ItemId, WnrsError> {
+        Ok(ItemId(
+            require(opts, "whynot")?
+                .parse()
+                .map_err(|e| format!("bad --whynot: {e}"))?,
+        ))
+    };
+    let customer = || -> Result<Customer, WnrsError> {
+        match (opts.get("whynot-point"), opts.contains_key("whynot")) {
+            (Some(p), true) => Ok(Customer::PointExcluding(parse_point(p)?, whynot_id()?)),
+            (Some(p), false) => Ok(Customer::External(parse_point(p)?)),
+            (None, true) => Ok(Customer::Id(whynot_id()?)),
+            (None, false) => Err(WnrsError::usage(format!(
+                "--op {op} needs --whynot <id> (in-memory) or --whynot-point <x,y,...> (paged)"
+            ))),
+        }
+    };
+    let req = match op {
+        "ping" => Request::Ping,
+        "shutdown" => Request::Shutdown,
+        "rsl" => Request::Rsl { q: query()? },
+        "safe-region" => Request::SafeRegion { q: query()? },
+        "explain" => Request::Explain {
+            customer: customer()?,
+            q: query()?,
+        },
+        "mwp" => Request::Mwp {
+            customer: customer()?,
+            q: query()?,
+        },
+        "mqp" => Request::Mqp {
+            customer: customer()?,
+            q: query()?,
+        },
+        "mwq" => Request::Mwq {
+            customer: customer()?,
+            q: query()?,
+        },
+        "insert" => Request::Insert {
+            point: parse_point(require(opts, "point")?)?,
+        },
+        "delete" => Request::Delete { id: whynot_id()? },
+        other => {
+            return Err(WnrsError::usage(format!(
+                "unknown --op `{other}` (expected ping|rsl|explain|mwp|mqp|safe-region|mwq|insert|delete|shutdown)"
+            )))
+        }
+    };
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let resp = client
+        .call(&req)
+        .map_err(|e| format!("request failed: {e}"))?;
+    match resp.body {
+        ResponseBody::Ok(answer) => print_answer(&answer),
+        ResponseBody::Error(kind, msg) => {
+            let detail = if msg.is_empty() {
+                String::new()
+            } else {
+                format!(": {msg}")
+            };
+            Err(format!("server refused [{}]{detail}", kind.name()))?;
+        }
+    }
+    Ok(())
+}
+
+fn print_answer(answer: &wnrs_server::proto::Answer) {
+    use wnrs_server::proto::Answer;
+    match answer {
+        Answer::Empty => println!("ok"),
+        Answer::Items(items) => {
+            println!("{} item(s):", items.len());
+            for (id, p) in items {
+                println!("  #{:<6} {p}", id.0);
+            }
+        }
+        Answer::Candidates(cands) => {
+            println!("{} candidate(s):", cands.len());
+            for c in cands {
+                println!(
+                    "  {:<28} cost {:.9}{}",
+                    c.point.to_string(),
+                    c.cost,
+                    verified_tag(c.verified)
+                );
+            }
+        }
+        Answer::Region(boxes) => {
+            println!("{} rectangle(s):", boxes.len());
+            for (lo, hi) in boxes {
+                println!("  {lo} -> {hi}");
+            }
+        }
+        Answer::Mwq {
+            case,
+            q_star,
+            c_star,
+            cost,
+        } => match case {
+            wnrs_core::MwqCase::Overlap => {
+                println!("case C1: move the query point to {q_star} (cost 0)");
+            }
+            wnrs_core::MwqCase::Disjoint => {
+                println!("case C2: move the query point to {q_star} (cost {cost:.9})");
+                if let Some(c) = c_star {
+                    println!(
+                        "         and the customer to {} (cost {:.9}{})",
+                        c.point,
+                        c.cost,
+                        verified_tag(c.verified)
+                    );
+                }
+            }
+        },
+        Answer::Inserted(id) => println!("inserted as #{}", id.0),
+        Answer::Deleted(removed) => {
+            println!(
+                "{}",
+                if *removed {
+                    "deleted"
+                } else {
+                    "nothing to delete"
+                }
+            );
+        }
+    }
 }
 
 fn index(opts: &HashMap<String, String>) -> Result<(), WnrsError> {

@@ -13,10 +13,10 @@
 //! path free of shared-state writes when tracing is off.
 
 use crate::hist::{bucket_index, BUCKET_COUNT};
-use crate::report::{CounterSnapshot, Report, SpanSnapshot, TraceEvent};
-use crate::Counter;
+use crate::report::{CounterSnapshot, GaugeSnapshot, Report, SpanSnapshot, TraceEvent};
+use crate::{Counter, Gauge};
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -66,6 +66,7 @@ struct Registry {
     trace: AtomicBool,
     epoch: Instant,
     counters: Vec<AtomicU64>,
+    gauges: Vec<AtomicI64>,
     spans: Vec<SpanStat>,
     names: Mutex<Vec<&'static str>>,
 }
@@ -78,6 +79,7 @@ fn reg() -> &'static Registry {
         trace: AtomicBool::new(false),
         epoch: Instant::now(),
         counters: (0..NC).map(|_| AtomicU64::new(0)).collect(),
+        gauges: (0..Gauge::COUNT).map(|_| AtomicI64::new(0)).collect(),
         spans: (0..MAX_SPANS).map(|_| SpanStat::new()).collect(),
         names: Mutex::new(Vec::new()),
     })
@@ -132,6 +134,20 @@ pub(crate) fn counter_value(c: Counter) -> u64 {
     reg().counters[c as usize].load(Ordering::Relaxed)
 }
 
+/// Gauges skip the `enabled` kill-switch so paired add/sub calls always
+/// balance (see the doc on [`crate::Gauge`]).
+pub(crate) fn gauge_set(g: Gauge, v: i64) {
+    reg().gauges[g as usize].store(v, Ordering::Relaxed);
+}
+
+pub(crate) fn gauge_add(g: Gauge, n: i64) {
+    reg().gauges[g as usize].fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn gauge_value(g: Gauge) -> i64 {
+    reg().gauges[g as usize].load(Ordering::Relaxed)
+}
+
 /// Zeroes every counter and span aggregate, and clears this thread's
 /// trace buffer. Interned span names survive (they are keyed by call
 /// site).
@@ -139,6 +155,9 @@ pub(crate) fn reset() {
     let r = reg();
     for c in &r.counters {
         c.store(0, Ordering::Relaxed);
+    }
+    for g in &r.gauges {
+        g.store(0, Ordering::Relaxed);
     }
     for s in &r.spans {
         s.reset();
@@ -286,6 +305,13 @@ pub(crate) fn report() -> Report {
             value: r.counters[c as usize].load(Ordering::Relaxed),
         })
         .collect();
+    let gauges = Gauge::all()
+        .iter()
+        .map(|&g| GaugeSnapshot {
+            name: g.name().to_string(),
+            value: r.gauges[g as usize].load(Ordering::Relaxed),
+        })
+        .collect();
     let table = names(r);
     let mut spans: Vec<SpanSnapshot> = table
         .iter()
@@ -319,6 +345,7 @@ pub(crate) fn report() -> Report {
     Report {
         compiled: true,
         counters,
+        gauges,
         spans,
     }
 }

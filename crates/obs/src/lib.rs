@@ -53,7 +53,9 @@ pub mod report;
 #[cfg(feature = "enabled")]
 mod imp;
 
-pub use report::{render_trace, CounterSnapshot, Report, SpanSnapshot, TraceEvent, JSON_SCHEMA};
+pub use report::{
+    render_trace, CounterSnapshot, GaugeSnapshot, Report, SpanSnapshot, TraceEvent, JSON_SCHEMA,
+};
 
 /// The global monotonic counters the pipeline records. Variants map
 /// 1:1 onto the cost metrics of the paper's Section 7 experiments plus
@@ -113,11 +115,31 @@ pub enum Counter {
     /// Logical page reads against the buffer pool (hits + misses) — the
     /// paper's per-query I/O metric for the page-resident pipeline.
     PagesReadLogical = 20,
+    /// Requests decoded and admitted by `wnrs-server` (every opcode,
+    /// whether it later succeeds, sheds, or times out).
+    ServerRequests = 21,
+    /// Server responses with an `Ok` status.
+    ServerResponsesOk = 22,
+    /// Server responses with an error status other than overload or
+    /// deadline (bad request, unsupported, internal).
+    ServerErrors = 23,
+    /// Requests shed with an explicit `Overload` response because the
+    /// bounded request queue was full (admission control, never a
+    /// silent drop).
+    ServerShedQueueFull = 24,
+    /// Requests answered `DeadlineExceeded` because they aged past the
+    /// per-request deadline while queued.
+    ServerDeadlineTimeouts = 25,
+    /// TCP connections accepted by the server.
+    ServerConnsAccepted = 26,
+    /// TCP connections rejected at accept time because the connection
+    /// cap was reached (the client still receives an `Overload` frame).
+    ServerConnsRejected = 27,
 }
 
 impl Counter {
     /// Number of counters (array dimension for per-span attribution).
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 28;
 
     /// The stable, export-facing name (snake_case; used as the JSON
     /// key and the Prometheus metric suffix).
@@ -145,6 +167,13 @@ impl Counter {
             Counter::DslLazyMaterializations => "dsl_lazy_materializations",
             Counter::DslLazyHits => "dsl_lazy_hits",
             Counter::PagesReadLogical => "pages_read_logical",
+            Counter::ServerRequests => "server_requests",
+            Counter::ServerResponsesOk => "server_responses_ok",
+            Counter::ServerErrors => "server_errors",
+            Counter::ServerShedQueueFull => "server_shed_queue_full",
+            Counter::ServerDeadlineTimeouts => "server_deadline_timeouts",
+            Counter::ServerConnsAccepted => "server_conns_accepted",
+            Counter::ServerConnsRejected => "server_conns_rejected",
         }
     }
 
@@ -173,7 +202,102 @@ impl Counter {
             Counter::DslLazyMaterializations,
             Counter::DslLazyHits,
             Counter::PagesReadLogical,
+            Counter::ServerRequests,
+            Counter::ServerResponsesOk,
+            Counter::ServerErrors,
+            Counter::ServerShedQueueFull,
+            Counter::ServerDeadlineTimeouts,
+            Counter::ServerConnsAccepted,
+            Counter::ServerConnsRejected,
         ]
+    }
+}
+
+/// Point-in-time level gauges (values go up *and* down, unlike the
+/// monotonic [`Counter`]s). The serving layer uses these for live
+/// saturation signals; they export as Prometheus `gauge` metrics.
+///
+/// Gauges deliberately ignore the [`set_enabled`] kill-switch: a
+/// mid-flight disable must not strand a depth at a stale value, so
+/// adds and subs always balance while the `enabled` *feature* is
+/// compiled in (and are no-ops without it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Requests currently sitting in the server's bounded request
+    /// queue (admitted, not yet picked up by a worker).
+    ServerQueueDepth = 0,
+    /// Currently open client connections.
+    ServerActiveConnections = 1,
+    /// Requests currently executing on a worker thread.
+    ServerInflightRequests = 2,
+}
+
+impl Gauge {
+    /// Number of gauges (array dimension in the registry).
+    pub const COUNT: usize = 3;
+
+    /// The stable, export-facing name (snake_case; used as the JSON
+    /// key and the Prometheus metric suffix).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::ServerQueueDepth => "server_queue_depth",
+            Gauge::ServerActiveConnections => "server_active_connections",
+            Gauge::ServerInflightRequests => "server_inflight_requests",
+        }
+    }
+
+    /// All gauges, in `repr` order (the canonical export order).
+    #[must_use]
+    pub const fn all() -> &'static [Gauge] {
+        &[
+            Gauge::ServerQueueDepth,
+            Gauge::ServerActiveConnections,
+            Gauge::ServerInflightRequests,
+        ]
+    }
+}
+
+/// Sets gauge `g` to an absolute level.
+#[inline]
+pub fn gauge_set(g: Gauge, v: i64) {
+    #[cfg(feature = "enabled")]
+    imp::gauge_set(g, v);
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (g, v);
+    }
+}
+
+/// Raises gauge `g` by `n`.
+#[inline]
+pub fn gauge_add(g: Gauge, n: i64) {
+    #[cfg(feature = "enabled")]
+    imp::gauge_add(g, n);
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (g, n);
+    }
+}
+
+/// Lowers gauge `g` by `n`.
+#[inline]
+pub fn gauge_sub(g: Gauge, n: i64) {
+    gauge_add(g, -n);
+}
+
+/// Current level of gauge `g` (always 0 without `enabled`).
+#[must_use]
+pub fn gauge_value(g: Gauge) -> i64 {
+    #[cfg(feature = "enabled")]
+    {
+        imp::gauge_value(g)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = g;
+        0
     }
 }
 
@@ -365,6 +489,8 @@ mod tests {
         assert!(!is_enabled());
         assert!(!is_trace());
         assert_eq!(counter_value(Counter::DominanceTests), 0);
+        gauge_add(Gauge::ServerQueueDepth, 7);
+        assert_eq!(gauge_value(Gauge::ServerQueueDepth), 0);
         assert!(take_trace().is_empty());
     }
 
@@ -427,11 +553,20 @@ mod tests {
         assert_eq!(counter_value(Counter::Transforms), before);
         assert!(!report().spans.iter().any(|s| s.name == "test_disabled"));
 
+        // Gauges move both ways and ignore the kill-switch.
+        set_enabled(false);
+        gauge_set(Gauge::ServerActiveConnections, 3);
+        gauge_add(Gauge::ServerQueueDepth, 5);
+        gauge_sub(Gauge::ServerQueueDepth, 2);
+        assert_eq!(gauge_value(Gauge::ServerActiveConnections), 3);
+        assert_eq!(gauge_value(Gauge::ServerQueueDepth), 3);
+
         // Reset clears aggregates but keeps the report well-formed.
         set_enabled(true);
         reset();
         let rep2 = report();
         assert!(rep2.counters.iter().all(|c| c.value == 0));
+        assert!(rep2.gauges.iter().all(|g| g.value == 0));
         assert!(rep2.spans.iter().all(|s| s.count == 0));
     }
 }

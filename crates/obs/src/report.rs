@@ -8,11 +8,12 @@
 //! Two export formats:
 //!
 //! * [`Report::to_json`] — a stable, hand-rendered JSON document
-//!   (schema `wnrs-obs-v5`, pinned by the golden-file test in
+//!   (schema `wnrs-obs-v6`, pinned by the golden-file test in
 //!   `crates/obs/tests/golden_report.rs`; v1 → v2 added the engine-cache
 //!   and buffer-pool counters, v2 → v3 the surgical-invalidation
 //!   eviction counters, v3 → v4 the stale-fill counter, v4 → v5 the
-//!   lazy-DSL-store and logical-page-read counters);
+//!   lazy-DSL-store and logical-page-read counters, v5 → v6 the
+//!   `wnrs-server` serving counters and the `gauges` section);
 //! * [`Report::to_prometheus`] — Prometheus text exposition format
 //!   (counters plus one `_bucket`/`_sum`/`_count` histogram family).
 
@@ -21,7 +22,7 @@ use crate::Counter;
 
 /// Schema identifier written into every JSON export. Bump only with a
 /// matching golden-file update; downstream tooling keys off this.
-pub const JSON_SCHEMA: &str = "wnrs-obs-v5";
+pub const JSON_SCHEMA: &str = "wnrs-obs-v6";
 
 /// One global counter's value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +31,17 @@ pub struct CounterSnapshot {
     pub name: String,
     /// Monotonic count since the last [`crate::reset`].
     pub value: u64,
+}
+
+/// One level gauge's current value (gauges move both ways; see
+/// [`crate::Gauge`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Stable gauge name (see [`crate::Gauge::name`]).
+    pub name: String,
+    /// Level at snapshot time (signed: paired add/sub under races may
+    /// transiently dip below zero).
+    pub value: i64,
 }
 
 /// Aggregated statistics for one span name.
@@ -63,13 +75,15 @@ pub struct Report {
     pub compiled: bool,
     /// Global counters, in [`Counter::all`] order.
     pub counters: Vec<CounterSnapshot>,
+    /// Level gauges, in [`crate::Gauge::all`] order.
+    pub gauges: Vec<GaugeSnapshot>,
     /// Per-span aggregates, sorted by name for deterministic output.
     pub spans: Vec<SpanSnapshot>,
 }
 
 impl Report {
     /// An empty report (what a build without the `enabled` feature
-    /// produces): all counters present at zero, no spans.
+    /// produces): all counters and gauges present at zero, no spans.
     #[must_use]
     pub fn empty(compiled: bool) -> Self {
         Report {
@@ -81,14 +95,21 @@ impl Report {
                     value: 0,
                 })
                 .collect(),
+            gauges: crate::Gauge::all()
+                .iter()
+                .map(|g| GaugeSnapshot {
+                    name: g.name().to_string(),
+                    value: 0,
+                })
+                .collect(),
             spans: Vec::new(),
         }
     }
 
     /// Renders the report as a stable JSON document (schema
     /// [`JSON_SCHEMA`]). Key order is fixed: schema, compiled flag,
-    /// bucket bounds, counters (in [`Counter::all`] order), spans
-    /// (sorted by name).
+    /// bucket bounds, counters (in [`Counter::all`] order), gauges (in
+    /// [`crate::Gauge::all`] order), spans (sorted by name).
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
@@ -103,6 +124,13 @@ impl Report {
                 out.push(',');
             }
             out.push_str(&format!("\n    \"{}\": {}", escape_json(&c.name), c.value));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", escape_json(&g.name), g.value));
         }
         out.push_str("\n  },\n  \"spans\": [");
         for (i, s) in self.spans.iter().enumerate() {
@@ -135,15 +163,19 @@ impl Report {
     }
 
     /// Renders the report in Prometheus text exposition format:
-    /// `wnrs_<counter>` counters, a `wnrs_span_duration_ns` histogram
-    /// family labelled by span, and `wnrs_span_counter` for the
-    /// per-span counter attribution.
+    /// `wnrs_<counter>` counters, `wnrs_<gauge>` gauges, a
+    /// `wnrs_span_duration_ns` histogram family labelled by span, and
+    /// `wnrs_span_counter` for the per-span counter attribution.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(1024);
         for c in &self.counters {
             out.push_str(&format!("# TYPE wnrs_{} counter\n", c.name));
             out.push_str(&format!("wnrs_{} {}\n", c.name, c.value));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!("# TYPE wnrs_{} gauge\n", g.name));
+            out.push_str(&format!("wnrs_{} {}\n", g.name, g.value));
         }
         out.push_str("# TYPE wnrs_span_duration_ns histogram\n");
         for s in &self.spans {
@@ -187,7 +219,10 @@ impl Report {
     pub fn to_summary(&self) -> String {
         let mut out = String::new();
         for c in &self.counters {
-            out.push_str(&format!("{:<22} {}\n", c.name, c.value));
+            out.push_str(&format!("{:<26} {}\n", c.name, c.value));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!("gauge {:<20} {}\n", g.name, g.value));
         }
         for s in &self.spans {
             let mean = s.total_ns.checked_div(s.count).unwrap_or(0);
@@ -269,11 +304,15 @@ mod tests {
     fn empty_report_round_trips_all_counters() {
         let r = Report::empty(false);
         assert_eq!(r.counters.len(), Counter::all().len());
+        assert_eq!(r.gauges.len(), crate::Gauge::all().len());
         let json = r.to_json();
-        assert!(json.contains("\"schema\": \"wnrs-obs-v5\""));
+        assert!(json.contains("\"schema\": \"wnrs-obs-v6\""));
         assert!(json.contains("\"obs_compiled\": false"));
         for c in Counter::all() {
             assert!(json.contains(c.name()), "missing {}", c.name());
+        }
+        for g in crate::Gauge::all() {
+            assert!(json.contains(g.name()), "missing {}", g.name());
         }
     }
 

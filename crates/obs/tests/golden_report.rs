@@ -1,6 +1,6 @@
 //! Golden-file tests pinning the wnrs-obs export formats.
 //!
-//! The JSON schema (`wnrs-obs-v5`) is a public contract: the CLI's
+//! The JSON schema (`wnrs-obs-v6`) is a public contract: the CLI's
 //! `--metrics-out`, every bench binary and the worked example in
 //! `EXPERIMENTS.md` all emit it, and downstream tooling parses it. These
 //! tests render a fully deterministic synthetic [`Report`] and compare
@@ -16,13 +16,17 @@ use wnrs_obs::{Counter, CounterSnapshot, Report, SpanSnapshot};
 /// Bucket count mirrored from `wnrs_obs::hist` (16 bounds + overflow).
 const BUCKET_COUNT: usize = 17;
 
-/// A synthetic report with every field exercised: all counters non-zero,
-/// two spans (one with histogram mass in first/last/overflow buckets,
-/// one empty-histogram edge case), and per-span counter attribution.
+/// A synthetic report with every field exercised: all counters and
+/// gauges non-zero, two spans (one with histogram mass in
+/// first/last/overflow buckets, one empty-histogram edge case), and
+/// per-span counter attribution.
 fn sample_report() -> Report {
     let mut report = Report::empty(true);
     for (i, c) in report.counters.iter_mut().enumerate() {
         c.value = (i as u64 + 1) * 1000;
+    }
+    for (i, g) in report.gauges.iter_mut().enumerate() {
+        g.value = (i as i64 + 1) * 11;
     }
 
     let mut mwp_buckets = vec![0u64; BUCKET_COUNT];
@@ -107,10 +111,13 @@ fn live_registry_report_conforms_to_schema() {
     }
     let report = wnrs_obs::report();
     let json = report.to_json();
-    assert!(json.starts_with("{\n  \"schema\": \"wnrs-obs-v5\",\n"));
+    assert!(json.starts_with("{\n  \"schema\": \"wnrs-obs-v6\",\n"));
     let counter_names: Vec<&str> = report.counters.iter().map(|c| c.name.as_str()).collect();
     let expected: Vec<&str> = Counter::all().iter().map(|c| c.name()).collect();
     assert_eq!(counter_names, expected);
+    let gauge_names: Vec<&str> = report.gauges.iter().map(|g| g.name.as_str()).collect();
+    let expected_gauges: Vec<&str> = wnrs_obs::Gauge::all().iter().map(|g| g.name()).collect();
+    assert_eq!(gauge_names, expected_gauges);
     for s in &report.spans {
         assert_eq!(s.buckets.len(), BUCKET_COUNT, "span {}", s.name);
         assert_eq!(s.counters.len(), expected.len(), "span {}", s.name);

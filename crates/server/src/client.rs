@@ -1,0 +1,148 @@
+//! A small blocking client for the wnrs wire protocol.
+//!
+//! [`Client::call`] is the one-shot path: assign a request id, write
+//! one frame, read one frame, check the echoed id. For pipelining,
+//! [`Client::send`] and [`Client::recv`] are exposed separately —
+//! responses to pipelined requests may arrive out of submission order
+//! (the worker pool is concurrent), so pipelining callers must match
+//! on [`Response::id`] themselves.
+
+use crate::proto::{self, decode_response, encode_request, ProtoError, Request, Response};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures: protocol errors, an unexpectedly closed
+/// connection, or a response whose id does not match the request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Encoding, framing or decoding failed (I/O errors arrive here
+    /// as [`ProtoError::Io`]).
+    Proto(ProtoError),
+    /// The server closed the connection before answering.
+    UnexpectedEof,
+    /// The response id did not echo the request id (only possible when
+    /// a pipelining caller misuses [`Client::call`] with responses
+    /// still in flight).
+    IdMismatch {
+        /// The id assigned to the request.
+        sent: u64,
+        /// The id carried by the response that arrived instead.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::UnexpectedEof => write!(f, "connection closed before a response arrived"),
+            ClientError::IdMismatch { sent, got } => {
+                write!(f, "response id {got} does not match request id {sent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// A blocking connection to a [`crate::server::Server`].
+///
+/// # Examples
+///
+/// ```
+/// use wnrs_core::WhyNotEngine;
+/// use wnrs_geometry::Point;
+/// use wnrs_server::client::Client;
+/// use wnrs_server::proto::{Answer, Request, ResponseBody};
+/// use wnrs_server::server::{EngineHost, Server, ServerConfig};
+///
+/// let engine = WhyNotEngine::new(vec![Point::xy(1.0, 2.0)]);
+/// let server = Server::start(ServerConfig::default(), EngineHost::memory(engine))
+///     .expect("server starts");
+///
+/// let mut client = Client::connect(server.local_addr()).expect("connect");
+/// let resp = client.call(&Request::Ping).expect("ping answered");
+/// assert!(matches!(resp.body, ResponseBody::Ok(Answer::Empty)));
+///
+/// server.shutdown().expect("clean shutdown");
+/// ```
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a serving address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures as [`std::io::Error`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Sends `req` as one frame and returns the request id it was
+    /// assigned (ids count up from 1 per connection).
+    ///
+    /// # Errors
+    ///
+    /// Fails if encoding or the socket write fails.
+    pub fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = encode_request(id, req)?;
+        proto::write_frame(&mut self.stream, &frame)?;
+        Ok(id)
+    }
+
+    /// Reads the next response frame, whichever request it answers.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a closed connection ([`ClientError::UnexpectedEof`]),
+    /// an I/O error, or an undecodable response.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        match proto::read_frame(&mut self.stream)? {
+            Some(payload) => Ok(decode_response(&payload)?),
+            None => Err(ClientError::UnexpectedEof),
+        }
+    }
+
+    /// One request, one response: [`Client::send`] then
+    /// [`Client::recv`], verifying the echoed id.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Client::send`]/[`Client::recv`] can raise, plus
+    /// [`ClientError::IdMismatch`] on a stale in-flight response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let sent = self.send(req)?;
+        let resp = self.recv()?;
+        if resp.id != sent {
+            return Err(ClientError::IdMismatch { sent, got: resp.id });
+        }
+        Ok(resp)
+    }
+}

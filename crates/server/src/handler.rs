@@ -1,0 +1,254 @@
+//! Request execution: one decoded [`Request`] in, one [`Answer`] or
+//! typed error out, against either engine mode.
+//!
+//! In-memory requests run inside a single `with_engine` /
+//! `with_engine_mut` closure, so each request observes one consistent
+//! engine state even while writers interleave (MWQ's reverse-skyline →
+//! safe-region → repair chain is atomic with respect to writes).
+//! Paged-mode writes are answered [`ErrorKind::Unsupported`] — the
+//! page-resident index is read-only by design (see `DESIGN.md` §3b).
+
+use crate::host::EngineHost;
+use crate::proto::{Answer, Customer, ErrorKind, Request};
+use crate::server::ServeOptions;
+use wnrs_core::WhyNotEngine;
+use wnrs_geometry::Point;
+use wnrs_rtree::ItemId;
+
+type HandleResult = Result<Answer, (ErrorKind, String)>;
+
+fn bad(msg: impl Into<String>) -> (ErrorKind, String) {
+    (ErrorKind::BadRequest, msg.into())
+}
+
+fn unsupported(msg: impl Into<String>) -> (ErrorKind, String) {
+    (ErrorKind::Unsupported, msg.into())
+}
+
+/// Executes `req` against the hosted engine. Never panics: every
+/// malformed or inapplicable request maps to a typed error response.
+pub(crate) fn handle(host: &EngineHost, opts: &ServeOptions, req: &Request) -> HandleResult {
+    match host {
+        EngineHost::Memory(m) => match req {
+            // Writes take the exclusive side of the lock and flow
+            // through the engine's surgical cache invalidation.
+            Request::Insert { point } => m.with_engine_mut(|e| mem_insert(e, point)),
+            Request::Delete { id } => m.with_engine_mut(|e| mem_delete(e, *id)),
+            _ => m.with_engine(|e| mem_query(e, opts, req)),
+        },
+        EngineHost::Paged(engine) => paged_request(engine, req),
+    }
+}
+
+fn check_dim(q: &Point, dim: usize) -> Result<(), (ErrorKind, String)> {
+    if q.dim() == dim {
+        Ok(())
+    } else {
+        Err(bad(format!(
+            "point has {} dimension(s), dataset has {dim}",
+            q.dim()
+        )))
+    }
+}
+
+fn resolve_id(e: &WhyNotEngine, id: ItemId) -> Result<ItemId, (ErrorKind, String)> {
+    if (id.0 as usize) < e.len() {
+        Ok(id)
+    } else {
+        Err(bad(format!(
+            "customer id {} out of range (dataset has {} tuples)",
+            id.0,
+            e.len()
+        )))
+    }
+}
+
+fn mem_insert(e: &mut WhyNotEngine, point: &Point) -> HandleResult {
+    check_dim(point, e.dim())?;
+    Ok(Answer::Inserted(e.insert(point.clone())))
+}
+
+fn mem_delete(e: &mut WhyNotEngine, id: ItemId) -> HandleResult {
+    resolve_id(e, id)?;
+    Ok(Answer::Deleted(e.delete(id)))
+}
+
+/// The safe region under the serving options: exact by default, the
+/// lazily-materialised approximation when `--lazy` is on.
+fn mem_safe_region(
+    e: &WhyNotEngine,
+    opts: &ServeOptions,
+    q: &Point,
+    rsl: &[(ItemId, Point)],
+) -> wnrs_geometry::Region {
+    match opts.lazy_k {
+        Some(k) => e.approx_safe_region_lazy(q, rsl, k),
+        None => e.safe_region_for(q, rsl),
+    }
+}
+
+fn mem_query(e: &WhyNotEngine, opts: &ServeOptions, req: &Request) -> HandleResult {
+    match req {
+        Request::Ping | Request::Shutdown => Ok(Answer::Empty),
+        Request::Rsl { q } => {
+            check_dim(q, e.dim())?;
+            Ok(Answer::Items(e.reverse_skyline(q)))
+        }
+        Request::Explain { customer, q } => {
+            check_dim(q, e.dim())?;
+            match customer {
+                Customer::Id(id) => {
+                    let id = resolve_id(e, *id)?;
+                    Ok(Answer::Items(e.explain(id, q).culprits))
+                }
+                _ => Err(unsupported(
+                    "in-memory explain identifies the customer by dataset id",
+                )),
+            }
+        }
+        Request::Mwp { customer, q } => {
+            check_dim(q, e.dim())?;
+            match customer {
+                Customer::Id(id) => {
+                    let id = resolve_id(e, *id)?;
+                    Ok(Answer::Candidates(e.mwp(id, q).candidates))
+                }
+                Customer::External(c) => {
+                    check_dim(c, e.dim())?;
+                    Ok(Answer::Candidates(e.mwp_external(c, q).candidates))
+                }
+                Customer::PointExcluding(..) => Err(unsupported(
+                    "point-excluding customers apply to paged mode; use a dataset id",
+                )),
+            }
+        }
+        Request::Mqp { customer, q } => {
+            check_dim(q, e.dim())?;
+            match customer {
+                Customer::Id(id) => {
+                    let id = resolve_id(e, *id)?;
+                    Ok(Answer::Candidates(e.mqp(id, q).candidates))
+                }
+                Customer::External(c) => {
+                    check_dim(c, e.dim())?;
+                    Ok(Answer::Candidates(e.mqp_external(c, q).candidates))
+                }
+                Customer::PointExcluding(..) => Err(unsupported(
+                    "point-excluding customers apply to paged mode; use a dataset id",
+                )),
+            }
+        }
+        Request::SafeRegion { q } => {
+            check_dim(q, e.dim())?;
+            let rsl = e.reverse_skyline(q);
+            let sr = mem_safe_region(e, opts, q, &rsl);
+            Ok(Answer::Region(crate::proto::region_to_wire(&sr)))
+        }
+        Request::Mwq { customer, q } => {
+            check_dim(q, e.dim())?;
+            let rsl = e.reverse_skyline(q);
+            let sr = mem_safe_region(e, opts, q, &rsl);
+            let ans = match customer {
+                Customer::Id(id) => {
+                    let id = resolve_id(e, *id)?;
+                    e.mwq(id, q, &sr)
+                }
+                Customer::External(c) => {
+                    check_dim(c, e.dim())?;
+                    e.mwq_external(c, q, &sr)
+                }
+                Customer::PointExcluding(..) => {
+                    return Err(unsupported(
+                        "point-excluding customers apply to paged mode; use a dataset id",
+                    ))
+                }
+            };
+            Ok(Answer::Mwq {
+                case: ans.case,
+                q_star: ans.q_star,
+                c_star: ans.c_star,
+                cost: ans.cost,
+            })
+        }
+        Request::Insert { .. } | Request::Delete { .. } => {
+            // Routed through `with_engine_mut` by the caller.
+            Err(bad("write request on the query path"))
+        }
+    }
+}
+
+/// Paged-mode customers arrive as explicit coordinates (the engine has
+/// no arena to resolve ids against).
+fn paged_customer(customer: &Customer) -> Result<(&Point, Option<ItemId>), (ErrorKind, String)> {
+    match customer {
+        Customer::External(p) => Ok((p, None)),
+        Customer::PointExcluding(p, id) => Ok((p, Some(*id))),
+        Customer::Id(_) => Err(unsupported(
+            "paged mode identifies customers by coordinates (external or point-excluding)",
+        )),
+    }
+}
+
+fn paged_request(
+    engine: &wnrs_core::PagedEngine<wnrs_storage::FilePager>,
+    req: &Request,
+) -> HandleResult {
+    let io = |e: wnrs_rtree::persist::PersistError| {
+        (ErrorKind::Internal, format!("page read failed: {e}"))
+    };
+    let dim = engine.tree().dim();
+    match req {
+        Request::Ping | Request::Shutdown => Ok(Answer::Empty),
+        Request::Rsl { q } => {
+            check_dim(q, dim)?;
+            Ok(Answer::Items(engine.reverse_skyline(q).map_err(io)?))
+        }
+        Request::Explain { customer, q } => {
+            check_dim(q, dim)?;
+            let (c, exclude) = paged_customer(customer)?;
+            check_dim(c, dim)?;
+            Ok(Answer::Items(
+                engine.explain(c, exclude, q).map_err(io)?.culprits,
+            ))
+        }
+        Request::Mwp { customer, q } => {
+            check_dim(q, dim)?;
+            let (c, exclude) = paged_customer(customer)?;
+            check_dim(c, dim)?;
+            Ok(Answer::Candidates(
+                engine.mwp(c, exclude, q).map_err(io)?.candidates,
+            ))
+        }
+        Request::Mqp { customer, q } => {
+            check_dim(q, dim)?;
+            let (c, exclude) = paged_customer(customer)?;
+            check_dim(c, dim)?;
+            Ok(Answer::Candidates(
+                engine.mqp(c, exclude, q).map_err(io)?.candidates,
+            ))
+        }
+        Request::SafeRegion { q } => {
+            check_dim(q, dim)?;
+            let rsl = engine.reverse_skyline(q).map_err(io)?;
+            let sr = engine.safe_region_for(q, &rsl).map_err(io)?;
+            Ok(Answer::Region(crate::proto::region_to_wire(&sr)))
+        }
+        Request::Mwq { customer, q } => {
+            check_dim(q, dim)?;
+            let (c, exclude) = paged_customer(customer)?;
+            check_dim(c, dim)?;
+            let rsl = engine.reverse_skyline(q).map_err(io)?;
+            let sr = engine.safe_region_for(q, &rsl).map_err(io)?;
+            let ans = engine.mwq(c, exclude, q, &sr).map_err(io)?;
+            Ok(Answer::Mwq {
+                case: ans.case,
+                q_star: ans.q_star,
+                c_star: ans.c_star,
+                cost: ans.cost,
+            })
+        }
+        Request::Insert { .. } | Request::Delete { .. } => Err(unsupported(
+            "paged index is read-only; writes require the in-memory engine",
+        )),
+    }
+}

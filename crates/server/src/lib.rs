@@ -1,0 +1,73 @@
+//! # wnrs-server — a concurrent why-not serving layer
+//!
+//! A threaded TCP server that exposes the full why-not pipeline of
+//! [`wnrs_core::WhyNotEngine`] — RSL, explain, MWP, MQP, safe region,
+//! MWQ, plus insert/delete — over a small length-prefixed binary
+//! protocol built on the [`wnrs_storage`] codec. The wire format is
+//! specified byte-by-byte in `docs/SERVING.md`.
+//!
+//! Design points (see [`server::ServerConfig`] for the knobs):
+//!
+//! * **one shared engine** — N worker threads answer queries against a
+//!   single engine (and its [`wnrs_core::EngineCache`] when enabled)
+//!   behind a readers-writer lock; writes go through the surgical
+//!   cache-invalidation path;
+//! * **admission control** — a bounded request queue and a connection
+//!   cap; when either is full the client gets an explicit
+//!   [`proto::ErrorKind::Overload`] response, never a silent drop;
+//! * **per-request deadlines** — requests that age past the deadline
+//!   while queued are answered [`proto::ErrorKind::DeadlineExceeded`]
+//!   without executing;
+//! * **graceful shutdown** — draining: queued requests are still
+//!   answered, later arrivals get
+//!   [`proto::ErrorKind::ShuttingDown`], then sockets close;
+//! * **operability** — per-request `serve_*` spans, shed/timeout
+//!   counters and queue-depth gauges flow into [`wnrs_obs`] (build
+//!   with `--features obs`), exportable as Prometheus text.
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use wnrs_core::WhyNotEngine;
+//! use wnrs_geometry::Point;
+//! use wnrs_server::client::Client;
+//! use wnrs_server::proto::{Answer, Customer, Request, ResponseBody};
+//! use wnrs_server::server::{EngineHost, Server, ServerConfig};
+//!
+//! // The paper's 8-product running example, cache enabled.
+//! let engine = WhyNotEngine::new(vec![
+//!     Point::xy(5.0, 30.0), Point::xy(7.5, 42.0), Point::xy(2.5, 70.0),
+//!     Point::xy(7.5, 90.0), Point::xy(24.0, 20.0), Point::xy(20.0, 50.0),
+//!     Point::xy(26.0, 70.0), Point::xy(16.0, 80.0),
+//! ]).with_cache();
+//! let server = Server::start(
+//!     ServerConfig::default().with_addr("127.0.0.1:0").with_workers(2),
+//!     EngineHost::memory(engine),
+//! ).expect("server starts");
+//!
+//! let mut client = Client::connect(server.local_addr()).expect("connect");
+//! let resp = client
+//!     .call(&Request::Rsl { q: Point::xy(8.5, 55.0) })
+//!     .expect("rsl answered");
+//! match resp.body {
+//!     ResponseBody::Ok(Answer::Items(members)) => assert_eq!(members.len(), 5),
+//!     other => panic!("unexpected response: {other:?}"),
+//! }
+//! let resp = client
+//!     .call(&Request::Mwp { customer: Customer::Id(wnrs_rtree::ItemId(0)),
+//!                           q: Point::xy(8.5, 55.0) })
+//!     .expect("mwp answered");
+//! assert!(matches!(resp.body, ResponseBody::Ok(Answer::Candidates(_))));
+//!
+//! server.shutdown().expect("clean shutdown");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod handler;
+mod host;
+pub mod proto;
+mod queue;
+pub mod server;

@@ -1,0 +1,131 @@
+//! A bounded MPMC job queue — the server's admission-control point.
+//!
+//! Hand-rolled on `Mutex<VecDeque>` + `Condvar` (the vendored
+//! crossbeam stub ships no channels): producers `try_push` and are
+//! told *immediately* when the queue is full, so the reader thread can
+//! answer the client with an explicit overload response instead of
+//! blocking or dropping; consumers block on `pop` until work or
+//! close-and-drained.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why a `try_push` was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity — shed the request with an overload
+    /// response.
+    Full,
+    /// The queue was closed for new work (graceful shutdown).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Fixed-capacity multi-producer/multi-consumer queue with explicit
+/// rejection and drain-on-close semantics.
+pub(crate) struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    #[must_use]
+    pub(crate) fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // A panicking holder cannot corrupt the VecDeque invariants we
+        // rely on, so poison recovery is safe here (repo-wide idiom).
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues `item`, or reports why it cannot be admitted. Never
+    /// blocks.
+    pub(crate) fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err((PushError::Closed, item));
+        }
+        if st.items.len() >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (FIFO) or the queue is closed
+    /// *and* drained, returning `None` only in the latter case — every
+    /// admitted item is handed to some consumer.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue for new work; already-admitted items continue
+    /// to drain through `pop`. Idempotent.
+    pub(crate) fn close(&self) {
+        let mut st = self.lock();
+        st.closed = true;
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    /// Current number of queued items.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_drains_after_close() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err((PushError::Full, 3)));
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.try_push(4), Err((PushError::Closed, 4)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn consumers_unblock_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap_or_else(|_| panic!("join")), None);
+    }
+}

@@ -1,0 +1,304 @@
+//! Property tests for the wire protocol (`docs/SERVING.md`).
+//!
+//! Two families:
+//!
+//! * **round-trips** — any well-formed request decodes back to itself,
+//!   and any well-formed response re-encodes to the identical byte
+//!   string after a decode (responses carry floats compared as raw
+//!   bits, so byte equality is the strongest possible check);
+//! * **malformed frames** — every strict truncation of a valid
+//!   payload, every random byte string, and every single-byte
+//!   corruption must come back as a *typed* [`ProtoError`], never a
+//!   panic and never a runaway allocation.
+
+use proptest::prelude::*;
+use wnrs_core::{Candidate, MwqCase};
+use wnrs_geometry::Point;
+use wnrs_rtree::ItemId;
+use wnrs_server::proto::{
+    self, decode_request, decode_request_header, decode_response, encode_request, encode_response,
+    Answer, Customer, ErrorKind, Opcode, ProtoError, Request, Response, ResponseBody,
+    MAX_FRAME_LEN,
+};
+
+// ---------------------------------------------------------------------
+// Strategies (the vendored proptest subset: ranges, tuples, vec, map)
+// ---------------------------------------------------------------------
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    prop::collection::vec(-1.0e6..1.0e6f64, 1..6).prop_map(Point::new)
+}
+
+fn arb_customer() -> impl Strategy<Value = Customer> {
+    (0..3u8, arb_point(), 0..100_000u32).prop_map(|(tag, p, id)| match tag {
+        0 => Customer::Id(ItemId(id)),
+        1 => Customer::External(p),
+        _ => Customer::PointExcluding(p, ItemId(id)),
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0..10u8, arb_customer(), arb_point(), 0..100_000u32).prop_map(|(tag, customer, q, id)| {
+        match tag {
+            0 => Request::Ping,
+            1 => Request::Shutdown,
+            2 => Request::Rsl { q },
+            3 => Request::SafeRegion { q },
+            4 => Request::Insert { point: q },
+            5 => Request::Delete { id: ItemId(id) },
+            6 => Request::Explain { customer, q },
+            7 => Request::Mwp { customer, q },
+            8 => Request::Mqp { customer, q },
+            _ => Request::Mwq { customer, q },
+        }
+    })
+}
+
+fn arb_candidate() -> impl Strategy<Value = Candidate> {
+    (arb_point(), 0.0..1.0e9f64, any::<bool>(), any::<bool>()).prop_map(
+        |(point, cost, infinite, verified)| Candidate {
+            point,
+            cost: if infinite { f64::INFINITY } else { cost },
+            verified,
+        },
+    )
+}
+
+/// An ordered `(lo, hi)` box pair of matching dimensionality.
+fn arb_box() -> impl Strategy<Value = (Point, Point)> {
+    prop::collection::vec((-1.0e6..1.0e6f64, 0.0..1.0e6f64), 1..5).prop_map(|dims| {
+        let lo: Vec<f64> = dims.iter().map(|(l, _)| *l).collect();
+        let hi: Vec<f64> = dims.iter().map(|(l, w)| l + w).collect();
+        (Point::new(lo), Point::new(hi))
+    })
+}
+
+/// `(opcode, answer)` pairs whose shapes agree — the response decoder
+/// dispatches the body shape on the echoed opcode, so a well-formed
+/// response must pair them consistently.
+fn arb_ok_pair() -> impl Strategy<Value = (Opcode, Answer)> {
+    let items = prop::collection::vec((0..100_000u32, arb_point()), 0..6);
+    let cands = prop::collection::vec(arb_candidate(), 0..6);
+    let boxes = prop::collection::vec(arb_box(), 0..6);
+    let mwq = (
+        any::<bool>(),
+        arb_point(),
+        any::<bool>(),
+        arb_candidate(),
+        0.0..1.0e9f64,
+    );
+    (
+        0..10u8,
+        (items, cands, boxes),
+        mwq,
+        0..100_000u32,
+        any::<bool>(),
+    )
+        .prop_map(|(tag, (items, cands, boxes), mwq, id, flag)| {
+            let (overlap, q_star, has_c_star, cand, cost) = mwq;
+            let items = Answer::Items(items.into_iter().map(|(i, p)| (ItemId(i), p)).collect());
+            match tag {
+                0 => (Opcode::Ping, Answer::Empty),
+                1 => (Opcode::Shutdown, Answer::Empty),
+                2 => (Opcode::Rsl, items),
+                3 => (Opcode::Explain, items),
+                4 => (Opcode::Mwp, Answer::Candidates(cands)),
+                5 => (Opcode::Mqp, Answer::Candidates(cands)),
+                6 => (Opcode::SafeRegion, Answer::Region(boxes)),
+                7 => (Opcode::Insert, Answer::Inserted(ItemId(id))),
+                8 => (Opcode::Delete, Answer::Deleted(flag)),
+                _ => (
+                    Opcode::Mwq,
+                    Answer::Mwq {
+                        case: if overlap {
+                            MwqCase::Overlap
+                        } else {
+                            MwqCase::Disjoint
+                        },
+                        q_star,
+                        c_star: if has_c_star { Some(cand) } else { None },
+                        cost,
+                    },
+                ),
+            }
+        })
+}
+
+fn arb_error() -> impl Strategy<Value = ResponseBody> {
+    let msg =
+        prop::collection::vec(32..127u8, 0..40).prop_map(|v| String::from_utf8(v).expect("ascii"));
+    (0..6u8, msg).prop_map(|(tag, msg)| {
+        let kind = match tag {
+            0 => ErrorKind::Overload,
+            1 => ErrorKind::DeadlineExceeded,
+            2 => ErrorKind::BadRequest,
+            3 => ErrorKind::Unsupported,
+            4 => ErrorKind::ShuttingDown,
+            _ => ErrorKind::Internal,
+        };
+        ResponseBody::Error(kind, msg)
+    })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        0..u64::MAX,
+        arb_ok_pair(),
+        any::<bool>(),
+        arb_request(),
+        arb_error(),
+    )
+        .prop_map(|(id, (opcode, answer), ok, req, error)| {
+            if ok {
+                Response {
+                    id,
+                    opcode,
+                    body: ResponseBody::Ok(answer),
+                }
+            } else {
+                // Error responses may carry any opcode echo.
+                Response {
+                    id,
+                    opcode: req.opcode(),
+                    body: error,
+                }
+            }
+        })
+}
+
+fn payload_of(frame: &[u8]) -> &[u8] {
+    &frame[4..]
+}
+
+// ---------------------------------------------------------------------
+// Round-trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn request_round_trips(id in 0..u64::MAX, req in arb_request()) {
+        let frame = encode_request(id, &req).expect("encode");
+        // The length prefix is exact.
+        let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+        prop_assert_eq!(len as usize, frame.len() - 4);
+        let payload = payload_of(&frame);
+        let (hid, hop) = decode_request_header(payload).expect("header");
+        prop_assert_eq!((hid, hop), (id, req.opcode()));
+        let (did, dreq) = decode_request(payload).expect("decode");
+        prop_assert_eq!(did, id);
+        prop_assert_eq!(dreq, req);
+    }
+
+    #[test]
+    fn response_round_trips_to_identical_bytes(resp in arb_response()) {
+        let frame = encode_response(&resp).expect("encode");
+        let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+        prop_assert_eq!(len as usize, frame.len() - 4);
+        let decoded = decode_response(payload_of(&frame)).expect("decode");
+        prop_assert_eq!(decoded.id, resp.id);
+        prop_assert_eq!(decoded.opcode, resp.opcode);
+        let reencoded = encode_response(&decoded).expect("re-encode");
+        prop_assert_eq!(reencoded, frame);
+    }
+
+    // -----------------------------------------------------------------
+    // Malformed input: typed errors, never a panic
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn truncated_requests_yield_typed_errors(id in 0..u64::MAX, req in arb_request()) {
+        let frame = encode_request(id, &req).expect("encode");
+        let payload = payload_of(&frame);
+        for cut in 0..payload.len() {
+            prop_assert!(
+                decode_request(&payload[..cut]).is_err(),
+                "strict prefix of length {cut} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_responses_yield_typed_errors(resp in arb_response()) {
+        let frame = encode_response(&resp).expect("encode");
+        let payload = payload_of(&frame);
+        for cut in 0..payload.len() {
+            prop_assert!(decode_response(&payload[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(0..255u8, 0..200)) {
+        // Any outcome is fine as long as it is a value, not a panic.
+        let _ = decode_request(&bytes);
+        let _ = decode_request_header(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    #[test]
+    fn corrupted_requests_never_panic(
+        id in 0..u64::MAX,
+        req in arb_request(),
+        pos in 0..1_000_000usize,
+        xor in 1..255u8,
+    ) {
+        let frame = encode_request(id, &req).expect("encode");
+        let mut payload = payload_of(&frame).to_vec();
+        let i = pos % payload.len();
+        payload[i] ^= xor;
+        let _ = decode_request(&payload);
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_before_allocation(count in 1_000_000..u32::MAX) {
+        // A Rsl request whose point claims `count` coordinates but
+        // carries none: the decoder must refuse via size accounting,
+        // not attempt the allocation.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.push(Opcode::Rsl as u8);
+        payload.extend_from_slice(&count.to_le_bytes());
+        let err = decode_request(&payload).expect_err("hostile count accepted");
+        prop_assert!(
+            matches!(err, ProtoError::BadDim { .. } | ProtoError::BadCount { .. }),
+            "unexpected error: {err:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+#[test]
+fn oversized_frame_header_is_rejected_without_allocation() {
+    let mut buf = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+    buf.extend_from_slice(&[0u8; 8]);
+    let err = proto::take_frame(&mut buf).expect_err("oversized frame accepted");
+    assert!(matches!(err, ProtoError::FrameTooLarge { .. }));
+
+    let mut stream = std::io::Cursor::new(buf.clone());
+    let err = proto::read_frame(&mut stream).expect_err("oversized frame accepted");
+    assert!(matches!(err, ProtoError::FrameTooLarge { .. }));
+}
+
+#[test]
+fn bad_opcode_is_a_typed_error() {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.push(0xEE);
+    assert!(matches!(
+        decode_request(&payload),
+        Err(ProtoError::BadOpcode(0xEE))
+    ));
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let frame = encode_request(3, &Request::Ping).expect("encode");
+    let mut payload = payload_of(&frame).to_vec();
+    payload.push(0);
+    assert!(matches!(
+        decode_request(&payload),
+        Err(ProtoError::TrailingBytes { .. })
+    ));
+}

@@ -240,6 +240,9 @@ struct PolicySite {
 ///   hit/miss statistics are plain `Relaxed` counters.
 /// * `sync.rs` — the shim forwards caller-chosen orderings and never
 ///   hard-codes one; its own bookkeeping is `Relaxed`.
+/// * the `wnrs-server` trio (`host.rs`, `queue.rs`, `server.rs`) —
+///   flags and occupancy counters whose cross-thread ordering comes
+///   from the queue mutex and socket syscalls, so `Relaxed` only.
 /// * everything else in the table — pure statistics counters, always
 ///   `Relaxed`. `SeqCst` is never in any allowlist: a site that truly
 ///   needs it must carry a `lint:allow(atomic_ordering)` with the
@@ -273,7 +276,10 @@ fn policy_for(file: &str) -> Option<&'static [PolicySite]> {
             || f.ends_with("crates/obs/src/imp.rs")
             || f.ends_with("crates/rtree/src/tree.rs")
             || f.ends_with("crates/storage/src/stats.rs")
-            || f.ends_with("crates/storage/src/file.rs") =>
+            || f.ends_with("crates/storage/src/file.rs")
+            || f.ends_with("crates/server/src/host.rs")
+            || f.ends_with("crates/server/src/queue.rs")
+            || f.ends_with("crates/server/src/server.rs") =>
         {
             Some(&RELAXED_ONLY)
         }

@@ -49,13 +49,16 @@ const FLOAT_BOUNDARY: &str = "crates/geometry/src/point.rs";
 /// an `Atomic*` or `RwLock`/`Mutex` in first-party code must be listed
 /// here, so the per-site ordering policies in `rules_scope` stay
 /// exhaustive.
-const CONCURRENCY: [&str; 6] = [
+const CONCURRENCY: [&str; 9] = [
     "crates/core/src/cache.rs",
     "crates/core/src/sync.rs",
     "crates/obs/src/imp.rs",
     "crates/rtree/src/tree.rs",
     "crates/storage/src/stats.rs",
     "crates/storage/src/file.rs",
+    "crates/server/src/host.rs",
+    "crates/server/src/queue.rs",
+    "crates/server/src/server.rs",
 ];
 
 /// A source file scheduled for linting.
@@ -155,6 +158,10 @@ mod tests {
         assert!(classify("crates/core/src/cache.rs").concurrency);
         assert!(classify("crates/core/src/sync.rs").concurrency);
         assert!(classify("crates/storage/src/file.rs").concurrency);
+        assert!(classify("crates/server/src/server.rs").concurrency);
+        assert!(classify("crates/server/src/queue.rs").concurrency);
+        assert!(classify("crates/server/src/host.rs").concurrency);
+        assert!(!classify("crates/server/src/handler.rs").concurrency);
         assert!(!classify("crates/core/src/engine.rs").concurrency);
     }
 }

@@ -34,6 +34,7 @@ pub use wnrs_geometry as geometry;
 pub use wnrs_obs as obs;
 pub use wnrs_reverse_skyline as reverse_skyline;
 pub use wnrs_rtree as rtree;
+pub use wnrs_server as server;
 pub use wnrs_skyline as skyline;
 pub use wnrs_storage as storage;
 

@@ -70,6 +70,13 @@ approximate-DSL store build (results are identical at any count), and
 (memoised skylines / anti-DDRs / safe regions; answers are identical;
 `profile` prints the hit/miss statistics).
 
+every command (including serve) accepts --kernels scalar|chunked|auto
+to pin the dominance/transform kernel dispatch for the process: scalar
+is the early-exit reference path, chunked the lane-unrolled batch path
+(bit-identical answers), auto re-reads the WNRS_KERNELS environment
+default (chunked unless WNRS_KERNELS=scalar). `profile` prints the
+dispatch in effect.
+
 out-of-core mode: rsl, explain, mwp, mqp, safe-region and mwq accept
 --paged on with --index <file.idx> to run end-to-end through the
 page-resident engine (bounded buffer pool, no in-memory point arena;
@@ -105,6 +112,10 @@ fn run(args: &[String]) -> Result<(), WnrsError> {
     let opts = parse_opts(rest)?;
     if opts.contains_key("trace") {
         wnrs_obs::set_trace(true);
+    }
+    if let Some(k) = opts.get("kernels") {
+        wnrs_geometry::kernels::set_dispatch_from_str(k)
+            .map_err(|e| WnrsError::usage(format!("bad --kernels: {e}")))?;
     }
     // `serve` handles --paged itself (the server hosts either engine
     // mode); everything else routes through the paged pipeline here.
@@ -873,6 +884,10 @@ fn profile(opts: &HashMap<String, String>) -> Result<(), WnrsError> {
     let mwq = engine.mwq(id, &q, &sr);
 
     println!("profile: customer #{} against q = {q}", id.0);
+    println!(
+        "  kernels:     {} dispatch",
+        wnrs_geometry::kernels::current().name()
+    );
     println!("  explain:     {} culprit(s)", ex.culprits.len());
     println!("  mwp:         best cost {:.9}", mwp.best_cost());
     println!("  mqp:         best cost {:.9}", mqp.best_cost());

@@ -1,0 +1,100 @@
+//! Whole-pipeline equivalence of the two kernel dispatches.
+//!
+//! The chunked kernels promise bit-identical *answers*, not just close
+//! ones: every why-not algorithm (explain, MWP, MQP, safe region, MWQ,
+//! both approximate safe regions) must render byte-for-byte the same
+//! under `KernelDispatch::Chunked` as under `KernelDispatch::Scalar`,
+//! and — with the `query-stats` feature on — the per-thread
+//! `dominance_tests`/`transforms` tallies must reconcile exactly (the
+//! batched entry points count the rows the scalar early-exit path would
+//! have examined, test for test).
+//!
+//! Everything lives in ONE test function: the dispatch selector is a
+//! process-wide global, so a second test flipping it concurrently could
+//! invalidate a sibling's scalar phase.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wnrs_core::WhyNotEngine;
+use wnrs_geometry::{kernels, stats, Point};
+use wnrs_rtree::{ItemId, RTreeConfig};
+
+struct RunRecord {
+    answers: String,
+    stats: stats::QueryStats,
+}
+
+/// Runs the full algorithm suite over one dataset and renders every
+/// answer into one string; also returns the query-stats delta.
+///
+/// `exact_sr` gates the exact safe region (and the MWQ against it):
+/// its anti-DDR cell decomposition grows exponentially with dimension,
+/// so high-d datasets exercise MWQ against the approximate region
+/// instead — same code path through the kernels, bounded runtime.
+fn run_suite(points: &[Point], q: &Point, id: ItemId, k: usize, exact_sr: bool) -> RunRecord {
+    let engine = WhyNotEngine::with_config(points.to_vec(), RTreeConfig::with_max_entries(8));
+    stats::reset();
+    let mut answers = String::new();
+    let rsl = engine.reverse_skyline(q);
+    answers.push_str(&format!("rsl: {rsl:?}\n"));
+    answers.push_str(&format!("explain: {:?}\n", engine.explain(id, q)));
+    answers.push_str(&format!("mwp: {:?}\n", engine.mwp(id, q)));
+    answers.push_str(&format!("mqp: {:?}\n", engine.mqp(id, q)));
+    let store = engine.build_approx_store(k);
+    let sr_approx = engine.approx_safe_region_for(q, &rsl, &store);
+    answers.push_str(&format!("sr_approx: {sr_approx:?}\n"));
+    answers.push_str(&format!(
+        "sr_lazy: {:?}\n",
+        engine.approx_safe_region_lazy(q, &rsl, k)
+    ));
+    if exact_sr {
+        let sr = engine.safe_region_for(q, &rsl);
+        answers.push_str(&format!("sr: {sr:?}\n"));
+        answers.push_str(&format!("mwq: {:?}\n", engine.mwq(id, q, &sr)));
+    } else {
+        answers.push_str(&format!("mwq: {:?}\n", engine.mwq(id, q, &sr_approx)));
+    }
+    RunRecord {
+        answers,
+        stats: stats::snapshot(),
+    }
+}
+
+#[test]
+fn chunked_dispatch_is_answer_and_stats_invisible() {
+    let mut rng = StdRng::seed_from_u64(20_130_408);
+    let datasets: Vec<(usize, bool, Vec<Point>)> = vec![
+        (2, true, wnrs_data::uniform(&mut rng, 300, 2)),
+        (2, true, wnrs_data::anticorrelated(&mut rng, 300, 2)),
+        (3, true, wnrs_data::uniform(&mut rng, 80, 3)),
+        (5, false, wnrs_data::uniform(&mut rng, 80, 5)),
+    ];
+    for (dim, exact_sr, points) in &datasets {
+        let mid = Point::new(vec![0.5; *dim]);
+        let id = ItemId(7);
+        let k = 4;
+        kernels::set_dispatch(kernels::KernelDispatch::Scalar);
+        let scalar = run_suite(points, &mid, id, k, *exact_sr);
+        kernels::set_dispatch(kernels::KernelDispatch::Chunked);
+        let chunked = run_suite(points, &mid, id, k, *exact_sr);
+        assert_eq!(
+            scalar.answers, chunked.answers,
+            "answers diverged between dispatches (dim {dim})"
+        );
+        assert_eq!(
+            scalar.stats.dominance_tests, chunked.stats.dominance_tests,
+            "dominance-test tallies diverged (dim {dim})"
+        );
+        assert_eq!(
+            scalar.stats.transforms, chunked.stats.transforms,
+            "transform tallies diverged (dim {dim})"
+        );
+        assert_eq!(
+            scalar.stats, chunked.stats,
+            "query-stats snapshots diverged (dim {dim})"
+        );
+    }
+    // Leave the process default in place for any later code in this
+    // binary.
+    kernels::set_dispatch(kernels::KernelDispatch::Chunked);
+}

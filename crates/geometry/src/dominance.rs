@@ -44,23 +44,15 @@ pub fn dominates(a: &Point, b: &Point) -> bool {
 
 /// Static dominance on raw coordinate slices: the flat analogue of
 /// [`dominates`] for hot paths that keep points in shared `f64` buffers
-/// instead of boxed [`Point`]s. Identical branch structure, so it agrees
+/// instead of boxed [`Point`]s. Evaluated by whichever kernel the
+/// process-wide [`crate::kernels::KernelDispatch`] selects; both agree
 /// with [`dominates`] bit-for-bit on every input (ties, negative
 /// coordinates, `-0.0` included).
 #[inline]
 pub fn dominates_components(a: &[f64], b: &[f64]) -> bool {
     debug_assert_eq!(a.len(), b.len());
     crate::stats::record_dominance_test();
-    let mut strict = false;
-    for (&x, &y) in a.iter().zip(b.iter()) {
-        if x > y {
-            return false;
-        }
-        if x < y {
-            strict = true;
-        }
-    }
-    strict
+    crate::kernels::dominates_raw(a, b)
 }
 
 /// Compares `a` and `b` under static dominance in a single pass.
@@ -100,19 +92,7 @@ pub fn dominates_dyn(a: &Point, b: &Point, q: &Point) -> bool {
     debug_assert_eq!(a.dim(), b.dim());
     debug_assert_eq!(a.dim(), q.dim());
     crate::stats::record_dominance_test();
-    let mut strict = false;
-    let coords = a.coords().iter().zip(b.coords().iter());
-    for ((&x, &y), &c) in coords.zip(q.coords().iter()) {
-        let da = (c - x).abs();
-        let db = (c - y).abs();
-        if da > db {
-            return false;
-        }
-        if da < db {
-            strict = true;
-        }
-    }
-    strict
+    crate::kernels::dominates_dyn_raw(a.coords(), b.coords(), q.coords())
 }
 
 /// Compares `a` and `b` under dynamic dominance w.r.t. `q` in one pass.
@@ -150,24 +130,7 @@ pub fn dominates_global(a: &Point, b: &Point, q: &Point) -> bool {
     debug_assert_eq!(a.dim(), b.dim());
     debug_assert_eq!(a.dim(), q.dim());
     crate::stats::record_dominance_test();
-    let mut strict = false;
-    let coords = a.coords().iter().zip(b.coords().iter());
-    for ((&x, &y), &c) in coords.zip(q.coords().iter()) {
-        let sa = x - c;
-        let sb = y - c;
-        // Opposite (strict) sides of q in dimension i ⇒ incomparable.
-        if sa * sb < 0.0 {
-            return false;
-        }
-        let (da, db) = (sa.abs(), sb.abs());
-        if da > db {
-            return false;
-        }
-        if da < db {
-            strict = true;
-        }
-    }
-    strict
+    crate::kernels::dominates_global_raw(a.coords(), b.coords(), q.coords())
 }
 
 /// Removes every point of `points` that is dominated (per `dominated_by`)

@@ -8,6 +8,9 @@
 //! * [`Rect`] — an axis-aligned (hyper-)rectangle.
 //! * [`dominance`] — static, dynamic and global dominance tests used by
 //!   skyline, dynamic-skyline and reverse-skyline computations.
+//! * [`kernels`] — lane-chunked variants of the dominance, transform and
+//!   min-distance inner loops plus batched one-vs-many entry points,
+//!   selected at runtime by the process-wide [`KernelDispatch`] policy.
 //! * [`transform`] — the coordinate-wise absolute-distance transform that
 //!   maps a dataset into the space centred at a query/customer point, and
 //!   the orthant bookkeeping needed to map regions back.
@@ -35,6 +38,7 @@
 pub mod cost;
 pub mod dominance;
 pub mod invalidate;
+pub mod kernels;
 pub mod key;
 pub mod normalize;
 pub mod parallel;
@@ -48,6 +52,7 @@ pub mod transform;
 pub use cost::{CostModel, Weights};
 pub use dominance::{dominates, dominates_components, dominates_dyn, dominates_global, Dominance};
 pub use invalidate::{dominator_region, release_region};
+pub use kernels::KernelDispatch;
 pub use key::{f64_key, CoordKey};
 pub use normalize::MinMaxNormalizer;
 pub use parallel::Parallelism;

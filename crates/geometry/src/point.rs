@@ -43,13 +43,15 @@ pub fn min_f64(a: f64, b: f64) -> f64 {
 
 /// In-place absolute-distance transform: writes `(|p^i − origin^i|)_i`
 /// into `out`, clearing it first and reusing its allocation. The flat
-/// analogue of [`Point::abs_diff`] for allocation-free hot paths.
+/// analogue of [`Point::abs_diff`] for allocation-free hot paths;
+/// evaluated by whichever kernel the process-wide
+/// [`crate::kernels::KernelDispatch`] selects (the transform is
+/// elementwise, so both produce identical bits).
 #[inline]
 pub fn abs_diff_into(p: &[f64], origin: &[f64], out: &mut Vec<f64>) {
     debug_assert_eq!(p.len(), origin.len(), "dimensionality mismatch");
     crate::stats::record_transform();
-    out.clear();
-    out.extend(p.iter().zip(origin.iter()).map(|(a, b)| (a - b).abs()));
+    crate::kernels::abs_diff_into_raw(p, origin, out);
 }
 
 /// An immutable point in `R^d`.

@@ -229,25 +229,17 @@ impl Rect {
     }
 
     /// Minimum L1 distance from a raw coordinate slice to the rectangle:
-    /// the flat analogue of [`Rect::min_l1`] for hot paths. Same per-dim
-    /// branch structure and summation order, so the result is
+    /// the flat analogue of [`Rect::min_l1`] for hot paths. Evaluated by
+    /// whichever kernel the process-wide
+    /// [`crate::kernels::KernelDispatch`] selects; both keep the scalar
+    /// path's per-dim values and summation order, so the result is
     /// bit-identical to `min_l1` on the same inputs — and equal to the
     /// coordinate sum of the absolute-distance transform's lower bound
     /// (the BBS priority key).
     #[inline]
     pub fn min_l1_coords(&self, q: &[f64]) -> f64 {
         debug_assert_eq!(self.dim(), q.len());
-        (0..self.dim())
-            .map(|i| {
-                if q[i] < self.lo[i] {
-                    self.lo[i] - q[i]
-                } else if q[i] > self.hi[i] {
-                    q[i] - self.hi[i]
-                } else {
-                    0.0
-                }
-            })
-            .sum()
+        crate::kernels::min_l1_raw(self.lo.coords(), self.hi.coords(), q)
     }
 
     /// Minimum squared Euclidean distance from a raw coordinate slice to
@@ -274,20 +266,13 @@ impl Rect {
     /// rectangle into `out` (clearing it first): the lower-bound corner
     /// of the rectangle's image under the absolute-distance transform
     /// centred at `q`. In-place variant of the `transformed_lo` helper
-    /// used by BBS; never allocates once `out` has capacity.
+    /// used by BBS; never allocates once `out` has capacity. Evaluated
+    /// by whichever kernel the process-wide
+    /// [`crate::kernels::KernelDispatch`] selects (bit-identical lanes).
     #[inline]
     pub fn min_dists_into(&self, q: &[f64], out: &mut Vec<f64>) {
         debug_assert_eq!(self.dim(), q.len());
-        out.clear();
-        out.extend((0..self.dim()).map(|i| {
-            if q[i] < self.lo[i] {
-                self.lo[i] - q[i]
-            } else if q[i] > self.hi[i] {
-                q[i] - self.hi[i]
-            } else {
-                0.0
-            }
-        }));
+        crate::kernels::min_dists_into_raw(self.lo.coords(), self.hi.coords(), q, out);
     }
 
     /// All `2^d` corner points (Algorithm 4, `corner_points`).

@@ -136,6 +136,24 @@ pub fn record_transform() {
     wnrs_obs::record(wnrs_obs::Counter::Transforms);
 }
 
+/// Records `n` pairwise dominance tests in one batch. Used by the
+/// batched kernel entry points in [`crate::kernels`], which tally rows
+/// examined per block/leaf and record once — the totals reconcile
+/// exactly with the per-pair [`record_dominance_test`] path.
+#[inline]
+pub fn record_dominance_tests(n: u64) {
+    #[cfg(feature = "query-stats")]
+    imp::update(|s| s.dominance_tests += n);
+    wnrs_obs::record_n(wnrs_obs::Counter::DominanceTests, n);
+}
+
+/// Records one batched kernel call that examined `points` rows.
+#[inline]
+pub fn record_kernel_batch(points: u64) {
+    wnrs_obs::record(wnrs_obs::Counter::KernelBatchedCalls);
+    wnrs_obs::record_n(wnrs_obs::Counter::KernelPointsProcessed, points);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,11 +172,13 @@ mod tests {
         record_heap_push();
         record_heap_push();
         record_dominance_test();
+        record_dominance_tests(3);
         record_transform();
         let s = snapshot();
         assert_eq!(s.nodes_visited, 1);
         assert_eq!(s.heap_pushes, 2);
-        assert_eq!(s.dominance_tests, 1);
+        // One per-pair record plus a batch of 3 reconcile to 4.
+        assert_eq!(s.dominance_tests, 4);
         assert_eq!(s.transforms, 1);
         reset();
         assert_eq!(snapshot(), QueryStats::zero());

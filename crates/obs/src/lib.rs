@@ -135,11 +135,17 @@ pub enum Counter {
     /// TCP connections rejected at accept time because the connection
     /// cap was reached (the client still receives an `Overload` frame).
     ServerConnsRejected = 27,
+    /// Batched kernel entry points invoked (one per block/leaf scan
+    /// routed through `wnrs-geometry::kernels`).
+    KernelBatchedCalls = 28,
+    /// Points examined by batched kernel calls (rows actually tested
+    /// before an early exit, summed across batches).
+    KernelPointsProcessed = 29,
 }
 
 impl Counter {
     /// Number of counters (array dimension for per-span attribution).
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 30;
 
     /// The stable, export-facing name (snake_case; used as the JSON
     /// key and the Prometheus metric suffix).
@@ -174,6 +180,8 @@ impl Counter {
             Counter::ServerDeadlineTimeouts => "server_deadline_timeouts",
             Counter::ServerConnsAccepted => "server_conns_accepted",
             Counter::ServerConnsRejected => "server_conns_rejected",
+            Counter::KernelBatchedCalls => "kernel_batched_calls",
+            Counter::KernelPointsProcessed => "kernel_points_processed",
         }
     }
 
@@ -209,6 +217,8 @@ impl Counter {
             Counter::ServerDeadlineTimeouts,
             Counter::ServerConnsAccepted,
             Counter::ServerConnsRejected,
+            Counter::KernelBatchedCalls,
+            Counter::KernelPointsProcessed,
         ]
     }
 }

@@ -8,12 +8,13 @@
 //! Two export formats:
 //!
 //! * [`Report::to_json`] — a stable, hand-rendered JSON document
-//!   (schema `wnrs-obs-v6`, pinned by the golden-file test in
+//!   (schema `wnrs-obs-v7`, pinned by the golden-file test in
 //!   `crates/obs/tests/golden_report.rs`; v1 → v2 added the engine-cache
 //!   and buffer-pool counters, v2 → v3 the surgical-invalidation
 //!   eviction counters, v3 → v4 the stale-fill counter, v4 → v5 the
 //!   lazy-DSL-store and logical-page-read counters, v5 → v6 the
-//!   `wnrs-server` serving counters and the `gauges` section);
+//!   `wnrs-server` serving counters and the `gauges` section, v6 → v7
+//!   the kernel-batching counters);
 //! * [`Report::to_prometheus`] — Prometheus text exposition format
 //!   (counters plus one `_bucket`/`_sum`/`_count` histogram family).
 
@@ -22,7 +23,7 @@ use crate::Counter;
 
 /// Schema identifier written into every JSON export. Bump only with a
 /// matching golden-file update; downstream tooling keys off this.
-pub const JSON_SCHEMA: &str = "wnrs-obs-v6";
+pub const JSON_SCHEMA: &str = "wnrs-obs-v7";
 
 /// One global counter's value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -306,7 +307,7 @@ mod tests {
         assert_eq!(r.counters.len(), Counter::all().len());
         assert_eq!(r.gauges.len(), crate::Gauge::all().len());
         let json = r.to_json();
-        assert!(json.contains("\"schema\": \"wnrs-obs-v6\""));
+        assert!(json.contains("\"schema\": \"wnrs-obs-v7\""));
         assert!(json.contains("\"obs_compiled\": false"));
         for c in Counter::all() {
             assert!(json.contains(c.name()), "missing {}", c.name());

@@ -1,6 +1,6 @@
 //! Golden-file tests pinning the wnrs-obs export formats.
 //!
-//! The JSON schema (`wnrs-obs-v6`) is a public contract: the CLI's
+//! The JSON schema (`wnrs-obs-v7`) is a public contract: the CLI's
 //! `--metrics-out`, every bench binary and the worked example in
 //! `EXPERIMENTS.md` all emit it, and downstream tooling parses it. These
 //! tests render a fully deterministic synthetic [`Report`] and compare
@@ -111,7 +111,7 @@ fn live_registry_report_conforms_to_schema() {
     }
     let report = wnrs_obs::report();
     let json = report.to_json();
-    assert!(json.starts_with("{\n  \"schema\": \"wnrs-obs-v6\",\n"));
+    assert!(json.starts_with("{\n  \"schema\": \"wnrs-obs-v7\",\n"));
     let counter_names: Vec<&str> = report.counters.iter().map(|c| c.name.as_str()).collect();
     let expected: Vec<&str> = Counter::all().iter().map(|c| c.name()).collect();
     assert_eq!(counter_names, expected);

@@ -13,7 +13,7 @@
 //!    smaller candidate set.
 
 use crate::window::is_reverse_skyline_member_with;
-use wnrs_geometry::{dominates_global, Point, Rect};
+use wnrs_geometry::{kernels, Point, Rect};
 use wnrs_rtree::{BestFirst, ItemId, RTree, Traversal, WindowScratch};
 
 /// Whether `s` globally dominates *every* point of `rect` w.r.t. `q`:
@@ -64,7 +64,7 @@ pub fn global_skyline(data: &RTree, q: &Point) -> Vec<(ItemId, Point)> {
                 }
             }
             Traversal::Item { id, point, .. } => {
-                if !found.iter().any(|s| dominates_global(s, &point, q)) {
+                if !kernels::any_dominates_global_points(&found, &point, q) {
                     found.push(point.clone());
                     out.push((id, point));
                 }
@@ -96,6 +96,7 @@ pub fn bbrs_reverse_skyline(data: &RTree, q: &Point) -> Vec<(ItemId, Point)> {
 mod tests {
     use super::*;
     use crate::naive::rsl_monochromatic_naive;
+    use wnrs_geometry::dominates_global;
     use wnrs_rtree::bulk::bulk_load;
     use wnrs_rtree::RTreeConfig;
 

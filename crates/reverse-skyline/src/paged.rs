@@ -12,7 +12,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use wnrs_geometry::{cmp_f64, dominates_dyn, dominates_global, Point, Rect};
+use wnrs_geometry::{cmp_f64, dominates_dyn, kernels, Point, Rect};
 use wnrs_rtree::paged::NodeBuf;
 use wnrs_rtree::persist::PersistError;
 use wnrs_rtree::{ItemId, PagedRTree};
@@ -62,6 +62,11 @@ pub fn paged_is_reverse_skyline_member<P: Pager>(
     scratch.stack.push(tree.root_page());
     while let Some(page) = scratch.stack.pop() {
         tree.read_node_into(page, &mut scratch.node)?;
+        // One stats record per node scan: the tally counts exactly the
+        // dominance tests the per-entry path performs (containment-gated,
+        // early-exiting), so `query-stats` totals match the in-memory
+        // membership primitive test for test.
+        let mut tested = 0u64;
         for i in 0..scratch.node.len() {
             if scratch.node.is_leaf() {
                 let id = scratch.node.item_id(i);
@@ -69,12 +74,21 @@ pub fn paged_is_reverse_skyline_member<P: Pager>(
                     continue;
                 }
                 let lo = scratch.node.lo(i);
-                if rect_contains(&rect, lo) && dominates_dyn_slices(lo, q.coords(), c.coords()) {
-                    return Ok(false);
+                if rect_contains(&rect, lo) {
+                    tested += 1;
+                    if kernels::dominates_dyn_raw(lo, q.coords(), c.coords()) {
+                        wnrs_geometry::stats::record_dominance_tests(tested);
+                        wnrs_geometry::stats::record_kernel_batch(tested);
+                        return Ok(false);
+                    }
                 }
             } else if rect_intersects(&rect, scratch.node.lo(i), scratch.node.hi(i)) {
                 scratch.stack.push(scratch.node.child_page(i));
             }
+        }
+        if tested > 0 {
+            wnrs_geometry::stats::record_dominance_tests(tested);
+            wnrs_geometry::stats::record_kernel_batch(tested);
         }
     }
     Ok(true)
@@ -104,24 +118,6 @@ fn rect_contains(rect: &Rect, p: &[f64]) -> bool {
 /// `Rect::intersects` against raw corner slices.
 fn rect_intersects(rect: &Rect, lo: &[f64], hi: &[f64]) -> bool {
     (0..lo.len()).all(|i| rect.lo()[i] <= hi[i] && lo[i] <= rect.hi()[i])
-}
-
-/// `dominates_dyn` over raw slices — the same arithmetic and
-/// short-circuiting as the `Point`-based kernel.
-fn dominates_dyn_slices(a: &[f64], b: &[f64], q: &[f64]) -> bool {
-    wnrs_geometry::stats::record_dominance_test();
-    let mut strict = false;
-    for ((&x, &y), &c) in a.iter().zip(b.iter()).zip(q.iter()) {
-        let da = (c - x).abs();
-        let db = (c - y).abs();
-        if da > db {
-            return false;
-        }
-        if da < db {
-            strict = true;
-        }
-    }
-    strict
 }
 
 #[derive(Debug)]
@@ -222,7 +218,7 @@ pub fn paged_global_skyline<P: Pager>(
                 }
             }
             Payload::Item(id, point) => {
-                if !found.iter().any(|s| dominates_global(s, &point, q)) {
+                if !kernels::any_dominates_global_points(&found, &point, q) {
                     // lint:allow(hot_path_alloc) reason=one clone per accepted skyline point
                     found.push(point.clone());
                     out.push((id, point));

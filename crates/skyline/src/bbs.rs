@@ -9,9 +9,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use wnrs_geometry::{
-    abs_diff_into, cmp_f64, dominates, dominates_components, Point, PointsView, Rect,
-};
+use wnrs_geometry::{abs_diff_into, cmp_f64, dominates, kernels, Point, PointsView, Rect};
 use wnrs_rtree::{BestFirst, Child, ItemId, NodeId, RTree, Traversal};
 
 /// The lower corner of `rect`'s image under the absolute-distance
@@ -251,10 +249,11 @@ impl BbsScratch {
     }
 }
 
-/// Whether any point of the flat skyline arena dominates `t`.
+/// Whether any point of the flat skyline arena dominates `t` — the
+/// batched one-vs-many kernel (stats recorded once per arena scan).
 fn any_dominates(sky: &[f64], dim: usize, t: &[f64]) -> bool {
     debug_assert!(dim > 0);
-    sky.chunks_exact(dim).any(|s| dominates_components(s, t))
+    kernels::any_dominates_block(sky, dim, t)
 }
 
 /// Writes the lower corner of `rect`'s image under the absolute-distance
@@ -264,18 +263,7 @@ fn any_dominates(sky: &[f64], dim: usize, t: &[f64]) -> bool {
 /// it decides exactly what recomputing the MBR from the child's own
 /// entries used to decide, at `O(dim)` instead of `O(fanout · dim)`.
 fn transformed_lo_into(rect: &Rect, q: &[f64], out: &mut Vec<f64>) {
-    out.clear();
-    out.extend(q.iter().enumerate().map(|(i, &qi)| {
-        let lo = rect.lo()[i];
-        let hi = rect.hi()[i];
-        if qi < lo {
-            lo - qi
-        } else if qi > hi {
-            qi - hi
-        } else {
-            0.0
-        }
-    }));
+    rect.min_dists_into(q, out);
 }
 
 /// Allocation-free core of [`bbs_dynamic_skyline_excluding`]: runs the

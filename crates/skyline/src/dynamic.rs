@@ -1,7 +1,7 @@
 //! Dynamic skylines (Definition 2 of the paper).
 
 use crate::bnl::bnl_skyline;
-use wnrs_geometry::{dominates_dyn, transform::to_distance_space, Point};
+use wnrs_geometry::{kernels, transform::to_distance_space, Point};
 
 /// Indices of the dynamic skyline of `points` w.r.t. `q` by transforming
 /// into the distance space and running BNL (the reference algorithm the
@@ -36,7 +36,7 @@ pub fn dynamic_skyline_scan(points: &[Point], q: &Point) -> Vec<usize> {
 /// `q`, where `candidate` need not be a member of `points`. Points of
 /// `points` at the exact location of `candidate` do not dominate it.
 pub fn is_in_dynamic_skyline(points: &[Point], q: &Point, candidate: &Point) -> bool {
-    !points.iter().any(|p| dominates_dyn(p, candidate, q))
+    !kernels::any_dominates_dyn_points(points, candidate, q)
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use wnrs_geometry::{abs_diff_into, cmp_f64, dominates_components, PointsView};
+use wnrs_geometry::{abs_diff_into, cmp_f64, kernels, PointsView};
 use wnrs_rtree::paged::NodeBuf;
 use wnrs_rtree::persist::PersistError;
 use wnrs_rtree::{ItemId, PagedRTree};
@@ -161,40 +161,22 @@ impl PagedBbsScratch {
     }
 }
 
-/// Whether any point of the flat skyline arena dominates `t`.
+/// Whether any point of the flat skyline arena dominates `t` — the
+/// batched one-vs-many kernel (stats recorded once per arena scan).
 fn any_dominates(sky: &[f64], dim: usize, t: &[f64]) -> bool {
     debug_assert!(dim > 0);
-    sky.chunks_exact(dim).any(|s| dominates_components(s, t))
+    kernels::any_dominates_block(sky, dim, t)
 }
 
-/// `Rect::min_l1_coords` over raw corner slices: term order and
-/// summation match the in-memory kernel exactly.
+/// `Rect::min_l1_coords` over raw corner slices: the dispatched kernel
+/// keeps term order and summation identical to the in-memory path.
 fn min_l1_slices(lo: &[f64], hi: &[f64], q: &[f64]) -> f64 {
-    (0..q.len())
-        .map(|i| {
-            if q[i] < lo[i] {
-                lo[i] - q[i]
-            } else if q[i] > hi[i] {
-                q[i] - hi[i]
-            } else {
-                0.0
-            }
-        })
-        .sum()
+    kernels::min_l1_raw(lo, hi, q)
 }
 
 /// `transformed_lo_into` over raw corner slices.
 fn transformed_lo_slices(lo: &[f64], hi: &[f64], q: &[f64], out: &mut Vec<f64>) {
-    out.clear();
-    out.extend(q.iter().enumerate().map(|(i, &qi)| {
-        if qi < lo[i] {
-            lo[i] - qi
-        } else if qi > hi[i] {
-            qi - hi[i]
-        } else {
-            0.0
-        }
-    }));
+    kernels::min_dists_into_raw(lo, hi, q, out);
 }
 
 /// BBS dynamic skyline w.r.t. `q` over a page-resident tree, leaving

@@ -29,13 +29,14 @@ const HOT_PATHS: [&str; 4] = [
 /// `lint:allow(hot_path_alloc)` escape. The paged traversal kernels are
 /// included: they sit under every out-of-core query, where a stray
 /// per-entry allocation multiplies by the page fan-out.
-const ALLOC_HOT_PATHS: [&str; 7] = [
+const ALLOC_HOT_PATHS: [&str; 8] = [
     "crates/skyline/src/bbs.rs",
     "crates/skyline/src/paged.rs",
     "crates/rtree/src/query.rs",
     "crates/rtree/src/paged.rs",
     "crates/reverse-skyline/src/paged.rs",
     "crates/geometry/src/dominance.rs",
+    "crates/geometry/src/kernels.rs",
     "crates/core/src/cache.rs",
 ];
 
@@ -49,9 +50,10 @@ const FLOAT_BOUNDARY: &str = "crates/geometry/src/point.rs";
 /// an `Atomic*` or `RwLock`/`Mutex` in first-party code must be listed
 /// here, so the per-site ordering policies in `rules_scope` stay
 /// exhaustive.
-const CONCURRENCY: [&str; 9] = [
+const CONCURRENCY: [&str; 10] = [
     "crates/core/src/cache.rs",
     "crates/core/src/sync.rs",
+    "crates/geometry/src/kernels.rs",
     "crates/obs/src/imp.rs",
     "crates/rtree/src/tree.rs",
     "crates/storage/src/stats.rs",
@@ -148,6 +150,7 @@ mod tests {
         assert!(classify("crates/skyline/src/bbs.rs").alloc_hot_path);
         assert!(classify("crates/rtree/src/query.rs").alloc_hot_path);
         assert!(classify("crates/geometry/src/dominance.rs").alloc_hot_path);
+        assert!(classify("crates/geometry/src/kernels.rs").alloc_hot_path);
         assert!(classify("crates/core/src/cache.rs").alloc_hot_path);
         assert!(classify("crates/skyline/src/paged.rs").alloc_hot_path);
         assert!(classify("crates/rtree/src/paged.rs").alloc_hot_path);
@@ -157,6 +160,7 @@ mod tests {
         assert!(classify("crates/geometry/src/point.rs").float_boundary);
         assert!(classify("crates/core/src/cache.rs").concurrency);
         assert!(classify("crates/core/src/sync.rs").concurrency);
+        assert!(classify("crates/geometry/src/kernels.rs").concurrency);
         assert!(classify("crates/storage/src/file.rs").concurrency);
         assert!(classify("crates/server/src/server.rs").concurrency);
         assert!(classify("crates/server/src/queue.rs").concurrency);

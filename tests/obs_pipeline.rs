@@ -128,7 +128,7 @@ fn one_run_reports_per_phase_data_for_all_four_algorithms() {
     assert!(mwp_dom.value > 0, "mwp should attribute dominance tests");
 
     // The JSON export carries the same data under the pinned schema.
-    assert!(json.contains("\"schema\": \"wnrs-obs-v6\""));
+    assert!(json.contains("\"schema\": \"wnrs-obs-v7\""));
     for phase in ["explain", "mwp", "mqp", "mwq", "sr_exact"] {
         assert!(
             json.contains(&format!("\"name\": \"{phase}\"")),
